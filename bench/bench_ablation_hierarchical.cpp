@@ -1,0 +1,80 @@
+// Design-choice ablation (DESIGN.md): flat ring allreduce vs the
+// two-level node/leader hierarchy.
+//
+// The flat ring moves 2(G-1)/G of the buffer across the bottleneck link;
+// the hierarchy moves 2(N-1)/N across the fabric plus ~2.5 extra passes
+// over the intra-node links.  The crossover therefore sits at an
+// intra/inter bandwidth ratio of roughly
+//     2.5 / (2(G-1)/G - 2(N-1)/N)  ~  6.7   (for N=4, gpn=4)
+// — i.e. the hierarchy pays off on NVLink-class nodes but NOT on the
+// paper's PCIe cluster, which justifies the flat ring used throughout
+// this reproduction.  Both sides are *executed* (real collectives, real
+// ledger) and priced by the cost model.
+#include "bench_common.hpp"
+#include "zipflm/comm/hierarchical.hpp"
+#include "zipflm/comm/thread_comm.hpp"
+
+using namespace zipflm;
+
+namespace {
+
+double measure(int nodes, int gpn, double intra_Bps, double inter_Bps,
+               std::size_t elems, bool hierarchical) {
+  CommWorld::Options o;
+  o.topo = Topology{nodes, gpn};
+  o.topo_set = true;
+  o.cost.intra_node = LinkParams{3e-6, intra_Bps};
+  o.cost.inter_node = LinkParams{2e-6, inter_Bps};
+  CommWorld world(nodes * gpn, o);
+  world.run([&](Communicator& comm) {
+    std::vector<float> data(elems, 1.0f);
+    if (hierarchical) {
+      hierarchical_allreduce_sum(comm, std::span<float>(data));
+    } else {
+      comm.allreduce_sum(std::span<float>(data));
+    }
+  });
+  return world.max_simulated_comm_seconds();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: flat ring vs hierarchical (node/leader) allreduce",
+      "design choice behind the reproduction's collectives",
+      "both schemes executed over the thread runtime, priced by the "
+      "alpha-beta cost model; 4 nodes x 4 GPUs, 4 MB buffer");
+
+  const std::size_t elems = 1 << 20;  // 4 MB of FP32
+  const double inter = 6e9;           // IB FDR effective
+
+  TextTable table({"intra/inter ratio", "intra (GB/s)", "flat (ms)",
+                   "hierarchical (ms)", "winner"});
+  for (const double ratio : {1.0, 2.13, 4.0, 6.7, 10.0, 20.0, 50.0}) {
+    const double intra = inter * ratio;
+    const double flat = measure(4, 4, intra, inter, elems, false) * 1e3;
+    const double hier = measure(4, 4, intra, inter, elems, true) * 1e3;
+    table.add_row({bench::fmt(ratio, 1), bench::fmt(intra / 1e9, 1),
+                   bench::fmt(flat, 3), bench::fmt(hier, 3),
+                   hier < flat ? "hierarchical" : "flat"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper's Titan X cluster sits at ratio ~2.1 (PCIe 12.8 vs IB\n"
+              "6 GB/s effective): the flat ring is the right choice there;\n"
+              "V100+NVLink pods (ratio ~20+) favour the hierarchy.\n\n");
+
+  // Latency-bound regime: tiny buffers, many nodes.
+  TextTable t2({"buffer", "flat (us)", "hierarchical (us)", "winner"});
+  for (const std::size_t small : {64u, 1024u, 16384u}) {
+    const double flat = measure(8, 8, 12.8e9, 6e9, small, false) * 1e6;
+    const double hier = measure(8, 8, 12.8e9, 6e9, small, true) * 1e6;
+    t2.add_row({format_bytes(small * 4), bench::fmt(flat, 1),
+                bench::fmt(hier, 1), hier < flat ? "hierarchical" : "flat"});
+  }
+  std::printf("latency-bound regime (8 nodes x 8 GPUs):\n\n%s\n",
+              t2.render().c_str());
+  std::printf("small messages: the hierarchy's 2(N-1) fabric hops beat the\n"
+              "flat ring's 2(G-1) even at PCIe ratios.\n");
+  return 0;
+}

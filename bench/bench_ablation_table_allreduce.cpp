@@ -1,0 +1,81 @@
+// Design-choice ablation: why the paper's UNIQUE exchange rather than
+// the "just make it dense" alternative.
+//
+// Three ways to synchronize a row-sparse embedding gradient:
+//   dense-allgather   Θ(G·K·D)   — the SOTA baseline (Section II)
+//   table-allreduce   Θ(|V|·D)   — materialize to dense and ALLREDUCE
+//                                  (TF's IndexedSlices->dense conversion)
+//   unique            Θ(G·K + U_g·D)  — the paper's Section III-A
+//
+// Crossovers: table-allreduce beats the allgather once G·K > |V|, but
+// unique dominates both at every point because U_g <= min(|V|, G·K).
+// All three are executed over the thread runtime; the table reports the
+// exact wire bytes from the ledger.
+#include "bench_common.hpp"
+#include "zipflm/comm/thread_comm.hpp"
+#include "zipflm/core/exchange.hpp"
+
+using namespace zipflm;
+
+namespace {
+
+std::uint64_t run_exchange(EmbeddingExchange& ex, int g, std::size_t k,
+                           Index d, Index vocab) {
+  CommWorld world(g);
+  world.run([&](Communicator& comm) {
+    ZipfSampler sampler(static_cast<std::uint64_t>(vocab), 1.3);
+    Rng rng(10 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<Index> ids(k);
+    for (auto& id : ids) id = static_cast<Index>(sampler.sample(rng) - 1);
+    Tensor delta = Tensor::randn({static_cast<Index>(k), d}, rng);
+    std::vector<Index> out_ids;
+    Tensor out_rows;
+    ex.exchange(comm, ids, delta, out_ids, out_rows, nullptr);
+  });
+  return world.total_ledger().bytes_sent;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: dense-allgather vs table-allreduce vs unique",
+      "why Section III-A's scheme dominates the dense alternatives",
+      "all three exchanges executed; ledger wire bytes, G=8, D=64");
+
+  const int g = 8;
+  const Index d = 64;
+
+  TextTable table({"|V|", "K/rank", "G*K", "allgather", "table-AR", "unique",
+                   "winner"});
+  const struct {
+    Index vocab;
+    std::size_t k;
+  } cases[] = {
+      {4096, 64},    // G*K = 512  << V : allgather beats table
+      {4096, 512},   // G*K = 4096 ~  V : crossover region
+      {4096, 4096},  // G*K = 32768 >> V: table beats allgather
+      {65536, 512},  // big vocab: table hopeless
+  };
+  for (const auto& c : cases) {
+    DenseExchange dense;
+    TableAllreduceExchange tab(c.vocab);
+    UniqueExchange uniq;
+    const auto b_dense = run_exchange(dense, g, c.k, d, c.vocab);
+    const auto b_table = run_exchange(tab, g, c.k, d, c.vocab);
+    const auto b_uniq = run_exchange(uniq, g, c.k, d, c.vocab);
+    const char* winner = "unique";
+    if (b_dense < b_table && b_dense < b_uniq) winner = "allgather";
+    if (b_table < b_dense && b_table < b_uniq) winner = "table-AR";
+    table.add_row({format_count(static_cast<std::uint64_t>(c.vocab)),
+                   format_count(c.k),
+                   format_count(static_cast<std::uint64_t>(g) * c.k),
+                   format_bytes(b_dense), format_bytes(b_table),
+                   format_bytes(b_uniq), winner});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("unique wins everywhere: U_g <= min(|V|, G*K) by definition,\n"
+              "so it is bounded by the better of the two dense schemes and\n"
+              "strictly better on Zipfian batches (Section III-A).\n");
+  return 0;
+}

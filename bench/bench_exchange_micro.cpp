@@ -1,0 +1,83 @@
+// Microbenchmark (Fig 4 ablation): wall-clock cost and wire volume of
+// DenseExchange vs UniqueExchange over the thread-backed collectives,
+// swept over world size, tokens per rank and embedding dimension.
+// google-benchmark binary: run with --benchmark_filter=... as usual.
+#include <benchmark/benchmark.h>
+
+#include "zipflm/comm/thread_comm.hpp"
+#include "zipflm/core/exchange.hpp"
+#include "zipflm/data/zipf.hpp"
+
+namespace zipflm {
+namespace {
+
+void run_exchange(benchmark::State& state, bool unique) {
+  const int gpus = static_cast<int>(state.range(0));
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  const Index d = static_cast<Index>(state.range(2));
+
+  // Pre-generate per-rank Zipf tokens and gradients once.
+  std::vector<std::vector<Index>> ids(static_cast<std::size_t>(gpus));
+  std::vector<Tensor> deltas(static_cast<std::size_t>(gpus));
+  ZipfSampler sampler(1 << 20, 1.5625);
+  for (int r = 0; r < gpus; ++r) {
+    Rng rng(40 + static_cast<std::uint64_t>(r));
+    auto& v = ids[static_cast<std::size_t>(r)];
+    v.resize(k);
+    for (auto& id : v) id = static_cast<Index>(sampler.sample(rng) - 1);
+    deltas[static_cast<std::size_t>(r)] =
+        Tensor::randn({static_cast<Index>(k), d}, rng);
+  }
+
+  CommWorld world(gpus);
+  std::uint64_t unique_rows = 0;
+  for (auto _ : state) {
+    world.run([&](Communicator& comm) {
+      const auto r = static_cast<std::size_t>(comm.rank());
+      std::vector<Index> out_ids;
+      Tensor out_rows;
+      if (unique) {
+        UniqueExchange ex;
+        ex.exchange(comm, ids[r], deltas[r], out_ids, out_rows, nullptr);
+      } else {
+        DenseExchange ex;
+        ex.exchange(comm, ids[r], deltas[r], out_ids, out_rows, nullptr);
+      }
+      if (comm.rank() == 0) unique_rows = out_ids.size();
+      benchmark::DoNotOptimize(out_rows.data().data());
+    });
+  }
+
+  const auto total = world.total_ledger();
+  state.counters["wire_bytes_per_step"] = benchmark::Counter(
+      static_cast<double>(total.bytes_sent) /
+      static_cast<double>(state.iterations()));
+  state.counters["U_g"] = static_cast<double>(unique_rows);
+  state.counters["GK"] = static_cast<double>(gpus) * static_cast<double>(k);
+  state.counters["sim_comm_s_per_step"] = benchmark::Counter(
+      world.max_simulated_comm_seconds() /
+      static_cast<double>(state.iterations()));
+}
+
+void BM_DenseExchange(benchmark::State& state) { run_exchange(state, false); }
+void BM_UniqueExchange(benchmark::State& state) { run_exchange(state, true); }
+
+// Sweep: world in {2, 4, 8}, K in {256, 1024}, D in {64, 256}.
+void sweep(benchmark::internal::Benchmark* b) {
+  for (const int g : {2, 4, 8}) {
+    for (const int k : {256, 1024}) {
+      for (const int d : {64, 256}) {
+        b->Args({g, k, d});
+      }
+    }
+  }
+  b->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_DenseExchange)->Apply(sweep)->UseRealTime();
+BENCHMARK(BM_UniqueExchange)->Apply(sweep)->UseRealTime();
+
+}  // namespace
+}  // namespace zipflm
+
+BENCHMARK_MAIN();

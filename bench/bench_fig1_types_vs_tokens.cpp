@@ -1,0 +1,62 @@
+// Figure 1: types (unique words U) vs tokens (N) on four corpora, with
+// the power-law fit U = 7.02 * N^0.64, R^2 = 1.00.
+//
+// The synthetic corpora are Zipf-Mandelbrot sources calibrated per
+// DESIGN.md; the bench sweeps N over the same decades as the figure and
+// fits one power law through all corpora, exactly as the paper does.
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "zipflm/stats/powerlaw.hpp"
+
+using namespace zipflm;
+
+int main(int argc, char** argv) {
+  // Full figure reaches 5e7 tokens; default to 8M per corpus so the
+  // bench suite stays fast (pass a larger count to extend the sweep).
+  std::uint64_t max_tokens = 8'000'000;
+  if (argc > 1) max_tokens = std::strtoull(argv[1], nullptr, 10);
+
+  bench::print_header("Figure 1: types vs tokens power law",
+                      "U = 7.02 N^0.64, R^2 = 1.00",
+                      "type/token curves of 4 calibrated Zipf-Mandelbrot "
+                      "corpora, joint log-log least-squares fit");
+
+  TextTable table({"corpus", "N (max)", "U (max)", "U/N", "fit alpha", "R^2"});
+  std::vector<double> all_x, all_y;
+
+  for (const auto& spec : CorpusSpec::figure1_corpora()) {
+    TokenStream stream(spec, /*seed=*/2026);
+    const auto curve = type_token_curve(stream, max_tokens);
+    std::vector<double> xs, ys;
+    for (const auto& p : curve) {
+      if (p.tokens < 512) continue;
+      xs.push_back(static_cast<double>(p.tokens));
+      ys.push_back(static_cast<double>(p.types));
+      all_x.push_back(xs.back());
+      all_y.push_back(ys.back());
+    }
+    const auto fit = fit_power_law(xs, ys);
+    const auto& last = curve.back();
+    table.add_row({spec.name, format_count(last.tokens),
+                   format_count(last.types),
+                   bench::fmt(static_cast<double>(last.types) /
+                                  static_cast<double>(last.tokens),
+                              4),
+                   bench::fmt(fit.exponent, 3), bench::fmt(fit.r_squared, 4)});
+  }
+
+  const auto joint = fit_power_law(all_x, all_y);
+  std::printf("%s\n", table.render().c_str());
+  std::printf("joint fit over all corpora:  U = %s * N^%s   (R^2 = %s)\n",
+              bench::fmt(joint.coefficient, 2).c_str(),
+              bench::fmt(joint.exponent, 3).c_str(),
+              bench::fmt(joint.r_squared, 4).c_str());
+  std::printf("paper:                       U = 7.02 * N^0.64  (R^2 = 1.00)\n");
+
+  // The figure's headline gap: at N = 40M tokens U is ~100x smaller.
+  const double n40 = 40e6;
+  const double gap = n40 / joint.predict(n40);
+  std::printf("\ntoken/type gap at N = 40M:  %.0fx  (paper: ~100x)\n", gap);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 5: word-LM validation perplexity vs epochs for three GPU
+// counts.  The paper trains LSTM-2048/512 on 0.78B words with 16/32/64
+// GPUs; we run the same architecture family scaled down (documented
+// factors below) on a calibrated synthetic corpus with 4/8/16 simulated
+// GPUs — the same 4x spread — and reproduce the *shape*: more GPUs start
+// behind at epoch 1 and become indistinguishable within a few epochs.
+#include "bench_common.hpp"
+
+using namespace zipflm;
+
+namespace {
+
+DistributedTrainer::ModelFactory factory(Index vocab) {
+  return [vocab](int) -> std::unique_ptr<LmModel> {
+    WordLmConfig cfg;
+    cfg.vocab = vocab;       // paper: 100k (scale 1/50)
+    cfg.embed_dim = 16;      // paper: 512
+    cfg.hidden_dim = 32;     // paper: 2048
+    cfg.proj_dim = 16;       // paper: 512
+    cfg.seed = 7;
+    return std::make_unique<WordLm>(cfg);
+  };
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 5: word LM validation perplexity vs epoch",
+      "paper @1 epoch: 84.3/87.9/95.3 (16/32/64 GPUs); @2: 73.5/72.1/72.4",
+      "real distributed training, architecture scaled 1/32, GPU counts "
+      "4/8/16 (same 4x spread), sampled softmax + all three techniques");
+
+  const Index vocab = 2000;
+  const auto data = bench::bigram_data(vocab, 24, 240'000, 24'000, 11);
+  const auto& train = data.train;
+  const auto& valid = data.valid;
+  const int epochs = 3;
+  std::printf("corpus: Markov bigram chain, |V|=%lld, entropy-floor ppl %.0f\n\n",
+              static_cast<long long>(vocab), data.entropy_floor_ppl);
+
+  TextTable table({"GPUs", "epoch 1 ppl", "epoch 2 ppl", "epoch 3 ppl",
+                   "steps/epoch"});
+  for (const int gpus : {4, 8, 16}) {
+    CommWorld world(gpus, [] {
+      CommWorld::Options o;
+      return o;
+    }());
+    TrainerOptions opt;
+    opt.batch = BatchSpec{4, 20};  // paper seqlen 20
+    opt.samples_per_rank = 64;     // paper: 1024 (scale 1/16)
+    opt.seed_policy = SeedPolicy::ZipfFreq;
+    // Large-batch learning-rate scaling: the paper multiplies its 8-GPU
+    // base rate by ln(#nodes); at our reduced scale the equivalent is a
+    // linear ramp in the GPU count (Goyal et al.'s rule).
+    opt.base_lr = 0.2f * static_cast<float>(gpus) / 4.0f;
+    opt.lr_decay = 0.9f;
+    opt.clip = 5.0f;
+    opt.charge_static_memory = false;
+    DistributedTrainer trainer(world, factory(vocab), opt);
+
+    std::vector<std::string> row{std::to_string(gpus)};
+    std::uint64_t steps = 0;
+    for (int e = 0; e < epochs; ++e) {
+      const auto stats = trainer.run_epoch(train, valid, e);
+      row.push_back(bench::fmt(stats.valid_perplexity, 1));
+      steps = stats.steps;
+    }
+    row.push_back(std::to_string(steps));
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: higher GPU counts trail at epoch 1 and close "
+              "the gap by later epochs (Fig 5).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 6: cumulative speedup of uniqueness, seeding, and compression
+// over the baseline word LM at 16 and 24 GPUs.
+#include "bench_common.hpp"
+#include "zipflm/sim/perf_model.hpp"
+
+using namespace zipflm;
+
+int main() {
+  bench::print_header("Figure 6: speedup breakdown (word LM, 1B-word)",
+                      "paper: 16 GPUs 1.0/4.0/4.3/5.1; 24 GPUs 1.0/5.1/5.4/6.3",
+                      "PerfModel with the technique stack applied cumulatively");
+
+  const PerfModel model(DeviceProps::titan_x(), CostModel::titan_x_cluster());
+  const auto w = LmWorkload::word_lm_1b();
+
+  TextTable table({"GPUs", "baseline", "+uniqueness", "+seeding",
+                   "+compression", "paper (+u/+s/+c)"});
+  const struct {
+    int gpus;
+    const char* paper;
+  } rows[] = {{16, "4.0 / 4.3 / 5.1"}, {24, "5.1 / 5.4 / 6.3"}};
+
+  for (const auto& r : rows) {
+    const double base =
+        model.epoch(w, r.gpus, TechniqueSet::none()).epoch_hours;
+    const double uniq =
+        model.epoch(w, r.gpus, TechniqueSet::unique_only()).epoch_hours;
+    const double seed =
+        model.epoch(w, r.gpus, TechniqueSet::unique_seed()).epoch_hours;
+    const double all =
+        model.epoch(w, r.gpus, TechniqueSet::all()).epoch_hours;
+    table.add_row({std::to_string(r.gpus), "1.0",
+                   bench::fmt(base / uniq, 1) + "x",
+                   bench::fmt(base / seed, 1) + "x",
+                   bench::fmt(base / all, 1) + "x", r.paper});
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

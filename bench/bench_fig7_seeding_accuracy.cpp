@@ -1,0 +1,91 @@
+// Figure 7: accuracy impact of the seeding policy in the sampled-softmax
+// layer.  Paper (64 GPUs): per-rank seeds (G) and Zipf's-freq seeds give
+// matching perplexity; aggressively few seeds (log10 G) destabilize the
+// curve.  We run the real trainer at 8 simulated GPUs across the same
+// policy spectrum and also report the measured global unique-candidate
+// count (the quantity seeding trades accuracy against).
+#include <unordered_set>
+
+#include "bench_common.hpp"
+
+using namespace zipflm;
+
+namespace {
+DistributedTrainer::ModelFactory factory(Index vocab) {
+  return [vocab](int) -> std::unique_ptr<LmModel> {
+    WordLmConfig cfg;
+    cfg.vocab = vocab;
+    cfg.embed_dim = 16;
+    cfg.hidden_dim = 32;
+    cfg.proj_dim = 16;
+    cfg.seed = 7;
+    return std::make_unique<WordLm>(cfg);
+  };
+}
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 7: seeding policies for the sampled softmax (word LM)",
+      "paper: Zipf's-freq matches G seeds; fewer seeds less stable",
+      "real distributed training at 8 simulated GPUs, 3 epochs per policy");
+
+  const Index vocab = 2000;
+  const auto data = bench::bigram_data(vocab, 24, 160'000, 20'000, 31);
+  const auto& train = data.train;
+  const auto& valid = data.valid;
+  const int gpus = 8;
+
+  const SeedPolicy policies[] = {SeedPolicy::PerRank,   SeedPolicy::ZipfFreq,
+                                 SeedPolicy::Log2G,     SeedPolicy::LogEG,
+                                 SeedPolicy::Log10G,    SeedPolicy::SharedAll};
+
+  TextTable table({"policy", "groups", "ppl e1", "ppl e2", "ppl e3",
+                   "mean U_out/step", "wire bytes/epoch"});
+  for (const SeedPolicy policy : policies) {
+    CommWorld world(gpus);
+    TrainerOptions opt;
+    opt.batch = BatchSpec{4, 20};
+    opt.samples_per_rank = 64;
+    opt.seed_policy = policy;
+    opt.base_lr = 0.2f;
+    opt.lr_decay = 0.9f;
+    opt.clip = 5.0f;
+    opt.charge_static_memory = false;
+    DistributedTrainer trainer(world, factory(vocab), opt);
+
+    std::vector<std::string> ppl;
+    TrafficLedger ledger;
+    std::uint64_t steps = 1;
+    for (int e = 0; e < 3; ++e) {
+      const auto stats = trainer.run_epoch(train, valid, e);
+      ppl.push_back(bench::fmt(stats.valid_perplexity, 1));
+      ledger = stats.comm_total;
+      steps = std::max<std::uint64_t>(1, stats.steps);
+    }
+
+    // Measure the global unique candidate count directly.
+    ControlledSampler sampler(vocab, 64, policy, 42);
+    std::unordered_set<Index> uniq;
+    double mean_unique = 0.0;
+    for (std::uint64_t step = 0; step < 50; ++step) {
+      uniq.clear();
+      for (int r = 0; r < gpus; ++r) {
+        const auto draws =
+            sampler.group_samples(seed_group_of(policy, r, gpus), step);
+        uniq.insert(draws.begin(), draws.end());
+      }
+      mean_unique += static_cast<double>(uniq.size());
+    }
+    mean_unique /= 50.0;
+
+    table.add_row({to_string(policy),
+                   std::to_string(seed_group_count(policy, gpus)), ppl[0],
+                   ppl[1], ppl[2], bench::fmt(mean_unique, 0),
+                   format_bytes(ledger.bytes_sent)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: G and Zipf's-freq perplexities match; unique "
+              "candidates (and wire volume) fall with fewer seed groups.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 8: character-LM perplexity vs epochs for three GPU counts.
+// Paper: RHN depth 10 x 1792 cells on 1B-word characters, 16/32/64 GPUs,
+// perplexity gap between GPU counts shrinking from ~4-5% at epoch 1 to
+// ~0-1% later.  Scaled-down RHN on the calibrated character corpus with
+// the same 4x GPU spread.
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace zipflm;
+
+namespace {
+DistributedTrainer::ModelFactory factory(Index vocab) {
+  return [vocab](int) -> std::unique_ptr<LmModel> {
+    CharLmConfig cfg;
+    cfg.vocab = vocab;       // paper: 98
+    cfg.embed_dim = 12;
+    cfg.hidden_dim = 24;     // paper: 1792
+    cfg.depth = 2;           // paper: 10
+    cfg.seed = 3;
+    return std::make_unique<CharLm>(cfg);
+  };
+}
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 8: char LM validation perplexity vs epoch",
+      "paper: 16/32/64 GPUs within 4-5% at epoch 1, ~1% by later epochs",
+      "real distributed training, RHN scaled 1/75, GPU counts 4/8/16, "
+      "full softmax, uniqueness + compression (no seeding, as in paper)");
+
+  const Index vocab = 98;  // the paper's English character inventory
+  const auto data = bench::bigram_data(vocab, 12, 480'000, 24'000, 21);
+  const auto& train = data.train;
+  const auto& valid = data.valid;
+  const int epochs = 4;
+  std::printf("corpus: Markov bigram chain, |V|=98, entropy-floor ppl %.0f\n\n",
+              data.entropy_floor_ppl);
+
+  TextTable table({"GPUs", "epoch 1 ppl", "epoch 2 ppl", "epoch 3 ppl",
+                   "epoch 4 ppl", "bytes on wire/epoch"});
+  for (const int gpus : {4, 8, 16}) {
+    CommWorld world(gpus);
+    TrainerOptions opt;
+    opt.batch = BatchSpec{4, 30};  // paper: 128 x 150
+    opt.samples_per_rank = 0;      // full softmax
+    opt.use_adam = true;           // paper: Adam for char LM
+    // Linear large-batch scaling (paper: ln(#nodes) on its 8-GPU base
+    // rate; at our reduced scale the steps-per-epoch deficit of large G
+    // needs the full linear ramp).
+    opt.base_lr = 2e-3f * static_cast<float>(gpus) / 4.0f;
+    opt.lr_decay = 0.9f;
+    opt.clip = 5.0f;
+    opt.wire = WirePrecision::FP16;  // compression on, per Table IV
+    opt.charge_static_memory = false;
+    DistributedTrainer trainer(world, factory(vocab), opt);
+
+    std::vector<std::string> row{std::to_string(gpus)};
+    TrafficLedger ledger;
+    for (int e = 0; e < epochs; ++e) {
+      const auto stats = trainer.run_epoch(train, valid, e);
+      row.push_back(bench::fmt(stats.valid_perplexity, 2));
+      ledger = stats.comm_total;
+    }
+    row.push_back(format_bytes(ledger.bytes_sent));
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: curves for different GPU counts nearly "
+              "overlap, gap shrinking with epochs (Fig 8).\n");
+  return 0;
+}

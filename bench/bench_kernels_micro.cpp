@@ -1,0 +1,97 @@
+// Microbenchmarks of the tensor kernels underlying the training stack:
+// blocked GEMM, softmax, the embedding gather/scatter, and the FP16
+// compression-scaling casts.  Real wall-clock via google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "zipflm/support/rng.hpp"
+#include "zipflm/tensor/cast.hpp"
+#include "zipflm/tensor/ops.hpp"
+
+namespace zipflm {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(a, false, b, false, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_GemmTransposed(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  Rng rng(2);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(a, false, b, true, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+}
+BENCHMARK(BM_GemmTransposed)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  const Index rows = 256;
+  const Index cols = static_cast<Index>(state.range(0));
+  Rng rng(3);
+  const Tensor logits = Tensor::randn({rows, cols}, rng, 3.0f);
+  Tensor probs({rows, cols});
+  for (auto _ : state) {
+    softmax_rows(logits, probs);
+    benchmark::DoNotOptimize(probs.data().data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(98)->Arg(1024)->Arg(15437)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GatherScatter(benchmark::State& state) {
+  const Index vocab = 100'000;
+  const Index d = 512;
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  Tensor table = Tensor::randn({vocab, d}, rng, 0.1f);
+  std::vector<Index> ids(k);
+  for (auto& id : ids) {
+    id = static_cast<Index>(rng.uniform_index(static_cast<std::uint64_t>(vocab)));
+  }
+  Tensor rows({static_cast<Index>(k), d});
+  for (auto _ : state) {
+    gather_rows(table, ids, rows);
+    scatter_add_rows(rows, ids, table);
+    benchmark::DoNotOptimize(table.data().data());
+  }
+}
+BENCHMARK(BM_GatherScatter)->Arg(640)->Arg(19200)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Fp16RoundTrip(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<float> values(n);
+  for (auto& v : values) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<Half> wire;
+  std::vector<float> back;
+  for (auto _ : state) {
+    compress_fp16(values, 1024.0f, wire);
+    decompress_fp16(wire, 1024.0f, back);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * n * sizeof(float)));
+}
+BENCHMARK(BM_Fp16RoundTrip)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace zipflm
+
+BENCHMARK_MAIN();

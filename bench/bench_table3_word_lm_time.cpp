@@ -1,0 +1,75 @@
+// Table III: per-epoch hours and parallel efficiency of the word LM on
+// the 1-Billion-word dataset, 8-64 GPUs, with and without the paper's
+// techniques ('*' = out of simulated 12 GB device memory).
+#include "bench_common.hpp"
+#include "zipflm/sim/perf_model.hpp"
+
+using namespace zipflm;
+
+namespace {
+
+struct PaperCell {
+  int gpus;
+  double without_h;  // <0: OOM
+  double without_eff;
+  double with_h;
+  double with_eff;
+};
+
+const PaperCell kPaper[] = {
+    {8, 35.1, 1.00, 14.6, 1.00},  {16, 41.1, 0.43, 8.1, 0.90},
+    {24, 40.4, 0.29, 6.4, 0.76},  {32, -1, 0, 5.4, 0.67},
+    {64, -1, 0, 4.5, 0.40},
+};
+
+std::string cell(double hours, bool oom) {
+  return oom ? "*" : bench::fmt(hours, 1);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table III: word LM per-epoch time (hours), 1-Billion-word",
+      "8-GPU baseline anchors calibrated; scaling/OOM structural",
+      "calibrated PerfModel over the exchange algorithms' message sizes");
+
+  const PerfModel model(DeviceProps::titan_x(), CostModel::titan_x_cluster());
+  const auto w = LmWorkload::word_lm_1b();
+
+  const auto base8 = model.epoch(w, 8, TechniqueSet::none());
+  const auto ours8 = model.epoch(w, 8, TechniqueSet::all());
+
+  TextTable table({"GPUs", "w/o ours (h)", "w/o eff", "w/o paper (h)",
+                   "with ours (h)", "with eff", "with paper (h)",
+                   "mem w/o", "mem with"});
+  for (const auto& p : kPaper) {
+    const auto base = model.epoch(w, p.gpus, TechniqueSet::none());
+    const auto ours = model.epoch(w, p.gpus, TechniqueSet::all());
+    const double base_eff =
+        base.oom ? 0.0
+                 : parallel_efficiency(8, base8.epoch_hours, p.gpus,
+                                       base.epoch_hours);
+    const double ours_eff = parallel_efficiency(8, ours8.epoch_hours, p.gpus,
+                                                ours.epoch_hours);
+    table.add_row(
+        {std::to_string(p.gpus), cell(base.epoch_hours, base.oom),
+         base.oom ? "-" : bench::fmt(100 * base_eff, 0) + "%",
+         p.without_h < 0 ? "*" : bench::fmt(p.without_h, 1),
+         cell(ours.epoch_hours, ours.oom),
+         bench::fmt(100 * ours_eff, 0) + "%", bench::fmt(p.with_h, 1),
+         format_bytes(base.peak_memory_bytes),
+         format_bytes(ours.peak_memory_bytes)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("speedup 8 GPU w/o -> 64 GPU with: %.1fx (paper: 7.7x)\n",
+              base8.epoch_hours /
+                  model.epoch(w, 64, TechniqueSet::all()).epoch_hours);
+  std::printf("memory reduction at 24 GPUs:      %.1fx (paper: 8.6x)\n",
+              static_cast<double>(
+                  model.epoch(w, 24, TechniqueSet::none()).peak_memory_bytes) /
+                  static_cast<double>(model.epoch(w, 24, TechniqueSet::all())
+                                          .peak_memory_bytes));
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table IV: per-epoch hours and parallel efficiency of the character LM
+// (RHN, full softmax) on the 1-Billion-word dataset, 8-64 GPUs.
+#include "bench_common.hpp"
+#include "zipflm/sim/perf_model.hpp"
+
+using namespace zipflm;
+
+namespace {
+struct PaperCell {
+  int gpus;
+  double without_h;  // <0 = OOM
+  double with_h;
+};
+const PaperCell kPaper[] = {
+    {8, 25.7, 23.2}, {16, 14.5, 12.9}, {24, 10.6, 8.2},
+    {32, -1, 6.8},   {64, -1, 3.5},
+};
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table IV: char LM per-epoch time (hours), 1-Billion-word",
+      "8-GPU anchors calibrated; scaling/OOM structural",
+      "calibrated PerfModel; full softmax (no seeding, per Section V-B)");
+
+  const PerfModel model(DeviceProps::titan_x(), CostModel::titan_x_cluster());
+  const auto w = LmWorkload::char_lm_1b();
+  const auto base8 = model.epoch(w, 8, TechniqueSet::none());
+  const auto ours8 = model.epoch(w, 8, TechniqueSet::all());
+
+  TextTable table({"GPUs", "w/o ours (h)", "w/o eff", "w/o paper (h)",
+                   "with ours (h)", "with eff", "with paper (h)", "mem w/o"});
+  for (const auto& p : kPaper) {
+    const auto base = model.epoch(w, p.gpus, TechniqueSet::none());
+    const auto ours = model.epoch(w, p.gpus, TechniqueSet::all());
+    const double base_eff =
+        base.oom ? 0.0
+                 : parallel_efficiency(8, base8.epoch_hours, p.gpus,
+                                       base.epoch_hours);
+    const double ours_eff = parallel_efficiency(8, ours8.epoch_hours, p.gpus,
+                                                ours.epoch_hours);
+    table.add_row({std::to_string(p.gpus),
+                   base.oom ? "*" : bench::fmt(base.epoch_hours, 1),
+                   base.oom ? "-" : bench::fmt(100 * base_eff, 0) + "%",
+                   p.without_h < 0 ? "*" : bench::fmt(p.without_h, 1),
+                   bench::fmt(ours.epoch_hours, 1),
+                   bench::fmt(100 * ours_eff, 0) + "%",
+                   bench::fmt(p.with_h, 1),
+                   format_bytes(base.peak_memory_bytes)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("speedup 8 -> 64 GPUs with techniques: %.1fx (paper: 6.6x)\n",
+              ours8.epoch_hours /
+                  model.epoch(w, 64, TechniqueSet::all()).epoch_hours);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Section V-D: comparison with Puri et al. [21] on the Amazon Review
+// dataset.  Paper: 1.208 BPC (ours, 64 Titan X, 17.6 h/epoch) vs 1.218
+// BPC ([21], 128 V100 + NVLink, ~1.25 h/epoch) — 14x slower on 41x less
+// powerful hardware, a ~2.9x normalized gain.
+//
+// We model both testbeds with the same workload and report the
+// time-per-epoch and the hardware-normalized gain; BPC is reproduced in
+// shape by a scaled-down char-LM training run on the `ar` corpus preset.
+#include "bench_common.hpp"
+#include "zipflm/sim/perf_model.hpp"
+
+using namespace zipflm;
+
+int main() {
+  bench::print_header(
+      "Section V-D: Amazon Review comparison vs Puri et al. [21]",
+      "paper: 17.6h on 64 TitanX vs 1.25h on 128 V100; gain ~2.9x",
+      "PerfModel on both testbeds + scaled functional BPC run");
+
+  const auto w = LmWorkload::char_lm_amazon();
+  const PerfModel titan(DeviceProps::titan_x(), CostModel::titan_x_cluster());
+  const PerfModel v100(DeviceProps::v100(), CostModel::v100_nvlink_cluster());
+
+  const auto ours = titan.epoch(w, 64, TechniqueSet::all());
+  const auto theirs = v100.epoch(w, 128, TechniqueSet::all());
+
+  TextTable ta({"system", "GPUs", "peak PFLOP/s", "epoch (h)",
+                "paper epoch (h)"});
+  ta.add_row({"Titan X cluster (this work)", "64",
+              bench::fmt(64 * 6.1e12 / 1e15, 2),
+              bench::fmt(ours.epoch_hours, 1), "17.6"});
+  ta.add_row({"V100 + NVLink (Puri et al.)", "128",
+              bench::fmt(128 * 125e12 / 1e15, 1),
+              bench::fmt(theirs.epoch_hours, 2), "~1.25"});
+  std::printf("%s\n", ta.render().c_str());
+
+  const double time_ratio = ours.epoch_hours / theirs.epoch_hours;
+  const double power_ratio = (128 * 125e12) / (64 * 6.1e12);
+  std::printf("time ratio: %.1fx slower (paper: 14x)\n", time_ratio);
+  std::printf("hardware ratio: %.0fx less peak FLOP/s (paper: 41x)\n",
+              power_ratio);
+  std::printf("normalized gain: %.1fx (paper: ~2.9x)\n\n",
+              power_ratio / time_ratio);
+
+  // Functional BPC shape: a scaled-down char LM on learnable synthetic
+  // text with the Amazon corpus's 98-character inventory.
+  std::printf("scaled functional BPC (98-char bigram corpus):\n\n");
+  const BigramCorpus corpus(98, 12, 77);
+  const auto train = corpus.generate(300'000, 0);
+  const auto valid = corpus.generate(24'000, 1);
+
+  auto factory = [](int) -> std::unique_ptr<LmModel> {
+    CharLmConfig cfg;
+    cfg.vocab = 98;
+    cfg.embed_dim = 12;
+    cfg.hidden_dim = 24;
+    cfg.depth = 2;
+    cfg.seed = 13;
+    return std::make_unique<CharLm>(cfg);
+  };
+  CommWorld world(8);
+  TrainerOptions opt;
+  opt.batch = BatchSpec{4, 30};
+  opt.use_adam = true;
+  opt.base_lr = 2e-3f;
+  opt.clip = 5.0f;
+  opt.wire = WirePrecision::FP16;
+  opt.charge_static_memory = false;
+  DistributedTrainer trainer(world, factory, opt);
+
+  TextTable tb({"epoch", "valid BPC (scaled model)"});
+  for (int e = 0; e < 3; ++e) {
+    const auto stats = trainer.run_epoch(train, valid, e);
+    tb.add_row({std::to_string(e + 1),
+                bench::fmt(bpc_from_nats(stats.valid_loss), 3)});
+  }
+  std::printf("%s\n", tb.render().c_str());
+  std::printf("paper BPC (full-scale RHN): 1.208 @1 epoch, 1.11 @3 epochs;\n"
+              "the scaled model reproduces the monotone BPC decrease, not\n"
+              "the absolute value (1/75 of the parameters).\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// A step-by-step walkthrough of the paper's Figure 4 on its own toy
+// example: GPU1 holds tokens with word indices {5,3,9}, GPU2 holds
+// {4,3,8}.  Shows the locally-unique reduction, the index ALLGATHER, the
+// globally consistent index set, the scatter, and the final ALLREDUCE —
+// then verifies the result equals the dense ALLGATHER baseline.
+#include <cstdio>
+
+#include "zipflm/comm/thread_comm.hpp"
+#include "zipflm/core/exchange.hpp"
+
+using namespace zipflm;
+
+namespace {
+
+void print_rows(const char* label, std::span<const Index> ids,
+                const Tensor& rows) {
+  std::printf("%s\n", label);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    std::printf("  word %2lld : [", static_cast<long long>(ids[i]));
+    const auto r = rows.row(static_cast<Index>(i));
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      std::printf("%s%5.1f", j ? ", " : "", r[j]);
+    }
+    std::printf("]\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Figure 4's setup, embedding dimension 2 for readability.
+  const std::vector<std::vector<Index>> ids = {{5, 3, 9}, {4, 3, 8}};
+  // Per-token gradients: GPU g, token t has gradient (10g + t) in both
+  // dimensions, so every contribution is traceable in the output.
+  std::vector<Tensor> deltas;
+  for (int g = 0; g < 2; ++g) {
+    Tensor d({3, 2});
+    for (Index t = 0; t < 3; ++t) {
+      d(t, 0) = static_cast<float>(10 * (g + 1) + t);
+      d(t, 1) = static_cast<float>(10 * (g + 1) + t);
+    }
+    deltas.push_back(std::move(d));
+  }
+
+  std::printf("=== Figure 4 walkthrough: UNIQUE exchange on 2 GPUs ===\n\n");
+  for (int g = 0; g < 2; ++g) {
+    std::printf("GPU%d word indices: {%lld, %lld, %lld}\n", g + 1,
+                static_cast<long long>(ids[g][0]),
+                static_cast<long long>(ids[g][1]),
+                static_cast<long long>(ids[g][2]));
+  }
+
+  // Steps 1-2 (local, shown for each GPU): locally unique indices and
+  // locally reduced gradients.
+  for (int g = 0; g < 2; ++g) {
+    std::vector<Index> uids;
+    Tensor reduced;
+    local_reduce_by_word(ids[static_cast<std::size_t>(g)],
+                         deltas[static_cast<std::size_t>(g)], uids, reduced);
+    std::printf("\nGPU%d steps 1-2 (local reduce):\n", g + 1);
+    print_rows("  locally reduced gradients:", uids, reduced);
+  }
+
+  // Steps 3-7 via the real communicator, side by side with the dense
+  // baseline.
+  std::vector<Index> unique_ids, dense_ids;
+  Tensor unique_rows, dense_rows;
+  for (const bool unique : {true, false}) {
+    CommWorld world(2);
+    world.run([&](Communicator& comm) {
+      const auto r = static_cast<std::size_t>(comm.rank());
+      std::vector<Index> out_ids;
+      Tensor out_rows;
+      if (unique) {
+        UniqueExchange ex;
+        ex.exchange(comm, ids[r], deltas[r], out_ids, out_rows, nullptr);
+      } else {
+        DenseExchange ex;
+        ex.exchange(comm, ids[r], deltas[r], out_ids, out_rows, nullptr);
+      }
+      if (comm.rank() == 0) {
+        if (unique) {
+          unique_ids = out_ids;
+          unique_rows = out_rows;
+        } else {
+          dense_ids = out_ids;
+          dense_rows = out_rows;
+        }
+      }
+    });
+    const auto total = world.total_ledger();
+    std::printf("\n%s exchange: %llu wire bytes\n",
+                unique ? "UNIQUE" : "DENSE (baseline)",
+                static_cast<unsigned long long>(total.bytes_sent));
+  }
+
+  std::printf("\nsteps 3-7 result (globally unique indices, summed rows):\n");
+  print_rows("", unique_ids, unique_rows);
+
+  const bool match =
+      unique_ids == dense_ids && unique_rows == dense_rows;
+  std::printf("\nmatches the dense ALLGATHER baseline: %s\n",
+              match ? "yes" : "NO (bug!)");
+  std::printf("note word 3 (present on both GPUs): its row is the sum of "
+              "GPU1's 11 and GPU2's 21 = 32.\n");
+  return match ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// Train a character LM on a Markov bigram corpus, checkpoint it, reload
+// it into a fresh model, and generate text — then *measure* that the
+// generation actually learned the corpus: the fraction of generated
+// bigrams that are legal corpus transitions should be near 1 for a
+// trained model and near chance for an untrained one.
+#include <cstdio>
+
+#include "zipflm/core/checkpoint.hpp"
+#include "zipflm/core/trainer.hpp"
+#include "zipflm/data/corpus.hpp"
+#include "zipflm/data/markov.hpp"
+#include "zipflm/nn/generate.hpp"
+
+using namespace zipflm;
+
+namespace {
+
+double legal_bigram_fraction(const BigramCorpus& corpus,
+                             std::span<const Index> tokens) {
+  if (tokens.size() < 2) return 0.0;
+  std::size_t legal = 0;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const auto& menu = corpus.successors(tokens[i - 1]);
+    if (std::find(menu.begin(), menu.end(), tokens[i]) != menu.end()) {
+      ++legal;
+    }
+  }
+  return static_cast<double>(legal) / static_cast<double>(tokens.size() - 1);
+}
+
+std::unique_ptr<LmModel> make_model(int /*rank*/) {
+  CharLmConfig cfg;
+  cfg.vocab = 60;
+  cfg.embed_dim = 12;
+  cfg.hidden_dim = 24;
+  cfg.depth = 2;
+  cfg.seed = 8;
+  return std::make_unique<CharLm>(cfg);
+}
+
+}  // namespace
+
+int main() {
+  const Index vocab = 60;
+  const BigramCorpus corpus(vocab, 8, 31);
+  const auto train_ids = corpus.generate(150'000, 0);
+  const auto valid_ids = corpus.generate(10'000, 1);
+
+  // Baseline: what untrained generation looks like.
+  Rng rng(99);
+  GenerateOptions gen;
+  gen.temperature = 0.8;
+  {
+    auto untrained = make_model(0);
+    const auto tokens = generate_tokens(
+        *untrained, std::vector<Index>{0}, 300, gen, rng);
+    std::printf("untrained model: %.0f%% of generated bigrams are legal "
+                "(chance ~ %.0f%%)\n",
+                100.0 * legal_bigram_fraction(corpus, tokens),
+                100.0 * 8.0 / 60.0);
+  }
+
+  // Train distributed (2 simulated GPUs, all techniques).
+  CommWorld world(2);
+  TrainerOptions opt;
+  opt.batch = BatchSpec{4, 25};
+  opt.use_adam = true;
+  opt.base_lr = 5e-3f;
+  opt.clip = 5.0f;
+  opt.wire = WirePrecision::FP16;
+  opt.charge_static_memory = false;
+  DistributedTrainer trainer(world, make_model, opt);
+  for (int e = 0; e < 4; ++e) {
+    const auto stats = trainer.run_epoch(train_ids, valid_ids, e);
+    std::printf("epoch %d: valid perplexity %.2f\n", e + 1,
+                stats.valid_perplexity);
+  }
+
+  // Checkpoint rank 0's replica and reload into a fresh model.
+  const std::string path = "/tmp/zipflm_demo.ckpt";
+  save_checkpoint_file(path, trainer.model(0), {.global_step = 1, .epoch = 4});
+  auto restored = make_model(0);
+  const auto meta = load_checkpoint_file(path, *restored);
+  std::printf("\ncheckpoint round-trip: restored at epoch %llu\n",
+              static_cast<unsigned long long>(meta.epoch));
+
+  // Generate from the restored model.
+  const auto tokens = generate_tokens(
+      *restored, std::vector<Index>{train_ids[0]}, 300, gen, rng);
+  std::printf("trained model:   %.0f%% of generated bigrams are legal\n",
+              100.0 * legal_bigram_fraction(corpus, tokens));
+  std::printf("\nsample (token ids rendered as synthetic words):\n  ");
+  for (std::size_t i = 0; i < 20 && i < tokens.size(); ++i) {
+    std::printf("%s ", synthetic_word(tokens[i]).c_str());
+  }
+  std::printf("...\n");
+  return 0;
+}

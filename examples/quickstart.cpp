@@ -1,0 +1,68 @@
+// Quickstart: train a word language model data-parallel across four
+// simulated GPUs with all three of the paper's optimizations, and watch
+// the validation perplexity fall while the traffic ledger records what
+// the UNIQUE exchange saved.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "zipflm/core/trainer.hpp"
+#include "zipflm/data/markov.hpp"
+#include "zipflm/support/format.hpp"
+
+using namespace zipflm;
+
+int main() {
+  // 1. A corpus.  BigramCorpus produces deterministic synthetic text
+  //    with Zipfian word frequencies and learnable structure.
+  const Index vocab = 1000;
+  const BigramCorpus corpus(vocab, /*branching=*/16, /*seed=*/2026);
+  const auto train_ids = corpus.generate(120'000, /*stream=*/0);
+  const auto valid_ids = corpus.generate(12'000, /*stream=*/1);
+
+  // 2. A world of simulated GPUs.  Collectives run as real ring
+  //    algorithms over threads; the cost model prices them as the
+  //    paper's Titan X cluster.
+  CommWorld world(/*world_size=*/4);
+
+  // 3. A model replica per rank (the factory must be rank-blind so all
+  //    replicas start identical).
+  auto factory = [vocab](int) -> std::unique_ptr<LmModel> {
+    WordLmConfig cfg;
+    cfg.vocab = vocab;
+    cfg.embed_dim = 16;
+    cfg.hidden_dim = 32;
+    cfg.proj_dim = 16;
+    cfg.seed = 1;
+    return std::make_unique<WordLm>(cfg);
+  };
+
+  // 4. Training options: the paper's three techniques.
+  TrainerOptions opt;
+  opt.unique_exchange = true;               // Section III-A
+  opt.seed_policy = SeedPolicy::ZipfFreq;   // Section III-B
+  opt.wire = WirePrecision::FP16;           // Section III-C
+  opt.samples_per_rank = 64;                // sampled softmax
+  opt.batch = BatchSpec{4, 20};
+  opt.base_lr = 0.2f;
+  opt.clip = 5.0f;
+  opt.charge_static_memory = false;
+
+  DistributedTrainer trainer(world, factory, opt);
+
+  std::printf("epoch | train loss | valid ppl | wire bytes | sim time\n");
+  std::printf("------+------------+-----------+------------+---------\n");
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    const EpochStats stats = trainer.run_epoch(train_ids, valid_ids, epoch);
+    std::printf("%5d | %10.3f | %9.1f | %10s | %s\n", epoch + 1,
+                stats.train_loss, stats.valid_perplexity,
+                format_bytes(stats.comm_total.bytes_sent).c_str(),
+                format_duration(stats.sim_total_seconds).c_str());
+  }
+
+  std::printf("\nreplicas still bit-identical: %s\n",
+              trainer.replicas_in_sync() ? "yes" : "NO (bug!)");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Scaling study: predict how *your* model would scale on the paper's
+// cluster before buying the GPU hours.  Defines a custom LM workload,
+// sweeps GPU counts and technique combinations through the calibrated
+// performance model, and prints epoch time, parallel efficiency, memory,
+// and the OOM frontier.
+//
+// Usage: scaling_study [max_gpus]
+#include <cstdio>
+#include <cstdlib>
+
+#include "zipflm/sim/perf_model.hpp"
+#include "zipflm/stats/metrics.hpp"
+#include "zipflm/stats/table.hpp"
+#include "zipflm/support/format.hpp"
+
+using namespace zipflm;
+
+int main(int argc, char** argv) {
+  int max_gpus = 256;
+  if (argc > 1) max_gpus = std::atoi(argv[1]);
+
+  // A custom workload: a mid-sized word LM on a 2B-token corpus.
+  LmWorkload w = LmWorkload::word_lm_1b();
+  w.name = "my-word-lm";
+  w.tokens_per_epoch = 2'000'000'000ull;
+  w.embed_dim = 1024;
+  w.samples_per_rank = 2048;
+  w.vocab = 250'000;
+
+  const PerfModel model(DeviceProps::titan_x(), CostModel::titan_x_cluster());
+
+  std::printf("workload: %s — %s tokens/epoch, D=%lld, V=%lld, S=%lld\n\n",
+              w.name.c_str(), format_count(w.tokens_per_epoch).c_str(),
+              static_cast<long long>(w.embed_dim),
+              static_cast<long long>(w.vocab),
+              static_cast<long long>(w.samples_per_rank));
+
+  TextTable table({"GPUs", "baseline (h)", "unique+seed+fp16 (h)",
+                   "efficiency", "baseline mem", "optimized mem"});
+  double t8 = 0.0;
+  for (int g = 8; g <= max_gpus; g *= 2) {
+    const auto base = model.epoch(w, g, TechniqueSet::none());
+    const auto ours = model.epoch(w, g, TechniqueSet::all());
+    if (g == 8) t8 = ours.epoch_hours;
+    table.add_row(
+        {std::to_string(g),
+         base.oom ? "OOM" : format_fixed(base.epoch_hours, 1),
+         format_fixed(ours.epoch_hours, 1),
+         format_fixed(100.0 * parallel_efficiency(8, t8, g, ours.epoch_hours),
+                      0) +
+             "%",
+         format_bytes(base.peak_memory_bytes),
+         format_bytes(ours.peak_memory_bytes)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Where does the baseline hit the 12 GB wall?
+  for (int g = 8; g <= max_gpus; ++g) {
+    if (model.epoch(w, g, TechniqueSet::none()).oom) {
+      std::printf("baseline OOM frontier: %d GPUs\n", g);
+      break;
+    }
+  }
+  std::printf("optimized path at %d GPUs: %s of device memory\n", max_gpus,
+              format_bytes(model.epoch(w, max_gpus, TechniqueSet::all())
+                               .peak_memory_bytes)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "zipflm/comm/hierarchical.hpp"
+
+namespace zipflm {
+
+namespace {
+
+template <typename T>
+void hierarchical_impl(Communicator& comm, std::span<T> data) {
+  Communicator* node = comm.node_comm();
+  if (node == nullptr || comm.topology().nodes <= 1) {
+    comm.allreduce_sum(data);
+    return;
+  }
+  // 1. Node-local sums on every rank of the node.
+  node->allreduce_sum(data);
+  // 2. Global sums among the node leaders (fabric links only).
+  if (Communicator* leaders = comm.leader_comm()) {
+    leaders->allreduce_sum(data);
+  }
+  // 3. Leader (node-group rank 0) shares the global result.
+  node->broadcast(data, /*root=*/0);
+}
+
+}  // namespace
+
+void hierarchical_allreduce_sum(Communicator& comm, std::span<float> data) {
+  hierarchical_impl(comm, data);
+}
+
+void hierarchical_allreduce_sum(Communicator& comm, std::span<Half> data) {
+  hierarchical_impl(comm, data);
+}
+
+}  // namespace zipflm

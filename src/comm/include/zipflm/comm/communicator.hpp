@@ -1,0 +1,106 @@
+// Rank-facing collective interface.
+//
+// Mirrors the subset of MPI the paper's training loop needs: barrier,
+// ALLREDUCE (sum / max, FP32 and FP16), ALLGATHER (fixed and variable
+// block size), broadcast.  Every collective updates the calling rank's
+// TrafficLedger with exact wire bytes, scratch size, and simulated
+// transfer time under the world's CostModel.
+//
+// Collectives must be invoked by every rank of the world in the same
+// order with consistent arguments; the implementation validates this and
+// throws CollectiveMismatchError symmetrically on all ranks.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "zipflm/comm/ledger.hpp"
+#include "zipflm/comm/topology.hpp"
+#include "zipflm/support/error.hpp"
+#include "zipflm/tensor/half.hpp"
+
+namespace zipflm {
+
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  virtual int rank() const noexcept = 0;
+  virtual int world_size() const noexcept = 0;
+  virtual const Topology& topology() const noexcept = 0;
+
+  virtual void barrier() = 0;
+
+  /// In-place sum-allreduce over FP32 (ring reduce-scatter + allgather).
+  virtual void allreduce_sum(std::span<float> data) = 0;
+  /// FP16 wire allreduce: per-hop accumulation in FP32, stored back to
+  /// binary16 after each hop (NCCL half-precision semantics).
+  virtual void allreduce_sum(std::span<Half> data) = 0;
+  /// In-place elementwise max-allreduce (loss-scaler overflow voting).
+  virtual void allreduce_max(std::span<float> data) = 0;
+
+  /// Gather an equal-sized byte block from every rank; out must hold
+  /// world_size() * local.size() bytes, laid out by rank.
+  virtual void allgather_bytes(std::span<const std::byte> local,
+                               std::span<std::byte> out) = 0;
+
+  /// Gather variably-sized blocks.  counts[r] receives the byte size of
+  /// rank r's block; out is resized to the concatenation by rank.
+  virtual void allgatherv_bytes(std::span<const std::byte> local,
+                                std::vector<std::byte>& out,
+                                std::vector<std::size_t>& counts) = 0;
+
+  virtual void broadcast_bytes(std::span<std::byte> data, int root) = 0;
+
+  virtual TrafficLedger& ledger() noexcept = 0;
+
+  /// Sub-communicator spanning the ranks of this rank's node, or nullptr
+  /// when the implementation does not support sub-groups.  Rank order
+  /// within the group follows global rank order; this rank participates.
+  virtual Communicator* node_comm() noexcept { return nullptr; }
+
+  /// Sub-communicator spanning the first rank of every node, or nullptr
+  /// if this rank is not a node leader (or there is only one node).
+  /// Collectives on it must be invoked by all leaders (and only them).
+  virtual Communicator* leader_comm() noexcept { return nullptr; }
+
+  // ---- Typed convenience wrappers -------------------------------------
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void allgather(std::span<const T> local, std::vector<T>& out) {
+    out.resize(local.size() * static_cast<std::size_t>(world_size()));
+    allgather_bytes(std::as_bytes(local),
+                    std::as_writable_bytes(std::span<T>(out)));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void allgatherv(std::span<const T> local, std::vector<T>& out,
+                  std::vector<std::size_t>* element_counts = nullptr) {
+    std::vector<std::byte> raw;
+    std::vector<std::size_t> byte_counts;
+    allgatherv_bytes(std::as_bytes(local), raw, byte_counts);
+    ZIPFLM_ASSERT(raw.size() % sizeof(T) == 0,
+                  "allgatherv payload not a whole number of elements");
+    out.resize(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    if (element_counts != nullptr) {
+      element_counts->resize(byte_counts.size());
+      for (std::size_t r = 0; r < byte_counts.size(); ++r) {
+        (*element_counts)[r] = byte_counts[r] / sizeof(T);
+      }
+    }
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void broadcast(std::span<T> data, int root) {
+    broadcast_bytes(std::as_writable_bytes(data), root);
+  }
+};
+
+}  // namespace zipflm

@@ -1,0 +1,30 @@
+// Hierarchical (two-level) allreduce built from sub-communicators —
+// the topology-aware alternative to a flat ring that production
+// frameworks (NCCL, Horovod) use on multi-node clusters:
+//
+//   1. intra-node ring allreduce        (fast PCIe/NVLink links)
+//   2. inter-node ring allreduce among
+//      the node leaders only            (one stream per node on the NIC)
+//   3. intra-node broadcast from the
+//      leader                           (fast links again)
+//
+// The flat ring pays 2(G-1) fabric-latency steps and bounds every step
+// by the slowest link; the hierarchy pays only 2(N-1) fabric steps for N
+// nodes and keeps the bulk of the traffic on intra-node links.  The
+// ablation benchmark (bench_ablation_hierarchical) quantifies the
+// difference under the paper's cost model; the functional implementation
+// here is exercised by tests against the flat result.
+#pragma once
+
+#include <span>
+
+#include "zipflm/comm/communicator.hpp"
+
+namespace zipflm {
+
+/// In-place sum-allreduce using the node/leader hierarchy when the
+/// communicator provides it; falls back to the flat ring otherwise.
+void hierarchical_allreduce_sum(Communicator& comm, std::span<float> data);
+void hierarchical_allreduce_sum(Communicator& comm, std::span<Half> data);
+
+}  // namespace zipflm

@@ -1,0 +1,42 @@
+// Per-rank accounting of everything a collective did: bytes on the wire,
+// scratch memory, call counts, and simulated transfer time under the
+// active cost model.  This ledger is the measurement instrument behind
+// the paper's communication-volume and memory claims.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zipflm {
+
+struct TrafficLedger {
+  std::uint64_t bytes_sent = 0;      ///< payload this rank pushed to a peer
+  std::uint64_t bytes_received = 0;  ///< payload this rank pulled from a peer
+  std::uint64_t allreduce_calls = 0;
+  std::uint64_t allgather_calls = 0;
+  std::uint64_t broadcast_calls = 0;
+  std::uint64_t barrier_calls = 0;
+  /// Largest receive/scratch buffer any single collective required on
+  /// this rank (the quantity that OOMs the baseline in Tables III/IV).
+  std::uint64_t max_collective_scratch_bytes = 0;
+  /// Simulated communication seconds under the active CostModel.
+  double simulated_comm_seconds = 0.0;
+
+  void reset() { *this = TrafficLedger{}; }
+
+  TrafficLedger& operator+=(const TrafficLedger& o) {
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+    allreduce_calls += o.allreduce_calls;
+    allgather_calls += o.allgather_calls;
+    broadcast_calls += o.broadcast_calls;
+    barrier_calls += o.barrier_calls;
+    if (o.max_collective_scratch_bytes > max_collective_scratch_bytes) {
+      max_collective_scratch_bytes = o.max_collective_scratch_bytes;
+    }
+    simulated_comm_seconds += o.simulated_comm_seconds;
+    return *this;
+  }
+};
+
+}  // namespace zipflm

@@ -1,0 +1,108 @@
+// In-process multi-rank runtime: one OS thread per simulated GPU rank,
+// collectives executed step-for-step as ring algorithms over shared
+// memory.
+//
+// This is the substitution for the paper's 50-node MPI cluster.  The
+// collectives move real data through the real ring schedule (so byte
+// accounting, chunking and reduction order are faithful), while the
+// CostModel converts the per-step transfer sizes into simulated seconds
+// on the paper's interconnects.
+//
+// Besides the world communicator, every rank can obtain MPI-style
+// sub-communicators (Communicator::node_comm / leader_comm) spanning its
+// node and the set of node leaders — the building blocks of hierarchical
+// collectives (see hierarchical.hpp).
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "zipflm/comm/communicator.hpp"
+#include "zipflm/comm/cost_model.hpp"
+#include "zipflm/support/barrier.hpp"
+
+namespace zipflm {
+
+class ThreadRankComm;
+
+class CommWorld {
+ public:
+  struct Options {
+    Topology topo;        ///< defaults to one 8-GPU node sized to world
+    CostModel cost;       ///< defaults to the paper's Titan X cluster
+    bool topo_set = false;
+    Options() : cost(CostModel::titan_x_cluster()) {}
+  };
+
+  explicit CommWorld(int world_size, Options options = Options());
+  ~CommWorld();
+
+  CommWorld(const CommWorld&) = delete;
+  CommWorld& operator=(const CommWorld&) = delete;
+
+  int world_size() const noexcept { return world_size_; }
+  const Topology& topology() const noexcept { return topo_; }
+  const CostModel& cost_model() const noexcept { return cost_; }
+
+  /// Execute fn(comm) concurrently on every rank and join.  If any rank
+  /// throws, all barriers abort (no deadlock) and the lowest-rank
+  /// exception is rethrown here.
+  void run(const std::function<void(Communicator&)>& fn);
+
+  /// Per-rank traffic accounting for the most recent / cumulative runs.
+  const TrafficLedger& ledger(int rank) const;
+  TrafficLedger total_ledger() const;
+  /// Maximum over ranks of simulated communication seconds — the
+  /// critical-path figure the performance model consumes.
+  double max_simulated_comm_seconds() const;
+  void reset_ledgers();
+
+ private:
+  friend class ThreadRankComm;
+
+  enum class Op : std::uint8_t {
+    None,
+    Barrier,
+    AllReduceF32,
+    AllReduceF16,
+    AllReduceMaxF32,
+    AllGather,
+    AllGatherV,
+    Broadcast,
+  };
+
+  // One collective "slot" per member, re-published at each collective.
+  struct alignas(64) Slot {
+    Op op = Op::None;
+    const std::byte* src = nullptr;
+    std::byte* dst = nullptr;
+    std::size_t bytes = 0;
+    int root = -1;
+  };
+
+  /// Shared state of one communicator scope (the world, one node, or the
+  /// node-leader set): a barrier and a slot per member, plus the
+  /// topology the cost model prices its ring steps against.
+  struct Group {
+    Group(int size, Topology t) : barrier(size), slots(static_cast<std::size_t>(size)), topo(t) {}
+    CyclicBarrier barrier;
+    std::vector<Slot> slots;
+    Topology topo;
+
+    void validate_uniform(Op op, std::size_t bytes, int root) const;
+    int size() const noexcept { return static_cast<int>(slots.size()); }
+  };
+
+  const int world_size_;
+  Topology topo_;
+  CostModel cost_;
+  Group world_group_;
+  std::vector<std::unique_ptr<Group>> node_groups_;  ///< one per node
+  std::unique_ptr<Group> leader_group_;  ///< node leaders (nodes > 1)
+  std::vector<TrafficLedger> ledgers_;
+};
+
+}  // namespace zipflm

@@ -1,0 +1,40 @@
+// Cluster shape: N nodes x M GPUs per node.
+//
+// Matches the paper's testbed (Table II): 50 nodes, 8 GTX Titan X per
+// node, PCIe within a node, FDR InfiniBand between nodes.  Ranks are
+// numbered node-major: rank r lives on node r / gpus_per_node.
+#pragma once
+
+#include "zipflm/support/error.hpp"
+
+namespace zipflm {
+
+struct Topology {
+  int nodes = 1;
+  int gpus_per_node = 8;
+
+  int world_size() const noexcept { return nodes * gpus_per_node; }
+
+  int node_of(int rank) const {
+    ZIPFLM_ASSERT(rank >= 0 && rank < world_size(), "rank out of range");
+    return rank / gpus_per_node;
+  }
+
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  /// Does a ring over all ranks cross node boundaries?
+  bool ring_crosses_nodes() const noexcept { return nodes > 1; }
+
+  /// Topology for a given total GPU count on the paper's 8-GPU nodes:
+  /// fills nodes one at a time (so 6 GPUs = 1 node, 24 GPUs = 3 nodes).
+  static Topology for_world(int world, int gpus_per_node = 8) {
+    ZIPFLM_CHECK(world > 0 && gpus_per_node > 0,
+                 "world and gpus_per_node must be positive");
+    if (world <= gpus_per_node) return Topology{1, world};
+    ZIPFLM_CHECK(world % gpus_per_node == 0,
+                 "multi-node worlds must fill whole nodes");
+    return Topology{world / gpus_per_node, gpus_per_node};
+  }
+};
+
+}  // namespace zipflm

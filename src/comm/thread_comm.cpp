@@ -1,0 +1,411 @@
+#include "zipflm/comm/thread_comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+namespace zipflm {
+
+namespace {
+
+/// Element range [begin, end) of chunk c when n elements are split into
+/// g chunks as evenly as possible (first n%g chunks get one extra).
+struct ChunkRange {
+  std::size_t begin;
+  std::size_t end;
+  std::size_t size() const noexcept { return end - begin; }
+};
+
+ChunkRange chunk_range(std::size_t n, int g, int c) {
+  const std::size_t q = n / static_cast<std::size_t>(g);
+  const std::size_t rem = n % static_cast<std::size_t>(g);
+  const std::size_t extra =
+      std::min<std::size_t>(rem, static_cast<std::size_t>(c));
+  const std::size_t begin = static_cast<std::size_t>(c) * q + extra;
+  const std::size_t size = q + (static_cast<std::size_t>(c) < rem ? 1 : 0);
+  return {begin, begin + size};
+}
+
+int wrap(int x, int g) { return ((x % g) + g) % g; }
+
+}  // namespace
+
+void CommWorld::Group::validate_uniform(Op op, std::size_t bytes,
+                                        int root) const {
+  for (const auto& slot : slots) {
+    if (slot.op != op) {
+      throw CollectiveMismatchError(
+          "ranks invoked different collectives in the same step");
+    }
+    if (bytes != static_cast<std::size_t>(-1) && slot.bytes != bytes) {
+      throw CollectiveMismatchError(
+          "ranks invoked a collective with mismatched payload sizes");
+    }
+    if (root >= 0 && slot.root != root) {
+      throw CollectiveMismatchError(
+          "ranks invoked a rooted collective with different roots");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-rank communicator handle, bound to one Group.  The world handle
+// owns (and lazily creates) its rank's node / leader sub-handles.
+// ---------------------------------------------------------------------------
+
+class ThreadRankComm final : public Communicator {
+ public:
+  /// group_rank: this rank's index within the group's member list;
+  /// global_rank: index into the world's ledgers.
+  ThreadRankComm(CommWorld& world, CommWorld::Group& group, int group_rank,
+                 int global_rank)
+      : w_(world),
+        group_(group),
+        rank_(group_rank),
+        global_rank_(global_rank) {}
+
+  int rank() const noexcept override { return rank_; }
+  int world_size() const noexcept override { return group_.size(); }
+  const Topology& topology() const noexcept override { return group_.topo; }
+  TrafficLedger& ledger() noexcept override {
+    return w_.ledgers_[static_cast<std::size_t>(global_rank_)];
+  }
+
+  Communicator* node_comm() noexcept override {
+    if (&group_ != &w_.world_group_) return nullptr;  // only from the world
+    if (node_ == nullptr) {
+      const int node = w_.topo_.node_of(global_rank_);
+      node_ = std::make_unique<ThreadRankComm>(
+          w_, *w_.node_groups_[static_cast<std::size_t>(node)],
+          global_rank_ % w_.topo_.gpus_per_node, global_rank_);
+    }
+    return node_.get();
+  }
+
+  Communicator* leader_comm() noexcept override {
+    if (&group_ != &w_.world_group_ || w_.leader_group_ == nullptr) {
+      return nullptr;
+    }
+    if (global_rank_ % w_.topo_.gpus_per_node != 0) return nullptr;
+    if (leaders_ == nullptr) {
+      leaders_ = std::make_unique<ThreadRankComm>(
+          w_, *w_.leader_group_, w_.topo_.node_of(global_rank_),
+          global_rank_);
+    }
+    return leaders_.get();
+  }
+
+  void barrier() override {
+    publish(CommWorld::Op::Barrier, nullptr, nullptr, 0, -1);
+    group_.barrier.arrive_and_wait();
+    group_.validate_uniform(CommWorld::Op::Barrier, 0, -1);
+    group_.barrier.arrive_and_wait();
+    ++ledger().barrier_calls;
+  }
+
+  void allreduce_sum(std::span<float> data) override {
+    ring_allreduce<float>(data, CommWorld::Op::AllReduceF32,
+                          [](float a, float b) { return a + b; });
+  }
+
+  void allreduce_sum(std::span<Half> data) override {
+    // Accumulate each hop in FP32, store the running partial back to
+    // binary16 — the precision behaviour of an FP16-wire allreduce.
+    ring_allreduce<Half>(data, CommWorld::Op::AllReduceF16,
+                         [](Half a, Half b) {
+                           return Half(static_cast<float>(a) +
+                                       static_cast<float>(b));
+                         });
+  }
+
+  void allreduce_max(std::span<float> data) override {
+    ring_allreduce<float>(data, CommWorld::Op::AllReduceMaxF32,
+                          [](float a, float b) { return std::max(a, b); });
+  }
+
+  void allgather_bytes(std::span<const std::byte> local,
+                       std::span<std::byte> out) override {
+    const int g = world_size();
+    ZIPFLM_CHECK(out.size() == local.size() * static_cast<std::size_t>(g),
+                 "allgather output must be world_size * block bytes");
+    const std::size_t b = local.size();
+    // Stage own block, publish the output buffer so neighbours can read.
+    std::memcpy(out.data() + static_cast<std::size_t>(rank_) * b, local.data(),
+                b);
+    publish(CommWorld::Op::AllGather, local.data(), out.data(), b, -1);
+    group_.barrier.arrive_and_wait();
+    group_.validate_uniform(CommWorld::Op::AllGather, b, -1);
+    group_.barrier.arrive_and_wait();
+
+    const int left = wrap(rank_ - 1, g);
+    const std::byte* left_out =
+        group_.slots[static_cast<std::size_t>(left)].dst;
+    for (int s = 0; s + 1 < g; ++s) {
+      const int blk = wrap(rank_ - 1 - s, g);
+      std::memcpy(out.data() + static_cast<std::size_t>(blk) * b,
+                  left_out + static_cast<std::size_t>(blk) * b, b);
+      group_.barrier.arrive_and_wait();
+    }
+
+    auto& led = ledger();
+    ++led.allgather_calls;
+    led.bytes_sent += static_cast<std::uint64_t>(g - 1) * b;
+    led.bytes_received += static_cast<std::uint64_t>(g - 1) * b;
+    led.max_collective_scratch_bytes = std::max<std::uint64_t>(
+        led.max_collective_scratch_bytes, out.size());
+    led.simulated_comm_seconds +=
+        w_.cost_.ring_allgather_seconds(group_.topo, b);
+  }
+
+  void allgatherv_bytes(std::span<const std::byte> local,
+                        std::vector<std::byte>& out,
+                        std::vector<std::size_t>& counts) override {
+    const int g = world_size();
+    // Phase 1: exchange block sizes (a small fixed-size allgather; the
+    // ledger accounts it as 8 bytes per rank on the wire).
+    publish(CommWorld::Op::AllGatherV, local.data(), nullptr, local.size(),
+            -1);
+    group_.barrier.arrive_and_wait();
+    group_.validate_uniform(CommWorld::Op::AllGatherV, kIgnoreBytes, -1);
+    counts.resize(static_cast<std::size_t>(g));
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(g) + 1, 0);
+    for (int r = 0; r < g; ++r) {
+      counts[static_cast<std::size_t>(r)] =
+          group_.slots[static_cast<std::size_t>(r)].bytes;
+      offsets[static_cast<std::size_t>(r) + 1] =
+          offsets[static_cast<std::size_t>(r)] +
+          counts[static_cast<std::size_t>(r)];
+    }
+    out.assign(offsets.back(), std::byte{});
+    if (!local.empty()) {
+      std::memcpy(out.data() + offsets[static_cast<std::size_t>(rank_)],
+                  local.data(), local.size());
+    }
+    // Phase 2: publish the (resized) output buffer, then ring-forward.
+    group_.slots[static_cast<std::size_t>(rank_)].dst = out.data();
+    group_.barrier.arrive_and_wait();
+
+    const int left = wrap(rank_ - 1, g);
+    const std::byte* left_out =
+        group_.slots[static_cast<std::size_t>(left)].dst;
+    std::uint64_t moved = 0;
+    std::size_t max_block = 0;
+    for (int s = 0; s + 1 < g; ++s) {
+      const int blk = wrap(rank_ - 1 - s, g);
+      const std::size_t sz = counts[static_cast<std::size_t>(blk)];
+      if (sz != 0) {
+        std::memcpy(out.data() + offsets[static_cast<std::size_t>(blk)],
+                    left_out + offsets[static_cast<std::size_t>(blk)], sz);
+      }
+      moved += sz;
+      max_block = std::max(max_block, sz);
+      group_.barrier.arrive_and_wait();
+    }
+
+    auto& led = ledger();
+    ++led.allgather_calls;
+    led.bytes_sent +=
+        moved + static_cast<std::uint64_t>(g - 1) * sizeof(std::size_t);
+    led.bytes_received +=
+        moved + static_cast<std::uint64_t>(g - 1) * sizeof(std::size_t);
+    led.max_collective_scratch_bytes = std::max<std::uint64_t>(
+        led.max_collective_scratch_bytes, out.size());
+    led.simulated_comm_seconds +=
+        w_.cost_.ring_allgather_seconds(group_.topo, sizeof(std::size_t)) +
+        static_cast<double>(g - 1) *
+            w_.cost_.ring_step_seconds(group_.topo, max_block);
+  }
+
+  void broadcast_bytes(std::span<std::byte> data, int root) override {
+    const int g = world_size();
+    ZIPFLM_CHECK(root >= 0 && root < g, "broadcast root out of range");
+    publish(CommWorld::Op::Broadcast, data.data(), data.data(), data.size(),
+            root);
+    group_.barrier.arrive_and_wait();
+    group_.validate_uniform(CommWorld::Op::Broadcast, data.size(), root);
+    group_.barrier.arrive_and_wait();
+    if (rank_ != root && !data.empty()) {
+      std::memcpy(data.data(),
+                  group_.slots[static_cast<std::size_t>(root)].dst,
+                  data.size());
+    }
+    group_.barrier.arrive_and_wait();
+
+    auto& led = ledger();
+    ++led.broadcast_calls;
+    // Pipelined-ring accounting: every rank except the pipeline tail
+    // forwards the payload once.
+    if (rank_ != wrap(root - 1, g)) led.bytes_sent += data.size();
+    if (rank_ != root) led.bytes_received += data.size();
+    led.simulated_comm_seconds +=
+        w_.cost_.broadcast_seconds(group_.topo, data.size());
+  }
+
+ private:
+  // allgatherv blocks legitimately differ in size across ranks.
+  static constexpr std::size_t kIgnoreBytes = static_cast<std::size_t>(-1);
+
+  void publish(CommWorld::Op op, const std::byte* src, std::byte* dst,
+               std::size_t bytes, int root) {
+    auto& slot = group_.slots[static_cast<std::size_t>(rank_)];
+    slot.op = op;
+    slot.src = src;
+    slot.dst = dst;
+    slot.bytes = bytes;
+    slot.root = root;
+  }
+
+  template <typename T, typename Acc>
+  void ring_allreduce(std::span<T> data, CommWorld::Op op, Acc acc) {
+    const int g = world_size();
+    publish(op, reinterpret_cast<const std::byte*>(data.data()),
+            reinterpret_cast<std::byte*>(data.data()),
+            data.size() * sizeof(T), -1);
+    group_.barrier.arrive_and_wait();
+    group_.validate_uniform(op, data.size() * sizeof(T), -1);
+    group_.barrier.arrive_and_wait();
+
+    auto& led = ledger();
+    ++led.allreduce_calls;
+    if (g > 1 && !data.empty()) {
+      const int left = wrap(rank_ - 1, g);
+      T* left_data = reinterpret_cast<T*>(
+          group_.slots[static_cast<std::size_t>(left)].dst);
+      const std::size_t n = data.size();
+      std::uint64_t moved_elems = 0;
+
+      // Phase 1: reduce-scatter.  Step s: accumulate the left
+      // neighbour's partial of chunk (rank - s - 1) into ours.
+      for (int s = 0; s + 1 < g; ++s) {
+        const int c = wrap(rank_ - s - 1, g);
+        const auto r = chunk_range(n, g, c);
+        for (std::size_t j = r.begin; j < r.end; ++j) {
+          data[j] = acc(data[j], left_data[j]);
+        }
+        // We simultaneously "sent" chunk (rank - s) to the right.
+        moved_elems += chunk_range(n, g, wrap(rank_ - s, g)).size();
+        group_.barrier.arrive_and_wait();
+      }
+      // Phase 2: allgather of completed chunks.  Step s: copy chunk
+      // (rank - s) from the left neighbour.
+      for (int s = 0; s + 1 < g; ++s) {
+        const int c = wrap(rank_ - s, g);
+        const auto r = chunk_range(n, g, c);
+        if (r.size() != 0) {
+          std::memcpy(data.data() + r.begin, left_data + r.begin,
+                      r.size() * sizeof(T));
+        }
+        moved_elems += chunk_range(n, g, wrap(rank_ + 1 - s, g)).size();
+        group_.barrier.arrive_and_wait();
+      }
+
+      led.bytes_sent += moved_elems * sizeof(T);
+      led.bytes_received += moved_elems * sizeof(T);
+      led.simulated_comm_seconds +=
+          w_.cost_.ring_allreduce_seconds(group_.topo,
+                                          data.size() * sizeof(T));
+    }
+  }
+
+  CommWorld& w_;
+  CommWorld::Group& group_;
+  const int rank_;
+  const int global_rank_;
+  std::unique_ptr<ThreadRankComm> node_;
+  std::unique_ptr<ThreadRankComm> leaders_;
+};
+
+// ---------------------------------------------------------------------------
+// CommWorld
+// ---------------------------------------------------------------------------
+
+CommWorld::CommWorld(int world_size, Options options)
+    : world_size_(world_size),
+      topo_(options.topo_set ? options.topo : Topology::for_world(world_size)),
+      cost_(options.cost),
+      world_group_(world_size, options.topo_set
+                                   ? options.topo
+                                   : Topology::for_world(world_size)),
+      ledgers_(static_cast<std::size_t>(world_size)) {
+  ZIPFLM_CHECK(world_size > 0, "world size must be positive");
+  ZIPFLM_CHECK(topo_.world_size() == world_size,
+               "topology must match world size");
+  // Sub-groups: one per node (intra-node links only) and, with multiple
+  // nodes, the leader set (one rank per node, fabric links only).
+  node_groups_.reserve(static_cast<std::size_t>(topo_.nodes));
+  for (int n = 0; n < topo_.nodes; ++n) {
+    node_groups_.push_back(std::make_unique<Group>(
+        topo_.gpus_per_node, Topology{1, topo_.gpus_per_node}));
+  }
+  if (topo_.nodes > 1) {
+    leader_group_ =
+        std::make_unique<Group>(topo_.nodes, Topology{topo_.nodes, 1});
+  }
+}
+
+CommWorld::~CommWorld() = default;
+
+void CommWorld::run(const std::function<void(Communicator&)>& fn) {
+  world_group_.barrier.reset();
+  for (auto& g : node_groups_) g->barrier.reset();
+  if (leader_group_ != nullptr) leader_group_->barrier.reset();
+
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(world_size_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world_size_));
+  for (int r = 0; r < world_size_; ++r) {
+    threads.emplace_back([this, &fn, &errors, r] {
+      ThreadRankComm comm(*this, world_group_, r, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        world_group_.barrier.abort();
+        for (auto& g : node_groups_) g->barrier.abort();
+        if (leader_group_ != nullptr) leader_group_->barrier.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Prefer the originating error over BarrierAborted victims.
+  std::exception_ptr any;
+  for (const auto& e : errors) {
+    if (!e) continue;
+    if (!any) any = e;
+    try {
+      std::rethrow_exception(e);
+    } catch (const BarrierAborted&) {
+      // victim; keep looking for the root cause
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (any) std::rethrow_exception(any);
+}
+
+const TrafficLedger& CommWorld::ledger(int rank) const {
+  ZIPFLM_CHECK(rank >= 0 && rank < world_size_, "ledger rank out of range");
+  return ledgers_[static_cast<std::size_t>(rank)];
+}
+
+TrafficLedger CommWorld::total_ledger() const {
+  TrafficLedger total;
+  for (const auto& l : ledgers_) total += l;
+  return total;
+}
+
+double CommWorld::max_simulated_comm_seconds() const {
+  double mx = 0.0;
+  for (const auto& l : ledgers_) {
+    mx = std::max(mx, l.simulated_comm_seconds);
+  }
+  return mx;
+}
+
+void CommWorld::reset_ledgers() {
+  for (auto& l : ledgers_) l.reset();
+}
+
+}  // namespace zipflm

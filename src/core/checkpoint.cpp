@@ -1,0 +1,111 @@
+#include "zipflm/core/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace zipflm {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5A49'5046'4C4D'4350ull;  // "ZIPFLMCP"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  ZIPFLM_CHECK(in.good(), "checkpoint stream truncated");
+  return value;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod<std::uint64_t>(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const auto n = read_pod<std::uint64_t>(in);
+  ZIPFLM_CHECK(n < (1u << 20), "implausible string length in checkpoint");
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  ZIPFLM_CHECK(in.good(), "checkpoint stream truncated");
+  return s;
+}
+
+}  // namespace
+
+void save_checkpoint(std::ostream& out, LmModel& model,
+                     const CheckpointMeta& meta) {
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, meta.global_step);
+  write_pod(out, meta.epoch);
+
+  const auto params = model.all_params();
+  write_pod<std::uint64_t>(out, params.size());
+  for (const Param* p : params) {
+    write_string(out, p->name);
+    write_pod<std::uint32_t>(out,
+                             static_cast<std::uint32_t>(p->value.rank()));
+    for (const Index d : p->value.shape()) {
+      write_pod<std::int64_t>(out, d);
+    }
+    out.write(reinterpret_cast<const char*>(p->value.data().data()),
+              static_cast<std::streamsize>(p->value.bytes()));
+  }
+  ZIPFLM_CHECK(out.good(), "checkpoint write failed");
+}
+
+CheckpointMeta load_checkpoint(std::istream& in, LmModel& model) {
+  ZIPFLM_CHECK(read_pod<std::uint64_t>(in) == kMagic,
+               "not a zipflm checkpoint (bad magic)");
+  ZIPFLM_CHECK(read_pod<std::uint32_t>(in) == kVersion,
+               "unsupported checkpoint version");
+  CheckpointMeta meta;
+  meta.global_step = read_pod<std::uint64_t>(in);
+  meta.epoch = read_pod<std::uint64_t>(in);
+
+  const auto params = model.all_params();
+  const auto count = read_pod<std::uint64_t>(in);
+  ZIPFLM_CHECK(count == params.size(),
+               "checkpoint parameter count does not match the model");
+  for (Param* p : params) {
+    const std::string name = read_string(in);
+    ZIPFLM_CHECK(name == p->name,
+                 "checkpoint parameter '" + name +
+                     "' does not match model parameter '" + p->name + "'");
+    const auto rank = read_pod<std::uint32_t>(in);
+    ZIPFLM_CHECK(rank == static_cast<std::uint32_t>(p->value.rank()),
+                 "checkpoint rank mismatch for " + name);
+    for (const Index d : p->value.shape()) {
+      ZIPFLM_CHECK(read_pod<std::int64_t>(in) == d,
+                   "checkpoint shape mismatch for " + name);
+    }
+    in.read(reinterpret_cast<char*>(p->value.data().data()),
+            static_cast<std::streamsize>(p->value.bytes()));
+    ZIPFLM_CHECK(in.good(), "checkpoint payload truncated for " + name);
+  }
+  return meta;
+}
+
+void save_checkpoint_file(const std::string& path, LmModel& model,
+                          const CheckpointMeta& meta) {
+  std::ofstream out(path, std::ios::binary);
+  ZIPFLM_CHECK(out.is_open(), "cannot open checkpoint file: " + path);
+  save_checkpoint(out, model, meta);
+}
+
+CheckpointMeta load_checkpoint_file(const std::string& path, LmModel& model) {
+  std::ifstream in(path, std::ios::binary);
+  ZIPFLM_CHECK(in.is_open(), "cannot open checkpoint file: " + path);
+  return load_checkpoint(in, model);
+}
+
+}  // namespace zipflm

@@ -1,0 +1,46 @@
+#include "zipflm/core/grad_sync.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "zipflm/comm/hierarchical.hpp"
+#include "zipflm/tensor/cast.hpp"
+#include "zipflm/tensor/ops.hpp"
+
+namespace zipflm {
+
+namespace {
+template <typename T>
+void allreduce(Communicator& comm, std::span<T> data, bool hierarchical) {
+  if (hierarchical) {
+    hierarchical_allreduce_sum(comm, data);
+  } else {
+    comm.allreduce_sum(data);
+  }
+}
+}  // namespace
+
+void DenseGradSync::sync(Communicator& comm,
+                         std::span<Param* const> params) const {
+  const float inv_world = 1.0f / static_cast<float>(comm.world_size());
+  for (Param* p : params) {
+    if (comm.world_size() > 1) {
+      if (options_.precision == WirePrecision::FP32) {
+        allreduce<float>(comm, p->grad.data(),
+                         options_.hierarchical_allreduce);
+      } else {
+        std::vector<Half> wire;
+        compress_fp16(p->grad.data(), options_.compression_scale, wire);
+        allreduce<Half>(comm, std::span<Half>(wire),
+                        options_.hierarchical_allreduce);
+        std::vector<float> up;
+        decompress_fp16(wire, options_.compression_scale, up);
+        std::memcpy(p->grad.data().data(), up.data(),
+                    up.size() * sizeof(float));
+      }
+    }
+    scale(p->grad, inv_world);
+  }
+}
+
+}  // namespace zipflm

@@ -1,0 +1,38 @@
+// Model checkpointing: versioned binary serialization of every named
+// parameter, so multi-day runs (the paper's epochs are 14-35 *hours*)
+// survive restarts, and so trained models can be shipped to evaluation
+// or generation tools.
+//
+// Format: magic, version, param count, then per parameter
+// (name, rank, dims..., raw FP32 payload).  Load validates names and
+// shapes against the receiving model — loading a word-LM checkpoint into
+// a char LM fails loudly, not silently.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "zipflm/nn/lm_model.hpp"
+
+namespace zipflm {
+
+struct CheckpointMeta {
+  std::uint64_t global_step = 0;
+  std::uint64_t epoch = 0;
+};
+
+/// Serialize all parameters of the model (plus metadata) to the stream.
+void save_checkpoint(std::ostream& out, LmModel& model,
+                     const CheckpointMeta& meta = {});
+
+/// Restore parameters into an identically-shaped model.  Throws
+/// ConfigError on magic/version/name/shape mismatch.  Returns the saved
+/// metadata.
+CheckpointMeta load_checkpoint(std::istream& in, LmModel& model);
+
+/// Convenience file wrappers.
+void save_checkpoint_file(const std::string& path, LmModel& model,
+                          const CheckpointMeta& meta = {});
+CheckpointMeta load_checkpoint_file(const std::string& path, LmModel& model);
+
+}  // namespace zipflm

@@ -1,0 +1,29 @@
+// Dense-parameter gradient synchronization (the vision-style ALLREDUCE
+// of Section II-B), with optional FP16 compression-scaling on the wire
+// (Section III-C).
+#pragma once
+
+#include <span>
+
+#include "zipflm/comm/communicator.hpp"
+#include "zipflm/core/exchange.hpp"
+#include "zipflm/nn/param.hpp"
+
+namespace zipflm {
+
+class DenseGradSync {
+ public:
+  explicit DenseGradSync(ExchangeOptions options = {}) : options_(options) {}
+
+  /// ALLREDUCE-sum each parameter's gradient and divide by world size
+  /// (data-parallel averaging).  FP16 mode down-casts with
+  /// compression-scaling before the wire and up-casts after.
+  void sync(Communicator& comm, std::span<Param* const> params) const;
+
+  const ExchangeOptions& options() const noexcept { return options_; }
+
+ private:
+  ExchangeOptions options_;
+};
+
+}  // namespace zipflm

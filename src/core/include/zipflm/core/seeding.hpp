@@ -1,0 +1,84 @@
+// Controlled seeding of the sampled-softmax layer (Section III-B).
+//
+// Independent per-rank sampling destroys index overlap across ranks in
+// the output embedding: the union of G·S uniform samples has almost no
+// repeats, so the uniqueness technique buys nothing there.  Sharing one
+// seed across all ranks restores overlap but kills sample diversity and
+// degrades accuracy.  The paper's middle ground: split the G ranks into
+// a controlled number of seed groups — ranks in a group draw identical
+// sample sets; the group count spans a spectrum from G (fully
+// independent) to 1 (fully shared), with the power-law count G^0.64
+// ("Zipf's-freq") empirically pareto-optimal (Fig 7).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "zipflm/data/zipf.hpp"
+#include "zipflm/tensor/tensor.hpp"
+
+namespace zipflm {
+
+enum class SeedPolicy : std::uint8_t {
+  PerRank,    ///< G distinct seeds (the accuracy reference, poor scaling)
+  SharedAll,  ///< 1 seed (best scaling, poor accuracy)
+  Log2G,      ///< ceil(log2 G) groups
+  LogEG,      ///< ceil(ln G) groups
+  Log10G,     ///< ceil(log10 G) groups
+  ZipfFreq,   ///< ceil(G^0.64) groups — the paper's pareto-optimal pick
+};
+
+const char* to_string(SeedPolicy policy);
+
+/// Number of distinct seed groups a policy uses for G ranks (>= 1).
+int seed_group_count(SeedPolicy policy, int world_size);
+
+/// Group of a rank: ranks are dealt into groups round-robin so groups
+/// stay balanced for any G.
+int seed_group_of(SeedPolicy policy, int rank, int world_size);
+
+/// The sampled-softmax candidate sampler with controlled seeding.
+///
+/// Samples follow the word-frequency power law (a Zipf proposal over the
+/// vocabulary, the "controlled randomization that obeys the power-law"),
+/// so frequent words recur across groups and steps, which is precisely
+/// what keeps the global unique-candidate count sublinear.
+class ControlledSampler {
+ public:
+  /// vocab: output vocabulary size; samples_per_rank: S (paper: 1024);
+  /// proposal_exponent: Zipf exponent of the proposal distribution.
+  ControlledSampler(Index vocab, Index samples_per_rank,
+                    SeedPolicy policy, std::uint64_t base_seed,
+                    double proposal_exponent = 1.0);
+
+  /// Candidate set for one rank at one training step: S power-law draws
+  /// from this rank's seed-group stream, deduplicated and merged with the
+  /// rank's batch targets (which must always be scoreable).  Returned ids
+  /// are sorted and unique.
+  std::vector<Index> candidates(int rank, int world_size, std::uint64_t step,
+                                std::span<const Index> targets) const;
+
+  /// Just the shared group draws (no targets) — used by tests and by the
+  /// unique-candidate growth experiment.
+  std::vector<Index> group_samples(int group, std::uint64_t step) const;
+
+  /// log E[count(candidate)] under this sampler's proposal, for the
+  /// sampled-softmax de-biasing correction (one entry per candidate).
+  std::vector<float> log_expected_counts(
+      std::span<const Index> candidates) const;
+
+  Index samples_per_rank() const noexcept { return samples_; }
+  SeedPolicy policy() const noexcept { return policy_; }
+
+ private:
+  Index vocab_;
+  Index samples_;
+  SeedPolicy policy_;
+  std::uint64_t base_seed_;
+  ZipfSampler proposal_;
+  ZipfMandelbrot proposal_pmf_;
+};
+
+}  // namespace zipflm

@@ -1,0 +1,113 @@
+// Data-parallel distributed LM trainer — the training loop of Section II
+// with the paper's three optimizations switchable one by one, exactly as
+// the Fig 6 ablation requires:
+//
+//   baseline        : dense ALLGATHER embedding exchange, FP32 wire,
+//                     per-rank softmax seeds
+//   +uniqueness     : UniqueExchange on both embedding layers
+//   +seeding        : controlled seed groups for the sampled softmax
+//   +compression    : FP16 wire with compression-scaling
+//
+// Each simulated GPU rank owns a full model replica, a simulated memory
+// pool, and an optimizer; every synchronization runs through the
+// CommWorld's collectives, so the traffic ledger and pool high-water
+// marks are exact measurements, and the invariant "all replicas remain
+// bit-identical across steps" is continuously testable.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "zipflm/comm/thread_comm.hpp"
+#include "zipflm/core/exchange.hpp"
+#include "zipflm/core/grad_sync.hpp"
+#include "zipflm/core/seeding.hpp"
+#include "zipflm/data/batch.hpp"
+#include "zipflm/device/device.hpp"
+#include "zipflm/nn/lm_model.hpp"
+#include "zipflm/nn/optimizer.hpp"
+
+namespace zipflm {
+
+struct TrainerOptions {
+  bool unique_exchange = true;    ///< Section III-A
+  WirePrecision wire = WirePrecision::FP32;  ///< Section III-C
+  float compression_scale = 1024.0f;
+  /// Two-level node/leader allreduce for the dense parameters (pays off
+  /// on NVLink-class nodes; see bench_ablation_hierarchical).
+  bool hierarchical_dense_sync = false;
+  SeedPolicy seed_policy = SeedPolicy::PerRank;  ///< Section III-B
+  Index samples_per_rank = 0;     ///< S; 0 = full softmax (char LM)
+
+  BatchSpec batch;
+  float base_lr = 0.2f;           ///< paper's 8-GPU base rates
+  float lr_decay = 0.9f;          ///< per-epoch decay (paper: 0.85-0.95)
+  float clip = 1.0f;              ///< gradient clip (0 disables)
+  bool use_adam = false;          ///< Adam for char LM, SGD for word LM
+  std::uint64_t seed = 42;
+
+  DeviceProps device = DeviceProps::titan_x();
+  double compute_efficiency = 0.4;  ///< fraction of peak FLOP/s achieved
+  /// Charge model + activations against the simulated pool (disable for
+  /// tiny unit-test models where the accounting is noise).
+  bool charge_static_memory = true;
+};
+
+struct EpochStats {
+  double train_loss = 0.0;      ///< mean training CE (nats/token)
+  double valid_loss = 0.0;      ///< full-vocabulary CE on the valid set
+  double valid_perplexity = 0.0;
+  std::uint64_t steps = 0;
+  std::uint64_t global_unique_sum = 0;  ///< Σ over steps of U_g (input emb)
+  TrafficLedger comm_total;     ///< summed over ranks, this epoch
+  std::uint64_t peak_memory_bytes = 0;  ///< max over ranks
+  double sim_comm_seconds = 0.0;     ///< critical path (max over ranks)
+  double sim_compute_seconds = 0.0;  ///< per-rank compute time
+  double sim_total_seconds = 0.0;
+};
+
+class DistributedTrainer {
+ public:
+  /// The factory must return identically-initialized replicas (same
+  /// seeds) regardless of rank — the trainer verifies this invariant.
+  using ModelFactory = std::function<std::unique_ptr<LmModel>(int rank)>;
+
+  DistributedTrainer(CommWorld& world, const ModelFactory& factory,
+                     TrainerOptions options);
+
+  /// One epoch over train_ids (sharded across ranks) followed by a
+  /// full-vocabulary evaluation over valid_ids.
+  EpochStats run_epoch(std::span<const Index> train_ids,
+                       std::span<const Index> valid_ids, int epoch);
+
+  /// Full-vocabulary validation loss (nats/token).
+  double evaluate(std::span<const Index> valid_ids);
+
+  LmModel& model(int rank);
+  const MemoryPool& pool(int rank) const;
+  const TrainerOptions& options() const noexcept { return options_; }
+
+  /// True iff every replica's parameters are bit-identical to rank 0's.
+  bool replicas_in_sync();
+
+ private:
+  void sync_step(Communicator& comm, LmModel& model, Optimizer& opt,
+                 MemoryPool& pool, const LmStepResult& res,
+                 std::uint64_t* unique_out);
+
+  CommWorld& world_;
+  TrainerOptions options_;
+  std::unique_ptr<EmbeddingExchange> exchange_;
+  DenseGradSync dense_sync_;
+  std::optional<ControlledSampler> sampler_;
+  std::vector<std::unique_ptr<LmModel>> models_;
+  std::vector<std::unique_ptr<Optimizer>> optimizers_;
+  std::vector<std::unique_ptr<MemoryPool>> pools_;
+  std::vector<Allocation> static_memory_;
+  std::uint64_t global_step_ = 0;
+};
+
+}  // namespace zipflm

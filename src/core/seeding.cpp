@@ -1,0 +1,115 @@
+#include "zipflm/core/seeding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zipflm {
+
+const char* to_string(SeedPolicy policy) {
+  switch (policy) {
+    case SeedPolicy::PerRank:
+      return "G";
+    case SeedPolicy::SharedAll:
+      return "shared";
+    case SeedPolicy::Log2G:
+      return "log2G";
+    case SeedPolicy::LogEG:
+      return "logeG";
+    case SeedPolicy::Log10G:
+      return "log10G";
+    case SeedPolicy::ZipfFreq:
+      return "Zipf's-freq";
+  }
+  return "?";
+}
+
+int seed_group_count(SeedPolicy policy, int world_size) {
+  ZIPFLM_CHECK(world_size >= 1, "world size must be positive");
+  const double g = static_cast<double>(world_size);
+  double groups = 1.0;
+  switch (policy) {
+    case SeedPolicy::PerRank:
+      groups = g;
+      break;
+    case SeedPolicy::SharedAll:
+      groups = 1.0;
+      break;
+    case SeedPolicy::Log2G:
+      groups = std::ceil(std::log2(g));
+      break;
+    case SeedPolicy::LogEG:
+      groups = std::ceil(std::log(g));
+      break;
+    case SeedPolicy::Log10G:
+      groups = std::ceil(std::log10(g));
+      break;
+    case SeedPolicy::ZipfFreq:
+      groups = std::ceil(std::pow(g, 0.64));
+      break;
+  }
+  return std::clamp(static_cast<int>(groups), 1, world_size);
+}
+
+int seed_group_of(SeedPolicy policy, int rank, int world_size) {
+  ZIPFLM_CHECK(rank >= 0 && rank < world_size, "rank out of range");
+  return rank % seed_group_count(policy, world_size);
+}
+
+ControlledSampler::ControlledSampler(Index vocab, Index samples_per_rank,
+                                     SeedPolicy policy,
+                                     std::uint64_t base_seed,
+                                     double proposal_exponent)
+    : vocab_(vocab),
+      samples_(samples_per_rank),
+      policy_(policy),
+      base_seed_(base_seed),
+      proposal_(static_cast<std::uint64_t>(vocab), proposal_exponent,
+                /*shift=*/1.0),
+      proposal_pmf_(static_cast<std::uint64_t>(vocab), proposal_exponent,
+                    /*shift=*/1.0) {
+  ZIPFLM_CHECK(vocab > 0 && samples_per_rank > 0,
+               "sampler needs a vocabulary and a sample count");
+  ZIPFLM_CHECK(samples_per_rank <= vocab,
+               "cannot sample more candidates than the vocabulary");
+}
+
+std::vector<Index> ControlledSampler::group_samples(int group,
+                                                    std::uint64_t step) const {
+  // Stream id mixes (group, step): every group advances its own
+  // deterministic sequence; all ranks of a group see identical draws.
+  Rng rng = Rng::fork(base_seed_,
+                      0xC4AD1DA7Eull ^ (static_cast<std::uint64_t>(group) << 32) ^ step);
+  std::vector<Index> out;
+  out.reserve(static_cast<std::size_t>(samples_));
+  for (Index i = 0; i < samples_; ++i) {
+    out.push_back(static_cast<Index>(proposal_.sample(rng) - 1));
+  }
+  return out;
+}
+
+std::vector<float> ControlledSampler::log_expected_counts(
+    std::span<const Index> candidates) const {
+  std::vector<float> out(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Index id = candidates[i];
+    ZIPFLM_CHECK(id >= 0 && id < vocab_, "candidate outside vocabulary");
+    // E[count] = S * p(id) under i.i.d. proposal draws.
+    out[i] = std::log(static_cast<float>(samples_) *
+                      static_cast<float>(proposal_pmf_.pmf(
+                          static_cast<std::uint64_t>(id) + 1)));
+  }
+  return out;
+}
+
+std::vector<Index> ControlledSampler::candidates(
+    int rank, int world_size, std::uint64_t step,
+    std::span<const Index> targets) const {
+  const int group = seed_group_of(policy_, rank, world_size);
+  std::vector<Index> ids = group_samples(group, step);
+  ids.insert(ids.end(), targets.begin(), targets.end());
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace zipflm

@@ -1,0 +1,226 @@
+#include "zipflm/core/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "zipflm/tensor/ops.hpp"
+
+namespace zipflm {
+
+DistributedTrainer::DistributedTrainer(CommWorld& world,
+                                       const ModelFactory& factory,
+                                       TrainerOptions options)
+    : world_(world), options_(options) {
+  const ExchangeOptions ex_opts{options_.wire, options_.compression_scale,
+                                options_.hierarchical_dense_sync};
+  if (options_.unique_exchange) {
+    exchange_ = std::make_unique<UniqueExchange>(ex_opts);
+  } else {
+    exchange_ = std::make_unique<DenseExchange>(ex_opts);
+  }
+  dense_sync_ = DenseGradSync(ex_opts);
+
+  const int g = world.world_size();
+  models_.reserve(static_cast<std::size_t>(g));
+  optimizers_.reserve(static_cast<std::size_t>(g));
+  pools_.reserve(static_cast<std::size_t>(g));
+  for (int r = 0; r < g; ++r) {
+    models_.push_back(factory(r));
+    ZIPFLM_CHECK(models_.back() != nullptr, "model factory returned null");
+    if (options_.use_adam) {
+      Adam::Config cfg;
+      cfg.lr = options_.base_lr;
+      cfg.clip = options_.clip;
+      optimizers_.push_back(std::make_unique<Adam>(cfg));
+    } else {
+      optimizers_.push_back(
+          std::make_unique<Sgd>(options_.base_lr, options_.clip));
+    }
+    pools_.push_back(std::make_unique<MemoryPool>(
+        options_.device.memory_bytes,
+        options_.device.name + "#" + std::to_string(r)));
+  }
+
+  if (options_.samples_per_rank > 0) {
+    sampler_.emplace(models_.front()->vocab(), options_.samples_per_rank,
+                     options_.seed_policy, options_.seed);
+  }
+
+  if (options_.charge_static_memory) {
+    // Parameters + gradients (+ optimizer moments for Adam) and the BPTT
+    // activation window are resident for the whole run.
+    for (int r = 0; r < g; ++r) {
+      LmModel& m = *models_[static_cast<std::size_t>(r)];
+      const std::size_t params =
+          m.static_bytes() * (options_.use_adam ? 2 : 1);
+      const std::size_t acts =
+          static_cast<std::size_t>(options_.batch.tokens_per_rank()) *
+          m.activation_bytes_per_token();
+      static_memory_.push_back(pools_[static_cast<std::size_t>(r)]->allocate(
+          params + acts, "model parameters + activations"));
+    }
+  }
+}
+
+LmModel& DistributedTrainer::model(int rank) {
+  ZIPFLM_CHECK(rank >= 0 && rank < world_.world_size(), "rank out of range");
+  return *models_[static_cast<std::size_t>(rank)];
+}
+
+const MemoryPool& DistributedTrainer::pool(int rank) const {
+  ZIPFLM_CHECK(rank >= 0 && rank < world_.world_size(), "rank out of range");
+  return *pools_[static_cast<std::size_t>(rank)];
+}
+
+void DistributedTrainer::sync_step(Communicator& comm, LmModel& model,
+                                   Optimizer& opt, MemoryPool& pool,
+                                   const LmStepResult& res,
+                                   std::uint64_t* unique_out) {
+  const float inv_world = 1.0f / static_cast<float>(comm.world_size());
+
+  // Dense parameters: classic averaged ALLREDUCE.
+  const auto dense = model.dense_params();
+  dense_sync_.sync(comm, dense);
+
+  // Input embedding: the exchange under test.
+  std::vector<Index> uids;
+  Tensor urows;
+  exchange_->exchange(comm, res.input_ids, res.input_delta, uids, urows,
+                      &pool);
+  scale(urows, inv_world);
+  if (unique_out != nullptr) *unique_out = uids.size();
+
+  if (options_.use_adam) static_cast<Adam&>(opt).begin_step();
+  opt.step(dense);
+  opt.step_rows(model.input_embedding_param(), urows, uids);
+
+  // Output embedding: only sparse under sampled softmax.
+  if (!res.output_grad.ids.empty()) {
+    Param* out_emb = model.sampled_output_param();
+    ZIPFLM_ASSERT(out_emb != nullptr,
+                  "sparse output gradient without a sampled output param");
+    std::vector<Index> ouids;
+    Tensor ourows;
+    exchange_->exchange(comm, res.output_grad.ids, res.output_grad.rows,
+                        ouids, ourows, &pool);
+    scale(ourows, inv_world);
+    opt.step_rows(*out_emb, ourows, ouids);
+  }
+}
+
+EpochStats DistributedTrainer::run_epoch(std::span<const Index> train_ids,
+                                         std::span<const Index> valid_ids,
+                                         int epoch) {
+  const int g = world_.world_size();
+  const float lr = scaled_learning_rate(
+      options_.base_lr, world_.topology().nodes, epoch, options_.lr_decay);
+  for (auto& opt : optimizers_) opt->set_learning_rate(lr);
+
+  world_.reset_ledgers();
+  for (auto& pool : pools_) pool->reset_peak();
+
+  std::vector<double> rank_loss(static_cast<std::size_t>(g), 0.0);
+  std::vector<std::uint64_t> rank_steps(static_cast<std::size_t>(g), 0);
+  std::vector<std::uint64_t> rank_unique(static_cast<std::size_t>(g), 0);
+  const std::uint64_t step_base = global_step_;
+
+  world_.run([&](Communicator& comm) {
+    const int r = comm.rank();
+    LmModel& model = *models_[static_cast<std::size_t>(r)];
+    Optimizer& opt = *optimizers_[static_cast<std::size_t>(r)];
+    MemoryPool& pool = *pools_[static_cast<std::size_t>(r)];
+
+    BatchIterator it(train_ids, options_.batch, r, g);
+    Batch batch;
+    LmStepResult res;
+    std::uint64_t local_step = 0;
+    while (it.next(batch)) {
+      model.zero_grad();
+      std::vector<Index> candidates;
+      if (sampler_.has_value()) {
+        candidates = sampler_->candidates(r, g, step_base + local_step,
+                                          batch.targets);
+      }
+      model.train_step_local(batch, candidates, res);
+      std::uint64_t ug = 0;
+      sync_step(comm, model, opt, pool, res, &ug);
+      rank_loss[static_cast<std::size_t>(r)] += res.loss;
+      rank_unique[static_cast<std::size_t>(r)] += ug;
+      ++local_step;
+    }
+    rank_steps[static_cast<std::size_t>(r)] = local_step;
+  });
+
+  EpochStats stats;
+  stats.steps = rank_steps.front();
+  for (std::uint64_t s : rank_steps) {
+    ZIPFLM_ASSERT(s == stats.steps, "ranks must run identical step counts");
+  }
+  global_step_ += stats.steps;
+
+  double loss_sum = 0.0;
+  for (double l : rank_loss) loss_sum += l;
+  stats.train_loss =
+      stats.steps == 0 ? 0.0
+                       : loss_sum / static_cast<double>(stats.steps * g);
+  stats.global_unique_sum = rank_unique.front();
+
+  stats.valid_loss = evaluate(valid_ids);
+  stats.valid_perplexity = std::exp(stats.valid_loss);
+
+  stats.comm_total = world_.total_ledger();
+  stats.sim_comm_seconds = world_.max_simulated_comm_seconds();
+  for (const auto& pool : pools_) {
+    stats.peak_memory_bytes =
+        std::max<std::uint64_t>(stats.peak_memory_bytes, pool->peak());
+  }
+  const double flops_per_step =
+      static_cast<double>(options_.batch.tokens_per_rank()) *
+      models_.front()->flops_per_token();
+  stats.sim_compute_seconds =
+      static_cast<double>(stats.steps) *
+      options_.device.seconds_for_flops(flops_per_step,
+                                        options_.compute_efficiency);
+  stats.sim_total_seconds = stats.sim_compute_seconds + stats.sim_comm_seconds;
+  return stats;
+}
+
+double DistributedTrainer::evaluate(std::span<const Index> valid_ids) {
+  const int g = world_.world_size();
+  std::vector<double> rank_loss(static_cast<std::size_t>(g), 0.0);
+  std::vector<std::uint64_t> rank_batches(static_cast<std::size_t>(g), 0);
+
+  world_.run([&](Communicator& comm) {
+    const int r = comm.rank();
+    LmModel& model = *models_[static_cast<std::size_t>(r)];
+    BatchIterator it(valid_ids, options_.batch, r, g);
+    Batch batch;
+    while (it.next(batch)) {
+      rank_loss[static_cast<std::size_t>(r)] += model.eval_loss(batch);
+      ++rank_batches[static_cast<std::size_t>(r)];
+    }
+  });
+
+  double loss = 0.0;
+  std::uint64_t batches = 0;
+  for (int r = 0; r < g; ++r) {
+    loss += rank_loss[static_cast<std::size_t>(r)];
+    batches += rank_batches[static_cast<std::size_t>(r)];
+  }
+  return batches == 0 ? 0.0 : loss / static_cast<double>(batches);
+}
+
+bool DistributedTrainer::replicas_in_sync() {
+  auto reference = models_.front()->all_params();
+  for (std::size_t r = 1; r < models_.size(); ++r) {
+    auto params = models_[r]->all_params();
+    if (params.size() != reference.size()) return false;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (!(params[i]->value == reference[i]->value)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace zipflm

@@ -1,0 +1,44 @@
+#include "zipflm/data/batch.hpp"
+
+namespace zipflm {
+
+BatchIterator::BatchIterator(std::span<const std::int64_t> ids, BatchSpec spec,
+                             int rank, int world_size)
+    : ids_(ids), spec_(spec) {
+  ZIPFLM_CHECK(spec.batch_size > 0 && spec.seq_len > 0,
+               "batch dimensions must be positive");
+  ZIPFLM_CHECK(world_size > 0 && rank >= 0 && rank < world_size,
+               "bad rank / world size");
+  // Shard the corpus across ranks, then split the shard into batch_size
+  // parallel substreams.  Each substream needs one trailing token for the
+  // final target, hence the -1.
+  const std::int64_t per_rank =
+      static_cast<std::int64_t>(ids.size()) / world_size;
+  shard_begin_ = per_rank * rank;
+  stream_len_ = per_rank / spec.batch_size;
+  steps_ = stream_len_ <= 1 ? 0 : (stream_len_ - 1) / spec.seq_len;
+}
+
+bool BatchIterator::next(Batch& out) {
+  if (step_ >= steps_) return false;
+  const std::int64_t n = spec_.tokens_per_rank();
+  out.batch_size = spec_.batch_size;
+  out.seq_len = spec_.seq_len;
+  out.inputs.resize(static_cast<std::size_t>(n));
+  out.targets.resize(static_cast<std::size_t>(n));
+  for (std::int64_t b = 0; b < spec_.batch_size; ++b) {
+    const std::int64_t stream_base = shard_begin_ + b * stream_len_;
+    const std::int64_t offset = step_ * spec_.seq_len;
+    for (std::int64_t t = 0; t < spec_.seq_len; ++t) {
+      const std::int64_t pos = stream_base + offset + t;
+      out.inputs[static_cast<std::size_t>(b * spec_.seq_len + t)] =
+          ids_[static_cast<std::size_t>(pos)];
+      out.targets[static_cast<std::size_t>(b * spec_.seq_len + t)] =
+          ids_[static_cast<std::size_t>(pos + 1)];
+    }
+  }
+  ++step_;
+  return true;
+}
+
+}  // namespace zipflm

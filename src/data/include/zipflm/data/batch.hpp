@@ -1,0 +1,65 @@
+// Data-parallel LM batching.
+//
+// Each of G ranks consumes K = batch_size x seq_len tokens per step
+// (Section II-B's "local batch").  The token stream is sharded into
+// G x batch_size parallel substreams so every (input, target) pair is a
+// genuine next-token prediction within a contiguous text run.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "zipflm/support/error.hpp"
+
+namespace zipflm {
+
+struct BatchSpec {
+  std::int64_t batch_size = 32;  ///< sequences per rank per step
+  std::int64_t seq_len = 20;     ///< tokens per sequence
+
+  std::int64_t tokens_per_rank() const noexcept {
+    return batch_size * seq_len;
+  }
+};
+
+/// One step's worth of data for one rank, row-major
+/// [batch_size x seq_len]; targets are inputs shifted by one token.
+struct Batch {
+  std::vector<std::int64_t> inputs;
+  std::vector<std::int64_t> targets;
+  std::int64_t batch_size = 0;
+  std::int64_t seq_len = 0;
+
+  std::int64_t input(std::int64_t b, std::int64_t t) const {
+    return inputs[static_cast<std::size_t>(b * seq_len + t)];
+  }
+  std::int64_t target(std::int64_t b, std::int64_t t) const {
+    return targets[static_cast<std::size_t>(b * seq_len + t)];
+  }
+};
+
+/// Iterates a rank's shard of an in-memory token stream.
+class BatchIterator {
+ public:
+  BatchIterator(std::span<const std::int64_t> ids, BatchSpec spec, int rank,
+                int world_size);
+
+  /// Fill out the next batch; returns false when the shard is exhausted.
+  bool next(Batch& out);
+
+  /// Number of full batches this rank will produce.
+  std::int64_t steps() const noexcept { return steps_; }
+
+  void reset() { step_ = 0; }
+
+ private:
+  std::span<const std::int64_t> ids_;
+  BatchSpec spec_;
+  std::int64_t shard_begin_ = 0;   ///< first id index of this rank's shard
+  std::int64_t stream_len_ = 0;    ///< tokens per substream
+  std::int64_t steps_ = 0;
+  std::int64_t step_ = 0;
+};
+
+}  // namespace zipflm

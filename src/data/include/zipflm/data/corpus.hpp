@@ -1,0 +1,89 @@
+// Synthetic corpora calibrated to the paper's datasets (Table I).
+//
+// We do not have the 1-Billion-word, Gutenberg, Common Crawl, Amazon
+// Review or Baidu Tieba corpora; every experiment in the paper depends on
+// a corpus only through (a) its type/token power law and (b) its
+// vocabulary size, so each preset is a Zipf–Mandelbrot token source whose
+// fitted Heaps exponent matches the paper's Fig 1 fit (U = 7.02·N^0.64)
+// and whose vocabulary matches Section IV-A.  DESIGN.md documents the
+// substitution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "zipflm/data/zipf.hpp"
+#include "zipflm/support/rng.hpp"
+
+namespace zipflm {
+
+struct CorpusSpec {
+  std::string name;
+  std::uint64_t vocab = 0;      ///< 0 = unbounded type inventory
+  double zipf_exponent = 1.5625;  ///< 1/0.64: Heaps exponent 0.64
+  double zipf_shift = 0.0;
+  std::uint64_t total_tokens = 0;  ///< full-dataset token count (Table I)
+  double bytes_per_token = 5.0;    ///< maps tokens -> corpus GB
+  bool character_level = false;
+
+  // Word-level presets (Fig 1's four curves + Table I).
+  static CorpusSpec one_billion_word();  ///< 1b: 0.78B words, 3.94 GB
+  static CorpusSpec gutenberg();         ///< gb: 1.81B words, 8.29 GB
+  static CorpusSpec common_crawl();      ///< cc: Fig 1 curve
+  static CorpusSpec amazon_review();     ///< ar: 7.01B words, 37.04 GB
+
+  // Character-level presets.
+  static CorpusSpec one_billion_char();  ///< 1b chars: V ~ 98 symbols
+  static CorpusSpec tieba();             ///< Chinese: V = 15,437 chars, 93 GB
+
+  /// All Fig 1 word corpora in plot order.
+  static std::vector<CorpusSpec> figure1_corpora();
+};
+
+/// Infinite deterministic token stream for a corpus preset.
+class TokenStream {
+ public:
+  TokenStream(const CorpusSpec& spec, std::uint64_t seed);
+
+  /// Next 0-based token id.
+  std::int64_t next();
+
+  /// Fill out with n ids.
+  void take(std::size_t n, std::vector<std::int64_t>& out);
+
+  const CorpusSpec& spec() const noexcept { return spec_; }
+
+ private:
+  CorpusSpec spec_;
+  ZipfSampler sampler_;
+  Rng rng_;
+};
+
+/// One pass type/token curve: record U (distinct ids seen) at
+/// geometrically spaced checkpoints of N — the data behind Fig 1.
+struct TypeTokenPoint {
+  std::uint64_t tokens;  ///< N
+  std::uint64_t types;   ///< U
+};
+
+std::vector<TypeTokenPoint> type_token_curve(TokenStream& stream,
+                                             std::uint64_t max_tokens,
+                                             double checkpoint_factor = 2.0);
+
+/// Deterministic pseudo-word spelling of a token id ("qex", "bo", ...);
+/// gives the tokenizer/vocabulary pipeline realistic text to chew on.
+std::string synthetic_word(std::int64_t id);
+
+/// Deterministic train/validation split of a token stream by blocks:
+/// roughly 1/ratio of blocks land in validation (paper: 99:1, 1000:1).
+struct SplitIds {
+  std::vector<std::int64_t> train;
+  std::vector<std::int64_t> valid;
+};
+
+SplitIds split_tokens(const std::vector<std::int64_t>& ids,
+                      std::uint64_t valid_one_in, std::uint64_t seed,
+                      std::size_t block_tokens = 1024);
+
+}  // namespace zipflm

@@ -1,0 +1,56 @@
+// Markov bigram corpus: a synthetic token source with *learnable*
+// sequential structure.
+//
+// The i.i.d. Zipf-Mandelbrot streams in corpus.hpp reproduce a corpus's
+// type/token statistics (all the scaling experiments need), but an LM
+// can learn nothing from them beyond unigram frequencies — so accuracy
+// experiments that depend on "more data helps" (Table V's weak scaling,
+// Figs 5/7/8 learning curves) need sequential dependence.  This
+// generator builds a deterministic sparse bigram chain: every word has a
+// Zipf-weighted successor menu, successors themselves drawn from the
+// word-frequency power law, so the *marginal* distribution stays Zipfian
+// while transitions carry mutual information the model must estimate —
+// and estimating |V| x branching transition weights takes data, making
+// corpus size matter, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "zipflm/data/zipf.hpp"
+#include "zipflm/support/rng.hpp"
+
+namespace zipflm {
+
+class BigramCorpus {
+ public:
+  /// vocab: token inventory; branching: successors per word; exponents
+  /// control the marginal (unigram_exponent) and per-word transition
+  /// (transition_exponent) power laws.
+  BigramCorpus(std::int64_t vocab, std::int64_t branching, std::uint64_t seed,
+               double unigram_exponent = 1.2,
+               double transition_exponent = 1.3);
+
+  /// Deterministic token walk: same (seed, stream) -> same tokens.
+  std::vector<std::int64_t> generate(std::size_t n,
+                                     std::uint64_t stream) const;
+
+  std::int64_t vocab() const noexcept { return vocab_; }
+  std::int64_t branching() const noexcept { return branching_; }
+
+  /// Successor menu of a word (test hook).
+  const std::vector<std::int64_t>& successors(std::int64_t word) const;
+
+  /// Entropy rate upper bound in nats/token: log(branching) — the
+  /// perplexity floor a perfect model approaches with enough data.
+  double entropy_bound_nats() const;
+
+ private:
+  std::int64_t vocab_;
+  std::int64_t branching_;
+  std::uint64_t seed_;
+  ZipfSampler transition_sampler_;
+  std::vector<std::vector<std::int64_t>> successors_;
+};
+
+}  // namespace zipflm

@@ -1,0 +1,30 @@
+// Tokenizers for the two LM granularities the paper evaluates:
+// word LMs (lower-cased, punctuation-separated words, Section IV-A) and
+// character LMs (per-UTF-8-codepoint, covering the ~98-symbol English
+// character vocabulary and the ~15K-symbol Chinese one).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zipflm {
+
+/// Lower-cases ASCII, splits on whitespace, and separates punctuation
+/// into standalone tokens ("don't stop." -> don ' t stop .) — the simple
+/// tokenization procedure the paper cites from NLTK [37].
+class WordTokenizer {
+ public:
+  void tokenize(std::string_view text, std::vector<std::string>& out) const;
+  std::vector<std::string> tokenize(std::string_view text) const;
+};
+
+/// Splits text into UTF-8 codepoints rendered back as strings; invalid
+/// bytes become single-byte tokens (never throws on dirty corpora).
+class CharTokenizer {
+ public:
+  void tokenize(std::string_view text, std::vector<std::string>& out) const;
+  std::vector<std::string> tokenize(std::string_view text) const;
+};
+
+}  // namespace zipflm

@@ -1,0 +1,55 @@
+// Frequency-ranked vocabulary, built the way the paper builds its word
+// vocabularies (Section IV-A): count token frequencies over the training
+// corpus, keep the top-K most frequent, map everything else to <unk>.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "zipflm/support/error.hpp"
+
+namespace zipflm {
+
+class Vocabulary {
+ public:
+  static constexpr std::int64_t kUnkId = 0;
+  static constexpr std::string_view kUnkToken = "<unk>";
+
+  Vocabulary() = default;
+
+  /// Build from (token, count) pairs: keep the max_size-1 most frequent
+  /// (id 0 is reserved for <unk>), ids assigned in descending frequency,
+  /// ties broken lexicographically for determinism.
+  static Vocabulary build(
+      const std::unordered_map<std::string, std::uint64_t>& counts,
+      std::size_t max_size);
+
+  /// Convenience: count tokens then build.
+  static Vocabulary build_from_tokens(std::span<const std::string> tokens,
+                                      std::size_t max_size);
+
+  std::int64_t id_of(std::string_view token) const;
+  const std::string& token_of(std::int64_t id) const;
+  bool contains(std::string_view token) const;
+
+  /// Number of entries including <unk>.
+  std::size_t size() const noexcept { return id_to_token_.size(); }
+
+  /// Fraction of a token stream this vocabulary covers (non-<unk>); the
+  /// paper reports 99% coverage with the 100k most frequent words.
+  double coverage(std::span<const std::string> tokens) const;
+
+  /// Encode a token stream to ids (OOV -> kUnkId).
+  void encode(std::span<const std::string> tokens,
+              std::vector<std::int64_t>& ids) const;
+
+ private:
+  std::unordered_map<std::string, std::int64_t> token_to_id_;
+  std::vector<std::string> id_to_token_;
+};
+
+}  // namespace zipflm

@@ -1,0 +1,60 @@
+#include "zipflm/data/markov.hpp"
+
+#include <cmath>
+
+#include "zipflm/support/error.hpp"
+
+namespace zipflm {
+
+BigramCorpus::BigramCorpus(std::int64_t vocab, std::int64_t branching, std::uint64_t seed,
+                           double unigram_exponent,
+                           double transition_exponent)
+    : vocab_(vocab),
+      branching_(branching),
+      seed_(seed),
+      transition_sampler_(static_cast<std::uint64_t>(branching),
+                          transition_exponent) {
+  ZIPFLM_CHECK(vocab >= 2, "bigram corpus needs at least two words");
+  ZIPFLM_CHECK(branching >= 1 && branching <= vocab,
+               "branching must be in [1, vocab]");
+  // Successor menus: drawn from the unigram power law so the stationary
+  // distribution stays roughly Zipfian.
+  const ZipfSampler unigram(static_cast<std::uint64_t>(vocab),
+                            unigram_exponent);
+  successors_.resize(static_cast<std::size_t>(vocab));
+  Rng rng = Rng::fork(seed, 0xB16A
+                                 /* bigram */);
+  for (auto& menu : successors_) {
+    menu.resize(static_cast<std::size_t>(branching));
+    for (auto& next : menu) {
+      next = static_cast<std::int64_t>(unigram.sample(rng) - 1);
+    }
+  }
+}
+
+std::vector<std::int64_t> BigramCorpus::generate(std::size_t n,
+                                                 std::uint64_t stream) const {
+  std::vector<std::int64_t> out(n);
+  Rng rng = Rng::fork(seed_, 0x574EA4ull + stream);
+  std::int64_t current =
+      static_cast<std::int64_t>(rng.uniform_index(
+          static_cast<std::uint64_t>(vocab_)));
+  for (auto& token : out) {
+    token = current;
+    const auto& menu = successors_[static_cast<std::size_t>(current)];
+    const std::uint64_t pick = transition_sampler_.sample(rng) - 1;
+    current = menu[static_cast<std::size_t>(pick)];
+  }
+  return out;
+}
+
+const std::vector<std::int64_t>& BigramCorpus::successors(std::int64_t word) const {
+  ZIPFLM_CHECK(word >= 0 && word < vocab_, "word outside vocabulary");
+  return successors_[static_cast<std::size_t>(word)];
+}
+
+double BigramCorpus::entropy_bound_nats() const {
+  return std::log(static_cast<double>(branching_));
+}
+
+}  // namespace zipflm

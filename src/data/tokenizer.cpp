@@ -1,0 +1,78 @@
+#include "zipflm/data/tokenizer.hpp"
+
+#include <cctype>
+
+namespace zipflm {
+
+namespace {
+bool is_space(unsigned char c) { return std::isspace(c) != 0; }
+bool is_word_char(unsigned char c) {
+  return std::isalnum(c) != 0 || c >= 0x80;  // keep multi-byte sequences intact
+}
+}  // namespace
+
+void WordTokenizer::tokenize(std::string_view text,
+                             std::vector<std::string>& out) const {
+  out.clear();
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      out.push_back(current);
+      current.clear();
+    }
+  };
+  for (const char ch : text) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (is_space(c)) {
+      flush();
+    } else if (is_word_char(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      // punctuation: its own single-character token
+      flush();
+      out.emplace_back(1, ch);
+    }
+  }
+  flush();
+}
+
+std::vector<std::string> WordTokenizer::tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  tokenize(text, out);
+  return out;
+}
+
+void CharTokenizer::tokenize(std::string_view text,
+                             std::vector<std::string>& out) const {
+  out.clear();
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const auto c = static_cast<unsigned char>(text[i]);
+    std::size_t len = 1;
+    if (c >= 0xF0) {
+      len = 4;
+    } else if (c >= 0xE0) {
+      len = 3;
+    } else if (c >= 0xC0) {
+      len = 2;
+    }
+    if (i + len > text.size()) len = 1;  // truncated sequence: byte token
+    // Validate continuation bytes; fall back to a single byte if invalid.
+    for (std::size_t k = 1; k < len; ++k) {
+      if ((static_cast<unsigned char>(text[i + k]) & 0xC0u) != 0x80u) {
+        len = 1;
+        break;
+      }
+    }
+    out.emplace_back(text.substr(i, len));
+    i += len;
+  }
+}
+
+std::vector<std::string> CharTokenizer::tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  tokenize(text, out);
+  return out;
+}
+
+}  // namespace zipflm

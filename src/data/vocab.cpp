@@ -1,0 +1,70 @@
+#include "zipflm/data/vocab.hpp"
+
+#include <algorithm>
+
+namespace zipflm {
+
+Vocabulary Vocabulary::build(
+    const std::unordered_map<std::string, std::uint64_t>& counts,
+    std::size_t max_size) {
+  ZIPFLM_CHECK(max_size >= 1, "vocabulary must have room for <unk>");
+  std::vector<std::pair<std::string_view, std::uint64_t>> ranked;
+  ranked.reserve(counts.size());
+  for (const auto& [token, count] : counts) ranked.emplace_back(token, count);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+
+  Vocabulary v;
+  const std::size_t keep = std::min(ranked.size(), max_size - 1);
+  v.id_to_token_.reserve(keep + 1);
+  v.id_to_token_.emplace_back(kUnkToken);
+  v.token_to_id_.reserve(keep + 1);
+  v.token_to_id_.emplace(std::string(kUnkToken), kUnkId);
+  for (std::size_t i = 0; i < keep; ++i) {
+    const std::int64_t id = static_cast<std::int64_t>(v.id_to_token_.size());
+    v.id_to_token_.emplace_back(ranked[i].first);
+    v.token_to_id_.emplace(std::string(ranked[i].first), id);
+  }
+  return v;
+}
+
+Vocabulary Vocabulary::build_from_tokens(std::span<const std::string> tokens,
+                                         std::size_t max_size) {
+  std::unordered_map<std::string, std::uint64_t> counts;
+  counts.reserve(tokens.size() / 4 + 16);
+  for (const auto& t : tokens) ++counts[t];
+  return build(counts, max_size);
+}
+
+std::int64_t Vocabulary::id_of(std::string_view token) const {
+  const auto it = token_to_id_.find(std::string(token));
+  return it == token_to_id_.end() ? kUnkId : it->second;
+}
+
+const std::string& Vocabulary::token_of(std::int64_t id) const {
+  ZIPFLM_CHECK(id >= 0 && static_cast<std::size_t>(id) < id_to_token_.size(),
+               "vocabulary id out of range");
+  return id_to_token_[static_cast<std::size_t>(id)];
+}
+
+bool Vocabulary::contains(std::string_view token) const {
+  return token_to_id_.find(std::string(token)) != token_to_id_.end();
+}
+
+double Vocabulary::coverage(std::span<const std::string> tokens) const {
+  if (tokens.empty()) return 1.0;
+  std::size_t covered = 0;
+  for (const auto& t : tokens) {
+    if (contains(t)) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(tokens.size());
+}
+
+void Vocabulary::encode(std::span<const std::string> tokens,
+                        std::vector<std::int64_t>& ids) const {
+  ids.resize(tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) ids[i] = id_of(tokens[i]);
+}
+
+}  // namespace zipflm

@@ -1,0 +1,128 @@
+#include "zipflm/data/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zipflm {
+
+namespace {
+double harmonic(std::uint64_t vocab, double s, double q) {
+  // Exact sum for small vocabularies; Euler–Maclaurin style integral
+  // approximation for very large ones (relative error < 1e-6 for s>1).
+  if (vocab <= ZipfSampler::kTableLimit) {
+    double h = 0.0;
+    for (std::uint64_t r = 1; r <= vocab; ++r) {
+      h += std::pow(static_cast<double>(r) + q, -s);
+    }
+    return h;
+  }
+  double h = 0.0;
+  constexpr std::uint64_t kHead = 1ull << 16;
+  for (std::uint64_t r = 1; r <= kHead; ++r) {
+    h += std::pow(static_cast<double>(r) + q, -s);
+  }
+  // Integral tail: ∫_{kHead+0.5}^{vocab+0.5} (x+q)^-s dx.
+  const double a = static_cast<double>(kHead) + 0.5 + q;
+  const double b = static_cast<double>(vocab) + 0.5 + q;
+  if (s == 1.0) {
+    h += std::log(b / a);
+  } else {
+    h += (std::pow(a, 1.0 - s) - std::pow(b, 1.0 - s)) / (s - 1.0);
+  }
+  return h;
+}
+}  // namespace
+
+ZipfMandelbrot::ZipfMandelbrot(std::uint64_t vocab, double exponent,
+                               double shift)
+    : vocab_(vocab), s_(exponent), q_(shift) {
+  ZIPFLM_CHECK(vocab >= 1, "Zipf distribution needs a non-empty vocabulary");
+  ZIPFLM_CHECK(exponent > 0.0, "Zipf exponent must be positive");
+  ZIPFLM_CHECK(shift >= 0.0, "Zipf shift must be non-negative");
+  h_ = harmonic(vocab_, s_, q_);
+  if (vocab_ <= ZipfSampler::kTableLimit) {
+    cdf_.resize(vocab_);
+    double acc = 0.0;
+    for (std::uint64_t r = 1; r <= vocab_; ++r) {
+      acc += std::pow(static_cast<double>(r) + q_, -s_) / h_;
+      cdf_[r - 1] = acc;
+    }
+    cdf_.back() = 1.0;  // kill accumulated round-off at the top
+  }
+}
+
+double ZipfMandelbrot::pmf(std::uint64_t rank) const {
+  ZIPFLM_CHECK(rank >= 1 && rank <= vocab_, "rank out of distribution range");
+  return std::pow(static_cast<double>(rank) + q_, -s_) / h_;
+}
+
+double ZipfMandelbrot::cdf(std::uint64_t rank) const {
+  ZIPFLM_CHECK(rank >= 1 && rank <= vocab_, "rank out of distribution range");
+  if (!cdf_.empty()) return cdf_[rank - 1];
+  // Integral approximation for large vocab.
+  double c = 0.0;
+  const std::uint64_t head = std::min<std::uint64_t>(rank, 1ull << 16);
+  for (std::uint64_t r = 1; r <= head; ++r) {
+    c += std::pow(static_cast<double>(r) + q_, -s_);
+  }
+  if (rank > head) {
+    const double a = static_cast<double>(head) + 0.5 + q_;
+    const double b = static_cast<double>(rank) + 0.5 + q_;
+    c += s_ == 1.0 ? std::log(b / a)
+                   : (std::pow(a, 1.0 - s_) - std::pow(b, 1.0 - s_)) / (s_ - 1.0);
+  }
+  return std::min(1.0, c / h_);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t vocab, double exponent, double shift)
+    : vocab_(vocab), s_(exponent), q_(shift) {
+  ZIPFLM_CHECK(exponent > 0.0, "Zipf exponent must be positive");
+  ZIPFLM_CHECK(shift >= 0.0, "Zipf shift must be non-negative");
+  if (vocab_ != 0 && vocab_ <= kTableLimit) {
+    const ZipfMandelbrot dist(vocab_, s_, q_);
+    cdf_.resize(vocab_);
+    for (std::uint64_t r = 1; r <= vocab_; ++r) cdf_[r - 1] = dist.cdf(r);
+  } else {
+    ZIPFLM_CHECK(s_ > 1.0,
+                 "rejection sampler requires exponent > 1 (unbounded Zipf)");
+    ZIPFLM_CHECK(q_ == 0.0,
+                 "rejection sampler supports shift 0 only; use a table-sized "
+                 "vocabulary for Zipf-Mandelbrot");
+    b_ = std::pow(2.0, s_ - 1.0);
+  }
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  return uses_table() ? sample_table(rng) : sample_rejection(rng);
+}
+
+std::uint64_t ZipfSampler::sample_table(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin()) + 1;
+}
+
+std::uint64_t ZipfSampler::sample_rejection(Rng& rng) const {
+  // Devroye, "Non-Uniform Random Variate Generation", X.6.1: rejection
+  // sampler for the zeta(s) distribution.
+  for (;;) {
+    const double u = rng.uniform();
+    const double v = rng.uniform();
+    const double x = std::floor(std::pow(u, -1.0 / (s_ - 1.0)));
+    if (x < 1.0 || x > 9.0e18) continue;  // guard overflow
+    const double t = std::pow(1.0 + 1.0 / x, s_ - 1.0);
+    if (v * x * (t - 1.0) / (b_ - 1.0) <= t / b_) {
+      const std::uint64_t r = static_cast<std::uint64_t>(x);
+      if (vocab_ == 0 || r <= vocab_) return r;
+      // out-of-vocabulary tail sample: redraw (truncated zeta)
+    }
+  }
+}
+
+void ZipfSampler::sample_tokens(Rng& rng, std::size_t n,
+                                std::vector<std::uint64_t>& out) const {
+  out.resize(n);
+  for (auto& t : out) t = sample(rng) - 1;
+}
+
+}  // namespace zipflm

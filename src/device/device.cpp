@@ -1,0 +1,71 @@
+#include "zipflm/device/device.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace zipflm {
+
+DeviceProps DeviceProps::titan_x() {
+  return DeviceProps{"GTX Titan X", 12ull << 30, 6.1e12, 0.4};
+}
+
+DeviceProps DeviceProps::v100() {
+  return DeviceProps{"Tesla V100", 16ull << 30, 125e12, 0.4};
+}
+
+Allocation::Allocation(MemoryPool& pool, std::size_t bytes, std::string tag)
+    : pool_(&pool), bytes_(bytes), tag_(std::move(tag)) {
+  pool_->take(bytes_, tag_);
+}
+
+Allocation::~Allocation() { release(); }
+
+Allocation::Allocation(Allocation&& other) noexcept
+    : pool_(std::exchange(other.pool_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)),
+      tag_(std::move(other.tag_)) {}
+
+Allocation& Allocation::operator=(Allocation&& other) noexcept {
+  if (this != &other) {
+    release();
+    pool_ = std::exchange(other.pool_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    tag_ = std::move(other.tag_);
+  }
+  return *this;
+}
+
+void Allocation::release() {
+  if (pool_ != nullptr) {
+    pool_->give_back(bytes_);
+    pool_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+MemoryPool::MemoryPool(std::size_t capacity_bytes, std::string device_name)
+    : capacity_(capacity_bytes), name_(std::move(device_name)) {}
+
+Allocation MemoryPool::allocate(std::size_t bytes, std::string tag) {
+  return Allocation(*this, bytes, std::move(tag));
+}
+
+void MemoryPool::take(std::size_t bytes, const std::string& tag) {
+  if (bytes > capacity_ - used_) {
+    std::ostringstream os;
+    os << name_ << ": out of device memory allocating '" << tag << "' ("
+       << bytes << " bytes requested, " << (capacity_ - used_)
+       << " available of " << capacity_ << ")";
+    throw OutOfMemoryError(os.str(), bytes, capacity_ - used_);
+  }
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  ++count_;
+}
+
+void MemoryPool::give_back(std::size_t bytes) noexcept {
+  used_ -= bytes;
+}
+
+}  // namespace zipflm

@@ -1,0 +1,97 @@
+// Simulated GPU device: a memory pool with the card's real capacity (so
+// the baseline's Θ(G·K·D) buffers hit the same 12 GB wall the paper's
+// Tables III/IV mark with '*'), plus a throughput model that converts a
+// kernel's FLOP count into simulated seconds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "zipflm/support/error.hpp"
+
+namespace zipflm {
+
+/// Static properties of a GPU model.
+struct DeviceProps {
+  std::string name;
+  std::size_t memory_bytes = 0;   ///< usable HBM
+  double peak_flops = 0.0;        ///< peak FP32 (or tensor) FLOP/s
+  /// Fraction of peak a well-tuned RNN step achieves.  The paper reports
+  /// 40% of peak for the word LM and 64% for the char LM on Titan X;
+  /// model-specific efficiency is passed per workload, this is a default.
+  double default_efficiency = 0.4;
+
+  /// GeForce GTX Titan X (Table II): 12 GB HBM, 6.1 TFLOP/s FP32.
+  static DeviceProps titan_x();
+  /// Tesla V100 as used by Puri et al. [21]: 16 GB, 125 TFLOP/s tensor.
+  static DeviceProps v100();
+
+  /// Seconds to execute `flops` at the given fraction of peak.
+  double seconds_for_flops(double flops, double efficiency) const {
+    ZIPFLM_ASSERT(peak_flops > 0.0 && efficiency > 0.0,
+                  "device throughput must be positive");
+    return flops / (peak_flops * efficiency);
+  }
+  double seconds_for_flops(double flops) const {
+    return seconds_for_flops(flops, default_efficiency);
+  }
+};
+
+class MemoryPool;
+
+/// RAII handle for a simulated device allocation (Core Guidelines R.1).
+class Allocation {
+ public:
+  Allocation() = default;
+  Allocation(MemoryPool& pool, std::size_t bytes, std::string tag);
+  ~Allocation();
+
+  Allocation(Allocation&& other) noexcept;
+  Allocation& operator=(Allocation&& other) noexcept;
+  Allocation(const Allocation&) = delete;
+  Allocation& operator=(const Allocation&) = delete;
+
+  std::size_t bytes() const noexcept { return bytes_; }
+  const std::string& tag() const noexcept { return tag_; }
+  void release();
+
+ private:
+  MemoryPool* pool_ = nullptr;
+  std::size_t bytes_ = 0;
+  std::string tag_;
+};
+
+/// Byte-accurate accounting of one simulated GPU's memory.  Not thread
+/// safe: each rank owns exactly one pool and touches it from its own
+/// thread only.
+class MemoryPool {
+ public:
+  explicit MemoryPool(std::size_t capacity_bytes, std::string device_name = "gpu");
+
+  /// Reserve `bytes`; throws OutOfMemoryError (with the request and the
+  /// remaining headroom) when capacity would be exceeded.
+  Allocation allocate(std::size_t bytes, std::string tag);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t used() const noexcept { return used_; }
+  std::size_t peak() const noexcept { return peak_; }
+  std::size_t available() const noexcept { return capacity_ - used_; }
+  std::uint64_t allocation_count() const noexcept { return count_; }
+
+  /// Forget the high-water mark (start of a new measurement phase).
+  void reset_peak() { peak_ = used_; }
+
+ private:
+  friend class Allocation;
+  void take(std::size_t bytes, const std::string& tag);
+  void give_back(std::size_t bytes) noexcept;
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+  std::uint64_t count_ = 0;
+  std::string name_;
+};
+
+}  // namespace zipflm

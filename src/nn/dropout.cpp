@@ -1,0 +1,30 @@
+#include "zipflm/nn/dropout.hpp"
+
+#include "zipflm/tensor/ops.hpp"
+
+namespace zipflm {
+
+void Dropout::forward_train(Tensor& x, Rng& rng) {
+  if (rate_ == 0.0f) {
+    mask_ = Tensor();
+    return;
+  }
+  mask_ = Tensor(x.shape());
+  const float keep_scale = 1.0f / (1.0f - rate_);
+  auto xs = x.data();
+  auto ms = mask_.data();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const bool keep = rng.uniform() >= static_cast<double>(rate_);
+    ms[i] = keep ? keep_scale : 0.0f;
+    xs[i] *= ms[i];
+  }
+}
+
+void Dropout::backward(Tensor& dy) const {
+  if (rate_ == 0.0f || mask_.empty()) return;
+  ZIPFLM_CHECK(dy.size() == mask_.size(),
+               "dropout backward shape must match the cached mask");
+  hadamard(dy, mask_, dy);
+}
+
+}  // namespace zipflm

@@ -1,0 +1,57 @@
+#include "zipflm/nn/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zipflm {
+
+Index sample_next_token(LmModel& model, std::span<const Index> context,
+                        const GenerateOptions& options, Rng& rng) {
+  ZIPFLM_CHECK(options.temperature > 0.0, "temperature must be positive");
+  ZIPFLM_CHECK(!context.empty(), "generation needs at least one token");
+  const std::size_t window = std::min<std::size_t>(
+      context.size(), static_cast<std::size_t>(options.max_context));
+  Tensor logits =
+      model.next_token_logits(context.subspan(context.size() - window));
+
+  // Temperature + optional top-k truncation, then softmax sampling.
+  const Index v = logits.size();
+  std::vector<std::pair<float, Index>> scored(static_cast<std::size_t>(v));
+  for (Index i = 0; i < v; ++i) {
+    scored[static_cast<std::size_t>(i)] = {
+        logits(i) / static_cast<float>(options.temperature), i};
+  }
+  if (options.top_k > 0 && options.top_k < v) {
+    std::partial_sort(scored.begin(),
+                      scored.begin() + static_cast<std::ptrdiff_t>(options.top_k),
+                      scored.end(), std::greater<>());
+    scored.resize(static_cast<std::size_t>(options.top_k));
+  }
+  float mx = scored.front().first;
+  for (const auto& [s, id] : scored) mx = std::max(mx, s);
+  double denom = 0.0;
+  for (auto& [s, id] : scored) {
+    s = std::exp(s - mx);
+    denom += s;
+  }
+  double u = rng.uniform() * denom;
+  for (const auto& [s, id] : scored) {
+    u -= s;
+    if (u <= 0.0) return id;
+  }
+  return scored.back().second;  // numeric fringe
+}
+
+std::vector<Index> generate_tokens(LmModel& model,
+                                   std::span<const Index> prompt,
+                                   std::size_t count,
+                                   const GenerateOptions& options, Rng& rng) {
+  std::vector<Index> tokens(prompt.begin(), prompt.end());
+  tokens.reserve(tokens.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    tokens.push_back(sample_next_token(model, tokens, options, rng));
+  }
+  return tokens;
+}
+
+}  // namespace zipflm

@@ -1,0 +1,38 @@
+#include "zipflm/nn/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zipflm {
+
+GradCheckResult grad_check(Tensor& values, const Tensor& analytic,
+                           const std::function<double()>& loss_fn,
+                           double step, double eps_floor) {
+  ZIPFLM_CHECK(values.size() == analytic.size(),
+               "analytic gradient must match value count");
+  GradCheckResult result;
+  auto vs = values.data();
+  const auto grads = analytic.data();
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    const float original = vs[i];
+    vs[i] = original + static_cast<float>(step);
+    const double up = loss_fn();
+    vs[i] = original - static_cast<float>(step);
+    const double down = loss_fn();
+    vs[i] = original;
+    const double numeric = (up - down) / (2.0 * step);
+    const double a = static_cast<double>(grads[i]);
+    const double abs_err = std::fabs(a - numeric);
+    const double denom =
+        std::max({std::fabs(a), std::fabs(numeric), eps_floor});
+    const double rel_err = abs_err / denom;
+    if (rel_err > result.max_rel_error) {
+      result.max_rel_error = rel_err;
+      result.worst_index = static_cast<Index>(i);
+    }
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+  }
+  return result;
+}
+
+}  // namespace zipflm

@@ -1,0 +1,34 @@
+// Inverted dropout (Section IV-B: the char LM trains with "Adam with
+// weight decay and dropout").  Training-time forward scales kept units
+// by 1/(1-p) so evaluation needs no rescaling; the mask is cached for
+// the backward pass.  Mask draws come from a deterministic per-call RNG
+// so training stays bitwise reproducible.
+#pragma once
+
+#include "zipflm/support/rng.hpp"
+#include "zipflm/tensor/tensor.hpp"
+
+namespace zipflm {
+
+class Dropout {
+ public:
+  /// rate: probability of zeroing a unit, in [0, 1).
+  explicit Dropout(float rate) : rate_(rate) {
+    ZIPFLM_CHECK(rate >= 0.0f && rate < 1.0f, "dropout rate must be in [0,1)");
+  }
+
+  float rate() const noexcept { return rate_; }
+
+  /// In-place training forward; caches the mask.  A rate of 0 is a
+  /// no-op (and backward then leaves gradients untouched).
+  void forward_train(Tensor& x, Rng& rng);
+
+  /// In-place backward: dy ⊙= mask (same scaling as forward).
+  void backward(Tensor& dy) const;
+
+ private:
+  float rate_;
+  Tensor mask_;  ///< 0 or 1/(1-p) per element
+};
+
+}  // namespace zipflm

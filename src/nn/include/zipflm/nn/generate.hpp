@@ -1,0 +1,29 @@
+// Text generation: ancestral sampling from a trained language model —
+// the "use the model" side of the paper's noisy-channel motivation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "zipflm/nn/lm_model.hpp"
+#include "zipflm/support/rng.hpp"
+
+namespace zipflm {
+
+struct GenerateOptions {
+  double temperature = 1.0;  ///< <1 sharpens, >1 flattens
+  Index max_context = 32;    ///< sliding window fed to the model
+  Index top_k = 0;           ///< 0 = full distribution, else truncate
+};
+
+/// One token sampled from p(next | context).
+Index sample_next_token(LmModel& model, std::span<const Index> context,
+                        const GenerateOptions& options, Rng& rng);
+
+/// Continue `prompt` by `count` tokens.  Returns prompt + continuation.
+std::vector<Index> generate_tokens(LmModel& model,
+                                   std::span<const Index> prompt,
+                                   std::size_t count,
+                                   const GenerateOptions& options, Rng& rng);
+
+}  // namespace zipflm

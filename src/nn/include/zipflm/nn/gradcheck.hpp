@@ -1,0 +1,27 @@
+// Central-finite-difference gradient checking, the correctness oracle
+// for every hand-written backward pass in this library.
+#pragma once
+
+#include <functional>
+
+#include "zipflm/nn/param.hpp"
+
+namespace zipflm {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  Index worst_index = -1;
+  bool passed(double tol) const { return max_rel_error <= tol; }
+};
+
+/// Compare an analytic gradient against central differences of a scalar
+/// loss.  `loss_fn` must recompute the loss from the current value of
+/// `values`; `analytic` holds d(loss)/d(values).  Relative error uses
+/// max(|a|, |n|, eps_floor) as denominator so near-zero entries do not
+/// blow up the metric.
+GradCheckResult grad_check(Tensor& values, const Tensor& analytic,
+                           const std::function<double()>& loss_fn,
+                           double step = 1e-3, double eps_floor = 1e-3);
+
+}  // namespace zipflm

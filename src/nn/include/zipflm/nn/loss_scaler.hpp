@@ -1,0 +1,52 @@
+// Loss scaling for reduced-precision training and communication
+// (Section III-C, citing Micikevicius et al. [33]).
+//
+// Static mode uses a fixed factor F (the paper evaluates 256/512/1024).
+// Dynamic mode implements the standard backoff/growth policy: halve on
+// overflow and skip the step, double after a run of clean steps.
+#pragma once
+
+#include <span>
+
+#include "zipflm/nn/param.hpp"
+
+namespace zipflm {
+
+class LossScaler {
+ public:
+  /// Fixed scale F.
+  static LossScaler fixed(float scale) { return LossScaler(scale, false); }
+  /// Dynamic scaling starting at initial_scale.
+  static LossScaler dynamic(float initial_scale = 1024.0f) {
+    return LossScaler(initial_scale, true);
+  }
+
+  float scale() const noexcept { return scale_; }
+
+  /// True if any gradient is non-finite (the overflow signal).
+  static bool has_overflow(std::span<Param* const> params);
+
+  /// Multiply every gradient by 1/scale (after backward ran on the
+  /// scaled loss).  Returns false — and leaves gradients untouched — if
+  /// an overflow was detected, in which case the step must be skipped.
+  bool unscale(std::span<Param* const> params);
+
+  /// Dynamic policy update; no-op for a fixed scaler.
+  void update(bool overflow);
+
+  int skipped_steps() const noexcept { return skipped_; }
+
+ private:
+  LossScaler(float scale, bool dynamic) : scale_(scale), dynamic_(dynamic) {}
+
+  float scale_;
+  bool dynamic_;
+  int good_streak_ = 0;
+  int skipped_ = 0;
+
+  static constexpr int kGrowthInterval = 200;
+  static constexpr float kMaxScale = 65536.0f;
+  static constexpr float kMinScale = 1.0f;
+};
+
+}  // namespace zipflm

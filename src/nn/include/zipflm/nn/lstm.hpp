@@ -1,0 +1,67 @@
+// LSTM layer with optional recurrent projection — the paper's word-LM
+// architecture (Section IV-B): one LSTM layer of 2048 cells with a 512
+// projection, following Jozefowicz et al. [36].
+//
+// Explicit backprop-through-time, no autograd: forward caches per-step
+// activations, backward replays them in reverse.  Gate layout inside the
+// fused [B x 4H] pre-activation is (input, forget, candidate, output).
+#pragma once
+
+#include <vector>
+
+#include "zipflm/nn/param.hpp"
+#include "zipflm/support/rng.hpp"
+
+namespace zipflm {
+
+struct LstmConfig {
+  Index input_dim = 0;
+  Index hidden_dim = 0;
+  Index proj_dim = 0;  ///< 0 disables the projection (output dim = hidden)
+};
+
+class LstmLayer {
+ public:
+  LstmLayer(const LstmConfig& config, Rng& rng);
+
+  /// xs: T step inputs, each [B x input_dim].  out: T outputs, each
+  /// [B x output_dim()].  Initial hidden/cell state is zero.
+  void forward(const std::vector<Tensor>& xs, std::vector<Tensor>& out);
+
+  /// dout: gradients w.r.t. forward()'s outputs.  Accumulates parameter
+  /// gradients and fills dxs (gradients w.r.t. xs).  Must follow a
+  /// forward() with matching shapes.
+  void backward(const std::vector<Tensor>& dout, std::vector<Tensor>& dxs);
+
+  std::vector<Param*> params();
+  void zero_grad();
+
+  Index output_dim() const noexcept {
+    return config_.proj_dim > 0 ? config_.proj_dim : config_.hidden_dim;
+  }
+  const LstmConfig& config() const noexcept { return config_; }
+
+  /// Multiply-accumulate FLOPs per token of forward+backward (the 3x
+  /// rule: backward costs ~2x forward) — feeds the performance model.
+  double flops_per_token() const noexcept;
+
+ private:
+  LstmConfig config_;
+  Param wx_;    ///< [input_dim x 4H]
+  Param wh_;    ///< [output_dim x 4H]
+  Param bias_;  ///< [4H]
+  Param wp_;    ///< [H x proj_dim] when projecting, else empty
+
+  // Forward caches (per timestep).
+  struct StepCache {
+    Tensor x;      ///< [B x input_dim]
+    Tensor gates;  ///< [B x 4H] post-activation (i, f, g, o)
+    Tensor c;      ///< [B x H] cell state
+    Tensor tanh_c; ///< [B x H]
+    Tensor h;      ///< [B x H] hidden before projection
+    Tensor r;      ///< [B x output_dim] recurrent/projected output
+  };
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace zipflm

@@ -1,0 +1,93 @@
+// Optimizers used by the paper's two models (Section IV-B): plain SGD
+// for the word LM, Adam with weight decay for the char LM.  Both expose
+// a row-sparse step for embedding tables so the distributed exchange can
+// hand them exactly the rows that changed.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "zipflm/nn/param.hpp"
+
+namespace zipflm {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Dense step over full parameters (value -= update(grad)).
+  virtual void step(std::span<Param* const> params) = 0;
+
+  /// Row-sparse step: table.value.row(ids[i]) -= update(rows.row(i)).
+  /// ids must be unique (guaranteed by the unique exchange).
+  virtual void step_rows(Param& table, const Tensor& rows,
+                         std::span<const Index> ids) = 0;
+
+  virtual void set_learning_rate(float lr) = 0;
+  virtual float learning_rate() const = 0;
+};
+
+/// SGD with optional gradient clipping and weight decay.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float clip = 0.0f, float weight_decay = 0.0f)
+      : lr_(lr), clip_(clip), weight_decay_(weight_decay) {}
+
+  void step(std::span<Param* const> params) override;
+  void step_rows(Param& table, const Tensor& rows,
+                 std::span<const Index> ids) override;
+  void set_learning_rate(float lr) override { lr_ = lr; }
+  float learning_rate() const override { return lr_; }
+
+ private:
+  float lr_;
+  float clip_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba) with decoupled weight decay.  Row-sparse steps
+/// update first/second-moment state only for the touched rows ("sparse
+/// Adam" semantics: bias correction uses the global step count).
+class Adam final : public Optimizer {
+ public:
+  struct Config {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+    float clip = 0.0f;
+  };
+
+  explicit Adam(Config config) : cfg_(config) {}
+
+  void step(std::span<Param* const> params) override;
+  void step_rows(Param& table, const Tensor& rows,
+                 std::span<const Index> ids) override;
+  void set_learning_rate(float lr) override { cfg_.lr = lr; }
+  float learning_rate() const override { return cfg_.lr; }
+
+  /// Advance the shared timestep; call once per training step, before
+  /// the step()/step_rows() calls of that step.
+  void begin_step() { ++t_; }
+
+ private:
+  struct Moments {
+    Tensor m;
+    Tensor v;
+  };
+  Moments& moments_for(const Param& p);
+  void apply_element(float& value, float g, Moments& mo, std::size_t flat);
+
+  Config cfg_;
+  std::int64_t t_ = 0;
+  std::unordered_map<const Param*, Moments> state_;
+};
+
+/// The paper's learning-rate schedule (Section IV-B): base rate for an
+/// 8-GPU node, multiplied by log_e(#nodes), decayed per epoch.
+float scaled_learning_rate(float base_lr, int nodes, int epoch = 0,
+                           float decay = 1.0f);
+
+}  // namespace zipflm

@@ -1,0 +1,25 @@
+// A trainable parameter: value + gradient accumulator of the same shape.
+// Dense parameters are synchronized with ALLREDUCE; embedding tables are
+// special-cased by the exchange algorithms in zipflm::core.
+#pragma once
+
+#include <string>
+
+#include "zipflm/tensor/tensor.hpp"
+
+namespace zipflm {
+
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param() = default;
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  void zero_grad() { grad.zero(); }
+  Index size() const noexcept { return value.size(); }
+};
+
+}  // namespace zipflm

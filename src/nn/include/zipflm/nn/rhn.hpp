@@ -1,0 +1,68 @@
+// Recurrent Highway Network layer (Zilly et al.), the paper's char-LM
+// architecture (Section IV-B): one RHN layer of recurrence depth L with
+// H cells, coupled carry gate (c = 1 - t).
+//
+// Per timestep, with s_0 = y_{t-1}:
+//   for l = 1..L:
+//     h_l = tanh(x W_h [l==1] + s_{l-1} R_h^l + b_h^l)
+//     t_l = sigm(x W_t [l==1] + s_{l-1} R_t^l + b_t^l)
+//     s_l = h_l ⊙ t_l + s_{l-1} ⊙ (1 - t_l)
+//   y_t = s_L
+#pragma once
+
+#include <vector>
+
+#include "zipflm/nn/param.hpp"
+#include "zipflm/support/rng.hpp"
+
+namespace zipflm {
+
+struct RhnConfig {
+  Index input_dim = 0;
+  Index hidden_dim = 0;
+  Index depth = 1;  ///< highway micro-layers per timestep (paper: 10)
+};
+
+class RhnLayer {
+ public:
+  RhnLayer(const RhnConfig& config, Rng& rng);
+
+  /// xs: T inputs [B x input_dim]; out: T outputs [B x hidden_dim].
+  void forward(const std::vector<Tensor>& xs, std::vector<Tensor>& out);
+
+  /// dout -> parameter grads + dxs.  Must follow a matching forward().
+  void backward(const std::vector<Tensor>& dout, std::vector<Tensor>& dxs);
+
+  std::vector<Param*> params();
+  void zero_grad();
+
+  Index output_dim() const noexcept { return config_.hidden_dim; }
+  const RhnConfig& config() const noexcept { return config_; }
+
+  double flops_per_token() const noexcept;
+
+ private:
+  RhnConfig config_;
+  Param wh_;  ///< [input_dim x H], first micro-layer only
+  Param wt_;  ///< [input_dim x H]
+  struct DepthParams {
+    Param rh;  ///< [H x H]
+    Param rt;  ///< [H x H]
+    Param bh;  ///< [H]
+    Param bt;  ///< [H]
+  };
+  std::vector<DepthParams> depth_;
+
+  struct MicroCache {
+    Tensor h;  ///< [B x H]
+    Tensor t;  ///< [B x H]
+    Tensor s;  ///< [B x H] state after this micro-layer
+  };
+  struct StepCache {
+    Tensor x;
+    std::vector<MicroCache> micro;
+  };
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace zipflm

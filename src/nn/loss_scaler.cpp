@@ -1,0 +1,41 @@
+#include "zipflm/nn/loss_scaler.hpp"
+
+#include <cmath>
+
+namespace zipflm {
+
+bool LossScaler::has_overflow(std::span<Param* const> params) {
+  for (const Param* p : params) {
+    for (float v : p->grad.data()) {
+      if (!std::isfinite(v)) return true;
+    }
+  }
+  return false;
+}
+
+bool LossScaler::unscale(std::span<Param* const> params) {
+  if (has_overflow(params)) {
+    ++skipped_;
+    update(true);
+    return false;
+  }
+  const float inv = 1.0f / scale_;
+  for (Param* p : params) {
+    for (float& v : p->grad.data()) v *= inv;
+  }
+  update(false);
+  return true;
+}
+
+void LossScaler::update(bool overflow) {
+  if (!dynamic_) return;
+  if (overflow) {
+    scale_ = std::max(kMinScale, scale_ * 0.5f);
+    good_streak_ = 0;
+  } else if (++good_streak_ >= kGrowthInterval) {
+    scale_ = std::min(kMaxScale, scale_ * 2.0f);
+    good_streak_ = 0;
+  }
+}
+
+}  // namespace zipflm

@@ -1,0 +1,210 @@
+#include "zipflm/nn/lstm.hpp"
+
+#include <cmath>
+
+#include "zipflm/tensor/ops.hpp"
+
+namespace zipflm {
+
+namespace {
+/// Xavier/Glorot uniform bound for a [fan_in x fan_out] matrix.
+float glorot(Index fan_in, Index fan_out) {
+  return std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+}
+}  // namespace
+
+LstmLayer::LstmLayer(const LstmConfig& config, Rng& rng) : config_(config) {
+  ZIPFLM_CHECK(config.input_dim > 0 && config.hidden_dim > 0,
+               "LSTM dimensions must be positive");
+  const Index h = config.hidden_dim;
+  const Index p = output_dim();
+  const float sx = glorot(config.input_dim, 4 * h);
+  const float sh = glorot(p, 4 * h);
+  wx_ = Param("lstm.wx",
+              Tensor::uniform({config.input_dim, 4 * h}, rng, -sx, sx));
+  wh_ = Param("lstm.wh", Tensor::uniform({p, 4 * h}, rng, -sh, sh));
+  bias_ = Param("lstm.b", Tensor({4 * h}));
+  // Forget-gate bias of 1.0: standard recipe for trainable LSTMs.
+  for (Index j = h; j < 2 * h; ++j) bias_.value(j) = 1.0f;
+  if (config.proj_dim > 0) {
+    const float sp = glorot(h, config.proj_dim);
+    wp_ = Param("lstm.wp",
+                Tensor::uniform({h, config.proj_dim}, rng, -sp, sp));
+  }
+}
+
+void LstmLayer::forward(const std::vector<Tensor>& xs,
+                        std::vector<Tensor>& out) {
+  ZIPFLM_CHECK(!xs.empty(), "LSTM forward needs at least one step");
+  const Index batch = xs.front().rows();
+  const Index h = config_.hidden_dim;
+  const Index p = output_dim();
+
+  cache_.clear();
+  cache_.resize(xs.size());
+  out.assign(xs.size(), Tensor());
+
+  Tensor prev_r({batch, p});
+  Tensor prev_c({batch, h});
+  Tensor pre({batch, 4 * h});
+
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    const Tensor& x = xs[t];
+    ZIPFLM_CHECK(x.rows() == batch && x.cols() == config_.input_dim,
+                 "LSTM step input shape mismatch");
+    StepCache& sc = cache_[t];
+    sc.x = x;
+
+    // Fused pre-activation: pre = x Wx + r_{t-1} Wh + b.
+    gemm(x, false, wx_.value, false, pre, 1.0f, 0.0f);
+    gemm(prev_r, false, wh_.value, false, pre, 1.0f, 1.0f);
+    add_bias_rows(pre, bias_.value);
+
+    // Gate nonlinearities in place: sigmoid on (i, f, o), tanh on g.
+    sc.gates = Tensor({batch, 4 * h});
+    for (Index b = 0; b < batch; ++b) {
+      const auto zin = pre.row(b);
+      auto zout = sc.gates.row(b);
+      for (Index j = 0; j < 4 * h; ++j) {
+        const bool is_candidate = (j >= 2 * h && j < 3 * h);
+        const float z = zin[static_cast<std::size_t>(j)];
+        zout[static_cast<std::size_t>(j)] =
+            is_candidate ? std::tanh(z) : 1.0f / (1.0f + std::exp(-z));
+      }
+    }
+
+    // c_t = f ⊙ c_{t-1} + i ⊙ g;  h_t = o ⊙ tanh(c_t).
+    sc.c = Tensor({batch, h});
+    sc.tanh_c = Tensor({batch, h});
+    sc.h = Tensor({batch, h});
+    for (Index b = 0; b < batch; ++b) {
+      const auto g4 = sc.gates.row(b);
+      const auto cp = prev_c.row(b);
+      auto c = sc.c.row(b);
+      auto tc = sc.tanh_c.row(b);
+      auto hh = sc.h.row(b);
+      for (Index j = 0; j < h; ++j) {
+        const float i_g = g4[static_cast<std::size_t>(j)];
+        const float f_g = g4[static_cast<std::size_t>(h + j)];
+        const float g_g = g4[static_cast<std::size_t>(2 * h + j)];
+        const float o_g = g4[static_cast<std::size_t>(3 * h + j)];
+        const float cv = f_g * cp[static_cast<std::size_t>(j)] + i_g * g_g;
+        c[static_cast<std::size_t>(j)] = cv;
+        const float tcv = std::tanh(cv);
+        tc[static_cast<std::size_t>(j)] = tcv;
+        hh[static_cast<std::size_t>(j)] = o_g * tcv;
+      }
+    }
+
+    if (config_.proj_dim > 0) {
+      sc.r = Tensor({batch, p});
+      gemm(sc.h, false, wp_.value, false, sc.r, 1.0f, 0.0f);
+    } else {
+      sc.r = sc.h;
+    }
+    out[t] = sc.r;
+    prev_r = sc.r;
+    prev_c = sc.c;
+  }
+}
+
+void LstmLayer::backward(const std::vector<Tensor>& dout,
+                         std::vector<Tensor>& dxs) {
+  ZIPFLM_CHECK(dout.size() == cache_.size(),
+               "backward step count must match the cached forward");
+  const Index batch = cache_.front().x.rows();
+  const Index h = config_.hidden_dim;
+  const Index p = output_dim();
+
+  dxs.assign(cache_.size(), Tensor());
+
+  Tensor dr_next({batch, p});  // recurrent gradient flowing from t+1
+  Tensor dc_next({batch, h});
+  Tensor dh({batch, h});
+  Tensor dz({batch, 4 * h});
+  const Tensor zero_c({batch, h});  // state before t = 0
+  const Tensor zero_r({batch, p});
+
+  for (std::size_t ti = cache_.size(); ti-- > 0;) {
+    const StepCache& sc = cache_[ti];
+
+    // Total gradient reaching r_t: output path + recurrence from t+1.
+    Tensor dr = dout[ti];
+    ZIPFLM_CHECK(dr.rows() == batch && dr.cols() == p,
+                 "backward output-gradient shape mismatch");
+    axpy(1.0f, dr_next, dr);
+
+    if (config_.proj_dim > 0) {
+      gemm(sc.h, true, dr, false, wp_.grad, 1.0f, 1.0f);
+      gemm(dr, false, wp_.value, true, dh, 1.0f, 0.0f);
+    } else {
+      dh = dr;
+    }
+
+    // Through h_t = o ⊙ tanh(c_t) and c_t = f ⊙ c_{t-1} + i ⊙ g.
+    const Tensor& prev_c_val = ti > 0 ? cache_[ti - 1].c : zero_c;
+    for (Index b = 0; b < batch; ++b) {
+      const auto g4 = sc.gates.row(b);
+      const auto tc = sc.tanh_c.row(b);
+      const auto cp = prev_c_val.row(b);
+      const auto dhr = dh.row(b);
+      auto dcn = dc_next.row(b);
+      auto dzr = dz.row(b);
+      for (Index j = 0; j < h; ++j) {
+        const float i_g = g4[static_cast<std::size_t>(j)];
+        const float f_g = g4[static_cast<std::size_t>(h + j)];
+        const float g_g = g4[static_cast<std::size_t>(2 * h + j)];
+        const float o_g = g4[static_cast<std::size_t>(3 * h + j)];
+        const float tcv = tc[static_cast<std::size_t>(j)];
+        const float dh_j = dhr[static_cast<std::size_t>(j)];
+
+        const float do_g = dh_j * tcv;
+        const float dc =
+            dcn[static_cast<std::size_t>(j)] + dh_j * o_g * (1.0f - tcv * tcv);
+        const float di = dc * g_g;
+        const float df = dc * cp[static_cast<std::size_t>(j)];
+        const float dg = dc * i_g;
+
+        dzr[static_cast<std::size_t>(j)] = di * i_g * (1.0f - i_g);
+        dzr[static_cast<std::size_t>(h + j)] = df * f_g * (1.0f - f_g);
+        dzr[static_cast<std::size_t>(2 * h + j)] = dg * (1.0f - g_g * g_g);
+        dzr[static_cast<std::size_t>(3 * h + j)] = do_g * o_g * (1.0f - o_g);
+
+        dcn[static_cast<std::size_t>(j)] = dc * f_g;  // to step t-1
+      }
+    }
+
+    // Parameter gradients and input gradients.
+    gemm(sc.x, true, dz, false, wx_.grad, 1.0f, 1.0f);
+    const Tensor& prev_r_val = ti > 0 ? cache_[ti - 1].r : zero_r;
+    gemm(prev_r_val, true, dz, false, wh_.grad, 1.0f, 1.0f);
+    bias_grad(dz, bias_.grad);
+
+    dxs[ti] = Tensor({batch, config_.input_dim});
+    gemm(dz, false, wx_.value, true, dxs[ti], 1.0f, 0.0f);
+    gemm(dz, false, wh_.value, true, dr_next, 1.0f, 0.0f);
+  }
+}
+
+std::vector<Param*> LstmLayer::params() {
+  std::vector<Param*> ps{&wx_, &wh_, &bias_};
+  if (config_.proj_dim > 0) ps.push_back(&wp_);
+  return ps;
+}
+
+void LstmLayer::zero_grad() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+double LstmLayer::flops_per_token() const noexcept {
+  const double h = static_cast<double>(config_.hidden_dim);
+  const double d = static_cast<double>(config_.input_dim);
+  const double p = static_cast<double>(output_dim());
+  // Forward MACs per token: x·Wx + r·Wh + projection.
+  double fwd = d * 4.0 * h + p * 4.0 * h;
+  if (config_.proj_dim > 0) fwd += h * p;
+  // 2 FLOPs per MAC; backward ≈ 2x forward.
+  return 2.0 * fwd * 3.0;
+}
+
+}  // namespace zipflm

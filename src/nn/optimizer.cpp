@@ -1,0 +1,105 @@
+#include "zipflm/nn/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "zipflm/tensor/ops.hpp"
+
+namespace zipflm {
+
+void Sgd::step(std::span<Param* const> params) {
+  for (Param* p : params) {
+    if (clip_ > 0.0f) clip(p->grad, clip_);
+    const float* g = p->grad.data().data();
+    float* v = p->value.data().data();
+    const std::size_t n = p->value.data().size();
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] -= lr_ * (g[i] + weight_decay_ * v[i]);
+    }
+  }
+}
+
+void Sgd::step_rows(Param& table, const Tensor& rows,
+                    std::span<const Index> ids) {
+  ZIPFLM_CHECK(rows.rank() == 2 && rows.cols() == table.value.cols(),
+               "sparse step row width must match the table");
+  ZIPFLM_CHECK(rows.rows() == static_cast<Index>(ids.size()),
+               "one id per gradient row");
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto src = rows.row(static_cast<Index>(i));
+    auto dst = table.value.row(ids[i]);
+    for (std::size_t j = 0; j < dst.size(); ++j) {
+      float g = src[j];
+      if (clip_ > 0.0f) g = std::clamp(g, -clip_, clip_);
+      dst[j] -= lr_ * (g + weight_decay_ * dst[j]);
+    }
+  }
+}
+
+Adam::Moments& Adam::moments_for(const Param& p) {
+  auto it = state_.find(&p);
+  if (it == state_.end()) {
+    Moments mo;
+    mo.m = Tensor(p.value.shape());
+    mo.v = Tensor(p.value.shape());
+    it = state_.emplace(&p, std::move(mo)).first;
+  }
+  return it->second;
+}
+
+void Adam::apply_element(float& value, float g, Moments& mo,
+                         std::size_t flat) {
+  if (cfg_.clip > 0.0f) g = std::clamp(g, -cfg_.clip, cfg_.clip);
+  float& m = mo.m.data()[flat];
+  float& v = mo.v.data()[flat];
+  m = cfg_.beta1 * m + (1.0f - cfg_.beta1) * g;
+  v = cfg_.beta2 * v + (1.0f - cfg_.beta2) * g * g;
+  const float bc1 =
+      1.0f - std::pow(cfg_.beta1, static_cast<float>(std::max<std::int64_t>(t_, 1)));
+  const float bc2 =
+      1.0f - std::pow(cfg_.beta2, static_cast<float>(std::max<std::int64_t>(t_, 1)));
+  const float mhat = m / bc1;
+  const float vhat = v / bc2;
+  value -= cfg_.lr * (mhat / (std::sqrt(vhat) + cfg_.eps) +
+                      cfg_.weight_decay * value);
+}
+
+void Adam::step(std::span<Param* const> params) {
+  for (Param* p : params) {
+    Moments& mo = moments_for(*p);
+    const float* g = p->grad.data().data();
+    float* v = p->value.data().data();
+    const std::size_t n = p->value.data().size();
+    for (std::size_t i = 0; i < n; ++i) apply_element(v[i], g[i], mo, i);
+  }
+}
+
+void Adam::step_rows(Param& table, const Tensor& rows,
+                     std::span<const Index> ids) {
+  ZIPFLM_CHECK(rows.rank() == 2 && rows.cols() == table.value.cols(),
+               "sparse step row width must match the table");
+  ZIPFLM_CHECK(rows.rows() == static_cast<Index>(ids.size()),
+               "one id per gradient row");
+  Moments& mo = moments_for(table);
+  const Index width = table.value.cols();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto src = rows.row(static_cast<Index>(i));
+    auto dst = table.value.row(ids[i]);
+    const std::size_t base =
+        static_cast<std::size_t>(ids[i]) * static_cast<std::size_t>(width);
+    for (std::size_t j = 0; j < dst.size(); ++j) {
+      apply_element(dst[j], src[j], mo, base + j);
+    }
+  }
+}
+
+float scaled_learning_rate(float base_lr, int nodes, int epoch, float decay) {
+  ZIPFLM_CHECK(nodes >= 1, "node count must be positive");
+  // Paper: multiply the 8-GPU base rate by log_e(#nodes).  Clamped below
+  // at 1 so 1-2 node runs keep the base rate (ln 2 < 1 would otherwise
+  // *reduce* the rate when adding the second node).
+  const float scale = std::max(1.0f, std::log(static_cast<float>(nodes)));
+  return base_lr * scale * std::pow(decay, static_cast<float>(epoch));
+}
+
+}  // namespace zipflm

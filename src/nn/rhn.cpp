@@ -1,0 +1,197 @@
+#include "zipflm/nn/rhn.hpp"
+
+#include <cmath>
+
+#include "zipflm/tensor/ops.hpp"
+
+namespace zipflm {
+
+namespace {
+float glorot(Index fan_in, Index fan_out) {
+  return std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+}
+}  // namespace
+
+RhnLayer::RhnLayer(const RhnConfig& config, Rng& rng) : config_(config) {
+  ZIPFLM_CHECK(config.input_dim > 0 && config.hidden_dim > 0,
+               "RHN dimensions must be positive");
+  ZIPFLM_CHECK(config.depth >= 1, "RHN depth must be at least 1");
+  const Index d = config.input_dim;
+  const Index h = config.hidden_dim;
+  const float sx = glorot(d, h);
+  const float sr = glorot(h, h);
+  wh_ = Param("rhn.wh", Tensor::uniform({d, h}, rng, -sx, sx));
+  wt_ = Param("rhn.wt", Tensor::uniform({d, h}, rng, -sx, sx));
+  depth_.reserve(static_cast<std::size_t>(config.depth));
+  for (Index l = 0; l < config.depth; ++l) {
+    DepthParams dp;
+    dp.rh = Param("rhn.rh." + std::to_string(l),
+                  Tensor::uniform({h, h}, rng, -sr, sr));
+    dp.rt = Param("rhn.rt." + std::to_string(l),
+                  Tensor::uniform({h, h}, rng, -sr, sr));
+    dp.bh = Param("rhn.bh." + std::to_string(l), Tensor({h}));
+    dp.bt = Param("rhn.bt." + std::to_string(l), Tensor({h}));
+    // Negative transform bias: start close to carry (standard RHN
+    // initialization, keeps deep recurrences stable early in training).
+    dp.bt.value.fill(-2.0f);
+    depth_.push_back(std::move(dp));
+  }
+}
+
+void RhnLayer::forward(const std::vector<Tensor>& xs,
+                       std::vector<Tensor>& out) {
+  ZIPFLM_CHECK(!xs.empty(), "RHN forward needs at least one step");
+  const Index batch = xs.front().rows();
+  const Index h = config_.hidden_dim;
+
+  cache_.clear();
+  cache_.resize(xs.size());
+  out.assign(xs.size(), Tensor());
+
+  Tensor state({batch, h});  // s_0 for the first timestep: zeros
+  Tensor pre_h({batch, h});
+  Tensor pre_t({batch, h});
+
+  for (std::size_t ti = 0; ti < xs.size(); ++ti) {
+    const Tensor& x = xs[ti];
+    ZIPFLM_CHECK(x.rows() == batch && x.cols() == config_.input_dim,
+                 "RHN step input shape mismatch");
+    StepCache& sc = cache_[ti];
+    sc.x = x;
+    sc.micro.resize(static_cast<std::size_t>(config_.depth));
+
+    for (Index l = 0; l < config_.depth; ++l) {
+      auto& dp = depth_[static_cast<std::size_t>(l)];
+      auto& mc = sc.micro[static_cast<std::size_t>(l)];
+
+      gemm(state, false, dp.rh.value, false, pre_h, 1.0f, 0.0f);
+      gemm(state, false, dp.rt.value, false, pre_t, 1.0f, 0.0f);
+      if (l == 0) {
+        gemm(x, false, wh_.value, false, pre_h, 1.0f, 1.0f);
+        gemm(x, false, wt_.value, false, pre_t, 1.0f, 1.0f);
+      }
+      add_bias_rows(pre_h, dp.bh.value);
+      add_bias_rows(pre_t, dp.bt.value);
+
+      mc.h = Tensor({batch, h});
+      mc.t = Tensor({batch, h});
+      mc.s = Tensor({batch, h});
+      for (Index b = 0; b < batch; ++b) {
+        const auto ph = pre_h.row(b);
+        const auto pt = pre_t.row(b);
+        const auto sp = state.row(b);
+        auto hr = mc.h.row(b);
+        auto tr = mc.t.row(b);
+        auto srow = mc.s.row(b);
+        for (Index j = 0; j < h; ++j) {
+          const float hv = std::tanh(ph[static_cast<std::size_t>(j)]);
+          const float tv =
+              1.0f / (1.0f + std::exp(-pt[static_cast<std::size_t>(j)]));
+          hr[static_cast<std::size_t>(j)] = hv;
+          tr[static_cast<std::size_t>(j)] = tv;
+          srow[static_cast<std::size_t>(j)] =
+              hv * tv + sp[static_cast<std::size_t>(j)] * (1.0f - tv);
+        }
+      }
+      state = mc.s;
+    }
+    out[ti] = state;
+  }
+}
+
+void RhnLayer::backward(const std::vector<Tensor>& dout,
+                        std::vector<Tensor>& dxs) {
+  ZIPFLM_CHECK(dout.size() == cache_.size(),
+               "backward step count must match the cached forward");
+  const Index batch = cache_.front().x.rows();
+  const Index h = config_.hidden_dim;
+
+  dxs.assign(cache_.size(), Tensor());
+
+  Tensor ds_next({batch, h});  // recurrent gradient from timestep t+1
+  Tensor dzh({batch, h});
+  Tensor dzt({batch, h});
+  const Tensor zero_s({batch, h});
+
+  for (std::size_t ti = cache_.size(); ti-- > 0;) {
+    const StepCache& sc = cache_[ti];
+    Tensor ds = dout[ti];
+    ZIPFLM_CHECK(ds.rows() == batch && ds.cols() == h,
+                 "backward output-gradient shape mismatch");
+    axpy(1.0f, ds_next, ds);
+
+    dxs[ti] = Tensor({batch, config_.input_dim});
+
+    for (Index l = config_.depth; l-- > 0;) {
+      auto& dp = depth_[static_cast<std::size_t>(l)];
+      const auto& mc = sc.micro[static_cast<std::size_t>(l)];
+      // State entering this micro-layer.
+      const Tensor& s_prev =
+          l > 0 ? sc.micro[static_cast<std::size_t>(l - 1)].s
+                : (ti > 0 ? cache_[ti - 1].micro.back().s : zero_s);
+
+      Tensor ds_prev({batch, h});
+      for (Index b = 0; b < batch; ++b) {
+        const auto hr = mc.h.row(b);
+        const auto tr = mc.t.row(b);
+        const auto spr = s_prev.row(b);
+        const auto dsr = ds.row(b);
+        auto dzhr = dzh.row(b);
+        auto dztr = dzt.row(b);
+        auto dspr = ds_prev.row(b);
+        for (Index j = 0; j < h; ++j) {
+          const float hv = hr[static_cast<std::size_t>(j)];
+          const float tv = tr[static_cast<std::size_t>(j)];
+          const float sv = spr[static_cast<std::size_t>(j)];
+          const float d = dsr[static_cast<std::size_t>(j)];
+          const float dh = d * tv;
+          const float dt = d * (hv - sv);
+          dzhr[static_cast<std::size_t>(j)] = dh * (1.0f - hv * hv);
+          dztr[static_cast<std::size_t>(j)] = dt * tv * (1.0f - tv);
+          dspr[static_cast<std::size_t>(j)] = d * (1.0f - tv);
+        }
+      }
+
+      gemm(s_prev, true, dzh, false, dp.rh.grad, 1.0f, 1.0f);
+      gemm(s_prev, true, dzt, false, dp.rt.grad, 1.0f, 1.0f);
+      bias_grad(dzh, dp.bh.grad);
+      bias_grad(dzt, dp.bt.grad);
+      gemm(dzh, false, dp.rh.value, true, ds_prev, 1.0f, 1.0f);
+      gemm(dzt, false, dp.rt.value, true, ds_prev, 1.0f, 1.0f);
+
+      if (l == 0) {
+        gemm(sc.x, true, dzh, false, wh_.grad, 1.0f, 1.0f);
+        gemm(sc.x, true, dzt, false, wt_.grad, 1.0f, 1.0f);
+        gemm(dzh, false, wh_.value, true, dxs[ti], 1.0f, 1.0f);
+        gemm(dzt, false, wt_.value, true, dxs[ti], 1.0f, 1.0f);
+      }
+      ds = std::move(ds_prev);
+    }
+    ds_next = std::move(ds);
+  }
+}
+
+std::vector<Param*> RhnLayer::params() {
+  std::vector<Param*> ps{&wh_, &wt_};
+  for (auto& dp : depth_) {
+    ps.push_back(&dp.rh);
+    ps.push_back(&dp.rt);
+    ps.push_back(&dp.bh);
+    ps.push_back(&dp.bt);
+  }
+  return ps;
+}
+
+void RhnLayer::zero_grad() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+double RhnLayer::flops_per_token() const noexcept {
+  const double d = static_cast<double>(config_.input_dim);
+  const double h = static_cast<double>(config_.hidden_dim);
+  const double depth = static_cast<double>(config_.depth);
+  const double fwd_macs = 2.0 * d * h + depth * 2.0 * h * h;
+  return 2.0 * fwd_macs * 3.0;
+}
+
+}  // namespace zipflm

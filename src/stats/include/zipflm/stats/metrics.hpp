@@ -1,0 +1,32 @@
+// Evaluation metrics used throughout the paper's Section V.
+#pragma once
+
+#include <cstdint>
+
+namespace zipflm {
+
+/// Perplexity from a mean cross-entropy in nats/token.
+double perplexity_from_nats(double nats);
+
+/// Bits-per-character from nats/char (the paper's BPC metric, §V-D).
+double bpc_from_nats(double nats);
+
+/// log2(perplexity) — the paper's conversion in §V-C.
+double bpc_from_perplexity(double ppl);
+
+/// Compression ratio (§V-C): corpus bytes divided by the compressed size
+/// implied by the model, bits-per-char * characters / 8.
+double compression_ratio(double corpus_bytes, double bits_per_char,
+                         double characters);
+
+/// Parallel efficiency of scaling from (g0, t0) to (g1, t1) where t is
+/// time per epoch at fixed local batch (Tables III/IV): ideal time at g1
+/// is t0 * g0 / g1.
+double parallel_efficiency(int g0, double t0_hours, int g1, double t1_hours);
+
+/// Speedup of b over a.
+inline double speedup(double a_seconds, double b_seconds) {
+  return a_seconds / b_seconds;
+}
+
+}  // namespace zipflm

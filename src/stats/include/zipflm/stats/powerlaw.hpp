@@ -1,0 +1,31 @@
+// Power-law fitting: U = c * N^alpha via least squares in log-log space,
+// with the coefficient of determination the paper reports (R² = 1.00 in
+// Fig 1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace zipflm {
+
+struct PowerLawFit {
+  double coefficient = 0.0;  ///< c
+  double exponent = 0.0;     ///< alpha
+  double r_squared = 0.0;
+  double predict(double x) const;
+};
+
+/// Fit y = c * x^alpha to (x, y) pairs; all values must be positive.
+PowerLawFit fit_power_law(std::span<const double> x,
+                          std::span<const double> y);
+
+/// Simple linear regression y = a + b x (helper, also used directly).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+}  // namespace zipflm

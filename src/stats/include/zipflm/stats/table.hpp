@@ -1,0 +1,25 @@
+// Plain-text table rendering for the experiment benchmarks: every bench
+// binary prints the corresponding paper table/figure in this format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace zipflm {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with column alignment and a header rule.
+  std::string render() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace zipflm

@@ -1,0 +1,34 @@
+#include "zipflm/stats/metrics.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "zipflm/support/error.hpp"
+
+namespace zipflm {
+
+double perplexity_from_nats(double nats) { return std::exp(nats); }
+
+double bpc_from_nats(double nats) { return nats / std::numbers::ln2; }
+
+double bpc_from_perplexity(double ppl) {
+  ZIPFLM_CHECK(ppl > 0.0, "perplexity must be positive");
+  return std::log2(ppl);
+}
+
+double compression_ratio(double corpus_bytes, double bits_per_char,
+                         double characters) {
+  ZIPFLM_CHECK(bits_per_char > 0.0 && characters > 0.0,
+               "compression ratio needs positive bpc and size");
+  return corpus_bytes / (bits_per_char * characters / 8.0);
+}
+
+double parallel_efficiency(int g0, double t0_hours, int g1, double t1_hours) {
+  ZIPFLM_CHECK(g0 > 0 && g1 > 0 && t0_hours > 0.0 && t1_hours > 0.0,
+               "efficiency needs positive gpu counts and times");
+  const double ideal = t0_hours * static_cast<double>(g0) /
+                       static_cast<double>(g1);
+  return ideal / t1_hours;
+}
+
+}  // namespace zipflm

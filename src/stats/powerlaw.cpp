@@ -1,0 +1,61 @@
+#include "zipflm/stats/powerlaw.hpp"
+
+#include <cmath>
+
+#include "zipflm/support/error.hpp"
+
+namespace zipflm {
+
+double PowerLawFit::predict(double x) const {
+  return coefficient * std::pow(x, exponent);
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  ZIPFLM_CHECK(x.size() == y.size() && x.size() >= 2,
+               "linear fit needs at least two matched points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  ZIPFLM_CHECK(denom != 0.0, "degenerate x values in linear fit");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  // R^2 = 1 - SS_res / SS_tot.
+  const double mean_y = sy / n;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit.intercept + fit.slope * x[i];
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+PowerLawFit fit_power_law(std::span<const double> x,
+                          std::span<const double> y) {
+  ZIPFLM_CHECK(x.size() == y.size() && x.size() >= 2,
+               "power-law fit needs at least two matched points");
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ZIPFLM_CHECK(x[i] > 0.0 && y[i] > 0.0,
+                 "power-law fit requires positive values");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  const LinearFit lin = fit_linear(lx, ly);
+  PowerLawFit fit;
+  fit.coefficient = std::exp(lin.intercept);
+  fit.exponent = lin.slope;
+  fit.r_squared = lin.r_squared;
+  return fit;
+}
+
+}  // namespace zipflm

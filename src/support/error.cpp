@@ -1,0 +1,27 @@
+#include "zipflm/support/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace zipflm::detail {
+
+[[noreturn]] void assertion_failure(const char* expr, const char* message,
+                                    const std::source_location& loc) {
+  std::fprintf(stderr,
+               "zipflm assertion failed: %s\n  message: %s\n  at %s:%u (%s)\n",
+               expr, message, loc.file_name(),
+               static_cast<unsigned>(loc.line()), loc.function_name());
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void check_failure(const char* expr, const std::string& message,
+                                const std::source_location& loc) {
+  std::ostringstream os;
+  os << message << " [check `" << expr << "` failed at " << loc.file_name()
+     << ":" << loc.line() << "]";
+  throw ConfigError(os.str());
+}
+
+}  // namespace zipflm::detail

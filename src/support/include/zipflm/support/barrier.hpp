@@ -1,0 +1,86 @@
+// Reusable cyclic barrier for the in-process rank runtime.
+//
+// std::barrier would work, but we also need (a) a generation counter that
+// collectives use to detect mismatched invocation order across ranks and
+// (b) the ability to time how long ranks wait (load-imbalance accounting).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "zipflm/support/error.hpp"
+
+namespace zipflm {
+
+/// Thrown out of arrive_and_wait() when another rank failed and aborted
+/// the barrier; distinguishes abort victims from the originating error.
+class BarrierAborted : public Error {
+ public:
+  BarrierAborted() : Error("barrier aborted by a failing rank") {}
+};
+
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(int parties) : parties_(parties) {
+    ZIPFLM_CHECK(parties > 0, "barrier needs at least one party");
+  }
+
+  CyclicBarrier(const CyclicBarrier&) = delete;
+  CyclicBarrier& operator=(const CyclicBarrier&) = delete;
+
+  /// Block until all parties arrive.  Returns the generation index that
+  /// this arrival completed (same value on every rank for one crossing).
+  /// Throws zipflm::Error if the barrier was aborted while waiting, so a
+  /// failing rank cannot deadlock the remaining ranks.
+  std::uint64_t arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    if (aborted_) throw BarrierAborted();
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen || aborted_; });
+      if (aborted_ && generation_ == gen) throw BarrierAborted();
+    }
+    return gen;
+  }
+
+  /// Wake every waiter with an error; subsequent arrivals throw too.
+  void abort() {
+    {
+      std::scoped_lock lock(mutex_);
+      aborted_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Clear abort/arrival state.  Only valid while no thread is waiting
+  /// (i.e. between CommWorld::run invocations).
+  void reset() {
+    std::scoped_lock lock(mutex_);
+    aborted_ = false;
+    arrived_ = 0;
+  }
+
+  int parties() const noexcept { return parties_; }
+
+  /// Number of completed crossings so far (monotone; racy read is fine for
+  /// diagnostics only).
+  std::uint64_t generation() const {
+    std::scoped_lock lock(mutex_);
+    return generation_;
+  }
+
+ private:
+  const int parties_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace zipflm

@@ -1,0 +1,80 @@
+// Error handling primitives shared by every zipflm module.
+//
+// Following the C++ Core Guidelines (E.2, E.3) we throw exceptions for
+// runtime failures that callers can reasonably handle (bad configuration,
+// simulated out-of-memory) and use ZIPFLM_ASSERT for programming errors
+// that indicate a bug in the library itself.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace zipflm {
+
+/// Base class of all zipflm exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A user-supplied configuration value is invalid (bad dimension, bad
+/// rank count, inconsistent model description, ...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// A simulated device ran out of memory.  This mirrors the `*` entries in
+/// the paper's Tables III and IV where the baseline exceeds 12 GB HBM.
+class OutOfMemoryError : public Error {
+ public:
+  OutOfMemoryError(const std::string& what, std::size_t requested_bytes,
+                   std::size_t available_bytes)
+      : Error(what),
+        requested_bytes_(requested_bytes),
+        available_bytes_(available_bytes) {}
+
+  std::size_t requested_bytes() const noexcept { return requested_bytes_; }
+  std::size_t available_bytes() const noexcept { return available_bytes_; }
+
+ private:
+  std::size_t requested_bytes_ = 0;
+  std::size_t available_bytes_ = 0;
+};
+
+/// A collective was invoked inconsistently across ranks (mismatched sizes,
+/// mismatched operation order).  Corresponds to MPI's undefined behaviour
+/// on mismatched collectives, surfaced as a hard error in the simulator.
+class CollectiveMismatchError : public Error {
+ public:
+  explicit CollectiveMismatchError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assertion_failure(const char* expr, const char* message,
+                                    const std::source_location& loc);
+[[noreturn]] void check_failure(const char* expr, const std::string& message,
+                                const std::source_location& loc);
+}  // namespace detail
+
+}  // namespace zipflm
+
+/// Programming-error assertion: active in all build types because the
+/// simulator's correctness claims depend on them.  Terminates.
+#define ZIPFLM_ASSERT(expr, message)                              \
+  do {                                                            \
+    if (!(expr)) [[unlikely]] {                                   \
+      ::zipflm::detail::assertion_failure(                        \
+          #expr, (message), std::source_location::current());     \
+    }                                                             \
+  } while (false)
+
+/// Recoverable-error check: throws zipflm::ConfigError.
+#define ZIPFLM_CHECK(expr, message)                               \
+  do {                                                            \
+    if (!(expr)) [[unlikely]] {                                   \
+      ::zipflm::detail::check_failure(                            \
+          #expr, (message), std::source_location::current());     \
+    }                                                             \
+  } while (false)

@@ -1,0 +1,25 @@
+// Human-readable formatting helpers used by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace zipflm {
+
+/// "1.23 GB", "512.0 MB", "96 B" — binary units (GiB shown as GB to match
+/// the paper's usage).
+std::string format_bytes(std::uint64_t bytes);
+
+/// "3.5 h", "12.4 min", "8.1 s", "730 us".
+std::string format_duration(double seconds);
+
+/// "1.23e+07" style compact scientific for table cells.
+std::string format_sci(double value, int digits = 2);
+
+/// Fixed-point with the given number of decimals.
+std::string format_fixed(double value, int decimals = 2);
+
+/// "12,288" style thousands separators.
+std::string format_count(std::uint64_t value);
+
+}  // namespace zipflm

@@ -1,0 +1,97 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// The paper's seeding technique (Section III-B) requires precise control
+// over which ranks share a random stream.  std::mt19937 state is large and
+// awkward to fork deterministically, so we use SplitMix64 for seeding and
+// xoshiro256** for bulk generation: tiny state, excellent statistical
+// quality, and a cheap `jump()`-free forking discipline (derive child seeds
+// through SplitMix64).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace zipflm {
+
+/// SplitMix64: used to expand one 64-bit seed into many well-mixed seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the library's workhorse generator.
+/// Satisfies std::uniform_random_bit_generator so it plugs into <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x5EEDF00DULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  constexpr std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless bounded sampling (single-pass variant;
+    // the modulo bias is < 2^-64 * n, negligible for our n < 2^32).
+    const std::uint64_t x = (*this)();
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * n) >> 64);
+  }
+
+  /// Standard normal via Box-Muller (returns one value, caches none:
+  /// keeps the generator state a pure function of draw count).
+  double normal() noexcept;
+
+  /// Derive a child generator whose stream is independent of the parent's
+  /// continued use.  Deterministic in (parent seed, stream id).
+  static Rng fork(std::uint64_t seed, std::uint64_t stream) noexcept {
+    SplitMix64 sm(seed ^ (0xA5A5A5A5DEADBEEFULL + stream * 0x9E3779B97F4A7C15ULL));
+    return Rng(sm.next());
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace zipflm

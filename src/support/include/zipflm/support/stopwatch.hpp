@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for benchmarking real kernel execution.
+// Simulated time (hours-per-epoch in the paper's tables) lives in
+// zipflm::sim, not here.
+#pragma once
+
+#include <chrono>
+
+namespace zipflm {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace zipflm

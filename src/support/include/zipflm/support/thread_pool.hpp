@@ -1,0 +1,50 @@
+// Minimal fixed-size thread pool used for intra-"GPU" kernel parallelism
+// (blocked GEMM, elementwise sweeps).  Rank-level parallelism in comm/ uses
+// dedicated threads, not this pool, so the two levels never deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace zipflm {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, n) across the pool and block until done.
+  /// Falls back to a serial loop when n is small or the pool is size 1.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Split [0, n) into contiguous chunks, one task per chunk:
+  /// fn(begin, end).  This is the form kernels actually want.
+  void parallel_chunks(std::size_t n,
+                       const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide pool for kernels; created on first use.
+  static ThreadPool& global();
+
+ private:
+  void submit(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace zipflm

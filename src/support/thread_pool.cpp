@@ -1,0 +1,91 @@
+#include "zipflm/support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+
+#include "zipflm/support/error.hpp"
+
+namespace zipflm {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::scoped_lock lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_chunks(n, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::parallel_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = size();
+  // Small trip counts are cheaper serial than through the queue.
+  if (workers <= 1 || n < 2048) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunks = std::min(workers, n);
+  const std::size_t per = (n + chunks - 1) / chunks;
+  std::atomic<std::size_t> remaining{chunks};
+  std::promise<void> done;
+  auto future = done.get_future();
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * per;
+    const std::size_t end = std::min(n, begin + per);
+    submit([&, begin, end] {
+      fn(begin, end);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        done.set_value();
+      }
+    });
+  }
+  future.wait();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace zipflm

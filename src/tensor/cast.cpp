@@ -1,0 +1,52 @@
+#include "zipflm/tensor/cast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zipflm {
+
+void compress_fp16(std::span<const float> src, float scale,
+                   std::vector<Half>& dst) {
+  dst.resize(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = Half(src[i] * scale);
+  }
+}
+
+void decompress_fp16(std::span<const Half> src, float scale,
+                     std::vector<float>& dst) {
+  dst.resize(src.size());
+  const float inv = 1.0f / scale;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = static_cast<float>(src[i]) * inv;
+  }
+}
+
+void fp16_round_trip(std::span<float> values, float scale) {
+  const float inv = 1.0f / scale;
+  for (float& v : values) {
+    v = static_cast<float>(Half(v * scale)) * inv;
+  }
+}
+
+CastLossStats measure_cast_loss(std::span<const float> values, float scale) {
+  CastLossStats stats;
+  stats.total = values.size();
+  const float inv = 1.0f / scale;
+  for (float v : values) {
+    const Half h(v * scale);
+    const float back = static_cast<float>(h) * inv;
+    if (v != 0.0f && back == 0.0f) {
+      ++stats.flushed_to_zero;
+    } else if (std::isfinite(v * scale) && h.is_inf()) {
+      ++stats.overflowed;
+    } else if (v != 0.0f && std::isfinite(back)) {
+      stats.max_rel_error = std::max(
+          stats.max_rel_error,
+          static_cast<double>(std::fabs(back - v) / std::fabs(v)));
+    }
+  }
+  return stats;
+}
+
+}  // namespace zipflm

@@ -1,0 +1,88 @@
+#include "zipflm/tensor/half.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace zipflm {
+
+namespace {
+inline std::uint32_t float_bits(float f) noexcept {
+  return std::bit_cast<std::uint32_t>(f);
+}
+inline float bits_float(std::uint32_t b) noexcept {
+  return std::bit_cast<float>(b);
+}
+}  // namespace
+
+std::uint16_t Half::from_float(float value) noexcept {
+  const std::uint32_t f = float_bits(value);
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::uint32_t abs = f & 0x7FFFFFFFu;
+
+  if (abs >= 0x7F800000u) {
+    // Inf or NaN.  Preserve NaN-ness by forcing a mantissa bit.
+    const std::uint32_t mantissa = abs > 0x7F800000u ? 0x0200u : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | mantissa);
+  }
+  if (abs >= 0x477FF000u) {
+    // Rounds to >= 2^16: overflow to infinity.  (0x477FF000 is the first
+    // float whose round-to-nearest half exceeds max_finite.)
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (abs < 0x38800000u) {
+    // Subnormal half (or zero).  Shift the implicit-1 mantissa into the
+    // subnormal position and round to nearest even.
+    if (abs < 0x33000000u) {
+      // Below half of the smallest subnormal: rounds to zero.
+      return static_cast<std::uint16_t>(sign);
+    }
+    // The subnormal mantissa is round(|v| * 2^24) = round(M * 2^(exp-126))
+    // where M is the 24-bit significand including the implicit 1: shift
+    // right by (126 - exp) with round-to-nearest-even.
+    const std::uint32_t exp = abs >> 23;
+    const std::uint32_t shift = 126 - exp;  // 14..24 in this branch
+    const std::uint64_t mant =
+        static_cast<std::uint64_t>((abs & 0x007FFFFFu) | 0x00800000u);
+    const std::uint64_t round_bit = 1ull << (shift - 1);
+    const std::uint64_t half_ulp = mant & round_bit;
+    const std::uint64_t sticky = mant & (round_bit - 1);
+    std::uint64_t result = mant >> shift;
+    if (half_ulp && (sticky || (result & 1u))) ++result;
+    return static_cast<std::uint16_t>(sign | result);
+  }
+  // Normal half.  Rebias exponent (127 -> 15) and round mantissa 23 -> 10.
+  std::uint32_t half_exp = ((abs >> 23) - 112) << 10;
+  std::uint32_t half_mant = (abs >> 13) & 0x03FFu;
+  const std::uint32_t rest = abs & 0x1FFFu;
+  std::uint32_t result = half_exp | half_mant;
+  if (rest > 0x1000u || (rest == 0x1000u && (result & 1u))) {
+    ++result;  // may carry into the exponent; that is exactly correct.
+  }
+  return static_cast<std::uint16_t>(sign | result);
+}
+
+float Half::to_float(std::uint16_t bits) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1Fu;
+  const std::uint32_t mant = bits & 0x03FFu;
+
+  if (exp == 0x1Fu) {
+    // Inf / NaN.
+    return bits_float(sign | 0x7F800000u | (mant << 13));
+  }
+  if (exp == 0) {
+    if (mant == 0) return bits_float(sign);  // signed zero
+    // Subnormal: normalize.
+    std::uint32_t m = mant;
+    std::uint32_t e = 113;  // exponent of 2^-14 in float bias terms + 1
+    while ((m & 0x0400u) == 0) {
+      m <<= 1;
+      --e;
+    }
+    m &= 0x03FFu;
+    return bits_float(sign | (e << 23) | (m << 13));
+  }
+  return bits_float(sign | ((exp + 112) << 23) | (mant << 13));
+}
+
+}  // namespace zipflm

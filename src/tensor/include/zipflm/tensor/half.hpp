@@ -1,0 +1,60 @@
+// IEEE 754 binary16 ("half") implemented in software.
+//
+// The paper's compression technique (Section III-C) down-casts FP32
+// gradients to FP16 for the wire and up-casts on receipt.  We implement
+// the format bit-exactly — including subnormals, infinities and NaN,
+// with round-to-nearest-even on conversion — so the accuracy-loss
+// experiments measure real binary16 behaviour, not an approximation.
+#pragma once
+
+#include <cstdint>
+
+namespace zipflm {
+
+class Half {
+ public:
+  constexpr Half() noexcept = default;
+  explicit Half(float value) noexcept : bits_(from_float(value)) {}
+
+  /// Reinterpret raw binary16 bits.
+  static constexpr Half from_bits(std::uint16_t bits) noexcept {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  explicit operator float() const noexcept { return to_float(bits_); }
+  constexpr std::uint16_t bits() const noexcept { return bits_; }
+
+  constexpr bool is_nan() const noexcept {
+    return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) != 0;
+  }
+  constexpr bool is_inf() const noexcept { return (bits_ & 0x7FFFu) == 0x7C00u; }
+  constexpr bool is_zero() const noexcept { return (bits_ & 0x7FFFu) == 0; }
+  constexpr bool signbit() const noexcept { return (bits_ & 0x8000u) != 0; }
+
+  friend constexpr bool operator==(Half a, Half b) noexcept {
+    if (a.is_nan() || b.is_nan()) return false;
+    if (a.is_zero() && b.is_zero()) return true;  // +0 == -0
+    return a.bits_ == b.bits_;
+  }
+
+  /// Largest finite half: 65504.
+  static constexpr float max_finite() noexcept { return 65504.0f; }
+  /// Smallest positive normal: 2^-14.
+  static constexpr float min_normal() noexcept { return 6.103515625e-05f; }
+  /// Smallest positive subnormal: 2^-24.
+  static constexpr float min_subnormal() noexcept { return 5.9604644775390625e-08f; }
+
+  /// Round-to-nearest-even FP32 -> binary16 bits.
+  static std::uint16_t from_float(float value) noexcept;
+  /// Exact binary16 bits -> FP32 (every half is representable in float).
+  static float to_float(std::uint16_t bits) noexcept;
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(Half) == 2, "Half must be wire-compatible with binary16");
+
+}  // namespace zipflm

@@ -1,0 +1,117 @@
+// Dense row-major FP32 tensor.
+//
+// Deliberately minimal: the LM stack needs matrices (and occasionally
+// 3-D batches), gather/scatter by row, and BLAS-3.  Value semantics,
+// contiguous storage, no strides — every view is a std::span over rows,
+// which keeps kernels simple and the aliasing rules obvious (Core
+// Guidelines P.1, F.24).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "zipflm/support/error.hpp"
+#include "zipflm/support/rng.hpp"
+
+namespace zipflm {
+
+using Index = std::int64_t;
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Construct a zero-filled tensor with the given shape.
+  explicit Tensor(std::vector<Index> shape);
+  Tensor(std::initializer_list<Index> shape)
+      : Tensor(std::vector<Index>(shape)) {}
+
+  static Tensor zeros(std::initializer_list<Index> shape) {
+    return Tensor(shape);
+  }
+  static Tensor full(std::initializer_list<Index> shape, float value);
+  /// I.i.d. normal(0, stddev) entries.
+  static Tensor randn(std::initializer_list<Index> shape, Rng& rng,
+                      float stddev = 1.0f);
+  /// I.i.d. uniform[lo, hi) entries.
+  static Tensor uniform(std::initializer_list<Index> shape, Rng& rng, float lo,
+                        float hi);
+
+  Index rank() const noexcept { return static_cast<Index>(shape_.size()); }
+  const std::vector<Index>& shape() const noexcept { return shape_; }
+  Index dim(Index i) const {
+    ZIPFLM_ASSERT(i >= 0 && i < rank(), "dim index out of range");
+    return shape_[static_cast<std::size_t>(i)];
+  }
+  Index size() const noexcept { return static_cast<Index>(data_.size()); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// 2-D accessors.  rows()/cols() assert rank == 2.
+  Index rows() const {
+    ZIPFLM_ASSERT(rank() == 2, "rows() requires a matrix");
+    return shape_[0];
+  }
+  Index cols() const {
+    ZIPFLM_ASSERT(rank() == 2, "cols() requires a matrix");
+    return shape_[1];
+  }
+
+  float& operator()(Index i) {
+    ZIPFLM_ASSERT(rank() == 1 && i >= 0 && i < size(), "1-D index bounds");
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float operator()(Index i) const {
+    ZIPFLM_ASSERT(rank() == 1 && i >= 0 && i < size(), "1-D index bounds");
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float& operator()(Index i, Index j) {
+    ZIPFLM_ASSERT(rank() == 2, "2-D accessor on non-matrix");
+    ZIPFLM_ASSERT(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
+                  "2-D index bounds");
+    return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+  }
+  float operator()(Index i, Index j) const {
+    ZIPFLM_ASSERT(rank() == 2, "2-D accessor on non-matrix");
+    ZIPFLM_ASSERT(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
+                  "2-D index bounds");
+    return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+  }
+
+  std::span<float> data() noexcept { return data_; }
+  std::span<const float> data() const noexcept { return data_; }
+
+  /// Row view of a matrix.
+  std::span<float> row(Index i) {
+    ZIPFLM_ASSERT(rank() == 2 && i >= 0 && i < shape_[0], "row bounds");
+    return std::span<float>(data_).subspan(
+        static_cast<std::size_t>(i * shape_[1]),
+        static_cast<std::size_t>(shape_[1]));
+  }
+  std::span<const float> row(Index i) const {
+    ZIPFLM_ASSERT(rank() == 2 && i >= 0 && i < shape_[0], "row bounds");
+    return std::span<const float>(data_).subspan(
+        static_cast<std::size_t>(i * shape_[1]),
+        static_cast<std::size_t>(shape_[1]));
+  }
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// Reshape in place; total size must be preserved.
+  void reshape(std::vector<Index> shape);
+
+  /// Number of bytes of payload (the quantity the device allocator and
+  /// the communication ledger account for).
+  std::size_t bytes() const noexcept { return data_.size() * sizeof(float); }
+
+ private:
+  std::vector<Index> shape_;
+  std::vector<float> data_;
+};
+
+/// Exact element-wise equality (test helper).
+bool operator==(const Tensor& a, const Tensor& b);
+
+}  // namespace zipflm

@@ -1,0 +1,240 @@
+#include "zipflm/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "zipflm/support/thread_pool.hpp"
+
+namespace zipflm {
+
+namespace {
+// Kernel block sizes tuned for L1-resident panels of the inner matrix.
+constexpr Index kBlockM = 32;
+constexpr Index kBlockN = 128;
+constexpr Index kBlockK = 128;
+
+struct GemmDims {
+  Index m, n, k;
+};
+
+GemmDims validate_gemm(const Tensor& a, bool trans_a, const Tensor& b,
+                       bool trans_b, const Tensor& c) {
+  ZIPFLM_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
+               "gemm requires matrices");
+  const Index m = trans_a ? a.cols() : a.rows();
+  const Index ka = trans_a ? a.rows() : a.cols();
+  const Index kb = trans_b ? b.cols() : b.rows();
+  const Index n = trans_b ? b.rows() : b.cols();
+  ZIPFLM_CHECK(ka == kb, "gemm inner dimensions must agree");
+  ZIPFLM_CHECK(c.rows() == m && c.cols() == n,
+               "gemm output shape must be m x n");
+  return {m, n, ka};
+}
+
+inline float at(const Tensor& t, bool trans, Index i, Index j) {
+  return trans ? t(j, i) : t(i, j);
+}
+}  // namespace
+
+void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+          Tensor& c, float alpha, float beta) {
+  const auto [m, n, k] = validate_gemm(a, trans_a, b, trans_b, c);
+  ZIPFLM_ASSERT(&a != &c && &b != &c, "gemm output must not alias inputs");
+
+  if (beta == 0.0f) {
+    c.zero();
+  } else if (beta != 1.0f) {
+    scale(c, beta);
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+
+  // Parallelize over row blocks: each output row is written by exactly one
+  // task, so accumulation order per element is fixed regardless of the
+  // worker count.
+  const Index row_blocks = (m + kBlockM - 1) / kBlockM;
+  ThreadPool::global().parallel_for(
+      static_cast<std::size_t>(row_blocks), [&](std::size_t rb) {
+        const Index i0 = static_cast<Index>(rb) * kBlockM;
+        const Index i1 = std::min(m, i0 + kBlockM);
+        for (Index k0 = 0; k0 < k; k0 += kBlockK) {
+          const Index k1 = std::min(k, k0 + kBlockK);
+          for (Index j0 = 0; j0 < n; j0 += kBlockN) {
+            const Index j1 = std::min(n, j0 + kBlockN);
+            for (Index i = i0; i < i1; ++i) {
+              float* crow = c.row(i).data();
+              for (Index kk = k0; kk < k1; ++kk) {
+                const float aik = alpha * at(a, trans_a, i, kk);
+                if (aik == 0.0f) continue;
+                if (!trans_b) {
+                  const float* brow = b.row(kk).data();
+                  for (Index j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+                } else {
+                  for (Index j = j0; j < j1; ++j) {
+                    crow[j] += aik * b(j, kk);
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+void axpy(float alpha, const Tensor& x, Tensor& y) {
+  ZIPFLM_CHECK(x.size() == y.size(), "axpy requires equal sizes");
+  const float* xs = x.data().data();
+  float* ys = y.data().data();
+  const std::size_t n = x.data().size();
+  for (std::size_t i = 0; i < n; ++i) ys[i] += alpha * xs[i];
+}
+
+void scale(Tensor& x, float alpha) {
+  for (float& v : x.data()) v *= alpha;
+}
+
+namespace {
+template <typename F>
+void elementwise(const Tensor& x, Tensor& y, F f) {
+  ZIPFLM_CHECK(x.size() == y.size(), "elementwise requires equal sizes");
+  const float* xs = x.data().data();
+  float* ys = y.data().data();
+  const std::size_t n = x.data().size();
+  for (std::size_t i = 0; i < n; ++i) ys[i] = f(xs[i]);
+}
+}  // namespace
+
+void sigmoid(const Tensor& x, Tensor& y) {
+  elementwise(x, y, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
+void tanh_op(const Tensor& x, Tensor& y) {
+  elementwise(x, y, [](float v) { return std::tanh(v); });
+}
+
+void relu(const Tensor& x, Tensor& y) {
+  elementwise(x, y, [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+void sigmoid_grad_from_output(const Tensor& y, Tensor& dy) {
+  elementwise(y, dy, [](float v) { return v * (1.0f - v); });
+}
+
+void tanh_grad_from_output(const Tensor& y, Tensor& dy) {
+  elementwise(y, dy, [](float v) { return 1.0f - v * v; });
+}
+
+void hadamard(const Tensor& x, const Tensor& y, Tensor& z) {
+  ZIPFLM_CHECK(x.size() == y.size() && x.size() == z.size(),
+               "hadamard requires equal sizes");
+  const float* xs = x.data().data();
+  const float* ys = y.data().data();
+  float* zs = z.data().data();
+  const std::size_t n = x.data().size();
+  for (std::size_t i = 0; i < n; ++i) zs[i] = xs[i] * ys[i];
+}
+
+void softmax_rows(const Tensor& logits, Tensor& probs) {
+  ZIPFLM_CHECK(logits.rank() == 2 && logits.shape() == probs.shape(),
+               "softmax_rows requires matching matrices");
+  for (Index i = 0; i < logits.rows(); ++i) {
+    const auto in = logits.row(i);
+    auto out = probs.row(i);
+    const float mx = *std::max_element(in.begin(), in.end());
+    float denom = 0.0f;
+    for (std::size_t j = 0; j < in.size(); ++j) {
+      out[j] = std::exp(in[j] - mx);
+      denom += out[j];
+    }
+    const float inv = 1.0f / denom;
+    for (float& v : out) v *= inv;
+  }
+}
+
+void log_softmax_rows(const Tensor& logits, Tensor& log_probs) {
+  ZIPFLM_CHECK(logits.rank() == 2 && logits.shape() == log_probs.shape(),
+               "log_softmax_rows requires matching matrices");
+  for (Index i = 0; i < logits.rows(); ++i) {
+    const auto in = logits.row(i);
+    auto out = log_probs.row(i);
+    const float mx = *std::max_element(in.begin(), in.end());
+    float denom = 0.0f;
+    for (float v : in) denom += std::exp(v - mx);
+    const float lse = mx + std::log(denom);
+    for (std::size_t j = 0; j < in.size(); ++j) out[j] = in[j] - lse;
+  }
+}
+
+float sum(const Tensor& x) {
+  double acc = 0.0;
+  for (float v : x.data()) acc += v;
+  return static_cast<float>(acc);
+}
+
+float max_abs(const Tensor& x) {
+  float mx = 0.0f;
+  for (float v : x.data()) mx = std::max(mx, std::fabs(v));
+  return mx;
+}
+
+float l2_norm(const Tensor& x) {
+  double acc = 0.0;
+  for (float v : x.data()) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+void gather_rows(const Tensor& table, std::span<const Index> ids, Tensor& out) {
+  ZIPFLM_CHECK(table.rank() == 2 && out.rank() == 2, "gather_rows on matrices");
+  ZIPFLM_CHECK(out.rows() == static_cast<Index>(ids.size()) &&
+                   out.cols() == table.cols(),
+               "gather_rows output shape mismatch");
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ZIPFLM_ASSERT(ids[i] >= 0 && ids[i] < table.rows(),
+                  "gather id out of vocabulary range");
+    auto src = table.row(ids[i]);
+    auto dst = out.row(static_cast<Index>(i));
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+}
+
+void scatter_add_rows(const Tensor& grad, std::span<const Index> ids,
+                      Tensor& table) {
+  ZIPFLM_CHECK(grad.rank() == 2 && table.rank() == 2,
+               "scatter_add_rows on matrices");
+  ZIPFLM_CHECK(grad.rows() == static_cast<Index>(ids.size()) &&
+                   grad.cols() == table.cols(),
+               "scatter_add_rows gradient shape mismatch");
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ZIPFLM_ASSERT(ids[i] >= 0 && ids[i] < table.rows(),
+                  "scatter id out of vocabulary range");
+    auto src = grad.row(static_cast<Index>(i));
+    auto dst = table.row(ids[i]);
+    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += src[j];
+  }
+}
+
+void add_bias_rows(Tensor& y, const Tensor& bias) {
+  ZIPFLM_CHECK(y.rank() == 2 && bias.size() == y.cols(),
+               "bias length must equal column count");
+  const float* b = bias.data().data();
+  for (Index i = 0; i < y.rows(); ++i) {
+    auto row = y.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] += b[j];
+  }
+}
+
+void bias_grad(const Tensor& dy, Tensor& db) {
+  ZIPFLM_CHECK(dy.rank() == 2 && db.size() == dy.cols(),
+               "bias grad length must equal column count");
+  float* b = db.data().data();
+  for (Index i = 0; i < dy.rows(); ++i) {
+    auto row = dy.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) b[j] += row[j];
+  }
+}
+
+void clip(Tensor& x, float limit) {
+  ZIPFLM_CHECK(limit > 0.0f, "clip limit must be positive");
+  for (float& v : x.data()) v = std::clamp(v, -limit, limit);
+}
+
+}  // namespace zipflm

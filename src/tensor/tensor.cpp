@@ -1,0 +1,60 @@
+#include "zipflm/tensor/tensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace zipflm {
+
+namespace {
+Index checked_total(const std::vector<Index>& shape) {
+  Index total = 1;
+  for (Index d : shape) {
+    ZIPFLM_CHECK(d >= 0, "tensor dimensions must be non-negative");
+    total *= d;
+  }
+  return total;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<Index> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(checked_total(shape_)), 0.0f);
+}
+
+Tensor Tensor::full(std::initializer_list<Index> shape, float value) {
+  Tensor t(shape);
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::initializer_list<Index> shape, Rng& rng,
+                     float stddev) {
+  Tensor t(shape);
+  for (float& v : t.data_) v = static_cast<float>(rng.normal()) * stddev;
+  return t;
+}
+
+Tensor Tensor::uniform(std::initializer_list<Index> shape, Rng& rng, float lo,
+                       float hi) {
+  Tensor t(shape);
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::reshape(std::vector<Index> shape) {
+  ZIPFLM_CHECK(checked_total(shape) == size(),
+               "reshape must preserve element count");
+  shape_ = std::move(shape);
+}
+
+bool operator==(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::equal(a.data().begin(), a.data().end(), b.data().begin());
+}
+
+}  // namespace zipflm

@@ -1,0 +1,84 @@
+// Compression-scaling properties (Section III-C).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "zipflm/support/rng.hpp"
+#include "zipflm/tensor/cast.hpp"
+
+namespace zipflm {
+namespace {
+
+TEST(Cast, RoundTripIsIdentityForRepresentableValues) {
+  std::vector<float> vals = {0.0f, 1.0f, -2.5f, 0.125f, 40.0f};
+  std::vector<Half> wire;
+  compress_fp16(vals, 1.0f, wire);
+  std::vector<float> back;
+  decompress_fp16(wire, 1.0f, back);
+  EXPECT_EQ(back, vals);
+}
+
+TEST(Cast, ScalingRescuesTinyGradients) {
+  // 1e-8 < 2^-25 (half of the smallest binary16 subnormal): flushed
+  // without scaling, preserved with F=1024.
+  std::vector<float> vals(100, 1e-8f);
+  auto unscaled = measure_cast_loss(vals, 1.0f);
+  EXPECT_EQ(unscaled.flushed_to_zero, 100u);
+
+  auto scaled = measure_cast_loss(vals, 1024.0f);
+  EXPECT_EQ(scaled.flushed_to_zero, 0u);
+  EXPECT_LT(scaled.max_rel_error, 0.01);
+}
+
+TEST(Cast, ScalingCanOverflowLargeValues) {
+  std::vector<float> vals(10, 100.0f);
+  auto loss = measure_cast_loss(vals, 1024.0f);  // 102400 > 65504
+  EXPECT_EQ(loss.overflowed, 10u);
+  auto ok = measure_cast_loss(vals, 1.0f);
+  EXPECT_EQ(ok.overflowed, 0u);
+}
+
+class CastScaleSweep : public ::testing::TestWithParam<float> {};
+
+INSTANTIATE_TEST_SUITE_P(PaperScales, CastScaleSweep,
+                         ::testing::Values(1.0f, 256.0f, 512.0f, 1024.0f));
+
+TEST_P(CastScaleSweep, RelativeErrorBoundedByHalfEpsilon) {
+  const float scale = GetParam();
+  Rng rng(13);
+  std::vector<float> vals(5000);
+  for (auto& v : vals) {
+    // Magnitudes where scaled values stay within normal half range.
+    v = static_cast<float>(rng.uniform(-10.0, 10.0)) / scale;
+  }
+  const auto loss = measure_cast_loss(vals, scale);
+  EXPECT_EQ(loss.overflowed, 0u);
+  // binary16 unit roundoff is 2^-11; allow the subnormal tail some slack.
+  EXPECT_LT(loss.max_rel_error, 1.0 / 1024.0);
+}
+
+TEST(Cast, RoundTripInPlaceMatchesCompressDecompress) {
+  Rng rng(15);
+  std::vector<float> vals(257);
+  for (auto& v : vals) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  std::vector<float> inplace = vals;
+  fp16_round_trip(std::span<float>(inplace), 512.0f);
+
+  std::vector<Half> wire;
+  compress_fp16(vals, 512.0f, wire);
+  std::vector<float> two_step;
+  decompress_fp16(wire, 512.0f, two_step);
+  EXPECT_EQ(inplace, two_step);
+}
+
+TEST(Cast, EmptyBuffers) {
+  std::vector<float> empty;
+  std::vector<Half> wire;
+  compress_fp16(empty, 256.0f, wire);
+  EXPECT_TRUE(wire.empty());
+  const auto loss = measure_cast_loss(empty, 256.0f);
+  EXPECT_EQ(loss.total, 0u);
+}
+
+}  // namespace
+}  // namespace zipflm

@@ -1,0 +1,154 @@
+// Checkpoint round-trips and generation sanity.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "zipflm/core/checkpoint.hpp"
+#include "zipflm/data/markov.hpp"
+#include "zipflm/nn/generate.hpp"
+
+namespace zipflm {
+namespace {
+
+std::unique_ptr<CharLm> small_char(Index vocab = 20, std::uint64_t seed = 3) {
+  CharLmConfig cfg;
+  cfg.vocab = vocab;
+  cfg.embed_dim = 5;
+  cfg.hidden_dim = 7;
+  cfg.depth = 2;
+  cfg.seed = seed;
+  return std::make_unique<CharLm>(cfg);
+}
+
+std::unique_ptr<WordLm> small_word(std::uint64_t seed = 4) {
+  WordLmConfig cfg;
+  cfg.vocab = 25;
+  cfg.embed_dim = 5;
+  cfg.hidden_dim = 6;
+  cfg.proj_dim = 5;
+  cfg.seed = seed;
+  return std::make_unique<WordLm>(cfg);
+}
+
+TEST(Checkpoint, RoundTripIsBitExact) {
+  auto original = small_char();
+  // Perturb so we are not just checking identical initialization.
+  for (Param* p : original->all_params()) {
+    for (float& v : p->value.data()) v += 0.125f;
+  }
+  std::stringstream buffer;
+  save_checkpoint(buffer, *original, {.global_step = 1234, .epoch = 5});
+
+  auto restored = small_char(20, /*different seed=*/99);
+  const auto meta = load_checkpoint(buffer, *restored);
+  EXPECT_EQ(meta.global_step, 1234u);
+  EXPECT_EQ(meta.epoch, 5u);
+
+  const auto pa = original->all_params();
+  const auto pb = restored->all_params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i]->value == pb[i]->value) << pa[i]->name;
+  }
+}
+
+TEST(Checkpoint, RejectsWrongArchitecture) {
+  auto chr = small_char();
+  std::stringstream buffer;
+  save_checkpoint(buffer, *chr);
+  auto word = small_word();
+  EXPECT_THROW(load_checkpoint(buffer, *word), ConfigError);
+}
+
+TEST(Checkpoint, RejectsWrongShape) {
+  auto a = small_char(20);
+  std::stringstream buffer;
+  save_checkpoint(buffer, *a);
+  auto b = small_char(21);  // different vocabulary
+  EXPECT_THROW(load_checkpoint(buffer, *b), ConfigError);
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+  std::stringstream buffer;
+  buffer << "definitely not a checkpoint";
+  auto m = small_char();
+  EXPECT_THROW(load_checkpoint(buffer, *m), ConfigError);
+}
+
+TEST(Checkpoint, RejectsTruncation) {
+  auto a = small_char();
+  std::stringstream buffer;
+  save_checkpoint(buffer, *a);
+  const std::string full = buffer.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  auto b = small_char();
+  EXPECT_THROW(load_checkpoint(cut, *b), ConfigError);
+}
+
+TEST(Generate, ProducesValidTokensDeterministically) {
+  auto model = small_char(20);
+  Rng a(5), b(5);
+  GenerateOptions opt;
+  const std::vector<Index> prompt = {1, 2};
+  const auto ta = generate_tokens(*model, prompt, 50, opt, a);
+  const auto tb = generate_tokens(*model, prompt, 50, opt, b);
+  EXPECT_EQ(ta, tb);
+  ASSERT_EQ(ta.size(), 52u);
+  EXPECT_EQ(ta[0], 1);
+  EXPECT_EQ(ta[1], 2);
+  for (const Index t : ta) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 20);
+  }
+}
+
+TEST(Generate, TopKRestrictsSupport) {
+  auto model = small_char(20);
+  GenerateOptions opt;
+  opt.top_k = 1;  // greedy
+  Rng a(1), b(2);
+  const std::vector<Index> prompt = {3};
+  // With top_k = 1 the continuation is deterministic regardless of RNG.
+  EXPECT_EQ(generate_tokens(*model, prompt, 20, opt, a),
+            generate_tokens(*model, prompt, 20, opt, b));
+}
+
+TEST(Generate, LowTemperatureConcentrates) {
+  auto model = small_char(20);
+  const std::vector<Index> prompt = {7, 3, 1};
+  GenerateOptions cold;
+  cold.temperature = 1e-5;
+  GenerateOptions hot;
+  hot.temperature = 10.0;
+  Rng rng(11);
+  std::set<Index> cold_support, hot_support;
+  for (int i = 0; i < 200; ++i) {
+    cold_support.insert(sample_next_token(*model, prompt, cold, rng));
+    hot_support.insert(sample_next_token(*model, prompt, hot, rng));
+  }
+  EXPECT_LT(cold_support.size(), hot_support.size());
+}
+
+TEST(Generate, NextTokenLogitsShape) {
+  auto word = small_word();
+  const std::vector<Index> ctx = {1, 2, 3};
+  const Tensor logits = word->next_token_logits(ctx);
+  EXPECT_EQ(logits.size(), 25);
+  auto chr = small_char(20);
+  EXPECT_EQ(chr->next_token_logits(ctx).size(), 20);
+}
+
+TEST(Generate, RejectsBadOptions) {
+  auto model = small_char(20);
+  Rng rng(1);
+  GenerateOptions opt;
+  opt.temperature = 0.0;
+  EXPECT_THROW(sample_next_token(*model, std::vector<Index>{1}, opt, rng),
+               ConfigError);
+  GenerateOptions ok;
+  EXPECT_THROW(sample_next_token(*model, std::vector<Index>{}, ok, rng),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace zipflm

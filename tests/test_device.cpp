@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "zipflm/device/device.hpp"
+
+namespace zipflm {
+namespace {
+
+TEST(MemoryPool, TracksUsageAndPeak) {
+  MemoryPool pool(1000);
+  EXPECT_EQ(pool.available(), 1000u);
+  {
+    auto a = pool.allocate(400, "a");
+    EXPECT_EQ(pool.used(), 400u);
+    {
+      auto b = pool.allocate(500, "b");
+      EXPECT_EQ(pool.used(), 900u);
+      EXPECT_EQ(pool.peak(), 900u);
+    }
+    EXPECT_EQ(pool.used(), 400u);
+    EXPECT_EQ(pool.peak(), 900u);
+  }
+  EXPECT_EQ(pool.used(), 0u);
+  EXPECT_EQ(pool.peak(), 900u);
+  pool.reset_peak();
+  EXPECT_EQ(pool.peak(), 0u);
+  EXPECT_EQ(pool.allocation_count(), 2u);
+}
+
+TEST(MemoryPool, ThrowsOnExhaustionWithDetails) {
+  MemoryPool pool(100, "titan");
+  auto a = pool.allocate(80, "model");
+  try {
+    auto b = pool.allocate(50, "allgather buffer");
+    FAIL() << "expected OutOfMemoryError";
+  } catch (const OutOfMemoryError& e) {
+    EXPECT_EQ(e.requested_bytes(), 50u);
+    EXPECT_EQ(e.available_bytes(), 20u);
+    EXPECT_NE(std::string(e.what()).find("allgather buffer"),
+              std::string::npos);
+  }
+  // Failed allocation must not leak accounting.
+  EXPECT_EQ(pool.used(), 80u);
+}
+
+TEST(MemoryPool, ExactFitSucceeds) {
+  MemoryPool pool(64);
+  auto a = pool.allocate(64, "exact");
+  EXPECT_EQ(pool.available(), 0u);
+}
+
+TEST(Allocation, MoveTransfersOwnership) {
+  MemoryPool pool(100);
+  Allocation a = pool.allocate(30, "x");
+  Allocation b = std::move(a);
+  EXPECT_EQ(b.bytes(), 30u);
+  EXPECT_EQ(a.bytes(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(pool.used(), 30u);
+  Allocation c = pool.allocate(10, "y");
+  c = std::move(b);
+  EXPECT_EQ(pool.used(), 30u);  // y released by the move-assign
+}
+
+TEST(Allocation, ExplicitRelease) {
+  MemoryPool pool(100);
+  Allocation a = pool.allocate(60, "x");
+  a.release();
+  EXPECT_EQ(pool.used(), 0u);
+  a.release();  // idempotent
+  EXPECT_EQ(pool.used(), 0u);
+}
+
+TEST(DeviceProps, PresetsMatchPaperTestbed) {
+  const auto titan = DeviceProps::titan_x();
+  EXPECT_EQ(titan.memory_bytes, 12ull << 30);
+  EXPECT_DOUBLE_EQ(titan.peak_flops, 6.1e12);
+  const auto v100 = DeviceProps::v100();
+  EXPECT_EQ(v100.memory_bytes, 16ull << 30);
+  EXPECT_GT(v100.peak_flops, titan.peak_flops);
+}
+
+TEST(DeviceProps, SecondsForFlops) {
+  const auto titan = DeviceProps::titan_x();
+  // 2.44 TFLOP at 40% of 6.1 TFLOP/s peak takes exactly 1 second.
+  EXPECT_NEAR(titan.seconds_for_flops(2.44e12, 0.4), 1.0, 1e-9);
+  EXPECT_NEAR(titan.seconds_for_flops(2.44e12), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace zipflm

@@ -1,0 +1,202 @@
+// Dropout and multi-layer LSTM stacks (the §IV-B regularization and the
+// "several RNN layers" of the paper's Figure 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "zipflm/data/markov.hpp"
+#include "zipflm/nn/dropout.hpp"
+#include "zipflm/nn/lm_model.hpp"
+#include "zipflm/core/exchange.hpp"
+#include "zipflm/nn/optimizer.hpp"
+
+namespace zipflm {
+namespace {
+
+TEST(Dropout, ZeroRateIsIdentity) {
+  Dropout d(0.0f);
+  Rng rng(1);
+  Tensor x = Tensor::full({100}, 2.0f);
+  const Tensor before = x;
+  d.forward_train(x, rng);
+  EXPECT_TRUE(x == before);
+  Tensor g = Tensor::full({100}, 1.0f);
+  d.backward(g);
+  EXPECT_TRUE(g == Tensor::full({100}, 1.0f));
+}
+
+TEST(Dropout, DropsApproximatelyRateFraction) {
+  Dropout d(0.3f);
+  Rng rng(2);
+  Tensor x = Tensor::full({10000}, 1.0f);
+  d.forward_train(x, rng);
+  std::size_t zeros = 0;
+  for (float v : x.data()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / 0.7f, 1e-5f);  // inverted scaling
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.02);
+}
+
+TEST(Dropout, PreservesExpectation) {
+  Dropout d(0.5f);
+  Rng rng(3);
+  Tensor x = Tensor::full({20000}, 3.0f);
+  d.forward_train(x, rng);
+  double sum = 0.0;
+  for (float v : x.data()) sum += v;
+  EXPECT_NEAR(sum / 20000.0, 3.0, 0.15);
+}
+
+TEST(Dropout, BackwardAppliesTheSameMask) {
+  Dropout d(0.5f);
+  Rng rng(4);
+  Tensor x = Tensor::full({500}, 1.0f);
+  d.forward_train(x, rng);
+  Tensor g = Tensor::full({500}, 1.0f);
+  d.backward(g);
+  // Grad is zero exactly where the activation was dropped, scaled where
+  // it was kept.
+  for (Index i = 0; i < 500; ++i) {
+    EXPECT_EQ(g(i), x(i));
+  }
+}
+
+TEST(Dropout, RejectsInvalidRate) {
+  EXPECT_THROW(Dropout(-0.1f), ConfigError);
+  EXPECT_THROW(Dropout(1.0f), ConfigError);
+}
+
+TEST(MultiLayer, ParamCountGrowsWithLayers) {
+  WordLmConfig one;
+  one.vocab = 30;
+  one.embed_dim = 6;
+  one.hidden_dim = 8;
+  one.proj_dim = 6;
+  WordLmConfig three = one;
+  three.num_layers = 3;
+  WordLm a(one), b(three);
+  // Each extra layer adds 4 params (wx, wh, b, wp).
+  EXPECT_EQ(b.dense_params().size(), a.dense_params().size() + 8);
+  // At this tiny scale the sampled-softmax term dominates FLOPs, so only
+  // strict growth is asserted.
+  EXPECT_GT(b.flops_per_token(), a.flops_per_token());
+}
+
+TEST(MultiLayer, ForwardShapesAndTraining) {
+  WordLmConfig cfg;
+  cfg.vocab = 40;
+  cfg.embed_dim = 6;
+  cfg.hidden_dim = 10;
+  cfg.proj_dim = 6;
+  cfg.num_layers = 2;
+  cfg.seed = 5;
+  WordLm model(cfg);
+
+  const BigramCorpus corpus(40, 6, 1);
+  const auto data = corpus.generate(2000, 0);
+  BatchIterator it(data, BatchSpec{4, 10}, 0, 1);
+  Batch batch;
+  ASSERT_TRUE(it.next(batch));
+
+  std::vector<Index> all(40);
+  for (Index i = 0; i < 40; ++i) all[static_cast<std::size_t>(i)] = i;
+
+  Sgd sgd(0.5f);
+  LmStepResult res;
+  model.train_step_local(batch, all, res);
+  EXPECT_EQ(res.input_delta.rows(), 40);  // K = 4*10
+  EXPECT_EQ(res.input_delta.cols(), 6);
+  const float first = res.loss;
+  for (int step = 0; step < 30; ++step) {
+    model.zero_grad();
+    model.train_step_local(batch, all, res);
+    auto dense = model.dense_params();
+    sgd.step(dense);
+    std::vector<Index> uids;
+    Tensor ureduced;
+    local_reduce_by_word(res.input_ids, res.input_delta, uids, ureduced);
+    sgd.step_rows(model.input_embedding_param(), ureduced, uids);
+    sgd.step_rows(*model.sampled_output_param(), res.output_grad.rows,
+                  res.output_grad.ids);
+  }
+  model.zero_grad();
+  model.train_step_local(batch, all, res);
+  EXPECT_LT(res.loss, first * 0.8f) << "2-layer stack must train";
+}
+
+TEST(MultiLayer, GenerationWorksWithStacks) {
+  WordLmConfig cfg;
+  cfg.vocab = 30;
+  cfg.embed_dim = 5;
+  cfg.hidden_dim = 6;
+  cfg.proj_dim = 5;
+  cfg.num_layers = 2;
+  WordLm model(cfg);
+  const std::vector<Index> ctx = {1, 2, 3};
+  EXPECT_EQ(model.next_token_logits(ctx).size(), 30);
+}
+
+TEST(DropoutTraining, CharLmWithDropoutStillConverges) {
+  CharLmConfig cfg;
+  cfg.vocab = 30;
+  cfg.embed_dim = 6;
+  cfg.hidden_dim = 10;
+  cfg.depth = 2;
+  cfg.dropout = 0.2f;
+  cfg.seed = 7;
+  CharLm model(cfg);
+
+  const BigramCorpus corpus(30, 5, 2);
+  const auto data = corpus.generate(3000, 0);
+  BatchIterator it(data, BatchSpec{4, 10}, 0, 1);
+  Batch batch;
+  ASSERT_TRUE(it.next(batch));
+
+  Adam::Config acfg;
+  acfg.lr = 0.01f;
+  Adam adam(acfg);
+  const float before = model.eval_loss(batch);
+  LmStepResult res;
+  for (int step = 0; step < 80; ++step) {
+    model.zero_grad();
+    model.train_step_local(batch, {}, res);
+    adam.begin_step();
+    auto dense = model.dense_params();
+    adam.step(dense);
+    std::vector<Index> uids;
+    Tensor ureduced;
+    local_reduce_by_word(res.input_ids, res.input_delta, uids, ureduced);
+    adam.step_rows(model.input_embedding_param(), ureduced, uids);
+  }
+  EXPECT_LT(model.eval_loss(batch), before * 0.95f);
+}
+
+TEST(DropoutTraining, EvalIsDeterministicDespiteDropout) {
+  CharLmConfig cfg;
+  cfg.vocab = 25;
+  cfg.embed_dim = 5;
+  cfg.hidden_dim = 8;
+  cfg.depth = 2;
+  cfg.dropout = 0.4f;
+  CharLm model(cfg);
+  const BigramCorpus corpus(25, 4, 3);
+  const auto data = corpus.generate(600, 0);
+  BatchIterator it(data, BatchSpec{3, 8}, 0, 1);
+  Batch batch;
+  ASSERT_TRUE(it.next(batch));
+  // Evaluation never applies dropout: repeated calls agree bitwise.
+  EXPECT_EQ(model.eval_loss(batch), model.eval_loss(batch));
+  // Training losses differ step to step (fresh masks).
+  LmStepResult a, b;
+  model.train_step_local(batch, {}, a);
+  model.zero_grad();
+  model.train_step_local(batch, {}, b);
+  EXPECT_NE(a.loss, b.loss);
+}
+
+}  // namespace
+}  // namespace zipflm

@@ -1,0 +1,477 @@
+// The paper's central correctness claim: UniqueExchange computes the same
+// embedding update as the dense ALLGATHER baseline at a fraction of the
+// memory and wire bytes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "zipflm/comm/thread_comm.hpp"
+#include "zipflm/core/exchange.hpp"
+#include "zipflm/data/zipf.hpp"
+#include "zipflm/support/rng.hpp"
+
+namespace zipflm {
+namespace {
+
+/// Zipf-distributed token ids (the realistic case: lots of repeats).
+std::vector<Index> zipf_ids(std::size_t k, Index vocab, std::uint64_t seed,
+                            double exponent = 1.2) {
+  ZipfSampler sampler(static_cast<std::uint64_t>(vocab), exponent);
+  Rng rng(seed);
+  std::vector<Index> ids(k);
+  for (auto& id : ids) {
+    id = static_cast<Index>(sampler.sample(rng) - 1);
+  }
+  return ids;
+}
+
+Tensor integer_delta(std::size_t k, Index d, std::uint64_t seed) {
+  // Small integer-valued gradients: float addition is exact, so the two
+  // strategies must agree bit-for-bit despite different summation trees.
+  Rng rng(seed);
+  Tensor t({static_cast<Index>(k), d});
+  for (float& v : t.data()) {
+    v = static_cast<float>(static_cast<int>(rng.uniform_index(17)) - 8);
+  }
+  return t;
+}
+
+Tensor real_delta(std::size_t k, Index d, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t({static_cast<Index>(k), d});
+  for (float& v : t.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+struct ExchangeCase {
+  int world;
+  std::size_t tokens;
+  Index dim;
+  Index vocab;
+};
+
+class ExchangeEquivalence
+    : public ::testing::TestWithParam<ExchangeCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExchangeEquivalence,
+    ::testing::Values(ExchangeCase{1, 16, 4, 50}, ExchangeCase{2, 32, 8, 40},
+                      ExchangeCase{3, 20, 5, 25}, ExchangeCase{4, 64, 16, 30},
+                      ExchangeCase{8, 48, 8, 100},
+                      ExchangeCase{8, 40, 4, 6}));  // tiny vocab: collisions
+
+TEST_P(ExchangeEquivalence, UniqueMatchesDenseBitExactlyOnIntegerGrads) {
+  const auto c = GetParam();
+  std::vector<std::vector<Index>> dense_ids(static_cast<std::size_t>(c.world));
+  std::vector<Tensor> dense_rows(static_cast<std::size_t>(c.world));
+  std::vector<std::vector<Index>> unique_ids(
+      static_cast<std::size_t>(c.world));
+  std::vector<Tensor> unique_rows(static_cast<std::size_t>(c.world));
+
+  for (int pass = 0; pass < 2; ++pass) {
+    CommWorld world(c.world);
+    world.run([&](Communicator& comm) {
+      const auto r = static_cast<std::size_t>(comm.rank());
+      const auto ids =
+          zipf_ids(c.tokens, c.vocab, 1000 + static_cast<std::uint64_t>(r));
+      const auto delta = integer_delta(c.tokens, c.dim,
+                                       2000 + static_cast<std::uint64_t>(r));
+      if (pass == 0) {
+        DenseExchange ex;
+        ex.exchange(comm, ids, delta, dense_ids[r], dense_rows[r], nullptr);
+      } else {
+        UniqueExchange ex;
+        ex.exchange(comm, ids, delta, unique_ids[r], unique_rows[r], nullptr);
+      }
+    });
+  }
+
+  for (int r = 0; r < c.world; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    ASSERT_EQ(unique_ids[ri], dense_ids[ri]) << "rank " << r;
+    ASSERT_TRUE(unique_rows[ri] == dense_rows[ri]) << "rank " << r;
+    // Consistency across ranks.
+    ASSERT_EQ(unique_ids[ri], unique_ids[0]);
+    ASSERT_TRUE(unique_rows[ri] == unique_rows[0]);
+  }
+}
+
+TEST_P(ExchangeEquivalence, UniqueMatchesDenseWithinToleranceOnRealGrads) {
+  const auto c = GetParam();
+  Tensor dense_out, unique_out;
+  std::vector<Index> dense_ids, unique_ids;
+
+  for (int pass = 0; pass < 2; ++pass) {
+    CommWorld world(c.world);
+    world.run([&](Communicator& comm) {
+      const auto r = static_cast<std::size_t>(comm.rank());
+      const auto ids =
+          zipf_ids(c.tokens, c.vocab, 7000 + static_cast<std::uint64_t>(r));
+      const auto delta =
+          real_delta(c.tokens, c.dim, 8000 + static_cast<std::uint64_t>(r));
+      std::vector<Index> out_ids;
+      Tensor out_rows;
+      if (pass == 0) {
+        DenseExchange ex;
+        ex.exchange(comm, ids, delta, out_ids, out_rows, nullptr);
+      } else {
+        UniqueExchange ex;
+        ex.exchange(comm, ids, delta, out_ids, out_rows, nullptr);
+      }
+      if (comm.rank() == 0) {
+        if (pass == 0) {
+          dense_ids = out_ids;
+          dense_out = out_rows;
+        } else {
+          unique_ids = out_ids;
+          unique_out = out_rows;
+        }
+      }
+    });
+  }
+
+  ASSERT_EQ(unique_ids, dense_ids);
+  ASSERT_EQ(unique_out.shape(), dense_out.shape());
+  for (Index i = 0; i < unique_out.size(); ++i) {
+    EXPECT_NEAR(unique_out.data()[static_cast<std::size_t>(i)],
+                dense_out.data()[static_cast<std::size_t>(i)],
+                1e-4f * static_cast<float>(c.world * c.tokens));
+  }
+}
+
+TEST(LocalReduce, AccumulatesRepeatedTokensDeterministically) {
+  // Tokens: [5, 3, 5, 5, 3, 9] — word 5 appears three times.
+  const std::vector<Index> ids = {5, 3, 5, 5, 3, 9};
+  Tensor delta({6, 2});
+  for (Index i = 0; i < 6; ++i) {
+    delta(i, 0) = static_cast<float>(i + 1);
+    delta(i, 1) = static_cast<float>(10 * (i + 1));
+  }
+  std::vector<Index> uids;
+  Tensor reduced;
+  local_reduce_by_word(ids, delta, uids, reduced);
+
+  ASSERT_EQ(uids, (std::vector<Index>{3, 5, 9}));
+  // word 3: rows 1 and 4 -> 2+5=7;  word 5: rows 0,2,3 -> 1+3+4=8; word 9: 6.
+  EXPECT_EQ(reduced(0, 0), 7.0f);
+  EXPECT_EQ(reduced(1, 0), 8.0f);
+  EXPECT_EQ(reduced(2, 0), 6.0f);
+  EXPECT_EQ(reduced(0, 1), 70.0f);
+  EXPECT_EQ(reduced(1, 1), 80.0f);
+  EXPECT_EQ(reduced(2, 1), 60.0f);
+}
+
+TEST(LocalReduce, EmptyInputYieldsEmptyOutput) {
+  std::vector<Index> ids;
+  Tensor delta({0, 3});
+  std::vector<Index> uids;
+  Tensor reduced;
+  local_reduce_by_word(ids, delta, uids, reduced);
+  EXPECT_TRUE(uids.empty());
+  EXPECT_EQ(reduced.rows(), 0);
+}
+
+TEST(ExchangeAccounting, LedgerMatchesClosedFormsExactly) {
+  const int g = 4;
+  const std::size_t k = 24;
+  const Index d = 8;
+  const Index vocab = 16;
+
+  for (const bool unique : {false, true}) {
+    CommWorld world(g);
+    std::uint64_t global_unique = 0;
+    world.run([&](Communicator& comm) {
+      const auto r = static_cast<std::uint64_t>(comm.rank());
+      const auto ids = zipf_ids(k, vocab, 50 + r);
+      const auto delta = real_delta(k, d, 60 + r);
+      std::vector<Index> out_ids;
+      Tensor out_rows;
+      if (unique) {
+        UniqueExchange ex;
+        ex.exchange(comm, ids, delta, out_ids, out_rows, nullptr);
+      } else {
+        DenseExchange ex;
+        ex.exchange(comm, ids, delta, out_ids, out_rows, nullptr);
+      }
+      if (comm.rank() == 0) global_unique = out_ids.size();
+    });
+
+    const TrafficLedger total = world.total_ledger();
+    const std::uint64_t expected =
+        unique ? unique_exchange_total_wire_bytes(g, k, global_unique, d,
+                                                  WirePrecision::FP32)
+               : dense_exchange_total_wire_bytes(g, k, d,
+                                                 WirePrecision::FP32);
+    EXPECT_EQ(total.bytes_sent, expected) << (unique ? "unique" : "dense");
+    EXPECT_EQ(total.bytes_received, expected);
+  }
+}
+
+TEST(ExchangeAccounting, UniqueMovesFarFewerBytesOnZipfTokens) {
+  // The headline claim: with Zipfian repetition and G*K >> U_g, unique
+  // exchange wire volume is a small fraction of dense.
+  const int g = 8;
+  const std::size_t k = 512;
+  const Index d = 64;
+  const Index vocab = 1 << 20;  // large vocab, zipf keeps U small
+
+  std::uint64_t dense_bytes = 0, unique_bytes = 0;
+  for (const bool unique : {false, true}) {
+    CommWorld world(g);
+    world.run([&](Communicator& comm) {
+      const auto r = static_cast<std::uint64_t>(comm.rank());
+      // Word-frequency exponent matching real corpora (Heaps 0.64):
+      // U_g is then ~100x smaller than G*K at realistic batch scales.
+      const auto ids = zipf_ids(k, vocab, 90 + r, 1.5625);
+      const auto delta = real_delta(k, d, 95 + r);
+      std::vector<Index> out_ids;
+      Tensor out_rows;
+      if (unique) {
+        UniqueExchange ex;
+        ex.exchange(comm, ids, delta, out_ids, out_rows, nullptr);
+      } else {
+        DenseExchange ex;
+        ex.exchange(comm, ids, delta, out_ids, out_rows, nullptr);
+      }
+    });
+    (unique ? unique_bytes : dense_bytes) = world.total_ledger().bytes_sent;
+  }
+  EXPECT_LT(unique_bytes, dense_bytes / 2)
+      << "unique should move far fewer bytes";
+}
+
+TEST(ExchangeMemory, DenseScratchOOMsWhereUniqueFits) {
+  const int g = 8;
+  const std::size_t k = 256;
+  const Index d = 64;
+  const Index vocab = 1024;
+  // Pool sized between the unique scratch and the dense scratch.
+  const std::size_t pool_bytes = 1 << 20;  // 1 MB
+
+  // Dense needs G*K*(8 + 64*4) = 8*256*264 = 540 KB ... fits in 1MB; use
+  // 256 KB pool to force the dense failure.
+  const std::size_t tight_pool = 256u << 10;
+
+  CommWorld world(g);
+  EXPECT_THROW(
+      world.run([&](Communicator& comm) {
+        MemoryPool pool(tight_pool);
+        const auto r = static_cast<std::uint64_t>(comm.rank());
+        const auto ids = zipf_ids(k, vocab, 10 + r);
+        const auto delta = real_delta(k, d, 20 + r);
+        std::vector<Index> out_ids;
+        Tensor out_rows;
+        DenseExchange ex;
+        ex.exchange(comm, ids, delta, out_ids, out_rows, &pool);
+      }),
+      OutOfMemoryError);
+
+  CommWorld world2(g);
+  world2.run([&](Communicator& comm) {
+    MemoryPool pool(pool_bytes);
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    const auto ids = zipf_ids(k, vocab, 10 + r);
+    const auto delta = real_delta(k, d, 20 + r);
+    std::vector<Index> out_ids;
+    Tensor out_rows;
+    UniqueExchange ex;
+    ex.exchange(comm, ids, delta, out_ids, out_rows, &pool);
+    EXPECT_GT(pool.peak(), 0u);
+    EXPECT_LT(pool.peak(), tight_pool)
+        << "unique scratch should fit where dense did not";
+  });
+}
+
+TEST(ExchangeFp16, CompressionPreservesGradientsWithinHalfPrecision) {
+  const int g = 4;
+  const std::size_t k = 64;
+  const Index d = 16;
+  const Index vocab = 128;
+
+  Tensor fp32_rows, fp16_rows;
+  std::vector<Index> fp32_ids, fp16_ids;
+  for (const bool fp16 : {false, true}) {
+    CommWorld world(g);
+    world.run([&](Communicator& comm) {
+      const auto r = static_cast<std::uint64_t>(comm.rank());
+      const auto ids = zipf_ids(k, vocab, 300 + r);
+      // Small gradients: the regime where unscaled FP16 would flush.
+      Rng rng(400 + r);
+      Tensor delta({static_cast<Index>(k), d});
+      for (float& v : delta.data()) {
+        v = static_cast<float>(rng.uniform(-1e-4, 1e-4));
+      }
+      ExchangeOptions opt;
+      opt.precision = fp16 ? WirePrecision::FP16 : WirePrecision::FP32;
+      opt.compression_scale = 1024.0f;
+      UniqueExchange ex(opt);
+      std::vector<Index> out_ids;
+      Tensor out_rows;
+      ex.exchange(comm, ids, delta, out_ids, out_rows, nullptr);
+      if (comm.rank() == 0) {
+        if (fp16) {
+          fp16_ids = out_ids;
+          fp16_rows = out_rows;
+        } else {
+          fp32_ids = out_ids;
+          fp32_rows = out_rows;
+        }
+      }
+    });
+  }
+  ASSERT_EQ(fp16_ids, fp32_ids);
+  double max_rel = 0.0;
+  std::size_t nonzero = 0;
+  for (Index i = 0; i < fp32_rows.size(); ++i) {
+    const float a = fp32_rows.data()[static_cast<std::size_t>(i)];
+    const float b = fp16_rows.data()[static_cast<std::size_t>(i)];
+    if (std::fabs(a) > 1e-6f) {
+      ++nonzero;
+      max_rel = std::max(max_rel,
+                         static_cast<double>(std::fabs(a - b) / std::fabs(a)));
+    }
+  }
+  ASSERT_GT(nonzero, 0u);
+  // binary16 has ~3 decimal digits; per-hop FP16 accumulation over 4
+  // ranks compounds the rounding, so allow 3%.
+  EXPECT_LT(max_rel, 0.03);
+}
+
+TEST(ExchangeFp16, HalvesThePayloadBytes) {
+  const int g = 4;
+  const std::size_t k = 128;
+  const Index d = 32;
+  const Index vocab = 64;
+  std::uint64_t bytes[2];
+  for (const bool fp16 : {false, true}) {
+    CommWorld world(g);
+    std::uint64_t ug = 0;
+    world.run([&](Communicator& comm) {
+      const auto r = static_cast<std::uint64_t>(comm.rank());
+      const auto ids = zipf_ids(k, vocab, 77 + r);
+      const auto delta = real_delta(k, d, 88 + r);
+      ExchangeOptions opt;
+      opt.precision = fp16 ? WirePrecision::FP16 : WirePrecision::FP32;
+      UniqueExchange ex(opt);
+      std::vector<Index> out_ids;
+      Tensor out_rows;
+      ex.exchange(comm, ids, delta, out_ids, out_rows, nullptr);
+      if (comm.rank() == 0) ug = out_ids.size();
+    });
+    bytes[fp16 ? 1 : 0] = world.total_ledger().bytes_sent;
+    const std::uint64_t expected = unique_exchange_total_wire_bytes(
+        g, k, ug, d, fp16 ? WirePrecision::FP16 : WirePrecision::FP32);
+    EXPECT_EQ(world.total_ledger().bytes_sent, expected);
+  }
+  EXPECT_LT(bytes[1], bytes[0]);
+}
+
+TEST(TableAllreduce, MatchesUniqueResult) {
+  const int g = 4;
+  const std::size_t k = 40;
+  const Index d = 6;
+  const Index vocab = 30;
+
+  std::vector<Index> table_ids, unique_ids_out;
+  Tensor table_rows, unique_rows;
+  for (const bool table : {false, true}) {
+    CommWorld world(g);
+    world.run([&](Communicator& comm) {
+      const auto r = static_cast<std::uint64_t>(comm.rank());
+      const auto ids = zipf_ids(k, vocab, 600 + r);
+      const auto delta = integer_delta(k, d, 700 + r);
+      std::vector<Index> out_ids;
+      Tensor out_rows;
+      if (table) {
+        TableAllreduceExchange ex(vocab);
+        ex.exchange(comm, ids, delta, out_ids, out_rows, nullptr);
+      } else {
+        UniqueExchange ex;
+        ex.exchange(comm, ids, delta, out_ids, out_rows, nullptr);
+      }
+      if (comm.rank() == 0) {
+        (table ? table_ids : unique_ids_out) = out_ids;
+        (table ? table_rows : unique_rows) = out_rows;
+      }
+    });
+  }
+  ASSERT_EQ(table_ids, unique_ids_out);
+  // Integer gradients: both summation orders are exact.
+  EXPECT_TRUE(table_rows == unique_rows);
+}
+
+TEST(TableAllreduce, WireBytesScaleWithVocabNotBatch) {
+  const Index d = 32;
+  auto run = [&](Index vocab, std::size_t k) {
+    CommWorld world(4);
+    world.run([&](Communicator& comm) {
+      const auto r = static_cast<std::uint64_t>(comm.rank());
+      const auto ids = zipf_ids(k, vocab, 800 + r);
+      const auto delta = real_delta(k, d, 900 + r);
+      TableAllreduceExchange ex(vocab);
+      std::vector<Index> out_ids;
+      Tensor out_rows;
+      ex.exchange(comm, ids, delta, out_ids, out_rows, nullptr);
+    });
+    return world.total_ledger().bytes_sent;
+  };
+  // Same vocab, 4x the tokens: wire volume barely changes (index
+  // gathering only).
+  const auto small_k = run(64, 32);
+  const auto big_k = run(64, 128);
+  EXPECT_LT(static_cast<double>(big_k),
+            1.5 * static_cast<double>(small_k));
+  // 4x the vocab at fixed tokens: wire volume grows ~4x.
+  const auto big_v = run(256, 32);
+  EXPECT_GT(static_cast<double>(big_v), 2.5 * static_cast<double>(small_k));
+}
+
+TEST(TableAllreduce, ChargesVocabSizedScratch) {
+  const Index vocab = 1000;
+  const Index d = 16;
+  CommWorld world(2);
+  world.run([&](Communicator& comm) {
+    MemoryPool pool(1ull << 30);
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    const auto ids = zipf_ids(8, vocab, 50 + r);
+    const auto delta = real_delta(8, d, 60 + r);
+    TableAllreduceExchange ex(vocab);
+    std::vector<Index> out_ids;
+    Tensor out_rows;
+    ex.exchange(comm, ids, delta, out_ids, out_rows, &pool);
+    EXPECT_GE(pool.peak(), static_cast<std::size_t>(vocab) *
+                               static_cast<std::size_t>(d) * sizeof(float));
+  });
+}
+
+TEST(ExchangeVariableSizes, HandlesPerRankCandidateSets) {
+  // Output-embedding path: ranks contribute different numbers of rows.
+  const int g = 3;
+  const Index d = 4;
+  CommWorld world(g);
+  world.run([&](Communicator& comm) {
+    // Rank r has r+2 candidates: {0..r+1}.
+    const std::size_t mine = static_cast<std::size_t>(comm.rank()) + 2;
+    std::vector<Index> ids(mine);
+    for (std::size_t i = 0; i < mine; ++i) ids[i] = static_cast<Index>(i);
+    Tensor delta({static_cast<Index>(mine), d});
+    delta.fill(1.0f);
+
+    UniqueExchange ex;
+    std::vector<Index> out_ids;
+    Tensor out_rows;
+    ex.exchange(comm, ids, delta, out_ids, out_rows, nullptr);
+
+    // Union is {0,1,2,3}; id 0 and 1 appear on all 3 ranks, id 2 on two
+    // ranks, id 3 on one.
+    ASSERT_EQ(out_ids, (std::vector<Index>{0, 1, 2, 3}));
+    EXPECT_EQ(out_rows(0, 0), 3.0f);
+    EXPECT_EQ(out_rows(1, 0), 3.0f);
+    EXPECT_EQ(out_rows(2, 0), 2.0f);
+    EXPECT_EQ(out_rows(3, 0), 1.0f);
+  });
+}
+
+}  // namespace
+}  // namespace zipflm

@@ -1,0 +1,110 @@
+// IEEE binary16 conversion correctness, including the exhaustive
+// bit-pattern round-trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "zipflm/tensor/half.hpp"
+
+namespace zipflm {
+namespace {
+
+TEST(Half, BasicValuesRoundTripExactly) {
+  for (const float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -2.5f, 1024.0f,
+                        0.0009765625f /*2^-10*/, 65504.0f, -65504.0f}) {
+    EXPECT_EQ(static_cast<float>(Half(v)), v) << v;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(Half(1.0f).bits(), 0x3C00u);
+  EXPECT_EQ(Half(-2.0f).bits(), 0xC000u);
+  EXPECT_EQ(Half(65504.0f).bits(), 0x7BFFu);
+  EXPECT_EQ(Half(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(Half(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(Half(Half::min_normal()).bits(), 0x0400u);
+  EXPECT_EQ(Half(Half::min_subnormal()).bits(), 0x0001u);
+}
+
+TEST(Half, OverflowBecomesInfinity) {
+  EXPECT_TRUE(Half(65520.0f).is_inf());  // ties to even -> inf
+  EXPECT_TRUE(Half(1e6f).is_inf());
+  EXPECT_TRUE(Half(-1e6f).is_inf());
+  EXPECT_TRUE(Half(-1e6f).signbit());
+  EXPECT_FALSE(Half(65504.0f).is_inf());
+  // 65519 rounds down to max finite.
+  EXPECT_EQ(Half(65519.0f).bits(), 0x7BFFu);
+}
+
+TEST(Half, UnderflowFlushesOrKeepsSubnormals) {
+  // Half of the smallest subnormal rounds to zero (ties-to-even).
+  EXPECT_TRUE(Half(Half::min_subnormal() / 2.0f).is_zero());
+  // Anything above half the smallest subnormal survives.
+  EXPECT_FALSE(Half(Half::min_subnormal() * 0.75f).is_zero());
+  // Subnormal values round-trip within one ulp of 2^-24.
+  const float v = 3.1f * Half::min_subnormal();
+  const float back = static_cast<float>(Half(v));
+  EXPECT_NEAR(back, v, Half::min_subnormal());
+}
+
+TEST(Half, NanPropagates) {
+  const Half h(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(h.is_nan());
+  EXPECT_TRUE(std::isnan(static_cast<float>(h)));
+  EXPECT_FALSE(h == h);
+}
+
+TEST(Half, InfinityPropagates) {
+  const Half pos(std::numeric_limits<float>::infinity());
+  const Half neg(-std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(pos.is_inf());
+  EXPECT_TRUE(neg.is_inf());
+  EXPECT_TRUE(std::isinf(static_cast<float>(pos)));
+  EXPECT_GT(static_cast<float>(pos), 0.0f);
+  EXPECT_LT(static_cast<float>(neg), 0.0f);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10):
+  // ties to even => 1.0 (mantissa 0 is even).
+  EXPECT_EQ(Half(1.0f + 0.00048828125f).bits(), 0x3C00u);
+  // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9: ties to even => 1+2^-9.
+  EXPECT_EQ(Half(1.0f + 3.0f * 0.00048828125f).bits(), 0x3C02u);
+  // Slightly above the tie rounds up.
+  EXPECT_EQ(Half(1.0f + 0.000489f).bits(), 0x3C01u);
+}
+
+TEST(Half, ExhaustiveBitPatternRoundTrip) {
+  // Every finite half converts to float and back to the identical bits;
+  // NaNs stay NaNs.
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const Half h = Half::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = static_cast<float>(h);
+    const Half back(f);
+    if (h.is_nan()) {
+      EXPECT_TRUE(back.is_nan()) << std::hex << bits;
+    } else {
+      EXPECT_EQ(back.bits(), h.bits()) << std::hex << bits;
+    }
+  }
+}
+
+TEST(Half, MonotoneOverPositiveRange) {
+  // Conversion preserves order on a sweep of positive floats.
+  float prev = 0.0f;
+  for (float v = 1e-5f; v < 60000.0f; v *= 1.37f) {
+    const float h = static_cast<float>(Half(v));
+    EXPECT_GE(h, prev) << v;
+    prev = h;
+  }
+}
+
+TEST(Half, SignedZeroesCompareEqual) {
+  EXPECT_TRUE(Half(0.0f) == Half(-0.0f));
+  EXPECT_TRUE(Half(-0.0f).signbit());
+  EXPECT_FALSE(Half(0.0f).signbit());
+}
+
+}  // namespace
+}  // namespace zipflm

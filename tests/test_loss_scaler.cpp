@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "zipflm/nn/loss_scaler.hpp"
+
+namespace zipflm {
+namespace {
+
+Param param_with_grad(float g) {
+  Param p("p", Tensor({4}));
+  p.grad.fill(g);
+  return p;
+}
+
+TEST(LossScaler, FixedScaleUnscalesGradients) {
+  auto scaler = LossScaler::fixed(512.0f);
+  Param p = param_with_grad(512.0f);
+  Param* ps[] = {&p};
+  EXPECT_TRUE(scaler.unscale(ps));
+  for (float v : p.grad.data()) EXPECT_NEAR(v, 1.0f, 1e-6f);
+  EXPECT_EQ(scaler.scale(), 512.0f);  // fixed never changes
+}
+
+TEST(LossScaler, DetectsOverflowAndSkips) {
+  auto scaler = LossScaler::fixed(256.0f);
+  Param p = param_with_grad(1.0f);
+  p.grad(2) = std::numeric_limits<float>::infinity();
+  Param* ps[] = {&p};
+  EXPECT_TRUE(LossScaler::has_overflow(ps));
+  EXPECT_FALSE(scaler.unscale(ps));
+  EXPECT_EQ(scaler.skipped_steps(), 1);
+  // Gradients untouched on skip.
+  EXPECT_EQ(p.grad(0), 1.0f);
+}
+
+TEST(LossScaler, NanCountsAsOverflow) {
+  Param p = param_with_grad(0.0f);
+  p.grad(1) = std::numeric_limits<float>::quiet_NaN();
+  Param* ps[] = {&p};
+  EXPECT_TRUE(LossScaler::has_overflow(ps));
+}
+
+TEST(LossScaler, DynamicBacksOffOnOverflow) {
+  auto scaler = LossScaler::dynamic(1024.0f);
+  scaler.update(true);
+  EXPECT_EQ(scaler.scale(), 512.0f);
+  scaler.update(true);
+  EXPECT_EQ(scaler.scale(), 256.0f);
+}
+
+TEST(LossScaler, DynamicGrowsAfterCleanStreak) {
+  auto scaler = LossScaler::dynamic(64.0f);
+  for (int i = 0; i < 200; ++i) scaler.update(false);
+  EXPECT_EQ(scaler.scale(), 128.0f);
+  // Streak resets after growth.
+  for (int i = 0; i < 199; ++i) scaler.update(false);
+  EXPECT_EQ(scaler.scale(), 128.0f);
+  scaler.update(false);
+  EXPECT_EQ(scaler.scale(), 256.0f);
+}
+
+TEST(LossScaler, DynamicRespectsBounds) {
+  auto scaler = LossScaler::dynamic(1.0f);
+  scaler.update(true);
+  EXPECT_GE(scaler.scale(), 1.0f);  // floor
+
+  auto big = LossScaler::dynamic(65536.0f);
+  for (int i = 0; i < 400; ++i) big.update(false);
+  EXPECT_LE(big.scale(), 65536.0f);  // ceiling
+}
+
+TEST(LossScaler, OverflowResetsGrowthStreak) {
+  auto scaler = LossScaler::dynamic(64.0f);
+  for (int i = 0; i < 199; ++i) scaler.update(false);
+  scaler.update(true);  // overflow at step 200
+  EXPECT_EQ(scaler.scale(), 32.0f);
+  for (int i = 0; i < 199; ++i) scaler.update(false);
+  EXPECT_EQ(scaler.scale(), 32.0f);  // needs the full streak again
+}
+
+}  // namespace
+}  // namespace zipflm

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "zipflm/data/markov.hpp"
+
+namespace zipflm {
+namespace {
+
+TEST(BigramCorpus, DeterministicPerSeedAndStream) {
+  const BigramCorpus a(100, 8, 42);
+  const BigramCorpus b(100, 8, 42);
+  EXPECT_EQ(a.generate(1000, 0), b.generate(1000, 0));
+  EXPECT_NE(a.generate(1000, 0), a.generate(1000, 1));
+
+  const BigramCorpus c(100, 8, 43);
+  EXPECT_NE(a.generate(1000, 0), c.generate(1000, 0));
+}
+
+TEST(BigramCorpus, TokensStayInVocabulary) {
+  const BigramCorpus corpus(50, 5, 7);
+  for (const auto t : corpus.generate(20000, 3)) {
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, 50);
+  }
+}
+
+TEST(BigramCorpus, TransitionsFollowTheSuccessorMenus) {
+  const BigramCorpus corpus(64, 6, 11);
+  const auto tokens = corpus.generate(5000, 0);
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const auto& menu = corpus.successors(tokens[i - 1]);
+    EXPECT_NE(std::find(menu.begin(), menu.end(), tokens[i]), menu.end())
+        << "token " << tokens[i] << " is not a successor of "
+        << tokens[i - 1];
+  }
+}
+
+TEST(BigramCorpus, SequenceCarriesMutualInformation) {
+  // The conditional distribution must be much sharper than the marginal:
+  // H(next | current) <= log(branching) << H(next).
+  const std::int64_t vocab = 200;
+  const std::int64_t branching = 8;
+  const BigramCorpus corpus(vocab, branching, 5);
+  const auto tokens = corpus.generate(200'000, 0);
+
+  // Marginal entropy.
+  std::unordered_map<std::int64_t, double> marginal;
+  for (const auto t : tokens) marginal[t] += 1.0;
+  double h_marginal = 0.0;
+  for (auto& [t, c] : marginal) {
+    const double p = c / static_cast<double>(tokens.size());
+    h_marginal -= p * std::log(p);
+  }
+
+  // Conditional entropy via bigram counts.
+  std::unordered_map<std::int64_t,
+                     std::unordered_map<std::int64_t, double>>
+      bigrams;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    bigrams[tokens[i - 1]][tokens[i]] += 1.0;
+  }
+  double h_cond = 0.0;
+  for (const auto& [prev, nexts] : bigrams) {
+    double total = 0.0;
+    for (const auto& [nxt, c] : nexts) total += c;
+    double h = 0.0;
+    for (const auto& [nxt, c] : nexts) {
+      const double p = c / total;
+      h -= p * std::log(p);
+    }
+    h_cond += h * total / static_cast<double>(tokens.size() - 1);
+  }
+
+  EXPECT_LE(h_cond, corpus.entropy_bound_nats() + 1e-9);
+  EXPECT_LT(h_cond, 0.7 * h_marginal)
+      << "transitions must carry substantial mutual information";
+}
+
+TEST(BigramCorpus, MarginalStaysHeavyTailed) {
+  // Successor menus drawn from a power law keep the token marginal
+  // skewed: the top 10% of words should carry well over half the mass.
+  const std::int64_t vocab = 500;
+  const BigramCorpus corpus(vocab, 10, 9);
+  const auto tokens = corpus.generate(100'000, 0);
+  std::unordered_map<std::int64_t, std::size_t> counts;
+  for (const auto t : tokens) ++counts[t];
+  std::vector<std::size_t> freq;
+  freq.reserve(counts.size());
+  for (const auto& [t, c] : counts) freq.push_back(c);
+  std::sort(freq.rbegin(), freq.rend());
+  std::size_t head = 0;
+  for (std::size_t i = 0; i < freq.size() / 10; ++i) head += freq[i];
+  EXPECT_GT(static_cast<double>(head) / static_cast<double>(tokens.size()),
+            0.5);
+}
+
+TEST(BigramCorpus, EntropyBoundIsLogBranching) {
+  const BigramCorpus corpus(100, 16, 1);
+  EXPECT_NEAR(corpus.entropy_bound_nats(), std::log(16.0), 1e-12);
+}
+
+TEST(BigramCorpus, RejectsBadConfig) {
+  EXPECT_THROW(BigramCorpus(1, 1, 0), ConfigError);
+  EXPECT_THROW(BigramCorpus(10, 0, 0), ConfigError);
+  EXPECT_THROW(BigramCorpus(10, 11, 0), ConfigError);
+  EXPECT_THROW(BigramCorpus(10, 11, 0).successors(3), ConfigError);
+}
+
+TEST(BigramCorpus, SuccessorsAccessorValidates) {
+  const BigramCorpus corpus(10, 3, 2);
+  EXPECT_EQ(corpus.successors(0).size(), 3u);
+  EXPECT_THROW(corpus.successors(10), ConfigError);
+  EXPECT_THROW(corpus.successors(-1), ConfigError);
+}
+
+}  // namespace
+}  // namespace zipflm

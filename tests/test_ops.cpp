@@ -1,0 +1,232 @@
+// Kernel correctness: every op against a naive reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "zipflm/tensor/ops.hpp"
+
+namespace zipflm {
+namespace {
+
+Tensor naive_gemm(const Tensor& a, bool ta, const Tensor& b, bool tb,
+                  float alpha) {
+  const Index m = ta ? a.cols() : a.rows();
+  const Index k = ta ? a.rows() : a.cols();
+  const Index n = tb ? b.rows() : b.cols();
+  Tensor c({m, n});
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (Index kk = 0; kk < k; ++kk) {
+        const float av = ta ? a(kk, i) : a(i, kk);
+        const float bv = tb ? b(j, kk) : b(kk, j);
+        acc += static_cast<double>(av) * bv;
+      }
+      c(i, j) = alpha * static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+struct GemmCase {
+  Index m, n, k;
+  bool ta, tb;
+};
+
+class GemmSweep : public ::testing::TestWithParam<GemmCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(GemmCase{1, 1, 1, false, false},
+                      GemmCase{3, 5, 2, false, false},
+                      GemmCase{4, 4, 4, true, false},
+                      GemmCase{5, 3, 7, false, true},
+                      GemmCase{6, 2, 3, true, true},
+                      GemmCase{33, 129, 65, false, false},
+                      GemmCase{64, 31, 130, true, false},
+                      GemmCase{17, 40, 128, false, true}));
+
+TEST_P(GemmSweep, MatchesNaiveReference) {
+  const auto c = GetParam();
+  Rng rng(77);
+  const Tensor a = c.ta ? Tensor::randn({c.k, c.m}, rng)
+                        : Tensor::randn({c.m, c.k}, rng);
+  const Tensor b = c.tb ? Tensor::randn({c.n, c.k}, rng)
+                        : Tensor::randn({c.k, c.n}, rng);
+  Tensor out({c.m, c.n});
+  gemm(a, c.ta, b, c.tb, out, 1.5f, 0.0f);
+  const Tensor ref = naive_gemm(a, c.ta, b, c.tb, 1.5f);
+  for (Index i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out.data()[static_cast<std::size_t>(i)],
+                ref.data()[static_cast<std::size_t>(i)],
+                1e-3f * static_cast<float>(c.k));
+  }
+}
+
+TEST(Gemm, BetaAccumulates) {
+  Rng rng(3);
+  const Tensor a = Tensor::randn({4, 3}, rng);
+  const Tensor b = Tensor::randn({3, 5}, rng);
+  Tensor c0 = Tensor::full({4, 5}, 2.0f);
+  gemm(a, false, b, false, c0, 1.0f, 1.0f);
+  Tensor ref = naive_gemm(a, false, b, false, 1.0f);
+  for (Index i = 0; i < c0.size(); ++i) {
+    EXPECT_NEAR(c0.data()[static_cast<std::size_t>(i)],
+                ref.data()[static_cast<std::size_t>(i)] + 2.0f, 1e-4f);
+  }
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Tensor a({2, 3}), b({4, 5}), c({2, 5});
+  EXPECT_THROW(gemm(a, false, b, false, c), ConfigError);
+}
+
+TEST(Ops, AxpyAndScale) {
+  Tensor x = Tensor::full({4}, 2.0f);
+  Tensor y = Tensor::full({4}, 1.0f);
+  axpy(3.0f, x, y);
+  for (float v : y.data()) EXPECT_EQ(v, 7.0f);
+  scale(y, 0.5f);
+  for (float v : y.data()) EXPECT_EQ(v, 3.5f);
+}
+
+TEST(Ops, ActivationsMatchStdFunctions) {
+  Rng rng(8);
+  Tensor x = Tensor::randn({100}, rng, 2.0f);
+  Tensor y({100});
+  sigmoid(x, y);
+  for (Index i = 0; i < 100; ++i) {
+    EXPECT_NEAR(y(i), 1.0f / (1.0f + std::exp(-x(i))), 1e-6f);
+  }
+  tanh_op(x, y);
+  for (Index i = 0; i < 100; ++i) EXPECT_NEAR(y(i), std::tanh(x(i)), 1e-6f);
+  relu(x, y);
+  for (Index i = 0; i < 100; ++i) EXPECT_EQ(y(i), x(i) > 0 ? x(i) : 0.0f);
+}
+
+TEST(Ops, ActivationGradsFromOutput) {
+  Tensor y({3});
+  y(0) = 0.25f;
+  y(1) = 0.5f;
+  y(2) = 0.9f;
+  Tensor dy = y;
+  sigmoid_grad_from_output(y, dy);
+  EXPECT_NEAR(dy(1), 0.25f, 1e-6f);
+  dy = y;
+  tanh_grad_from_output(y, dy);
+  EXPECT_NEAR(dy(1), 0.75f, 1e-6f);
+}
+
+TEST(Ops, SoftmaxRowsNormalizedAndStable) {
+  Tensor logits({2, 3});
+  logits(0, 0) = 1000.0f;  // stability: subtracting the row max
+  logits(0, 1) = 1000.0f;
+  logits(0, 2) = 999.0f;
+  logits(1, 0) = -5.0f;
+  logits(1, 1) = 0.0f;
+  logits(1, 2) = 5.0f;
+  Tensor p({2, 3});
+  softmax_rows(logits, p);
+  for (Index i = 0; i < 2; ++i) {
+    float sum = 0.0f;
+    for (Index j = 0; j < 3; ++j) {
+      EXPECT_TRUE(std::isfinite(p(i, j)));
+      sum += p(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(p(1, 2), p(1, 1));
+}
+
+TEST(Ops, LogSoftmaxAgreesWithLogOfSoftmax) {
+  Rng rng(4);
+  Tensor logits = Tensor::randn({5, 7}, rng, 3.0f);
+  Tensor p({5, 7}), lp({5, 7});
+  softmax_rows(logits, p);
+  log_softmax_rows(logits, lp);
+  for (Index i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(lp.data()[static_cast<std::size_t>(i)],
+                std::log(p.data()[static_cast<std::size_t>(i)]), 1e-4f);
+  }
+}
+
+TEST(Ops, Reductions) {
+  Tensor t({4});
+  t(0) = 1;
+  t(1) = -3;
+  t(2) = 2;
+  t(3) = 0;
+  EXPECT_EQ(sum(t), 0.0f);
+  EXPECT_EQ(max_abs(t), 3.0f);
+  EXPECT_NEAR(l2_norm(t), std::sqrt(14.0f), 1e-6f);
+}
+
+TEST(Ops, GatherThenScatterRoundTrip) {
+  Tensor table({5, 3});
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j < 3; ++j) table(i, j) = static_cast<float>(10 * i + j);
+  }
+  const std::vector<Index> ids = {4, 0, 4, 2};
+  Tensor out({4, 3});
+  gather_rows(table, ids, out);
+  EXPECT_EQ(out(0, 1), 41.0f);
+  EXPECT_EQ(out(1, 0), 0.0f);
+  EXPECT_EQ(out(2, 2), 42.0f);
+
+  Tensor acc({5, 3});
+  scatter_add_rows(out, ids, acc);
+  // Row 4 receives itself twice.
+  EXPECT_EQ(acc(4, 0), 80.0f);
+  EXPECT_EQ(acc(2, 1), 21.0f);
+  EXPECT_EQ(acc(0, 0), 0.0f);
+  EXPECT_EQ(acc(1, 0), 0.0f);
+}
+
+TEST(Ops, BiasAddAndGrad) {
+  Tensor y = Tensor::zeros({3, 2});
+  Tensor b({2});
+  b(0) = 1.0f;
+  b(1) = -1.0f;
+  add_bias_rows(y, b);
+  EXPECT_EQ(y(2, 0), 1.0f);
+  EXPECT_EQ(y(2, 1), -1.0f);
+
+  Tensor dy = Tensor::full({3, 2}, 2.0f);
+  Tensor db({2});
+  bias_grad(dy, db);
+  EXPECT_EQ(db(0), 6.0f);
+  EXPECT_EQ(db(1), 6.0f);
+}
+
+TEST(Ops, ClipBoundsValues) {
+  Tensor t({3});
+  t(0) = -10.0f;
+  t(1) = 0.5f;
+  t(2) = 10.0f;
+  clip(t, 1.0f);
+  EXPECT_EQ(t(0), -1.0f);
+  EXPECT_EQ(t(1), 0.5f);
+  EXPECT_EQ(t(2), 1.0f);
+}
+
+TEST(Ops, HadamardMultiplies) {
+  Tensor x = Tensor::full({4}, 3.0f);
+  Tensor y = Tensor::full({4}, -2.0f);
+  Tensor z({4});
+  hadamard(x, y, z);
+  for (float v : z.data()) EXPECT_EQ(v, -6.0f);
+}
+
+TEST(Ops, GemmDeterministicAcrossRuns) {
+  // Thread-pool decomposition must not change results run to run.
+  Rng rng(10);
+  const Tensor a = Tensor::randn({64, 96}, rng);
+  const Tensor b = Tensor::randn({96, 48}, rng);
+  Tensor c1({64, 48}), c2({64, 48});
+  gemm(a, false, b, false, c1);
+  gemm(a, false, b, false, c2);
+  EXPECT_TRUE(c1 == c2);
+}
+
+}  // namespace
+}  // namespace zipflm

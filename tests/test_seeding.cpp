@@ -1,0 +1,159 @@
+// Controlled seeding (Section III-B): group structure and the unique-
+// candidate growth trade-off.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "zipflm/core/seeding.hpp"
+
+namespace zipflm {
+namespace {
+
+TEST(SeedPolicy, GroupCounts) {
+  EXPECT_EQ(seed_group_count(SeedPolicy::PerRank, 64), 64);
+  EXPECT_EQ(seed_group_count(SeedPolicy::SharedAll, 64), 1);
+  EXPECT_EQ(seed_group_count(SeedPolicy::Log2G, 64), 6);
+  EXPECT_EQ(seed_group_count(SeedPolicy::LogEG, 64), 5);   // ceil(4.16)
+  EXPECT_EQ(seed_group_count(SeedPolicy::Log10G, 64), 2);  // ceil(1.8)
+  // G^0.64 at 64 = 14.3 -> 15.
+  EXPECT_EQ(seed_group_count(SeedPolicy::ZipfFreq, 64),
+            static_cast<int>(std::ceil(std::pow(64.0, 0.64))));
+}
+
+TEST(SeedPolicy, GroupCountNeverExceedsWorld) {
+  for (int g = 1; g <= 16; ++g) {
+    for (const auto policy :
+         {SeedPolicy::PerRank, SeedPolicy::SharedAll, SeedPolicy::Log2G,
+          SeedPolicy::LogEG, SeedPolicy::Log10G, SeedPolicy::ZipfFreq}) {
+      const int groups = seed_group_count(policy, g);
+      EXPECT_GE(groups, 1);
+      EXPECT_LE(groups, g);
+    }
+  }
+}
+
+TEST(SeedPolicy, RoundRobinGroupAssignmentIsBalanced) {
+  const int g = 64;
+  std::vector<int> counts(
+      static_cast<std::size_t>(seed_group_count(SeedPolicy::ZipfFreq, g)), 0);
+  for (int r = 0; r < g; ++r) {
+    const int grp = seed_group_of(SeedPolicy::ZipfFreq, r, g);
+    ASSERT_GE(grp, 0);
+    ASSERT_LT(grp, static_cast<int>(counts.size()));
+    ++counts[static_cast<std::size_t>(grp)];
+  }
+  const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_LE(*mx - *mn, 1);
+}
+
+TEST(ControlledSampler, SameGroupSameDraws) {
+  ControlledSampler sampler(1000, 64, SeedPolicy::Log2G, 7);
+  const int world = 16;  // log2 -> 4 groups; ranks 0 and 4 share group 0
+  ASSERT_EQ(seed_group_of(SeedPolicy::Log2G, 0, world),
+            seed_group_of(SeedPolicy::Log2G, 4, world));
+  EXPECT_EQ(sampler.group_samples(0, 3), sampler.group_samples(0, 3));
+
+  const std::vector<Index> targets = {5};
+  const auto c0 = sampler.candidates(0, world, 3, targets);
+  const auto c4 = sampler.candidates(4, world, 3, targets);
+  EXPECT_EQ(c0, c4);
+}
+
+TEST(ControlledSampler, DifferentGroupsDiverge) {
+  ControlledSampler sampler(10000, 64, SeedPolicy::PerRank, 7);
+  const auto a = sampler.group_samples(0, 0);
+  const auto b = sampler.group_samples(1, 0);
+  EXPECT_NE(a, b);
+}
+
+TEST(ControlledSampler, StepsAdvanceTheStream) {
+  ControlledSampler sampler(10000, 64, SeedPolicy::SharedAll, 7);
+  EXPECT_NE(sampler.group_samples(0, 0), sampler.group_samples(0, 1));
+}
+
+TEST(ControlledSampler, CandidatesIncludeTargetsSortedUnique) {
+  ControlledSampler sampler(1000, 32, SeedPolicy::ZipfFreq, 11);
+  const std::vector<Index> targets = {999, 7, 999};
+  const auto c = sampler.candidates(3, 8, 5, targets);
+  EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+  EXPECT_TRUE(std::adjacent_find(c.begin(), c.end()) == c.end());
+  EXPECT_TRUE(std::binary_search(c.begin(), c.end(), Index{999}));
+  EXPECT_TRUE(std::binary_search(c.begin(), c.end(), Index{7}));
+  for (const Index id : c) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 1000);
+  }
+}
+
+TEST(ControlledSampler, DrawsFollowThePowerLawHead) {
+  // The controlled randomization must obey the word-frequency
+  // distribution: low ids (frequent words) dominate the samples.
+  ControlledSampler sampler(100000, 256, SeedPolicy::SharedAll, 13);
+  std::size_t head = 0, total = 0;
+  for (std::uint64_t step = 0; step < 200; ++step) {
+    for (const Index id : sampler.group_samples(0, step)) {
+      if (id < 1000) ++head;  // top 1% of the vocabulary
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(head) / static_cast<double>(total), 0.5);
+}
+
+TEST(ControlledSampler, GlobalUniqueCandidatesOrderedByPolicy) {
+  // Fewer seed groups -> fewer distinct candidates across the world.
+  const int world = 32;
+  const Index s = 128;
+  const Index vocab = 1 << 16;
+
+  auto global_unique = [&](SeedPolicy policy) {
+    ControlledSampler sampler(vocab, s, policy, 21);
+    std::unordered_set<Index> uniq;
+    for (int r = 0; r < world; ++r) {
+      const auto draws =
+          sampler.group_samples(seed_group_of(policy, r, world), 0);
+      uniq.insert(draws.begin(), draws.end());
+    }
+    return uniq.size();
+  };
+
+  const auto per_rank = global_unique(SeedPolicy::PerRank);
+  const auto zipf_freq = global_unique(SeedPolicy::ZipfFreq);
+  const auto log2g = global_unique(SeedPolicy::Log2G);
+  const auto shared = global_unique(SeedPolicy::SharedAll);
+
+  EXPECT_GT(per_rank, zipf_freq);
+  EXPECT_GT(zipf_freq, log2g);
+  EXPECT_GT(log2g, shared);
+  EXPECT_LE(shared, static_cast<std::size_t>(s));
+}
+
+TEST(ControlledSampler, LogExpectedCountsFollowTheProposal) {
+  ControlledSampler sampler(1000, 100, SeedPolicy::PerRank, 3);
+  const std::vector<Index> candidates = {0, 10, 100, 999};
+  const auto logq = sampler.log_expected_counts(candidates);
+  ASSERT_EQ(logq.size(), candidates.size());
+  // Zipf proposal: expected counts strictly decrease with rank.
+  for (std::size_t i = 1; i < logq.size(); ++i) {
+    EXPECT_LT(logq[i], logq[i - 1]);
+  }
+  // Frequent word with S=100 and p(1) sizeable: count above e^-2 say;
+  // and every value is finite.
+  for (const float v : logq) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(ControlledSampler, RejectsBadConfig) {
+  EXPECT_THROW(ControlledSampler(0, 8, SeedPolicy::PerRank, 1), ConfigError);
+  EXPECT_THROW(ControlledSampler(8, 0, SeedPolicy::PerRank, 1), ConfigError);
+  EXPECT_THROW(ControlledSampler(8, 9, SeedPolicy::PerRank, 1), ConfigError);
+}
+
+TEST(SeedPolicy, ToStringMatchesFigureLabels) {
+  EXPECT_STREQ(to_string(SeedPolicy::PerRank), "G");
+  EXPECT_STREQ(to_string(SeedPolicy::ZipfFreq), "Zipf's-freq");
+  EXPECT_STREQ(to_string(SeedPolicy::Log2G), "log2G");
+}
+
+}  // namespace
+}  // namespace zipflm

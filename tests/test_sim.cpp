@@ -1,0 +1,211 @@
+// Structural properties of the performance model: the shapes of Tables
+// III/IV/V must emerge from the model, not from per-cell tuning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "zipflm/sim/perf_model.hpp"
+#include "zipflm/stats/metrics.hpp"
+
+namespace zipflm {
+namespace {
+
+PerfModel titan_model() {
+  return PerfModel(DeviceProps::titan_x(), CostModel::titan_x_cluster());
+}
+
+TEST(Workload, UniqueWordsFollowHeapsThenSaturate) {
+  const auto w = LmWorkload::word_lm_1b();
+  // Small N: pure power law.
+  EXPECT_NEAR(w.unique_words(10240), 7.02 * std::pow(10240.0, 0.64), 1.0);
+  // Huge N: capped by the vocabulary.
+  EXPECT_LE(w.unique_words(1e12), 100'000.0);
+  const auto c = LmWorkload::char_lm_1b();
+  EXPECT_LE(c.unique_words(1e9), 98.0);
+  EXPECT_NEAR(c.unique_words(1e9), 98.0, 0.5);
+}
+
+TEST(Workload, UniqueWordsMonotone) {
+  const auto w = LmWorkload::word_lm_1b();
+  double prev = 0.0;
+  for (double n = 100; n < 1e9; n *= 3) {
+    const double u = w.unique_words(n);
+    EXPECT_GE(u, prev);
+    EXPECT_LE(u, n + 1.0);
+    prev = u;
+  }
+}
+
+TEST(PerfModel, BaselineOOMsBeyond24GpusOnWordLm) {
+  const auto model = titan_model();
+  const auto w = LmWorkload::word_lm_1b();
+  EXPECT_FALSE(model.epoch(w, 8, TechniqueSet::none()).oom);
+  EXPECT_FALSE(model.epoch(w, 24, TechniqueSet::none()).oom);
+  EXPECT_TRUE(model.epoch(w, 32, TechniqueSet::none()).oom)
+      << "Table III: baseline out of memory at 32 GPUs";
+  EXPECT_TRUE(model.epoch(w, 64, TechniqueSet::none()).oom);
+}
+
+TEST(PerfModel, TechniqueMemoryStaysFlat) {
+  const auto model = titan_model();
+  const auto w = LmWorkload::word_lm_1b();
+  const auto m8 = model.epoch(w, 8, TechniqueSet::all());
+  const auto m64 = model.epoch(w, 64, TechniqueSet::all());
+  EXPECT_FALSE(m8.oom);
+  EXPECT_FALSE(m64.oom);
+  // Paper: 1.19 GB at 8 GPUs vs 1.21 GB at 64 — essentially flat.
+  EXPECT_LT(static_cast<double>(m64.peak_memory_bytes),
+            1.1 * static_cast<double>(m8.peak_memory_bytes));
+}
+
+TEST(PerfModel, BaselineMemoryGrowsLinearly) {
+  const auto model = titan_model();
+  const auto w = LmWorkload::word_lm_1b();
+  const auto m8 = model.epoch(w, 8, TechniqueSet::none());
+  const auto m16 = model.epoch(w, 16, TechniqueSet::none());
+  const auto m24 = model.epoch(w, 24, TechniqueSet::none());
+  const double d1 = static_cast<double>(m16.peak_memory_bytes) -
+                    static_cast<double>(m8.peak_memory_bytes);
+  const double d2 = static_cast<double>(m24.peak_memory_bytes) -
+                    static_cast<double>(m16.peak_memory_bytes);
+  EXPECT_GT(d1, 0.0);
+  EXPECT_NEAR(d2 / d1, 1.0, 0.05) << "memory growth must be linear in G";
+}
+
+TEST(PerfModel, EpochTimeDropsWithMoreGpusUnderTechniques) {
+  const auto model = titan_model();
+  for (const auto& w : {LmWorkload::word_lm_1b(), LmWorkload::char_lm_1b()}) {
+    double prev = 1e30;
+    for (const int g : {8, 16, 24, 32, 64}) {
+      const auto r = model.epoch(w, g, TechniqueSet::all());
+      EXPECT_LT(r.epoch_hours, prev) << w.name << " at " << g;
+      prev = r.epoch_hours;
+    }
+  }
+}
+
+TEST(PerfModel, TechniquesAlwaysWinAtEqualGpuCount) {
+  const auto model = titan_model();
+  for (const auto& w : {LmWorkload::word_lm_1b(), LmWorkload::char_lm_1b()}) {
+    for (const int g : {8, 16, 24}) {
+      const auto base = model.epoch(w, g, TechniqueSet::none());
+      const auto ours = model.epoch(w, g, TechniqueSet::all());
+      EXPECT_GT(base.epoch_hours, ours.epoch_hours) << w.name << " " << g;
+    }
+  }
+}
+
+TEST(PerfModel, SpeedupBreakdownIsCumulative) {
+  // Fig 6: baseline < +uniqueness < +seeding < +compression.
+  const auto model = titan_model();
+  const auto w = LmWorkload::word_lm_1b();
+  for (const int g : {16, 24}) {
+    const double base = model.epoch(w, g, TechniqueSet::none()).epoch_hours;
+    const double uniq =
+        model.epoch(w, g, TechniqueSet::unique_only()).epoch_hours;
+    const double seed =
+        model.epoch(w, g, TechniqueSet::unique_seed()).epoch_hours;
+    const double all = model.epoch(w, g, TechniqueSet::all()).epoch_hours;
+    EXPECT_GT(base, uniq);
+    EXPECT_GT(uniq, seed);
+    EXPECT_GT(seed, all);
+    // Uniqueness is the dominant effect (paper: ~4x of the total ~5x).
+    EXPECT_GT(base / uniq, 2.0);
+  }
+}
+
+TEST(PerfModel, EightGpuAnchorsMatchPaper) {
+  // Calibration sanity: the 8-GPU anchor cells of Tables III and IV.
+  const auto model = titan_model();
+  const auto word = model.epoch(LmWorkload::word_lm_1b(), 8,
+                                TechniqueSet::all());
+  EXPECT_NEAR(word.epoch_hours, 14.6, 2.0);
+  const auto word_base = model.epoch(LmWorkload::word_lm_1b(), 8,
+                                     TechniqueSet::none());
+  EXPECT_NEAR(word_base.epoch_hours, 35.1, 5.0);
+
+  const auto chr = model.epoch(LmWorkload::char_lm_1b(), 8,
+                               TechniqueSet::all());
+  EXPECT_NEAR(chr.epoch_hours, 23.2, 3.0);
+  const auto chr_base = model.epoch(LmWorkload::char_lm_1b(), 8,
+                                    TechniqueSet::none());
+  EXPECT_NEAR(chr_base.epoch_hours, 25.7, 3.5);
+}
+
+TEST(PerfModel, CharLmParallelEfficiencyStaysHigh) {
+  // Table IV: char LM keeps >80% efficiency to 64 GPUs (high compute
+  // intensity), word LM decays to ~40% (low compute intensity).
+  const auto model = titan_model();
+  const auto chr8 = model.epoch(LmWorkload::char_lm_1b(), 8,
+                                TechniqueSet::all());
+  const auto chr64 = model.epoch(LmWorkload::char_lm_1b(), 64,
+                                 TechniqueSet::all());
+  const double chr_eff =
+      parallel_efficiency(8, chr8.epoch_hours, 64, chr64.epoch_hours);
+  EXPECT_GT(chr_eff, 0.70);
+
+  const auto w8 = model.epoch(LmWorkload::word_lm_1b(), 8,
+                              TechniqueSet::all());
+  const auto w64 = model.epoch(LmWorkload::word_lm_1b(), 64,
+                               TechniqueSet::all());
+  const double w_eff =
+      parallel_efficiency(8, w8.epoch_hours, 64, w64.epoch_hours);
+  EXPECT_LT(w_eff, chr_eff)
+      << "word LM must scale worse than char LM (lower GFLOP/iter)";
+}
+
+TEST(PerfModel, WeakScalingTiebaTimeGrowsSlowly) {
+  // Table V: 32x data on 32x GPUs costs only ~1.25x the time.
+  const auto model = titan_model();
+  const Index k = 128 * 150;
+  const auto small = LmWorkload::char_lm_tieba(1'070'000'000ull, k);
+  const auto large = LmWorkload::char_lm_tieba(34'360'000'000ull, k);
+  const auto t6 = model.epoch(small, 6, TechniqueSet::all());
+  const auto t192 = model.epoch(large, 192, TechniqueSet::all());
+  const double ratio = t192.epoch_hours / t6.epoch_hours;
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 1.9) << "weak scaling must stay near-flat";
+}
+
+TEST(PerfModel, CompressionHelpsWordMoreThanChar) {
+  // §V-B: char LM sees only ~2% from compression (cast overhead on >20
+  // tensors); word LM sees ~18%.
+  const auto model = titan_model();
+  const auto wu = model.epoch(LmWorkload::word_lm_1b(), 24,
+                              TechniqueSet::unique_seed());
+  const auto wa = model.epoch(LmWorkload::word_lm_1b(), 24,
+                              TechniqueSet::all());
+  const double word_gain = wu.epoch_hours / wa.epoch_hours - 1.0;
+
+  const auto cu = model.epoch(LmWorkload::char_lm_1b(), 24,
+                              TechniqueSet::unique_seed());
+  const auto ca = model.epoch(LmWorkload::char_lm_1b(), 24,
+                              TechniqueSet::all());
+  const double char_gain = cu.epoch_hours / ca.epoch_hours - 1.0;
+
+  EXPECT_GT(word_gain, char_gain);
+  EXPECT_GT(word_gain, 0.0);
+  EXPECT_LT(char_gain, 0.10);
+}
+
+TEST(PerfModel, V100ClusterIsFasterThanTitanX) {
+  // §V-D comparison substrate: same workload on the Puri et al. device.
+  PerfModel titan(DeviceProps::titan_x(), CostModel::titan_x_cluster());
+  PerfModel v100(DeviceProps::v100(), CostModel::v100_nvlink_cluster());
+  const auto w = LmWorkload::char_lm_amazon();
+  const auto t = titan.epoch(w, 64, TechniqueSet::all());
+  const auto v = v100.epoch(w, 128, TechniqueSet::all());
+  EXPECT_GT(t.epoch_hours, v.epoch_hours);
+}
+
+TEST(PerfModel, IterationCountMatchesTokensOverGlobalBatch) {
+  const auto model = titan_model();
+  const auto w = LmWorkload::word_lm_1b();
+  const auto r = model.epoch(w, 8, TechniqueSet::all());
+  EXPECT_EQ(r.iterations,
+            w.tokens_per_epoch /
+                (8ull * static_cast<std::uint64_t>(w.tokens_per_rank)));
+}
+
+}  // namespace
+}  // namespace zipflm

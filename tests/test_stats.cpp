@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "zipflm/stats/metrics.hpp"
+#include "zipflm/stats/powerlaw.hpp"
+#include "zipflm/stats/table.hpp"
+#include "zipflm/support/error.hpp"
+#include "zipflm/support/rng.hpp"
+
+namespace zipflm {
+namespace {
+
+TEST(PowerLaw, RecoversExactSyntheticLaw) {
+  std::vector<double> x, y;
+  for (double v = 10; v < 1e6; v *= 3) {
+    x.push_back(v);
+    y.push_back(7.02 * std::pow(v, 0.64));
+  }
+  const auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.coefficient, 7.02, 1e-6);
+  EXPECT_NEAR(fit.exponent, 0.64, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.predict(100.0), 7.02 * std::pow(100.0, 0.64), 1e-6);
+}
+
+TEST(PowerLaw, RobustToMultiplicativeNoise) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (double v = 100; v < 1e7; v *= 2) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 0.5) * (1.0 + 0.05 * rng.normal()));
+  }
+  const auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 0.5, 0.03);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(PowerLaw, RejectsNonPositiveData) {
+  std::vector<double> x = {1, 2};
+  std::vector<double> bad = {1, -1};
+  EXPECT_THROW(fit_power_law(x, bad), ConfigError);
+  std::vector<double> one = {1};
+  EXPECT_THROW(fit_power_law(one, one), ConfigError);
+}
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> x = {0, 1, 2, 3};
+  std::vector<double> y = {1, 3, 5, 7};
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Metrics, PerplexityAndBpc) {
+  EXPECT_NEAR(perplexity_from_nats(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(perplexity_from_nats(std::log(50.0)), 50.0, 1e-9);
+  EXPECT_NEAR(bpc_from_nats(std::log(2.0)), 1.0, 1e-12);
+  // Paper §V-C: perplexity 11.1 -> log2(11.1) ≈ 3.47 bpc... for the
+  // Chinese corpus bits are per character of a 15k vocabulary.
+  EXPECT_NEAR(bpc_from_perplexity(11.1), std::log2(11.1), 1e-12);
+}
+
+TEST(Metrics, CompressionRatioReproducesPaperNumbers) {
+  // §V-C: bpc 1.11 on Amazon equates to a compression ratio of ~6.8
+  // (40 GB corpus, ~38.76B characters, ~8 bits per raw byte).
+  const double chars = 38.76e9;
+  const double corpus_bytes = chars * 0.956;  // ~1 byte per char English
+  const double ratio = compression_ratio(corpus_bytes, 1.11, chars);
+  EXPECT_NEAR(ratio, 6.8, 0.3);
+  // Tieba: perplexity 11.1 over 34.36B chars of a 93.12 GB corpus -> 6.3.
+  const double tieba_ratio = compression_ratio(
+      93.12e9, bpc_from_perplexity(11.1), 34.36e9);
+  EXPECT_NEAR(tieba_ratio, 6.3, 0.4);
+}
+
+TEST(Metrics, ParallelEfficiency) {
+  // Table III with-technique: 8 GPUs 14.6h -> 16 GPUs 8.1h = 90%.
+  EXPECT_NEAR(parallel_efficiency(8, 14.6, 16, 8.1), 0.90, 0.01);
+  // Perfect scaling.
+  EXPECT_NEAR(parallel_efficiency(8, 10.0, 16, 5.0), 1.0, 1e-12);
+  EXPECT_THROW(parallel_efficiency(0, 1.0, 2, 1.0), ConfigError);
+}
+
+TEST(Metrics, Speedup) {
+  EXPECT_NEAR(speedup(35.1, 14.6), 2.404, 0.001);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"GPUs", "Time (h)"});
+  t.add_row({"8", "14.6"});
+  t.add_row({"64", "4.5"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("| GPUs | Time (h) |"), std::string::npos);
+  EXPECT_NE(s.find("| 64   | 4.5      |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), ConfigError);
+}
+
+}  // namespace
+}  // namespace zipflm

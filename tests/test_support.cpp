@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "zipflm/support/barrier.hpp"
+#include "zipflm/support/error.hpp"
+#include "zipflm/support/format.hpp"
+#include "zipflm/support/rng.hpp"
+#include "zipflm/support/thread_pool.hpp"
+
+namespace zipflm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutEscape) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_index(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalHasUnitMoments) {
+  Rng rng(21);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng a = Rng::fork(100, 0);
+  Rng b = Rng::fork(100, 1);
+  Rng a2 = Rng::fork(100, 0);
+  EXPECT_NE(a(), b());
+  Rng a3 = Rng::fork(100, 0);
+  EXPECT_EQ(a2(), a3());
+}
+
+TEST(Barrier, SynchronizesThreads) {
+  const int n = 8;
+  CyclicBarrier barrier(n);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        ++counter;
+        barrier.arrive_and_wait();
+        // After the barrier, every thread of this round has arrived.
+        if (counter.load() < (round + 1) * n) failed = true;
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), 50 * n);
+}
+
+TEST(Barrier, AbortWakesWaiters) {
+  CyclicBarrier barrier(2);
+  std::atomic<bool> threw{false};
+  std::thread waiter([&] {
+    try {
+      barrier.arrive_and_wait();
+    } catch (const BarrierAborted&) {
+      threw = true;
+    }
+  });
+  // Give the waiter time to block, then abort.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  barrier.abort();
+  waiter.join();
+  EXPECT_TRUE(threw.load());
+  EXPECT_THROW(barrier.arrive_and_wait(), BarrierAborted);
+  barrier.reset();
+}
+
+TEST(Barrier, GenerationIsSharedPerCrossing) {
+  CyclicBarrier barrier(3);
+  std::vector<std::uint64_t> gens(3);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&, i] { gens[static_cast<std::size_t>(i)] = barrier.arrive_and_wait(); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(gens[0], gens[1]);
+  EXPECT_EQ(gens[1], gens[2]);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(10000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunksPartitionRange) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_chunks(5000, [&](std::size_t b, std::size_t e) {
+    total += e - b;
+  });
+  EXPECT_EQ(total.load(), 5000u);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Error, CheckThrowsConfigError) {
+  EXPECT_THROW(ZIPFLM_CHECK(false, "nope"), ConfigError);
+  EXPECT_NO_THROW(ZIPFLM_CHECK(true, "fine"));
+}
+
+TEST(Error, OutOfMemoryCarriesSizes) {
+  try {
+    throw OutOfMemoryError("oom", 100, 42);
+  } catch (const OutOfMemoryError& e) {
+    EXPECT_EQ(e.requested_bytes(), 100u);
+    EXPECT_EQ(e.available_bytes(), 42u);
+  }
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1ull << 20), "1.00 MB");
+  EXPECT_EQ(format_bytes(static_cast<std::uint64_t>(1.5 * (1ull << 30))),
+            "1.50 GB");
+}
+
+TEST(Format, Duration) {
+  EXPECT_EQ(format_duration(7200.0), "2.00 h");
+  EXPECT_EQ(format_duration(90.0), "1.5 min");
+  EXPECT_EQ(format_duration(2.5), "2.50 s");
+  EXPECT_EQ(format_duration(0.005), "5.00 ms");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(12288), "12,288");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace zipflm

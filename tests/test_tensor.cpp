@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "zipflm/tensor/tensor.hpp"
+
+namespace zipflm {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.size(), 12);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full({2, 2}, 3.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 3.5f);
+  t.zero();
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, AccessorsRowMajor) {
+  Tensor t({2, 3});
+  t(0, 0) = 1;
+  t(0, 2) = 2;
+  t(1, 1) = 3;
+  EXPECT_EQ(t.data()[0], 1.0f);
+  EXPECT_EQ(t.data()[2], 2.0f);
+  EXPECT_EQ(t.data()[4], 3.0f);
+}
+
+TEST(Tensor, RowViewAliasesStorage) {
+  Tensor t({3, 2});
+  auto row = t.row(1);
+  row[0] = 9.0f;
+  EXPECT_EQ(t(1, 0), 9.0f);
+  EXPECT_EQ(row.size(), 2u);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t(1, 5) = 42.0f;
+  t.reshape({3, 4});
+  EXPECT_EQ(t(2, 3), 42.0f);
+  EXPECT_THROW(t.reshape({5, 5}), ConfigError);
+}
+
+TEST(Tensor, RandnMomentsApproximatelyStandard) {
+  Rng rng(5);
+  Tensor t = Tensor::randn({100, 100}, rng, 2.0f);
+  double sum = 0, sum2 = 0;
+  for (float v : t.data()) {
+    sum += v;
+    sum2 += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(t.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 4.0, 0.15);
+}
+
+TEST(Tensor, UniformStaysInRange) {
+  Rng rng(6);
+  Tensor t = Tensor::uniform({50, 50}, rng, -0.25f, 0.25f);
+  for (float v : t.data()) {
+    EXPECT_GE(v, -0.25f);
+    EXPECT_LT(v, 0.25f);
+  }
+}
+
+TEST(Tensor, EqualityIsShapeAndValueSensitive) {
+  Tensor a({2, 2});
+  Tensor b({2, 2});
+  EXPECT_TRUE(a == b);
+  b(1, 1) = 1e-7f;
+  EXPECT_FALSE(a == b);
+  Tensor c({4});
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Tensor, OneDimensionalAccess) {
+  Tensor v({5});
+  v(3) = 2.0f;
+  EXPECT_EQ(v(3), 2.0f);
+  EXPECT_EQ(v.rank(), 1);
+}
+
+TEST(Tensor, EmptyTensor) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0);
+  Tensor z({0, 7});
+  EXPECT_TRUE(z.empty());
+  EXPECT_EQ(z.cols(), 7);
+}
+
+TEST(Tensor, BytesReportsPayload) {
+  Tensor t({10, 10});
+  EXPECT_EQ(t.bytes(), 400u);
+}
+
+TEST(Tensor, NegativeDimensionRejected) {
+  EXPECT_THROW(Tensor(std::vector<Index>{-1, 3}), ConfigError);
+}
+
+}  // namespace
+}  // namespace zipflm

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "zipflm/data/tokenizer.hpp"
+#include "zipflm/data/vocab.hpp"
+
+namespace zipflm {
+namespace {
+
+TEST(WordTokenizer, LowercasesAndSplitsPunctuation) {
+  WordTokenizer tok;
+  const auto out = tok.tokenize("The cat, the CAT!");
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0], "the");
+  EXPECT_EQ(out[1], "cat");
+  EXPECT_EQ(out[2], ",");
+  EXPECT_EQ(out[3], "the");
+  EXPECT_EQ(out[4], "cat");
+  EXPECT_EQ(out[5], "!");
+}
+
+TEST(WordTokenizer, HandlesApostropheAndNumbers) {
+  WordTokenizer tok;
+  const auto out = tok.tokenize("don't stop 42 times");
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0], "don");
+  EXPECT_EQ(out[1], "'");
+  EXPECT_EQ(out[2], "t");
+  EXPECT_EQ(out[3], "stop");
+  EXPECT_EQ(out[4], "42");
+}
+
+TEST(WordTokenizer, EmptyAndWhitespaceOnly) {
+  WordTokenizer tok;
+  EXPECT_TRUE(tok.tokenize("").empty());
+  EXPECT_TRUE(tok.tokenize("  \t\n ").empty());
+}
+
+TEST(CharTokenizer, AsciiSplitsPerByte) {
+  CharTokenizer tok;
+  const auto out = tok.tokenize("ab c");
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], "a");
+  EXPECT_EQ(out[2], " ");
+}
+
+TEST(CharTokenizer, Utf8MultiByteKeptWhole) {
+  CharTokenizer tok;
+  // "中文ab" : two 3-byte Chinese characters then ASCII.
+  const auto out = tok.tokenize("\xE4\xB8\xAD\xE6\x96\x87"
+                                "ab");
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], "\xE4\xB8\xAD");
+  EXPECT_EQ(out[1], "\xE6\x96\x87");
+  EXPECT_EQ(out[2], "a");
+}
+
+TEST(CharTokenizer, InvalidUtf8FallsBackToBytes) {
+  CharTokenizer tok;
+  // 0xE4 claims 3 bytes but continuation is invalid.
+  const auto out = tok.tokenize("\xE4zz");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "\xE4");
+  // Truncated sequence at the end of the buffer.
+  const auto out2 = tok.tokenize("a\xE4");
+  ASSERT_EQ(out2.size(), 2u);
+}
+
+TEST(Vocabulary, KeepsMostFrequentWithDeterministicTies) {
+  std::unordered_map<std::string, std::uint64_t> counts = {
+      {"the", 100}, {"cat", 50}, {"dog", 50}, {"rare", 1}};
+  const auto v = Vocabulary::build(counts, 4);  // <unk> + 3
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.id_of("the"), 1);
+  EXPECT_EQ(v.id_of("cat"), 2);  // tie with dog: lexicographic
+  EXPECT_EQ(v.id_of("dog"), 3);
+  EXPECT_EQ(v.id_of("rare"), Vocabulary::kUnkId);
+  EXPECT_EQ(v.token_of(1), "the");
+  EXPECT_EQ(v.token_of(0), "<unk>");
+}
+
+TEST(Vocabulary, CoverageOfFrequentHead) {
+  // Zipf-ish counts: a 3-word vocabulary should cover most tokens.
+  std::vector<std::string> tokens;
+  for (int i = 0; i < 60; ++i) tokens.push_back("a");
+  for (int i = 0; i < 30; ++i) tokens.push_back("b");
+  for (int i = 0; i < 9; ++i) tokens.push_back("c");
+  tokens.push_back("zeta");
+
+  const auto v = Vocabulary::build_from_tokens(tokens, 4);
+  EXPECT_NEAR(v.coverage(tokens), 0.99, 1e-6);
+}
+
+TEST(Vocabulary, EncodeMapsOovToUnk) {
+  std::vector<std::string> tokens = {"x", "x", "y"};
+  const auto v = Vocabulary::build_from_tokens(tokens, 2);  // only "x" kept
+  std::vector<std::int64_t> ids;
+  v.encode(tokens, ids);
+  EXPECT_EQ(ids, (std::vector<std::int64_t>{1, 1, Vocabulary::kUnkId}));
+}
+
+TEST(Vocabulary, TokenOfOutOfRangeThrows) {
+  const Vocabulary v;
+  EXPECT_THROW(v.token_of(5), ConfigError);
+}
+
+TEST(Pipeline, TokenizeBuildEncodeEndToEnd) {
+  WordTokenizer tok;
+  const std::string text =
+      "the quick brown fox jumps over the lazy dog . the fox .";
+  const auto tokens = tok.tokenize(text);
+  const auto vocab = Vocabulary::build_from_tokens(tokens, 100);
+  std::vector<std::int64_t> ids;
+  vocab.encode(tokens, ids);
+  ASSERT_EQ(ids.size(), tokens.size());
+  // "the" appears 3x and must be the lowest non-unk id.
+  EXPECT_EQ(vocab.id_of("the"), 1);
+  // Round-trip.
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    EXPECT_EQ(vocab.token_of(ids[i]), tokens[i]);
+  }
+}
+
+}  // namespace
+}  // namespace zipflm

@@ -1,0 +1,140 @@
+// The statistical foundation: Zipf sampling and Heaps-law growth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "zipflm/data/zipf.hpp"
+#include "zipflm/stats/powerlaw.hpp"
+
+namespace zipflm {
+namespace {
+
+TEST(ZipfMandelbrot, PmfSumsToOne) {
+  const ZipfMandelbrot dist(1000, 1.2, 2.0);
+  double sum = 0.0;
+  for (std::uint64_t r = 1; r <= 1000; ++r) sum += dist.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfMandelbrot, CdfMonotoneReachingOne) {
+  const ZipfMandelbrot dist(500, 1.0, 0.0);
+  double prev = 0.0;
+  for (std::uint64_t r = 1; r <= 500; ++r) {
+    const double c = dist.cdf(r);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(dist.cdf(500), 1.0, 1e-9);
+}
+
+TEST(ZipfMandelbrot, ClassicHeadRatio) {
+  // Zipf's law statement from the paper: with s=1, q=0 the most frequent
+  // word occurs ~2x the second, ~3x the third.
+  const ZipfMandelbrot dist(10000, 1.0, 0.0);
+  EXPECT_NEAR(dist.pmf(1) / dist.pmf(2), 2.0, 1e-9);
+  EXPECT_NEAR(dist.pmf(1) / dist.pmf(3), 3.0, 1e-9);
+}
+
+TEST(ZipfSampler, TableSamplerMatchesPmf) {
+  const std::uint64_t vocab = 50;
+  const ZipfMandelbrot dist(vocab, 1.1, 1.0);
+  ZipfSampler sampler(vocab, 1.1, 1.0);
+  EXPECT_TRUE(sampler.uses_table());
+
+  Rng rng(31);
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+
+  for (std::uint64_t r = 1; r <= 10; ++r) {
+    const double expected = dist.pmf(r) * n;
+    EXPECT_NEAR(counts[r], expected, 5.0 * std::sqrt(expected) + 5.0)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfSampler, RejectionSamplerMatchesZetaHead) {
+  // Unbounded zeta(s): P(1) = 1/zeta(s), computed numerically here.
+  const double s = 1.5625;
+  double zeta = 0.0;
+  for (std::uint64_t r = 1; r <= 2'000'000; ++r) {
+    zeta += std::pow(static_cast<double>(r), -s);
+  }
+  // Integral tail beyond the partial sum.
+  zeta += std::pow(2'000'000.5, 1.0 - s) / (s - 1.0);
+
+  ZipfSampler sampler(0, s);
+  EXPECT_FALSE(sampler.uses_table());
+  Rng rng(41);
+  const int n = 300000;
+  int ones = 0, twos = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto r = sampler.sample(rng);
+    ASSERT_GE(r, 1u);
+    if (r == 1) ++ones;
+    if (r == 2) ++twos;
+  }
+  const double p1 = static_cast<double>(ones) / n;
+  const double p2 = static_cast<double>(twos) / n;
+  EXPECT_NEAR(p1, 1.0 / zeta, 0.01);
+  // p2/p1 = 2^-s.
+  EXPECT_NEAR(p2 / p1, std::pow(2.0, -s), 0.02);
+}
+
+TEST(ZipfSampler, BoundedLargeVocabRedrawsTail) {
+  ZipfSampler sampler(1ull << 23, 1.5);  // above table limit -> rejection
+  EXPECT_FALSE(sampler.uses_table());
+  Rng rng(47);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LE(sampler.sample(rng), 1ull << 23);
+  }
+}
+
+TEST(ZipfSampler, HeapsLawExponentIsInverseZipfExponent) {
+  // The design-level claim behind every synthetic corpus: drawing from
+  // zipf(s) gives U(N) ~ N^(1/s).  s = 1.5625 -> alpha = 0.64.
+  ZipfSampler sampler(0, 1.5625);
+  Rng rng(53);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<double> xs, ys;
+  std::uint64_t checkpoint = 1024;
+  const std::uint64_t max_n = 1u << 21;
+  for (std::uint64_t n = 1; n <= max_n; ++n) {
+    seen.insert(sampler.sample(rng));
+    if (n == checkpoint) {
+      xs.push_back(static_cast<double>(n));
+      ys.push_back(static_cast<double>(seen.size()));
+      checkpoint *= 2;
+    }
+  }
+  const auto fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.exponent, 0.64, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(ZipfSampler, SampleTokensAreZeroBased) {
+  ZipfSampler sampler(100, 1.0);
+  Rng rng(3);
+  std::vector<std::uint64_t> tokens;
+  sampler.sample_tokens(rng, 5000, tokens);
+  ASSERT_EQ(tokens.size(), 5000u);
+  for (const auto t : tokens) ASSERT_LT(t, 100u);
+  // Token 0 (rank 1) must be the most frequent.
+  std::unordered_map<std::uint64_t, int> counts;
+  for (const auto t : tokens) ++counts[t];
+  for (const auto& [tok, count] : counts) {
+    EXPECT_LE(count, counts[0]) << "token " << tok;
+  }
+}
+
+TEST(ZipfSampler, InvalidConfigsRejected) {
+  EXPECT_THROW(ZipfSampler(100, 0.0), ConfigError);
+  EXPECT_THROW(ZipfSampler(0, 0.9), ConfigError);   // unbounded needs s>1
+  EXPECT_THROW(ZipfSampler(0, 1.5, 2.0), ConfigError);  // shift needs table
+  EXPECT_THROW(ZipfMandelbrot(0, 1.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace zipflm
