@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exchange_micro.dir/bench_exchange_micro.cpp.o"
+  "CMakeFiles/bench_exchange_micro.dir/bench_exchange_micro.cpp.o.d"
+  "bench_exchange_micro"
+  "bench_exchange_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exchange_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_types_vs_tokens.dir/bench_fig1_types_vs_tokens.cpp.o"
+  "CMakeFiles/bench_fig1_types_vs_tokens.dir/bench_fig1_types_vs_tokens.cpp.o.d"
+  "bench_fig1_types_vs_tokens"
+  "bench_fig1_types_vs_tokens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_types_vs_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

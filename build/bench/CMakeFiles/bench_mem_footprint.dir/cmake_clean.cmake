@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mem_footprint.dir/bench_mem_footprint.cpp.o"
+  "CMakeFiles/bench_mem_footprint.dir/bench_mem_footprint.cpp.o.d"
+  "bench_mem_footprint"
+  "bench_mem_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mem_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

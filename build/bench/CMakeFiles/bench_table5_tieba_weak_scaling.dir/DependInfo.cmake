@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_tieba_weak_scaling.cpp" "bench/CMakeFiles/bench_table5_tieba_weak_scaling.dir/bench_table5_tieba_weak_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_table5_tieba_weak_scaling.dir/bench_table5_tieba_weak_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/zipflm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/zipflm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/zipflm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/zipflm_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/zipflm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/zipflm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zipflm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/zipflm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zipflm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vd_amazon_comparison.dir/bench_vd_amazon_comparison.cpp.o"
+  "CMakeFiles/bench_vd_amazon_comparison.dir/bench_vd_amazon_comparison.cpp.o.d"
+  "bench_vd_amazon_comparison"
+  "bench_vd_amazon_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vd_amazon_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

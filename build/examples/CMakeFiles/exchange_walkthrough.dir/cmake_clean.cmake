@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exchange_walkthrough.dir/exchange_walkthrough.cpp.o"
+  "CMakeFiles/exchange_walkthrough.dir/exchange_walkthrough.cpp.o.d"
+  "exchange_walkthrough"
+  "exchange_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exchange_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_train_cli.dir/lm_train_cli.cpp.o"
+  "CMakeFiles/lm_train_cli.dir/lm_train_cli.cpp.o.d"
+  "lm_train_cli"
+  "lm_train_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_train_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

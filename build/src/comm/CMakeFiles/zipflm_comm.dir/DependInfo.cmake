@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/cost_model.cpp" "src/comm/CMakeFiles/zipflm_comm.dir/cost_model.cpp.o" "gcc" "src/comm/CMakeFiles/zipflm_comm.dir/cost_model.cpp.o.d"
+  "/root/repo/src/comm/hierarchical.cpp" "src/comm/CMakeFiles/zipflm_comm.dir/hierarchical.cpp.o" "gcc" "src/comm/CMakeFiles/zipflm_comm.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/comm/thread_comm.cpp" "src/comm/CMakeFiles/zipflm_comm.dir/thread_comm.cpp.o" "gcc" "src/comm/CMakeFiles/zipflm_comm.dir/thread_comm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/zipflm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/zipflm_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

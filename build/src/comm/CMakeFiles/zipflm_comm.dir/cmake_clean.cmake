@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipflm_comm.dir/cost_model.cpp.o"
+  "CMakeFiles/zipflm_comm.dir/cost_model.cpp.o.d"
+  "CMakeFiles/zipflm_comm.dir/hierarchical.cpp.o"
+  "CMakeFiles/zipflm_comm.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/zipflm_comm.dir/thread_comm.cpp.o"
+  "CMakeFiles/zipflm_comm.dir/thread_comm.cpp.o.d"
+  "libzipflm_comm.a"
+  "libzipflm_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipflm_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

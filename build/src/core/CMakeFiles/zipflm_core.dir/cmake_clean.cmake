@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipflm_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/zipflm_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/zipflm_core.dir/exchange.cpp.o"
+  "CMakeFiles/zipflm_core.dir/exchange.cpp.o.d"
+  "CMakeFiles/zipflm_core.dir/grad_sync.cpp.o"
+  "CMakeFiles/zipflm_core.dir/grad_sync.cpp.o.d"
+  "CMakeFiles/zipflm_core.dir/seeding.cpp.o"
+  "CMakeFiles/zipflm_core.dir/seeding.cpp.o.d"
+  "CMakeFiles/zipflm_core.dir/trainer.cpp.o"
+  "CMakeFiles/zipflm_core.dir/trainer.cpp.o.d"
+  "libzipflm_core.a"
+  "libzipflm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipflm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

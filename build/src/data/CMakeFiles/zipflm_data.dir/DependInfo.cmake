@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/batch.cpp" "src/data/CMakeFiles/zipflm_data.dir/batch.cpp.o" "gcc" "src/data/CMakeFiles/zipflm_data.dir/batch.cpp.o.d"
+  "/root/repo/src/data/corpus.cpp" "src/data/CMakeFiles/zipflm_data.dir/corpus.cpp.o" "gcc" "src/data/CMakeFiles/zipflm_data.dir/corpus.cpp.o.d"
+  "/root/repo/src/data/markov.cpp" "src/data/CMakeFiles/zipflm_data.dir/markov.cpp.o" "gcc" "src/data/CMakeFiles/zipflm_data.dir/markov.cpp.o.d"
+  "/root/repo/src/data/tokenizer.cpp" "src/data/CMakeFiles/zipflm_data.dir/tokenizer.cpp.o" "gcc" "src/data/CMakeFiles/zipflm_data.dir/tokenizer.cpp.o.d"
+  "/root/repo/src/data/vocab.cpp" "src/data/CMakeFiles/zipflm_data.dir/vocab.cpp.o" "gcc" "src/data/CMakeFiles/zipflm_data.dir/vocab.cpp.o.d"
+  "/root/repo/src/data/zipf.cpp" "src/data/CMakeFiles/zipflm_data.dir/zipf.cpp.o" "gcc" "src/data/CMakeFiles/zipflm_data.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/zipflm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipflm_data.dir/batch.cpp.o"
+  "CMakeFiles/zipflm_data.dir/batch.cpp.o.d"
+  "CMakeFiles/zipflm_data.dir/corpus.cpp.o"
+  "CMakeFiles/zipflm_data.dir/corpus.cpp.o.d"
+  "CMakeFiles/zipflm_data.dir/markov.cpp.o"
+  "CMakeFiles/zipflm_data.dir/markov.cpp.o.d"
+  "CMakeFiles/zipflm_data.dir/tokenizer.cpp.o"
+  "CMakeFiles/zipflm_data.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/zipflm_data.dir/vocab.cpp.o"
+  "CMakeFiles/zipflm_data.dir/vocab.cpp.o.d"
+  "CMakeFiles/zipflm_data.dir/zipf.cpp.o"
+  "CMakeFiles/zipflm_data.dir/zipf.cpp.o.d"
+  "libzipflm_data.a"
+  "libzipflm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipflm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipflm_device.dir/device.cpp.o"
+  "CMakeFiles/zipflm_device.dir/device.cpp.o.d"
+  "libzipflm_device.a"
+  "libzipflm_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipflm_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

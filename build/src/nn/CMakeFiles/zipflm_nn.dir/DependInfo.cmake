@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/zipflm_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/zipflm_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/generate.cpp" "src/nn/CMakeFiles/zipflm_nn.dir/generate.cpp.o" "gcc" "src/nn/CMakeFiles/zipflm_nn.dir/generate.cpp.o.d"
+  "/root/repo/src/nn/gradcheck.cpp" "src/nn/CMakeFiles/zipflm_nn.dir/gradcheck.cpp.o" "gcc" "src/nn/CMakeFiles/zipflm_nn.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/lm_model.cpp" "src/nn/CMakeFiles/zipflm_nn.dir/lm_model.cpp.o" "gcc" "src/nn/CMakeFiles/zipflm_nn.dir/lm_model.cpp.o.d"
+  "/root/repo/src/nn/loss_scaler.cpp" "src/nn/CMakeFiles/zipflm_nn.dir/loss_scaler.cpp.o" "gcc" "src/nn/CMakeFiles/zipflm_nn.dir/loss_scaler.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/zipflm_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/zipflm_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/zipflm_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/zipflm_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/rhn.cpp" "src/nn/CMakeFiles/zipflm_nn.dir/rhn.cpp.o" "gcc" "src/nn/CMakeFiles/zipflm_nn.dir/rhn.cpp.o.d"
+  "/root/repo/src/nn/softmax_loss.cpp" "src/nn/CMakeFiles/zipflm_nn.dir/softmax_loss.cpp.o" "gcc" "src/nn/CMakeFiles/zipflm_nn.dir/softmax_loss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/zipflm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/zipflm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/zipflm_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipflm_nn.dir/dropout.cpp.o"
+  "CMakeFiles/zipflm_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/zipflm_nn.dir/generate.cpp.o"
+  "CMakeFiles/zipflm_nn.dir/generate.cpp.o.d"
+  "CMakeFiles/zipflm_nn.dir/gradcheck.cpp.o"
+  "CMakeFiles/zipflm_nn.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/zipflm_nn.dir/lm_model.cpp.o"
+  "CMakeFiles/zipflm_nn.dir/lm_model.cpp.o.d"
+  "CMakeFiles/zipflm_nn.dir/loss_scaler.cpp.o"
+  "CMakeFiles/zipflm_nn.dir/loss_scaler.cpp.o.d"
+  "CMakeFiles/zipflm_nn.dir/lstm.cpp.o"
+  "CMakeFiles/zipflm_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/zipflm_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/zipflm_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/zipflm_nn.dir/rhn.cpp.o"
+  "CMakeFiles/zipflm_nn.dir/rhn.cpp.o.d"
+  "CMakeFiles/zipflm_nn.dir/softmax_loss.cpp.o"
+  "CMakeFiles/zipflm_nn.dir/softmax_loss.cpp.o.d"
+  "libzipflm_nn.a"
+  "libzipflm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipflm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/perf_model.cpp" "src/sim/CMakeFiles/zipflm_sim.dir/perf_model.cpp.o" "gcc" "src/sim/CMakeFiles/zipflm_sim.dir/perf_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/zipflm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/zipflm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/zipflm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/zipflm_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipflm_sim.dir/perf_model.cpp.o"
+  "CMakeFiles/zipflm_sim.dir/perf_model.cpp.o.d"
+  "libzipflm_sim.a"
+  "libzipflm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipflm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

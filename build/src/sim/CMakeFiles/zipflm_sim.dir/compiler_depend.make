@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for zipflm_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipflm_stats.dir/metrics.cpp.o"
+  "CMakeFiles/zipflm_stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/zipflm_stats.dir/powerlaw.cpp.o"
+  "CMakeFiles/zipflm_stats.dir/powerlaw.cpp.o.d"
+  "CMakeFiles/zipflm_stats.dir/table.cpp.o"
+  "CMakeFiles/zipflm_stats.dir/table.cpp.o.d"
+  "libzipflm_stats.a"
+  "libzipflm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipflm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipflm_support.dir/error.cpp.o"
+  "CMakeFiles/zipflm_support.dir/error.cpp.o.d"
+  "CMakeFiles/zipflm_support.dir/format.cpp.o"
+  "CMakeFiles/zipflm_support.dir/format.cpp.o.d"
+  "CMakeFiles/zipflm_support.dir/rng.cpp.o"
+  "CMakeFiles/zipflm_support.dir/rng.cpp.o.d"
+  "CMakeFiles/zipflm_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/zipflm_support.dir/thread_pool.cpp.o.d"
+  "libzipflm_support.a"
+  "libzipflm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipflm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzipflm_support.a"
+)

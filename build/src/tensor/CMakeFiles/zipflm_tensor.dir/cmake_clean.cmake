@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipflm_tensor.dir/cast.cpp.o"
+  "CMakeFiles/zipflm_tensor.dir/cast.cpp.o.d"
+  "CMakeFiles/zipflm_tensor.dir/half.cpp.o"
+  "CMakeFiles/zipflm_tensor.dir/half.cpp.o.d"
+  "CMakeFiles/zipflm_tensor.dir/ops.cpp.o"
+  "CMakeFiles/zipflm_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/zipflm_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/zipflm_tensor.dir/tensor.cpp.o.d"
+  "libzipflm_tensor.a"
+  "libzipflm_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipflm_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

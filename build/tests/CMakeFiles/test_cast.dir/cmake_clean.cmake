@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cast.dir/test_cast.cpp.o"
+  "CMakeFiles/test_cast.dir/test_cast.cpp.o.d"
+  "test_cast"
+  "test_cast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkpoint_generate.dir/test_checkpoint_generate.cpp.o"
+  "CMakeFiles/test_checkpoint_generate.dir/test_checkpoint_generate.cpp.o.d"
+  "test_checkpoint_generate"
+  "test_checkpoint_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkpoint_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus_batch.dir/test_corpus_batch.cpp.o"
+  "CMakeFiles/test_corpus_batch.dir/test_corpus_batch.cpp.o.d"
+  "test_corpus_batch"
+  "test_corpus_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dropout_multilayer.dir/test_dropout_multilayer.cpp.o"
+  "CMakeFiles/test_dropout_multilayer.dir/test_dropout_multilayer.cpp.o.d"
+  "test_dropout_multilayer"
+  "test_dropout_multilayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dropout_multilayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lm_model.dir/test_lm_model.cpp.o"
+  "CMakeFiles/test_lm_model.dir/test_lm_model.cpp.o.d"
+  "test_lm_model"
+  "test_lm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

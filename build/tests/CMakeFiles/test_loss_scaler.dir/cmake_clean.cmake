@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loss_scaler.dir/test_loss_scaler.cpp.o"
+  "CMakeFiles/test_loss_scaler.dir/test_loss_scaler.cpp.o.d"
+  "test_loss_scaler"
+  "test_loss_scaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loss_scaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rhn.dir/test_rhn.cpp.o"
+  "CMakeFiles/test_rhn.dir/test_rhn.cpp.o.d"
+  "test_rhn"
+  "test_rhn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rhn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seeding.dir/test_seeding.cpp.o"
+  "CMakeFiles/test_seeding.dir/test_seeding.cpp.o.d"
+  "test_seeding"
+  "test_seeding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seeding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

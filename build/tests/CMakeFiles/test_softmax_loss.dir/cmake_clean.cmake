@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softmax_loss.dir/test_softmax_loss.cpp.o"
+  "CMakeFiles/test_softmax_loss.dir/test_softmax_loss.cpp.o.d"
+  "test_softmax_loss"
+  "test_softmax_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softmax_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

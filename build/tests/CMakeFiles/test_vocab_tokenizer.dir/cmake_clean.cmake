@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vocab_tokenizer.dir/test_vocab_tokenizer.cpp.o"
+  "CMakeFiles/test_vocab_tokenizer.dir/test_vocab_tokenizer.cpp.o.d"
+  "test_vocab_tokenizer"
+  "test_vocab_tokenizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vocab_tokenizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
