@@ -1,0 +1,148 @@
+// Serving throughput: batched micro-batching vs sequential single-stream
+// generation on the seed CharLm configuration (RHN 1792x10, ~260 MB of
+// weights).  Batch-1 stepping is memory-bound — every token streams the
+// full weight set — so coalescing N sessions into one batched step
+// amortizes that stream across N tokens.
+//
+// Emits one line of JSON (prefixed "RESULT ") so harnesses can scrape a
+// single machine-readable record.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "zipflm/nn/generate.hpp"
+#include "zipflm/nn/lm_model.hpp"
+#include "zipflm/serve/server.hpp"
+#include "zipflm/support/stopwatch.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace zipflm;
+
+std::vector<Index> session_prompt(std::size_t session, std::size_t len,
+                                  Index vocab) {
+  std::vector<Index> prompt;
+  Rng rng(7000 + session);
+  for (std::size_t i = 0; i < len; ++i) {
+    prompt.push_back(static_cast<Index>(rng.uniform_index(
+        static_cast<std::uint64_t>(vocab))));
+  }
+  return prompt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t sessions =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 16;
+  const std::size_t new_tokens =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 16;
+  const std::size_t prompt_len = 4;
+  // The windowed (pre-incremental) baseline re-runs the whole visible
+  // context per token, so a couple of sessions suffice to measure its
+  // per-token rate.
+  const std::size_t window_sessions = std::min<std::size_t>(sessions, 2);
+
+  bench::print_header(
+      "Batched serving throughput, seed CharLm",
+      "serving engine; paper SIV-B char model",
+      "16 concurrent sessions stepped as one batch vs one at a time");
+
+  CharLmConfig cfg;  // seed defaults: vocab 98, RHN 1792 x depth 10
+  CharLm model(cfg);
+  GenerateOptions opt;
+  opt.max_context = static_cast<Index>(prompt_len + new_tokens + 1);
+
+  std::vector<std::vector<Index>> prompts;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    prompts.push_back(session_prompt(s, prompt_len, cfg.vocab));
+  }
+
+  // Baseline 1: the pre-serving path — re-run the window every token.
+  Stopwatch watch;
+  for (std::size_t s = 0; s < window_sessions; ++s) {
+    Rng rng(100 + s);
+    std::vector<Index> tokens = prompts[s];
+    for (std::size_t i = 0; i < new_tokens; ++i) {
+      tokens.push_back(sample_next_token(model, tokens, opt, rng));
+    }
+  }
+  const double window_seconds = watch.seconds();
+  const double window_tok_s =
+      static_cast<double>(window_sessions * new_tokens) / window_seconds;
+
+  // Baseline 2: incremental (state-carrying) generation, still one
+  // session at a time.
+  watch.reset();
+  for (std::size_t s = 0; s < sessions; ++s) {
+    Rng rng(100 + s);
+    generate_tokens(model, prompts[s], new_tokens, opt, rng);
+  }
+  const double sequential_seconds = watch.seconds();
+  const double sequential_tok_s =
+      static_cast<double>(sessions * new_tokens) / sequential_seconds;
+
+  // Batched serving: all sessions in flight at once.
+  serve::ServeOptions sopts;
+  sopts.max_batch = static_cast<Index>(sessions);
+  sopts.queue_depth = sessions;
+  sopts.cache_capacity = sessions;
+  serve::Server server(model, sopts);
+  std::vector<std::uint64_t> ids;
+  watch.reset();
+  for (std::size_t s = 0; s < sessions; ++s) {
+    serve::Request req;
+    req.session_id = s + 1;
+    req.context = prompts[s];
+    req.new_tokens = new_tokens;
+    req.options = opt;
+    req.seed = 100 + s;
+    const serve::Admission a = server.submit(std::move(req));
+    if (!a.accepted) {
+      std::fprintf(stderr, "unexpected rejection\n");
+      return 1;
+    }
+    ids.push_back(a.request_id);
+  }
+  server.start();
+  for (const std::uint64_t id : ids) server.wait(id);
+  const double batched_seconds = watch.seconds();
+  server.stop();
+  const double batched_tok_s =
+      static_cast<double>(sessions * new_tokens) / batched_seconds;
+
+  const serve::ServeCounters c = server.counters();
+  const double p50_ms = c.token_latency.percentile(0.50) * 1e3;
+  const double p95_ms = c.token_latency.percentile(0.95) * 1e3;
+
+  std::printf("sessions %zu, prompt %zu, new tokens %zu\n", sessions,
+              prompt_len, new_tokens);
+  std::printf("windowed single-stream   : %8s tok/s (measured on %zu sessions)\n",
+              bench::fmt(window_tok_s).c_str(), window_sessions);
+  std::printf("incremental single-stream: %8s tok/s\n",
+              bench::fmt(sequential_tok_s).c_str());
+  std::printf("batched serving          : %8s tok/s\n",
+              bench::fmt(batched_tok_s).c_str());
+  std::printf("speedup vs windowed      : %8s x\n",
+              bench::fmt(batched_tok_s / window_tok_s).c_str());
+  std::printf("speedup vs incremental   : %8s x\n",
+              bench::fmt(batched_tok_s / sequential_tok_s).c_str());
+  std::printf("token latency p50 / p95  : %s / %s ms per batched step\n",
+              bench::fmt(p50_ms).c_str(), bench::fmt(p95_ms).c_str());
+  std::printf("mean batch occupancy     : %s streams/step\n",
+              bench::fmt(c.mean_batch_occupancy()).c_str());
+
+  std::printf(
+      "RESULT {\"bench\":\"serve_throughput\",\"sessions\":%zu,"
+      "\"new_tokens\":%zu,\"window_tok_s\":%.2f,\"sequential_tok_s\":%.2f,"
+      "\"batched_tok_s\":%.2f,\"speedup_vs_window\":%.2f,"
+      "\"speedup_vs_sequential\":%.2f,\"p50_token_ms\":%.3f,"
+      "\"p95_token_ms\":%.3f,\"mean_batch_occupancy\":%.2f}\n",
+      sessions, new_tokens, window_tok_s, sequential_tok_s, batched_tok_s,
+      batched_tok_s / window_tok_s, batched_tok_s / sequential_tok_s,
+      p50_ms, p95_ms, c.mean_batch_occupancy());
+  return 0;
+}

@@ -5,21 +5,19 @@
 
 namespace zipflm {
 
-Index sample_next_token(LmModel& model, std::span<const Index> context,
-                        const GenerateOptions& options, Rng& rng) {
+Index sample_from_logits(std::span<const float> logits,
+                         const GenerateOptions& options, Rng& rng) {
   ZIPFLM_CHECK(options.temperature > 0.0, "temperature must be positive");
-  ZIPFLM_CHECK(!context.empty(), "generation needs at least one token");
-  const std::size_t window = std::min<std::size_t>(
-      context.size(), static_cast<std::size_t>(options.max_context));
-  Tensor logits =
-      model.next_token_logits(context.subspan(context.size() - window));
+  ZIPFLM_CHECK(!logits.empty(), "logits must be non-empty");
+  const Index v = static_cast<Index>(logits.size());
 
   // Temperature + optional top-k truncation, then softmax sampling.
-  const Index v = logits.size();
   std::vector<std::pair<float, Index>> scored(static_cast<std::size_t>(v));
   for (Index i = 0; i < v; ++i) {
     scored[static_cast<std::size_t>(i)] = {
-        logits(i) / static_cast<float>(options.temperature), i};
+        logits[static_cast<std::size_t>(i)] /
+            static_cast<float>(options.temperature),
+        i};
   }
   if (options.top_k > 0 && options.top_k < v) {
     std::partial_sort(scored.begin(),
@@ -42,14 +40,47 @@ Index sample_next_token(LmModel& model, std::span<const Index> context,
   return scored.back().second;  // numeric fringe
 }
 
+Index sample_next_token(LmModel& model, std::span<const Index> context,
+                        const GenerateOptions& options, Rng& rng) {
+  ZIPFLM_CHECK(options.temperature > 0.0, "temperature must be positive");
+  ZIPFLM_CHECK(!context.empty(), "generation needs at least one token");
+  const std::size_t window = std::min<std::size_t>(
+      context.size(), static_cast<std::size_t>(options.max_context));
+  Tensor logits =
+      model.next_token_logits(context.subspan(context.size() - window));
+  return sample_from_logits(logits.data(), options, rng);
+}
+
 std::vector<Index> generate_tokens(LmModel& model,
                                    std::span<const Index> prompt,
                                    std::size_t count,
                                    const GenerateOptions& options, Rng& rng) {
   std::vector<Index> tokens(prompt.begin(), prompt.end());
   tokens.reserve(tokens.size() + count);
-  for (std::size_t i = 0; i < count; ++i) {
-    tokens.push_back(sample_next_token(model, tokens, options, rng));
+  if (count == 0) return tokens;
+
+  if (tokens.size() + count <=
+      static_cast<std::size_t>(options.max_context)) {
+    // Incremental path: the context never slides out of the window, so
+    // carry the recurrent state and step once per token.
+    ZIPFLM_CHECK(!tokens.empty(), "generation needs at least one token");
+    RecurrentState state = model.initial_state(1);
+    Tensor logits;
+    for (const Index t : tokens) {
+      model.step(std::span<const Index>(&t, 1), state, logits);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      tokens.push_back(sample_from_logits(logits.row(0), options, rng));
+      if (i + 1 < count) {
+        model.step(std::span<const Index>(&tokens.back(), 1), state, logits);
+      }
+    }
+  } else {
+    // Sliding-window path: the window start moves, which invalidates any
+    // carried state, so recompute from the visible context each token.
+    for (std::size_t i = 0; i < count; ++i) {
+      tokens.push_back(sample_next_token(model, tokens, options, rng));
+    }
   }
   return tokens;
 }

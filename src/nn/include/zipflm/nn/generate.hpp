@@ -16,11 +16,22 @@ struct GenerateOptions {
   Index top_k = 0;           ///< 0 = full distribution, else truncate
 };
 
+/// One token sampled from a full-vocabulary logit vector (temperature,
+/// optional top-k truncation, softmax sampling).  Consumes exactly one
+/// uniform draw from `rng` — the shared sampling kernel of the windowed
+/// path, the incremental path, and the serving engine.
+Index sample_from_logits(std::span<const float> logits,
+                         const GenerateOptions& options, Rng& rng);
+
 /// One token sampled from p(next | context).
 Index sample_next_token(LmModel& model, std::span<const Index> context,
                         const GenerateOptions& options, Rng& rng);
 
 /// Continue `prompt` by `count` tokens.  Returns prompt + continuation.
+/// When the whole continuation fits in `options.max_context`, the model's
+/// recurrent state is carried incrementally — one O(1) step per token
+/// instead of re-running the window — with bitwise-identical samples;
+/// longer generations fall back to the sliding-window path.
 std::vector<Index> generate_tokens(LmModel& model,
                                    std::span<const Index> prompt,
                                    std::size_t count,

@@ -36,6 +36,25 @@ struct LmStepResult {
   SparseRowGrad output_grad;      ///< sampled softmax only (ids empty otherwise)
 };
 
+/// Exported recurrent hidden state of B independent streams, the unit of
+/// incremental inference.  The slot layout is model-specific (WordLm:
+/// cell + output per LSTM layer; CharLm: one highway state), but every
+/// slot is a [B x dim] matrix whose rows index streams — so a serving
+/// layer can gather per-session rows into a batch and scatter them back
+/// without knowing the architecture.
+struct RecurrentState {
+  std::vector<Tensor> slots;
+
+  Index batch() const noexcept {
+    return slots.empty() ? 0 : slots.front().rows();
+  }
+};
+
+/// Copy one stream's state: dst row `dst_row` = src row `src_row` across
+/// all slots.  Shapes (other than batch) must match.
+void copy_state_row(const RecurrentState& src, Index src_row,
+                    RecurrentState& dst, Index dst_row);
+
 class LmModel {
  public:
   virtual ~LmModel() = default;
@@ -54,6 +73,18 @@ class LmModel {
   /// Full-vocabulary logits for the token following `context` (a single
   /// sequence).  Powers evaluation and text generation.
   virtual Tensor next_token_logits(std::span<const Index> context) = 0;
+
+  /// Zero recurrent state for `batch` independent streams.
+  virtual RecurrentState initial_state(Index batch) const = 0;
+
+  /// Advance every stream by one token — tokens[b] is stream b's next
+  /// input — and emit full-vocabulary logits [batch x V] for the token
+  /// that follows.  Inference only: no dropout, no BPTT caches, no
+  /// gradients.  Stepping a zero state through a history is bitwise
+  /// identical to next_token_logits() over that history, which is what
+  /// lets the serving layer carry state in O(1) per token.
+  virtual void step(std::span<const Index> tokens, RecurrentState& state,
+                    Tensor& logits) = 0;
 
   /// Parameters synchronized densely (ALLREDUCE) every step.
   virtual std::vector<Param*> dense_params() = 0;
@@ -99,6 +130,9 @@ class WordLm final : public LmModel {
                         LmStepResult& out) override;
   float eval_loss(const Batch& batch) override;
   Tensor next_token_logits(std::span<const Index> context) override;
+  RecurrentState initial_state(Index batch) const override;
+  void step(std::span<const Index> tokens, RecurrentState& state,
+            Tensor& logits) override;
   std::vector<Param*> dense_params() override;
   std::vector<Param*> all_params() override;
   Param& input_embedding_param() override { return input_.param(); }
@@ -138,6 +172,9 @@ class CharLm final : public LmModel {
                         LmStepResult& out) override;
   float eval_loss(const Batch& batch) override;
   Tensor next_token_logits(std::span<const Index> context) override;
+  RecurrentState initial_state(Index batch) const override;
+  void step(std::span<const Index> tokens, RecurrentState& state,
+            Tensor& logits) override;
   std::vector<Param*> dense_params() override;
   std::vector<Param*> all_params() override;
   Param& input_embedding_param() override { return input_.param(); }

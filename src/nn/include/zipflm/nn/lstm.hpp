@@ -33,6 +33,15 @@ class LstmLayer {
   /// forward() with matching shapes.
   void backward(const std::vector<Tensor>& dout, std::vector<Tensor>& dxs);
 
+  /// Incremental inference: advance a batch of B independent streams by
+  /// one timestep.  x: [B x input_dim]; c: [B x hidden_dim] cell state;
+  /// r: [B x output_dim()] recurrent output — both updated in place.
+  /// Starting from zero (c, r) and stepping T times is bitwise identical
+  /// to forward() over the same T inputs (same kernels, same order), so
+  /// serving can carry hidden state instead of replaying the window.
+  /// Keeps no caches and accumulates no gradients.
+  void step(const Tensor& x, Tensor& c, Tensor& r) const;
+
   std::vector<Param*> params();
   void zero_grad();
 

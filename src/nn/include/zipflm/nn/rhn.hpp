@@ -33,6 +33,12 @@ class RhnLayer {
   /// dout -> parameter grads + dxs.  Must follow a matching forward().
   void backward(const std::vector<Tensor>& dout, std::vector<Tensor>& dxs);
 
+  /// Incremental inference: advance B independent streams one timestep.
+  /// x: [B x input_dim]; s: [B x hidden_dim] highway state, updated in
+  /// place.  Starting from zero s and stepping T times is bitwise
+  /// identical to forward() over the same inputs.  No caches, no grads.
+  void step(const Tensor& x, Tensor& s) const;
+
   std::vector<Param*> params();
   void zero_grad();
 

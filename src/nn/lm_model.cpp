@@ -42,6 +42,21 @@ void to_batch_major(const std::vector<Tensor>& steps_data, Index batch,
 
 }  // namespace
 
+void copy_state_row(const RecurrentState& src, Index src_row,
+                    RecurrentState& dst, Index dst_row) {
+  ZIPFLM_CHECK(src.slots.size() == dst.slots.size(),
+               "recurrent-state slot counts must match");
+  for (std::size_t s = 0; s < src.slots.size(); ++s) {
+    const Tensor& from = src.slots[s];
+    Tensor& to = dst.slots[s];
+    ZIPFLM_CHECK(from.cols() == to.cols(),
+                 "recurrent-state slot widths must match");
+    const auto src_span = from.row(src_row);
+    auto dst_span = to.row(dst_row);
+    std::copy(src_span.begin(), src_span.end(), dst_span.begin());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // WordLm
 // ---------------------------------------------------------------------------
@@ -148,6 +163,36 @@ Tensor WordLm::next_token_logits(std::span<const Index> context) {
   loss_.full_logits(last, logits);
   logits.reshape({logits.cols()});
   return logits;
+}
+
+RecurrentState WordLm::initial_state(Index batch) const {
+  ZIPFLM_CHECK(batch > 0, "state batch must be positive");
+  const Index p = config_.proj_dim > 0 ? config_.proj_dim : config_.hidden_dim;
+  RecurrentState state;
+  state.slots.reserve(2 * layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    state.slots.emplace_back(Tensor({batch, config_.hidden_dim}));  // cell
+    state.slots.emplace_back(Tensor({batch, p}));                   // output
+  }
+  return state;
+}
+
+void WordLm::step(std::span<const Index> tokens, RecurrentState& state,
+                  Tensor& logits) {
+  const Index b = static_cast<Index>(tokens.size());
+  ZIPFLM_CHECK(b > 0, "step needs at least one stream");
+  ZIPFLM_CHECK(state.slots.size() == 2 * layers_.size() && state.batch() == b,
+               "recurrent state does not match this model/batch");
+  Tensor x({b, config_.embed_dim});
+  input_.forward(tokens, x);
+  const Tensor* in = &x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Tensor& c = state.slots[2 * l];
+    Tensor& r = state.slots[2 * l + 1];
+    layers_[l].step(*in, c, r);
+    in = &r;
+  }
+  loss_.full_logits(*in, logits);
 }
 
 std::vector<Param*> WordLm::dense_params() {
@@ -278,6 +323,25 @@ Tensor CharLm::next_token_logits(std::span<const Index> context) {
   loss_.full_logits(ys.back(), logits);
   logits.reshape({logits.cols()});
   return logits;
+}
+
+RecurrentState CharLm::initial_state(Index batch) const {
+  ZIPFLM_CHECK(batch > 0, "state batch must be positive");
+  RecurrentState state;
+  state.slots.emplace_back(Tensor({batch, config_.hidden_dim}));
+  return state;
+}
+
+void CharLm::step(std::span<const Index> tokens, RecurrentState& state,
+                  Tensor& logits) {
+  const Index b = static_cast<Index>(tokens.size());
+  ZIPFLM_CHECK(b > 0, "step needs at least one stream");
+  ZIPFLM_CHECK(state.slots.size() == 1 && state.batch() == b,
+               "recurrent state does not match this model/batch");
+  Tensor x({b, config_.embed_dim});
+  input_.forward(tokens, x);
+  rhn_.step(x, state.slots.front());
+  loss_.full_logits(state.slots.front(), logits);
 }
 
 std::vector<Param*> CharLm::dense_params() {

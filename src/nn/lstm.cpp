@@ -186,6 +186,58 @@ void LstmLayer::backward(const std::vector<Tensor>& dout,
   }
 }
 
+void LstmLayer::step(const Tensor& x, Tensor& c, Tensor& r) const {
+  const Index batch = x.rows();
+  const Index h = config_.hidden_dim;
+  const Index p = output_dim();
+  ZIPFLM_CHECK(x.cols() == config_.input_dim, "LSTM step input shape mismatch");
+  ZIPFLM_CHECK(c.rows() == batch && c.cols() == h,
+               "LSTM step cell-state shape mismatch");
+  ZIPFLM_CHECK(r.rows() == batch && r.cols() == p,
+               "LSTM step output-state shape mismatch");
+
+  // Same kernel sequence as one forward() timestep so carried state stays
+  // bitwise equal to the windowed path.
+  Tensor pre({batch, 4 * h});
+  gemm(x, false, wx_.value, false, pre, 1.0f, 0.0f);
+  gemm(r, false, wh_.value, false, pre, 1.0f, 1.0f);
+  add_bias_rows(pre, bias_.value);
+
+  Tensor gates({batch, 4 * h});
+  for (Index b = 0; b < batch; ++b) {
+    const auto zin = pre.row(b);
+    auto zout = gates.row(b);
+    for (Index j = 0; j < 4 * h; ++j) {
+      const bool is_candidate = (j >= 2 * h && j < 3 * h);
+      const float z = zin[static_cast<std::size_t>(j)];
+      zout[static_cast<std::size_t>(j)] =
+          is_candidate ? std::tanh(z) : 1.0f / (1.0f + std::exp(-z));
+    }
+  }
+
+  Tensor hidden({batch, h});
+  for (Index b = 0; b < batch; ++b) {
+    const auto g4 = gates.row(b);
+    auto cr = c.row(b);  // read old cell, write new cell in place
+    auto hh = hidden.row(b);
+    for (Index j = 0; j < h; ++j) {
+      const float i_g = g4[static_cast<std::size_t>(j)];
+      const float f_g = g4[static_cast<std::size_t>(h + j)];
+      const float g_g = g4[static_cast<std::size_t>(2 * h + j)];
+      const float o_g = g4[static_cast<std::size_t>(3 * h + j)];
+      const float cv = f_g * cr[static_cast<std::size_t>(j)] + i_g * g_g;
+      cr[static_cast<std::size_t>(j)] = cv;
+      hh[static_cast<std::size_t>(j)] = o_g * std::tanh(cv);
+    }
+  }
+
+  if (config_.proj_dim > 0) {
+    gemm(hidden, false, wp_.value, false, r, 1.0f, 0.0f);
+  } else {
+    r = hidden;
+  }
+}
+
 std::vector<Param*> LstmLayer::params() {
   std::vector<Param*> ps{&wx_, &wh_, &bias_};
   if (config_.proj_dim > 0) ps.push_back(&wp_);

@@ -171,6 +171,43 @@ void RhnLayer::backward(const std::vector<Tensor>& dout,
   }
 }
 
+void RhnLayer::step(const Tensor& x, Tensor& s) const {
+  const Index batch = x.rows();
+  const Index h = config_.hidden_dim;
+  ZIPFLM_CHECK(x.cols() == config_.input_dim, "RHN step input shape mismatch");
+  ZIPFLM_CHECK(s.rows() == batch && s.cols() == h,
+               "RHN step state shape mismatch");
+
+  // Same kernel sequence as one forward() timestep so carried state stays
+  // bitwise equal to the windowed path.
+  Tensor pre_h({batch, h});
+  Tensor pre_t({batch, h});
+  for (Index l = 0; l < config_.depth; ++l) {
+    const auto& dp = depth_[static_cast<std::size_t>(l)];
+    gemm(s, false, dp.rh.value, false, pre_h, 1.0f, 0.0f);
+    gemm(s, false, dp.rt.value, false, pre_t, 1.0f, 0.0f);
+    if (l == 0) {
+      gemm(x, false, wh_.value, false, pre_h, 1.0f, 1.0f);
+      gemm(x, false, wt_.value, false, pre_t, 1.0f, 1.0f);
+    }
+    add_bias_rows(pre_h, dp.bh.value);
+    add_bias_rows(pre_t, dp.bt.value);
+
+    for (Index b = 0; b < batch; ++b) {
+      const auto ph = pre_h.row(b);
+      const auto pt = pre_t.row(b);
+      auto srow = s.row(b);  // read carry, write new state in place
+      for (Index j = 0; j < h; ++j) {
+        const float hv = std::tanh(ph[static_cast<std::size_t>(j)]);
+        const float tv =
+            1.0f / (1.0f + std::exp(-pt[static_cast<std::size_t>(j)]));
+        srow[static_cast<std::size_t>(j)] =
+            hv * tv + srow[static_cast<std::size_t>(j)] * (1.0f - tv);
+      }
+    }
+  }
+}
+
 std::vector<Param*> RhnLayer::params() {
   std::vector<Param*> ps{&wh_, &wt_};
   for (auto& dp : depth_) {

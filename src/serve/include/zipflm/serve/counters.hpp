@@ -1,0 +1,41 @@
+// Serving-side instrumentation: latency histograms and throughput
+// counters, snapshotted by Server::counters().
+#pragma once
+
+#include <cstdint>
+
+#include "zipflm/stats/latency.hpp"
+
+namespace zipflm::serve {
+
+/// Plain value type; the Server mutates one instance under its lock and
+/// hands out copies, so readers never race the scheduler loop.
+struct ServeCounters {
+  /// Latency of the batched step that produced each sampled token.
+  LatencyHistogram token_latency;
+  /// Submit-to-finish latency per completed request.
+  LatencyHistogram request_latency;
+
+  std::uint64_t batch_steps = 0;       ///< batched forward steps executed
+  std::uint64_t batched_streams = 0;   ///< sum of batch sizes over steps
+  std::uint64_t tokens_generated = 0;  ///< tokens sampled
+  std::uint64_t context_tokens_primed = 0;  ///< context tokens fed (cache
+                                            ///< misses pay these)
+
+  std::uint64_t requests_admitted = 0;
+  std::uint64_t requests_rejected = 0;  ///< backpressure (queue full)
+  std::uint64_t requests_completed = 0;
+
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+
+  /// Mean streams advanced per batched step — the batching win.
+  double mean_batch_occupancy() const noexcept {
+    return batch_steps == 0 ? 0.0
+                            : static_cast<double>(batched_streams) /
+                                  static_cast<double>(batch_steps);
+  }
+};
+
+}  // namespace zipflm::serve

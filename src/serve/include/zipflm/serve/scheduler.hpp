@@ -1,0 +1,103 @@
+// Dynamic micro-batching: coalesce the next token of every active
+// session into one batched forward step.
+//
+// Each active stream owns a batch-1 RecurrentState; before a step the
+// scheduler gathers the active rows into one [B x dim] batch state,
+// advances all streams with a single LmModel::step(), and scatters the
+// rows back.  Because the tensor kernels are bitwise row-independent,
+// every stream's tokens are identical to what a batch-1 generation with
+// the same seed would produce — batching changes throughput, never
+// output.
+//
+// Not thread-safe: the Server's scheduler thread is the only caller.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "zipflm/nn/generate.hpp"
+#include "zipflm/nn/lm_model.hpp"
+#include "zipflm/serve/session_cache.hpp"
+#include "zipflm/support/rng.hpp"
+
+namespace zipflm::serve {
+
+/// An admitted request, ready to become an active stream.
+struct ScheduledRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t session_id = 0;
+  std::vector<Index> context;    ///< full history so far (client-tracked)
+  std::size_t new_tokens = 0;    ///< tokens to generate
+  GenerateOptions options;
+  std::uint64_t seed = 0;        ///< per-request sampling stream
+};
+
+struct AdmitInfo {
+  bool cache_hit = false;
+  std::size_t context_len = 0;
+  std::size_t resume_cursor = 0;  ///< first token index actually fed
+};
+
+struct FinishedRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t session_id = 0;
+  std::vector<Index> tokens;  ///< context + generated continuation
+  bool cache_hit = false;
+};
+
+/// What one batched step did — the Server folds this into ServeCounters
+/// under its own lock, so the scheduler never touches shared state.
+struct StepInfo {
+  Index batch = 0;               ///< streams advanced
+  std::size_t context_fed = 0;   ///< priming tokens consumed
+  std::size_t sampled = 0;       ///< new tokens sampled
+  double seconds = 0.0;          ///< wall time of the batched step
+  std::vector<FinishedRequest> finished;
+};
+
+class BatchScheduler {
+ public:
+  /// `cache` outlives the scheduler; `max_batch` bounds concurrent
+  /// streams (>= 1).
+  BatchScheduler(LmModel& model, SessionCache& cache, Index max_batch);
+
+  std::size_t active() const noexcept { return streams_.size(); }
+  bool has_capacity() const noexcept {
+    return active() < static_cast<std::size_t>(max_batch_);
+  }
+
+  /// Activate a request.  Resumes from the session cache when the
+  /// cached history matches the request's context exactly; otherwise
+  /// replays the context from token 0.  Requires has_capacity().
+  AdmitInfo admit(ScheduledRequest request);
+
+  /// Advance every active stream by one token in a single batched
+  /// forward step.  No-op (batch 0) when nothing is active.
+  StepInfo step();
+
+ private:
+  struct ActiveStream {
+    std::uint64_t request_id = 0;
+    std::uint64_t session_id = 0;
+    std::vector<Index> history;   ///< context + sampled so far
+    std::size_t context_len = 0;  ///< prefix that came from the request
+    std::size_t target_len = 0;   ///< finished when history reaches this
+    std::size_t cursor = 0;       ///< tokens fed into `state` so far
+    GenerateOptions options;
+    Rng rng;
+    RecurrentState state;         ///< batch-1 recurrent state
+    bool cache_hit = false;
+    bool done = false;
+  };
+
+  LmModel& model_;
+  SessionCache& cache_;
+  Index max_batch_;
+  std::vector<ActiveStream> streams_;
+  RecurrentState batch_state_;  ///< gathered [B x dim] working state
+  Tensor logits_;               ///< [B x vocab] step output
+  std::vector<Index> tokens_;   ///< [B] step input
+};
+
+}  // namespace zipflm::serve

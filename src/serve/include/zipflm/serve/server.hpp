@@ -1,0 +1,130 @@
+// Server facade: bounded admission queue with explicit backpressure in
+// front of the batching scheduler, run on a dedicated scheduler thread.
+//
+// Protocol: submit() either rejects immediately (queue full — the
+// Admission carries a retry hint) or returns a request id; poll() or
+// wait() collect the finished Response.  A request's `context` is the
+// full client-tracked history of its session; re-submitting a session's
+// previous output as the next context lets the session cache skip the
+// O(history) replay.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "zipflm/nn/generate.hpp"
+#include "zipflm/nn/lm_model.hpp"
+#include "zipflm/serve/counters.hpp"
+#include "zipflm/serve/scheduler.hpp"
+#include "zipflm/serve/session_cache.hpp"
+#include "zipflm/support/stopwatch.hpp"
+
+namespace zipflm::serve {
+
+struct ServeOptions {
+  Index max_batch = 16;           ///< concurrent streams per step
+  std::size_t queue_depth = 64;   ///< admission queue bound
+  std::size_t cache_capacity = 64;  ///< sessions kept warm (LRU)
+  /// How long a fresh, non-full batch waits for more arrivals before
+  /// stepping — the latency cost paid for occupancy.
+  double batch_deadline_seconds = 200e-6;
+};
+
+struct Request {
+  std::uint64_t session_id = 0;
+  std::vector<Index> context;  ///< full session history, non-empty
+  std::size_t new_tokens = 0;  ///< > 0; context + new_tokens must fit
+                               ///< in options.max_context
+  GenerateOptions options;
+  std::uint64_t seed = 0;      ///< per-request sampling stream
+};
+
+struct Admission {
+  bool accepted = false;
+  std::uint64_t request_id = 0;  ///< valid when accepted
+  std::size_t queue_depth = 0;   ///< queued requests after this decision
+  double retry_after_seconds = 0.0;  ///< backoff hint when rejected
+};
+
+struct Response {
+  std::uint64_t request_id = 0;
+  std::uint64_t session_id = 0;
+  std::vector<Index> tokens;  ///< context + generated continuation
+  bool cache_hit = false;     ///< session resumed from cache
+  double queue_seconds = 0.0;  ///< submit -> first scheduled
+  double total_seconds = 0.0;  ///< submit -> finished
+};
+
+class Server {
+ public:
+  /// `model` outlives the server and must not be used concurrently
+  /// elsewhere while the server runs.
+  Server(LmModel& model, ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawn the scheduler thread.  submit() before start() is allowed;
+  /// queued work runs once started.
+  void start();
+
+  /// Drain: finish every queued and in-flight request, then join the
+  /// scheduler thread.  Idempotent.
+  void stop();
+
+  /// Non-blocking admission.  Throws ConfigError on malformed requests
+  /// (empty context, zero new_tokens, context + new_tokens exceeding
+  /// options.max_context); returns accepted == false under backpressure.
+  Admission submit(Request request);
+
+  /// Non-blocking: moves the response out when finished.
+  bool poll(std::uint64_t request_id, Response& out);
+
+  /// Block until `request_id` finishes.  Requires a started server.
+  Response wait(std::uint64_t request_id);
+
+  /// Block until no request is queued or in flight.
+  void wait_idle();
+
+  ServeCounters counters() const;
+  const ServeOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Pending {
+    ScheduledRequest request;
+    Stopwatch submitted;  ///< running since submit()
+  };
+  struct Flight {
+    Stopwatch submitted;         ///< running since submit()
+    double queue_seconds = 0.0;  ///< fixed when scheduled
+  };
+
+  void scheduler_loop();
+  /// Drain the admission queue into the scheduler (lock held).
+  bool admit_locked();
+
+  ServeOptions options_;
+  SessionCache cache_;
+  BatchScheduler scheduler_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< wakes the scheduler thread
+  std::condition_variable done_cv_;  ///< wakes waiters on responses
+  std::deque<Pending> queue_;
+  std::unordered_map<std::uint64_t, Flight> in_flight_;
+  std::unordered_map<std::uint64_t, Response> done_;
+  ServeCounters counters_;
+  std::uint64_t next_request_id_ = 1;
+  bool stop_requested_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace zipflm::serve

@@ -1,0 +1,61 @@
+// LRU cache of per-session recurrent state, the serving engine's memory
+// between requests.
+//
+// Invariant of a cached entry: `state` is the model state after feeding
+// history[0 .. n-2] and `last_token` is history[n-1], which has NOT been
+// fed yet.  A resumed session therefore restarts at cursor n-1 — its
+// first batched step feeds `last_token` — and an evicted session simply
+// replays its history from token 0.  Either way the token stream is
+// identical; eviction only costs recompute, never correctness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <utility>
+
+#include "zipflm/nn/lm_model.hpp"
+
+namespace zipflm::serve {
+
+/// FNV-1a over the token ids.  Guards resumed sessions against a client
+/// that re-submits a different history under the same session id.
+std::uint64_t token_fingerprint(std::span<const Index> tokens) noexcept;
+
+struct SessionEntry {
+  RecurrentState state;          ///< after feeding history[0 .. n-2]
+  Index last_token = 0;          ///< history[n-1], pending (not fed)
+  std::size_t history_len = 0;   ///< n
+  std::uint64_t fingerprint = 0; ///< token_fingerprint(history[0 .. n-1])
+};
+
+/// Capacity-bounded LRU map session id -> SessionEntry.  Not
+/// thread-safe; the scheduler thread is the only user.
+class SessionCache {
+ public:
+  explicit SessionCache(std::size_t capacity);
+
+  /// Remove and return the entry for `session_id` (move semantics keep
+  /// the recurrent state single-owner while the session is active).
+  /// Returns false when absent.
+  bool take(std::uint64_t session_id, SessionEntry& out);
+
+  /// Insert or replace, evicting the least recently used entry when
+  /// over capacity.  A zero-capacity cache drops the entry immediately.
+  void put(std::uint64_t session_id, SessionEntry entry);
+
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  std::size_t capacity_;
+  /// Front = most recently used.
+  std::list<std::pair<std::uint64_t, SessionEntry>> lru_;
+  std::unordered_map<std::uint64_t, decltype(lru_)::iterator> map_;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace zipflm::serve

@@ -1,0 +1,104 @@
+#include "zipflm/serve/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "zipflm/support/error.hpp"
+#include "zipflm/support/stopwatch.hpp"
+
+namespace zipflm::serve {
+
+BatchScheduler::BatchScheduler(LmModel& model, SessionCache& cache,
+                               Index max_batch)
+    : model_(model), cache_(cache), max_batch_(max_batch) {
+  ZIPFLM_CHECK(max_batch >= 1, "max_batch must be at least 1");
+  streams_.reserve(static_cast<std::size_t>(max_batch));
+}
+
+AdmitInfo BatchScheduler::admit(ScheduledRequest request) {
+  ZIPFLM_CHECK(has_capacity(), "scheduler batch is full");
+  ZIPFLM_CHECK(!request.context.empty(), "request context must be non-empty");
+  ZIPFLM_CHECK(request.new_tokens > 0, "request must ask for tokens");
+
+  ActiveStream s;
+  s.request_id = request.request_id;
+  s.session_id = request.session_id;
+  s.history = std::move(request.context);
+  s.context_len = s.history.size();
+  s.target_len = s.history.size() + request.new_tokens;
+  s.options = request.options;
+  s.rng = Rng(request.seed);
+
+  AdmitInfo info;
+  info.context_len = s.context_len;
+  SessionEntry entry;
+  if (cache_.take(s.session_id, entry) &&
+      entry.history_len == s.history.size() &&
+      entry.fingerprint == token_fingerprint(s.history)) {
+    // Cached state covers history[0 .. n-2]; resume by feeding the
+    // pending last token.
+    s.state = std::move(entry.state);
+    s.cursor = s.history.size() - 1;
+    s.cache_hit = true;
+  } else {
+    // Miss (or a stale entry for this id, now discarded): replay the
+    // whole context through a fresh state.
+    s.state = model_.initial_state(1);
+    s.cursor = 0;
+  }
+  info.cache_hit = s.cache_hit;
+  info.resume_cursor = s.cursor;
+  streams_.push_back(std::move(s));
+  return info;
+}
+
+StepInfo BatchScheduler::step() {
+  StepInfo info;
+  const auto bsz = static_cast<Index>(streams_.size());
+  if (bsz == 0) return info;
+  info.batch = bsz;
+
+  if (batch_state_.batch() != bsz) batch_state_ = model_.initial_state(bsz);
+  tokens_.resize(static_cast<std::size_t>(bsz));
+  for (Index b = 0; b < bsz; ++b) {
+    ActiveStream& s = streams_[static_cast<std::size_t>(b)];
+    copy_state_row(s.state, 0, batch_state_, b);
+    tokens_[static_cast<std::size_t>(b)] = s.history[s.cursor];
+  }
+
+  Stopwatch watch;
+  model_.step(tokens_, batch_state_, logits_);
+
+  for (Index b = 0; b < bsz; ++b) {
+    ActiveStream& s = streams_[static_cast<std::size_t>(b)];
+    copy_state_row(batch_state_, b, s.state, 0);
+    if (s.cursor < s.context_len) ++info.context_fed;
+    ++s.cursor;
+    if (s.cursor < s.history.size()) continue;  // still priming
+
+    s.history.push_back(sample_from_logits(logits_.row(b), s.options, s.rng));
+    ++info.sampled;
+    if (s.history.size() < s.target_len) continue;
+
+    s.done = true;
+    FinishedRequest fin;
+    fin.request_id = s.request_id;
+    fin.session_id = s.session_id;
+    fin.tokens = s.history;
+    fin.cache_hit = s.cache_hit;
+    info.finished.push_back(std::move(fin));
+
+    SessionEntry entry;
+    entry.state = std::move(s.state);
+    entry.last_token = s.history.back();
+    entry.history_len = s.history.size();
+    entry.fingerprint = token_fingerprint(s.history);
+    cache_.put(s.session_id, std::move(entry));
+  }
+  info.seconds = watch.seconds();
+
+  std::erase_if(streams_, [](const ActiveStream& s) { return s.done; });
+  return info;
+}
+
+}  // namespace zipflm::serve

@@ -1,0 +1,193 @@
+#include "zipflm/serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "zipflm/support/error.hpp"
+
+namespace zipflm::serve {
+
+Server::Server(LmModel& model, ServeOptions options)
+    : options_(options),
+      cache_(options.cache_capacity),
+      scheduler_(model, cache_, options.max_batch) {
+  ZIPFLM_CHECK(options_.queue_depth >= 1, "queue_depth must be at least 1");
+  ZIPFLM_CHECK(options_.batch_deadline_seconds >= 0.0,
+               "batch deadline must be non-negative");
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  std::lock_guard lock(mutex_);
+  ZIPFLM_CHECK(!started_, "server already started");
+  stop_requested_ = false;
+  started_ = true;
+  thread_ = std::thread(&Server::scheduler_loop, this);
+}
+
+void Server::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!started_) return;
+    stop_requested_ = true;
+  }
+  work_cv_.notify_all();
+  thread_.join();
+  std::lock_guard lock(mutex_);
+  started_ = false;
+  stop_requested_ = false;
+}
+
+Admission Server::submit(Request request) {
+  ZIPFLM_CHECK(!request.context.empty(), "request context must be non-empty");
+  ZIPFLM_CHECK(request.new_tokens > 0, "request must ask for tokens");
+  ZIPFLM_CHECK(request.context.size() + request.new_tokens <=
+                   static_cast<std::size_t>(request.options.max_context),
+               "context + new_tokens must fit in options.max_context");
+
+  std::lock_guard lock(mutex_);
+  Admission admission;
+  if (queue_.size() >= options_.queue_depth) {
+    // Backpressure: reject instead of blocking the caller.  The hint is
+    // a rough service time for one queued request.
+    counters_.requests_rejected += 1;
+    admission.queue_depth = queue_.size();
+    admission.retry_after_seconds =
+        std::max(options_.batch_deadline_seconds,
+                 counters_.request_latency.mean_seconds());
+    return admission;
+  }
+
+  Pending pending;
+  pending.request.request_id = next_request_id_++;
+  pending.request.session_id = request.session_id;
+  pending.request.context = std::move(request.context);
+  pending.request.new_tokens = request.new_tokens;
+  pending.request.options = request.options;
+  pending.request.seed = request.seed;
+
+  admission.accepted = true;
+  admission.request_id = pending.request.request_id;
+  queue_.push_back(std::move(pending));
+  admission.queue_depth = queue_.size();
+  counters_.requests_admitted += 1;
+  work_cv_.notify_one();
+  return admission;
+}
+
+bool Server::admit_locked() {
+  bool any = false;
+  while (!queue_.empty() && scheduler_.has_capacity()) {
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+    const std::uint64_t id = pending.request.request_id;
+    Flight flight;
+    flight.submitted = pending.submitted;
+    flight.queue_seconds = pending.submitted.seconds();
+    const AdmitInfo info = scheduler_.admit(std::move(pending.request));
+    counters_.cache_hits += info.cache_hit ? 1 : 0;
+    counters_.cache_misses += info.cache_hit ? 0 : 1;
+    in_flight_.emplace(id, flight);
+    any = true;
+  }
+  return any;
+}
+
+void Server::scheduler_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stop_requested_ || !queue_.empty() || scheduler_.active() > 0;
+    });
+    if (stop_requested_ && queue_.empty() && scheduler_.active() == 0) break;
+
+    const bool was_idle = scheduler_.active() == 0;
+    const bool admitted = admit_locked();
+
+    // A fresh batch lingers up to the deadline for more arrivals; a
+    // batch already in flight never stalls (continuous batching).
+    if (was_idle && admitted && scheduler_.has_capacity() &&
+        !stop_requested_ && options_.batch_deadline_seconds > 0.0) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(options_.batch_deadline_seconds));
+      while (!stop_requested_ && scheduler_.has_capacity()) {
+        if (!work_cv_.wait_until(lock, deadline, [&] {
+              return stop_requested_ || !queue_.empty();
+            })) {
+          break;  // deadline expired
+        }
+        if (stop_requested_) break;
+        admit_locked();
+      }
+    }
+    if (scheduler_.active() == 0) continue;
+
+    lock.unlock();
+    StepInfo info = scheduler_.step();
+    lock.lock();
+
+    counters_.batch_steps += 1;
+    counters_.batched_streams += static_cast<std::uint64_t>(info.batch);
+    counters_.tokens_generated += info.sampled;
+    counters_.context_tokens_primed += info.context_fed;
+    counters_.cache_evictions = cache_.evictions();
+    for (std::size_t i = 0; i < info.sampled; ++i) {
+      counters_.token_latency.record(info.seconds);
+    }
+    for (FinishedRequest& fin : info.finished) {
+      const auto it = in_flight_.find(fin.request_id);
+      ZIPFLM_ASSERT(it != in_flight_.end(), "finished unknown request");
+      Response response;
+      response.request_id = fin.request_id;
+      response.session_id = fin.session_id;
+      response.tokens = std::move(fin.tokens);
+      response.cache_hit = fin.cache_hit;
+      response.queue_seconds = it->second.queue_seconds;
+      response.total_seconds = it->second.submitted.seconds();
+      in_flight_.erase(it);
+      counters_.requests_completed += 1;
+      counters_.request_latency.record(response.total_seconds);
+      done_.insert_or_assign(response.request_id, std::move(response));
+    }
+    if (!info.finished.empty()) done_cv_.notify_all();
+  }
+  done_cv_.notify_all();
+}
+
+bool Server::poll(std::uint64_t request_id, Response& out) {
+  std::lock_guard lock(mutex_);
+  const auto it = done_.find(request_id);
+  if (it == done_.end()) return false;
+  out = std::move(it->second);
+  done_.erase(it);
+  return true;
+}
+
+Response Server::wait(std::uint64_t request_id) {
+  std::unique_lock lock(mutex_);
+  ZIPFLM_CHECK(started_ || done_.count(request_id) > 0,
+               "wait() needs a started server");
+  done_cv_.wait(lock, [&] { return done_.count(request_id) > 0; });
+  const auto it = done_.find(request_id);
+  Response response = std::move(it->second);
+  done_.erase(it);
+  return response;
+}
+
+void Server::wait_idle() {
+  std::unique_lock lock(mutex_);
+  ZIPFLM_CHECK(started_ || (queue_.empty() && in_flight_.empty()),
+               "wait_idle() needs a started server");
+  done_cv_.wait(lock, [&] { return queue_.empty() && in_flight_.empty(); });
+}
+
+ServeCounters Server::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+}  // namespace zipflm::serve

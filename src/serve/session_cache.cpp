@@ -1,0 +1,43 @@
+#include "zipflm/serve/session_cache.hpp"
+
+namespace zipflm::serve {
+
+std::uint64_t token_fingerprint(std::span<const Index> tokens) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis
+  for (const Index t : tokens) {
+    auto v = static_cast<std::uint64_t>(t);
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xFFULL;
+      h *= 0x100000001B3ULL;  // FNV prime
+    }
+  }
+  return h;
+}
+
+SessionCache::SessionCache(std::size_t capacity) : capacity_(capacity) {}
+
+bool SessionCache::take(std::uint64_t session_id, SessionEntry& out) {
+  const auto it = map_.find(session_id);
+  if (it == map_.end()) return false;
+  out = std::move(it->second->second);
+  lru_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+void SessionCache::put(std::uint64_t session_id, SessionEntry entry) {
+  if (capacity_ == 0) return;
+  if (const auto it = map_.find(session_id); it != map_.end()) {
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  lru_.emplace_front(session_id, std::move(entry));
+  map_[session_id] = lru_.begin();
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace zipflm::serve

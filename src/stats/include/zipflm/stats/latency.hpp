@@ -1,0 +1,51 @@
+// Latency histogram for serving-side percentile reporting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace zipflm {
+
+/// Fixed log-spaced histogram over (0, ~100 s] with an overflow bucket,
+/// tracking count/sum/min/max exactly and percentiles to bucket
+/// resolution (~7% relative error).  Plain value type: snapshot by copy,
+/// merge with +=.  Not thread-safe; callers serialize access.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Record one observation in seconds.  Non-finite or negative values
+  /// are clamped into the first bucket.
+  void record(double seconds);
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum_seconds() const noexcept { return sum_; }
+  double min_seconds() const noexcept;  ///< 0 when empty
+  double max_seconds() const noexcept;  ///< 0 when empty
+  double mean_seconds() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Upper bound of the bucket holding the p-quantile (p in [0, 1]);
+  /// 0 when empty.  percentile(0.5) is the p50, percentile(0.95) the p95.
+  double percentile(double p) const;
+
+  /// Merge another histogram's observations into this one.
+  LatencyHistogram& operator+=(const LatencyHistogram& other);
+
+  void reset();
+
+ private:
+  static constexpr std::size_t kBuckets = 256;
+  static std::size_t bucket_for(double seconds);
+  static double bucket_upper(std::size_t bucket);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace zipflm

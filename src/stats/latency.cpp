@@ -1,0 +1,97 @@
+#include "zipflm/stats/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zipflm {
+namespace {
+
+// Bucket 0 holds (0, kFloor]; buckets 1..kBuckets-2 are log-spaced up to
+// kCeil; the last bucket is overflow.
+constexpr double kFloor = 1e-7;  // 0.1 us
+constexpr double kCeil = 100.0;  // 100 s
+
+double growth_log() {
+  static const double g =
+      std::log(kCeil / kFloor) / static_cast<double>(256 - 2);
+  return g;
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+std::size_t LatencyHistogram::bucket_for(double seconds) {
+  if (!(seconds > kFloor)) return 0;
+  if (seconds >= kCeil) return kBuckets - 1;
+  const double idx = std::log(seconds / kFloor) / growth_log();
+  const auto b = static_cast<std::size_t>(idx) + 1;
+  return std::min(b, kBuckets - 2);
+}
+
+double LatencyHistogram::bucket_upper(std::size_t bucket) {
+  if (bucket == 0) return kFloor;
+  if (bucket >= kBuckets - 1) return kCeil;
+  return kFloor * std::exp(growth_log() * static_cast<double>(bucket));
+}
+
+void LatencyHistogram::record(double seconds) {
+  if (!std::isfinite(seconds) || seconds < 0.0) seconds = 0.0;
+  buckets_[bucket_for(seconds)] += 1;
+  if (count_ == 0) {
+    min_ = max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  count_ += 1;
+  sum_ += seconds;
+}
+
+double LatencyHistogram::min_seconds() const noexcept {
+  return count_ == 0 ? 0.0 : min_;
+}
+
+double LatencyHistogram::max_seconds() const noexcept {
+  return count_ == 0 ? 0.0 : max_;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the p-quantile observation, 1-based nearest-rank.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      // Clamp the reported bound to the observed extremes so p0/p100
+      // are exact and a single-bucket histogram reports sane values.
+      return std::clamp(bucket_upper(b), min_, max_);
+    }
+  }
+  return max_;
+}
+
+LatencyHistogram& LatencyHistogram::operator+=(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  if (other.count_ > 0) {
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  return *this;
+}
+
+void LatencyHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace zipflm

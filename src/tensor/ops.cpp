@@ -8,10 +8,9 @@
 namespace zipflm {
 
 namespace {
-// Kernel block sizes tuned for L1-resident panels of the inner matrix.
+// Task block sizes: the unit of work handed to the thread pool.
 constexpr Index kBlockM = 32;
 constexpr Index kBlockN = 128;
-constexpr Index kBlockK = 128;
 
 struct GemmDims {
   Index m, n, k;
@@ -34,6 +33,102 @@ GemmDims validate_gemm(const Tensor& a, bool trans_a, const Tensor& b,
 inline float at(const Tensor& t, bool trans, Index i, Index j) {
   return trans ? t(j, i) : t(i, j);
 }
+
+// Register-tile shape for the non-transposed-B kernel: kTileM rows of C
+// accumulated across the whole k extent while one kTileN-wide slice of a
+// B row streams through.  Accumulators are seeded from C's (beta-scaled)
+// current value and contributions are added in ascending k order, so
+// every output element sees exactly the same float-operation sequence as
+// the naive kernel — independent of tile shape, batch size, and worker
+// count.  That invariance is what lets batched inference reproduce
+// single-stream results bit for bit.
+constexpr Index kTileM = 8;
+constexpr Index kTileN = 16;
+
+template <Index Rt, Index Ct>
+inline void gemm_tile_fixed(const Tensor& a, bool trans_a, const Tensor& b,
+                            Tensor& c, float alpha, Index ib, Index jb,
+                            Index k) {
+  float acc[Rt][Ct];
+  for (Index r = 0; r < Rt; ++r) {
+    const float* crow = c.row(ib + r).data() + jb;
+    for (Index v = 0; v < Ct; ++v) acc[r][v] = crow[v];
+  }
+  for (Index kk = 0; kk < k; ++kk) {
+    const float* brow = b.row(kk).data() + jb;
+    for (Index r = 0; r < Rt; ++r) {
+      const float aik = alpha * at(a, trans_a, ib + r, kk);
+      for (Index v = 0; v < Ct; ++v) acc[r][v] += aik * brow[v];
+    }
+  }
+  for (Index r = 0; r < Rt; ++r) {
+    float* crow = c.row(ib + r).data() + jb;
+    for (Index v = 0; v < Ct; ++v) crow[v] = acc[r][v];
+  }
+}
+
+void gemm_tile_edge(const Tensor& a, bool trans_a, const Tensor& b, Tensor& c,
+                    float alpha, Index ib, Index jb, Index rt, Index ct,
+                    Index k) {
+  float acc[kTileM][kTileN];
+  for (Index r = 0; r < rt; ++r) {
+    const float* crow = c.row(ib + r).data() + jb;
+    for (Index v = 0; v < ct; ++v) acc[r][v] = crow[v];
+  }
+  for (Index kk = 0; kk < k; ++kk) {
+    const float* brow = b.row(kk).data() + jb;
+    for (Index r = 0; r < rt; ++r) {
+      const float aik = alpha * at(a, trans_a, ib + r, kk);
+      for (Index v = 0; v < ct; ++v) acc[r][v] += aik * brow[v];
+    }
+  }
+  for (Index r = 0; r < rt; ++r) {
+    float* crow = c.row(ib + r).data() + jb;
+    for (Index v = 0; v < ct; ++v) crow[v] = acc[r][v];
+  }
+}
+
+/// C[i0:i1, j0:j1] += alpha * op(A)[i0:i1, :] * B[:, j0:j1] with B not
+/// transposed (B rows contiguous).
+void gemm_panel_nt(const Tensor& a, bool trans_a, const Tensor& b, Tensor& c,
+                   float alpha, Index i0, Index i1, Index j0, Index j1,
+                   Index k) {
+  for (Index ib = i0; ib < i1; ib += kTileM) {
+    const Index rt = std::min(kTileM, i1 - ib);
+    for (Index jb = j0; jb < j1; jb += kTileN) {
+      const Index ct = std::min(kTileN, j1 - jb);
+      if (rt == kTileM && ct == kTileN) {
+        gemm_tile_fixed<kTileM, kTileN>(a, trans_a, b, c, alpha, ib, jb, k);
+      } else {
+        gemm_tile_edge(a, trans_a, b, c, alpha, ib, jb, rt, ct, k);
+      }
+    }
+  }
+}
+
+/// Same contract with B transposed: element (i, j) is a dot product of
+/// two contiguous rows, accumulated with kDotJ interleaved scalar chains
+/// (ILP without reassociation, so k order stays ascending per element).
+void gemm_panel_tb(const Tensor& a, bool trans_a, const Tensor& b, Tensor& c,
+                   float alpha, Index i0, Index i1, Index j0, Index j1,
+                   Index k) {
+  constexpr Index kDotJ = 8;
+  for (Index i = i0; i < i1; ++i) {
+    float* crow = c.row(i).data();
+    for (Index jb = j0; jb < j1; jb += kDotJ) {
+      const Index jt = std::min(kDotJ, j1 - jb);
+      float acc[kDotJ];
+      for (Index jj = 0; jj < jt; ++jj) acc[jj] = crow[jb + jj];
+      for (Index kk = 0; kk < k; ++kk) {
+        const float aik = alpha * at(a, trans_a, i, kk);
+        for (Index jj = 0; jj < jt; ++jj) {
+          acc[jj] += aik * b(jb + jj, kk);
+        }
+      }
+      for (Index jj = 0; jj < jt; ++jj) crow[jb + jj] = acc[jj];
+    }
+  }
+}
 }  // namespace
 
 void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
@@ -48,34 +143,21 @@ void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
   }
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
 
-  // Parallelize over row blocks: each output row is written by exactly one
-  // task, so accumulation order per element is fixed regardless of the
-  // worker count.
+  // Parallelize over row x column blocks: each output element is written
+  // by exactly one task, so accumulation order per element is fixed
+  // regardless of the worker count.
   const Index row_blocks = (m + kBlockM - 1) / kBlockM;
+  const Index col_blocks = (n + kBlockN - 1) / kBlockN;
   ThreadPool::global().parallel_for(
-      static_cast<std::size_t>(row_blocks), [&](std::size_t rb) {
-        const Index i0 = static_cast<Index>(rb) * kBlockM;
+      static_cast<std::size_t>(row_blocks * col_blocks), [&](std::size_t t) {
+        const Index i0 = static_cast<Index>(t) / col_blocks * kBlockM;
         const Index i1 = std::min(m, i0 + kBlockM);
-        for (Index k0 = 0; k0 < k; k0 += kBlockK) {
-          const Index k1 = std::min(k, k0 + kBlockK);
-          for (Index j0 = 0; j0 < n; j0 += kBlockN) {
-            const Index j1 = std::min(n, j0 + kBlockN);
-            for (Index i = i0; i < i1; ++i) {
-              float* crow = c.row(i).data();
-              for (Index kk = k0; kk < k1; ++kk) {
-                const float aik = alpha * at(a, trans_a, i, kk);
-                if (aik == 0.0f) continue;
-                if (!trans_b) {
-                  const float* brow = b.row(kk).data();
-                  for (Index j = j0; j < j1; ++j) crow[j] += aik * brow[j];
-                } else {
-                  for (Index j = j0; j < j1; ++j) {
-                    crow[j] += aik * b(j, kk);
-                  }
-                }
-              }
-            }
-          }
+        const Index j0 = static_cast<Index>(t) % col_blocks * kBlockN;
+        const Index j1 = std::min(n, j0 + kBlockN);
+        if (!trans_b) {
+          gemm_panel_nt(a, trans_a, b, c, alpha, i0, i1, j0, j1, k);
+        } else {
+          gemm_panel_tb(a, trans_a, b, c, alpha, i0, i1, j0, j1, k);
         }
       });
 }

@@ -1,0 +1,201 @@
+// Sampling semantics and the incremental (state-carrying) generation
+// path: top_k = 1 must be greedy, temperature -> 0 must agree with
+// greedy, and one-step-at-a-time stepping must reproduce the windowed
+// path bit for bit — the contract the serving engine is built on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "zipflm/nn/generate.hpp"
+#include "zipflm/nn/lm_model.hpp"
+
+namespace zipflm {
+namespace {
+
+std::unique_ptr<CharLm> small_char(std::uint64_t seed = 3) {
+  CharLmConfig cfg;
+  cfg.vocab = 20;
+  cfg.embed_dim = 5;
+  cfg.hidden_dim = 7;
+  cfg.depth = 2;
+  cfg.seed = seed;
+  return std::make_unique<CharLm>(cfg);
+}
+
+std::unique_ptr<WordLm> small_word(std::uint64_t seed = 4) {
+  WordLmConfig cfg;
+  cfg.vocab = 25;
+  cfg.embed_dim = 5;
+  cfg.hidden_dim = 6;
+  cfg.proj_dim = 5;
+  cfg.num_layers = 2;
+  cfg.seed = seed;
+  return std::make_unique<WordLm>(cfg);
+}
+
+/// The pre-incremental generation loop: re-run the visible window for
+/// every token.  The incremental path must match this exactly.
+std::vector<Index> window_generate(LmModel& model, std::vector<Index> tokens,
+                                   std::size_t count,
+                                   const GenerateOptions& options, Rng& rng) {
+  for (std::size_t i = 0; i < count; ++i) {
+    tokens.push_back(sample_next_token(model, tokens, options, rng));
+  }
+  return tokens;
+}
+
+/// Greedy argmax with the sampler's tie-break (largest id wins ties).
+Index argmax_token(const Tensor& logits) {
+  const auto row = logits.data();
+  Index best = 0;
+  for (Index i = 1; i < static_cast<Index>(row.size()); ++i) {
+    if (row[static_cast<std::size_t>(i)] >=
+        row[static_cast<std::size_t>(best)]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(Sampling, TopK1IsGreedyArgmax) {
+  auto model = small_char();
+  GenerateOptions greedy;
+  greedy.top_k = 1;
+  std::vector<Index> tokens = {1, 2};
+  Rng rng(17);
+  for (int step = 0; step < 12; ++step) {
+    const Index expected = argmax_token(model->next_token_logits(tokens));
+    tokens.push_back(sample_next_token(*model, tokens, greedy, rng));
+    EXPECT_EQ(tokens.back(), expected) << "step " << step;
+  }
+}
+
+TEST(Sampling, TopK1IgnoresRngState) {
+  auto model = small_char();
+  GenerateOptions greedy;
+  greedy.top_k = 1;
+  Rng a(1), b(999);
+  EXPECT_EQ(generate_tokens(*model, std::vector<Index>{3}, 16, greedy, a),
+            generate_tokens(*model, std::vector<Index>{3}, 16, greedy, b));
+}
+
+TEST(Sampling, TemperatureLimitAgreesWithGreedy) {
+  auto model = small_char();
+  GenerateOptions greedy;
+  greedy.top_k = 1;
+  GenerateOptions cold;
+  cold.temperature = 1e-6;
+  Rng ga(7), ca(7);
+  EXPECT_EQ(generate_tokens(*model, std::vector<Index>{5, 1}, 16, greedy, ga),
+            generate_tokens(*model, std::vector<Index>{5, 1}, 16, cold, ca));
+}
+
+TEST(Incremental, MatchesWindowPathCharLm) {
+  auto model = small_char();
+  GenerateOptions opt;
+  opt.max_context = 64;  // prompt + count fits: incremental path
+  const std::vector<Index> prompt = {1, 2, 7};
+  Rng inc_rng(5), win_rng(5);
+  const auto incremental = generate_tokens(*model, prompt, 40, opt, inc_rng);
+  const auto windowed = window_generate(*model, prompt, 40, opt, win_rng);
+  EXPECT_EQ(incremental, windowed);
+}
+
+TEST(Incremental, MatchesWindowPathWordLm) {
+  auto model = small_word();
+  GenerateOptions opt;
+  opt.max_context = 64;
+  const std::vector<Index> prompt = {4, 9};
+  Rng inc_rng(11), win_rng(11);
+  const auto incremental = generate_tokens(*model, prompt, 30, opt, inc_rng);
+  const auto windowed = window_generate(*model, prompt, 30, opt, win_rng);
+  EXPECT_EQ(incremental, windowed);
+}
+
+TEST(Incremental, FallsBackToWindowWhenContextOverflows) {
+  auto model = small_char();
+  GenerateOptions opt;
+  opt.max_context = 8;  // forces the sliding-window fallback
+  const std::vector<Index> prompt = {1, 2, 3};
+  Rng a(3), b(3);
+  EXPECT_EQ(generate_tokens(*model, prompt, 20, opt, a),
+            window_generate(*model, prompt, 20, opt, b));
+}
+
+TEST(Incremental, EdgeCases) {
+  auto model = small_char();
+  GenerateOptions opt;
+  Rng rng(1);
+  const std::vector<Index> prompt = {2};
+  EXPECT_EQ(generate_tokens(*model, prompt, 0, opt, rng), prompt);
+  EXPECT_THROW(generate_tokens(*model, std::vector<Index>{}, 4, opt, rng),
+               ConfigError);
+}
+
+template <typename ModelFactory>
+void expect_step_matches_forward(ModelFactory make) {
+  auto model = make();
+  const std::vector<Index> context = {1, 3, 2, 5, 4};
+  RecurrentState state = model->initial_state(1);
+  Tensor step_logits;
+  for (std::size_t n = 1; n <= context.size(); ++n) {
+    const Index t = context[n - 1];
+    model->step(std::span<const Index>(&t, 1), state, step_logits);
+    const Tensor full = model->next_token_logits(
+        std::span<const Index>(context.data(), n));
+    const auto a = step_logits.row(0);
+    const auto b = full.data();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      // Bitwise: stepping must be the forward pass, not an approximation.
+      EXPECT_EQ(a[i], b[i]) << "prefix " << n << " logit " << i;
+    }
+  }
+}
+
+TEST(Incremental, StepIsBitwiseForwardCharLm) {
+  expect_step_matches_forward([] { return small_char(); });
+}
+
+TEST(Incremental, StepIsBitwiseForwardWordLm) {
+  expect_step_matches_forward([] { return small_word(); });
+}
+
+TEST(Incremental, BatchedStepMatchesSingleStreams) {
+  auto model = small_char();
+  // Three independent streams advanced as one batch must equal three
+  // batch-1 runs — the row independence the scheduler relies on.
+  const std::vector<std::vector<Index>> contexts = {
+      {1, 2, 3, 4}, {9, 9, 9, 9}, {5, 0, 7, 2}};
+  const auto batch = static_cast<Index>(contexts.size());
+
+  RecurrentState batched = model->initial_state(batch);
+  Tensor batched_logits;
+  std::vector<RecurrentState> singles;
+  std::vector<Tensor> single_logits(contexts.size());
+  for (std::size_t s = 0; s < contexts.size(); ++s) {
+    singles.push_back(model->initial_state(1));
+  }
+
+  std::vector<Index> step_tokens(contexts.size());
+  for (std::size_t t = 0; t < contexts.front().size(); ++t) {
+    for (std::size_t s = 0; s < contexts.size(); ++s) {
+      step_tokens[s] = contexts[s][t];
+      model->step(std::span<const Index>(&step_tokens[s], 1), singles[s],
+                  single_logits[s]);
+    }
+    model->step(step_tokens, batched, batched_logits);
+    for (std::size_t s = 0; s < contexts.size(); ++s) {
+      const auto a = batched_logits.row(static_cast<Index>(s));
+      const auto b = single_logits[s].row(0);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << "t " << t << " stream " << s;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zipflm

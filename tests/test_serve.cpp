@@ -1,0 +1,240 @@
+// Serving engine: batched streams must equal single-stream generation,
+// LRU eviction must only cost recompute, and a full admission queue
+// must reject with backpressure instead of blocking.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "zipflm/nn/generate.hpp"
+#include "zipflm/nn/lm_model.hpp"
+#include "zipflm/serve/server.hpp"
+#include "zipflm/serve/session_cache.hpp"
+
+namespace zipflm::serve {
+namespace {
+
+std::unique_ptr<CharLm> small_char(std::uint64_t seed = 3) {
+  CharLmConfig cfg;
+  cfg.vocab = 20;
+  cfg.embed_dim = 5;
+  cfg.hidden_dim = 7;
+  cfg.depth = 2;
+  cfg.seed = seed;
+  return std::make_unique<CharLm>(cfg);
+}
+
+Request session_request(std::uint64_t session, std::vector<Index> context,
+                        std::size_t new_tokens, std::uint64_t seed) {
+  Request r;
+  r.session_id = session;
+  r.context = std::move(context);
+  r.new_tokens = new_tokens;
+  r.options.max_context = 64;
+  r.seed = seed;
+  return r;
+}
+
+TEST(SessionCacheTest, LruEvictsLeastRecentlyUsed) {
+  SessionCache cache(2);
+  SessionEntry e;
+  e.last_token = 1;
+  cache.put(10, e);
+  e.last_token = 2;
+  cache.put(20, e);
+  EXPECT_EQ(cache.size(), 2u);
+
+  SessionEntry out;
+  ASSERT_TRUE(cache.take(10, out));  // hit removes
+  EXPECT_EQ(out.last_token, 1);
+  cache.put(10, out);  // 10 is now most recent, 20 least
+
+  e.last_token = 3;
+  cache.put(30, e);  // evicts 20
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.take(20, out));
+  EXPECT_TRUE(cache.take(10, out));
+  EXPECT_TRUE(cache.take(30, out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SessionCacheTest, FingerprintSeparatesHistories) {
+  const std::vector<Index> a = {1, 2, 3};
+  const std::vector<Index> b = {1, 2, 4};
+  const std::vector<Index> c = {1, 2, 3};
+  EXPECT_NE(token_fingerprint(a), token_fingerprint(b));
+  EXPECT_EQ(token_fingerprint(a), token_fingerprint(c));
+}
+
+TEST(ServerTest, BatchedStreamsMatchSequentialGeneration) {
+  auto model = small_char();
+  constexpr std::size_t kSessions = 6;
+  constexpr std::size_t kNewTokens = 12;
+
+  // Ground truth: batch-1 generation per session, before the server
+  // thread touches the model.
+  std::vector<std::vector<Index>> contexts, expected;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    contexts.push_back({static_cast<Index>(1 + s), 2, 3, 4});
+    GenerateOptions opt;
+    opt.max_context = 64;
+    Rng rng(100 + s);
+    expected.push_back(
+        generate_tokens(*model, contexts.back(), kNewTokens, opt, rng));
+  }
+
+  ServeOptions opts;
+  opts.max_batch = 4;  // forces batching AND queueing with 6 sessions
+  Server server(*model, opts);
+  std::vector<std::uint64_t> ids;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const Admission a = server.submit(
+        session_request(s + 1, contexts[s], kNewTokens, 100 + s));
+    ASSERT_TRUE(a.accepted);
+    ids.push_back(a.request_id);
+  }
+  server.start();
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const Response r = server.wait(ids[s]);
+    EXPECT_EQ(r.tokens, expected[s]) << "session " << s + 1;
+    EXPECT_FALSE(r.cache_hit);
+    EXPECT_GE(r.total_seconds, r.queue_seconds);
+  }
+  server.stop();
+
+  const ServeCounters c = server.counters();
+  EXPECT_EQ(c.requests_completed, kSessions);
+  EXPECT_EQ(c.tokens_generated, kSessions * kNewTokens);
+  EXPECT_EQ(c.cache_misses, kSessions);
+  EXPECT_GT(c.mean_batch_occupancy(), 1.0);  // batching actually happened
+  // Every stream advancement feeds either a context token or a sampled
+  // one; the last sampled token of each request is never fed back.
+  EXPECT_EQ(c.batched_streams + kSessions,
+            c.context_tokens_primed + c.tokens_generated);
+}
+
+TEST(ServerTest, EvictionOnlyCostsRecompute) {
+  auto model = small_char();
+  constexpr std::size_t kSessions = 6;
+  constexpr std::size_t kPhase1 = 8;
+  constexpr std::size_t kPhase2 = 6;
+
+  std::vector<std::vector<Index>> contexts;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    contexts.push_back({static_cast<Index>(2 + s), 1});
+  }
+
+  // Same workload against a tiny cache (constant eviction) and a large
+  // one (everything stays warm): token streams must be identical.
+  auto run_phases = [&](std::size_t cache_capacity,
+                        std::vector<std::vector<Index>>& final_tokens,
+                        std::vector<bool>& phase2_hits) {
+    ServeOptions opts;
+    opts.max_batch = 4;
+    opts.cache_capacity = cache_capacity;
+    Server server(*model, opts);
+    server.start();
+
+    std::vector<std::uint64_t> ids(kSessions);
+    std::vector<std::vector<Index>> histories(kSessions);
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      ids[s] = server
+                   .submit(session_request(s + 1, contexts[s], kPhase1,
+                                           500 + s))
+                   .request_id;
+    }
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      histories[s] = server.wait(ids[s]).tokens;
+    }
+    // Phase 2: every session resumes from its full phase-1 history.
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      ids[s] = server
+                   .submit(session_request(s + 1, histories[s], kPhase2,
+                                           900 + s))
+                   .request_id;
+    }
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      const Response r = server.wait(ids[s]);
+      final_tokens.push_back(r.tokens);
+      phase2_hits.push_back(r.cache_hit);
+    }
+    server.stop();
+    return server.counters();
+  };
+
+  std::vector<std::vector<Index>> small_tokens, large_tokens;
+  std::vector<bool> small_hits, large_hits;
+  const ServeCounters small_c = run_phases(2, small_tokens, small_hits);
+  const ServeCounters large_c = run_phases(16, large_tokens, large_hits);
+
+  EXPECT_EQ(small_tokens, large_tokens);
+  EXPECT_GT(small_c.cache_evictions, 0u);
+  EXPECT_EQ(large_c.cache_evictions, 0u);
+  // With room for every session, phase 2 resumes from cache: one primed
+  // token (the pending last token) per session instead of the whole
+  // history.
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    EXPECT_TRUE(large_hits[s]) << "session " << s + 1;
+  }
+  EXPECT_EQ(large_c.cache_hits, kSessions);
+  EXPECT_EQ(large_c.context_tokens_primed,
+            kSessions * contexts.front().size() + kSessions);
+  EXPECT_GT(small_c.context_tokens_primed, large_c.context_tokens_primed);
+
+  // And the resumed continuations are exactly what batch-1 generation
+  // produces on the full history.
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    GenerateOptions opt;
+    opt.max_context = 64;
+    Rng rng(900 + s);
+    const auto history = std::vector<Index>(
+        large_tokens[s].begin(),
+        large_tokens[s].end() - static_cast<std::ptrdiff_t>(kPhase2));
+    EXPECT_EQ(large_tokens[s],
+              generate_tokens(*model, history, kPhase2, opt, rng));
+  }
+}
+
+TEST(ServerTest, FullQueueRejectsWithBackpressure) {
+  auto model = small_char();
+  ServeOptions opts;
+  opts.queue_depth = 3;
+  Server server(*model, opts);  // not started: the queue cannot drain
+
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Admission a =
+        server.submit(session_request(i + 1, {1, 2}, 4, 42 + i));
+    ASSERT_TRUE(a.accepted);
+    ids.push_back(a.request_id);
+  }
+  const Admission rejected = server.submit(session_request(9, {1, 2}, 4, 7));
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.queue_depth, 3u);
+  EXPECT_GT(rejected.retry_after_seconds, 0.0);
+  EXPECT_EQ(server.counters().requests_rejected, 1u);
+
+  // The queued work is intact: start, drain, and every accepted request
+  // completes.
+  server.start();
+  for (const std::uint64_t id : ids) {
+    const Response r = server.wait(id);
+    EXPECT_EQ(r.tokens.size(), 6u);
+  }
+  server.wait_idle();
+  server.stop();
+  EXPECT_EQ(server.counters().requests_completed, 3u);
+}
+
+TEST(ServerTest, RejectsMalformedRequests) {
+  auto model = small_char();
+  Server server(*model, {});
+  EXPECT_THROW(server.submit(session_request(1, {}, 4, 1)), ConfigError);
+  EXPECT_THROW(server.submit(session_request(1, {1}, 0, 1)), ConfigError);
+  Request oversize = session_request(1, {1, 2}, 4, 1);
+  oversize.options.max_context = 5;  // 2 + 4 > 5
+  EXPECT_THROW(server.submit(oversize), ConfigError);
+}
+
+}  // namespace
+}  // namespace zipflm::serve
