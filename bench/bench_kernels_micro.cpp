@@ -1,16 +1,36 @@
 // Microbenchmarks of the tensor kernels underlying the training stack:
 // blocked GEMM, softmax, the embedding gather/scatter, and the FP16
 // compression-scaling casts.  Real wall-clock via google-benchmark.
+//
+// Kernels with a SIMD fast path also register a /scalar twin that pins
+// simd::Backend::kScalar for the timed region, so the vector speedup is
+// a first-class column in the report (the two variants are bitwise
+// identical by construction — see test_determinism).
 #include <benchmark/benchmark.h>
 
+#include "zipflm/core/exchange.hpp"
 #include "zipflm/support/rng.hpp"
 #include "zipflm/tensor/cast.hpp"
 #include "zipflm/tensor/ops.hpp"
+#include "zipflm/tensor/simd.hpp"
 
 namespace zipflm {
 namespace {
 
-void BM_Gemm(benchmark::State& state) {
+/// Pins the requested SIMD backend for one benchmark's timed loop.
+class BackendScope {
+ public:
+  explicit BackendScope(simd::Backend b) : prev_(simd::active_backend()) {
+    simd::set_backend(b);
+  }
+  ~BackendScope() { simd::set_backend(prev_); }
+
+ private:
+  simd::Backend prev_;
+};
+
+void BM_Gemm(benchmark::State& state, simd::Backend backend) {
+  BackendScope scope(backend);
   const Index n = static_cast<Index>(state.range(0));
   Rng rng(1);
   const Tensor a = Tensor::randn({n, n}, rng);
@@ -24,7 +44,10 @@ void BM_Gemm(benchmark::State& state) {
       2.0 * static_cast<double>(n) * n * n * state.iterations() / 1e9,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Gemm, simd, simd::Backend::kNative)
+    ->Arg(64)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Gemm, scalar, simd::Backend::kScalar)
+    ->Arg(256)->Unit(benchmark::kMillisecond);
 
 void BM_GemmTransposed(benchmark::State& state) {
   const Index n = static_cast<Index>(state.range(0));
@@ -39,7 +62,8 @@ void BM_GemmTransposed(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmTransposed)->Arg(256)->Unit(benchmark::kMillisecond);
 
-void BM_SoftmaxRows(benchmark::State& state) {
+void BM_SoftmaxRows(benchmark::State& state, simd::Backend backend) {
+  BackendScope scope(backend);
   const Index rows = 256;
   const Index cols = static_cast<Index>(state.range(0));
   Rng rng(3);
@@ -50,8 +74,10 @@ void BM_SoftmaxRows(benchmark::State& state) {
     benchmark::DoNotOptimize(probs.data().data());
   }
 }
-BENCHMARK(BM_SoftmaxRows)->Arg(98)->Arg(1024)->Arg(15437)
-    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_SoftmaxRows, simd, simd::Backend::kNative)
+    ->Arg(98)->Arg(1024)->Arg(15437)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_SoftmaxRows, scalar, simd::Backend::kScalar)
+    ->Arg(98)->Arg(1024)->Arg(15437)->Unit(benchmark::kMicrosecond);
 
 void BM_GatherScatter(benchmark::State& state) {
   const Index vocab = 100'000;
@@ -73,7 +99,8 @@ void BM_GatherScatter(benchmark::State& state) {
 BENCHMARK(BM_GatherScatter)->Arg(640)->Arg(19200)
     ->Unit(benchmark::kMicrosecond);
 
-void BM_Fp16RoundTrip(benchmark::State& state) {
+void BM_Fp16RoundTrip(benchmark::State& state, simd::Backend backend) {
+  BackendScope scope(backend);
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   Rng rng(5);
   std::vector<float> values(n);
@@ -88,8 +115,41 @@ void BM_Fp16RoundTrip(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(
       state.iterations() * n * sizeof(float)));
 }
-BENCHMARK(BM_Fp16RoundTrip)->Arg(1 << 16)->Arg(1 << 20)
-    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Fp16RoundTrip, simd, simd::Backend::kNative)
+    ->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Fp16RoundTrip, scalar, simd::Backend::kScalar)
+    ->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+
+void BM_LocalReduce(benchmark::State& state, simd::Backend backend) {
+  BackendScope scope(backend);
+  // The exchange's local reduction: K token-gradient rows collapse onto
+  // their unique word ids.  Zipf-flavored duplication (low ids hot) is
+  // what the paper's Section III exploits, so sample ids that way.
+  const Index tokens = static_cast<Index>(state.range(0));
+  const Index vocab = 1000;
+  const Index dim = 512;
+  Rng rng(6);
+  const Tensor delta = Tensor::randn({tokens, dim}, rng, 0.1f);
+  std::vector<Index> ids(static_cast<std::size_t>(tokens));
+  for (auto& id : ids) {
+    const double u = rng.uniform(0.0, 1.0);
+    id = static_cast<Index>(
+        std::min<double>(vocab - 1, std::pow(static_cast<double>(vocab), u)) );
+  }
+  std::vector<Index> unique_ids;
+  Tensor reduced;
+  for (auto _ : state) {
+    local_reduce_by_word(ids, delta, unique_ids, reduced);
+    benchmark::DoNotOptimize(reduced.data().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * static_cast<std::size_t>(tokens) *
+      static_cast<std::size_t>(dim) * sizeof(float)));
+}
+BENCHMARK_CAPTURE(BM_LocalReduce, simd, simd::Backend::kNative)
+    ->Arg(640)->Arg(19200)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_LocalReduce, scalar, simd::Backend::kScalar)
+    ->Arg(640)->Arg(19200)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace zipflm

@@ -1,0 +1,145 @@
+// End-to-end training-step throughput on the seed CharLm configuration
+// (RHN 1792 x depth 10, vocab 98), with the per-phase breakdown that
+// decides where optimization effort goes: forward, backward, embedding
+// exchange, optimizer.
+//
+// Runs world size 1 on purpose: the wire path is covered by
+// bench_exchange_micro; what this benchmark tracks is the *local*
+// per-step cost (kernels + local reduce + scatter + Adam), which is the
+// paper's Θ(G·K + U_g·D) constant factor.  FP16 wire precision is kept
+// on so the compression-scaling casts stay in the measured path.
+//
+// Emits one line of JSON (prefixed "RESULT ") so harnesses can scrape a
+// single machine-readable record; record the trajectory in
+// BENCH_train_step.json.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "zipflm/comm/thread_comm.hpp"
+#include "zipflm/core/exchange.hpp"
+#include "zipflm/core/grad_sync.hpp"
+#include "zipflm/data/batch.hpp"
+#include "zipflm/nn/lm_model.hpp"
+#include "zipflm/nn/optimizer.hpp"
+#include "zipflm/support/phase_timers.hpp"
+#include "zipflm/support/rng.hpp"
+#include "zipflm/support/stopwatch.hpp"
+#include "zipflm/tensor/ops.hpp"
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace zipflm;
+
+  const Index batch_size =
+      argc > 1 ? static_cast<Index>(std::atoi(argv[1])) : 8;
+  const Index seq_len = argc > 2 ? static_cast<Index>(std::atoi(argv[2])) : 8;
+  const std::size_t measured_steps =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 3;
+  const std::size_t warmup_steps = 1;
+
+  bench::print_header(
+      "Training-step throughput, seed CharLm",
+      "paper SIV-B char model; local step cost Θ(G·K + U_g·D)",
+      "full train step: forward + backward + unique exchange + Adam");
+
+  CharLmConfig cfg;  // seed defaults: vocab 98, RHN 1792 x depth 10
+  CharLm model(cfg);
+
+  BatchSpec spec;
+  spec.batch_size = batch_size;
+  spec.seq_len = seq_len;
+  const std::size_t total_steps = warmup_steps + measured_steps;
+  const std::size_t corpus =
+      static_cast<std::size_t>(spec.tokens_per_rank()) * (total_steps + 1) + 1;
+  std::vector<Index> ids(corpus);
+  Rng rng(42);
+  for (auto& id : ids) {
+    id = static_cast<Index>(
+        rng.uniform_index(static_cast<std::uint64_t>(cfg.vocab)));
+  }
+
+  const ExchangeOptions ex_opts{WirePrecision::FP16, 1024.0f, false};
+  UniqueExchange exchange(ex_opts);
+  DenseGradSync dense_sync(ex_opts);
+  Adam::Config acfg;
+  acfg.clip = 1.0f;
+  Adam opt(acfg);
+
+  CommWorld world(1);
+  double measured_seconds = 0.0;
+  double exchange_seconds = 0.0;
+  double optimizer_seconds = 0.0;
+  std::uint64_t unique_rows = 0;
+  world.run([&](Communicator& comm) {
+    const auto dense = model.dense_params();
+    BatchIterator it(ids, spec, comm.rank(), comm.world_size());
+    Batch batch;
+    LmStepResult res;
+    Stopwatch step_watch;
+    for (std::size_t step = 0; step < total_steps; ++step) {
+      if (step == warmup_steps) {
+        PhaseTimers::reset();
+        exchange_seconds = optimizer_seconds = 0.0;
+        step_watch.reset();
+      }
+      if (!it.next(batch)) {
+        std::fprintf(stderr, "corpus exhausted early\n");
+        std::abort();
+      }
+      model.zero_grad();
+      model.train_step_local(batch, {}, res);
+
+      Stopwatch phase_watch;
+      dense_sync.sync(comm, dense);
+      std::vector<Index> uids;
+      Tensor urows;
+      exchange.exchange(comm, res.input_ids, res.input_delta, uids, urows,
+                        nullptr);
+      scale(urows, 1.0f / static_cast<float>(comm.world_size()));
+      exchange_seconds += phase_watch.seconds();
+      unique_rows = uids.size();
+
+      phase_watch.reset();
+      opt.begin_step();
+      opt.step(dense);
+      opt.step_rows(model.input_embedding_param(), urows, uids);
+      optimizer_seconds += phase_watch.seconds();
+    }
+    measured_seconds = step_watch.seconds();
+  });
+
+  const double tokens =
+      static_cast<double>(spec.tokens_per_rank()) *
+      static_cast<double>(measured_steps);
+  const double tok_s = tokens / measured_seconds;
+  const double steps_d = static_cast<double>(measured_steps);
+  const double step_ms = 1e3 * measured_seconds / steps_d;
+  const double forward_ms = 1e3 * PhaseTimers::seconds("forward") / steps_d;
+  const double backward_ms = 1e3 * PhaseTimers::seconds("backward") / steps_d;
+  const double exchange_ms = 1e3 * exchange_seconds / steps_d;
+  const double optimizer_ms = 1e3 * optimizer_seconds / steps_d;
+
+  std::printf("batch %lld x seq %lld, %zu measured steps (+%zu warmup)\n",
+              static_cast<long long>(batch_size),
+              static_cast<long long>(seq_len), measured_steps, warmup_steps);
+  std::printf("throughput: %8s tokens/s (%s ms/step)\n",
+              bench::fmt(tok_s).c_str(), bench::fmt(step_ms).c_str());
+  std::printf("  forward  : %8s ms\n", bench::fmt(forward_ms).c_str());
+  std::printf("  backward : %8s ms\n", bench::fmt(backward_ms).c_str());
+  std::printf("  exchange : %8s ms (U_g = %llu unique rows)\n",
+              bench::fmt(exchange_ms).c_str(),
+              static_cast<unsigned long long>(unique_rows));
+  std::printf("  optimizer: %8s ms\n", bench::fmt(optimizer_ms).c_str());
+
+  std::printf(
+      "RESULT {\"bench\":\"train_step\",\"batch\":%lld,\"seq\":%lld,"
+      "\"steps\":%zu,\"tokens_per_s\":%.2f,\"step_ms\":%.2f,"
+      "\"forward_ms\":%.2f,\"backward_ms\":%.2f,\"exchange_ms\":%.2f,"
+      "\"optimizer_ms\":%.2f}\n",
+      static_cast<long long>(batch_size), static_cast<long long>(seq_len),
+      measured_steps, tok_s, step_ms, forward_ms, backward_ms, exchange_ms,
+      optimizer_ms);
+  return 0;
+}

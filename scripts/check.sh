@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full local gate: the tier-1 suite in the default configuration, then
+# the same suite under ThreadSanitizer to shake races out of the thread
+# pool, the parallel kernels, and the serving engine.
+#
+# Usage: scripts/check.sh [--tsan-only | --no-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tier1=1
+run_tsan=1
+case "${1:-}" in
+  --tsan-only) run_tier1=0 ;;
+  --no-tsan) run_tsan=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--tsan-only | --no-tsan]" >&2; exit 2 ;;
+esac
+
+if [[ "$run_tier1" == 1 ]]; then
+  echo "== tier-1: default build =="
+  cmake -B build -S .
+  cmake --build build -j
+  ctest --test-dir build --output-on-failure -j
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== tier-2: ThreadSanitizer build =="
+  cmake -B build-tsan -S . -DZIPFLM_SANITIZE=thread
+  cmake --build build-tsan -j
+  # A couple of worker threads is enough to expose ordering bugs while
+  # keeping the TSAN run tractable on small containers.
+  ZIPFLM_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j
+fi
+
+echo "check.sh: all requested suites passed"

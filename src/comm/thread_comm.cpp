@@ -4,6 +4,8 @@
 #include <cstring>
 #include <thread>
 
+#include "zipflm/tensor/simd.hpp"
+
 namespace zipflm {
 
 namespace {
@@ -104,23 +106,34 @@ class ThreadRankComm final : public Communicator {
   }
 
   void allreduce_sum(std::span<float> data) override {
+    // The reducer sees one contiguous ring chunk at a time, so the FP32
+    // sum can run on the vector units; per-element order within a chunk
+    // is unchanged (acc = mine + left, ascending j).
     ring_allreduce<float>(data, CommWorld::Op::AllReduceF32,
-                          [](float a, float b) { return a + b; });
+                          [](float* mine, const float* left, std::size_t n) {
+                            simd::add_inplace(mine, left, n);
+                          });
   }
 
   void allreduce_sum(std::span<Half> data) override {
     // Accumulate each hop in FP32, store the running partial back to
     // binary16 — the precision behaviour of an FP16-wire allreduce.
     ring_allreduce<Half>(data, CommWorld::Op::AllReduceF16,
-                         [](Half a, Half b) {
-                           return Half(static_cast<float>(a) +
-                                       static_cast<float>(b));
+                         [](Half* mine, const Half* left, std::size_t n) {
+                           for (std::size_t j = 0; j < n; ++j) {
+                             mine[j] = Half(static_cast<float>(mine[j]) +
+                                            static_cast<float>(left[j]));
+                           }
                          });
   }
 
   void allreduce_max(std::span<float> data) override {
     ring_allreduce<float>(data, CommWorld::Op::AllReduceMaxF32,
-                          [](float a, float b) { return std::max(a, b); });
+                          [](float* mine, const float* left, std::size_t n) {
+                            for (std::size_t j = 0; j < n; ++j) {
+                              mine[j] = std::max(mine[j], left[j]);
+                            }
+                          });
   }
 
   void allgather_bytes(std::span<const std::byte> local,
@@ -255,8 +268,10 @@ class ThreadRankComm final : public Communicator {
     slot.root = root;
   }
 
-  template <typename T, typename Acc>
-  void ring_allreduce(std::span<T> data, CommWorld::Op op, Acc acc) {
+  /// Reduce steps hand the reducer a whole contiguous chunk:
+  /// reduce(mine, left, count) must combine left's partial into mine.
+  template <typename T, typename Red>
+  void ring_allreduce(std::span<T> data, CommWorld::Op op, Red reduce) {
     const int g = world_size();
     publish(op, reinterpret_cast<const std::byte*>(data.data()),
             reinterpret_cast<std::byte*>(data.data()),
@@ -279,8 +294,8 @@ class ThreadRankComm final : public Communicator {
       for (int s = 0; s + 1 < g; ++s) {
         const int c = wrap(rank_ - s - 1, g);
         const auto r = chunk_range(n, g, c);
-        for (std::size_t j = r.begin; j < r.end; ++j) {
-          data[j] = acc(data[j], left_data[j]);
+        if (r.size() != 0) {
+          reduce(data.data() + r.begin, left_data + r.begin, r.size());
         }
         // We simultaneously "sent" chunk (rank - s) to the right.
         moved_elems += chunk_range(n, g, wrap(rank_ - s, g)).size();

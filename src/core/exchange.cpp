@@ -4,8 +4,10 @@
 #include <cstring>
 
 #include "zipflm/comm/hierarchical.hpp"
+#include "zipflm/support/thread_pool.hpp"
 #include "zipflm/tensor/cast.hpp"
 #include "zipflm/tensor/ops.hpp"
+#include "zipflm/tensor/simd.hpp"
 
 namespace zipflm {
 
@@ -39,13 +41,43 @@ void local_reduce_by_word(std::span<const Index> ids, const Tensor& delta,
                "one gradient row per token");
   unique_ids = sorted_unique(ids);
   const Index d = delta.cols();
-  reduced = Tensor({static_cast<Index>(unique_ids.size()), d});
+  const std::size_t u = unique_ids.size();
+  reduced = Tensor({static_cast<Index>(u), d});
+
+  // Counting-sort the token positions into per-unique-row buckets so the
+  // reduction can be split across unique rows: each row's tokens stay in
+  // ascending original order, which makes every chunking (and the serial
+  // loop above this replaced) accumulate bitwise-identically.
+  std::vector<std::size_t> row_of(ids.size());
+  std::vector<std::size_t> offsets(u + 1, 0);
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    const Index row = position_of(unique_ids, ids[i]);
-    const auto src = delta.row(static_cast<Index>(i));
-    auto dst = reduced.row(row);
-    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += src[j];
+    row_of[i] = static_cast<std::size_t>(position_of(unique_ids, ids[i]));
+    ++offsets[row_of[i] + 1];
   }
+  for (std::size_t r = 0; r < u; ++r) offsets[r + 1] += offsets[r];
+  std::vector<std::size_t> order(ids.size());
+  {
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.begin() +
+                                                         static_cast<std::ptrdiff_t>(u));
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      order[cursor[row_of[i]]++] = i;
+    }
+  }
+
+  const float* src_base = delta.data().data();
+  float* dst_base = reduced.data().data();
+  const auto dn = static_cast<std::size_t>(d);
+  ThreadPool::global().parallel_chunks(
+      u,
+      [&](std::size_t rb, std::size_t re) {
+        for (std::size_t r = rb; r < re; ++r) {
+          float* dst = dst_base + r * dn;
+          for (std::size_t t = offsets[r]; t < offsets[r + 1]; ++t) {
+            simd::add_inplace(dst, src_base + order[t] * dn, dn);
+          }
+        }
+      },
+      /*grain=*/1);
 }
 
 // ---------------------------------------------------------------------------
@@ -105,7 +137,7 @@ void DenseExchange::exchange(Communicator& comm, std::span<const Index> ids,
     const Index row = position_of(out_ids, all_ids[i]);
     const auto src = all_delta.row(static_cast<Index>(i));
     auto dst = out_rows.row(row);
-    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += src[j];
+    simd::add_inplace(dst.data(), src.data(), dst.size());
   }
 }
 

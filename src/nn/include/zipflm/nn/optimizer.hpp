@@ -78,7 +78,6 @@ class Adam final : public Optimizer {
     Tensor v;
   };
   Moments& moments_for(const Param& p);
-  void apply_element(float& value, float g, Moments& mo, std::size_t flat);
 
   Config cfg_;
   std::int64_t t_ = 0;

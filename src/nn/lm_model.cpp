@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "zipflm/support/phase_timers.hpp"
 #include "zipflm/tensor/ops.hpp"
 
 namespace zipflm {
@@ -115,8 +116,15 @@ void WordLm::train_step_local(const Batch& batch,
 
   out.input_ids = batch.inputs;
   Tensor h_all;
-  run_forward(batch, h_all, /*train=*/true);
+  {
+    PhaseScope phase("forward");
+    run_forward(batch, h_all, /*train=*/true);
+  }
 
+  // Loss forward+backward and the layer backwards all count as the
+  // "backward" phase: the sampled softmax fuses its forward with the
+  // gradient computation, so the split cannot be finer.
+  PhaseScope phase("backward");
   Tensor dflat;
   out.loss = loss_.forward_backward(h_all, batch.targets, candidates, dflat,
                                     out.output_grad);
@@ -273,17 +281,23 @@ void CharLm::train_step_local(const Batch& batch,
   out.input_ids = batch.inputs;
   out.output_grad.ids.clear();
 
-  Tensor flat_emb({k, config_.embed_dim});
-  input_.forward(batch.inputs, flat_emb);
-  embed_dropout_.forward_train(flat_emb, dropout_rng_);
-  std::vector<Tensor> xs;
-  to_time_major(flat_emb, b, t, xs);
-  std::vector<Tensor> ys;
-  rhn_.forward(xs, ys);
   Tensor h_all;
-  to_batch_major(ys, b, t, h_all);
-  output_dropout_.forward_train(h_all, dropout_rng_);
+  {
+    PhaseScope phase("forward");
+    Tensor flat_emb({k, config_.embed_dim});
+    input_.forward(batch.inputs, flat_emb);
+    embed_dropout_.forward_train(flat_emb, dropout_rng_);
+    std::vector<Tensor> xs;
+    to_time_major(flat_emb, b, t, xs);
+    std::vector<Tensor> ys;
+    rhn_.forward(xs, ys);
+    to_batch_major(ys, b, t, h_all);
+    output_dropout_.forward_train(h_all, dropout_rng_);
+  }
 
+  // The full-softmax loss fuses forward and gradient; it is attributed
+  // to "backward" together with the RHN BPTT sweep.
+  PhaseScope phase("backward");
   Tensor dh_all;
   out.loss = loss_.forward_backward(h_all, batch.targets, dh_all);
   output_dropout_.backward(dh_all);

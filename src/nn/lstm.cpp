@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "zipflm/support/thread_pool.hpp"
 #include "zipflm/tensor/ops.hpp"
+#include "zipflm/tensor/simd.hpp"
 
 namespace zipflm {
 
@@ -60,40 +62,48 @@ void LstmLayer::forward(const std::vector<Tensor>& xs,
     gemm(prev_r, false, wh_.value, false, pre, 1.0f, 1.0f);
     add_bias_rows(pre, bias_.value);
 
-    // Gate nonlinearities in place: sigmoid on (i, f, o), tanh on g.
+    // Gate nonlinearities: the (i, f) and o gate blocks are contiguous
+    // per row, so each row is three vector spans — sigmoid on (i, f),
+    // tanh on g, sigmoid on o.
     sc.gates = Tensor({batch, 4 * h});
-    for (Index b = 0; b < batch; ++b) {
-      const auto zin = pre.row(b);
-      auto zout = sc.gates.row(b);
-      for (Index j = 0; j < 4 * h; ++j) {
-        const bool is_candidate = (j >= 2 * h && j < 3 * h);
-        const float z = zin[static_cast<std::size_t>(j)];
-        zout[static_cast<std::size_t>(j)] =
-            is_candidate ? std::tanh(z) : 1.0f / (1.0f + std::exp(-z));
-      }
+    const std::size_t hn = static_cast<std::size_t>(h);
+    {
+      const float* zin = pre.data().data();
+      float* zout = sc.gates.data().data();
+      ThreadPool::global().parallel_chunks(
+          static_cast<std::size_t>(batch),
+          [&](std::size_t bb, std::size_t be) {
+            for (std::size_t b = bb; b < be; ++b) {
+              const float* zi = zin + b * 4 * hn;
+              float* zo = zout + b * 4 * hn;
+              simd::sigmoid(zi, zo, 2 * hn);
+              simd::tanh_op(zi + 2 * hn, zo + 2 * hn, hn);
+              simd::sigmoid(zi + 3 * hn, zo + 3 * hn, hn);
+            }
+          },
+          /*grain=*/1);
     }
 
     // c_t = f ⊙ c_{t-1} + i ⊙ g;  h_t = o ⊙ tanh(c_t).
     sc.c = Tensor({batch, h});
     sc.tanh_c = Tensor({batch, h});
     sc.h = Tensor({batch, h});
-    for (Index b = 0; b < batch; ++b) {
-      const auto g4 = sc.gates.row(b);
-      const auto cp = prev_c.row(b);
-      auto c = sc.c.row(b);
-      auto tc = sc.tanh_c.row(b);
-      auto hh = sc.h.row(b);
-      for (Index j = 0; j < h; ++j) {
-        const float i_g = g4[static_cast<std::size_t>(j)];
-        const float f_g = g4[static_cast<std::size_t>(h + j)];
-        const float g_g = g4[static_cast<std::size_t>(2 * h + j)];
-        const float o_g = g4[static_cast<std::size_t>(3 * h + j)];
-        const float cv = f_g * cp[static_cast<std::size_t>(j)] + i_g * g_g;
-        c[static_cast<std::size_t>(j)] = cv;
-        const float tcv = std::tanh(cv);
-        tc[static_cast<std::size_t>(j)] = tcv;
-        hh[static_cast<std::size_t>(j)] = o_g * tcv;
-      }
+    {
+      const float* g4 = sc.gates.data().data();
+      const float* cp = prev_c.data().data();
+      float* c = sc.c.data().data();
+      float* tc = sc.tanh_c.data().data();
+      float* hh = sc.h.data().data();
+      ThreadPool::global().parallel_chunks(
+          static_cast<std::size_t>(batch),
+          [&](std::size_t bb, std::size_t be) {
+            for (std::size_t b = bb; b < be; ++b) {
+              const float* g = g4 + b * 4 * hn;
+              simd::lstm_cell(g, g + hn, g + 2 * hn, g + 3 * hn, cp + b * hn,
+                              c + b * hn, tc + b * hn, hh + b * hn, hn);
+            }
+          },
+          /*grain=*/1);
     }
 
     if (config_.proj_dim > 0) {
@@ -143,35 +153,27 @@ void LstmLayer::backward(const std::vector<Tensor>& dout,
 
     // Through h_t = o ⊙ tanh(c_t) and c_t = f ⊙ c_{t-1} + i ⊙ g.
     const Tensor& prev_c_val = ti > 0 ? cache_[ti - 1].c : zero_c;
-    for (Index b = 0; b < batch; ++b) {
-      const auto g4 = sc.gates.row(b);
-      const auto tc = sc.tanh_c.row(b);
-      const auto cp = prev_c_val.row(b);
-      const auto dhr = dh.row(b);
-      auto dcn = dc_next.row(b);
-      auto dzr = dz.row(b);
-      for (Index j = 0; j < h; ++j) {
-        const float i_g = g4[static_cast<std::size_t>(j)];
-        const float f_g = g4[static_cast<std::size_t>(h + j)];
-        const float g_g = g4[static_cast<std::size_t>(2 * h + j)];
-        const float o_g = g4[static_cast<std::size_t>(3 * h + j)];
-        const float tcv = tc[static_cast<std::size_t>(j)];
-        const float dh_j = dhr[static_cast<std::size_t>(j)];
-
-        const float do_g = dh_j * tcv;
-        const float dc =
-            dcn[static_cast<std::size_t>(j)] + dh_j * o_g * (1.0f - tcv * tcv);
-        const float di = dc * g_g;
-        const float df = dc * cp[static_cast<std::size_t>(j)];
-        const float dg = dc * i_g;
-
-        dzr[static_cast<std::size_t>(j)] = di * i_g * (1.0f - i_g);
-        dzr[static_cast<std::size_t>(h + j)] = df * f_g * (1.0f - f_g);
-        dzr[static_cast<std::size_t>(2 * h + j)] = dg * (1.0f - g_g * g_g);
-        dzr[static_cast<std::size_t>(3 * h + j)] = do_g * o_g * (1.0f - o_g);
-
-        dcn[static_cast<std::size_t>(j)] = dc * f_g;  // to step t-1
-      }
+    {
+      const std::size_t hn = static_cast<std::size_t>(h);
+      const float* g4 = sc.gates.data().data();
+      const float* tc = sc.tanh_c.data().data();
+      const float* cp = prev_c_val.data().data();
+      const float* dhp = dh.data().data();
+      float* dcn = dc_next.data().data();
+      float* dzp = dz.data().data();
+      ThreadPool::global().parallel_chunks(
+          static_cast<std::size_t>(batch),
+          [&](std::size_t bb, std::size_t be) {
+            for (std::size_t b = bb; b < be; ++b) {
+              const float* g = g4 + b * 4 * hn;
+              float* dzr = dzp + b * 4 * hn;
+              simd::lstm_cell_grad(g, g + hn, g + 2 * hn, g + 3 * hn,
+                                   tc + b * hn, cp + b * hn, dhp + b * hn,
+                                   dcn + b * hn, dzr, dzr + hn, dzr + 2 * hn,
+                                   dzr + 3 * hn, hn);
+            }
+          },
+          /*grain=*/1);
     }
 
     // Parameter gradients and input gradients.
@@ -204,30 +206,31 @@ void LstmLayer::step(const Tensor& x, Tensor& c, Tensor& r) const {
   add_bias_rows(pre, bias_.value);
 
   Tensor gates({batch, 4 * h});
-  for (Index b = 0; b < batch; ++b) {
-    const auto zin = pre.row(b);
-    auto zout = gates.row(b);
-    for (Index j = 0; j < 4 * h; ++j) {
-      const bool is_candidate = (j >= 2 * h && j < 3 * h);
-      const float z = zin[static_cast<std::size_t>(j)];
-      zout[static_cast<std::size_t>(j)] =
-          is_candidate ? std::tanh(z) : 1.0f / (1.0f + std::exp(-z));
+  const std::size_t hn = static_cast<std::size_t>(h);
+  {
+    const float* zin = pre.data().data();
+    float* zout = gates.data().data();
+    for (Index b = 0; b < batch; ++b) {
+      const float* zi = zin + static_cast<std::size_t>(b) * 4 * hn;
+      float* zo = zout + static_cast<std::size_t>(b) * 4 * hn;
+      simd::sigmoid(zi, zo, 2 * hn);
+      simd::tanh_op(zi + 2 * hn, zo + 2 * hn, hn);
+      simd::sigmoid(zi + 3 * hn, zo + 3 * hn, hn);
     }
   }
 
   Tensor hidden({batch, h});
-  for (Index b = 0; b < batch; ++b) {
-    const auto g4 = gates.row(b);
-    auto cr = c.row(b);  // read old cell, write new cell in place
-    auto hh = hidden.row(b);
-    for (Index j = 0; j < h; ++j) {
-      const float i_g = g4[static_cast<std::size_t>(j)];
-      const float f_g = g4[static_cast<std::size_t>(h + j)];
-      const float g_g = g4[static_cast<std::size_t>(2 * h + j)];
-      const float o_g = g4[static_cast<std::size_t>(3 * h + j)];
-      const float cv = f_g * cr[static_cast<std::size_t>(j)] + i_g * g_g;
-      cr[static_cast<std::size_t>(j)] = cv;
-      hh[static_cast<std::size_t>(j)] = o_g * std::tanh(cv);
+  Tensor tanh_c({batch, h});  // scratch: the cell kernel caches tanh(c)
+  {
+    const float* g4 = gates.data().data();
+    float* cr = c.data().data();  // read old cell, write new cell in place
+    float* tc = tanh_c.data().data();
+    float* hh = hidden.data().data();
+    for (Index bi = 0; bi < batch; ++bi) {
+      const std::size_t b = static_cast<std::size_t>(bi);
+      const float* g = g4 + b * 4 * hn;
+      simd::lstm_cell(g, g + hn, g + 2 * hn, g + 3 * hn, cr + b * hn,
+                      cr + b * hn, tc + b * hn, hh + b * hn, hn);
     }
   }
 

@@ -3,19 +3,117 @@
 #include <algorithm>
 #include <cmath>
 
+#include "zipflm/support/thread_pool.hpp"
 #include "zipflm/tensor/ops.hpp"
+#include "zipflm/tensor/simd.hpp"
 
 namespace zipflm {
 
+namespace {
+
+// Optimizer updates are elementwise, so they vectorize and chunk freely:
+// every split produces the same bytes.  The spans below keep the exact
+// per-element operation order of the scalar originals (clip, moment
+// update, bias-corrected step), with the bias-correction denominators
+// hoisted out of the loop — they depend only on the step count, and
+// recomputing std::pow per element dominated the old Adam step.
+
+template <class V>
+void sgd_span(float* value, const float* grad, std::size_t n, float lr,
+              float wd, float clip_limit) {
+  using Reg = typename V::Reg;
+  const bool use_clip = clip_limit > 0.0f;
+  const Reg lo = V::set1(-clip_limit);
+  const Reg hi = V::set1(clip_limit);
+  const Reg lrv = V::set1(lr);
+  const Reg wdv = V::set1(wd);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    Reg g = V::load(grad + i);
+    if (use_clip) g = V::min(V::max(g, lo), hi);
+    const Reg v = V::load(value + i);
+    V::store(value + i, V::sub(v, V::mul(lrv, V::add(g, V::mul(wdv, v)))));
+  }
+  for (; i < n; ++i) {
+    float g = grad[i];
+    if (use_clip) {
+      g = simd::ScalarOps::min(simd::ScalarOps::max(g, -clip_limit),
+                               clip_limit);
+    }
+    value[i] -= lr * (g + wd * value[i]);
+  }
+}
+
+template <class V>
+void adam_span(float* value, const float* grad, float* m, float* v,
+               std::size_t n, const Adam::Config& cfg, float bc1, float bc2) {
+  using Reg = typename V::Reg;
+  const bool use_clip = cfg.clip > 0.0f;
+  const Reg lo = V::set1(-cfg.clip);
+  const Reg hi = V::set1(cfg.clip);
+  const Reg b1 = V::set1(cfg.beta1);
+  const Reg ob1 = V::set1(1.0f - cfg.beta1);
+  const Reg b2 = V::set1(cfg.beta2);
+  const Reg ob2 = V::set1(1.0f - cfg.beta2);
+  const Reg bc1v = V::set1(bc1);
+  const Reg bc2v = V::set1(bc2);
+  const Reg epsv = V::set1(cfg.eps);
+  const Reg lrv = V::set1(cfg.lr);
+  const Reg wdv = V::set1(cfg.weight_decay);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    Reg g = V::load(grad + i);
+    if (use_clip) g = V::min(V::max(g, lo), hi);
+    const Reg mv = V::add(V::mul(b1, V::load(m + i)), V::mul(ob1, g));
+    const Reg vv =
+        V::add(V::mul(b2, V::load(v + i)), V::mul(V::mul(ob2, g), g));
+    V::store(m + i, mv);
+    V::store(v + i, vv);
+    const Reg mhat = V::div(mv, bc1v);
+    const Reg vhat = V::div(vv, bc2v);
+    const Reg val = V::load(value + i);
+    const Reg upd = V::add(V::div(mhat, V::add(V::sqrt_(vhat), epsv)),
+                           V::mul(wdv, val));
+    V::store(value + i, V::sub(val, V::mul(lrv, upd)));
+  }
+  for (; i < n; ++i) {
+    float g = grad[i];
+    if (use_clip) {
+      g = simd::ScalarOps::min(simd::ScalarOps::max(g, -cfg.clip), cfg.clip);
+    }
+    float& mi = m[i];
+    float& vi = v[i];
+    mi = cfg.beta1 * mi + (1.0f - cfg.beta1) * g;
+    vi = cfg.beta2 * vi + (1.0f - cfg.beta2) * g * g;
+    const float mhat = mi / bc1;
+    const float vhat = vi / bc2;
+    value[i] -= cfg.lr * (mhat / (std::sqrt(vhat) + cfg.eps) +
+                          cfg.weight_decay * value[i]);
+  }
+}
+
+template <class Fn>
+void dispatch_chunks(std::size_t n, const Fn& fn) {
+  ThreadPool::global().parallel_chunks(n, fn);
+}
+
+}  // namespace
+
 void Sgd::step(std::span<Param* const> params) {
+  const bool native = simd::active_backend() == simd::Backend::kNative;
   for (Param* p : params) {
-    if (clip_ > 0.0f) clip(p->grad, clip_);
     const float* g = p->grad.data().data();
     float* v = p->value.data().data();
-    const std::size_t n = p->value.data().size();
-    for (std::size_t i = 0; i < n; ++i) {
-      v[i] -= lr_ * (g[i] + weight_decay_ * v[i]);
-    }
+    dispatch_chunks(p->value.data().size(),
+                    [&](std::size_t b, std::size_t e) {
+                      if (native) {
+                        sgd_span<simd::NativeOps>(v + b, g + b, e - b, lr_,
+                                                  weight_decay_, clip_);
+                      } else {
+                        sgd_span<simd::ScalarOps>(v + b, g + b, e - b, lr_,
+                                                  weight_decay_, clip_);
+                      }
+                    });
   }
 }
 
@@ -25,15 +123,22 @@ void Sgd::step_rows(Param& table, const Tensor& rows,
                "sparse step row width must match the table");
   ZIPFLM_CHECK(rows.rows() == static_cast<Index>(ids.size()),
                "one id per gradient row");
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    auto src = rows.row(static_cast<Index>(i));
-    auto dst = table.value.row(ids[i]);
-    for (std::size_t j = 0; j < dst.size(); ++j) {
-      float g = src[j];
-      if (clip_ > 0.0f) g = std::clamp(g, -clip_, clip_);
-      dst[j] -= lr_ * (g + weight_decay_ * dst[j]);
+  const bool native = simd::active_backend() == simd::Backend::kNative;
+  const std::size_t width = static_cast<std::size_t>(table.value.cols());
+  const float* src = rows.data().data();
+  float* val = table.value.data().data();
+  // ids are unique (unique-exchange contract), so rows are independent.
+  dispatch_chunks(ids.size(), [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      float* dst = val + static_cast<std::size_t>(ids[i]) * width;
+      const float* g = src + i * width;
+      if (native) {
+        sgd_span<simd::NativeOps>(dst, g, width, lr_, weight_decay_, clip_);
+      } else {
+        sgd_span<simd::ScalarOps>(dst, g, width, lr_, weight_decay_, clip_);
+      }
     }
-  }
+  });
 }
 
 Adam::Moments& Adam::moments_for(const Param& p) {
@@ -47,30 +152,29 @@ Adam::Moments& Adam::moments_for(const Param& p) {
   return it->second;
 }
 
-void Adam::apply_element(float& value, float g, Moments& mo,
-                         std::size_t flat) {
-  if (cfg_.clip > 0.0f) g = std::clamp(g, -cfg_.clip, cfg_.clip);
-  float& m = mo.m.data()[flat];
-  float& v = mo.v.data()[flat];
-  m = cfg_.beta1 * m + (1.0f - cfg_.beta1) * g;
-  v = cfg_.beta2 * v + (1.0f - cfg_.beta2) * g * g;
-  const float bc1 =
-      1.0f - std::pow(cfg_.beta1, static_cast<float>(std::max<std::int64_t>(t_, 1)));
-  const float bc2 =
-      1.0f - std::pow(cfg_.beta2, static_cast<float>(std::max<std::int64_t>(t_, 1)));
-  const float mhat = m / bc1;
-  const float vhat = v / bc2;
-  value -= cfg_.lr * (mhat / (std::sqrt(vhat) + cfg_.eps) +
-                      cfg_.weight_decay * value);
-}
-
 void Adam::step(std::span<Param* const> params) {
+  const float t = static_cast<float>(std::max<std::int64_t>(t_, 1));
+  const float bc1 = 1.0f - std::pow(cfg_.beta1, t);
+  const float bc2 = 1.0f - std::pow(cfg_.beta2, t);
+  const bool native = simd::active_backend() == simd::Backend::kNative;
   for (Param* p : params) {
     Moments& mo = moments_for(*p);
     const float* g = p->grad.data().data();
     float* v = p->value.data().data();
-    const std::size_t n = p->value.data().size();
-    for (std::size_t i = 0; i < n; ++i) apply_element(v[i], g[i], mo, i);
+    float* m_p = mo.m.data().data();
+    float* v_p = mo.v.data().data();
+    dispatch_chunks(p->value.data().size(),
+                    [&](std::size_t b, std::size_t e) {
+                      if (native) {
+                        adam_span<simd::NativeOps>(v + b, g + b, m_p + b,
+                                                   v_p + b, e - b, cfg_, bc1,
+                                                   bc2);
+                      } else {
+                        adam_span<simd::ScalarOps>(v + b, g + b, m_p + b,
+                                                   v_p + b, e - b, cfg_, bc1,
+                                                   bc2);
+                      }
+                    });
   }
 }
 
@@ -81,16 +185,28 @@ void Adam::step_rows(Param& table, const Tensor& rows,
   ZIPFLM_CHECK(rows.rows() == static_cast<Index>(ids.size()),
                "one id per gradient row");
   Moments& mo = moments_for(table);
-  const Index width = table.value.cols();
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    auto src = rows.row(static_cast<Index>(i));
-    auto dst = table.value.row(ids[i]);
-    const std::size_t base =
-        static_cast<std::size_t>(ids[i]) * static_cast<std::size_t>(width);
-    for (std::size_t j = 0; j < dst.size(); ++j) {
-      apply_element(dst[j], src[j], mo, base + j);
+  const float t = static_cast<float>(std::max<std::int64_t>(t_, 1));
+  const float bc1 = 1.0f - std::pow(cfg_.beta1, t);
+  const float bc2 = 1.0f - std::pow(cfg_.beta2, t);
+  const bool native = simd::active_backend() == simd::Backend::kNative;
+  const std::size_t width = static_cast<std::size_t>(table.value.cols());
+  const float* src = rows.data().data();
+  float* val = table.value.data().data();
+  float* m_p = mo.m.data().data();
+  float* v_p = mo.v.data().data();
+  // ids are unique (unique-exchange contract), so rows are independent.
+  dispatch_chunks(ids.size(), [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      const std::size_t base = static_cast<std::size_t>(ids[i]) * width;
+      if (native) {
+        adam_span<simd::NativeOps>(val + base, src + i * width, m_p + base,
+                                   v_p + base, width, cfg_, bc1, bc2);
+      } else {
+        adam_span<simd::ScalarOps>(val + base, src + i * width, m_p + base,
+                                   v_p + base, width, cfg_, bc1, bc2);
+      }
     }
-  }
+  });
 }
 
 float scaled_learning_rate(float base_lr, int nodes, int epoch, float decay) {

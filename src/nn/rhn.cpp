@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "zipflm/support/thread_pool.hpp"
 #include "zipflm/tensor/ops.hpp"
+#include "zipflm/tensor/simd.hpp"
 
 namespace zipflm {
 
@@ -76,23 +78,21 @@ void RhnLayer::forward(const std::vector<Tensor>& xs,
       mc.h = Tensor({batch, h});
       mc.t = Tensor({batch, h});
       mc.s = Tensor({batch, h});
-      for (Index b = 0; b < batch; ++b) {
-        const auto ph = pre_h.row(b);
-        const auto pt = pre_t.row(b);
-        const auto sp = state.row(b);
-        auto hr = mc.h.row(b);
-        auto tr = mc.t.row(b);
-        auto srow = mc.s.row(b);
-        for (Index j = 0; j < h; ++j) {
-          const float hv = std::tanh(ph[static_cast<std::size_t>(j)]);
-          const float tv =
-              1.0f / (1.0f + std::exp(-pt[static_cast<std::size_t>(j)]));
-          hr[static_cast<std::size_t>(j)] = hv;
-          tr[static_cast<std::size_t>(j)] = tv;
-          srow[static_cast<std::size_t>(j)] =
-              hv * tv + sp[static_cast<std::size_t>(j)] * (1.0f - tv);
-        }
-      }
+      // The whole (batch, h) block is contiguous and the cell is purely
+      // elementwise, so it runs as one fused vector span.
+      const std::size_t cells =
+          static_cast<std::size_t>(batch) * static_cast<std::size_t>(h);
+      const float* ph = pre_h.data().data();
+      const float* pt = pre_t.data().data();
+      const float* sp = state.data().data();
+      float* hv = mc.h.data().data();
+      float* tv = mc.t.data().data();
+      float* sv = mc.s.data().data();
+      ThreadPool::global().parallel_chunks(
+          cells, [&](std::size_t cb, std::size_t ce) {
+            simd::rhn_cell(ph + cb, pt + cb, sp + cb, hv + cb, tv + cb,
+                           sv + cb, ce - cb);
+          });
       state = mc.s;
     }
     out[ti] = state;
@@ -131,26 +131,20 @@ void RhnLayer::backward(const std::vector<Tensor>& dout,
                 : (ti > 0 ? cache_[ti - 1].micro.back().s : zero_s);
 
       Tensor ds_prev({batch, h});
-      for (Index b = 0; b < batch; ++b) {
-        const auto hr = mc.h.row(b);
-        const auto tr = mc.t.row(b);
-        const auto spr = s_prev.row(b);
-        const auto dsr = ds.row(b);
-        auto dzhr = dzh.row(b);
-        auto dztr = dzt.row(b);
-        auto dspr = ds_prev.row(b);
-        for (Index j = 0; j < h; ++j) {
-          const float hv = hr[static_cast<std::size_t>(j)];
-          const float tv = tr[static_cast<std::size_t>(j)];
-          const float sv = spr[static_cast<std::size_t>(j)];
-          const float d = dsr[static_cast<std::size_t>(j)];
-          const float dh = d * tv;
-          const float dt = d * (hv - sv);
-          dzhr[static_cast<std::size_t>(j)] = dh * (1.0f - hv * hv);
-          dztr[static_cast<std::size_t>(j)] = dt * tv * (1.0f - tv);
-          dspr[static_cast<std::size_t>(j)] = d * (1.0f - tv);
-        }
-      }
+      const std::size_t cells =
+          static_cast<std::size_t>(batch) * static_cast<std::size_t>(h);
+      const float* hv = mc.h.data().data();
+      const float* tv = mc.t.data().data();
+      const float* sp = s_prev.data().data();
+      const float* dsr = ds.data().data();
+      float* dzhp = dzh.data().data();
+      float* dztp = dzt.data().data();
+      float* dspp = ds_prev.data().data();
+      ThreadPool::global().parallel_chunks(
+          cells, [&](std::size_t cb, std::size_t ce) {
+            simd::rhn_cell_grad(hv + cb, tv + cb, sp + cb, dsr + cb,
+                                dzhp + cb, dztp + cb, dspp + cb, ce - cb);
+          });
 
       gemm(s_prev, true, dzh, false, dp.rh.grad, 1.0f, 1.0f);
       gemm(s_prev, true, dzt, false, dp.rt.grad, 1.0f, 1.0f);
@@ -193,18 +187,10 @@ void RhnLayer::step(const Tensor& x, Tensor& s) const {
     add_bias_rows(pre_h, dp.bh.value);
     add_bias_rows(pre_t, dp.bt.value);
 
-    for (Index b = 0; b < batch; ++b) {
-      const auto ph = pre_h.row(b);
-      const auto pt = pre_t.row(b);
-      auto srow = s.row(b);  // read carry, write new state in place
-      for (Index j = 0; j < h; ++j) {
-        const float hv = std::tanh(ph[static_cast<std::size_t>(j)]);
-        const float tv =
-            1.0f / (1.0f + std::exp(-pt[static_cast<std::size_t>(j)]));
-        srow[static_cast<std::size_t>(j)] =
-            hv * tv + srow[static_cast<std::size_t>(j)] * (1.0f - tv);
-      }
-    }
+    // Same fused cell as forward(), applied to the carry in place.
+    simd::rhn_cell_inplace(
+        pre_h.data().data(), pre_t.data().data(), s.data().data(),
+        static_cast<std::size_t>(batch) * static_cast<std::size_t>(h));
   }
 }
 

@@ -1,0 +1,64 @@
+// Named wall-clock phase accumulators for coarse per-step profiling
+// (forward / backward / exchange / optimizer).  The registry is global
+// and mutex-protected: phases are milliseconds-scale regions, so one
+// lock per region is noise, and rank threads spawned by CommWorld can
+// report into the same table the benchmark main thread reads.
+//
+// This measures *real* kernel time on the host.  Simulated device time
+// (the paper's hours-per-epoch tables) lives in zipflm::sim instead.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "zipflm/support/stopwatch.hpp"
+
+namespace zipflm {
+
+class PhaseTimers {
+ public:
+  /// Add `seconds` to the accumulator for `name`.
+  static void add(const std::string& name, double seconds) {
+    std::scoped_lock lock(mutex());
+    table()[name] += seconds;
+  }
+
+  /// Accumulated seconds for `name` (0 if never reported).
+  static double seconds(const std::string& name) {
+    std::scoped_lock lock(mutex());
+    const auto it = table().find(name);
+    return it == table().end() ? 0.0 : it->second;
+  }
+
+  static void reset() {
+    std::scoped_lock lock(mutex());
+    table().clear();
+  }
+
+ private:
+  static std::mutex& mutex() {
+    static std::mutex m;
+    return m;
+  }
+  static std::map<std::string, double>& table() {
+    static std::map<std::string, double> t;
+    return t;
+  }
+};
+
+/// RAII phase region: accumulates its lifetime into PhaseTimers.
+class PhaseScope {
+ public:
+  explicit PhaseScope(const char* name) : name_(name) {}
+  ~PhaseScope() { PhaseTimers::add(name_, watch_.seconds()); }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  const char* name_;
+  Stopwatch watch_;
+};
+
+}  // namespace zipflm

@@ -1,13 +1,26 @@
 // Minimal fixed-size thread pool used for intra-"GPU" kernel parallelism
-// (blocked GEMM, elementwise sweeps).  Rank-level parallelism in comm/ uses
-// dedicated threads, not this pool, so the two levels never deadlock.
+// (blocked GEMM, elementwise sweeps, exchange reduce).  Rank-level
+// parallelism in comm/ uses dedicated threads, not this pool; if a rank
+// thread finds the pool busy it simply runs its loop serially inline, so
+// the two levels never deadlock and never contend.
+//
+// Dispatch is one atomic chunk counter per parallel region — not one
+// queue node per chunk — so a region costs one allocation (the shared
+// job record) instead of O(chunks) std::function heap nodes.  Workers
+// and the calling thread all claim chunks from the same counter.
+//
+// Determinism: the pool only ever *partitions* index space; kernels
+// built on it assign every output element to exactly one chunk, so the
+// per-element float-operation order is independent of the worker count
+// and of which thread executes which chunk.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -15,35 +28,67 @@ namespace zipflm {
 
 class ThreadPool {
  public:
-  /// threads == 0 selects hardware_concurrency (at least 1).
+  /// Below this many indices a region runs serially inline: one
+  /// mutex+cv wake costs roughly a few microseconds, which a loop body
+  /// of ~1-2 ns/index only amortizes in the multi-thousand range.
+  /// Callers whose per-index work is substantial (a gemm block, a
+  /// softmax row) pass an explicit smaller grain.
+  static constexpr std::size_t kDefaultGrain = 4096;
+
+  /// threads == 0 selects the ZIPFLM_THREADS environment override if
+  /// set, otherwise hardware_concurrency (at least 1).  The pool spawns
+  /// threads - 1 workers; the calling thread is the remaining lane.
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t size() const noexcept { return workers_.size(); }
+  /// Degree of parallelism (workers + the participating caller).
+  std::size_t size() const noexcept { return workers_.size() + 1; }
 
   /// Run fn(i) for i in [0, n) across the pool and block until done.
-  /// Falls back to a serial loop when n is small or the pool is size 1.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// Runs serially inline when n <= grain or the pool is busy with a
+  /// region submitted by another thread.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = kDefaultGrain);
 
-  /// Split [0, n) into contiguous chunks, one task per chunk:
-  /// fn(begin, end).  This is the form kernels actually want.
+  /// Split [0, n) into contiguous chunks of at most ceil(n / lanes)
+  /// indices (at least `grain` each) and run fn(begin, end) for every
+  /// chunk.  This is the form kernels actually want.
   void parallel_chunks(std::size_t n,
-                       const std::function<void(std::size_t, std::size_t)>& fn);
+                       const std::function<void(std::size_t, std::size_t)>& fn,
+                       std::size_t grain = kDefaultGrain);
 
-  /// Process-wide pool for kernels; created on first use.
+  /// Process-wide pool for kernels; created on first use (honouring
+  /// ZIPFLM_THREADS).
   static ThreadPool& global();
 
+  /// Replace the global pool (test / bench hook for determinism checks
+  /// across thread counts).  Not safe while kernels are running.
+  static void set_global_threads(std::size_t threads);
+
  private:
-  void submit(std::function<void()> task);
+  struct Job {
+    std::function<void(std::size_t, std::size_t)> fn;
+    std::size_t n = 0;
+    std::size_t chunk = 1;
+    std::size_t total = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+  };
+
   void worker_loop();
+  static void run_chunks(Job& job);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  std::atomic<bool> busy_{false};  // a region is in flight (or nested)
+
+  std::mutex mutex_;               // guards job_/seq_/stop_ and the cvs
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t seq_ = 0;
   bool stop_ = false;
 };
 

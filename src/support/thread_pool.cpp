@@ -1,19 +1,26 @@
 #include "zipflm/support/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <future>
+#include <cstdlib>
 
 #include "zipflm/support/error.hpp"
 
 namespace zipflm {
 
-ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+namespace {
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("ZIPFLM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
   }
-  workers_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
@@ -23,69 +30,118 @@ ThreadPool::~ThreadPool() {
     std::scoped_lock lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  wake_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-  {
-    std::scoped_lock lock(mutex_);
-    tasks_.push(std::move(task));
+void ThreadPool::run_chunks(Job& job) {
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.total) return;
+    const std::size_t begin = c * job.chunk;
+    const std::size_t end = std::min(job.n, begin + job.chunk);
+    job.fn(begin, end);
+    job.done.fetch_add(1, std::memory_order_acq_rel);
   }
-  cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
+  std::uint64_t last_seen = 0;
   for (;;) {
-    std::function<void()> task;
+    std::shared_ptr<Job> job;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      wake_cv_.wait(lock, [&] { return stop_ || seq_ != last_seen; });
+      if (stop_) return;
+      last_seen = seq_;
+      job = job_;  // own a reference: a stale claim can never touch a
+                   // newer job's counters
     }
-    task();
+    if (!job) continue;
+    run_chunks(*job);
+    if (job->done.load(std::memory_order_acquire) == job->total) {
+      // Possibly the last finisher: wake the submitting thread.
+      std::scoped_lock lock(mutex_);
+      done_cv_.notify_all();
+    }
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
-  parallel_chunks(n, [&fn](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-  });
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  parallel_chunks(
+      n,
+      [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      },
+      grain);
 }
 
 void ThreadPool::parallel_chunks(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
   if (n == 0) return;
-  const std::size_t workers = size();
-  // Small trip counts are cheaper serial than through the queue.
-  if (workers <= 1 || n < 2048) {
+  // Serial fast path: nothing to share with, or too little work to pay
+  // for a wake-up (see kDefaultGrain).
+  if (workers_.empty() || n <= std::max<std::size_t>(grain, 1)) {
     fn(0, n);
     return;
   }
-  const std::size_t chunks = std::min(workers, n);
-  const std::size_t per = (n + chunks - 1) / chunks;
-  std::atomic<std::size_t> remaining{chunks};
-  std::promise<void> done;
-  auto future = done.get_future();
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = c * per;
-    const std::size_t end = std::min(n, begin + per);
-    submit([&, begin, end] {
-      fn(begin, end);
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        done.set_value();
-      }
-    });
+  // One region at a time.  A concurrent submitter (another rank thread)
+  // or a nested call from inside a chunk runs serially inline — same
+  // result, no deadlock.
+  if (busy_.exchange(true, std::memory_order_acquire)) {
+    fn(0, n);
+    return;
   }
-  future.wait();
+
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->n = n;
+  const std::size_t lanes = size();
+  job->chunk =
+      std::max(std::max<std::size_t>(grain, 1), (n + lanes - 1) / lanes);
+  job->total = (n + job->chunk - 1) / job->chunk;
+  {
+    std::scoped_lock lock(mutex_);
+    job_ = job;
+    ++seq_;
+  }
+  wake_cv_.notify_all();
+
+  run_chunks(*job);  // the caller is a lane too
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->total;
+    });
+    job_.reset();
+  }
+  busy_.store(false, std::memory_order_release);
 }
 
-ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+namespace {
+std::mutex& global_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
   return pool;
+}
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::scoped_lock lock(global_mutex());
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  std::scoped_lock lock(global_mutex());
+  global_slot() = std::make_unique<ThreadPool>(threads);
 }
 
 }  // namespace zipflm

@@ -1,0 +1,753 @@
+// Vectorized kernel substrate: compile-time-detected AVX2 / SSE2 lanes
+// with a portable scalar fallback, plus the span-level kernels the hot
+// loops (gemm, softmax, activations, casts, exchange reduce, optimizer)
+// are built on.
+//
+// Two invariants make this layer safe to drop underneath the PR-1
+// bitwise-determinism contract:
+//
+//  1. Every instruction used is exactly rounded in IEEE-754 binary32
+//     (add/sub/mul/div/sqrt/min/max/floor) or exact (bit casts, integer
+//     shifts).  No FMA is ever emitted: mul-then-add is written as two
+//     intrinsics and the build pins -ffp-contract=off, so a lane
+//     performs the *identical* float-operation sequence a scalar loop
+//     would.  Elementwise kernels are therefore bitwise identical
+//     across AVX2, SSE2, and the scalar fallback.
+//
+//  2. Reductions (sums, dot products, maxima) always use the same
+//     fixed 8-lane accumulator layout regardless of register width:
+//     element i feeds conceptual lane (i mod 8), and the lanes are
+//     combined with one fixed tree (l[j]+l[j+4], then +2, then +1).
+//     AVX2 holds the 8 lanes in one register, SSE2 in two, the scalar
+//     fallback in eight variables — same additions, same order, same
+//     bits.  This also makes reductions independent of how work is
+//     chunked, because chunk boundaries in our kernels always fall on
+//     whole rows / whole output elements.
+//
+// Runtime backend switch: set ZIPFLM_SIMD=scalar (or call
+// set_backend(Backend::kScalar)) to route every dispatched kernel
+// through the scalar twin — used by the determinism tests to prove (1)
+// and (2) hold on the machine at hand.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__AVX2__)
+#define ZIPFLM_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__)
+#define ZIPFLM_SIMD_SSE2 1
+#include <immintrin.h>
+#endif
+
+namespace zipflm::simd {
+
+// ---------------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------------
+
+enum class Backend : std::uint8_t { kNative, kScalar };
+
+namespace detail {
+inline Backend initial_backend() {
+  const char* env = std::getenv("ZIPFLM_SIMD");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return Backend::kScalar;
+  }
+  return Backend::kNative;
+}
+inline Backend& backend_slot() {
+  static Backend b = initial_backend();
+  return b;
+}
+}  // namespace detail
+
+inline Backend active_backend() { return detail::backend_slot(); }
+inline void set_backend(Backend b) { detail::backend_slot() = b; }
+
+/// Human-readable name of the native instruction set this binary was
+/// compiled for (what Backend::kNative dispatches to).
+inline const char* native_isa() {
+#if defined(ZIPFLM_SIMD_AVX2)
+  return "avx2";
+#elif defined(ZIPFLM_SIMD_SSE2)
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Vector op sets.  V::Reg is the register type, V::kWidth the lane
+// count; all ops are exactly rounded so lane results equal scalar
+// results bit for bit.
+// ---------------------------------------------------------------------------
+
+struct ScalarOps {
+  using Reg = float;
+  static constexpr std::size_t kWidth = 1;
+  static Reg load(const float* p) { return *p; }
+  static void store(float* p, Reg r) { *p = r; }
+  static Reg set1(float v) { return v; }
+  static Reg zero() { return 0.0f; }
+  static Reg add(Reg a, Reg b) { return a + b; }
+  static Reg sub(Reg a, Reg b) { return a - b; }
+  static Reg mul(Reg a, Reg b) { return a * b; }
+  static Reg div(Reg a, Reg b) { return a / b; }
+  // Scalar twins of MINPS/MAXPS: return b on ties and NaN in a.
+  static Reg min(Reg a, Reg b) { return a < b ? a : b; }
+  static Reg max(Reg a, Reg b) { return a > b ? a : b; }
+  static Reg floor_(Reg a) { return std::floor(a); }
+  static Reg sqrt_(Reg a) { return std::sqrt(a); }
+  /// 2^n for integer-valued n in [-127, 128], via exponent bits.  128
+  /// maps to +inf, anything at or below -127 flushes to +0 — matching
+  /// the vector backends exactly.
+  static Reg pow2i(Reg n) {
+    const std::int32_t i = static_cast<std::int32_t>(n);
+    const std::uint32_t bits =
+        i <= -127 ? 0u
+                  : static_cast<std::uint32_t>((i + 127) << 23);
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+  }
+};
+
+#if defined(ZIPFLM_SIMD_AVX2)
+struct NativeOps {
+  using Reg = __m256;
+  static constexpr std::size_t kWidth = 8;
+  static Reg load(const float* p) { return _mm256_loadu_ps(p); }
+  static void store(float* p, Reg r) { _mm256_storeu_ps(p, r); }
+  static Reg set1(float v) { return _mm256_set1_ps(v); }
+  static Reg zero() { return _mm256_setzero_ps(); }
+  static Reg add(Reg a, Reg b) { return _mm256_add_ps(a, b); }
+  static Reg sub(Reg a, Reg b) { return _mm256_sub_ps(a, b); }
+  static Reg mul(Reg a, Reg b) { return _mm256_mul_ps(a, b); }
+  static Reg div(Reg a, Reg b) { return _mm256_div_ps(a, b); }
+  static Reg min(Reg a, Reg b) { return _mm256_min_ps(a, b); }
+  static Reg max(Reg a, Reg b) { return _mm256_max_ps(a, b); }
+  static Reg floor_(Reg a) { return _mm256_floor_ps(a); }
+  static Reg sqrt_(Reg a) { return _mm256_sqrt_ps(a); }
+  static Reg pow2i(Reg n) {
+    const __m256i i = _mm256_cvttps_epi32(n);
+    // (i + 127) << 23; lanes <= -127 would shift garbage into the sign,
+    // so clamp them to the zero pattern first.
+    const __m256i biased = _mm256_add_epi32(i, _mm256_set1_epi32(127));
+    const __m256i ok = _mm256_cmpgt_epi32(biased, _mm256_setzero_si256());
+    const __m256i bits =
+        _mm256_and_si256(_mm256_slli_epi32(biased, 23), ok);
+    return _mm256_castsi256_ps(bits);
+  }
+};
+#elif defined(ZIPFLM_SIMD_SSE2)
+struct NativeOps {
+  using Reg = __m128;
+  static constexpr std::size_t kWidth = 4;
+  static Reg load(const float* p) { return _mm_loadu_ps(p); }
+  static void store(float* p, Reg r) { _mm_storeu_ps(p, r); }
+  static Reg set1(float v) { return _mm_set1_ps(v); }
+  static Reg zero() { return _mm_setzero_ps(); }
+  static Reg add(Reg a, Reg b) { return _mm_add_ps(a, b); }
+  static Reg sub(Reg a, Reg b) { return _mm_sub_ps(a, b); }
+  static Reg mul(Reg a, Reg b) { return _mm_mul_ps(a, b); }
+  static Reg div(Reg a, Reg b) { return _mm_div_ps(a, b); }
+  static Reg min(Reg a, Reg b) { return _mm_min_ps(a, b); }
+  static Reg max(Reg a, Reg b) { return _mm_max_ps(a, b); }
+  static Reg floor_(Reg a) {
+#if defined(__SSE4_1__)
+    return _mm_floor_ps(a);
+#else
+    // Truncate, then subtract 1 where truncation rounded toward zero on
+    // a negative input.  Exact for |a| < 2^31 (all our exp arguments).
+    const __m128 t = _mm_cvtepi32_ps(_mm_cvttps_epi32(a));
+    const __m128 adj = _mm_and_ps(_mm_cmpgt_ps(t, a), _mm_set1_ps(1.0f));
+    return _mm_sub_ps(t, adj);
+#endif
+  }
+  static Reg sqrt_(Reg a) { return _mm_sqrt_ps(a); }
+  static Reg pow2i(Reg n) {
+    const __m128i i = _mm_cvttps_epi32(n);
+    const __m128i biased = _mm_add_epi32(i, _mm_set1_epi32(127));
+    const __m128i ok = _mm_cmpgt_epi32(biased, _mm_setzero_si128());
+    const __m128i bits = _mm_and_si128(_mm_slli_epi32(biased, 23), ok);
+    return _mm_castsi128_ps(bits);
+  }
+};
+#else
+using NativeOps = ScalarOps;
+#endif
+
+// ---------------------------------------------------------------------------
+// exp / sigmoid / tanh: cephes-style degree-5 polynomial (the
+// sse_mathfun lineage), built from exactly-rounded ops only — identical
+// bits on every backend.  Absolute error vs libm expf is ~2 ulp.
+// Arguments beyond +-88.376 saturate (to +inf / +0), which is benign
+// for every caller here: softmax feeds exp(x - max) <= 0 and the
+// sigmoid/tanh forms below turn the saturations into exact 0/1 limits.
+// ---------------------------------------------------------------------------
+
+template <class V>
+inline typename V::Reg exp_reg(typename V::Reg x) {
+  using R = typename V::Reg;
+  x = V::min(x, V::set1(88.3762626647949f));
+  x = V::max(x, V::set1(-88.3762626647949f));
+  // n = floor(x * log2(e) + 0.5); reduce with ln2 split in two parts so
+  // the reduced argument keeps full precision.
+  const R fx =
+      V::floor_(V::add(V::mul(x, V::set1(1.44269504088896341f)),
+                       V::set1(0.5f)));
+  x = V::sub(x, V::mul(fx, V::set1(0.693359375f)));
+  x = V::sub(x, V::mul(fx, V::set1(-2.12194440e-4f)));
+  R y = V::set1(1.9875691500e-4f);
+  y = V::add(V::mul(y, x), V::set1(1.3981999507e-3f));
+  y = V::add(V::mul(y, x), V::set1(8.3334519073e-3f));
+  y = V::add(V::mul(y, x), V::set1(4.1665795894e-2f));
+  y = V::add(V::mul(y, x), V::set1(1.6666665459e-1f));
+  y = V::add(V::mul(y, x), V::set1(5.0000001201e-1f));
+  const R z = V::mul(x, x);
+  y = V::add(V::add(V::mul(y, z), x), V::set1(1.0f));
+  return V::mul(y, V::pow2i(fx));
+}
+
+template <class V>
+inline typename V::Reg sigmoid_reg(typename V::Reg x) {
+  const typename V::Reg one = V::set1(1.0f);
+  return V::div(one, V::add(one, exp_reg<V>(V::sub(V::zero(), x))));
+}
+
+template <class V>
+inline typename V::Reg tanh_reg(typename V::Reg x) {
+  // tanh(x) = 1 - 2 / (exp(2x) + 1); exp saturation gives exact +-1.
+  const typename V::Reg one = V::set1(1.0f);
+  return V::sub(one,
+                V::div(V::set1(2.0f),
+                       V::add(exp_reg<V>(V::add(x, x)), one)));
+}
+
+/// Scalar exp with the polynomial above — the lane-faithful reference.
+inline float exp_scalar(float x) { return exp_reg<ScalarOps>(x); }
+
+// ---------------------------------------------------------------------------
+// Fixed 8-lane reduction accumulator (invariant 2 above).
+// ---------------------------------------------------------------------------
+
+inline constexpr std::size_t kAccLanes = 8;
+
+template <class V>
+struct Acc8 {
+  static constexpr std::size_t kPacks = kAccLanes / V::kWidth;
+  typename V::Reg acc[kPacks];
+
+  void fill(float v) {
+    for (std::size_t p = 0; p < kPacks; ++p) acc[p] = V::set1(v);
+  }
+  /// lanes[j] += x[j] for j in [0, 8).
+  void add_block(const float* x) {
+    for (std::size_t p = 0; p < kPacks; ++p) {
+      acc[p] = V::add(acc[p], V::load(x + p * V::kWidth));
+    }
+  }
+  /// lanes[j] += a[j] * b[j] (two rounded ops, never an FMA).
+  void mul_add_block(const float* a, const float* b) {
+    for (std::size_t p = 0; p < kPacks; ++p) {
+      acc[p] = V::add(acc[p], V::mul(V::load(a + p * V::kWidth),
+                                     V::load(b + p * V::kWidth)));
+    }
+  }
+  void max_block(const float* x) {
+    for (std::size_t p = 0; p < kPacks; ++p) {
+      acc[p] = V::max(acc[p], V::load(x + p * V::kWidth));
+    }
+  }
+  void store(float* lanes) const {
+    for (std::size_t p = 0; p < kPacks; ++p) {
+      V::store(lanes + p * V::kWidth, acc[p]);
+    }
+  }
+};
+
+/// The one combine tree every reduction uses.
+inline float combine_sum8(const float lanes[kAccLanes]) {
+  const float m0 = lanes[0] + lanes[4];
+  const float m1 = lanes[1] + lanes[5];
+  const float m2 = lanes[2] + lanes[6];
+  const float m3 = lanes[3] + lanes[7];
+  const float n0 = m0 + m2;
+  const float n1 = m1 + m3;
+  return n0 + n1;
+}
+
+inline float combine_max8(const float lanes[kAccLanes]) {
+  const auto mx = [](float a, float b) { return a > b ? a : b; };
+  const float m0 = mx(lanes[0], lanes[4]);
+  const float m1 = mx(lanes[1], lanes[5]);
+  const float m2 = mx(lanes[2], lanes[6]);
+  const float m3 = mx(lanes[3], lanes[7]);
+  return mx(mx(m0, m2), mx(m1, m3));
+}
+
+// ---------------------------------------------------------------------------
+// Span kernels (templates).  Elementwise kernels process full packs
+// then finish the tail with ScalarOps — per-element results do not
+// depend on lane position, so any width gives the same bits.
+// Reduction kernels walk blocks of 8 and fold the tail into lanes
+// [0, n mod 8) before the combine tree.
+// ---------------------------------------------------------------------------
+
+template <class V>
+void add_span(float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    V::store(dst + i, V::add(V::load(dst + i), V::load(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+template <class V>
+void axpy_span(float a, const float* x, float* y, std::size_t n) {
+  const typename V::Reg av = V::set1(a);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    V::store(y + i, V::add(V::load(y + i), V::mul(av, V::load(x + i))));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+template <class V>
+void scale_span(float* x, float a, std::size_t n) {
+  const typename V::Reg av = V::set1(a);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    V::store(x + i, V::mul(V::load(x + i), av));
+  }
+  for (; i < n; ++i) x[i] *= a;
+}
+
+template <class V>
+void hadamard_span(const float* x, const float* y, float* z, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    V::store(z + i, V::mul(V::load(x + i), V::load(y + i)));
+  }
+  for (; i < n; ++i) z[i] = x[i] * y[i];
+}
+
+template <class V>
+void sigmoid_span(const float* x, float* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    V::store(y + i, sigmoid_reg<V>(V::load(x + i)));
+  }
+  for (; i < n; ++i) y[i] = sigmoid_reg<ScalarOps>(x[i]);
+}
+
+template <class V>
+void tanh_span(const float* x, float* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    V::store(y + i, tanh_reg<V>(V::load(x + i)));
+  }
+  for (; i < n; ++i) y[i] = tanh_reg<ScalarOps>(x[i]);
+}
+
+template <class V>
+void relu_span(const float* x, float* y, std::size_t n) {
+  const typename V::Reg z = V::zero();
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    V::store(y + i, V::max(z, V::load(x + i)));
+  }
+  for (; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+/// dy *= y * (1 - y)   (written as dy = f(y) matching the Tensor op).
+template <class V>
+void sigmoid_grad_span(const float* y, float* dy, std::size_t n) {
+  const typename V::Reg one = V::set1(1.0f);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    const typename V::Reg yv = V::load(y + i);
+    V::store(dy + i, V::mul(yv, V::sub(one, yv)));
+  }
+  for (; i < n; ++i) dy[i] = y[i] * (1.0f - y[i]);
+}
+
+template <class V>
+void tanh_grad_span(const float* y, float* dy, std::size_t n) {
+  const typename V::Reg one = V::set1(1.0f);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    const typename V::Reg yv = V::load(y + i);
+    V::store(dy + i, V::sub(one, V::mul(yv, yv)));
+  }
+  for (; i < n; ++i) dy[i] = 1.0f - y[i] * y[i];
+}
+
+template <class V>
+void clip_span(float* x, float limit, std::size_t n) {
+  const typename V::Reg lo = V::set1(-limit);
+  const typename V::Reg hi = V::set1(limit);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    V::store(x + i, V::min(V::max(V::load(x + i), lo), hi));
+  }
+  for (; i < n; ++i) {
+    const float v = x[i] > -limit ? x[i] : -limit;
+    x[i] = v < limit ? v : limit;
+  }
+}
+
+template <class V>
+float reduce_max_span(const float* x, std::size_t n, float init) {
+  Acc8<V> acc;
+  acc.fill(init);
+  const std::size_t n8 = n & ~(kAccLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kAccLanes) acc.max_block(x + i);
+  float lanes[kAccLanes];
+  acc.store(lanes);
+  for (std::size_t j = 0; j < n - n8; ++j) {
+    lanes[j] = x[n8 + j] > lanes[j] ? x[n8 + j] : lanes[j];
+  }
+  return combine_max8(lanes);
+}
+
+template <class V>
+float sum_span(const float* x, std::size_t n) {
+  Acc8<V> acc;
+  acc.fill(0.0f);
+  const std::size_t n8 = n & ~(kAccLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kAccLanes) acc.add_block(x + i);
+  float lanes[kAccLanes];
+  acc.store(lanes);
+  for (std::size_t j = 0; j < n - n8; ++j) lanes[j] += x[n8 + j];
+  return combine_sum8(lanes);
+}
+
+template <class V>
+float dot_span(const float* a, const float* b, std::size_t n) {
+  Acc8<V> acc;
+  acc.fill(0.0f);
+  const std::size_t n8 = n & ~(kAccLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kAccLanes) {
+    acc.mul_add_block(a + i, b + i);
+  }
+  float lanes[kAccLanes];
+  acc.store(lanes);
+  for (std::size_t j = 0; j < n - n8; ++j) {
+    lanes[j] += a[n8 + j] * b[n8 + j];
+  }
+  return combine_sum8(lanes);
+}
+
+template <class V>
+float sum_sq_span(const float* x, std::size_t n) {
+  return dot_span<V>(x, x, n);
+}
+
+template <class V>
+float max_abs_span(const float* x, std::size_t n) {
+  // |x| as max(x, -x): exact, and the 8-lane layout keeps the fold
+  // order fixed.  Seeded with 0 like the scalar original.
+  Acc8<V> acc;
+  acc.fill(0.0f);
+  const std::size_t n8 = n & ~(kAccLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kAccLanes) {
+    for (std::size_t p = 0; p < Acc8<V>::kPacks; ++p) {
+      const typename V::Reg v = V::load(x + i + p * V::kWidth);
+      acc.acc[p] = V::max(acc.acc[p], V::max(v, V::sub(V::zero(), v)));
+    }
+  }
+  float lanes[kAccLanes];
+  acc.store(lanes);
+  for (std::size_t j = 0; j < n - n8; ++j) {
+    const float v = x[n8 + j];
+    const float a = v > -v ? v : -v;
+    lanes[j] = a > lanes[j] ? a : lanes[j];
+  }
+  return combine_max8(lanes);
+}
+
+/// out[i] = exp(x[i] - mx); returns the fixed-tree sum of the outputs.
+/// The single pass both materializes the numerators and accumulates the
+/// softmax denominator.
+template <class V>
+float exp_sub_sum_span(const float* x, float* out, float mx, std::size_t n) {
+  const typename V::Reg mv = V::set1(mx);
+  Acc8<V> acc;
+  acc.fill(0.0f);
+  const std::size_t n8 = n & ~(kAccLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kAccLanes) {
+    for (std::size_t p = 0; p < Acc8<V>::kPacks; ++p) {
+      const typename V::Reg e =
+          exp_reg<V>(V::sub(V::load(x + i + p * V::kWidth), mv));
+      V::store(out + i + p * V::kWidth, e);
+      acc.acc[p] = V::add(acc.acc[p], e);
+    }
+  }
+  float lanes[kAccLanes];
+  acc.store(lanes);
+  for (std::size_t j = 0; j < n - n8; ++j) {
+    const float e = exp_reg<ScalarOps>(x[n8 + j] - mx);
+    out[n8 + j] = e;
+    lanes[j] += e;
+  }
+  return combine_sum8(lanes);
+}
+
+/// y[i] = x[i] - c  (log-softmax second pass).
+template <class V>
+void sub_const_span(const float* x, float* y, float c, std::size_t n) {
+  const typename V::Reg cv = V::set1(c);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    V::store(y + i, V::sub(V::load(x + i), cv));
+  }
+  for (; i < n; ++i) y[i] = x[i] - c;
+}
+
+// ---------------------------------------------------------------------------
+// Fused recurrent cells (RHN / LSTM) — elementwise, so backend-exact.
+// ---------------------------------------------------------------------------
+
+/// RHN micro-layer: h = tanh(ph), t = sigmoid(pt),
+/// s = h*t + sp*(1-t).  h/t are cached for backward.
+template <class V>
+void rhn_cell_span(const float* ph, const float* pt, const float* sp,
+                   float* h, float* t, float* s, std::size_t n) {
+  const typename V::Reg one = V::set1(1.0f);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    const typename V::Reg hv = tanh_reg<V>(V::load(ph + i));
+    const typename V::Reg tv = sigmoid_reg<V>(V::load(pt + i));
+    V::store(h + i, hv);
+    V::store(t + i, tv);
+    V::store(s + i, V::add(V::mul(hv, tv),
+                           V::mul(V::load(sp + i), V::sub(one, tv))));
+  }
+  for (; i < n; ++i) {
+    const float hv = tanh_reg<ScalarOps>(ph[i]);
+    const float tv = sigmoid_reg<ScalarOps>(pt[i]);
+    h[i] = hv;
+    t[i] = tv;
+    s[i] = hv * tv + sp[i] * (1.0f - tv);
+  }
+}
+
+/// Inference variant: carry state updated in place, no caches.
+template <class V>
+void rhn_cell_inplace_span(const float* ph, const float* pt, float* s,
+                           std::size_t n) {
+  const typename V::Reg one = V::set1(1.0f);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    const typename V::Reg hv = tanh_reg<V>(V::load(ph + i));
+    const typename V::Reg tv = sigmoid_reg<V>(V::load(pt + i));
+    V::store(s + i, V::add(V::mul(hv, tv),
+                           V::mul(V::load(s + i), V::sub(one, tv))));
+  }
+  for (; i < n; ++i) {
+    const float hv = tanh_reg<ScalarOps>(ph[i]);
+    const float tv = sigmoid_reg<ScalarOps>(pt[i]);
+    s[i] = hv * tv + s[i] * (1.0f - tv);
+  }
+}
+
+/// RHN micro-layer backward: given cached h/t, entering state sp and
+/// downstream gradient d, produce the pre-activation gradients and the
+/// carry gradient (same operation order as the scalar original).
+template <class V>
+void rhn_cell_grad_span(const float* h, const float* t, const float* sp,
+                        const float* d, float* dzh, float* dzt, float* dsp,
+                        std::size_t n) {
+  const typename V::Reg one = V::set1(1.0f);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    const typename V::Reg hv = V::load(h + i);
+    const typename V::Reg tv = V::load(t + i);
+    const typename V::Reg sv = V::load(sp + i);
+    const typename V::Reg dv = V::load(d + i);
+    const typename V::Reg dh = V::mul(dv, tv);
+    const typename V::Reg dt = V::mul(dv, V::sub(hv, sv));
+    V::store(dzh + i, V::mul(dh, V::sub(one, V::mul(hv, hv))));
+    V::store(dzt + i, V::mul(V::mul(dt, tv), V::sub(one, tv)));
+    V::store(dsp + i, V::mul(dv, V::sub(one, tv)));
+  }
+  for (; i < n; ++i) {
+    const float hv = h[i];
+    const float tv = t[i];
+    const float dh = d[i] * tv;
+    const float dt = d[i] * (hv - sp[i]);
+    dzh[i] = dh * (1.0f - hv * hv);
+    dzt[i] = dt * tv * (1.0f - tv);
+    dsp[i] = d[i] * (1.0f - tv);
+  }
+}
+
+/// LSTM cell update from gate activations (i, f, g, o laid out as four
+/// n-length segments): c = f*cp + i*g, tc = tanh(c), h = o*tc.
+template <class V>
+void lstm_cell_span(const float* ig, const float* fg, const float* gg,
+                    const float* og, const float* cp, float* c, float* tc,
+                    float* h, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    const typename V::Reg cv =
+        V::add(V::mul(V::load(fg + i), V::load(cp + i)),
+               V::mul(V::load(ig + i), V::load(gg + i)));
+    V::store(c + i, cv);
+    const typename V::Reg tcv = tanh_reg<V>(cv);
+    V::store(tc + i, tcv);
+    V::store(h + i, V::mul(V::load(og + i), tcv));
+  }
+  for (; i < n; ++i) {
+    const float cv = fg[i] * cp[i] + ig[i] * gg[i];
+    c[i] = cv;
+    const float tcv = tanh_reg<ScalarOps>(cv);
+    tc[i] = tcv;
+    h[i] = og[i] * tcv;
+  }
+}
+
+/// LSTM cell backward: dz segments get the pre-activation gradients,
+/// dcn is the carry gradient (read for step t, rewritten for t-1).
+template <class V>
+void lstm_cell_grad_span(const float* ig, const float* fg, const float* gg,
+                         const float* og, const float* tc, const float* cp,
+                         const float* dh, float* dcn, float* dzi, float* dzf,
+                         float* dzg, float* dzo, std::size_t n) {
+  const typename V::Reg one = V::set1(1.0f);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    const typename V::Reg iv = V::load(ig + i);
+    const typename V::Reg fv = V::load(fg + i);
+    const typename V::Reg gv = V::load(gg + i);
+    const typename V::Reg ov = V::load(og + i);
+    const typename V::Reg tcv = V::load(tc + i);
+    const typename V::Reg dhv = V::load(dh + i);
+    const typename V::Reg dov = V::mul(dhv, tcv);
+    const typename V::Reg dc =
+        V::add(V::load(dcn + i),
+               V::mul(V::mul(dhv, ov), V::sub(one, V::mul(tcv, tcv))));
+    const typename V::Reg di = V::mul(dc, gv);
+    const typename V::Reg df = V::mul(dc, V::load(cp + i));
+    const typename V::Reg dg = V::mul(dc, iv);
+    V::store(dzi + i, V::mul(V::mul(di, iv), V::sub(one, iv)));
+    V::store(dzf + i, V::mul(V::mul(df, fv), V::sub(one, fv)));
+    V::store(dzg + i, V::mul(dg, V::sub(one, V::mul(gv, gv))));
+    V::store(dzo + i, V::mul(V::mul(dov, ov), V::sub(one, ov)));
+    V::store(dcn + i, V::mul(dc, fv));
+  }
+  for (; i < n; ++i) {
+    const float iv = ig[i];
+    const float fv = fg[i];
+    const float gv = gg[i];
+    const float ov = og[i];
+    const float tcv = tc[i];
+    const float dhv = dh[i];
+    const float dov = dhv * tcv;
+    const float dc = dcn[i] + dhv * ov * (1.0f - tcv * tcv);
+    dzi[i] = dc * gv * iv * (1.0f - iv);
+    dzf[i] = dc * cp[i] * fv * (1.0f - fv);
+    dzg[i] = dc * iv * (1.0f - gv * gv);
+    dzo[i] = dov * ov * (1.0f - ov);
+    dcn[i] = dc * fv;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points: route to the native ISA or the scalar twin
+// depending on the active backend.  One branch per span-level call.
+// ---------------------------------------------------------------------------
+
+#define ZIPFLM_SIMD_DISPATCH(fn, ...)                       \
+  (::zipflm::simd::active_backend() == Backend::kNative     \
+       ? fn<NativeOps>(__VA_ARGS__)                         \
+       : fn<ScalarOps>(__VA_ARGS__))
+
+inline void add_inplace(float* dst, const float* src, std::size_t n) {
+  ZIPFLM_SIMD_DISPATCH(add_span, dst, src, n);
+}
+inline void axpy(float a, const float* x, float* y, std::size_t n) {
+  ZIPFLM_SIMD_DISPATCH(axpy_span, a, x, y, n);
+}
+inline void scale(float* x, float a, std::size_t n) {
+  ZIPFLM_SIMD_DISPATCH(scale_span, x, a, n);
+}
+inline void hadamard(const float* x, const float* y, float* z,
+                     std::size_t n) {
+  ZIPFLM_SIMD_DISPATCH(hadamard_span, x, y, z, n);
+}
+inline void sigmoid(const float* x, float* y, std::size_t n) {
+  ZIPFLM_SIMD_DISPATCH(sigmoid_span, x, y, n);
+}
+inline void tanh_op(const float* x, float* y, std::size_t n) {
+  ZIPFLM_SIMD_DISPATCH(tanh_span, x, y, n);
+}
+inline void relu(const float* x, float* y, std::size_t n) {
+  ZIPFLM_SIMD_DISPATCH(relu_span, x, y, n);
+}
+inline void sigmoid_grad(const float* y, float* dy, std::size_t n) {
+  ZIPFLM_SIMD_DISPATCH(sigmoid_grad_span, y, dy, n);
+}
+inline void tanh_grad(const float* y, float* dy, std::size_t n) {
+  ZIPFLM_SIMD_DISPATCH(tanh_grad_span, y, dy, n);
+}
+inline void clip(float* x, float limit, std::size_t n) {
+  ZIPFLM_SIMD_DISPATCH(clip_span, x, limit, n);
+}
+inline float reduce_max(const float* x, std::size_t n, float init) {
+  return ZIPFLM_SIMD_DISPATCH(reduce_max_span, x, n, init);
+}
+inline float sum(const float* x, std::size_t n) {
+  return ZIPFLM_SIMD_DISPATCH(sum_span, x, n);
+}
+inline float dot(const float* a, const float* b, std::size_t n) {
+  return ZIPFLM_SIMD_DISPATCH(dot_span, a, b, n);
+}
+inline float sum_sq(const float* x, std::size_t n) {
+  return ZIPFLM_SIMD_DISPATCH(sum_sq_span, x, n);
+}
+inline float max_abs(const float* x, std::size_t n) {
+  return ZIPFLM_SIMD_DISPATCH(max_abs_span, x, n);
+}
+inline float exp_sub_sum(const float* x, float* out, float mx,
+                         std::size_t n) {
+  return ZIPFLM_SIMD_DISPATCH(exp_sub_sum_span, x, out, mx, n);
+}
+inline void sub_const(const float* x, float* y, float c, std::size_t n) {
+  ZIPFLM_SIMD_DISPATCH(sub_const_span, x, y, c, n);
+}
+inline void rhn_cell(const float* ph, const float* pt, const float* sp,
+                     float* h, float* t, float* s, std::size_t n) {
+  ZIPFLM_SIMD_DISPATCH(rhn_cell_span, ph, pt, sp, h, t, s, n);
+}
+inline void rhn_cell_inplace(const float* ph, const float* pt, float* s,
+                             std::size_t n) {
+  ZIPFLM_SIMD_DISPATCH(rhn_cell_inplace_span, ph, pt, s, n);
+}
+inline void rhn_cell_grad(const float* h, const float* t, const float* sp,
+                          const float* d, float* dzh, float* dzt, float* dsp,
+                          std::size_t n) {
+  ZIPFLM_SIMD_DISPATCH(rhn_cell_grad_span, h, t, sp, d, dzh, dzt, dsp, n);
+}
+inline void lstm_cell(const float* ig, const float* fg, const float* gg,
+                      const float* og, const float* cp, float* c, float* tc,
+                      float* h, std::size_t n) {
+  ZIPFLM_SIMD_DISPATCH(lstm_cell_span, ig, fg, gg, og, cp, c, tc, h, n);
+}
+inline void lstm_cell_grad(const float* ig, const float* fg, const float* gg,
+                           const float* og, const float* tc, const float* cp,
+                           const float* dh, float* dcn, float* dzi,
+                           float* dzf, float* dzg, float* dzo,
+                           std::size_t n) {
+  ZIPFLM_SIMD_DISPATCH(lstm_cell_grad_span, ig, fg, gg, og, tc, cp, dh, dcn,
+                       dzi, dzf, dzg, dzo, n);
+}
+
+#undef ZIPFLM_SIMD_DISPATCH
+
+}  // namespace zipflm::simd

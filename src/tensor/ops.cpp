@@ -2,15 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
 
 #include "zipflm/support/thread_pool.hpp"
+#include "zipflm/tensor/simd.hpp"
 
 namespace zipflm {
 
 namespace {
-// Task block sizes: the unit of work handed to the thread pool.
+// Task block sizes: the unit of work handed to the thread pool.  Each
+// output element belongs to exactly one block, so the accumulation
+// order per element is fixed regardless of the worker count.
 constexpr Index kBlockM = 32;
 constexpr Index kBlockN = 128;
+
+// B is consumed in (kBlockK x kBlockN) tiles copied into contiguous
+// per-thread scratch before the inner loops run.  The original layout
+// strides ldb floats between consecutive k rows (7 KiB for a 1792-wide
+// weight matrix) — past the hardware prefetchers' page limit, so every
+// k step of the unpacked kernel ate a cache/TLB miss.  Packing is a
+// pure copy: values and accumulation order are untouched.
+constexpr Index kBlockK = 256;
+
+// Elementwise sweeps hand the pool chunks of whole elements; any chunk
+// boundary gives the same bits, so only dispatch overhead matters.
+constexpr std::size_t kElementGrain = 1 << 14;
 
 struct GemmDims {
   Index m, n, k;
@@ -30,105 +48,144 @@ GemmDims validate_gemm(const Tensor& a, bool trans_a, const Tensor& b,
   return {m, n, ka};
 }
 
-inline float at(const Tensor& t, bool trans, Index i, Index j) {
-  return trans ? t(j, i) : t(i, j);
-}
+// ---------------------------------------------------------------------------
+// Non-transposed-B panels: C[i, j..] accumulates alpha * op(A)(i, k) *
+// B[k, j..] in ascending k order, vectorized across the j (column)
+// dimension.  Each lane is a distinct output element performing the
+// exact mul-then-add sequence the original scalar kernel performed, so
+// results are bitwise identical to the scalar tile at any register
+// width — the PR-1 batch-invariance contract rides on this.
+// ---------------------------------------------------------------------------
 
-// Register-tile shape for the non-transposed-B kernel: kTileM rows of C
-// accumulated across the whole k extent while one kTileN-wide slice of a
-// B row streams through.  Accumulators are seeded from C's (beta-scaled)
-// current value and contributions are added in ascending k order, so
-// every output element sees exactly the same float-operation sequence as
-// the naive kernel — independent of tile shape, batch size, and worker
-// count.  That invariance is what lets batched inference reproduce
-// single-stream results bit for bit.
-constexpr Index kTileM = 8;
-constexpr Index kTileN = 16;
-
-template <Index Rt, Index Ct>
-inline void gemm_tile_fixed(const Tensor& a, bool trans_a, const Tensor& b,
-                            Tensor& c, float alpha, Index ib, Index jb,
-                            Index k) {
-  float acc[Rt][Ct];
-  for (Index r = 0; r < Rt; ++r) {
-    const float* crow = c.row(ib + r).data() + jb;
-    for (Index v = 0; v < Ct; ++v) acc[r][v] = crow[v];
-  }
-  for (Index kk = 0; kk < k; ++kk) {
-    const float* brow = b.row(kk).data() + jb;
-    for (Index r = 0; r < Rt; ++r) {
-      const float aik = alpha * at(a, trans_a, ib + r, kk);
-      for (Index v = 0; v < Ct; ++v) acc[r][v] += aik * brow[v];
+/// RT fixed output rows x CP register-widths of columns.  A1 marks the
+/// ubiquitous alpha == 1 case: multiplying by 1.0f is a bitwise no-op,
+/// so skipping it keeps results identical while shedding a scalar
+/// multiply per (row, k) step of the inner loop.
+template <class V, Index RT, Index CP, bool A1>
+inline void gemm_tile_nt(const float* a, Index lda, bool trans_a,
+                         const float* b, Index ldb, float* c, Index ldc,
+                         float alpha, Index i, Index j, Index k) {
+  using R = typename V::Reg;
+  constexpr Index W = static_cast<Index>(V::kWidth);
+  R acc[RT][CP];
+  for (Index r = 0; r < RT; ++r) {
+    for (Index p = 0; p < CP; ++p) {
+      acc[r][p] = V::load(c + (i + r) * ldc + j + p * W);
     }
   }
-  for (Index r = 0; r < Rt; ++r) {
-    float* crow = c.row(ib + r).data() + jb;
-    for (Index v = 0; v < Ct; ++v) crow[v] = acc[r][v];
-  }
-}
-
-void gemm_tile_edge(const Tensor& a, bool trans_a, const Tensor& b, Tensor& c,
-                    float alpha, Index ib, Index jb, Index rt, Index ct,
-                    Index k) {
-  float acc[kTileM][kTileN];
-  for (Index r = 0; r < rt; ++r) {
-    const float* crow = c.row(ib + r).data() + jb;
-    for (Index v = 0; v < ct; ++v) acc[r][v] = crow[v];
-  }
   for (Index kk = 0; kk < k; ++kk) {
-    const float* brow = b.row(kk).data() + jb;
-    for (Index r = 0; r < rt; ++r) {
-      const float aik = alpha * at(a, trans_a, ib + r, kk);
-      for (Index v = 0; v < ct; ++v) acc[r][v] += aik * brow[v];
-    }
-  }
-  for (Index r = 0; r < rt; ++r) {
-    float* crow = c.row(ib + r).data() + jb;
-    for (Index v = 0; v < ct; ++v) crow[v] = acc[r][v];
-  }
-}
-
-/// C[i0:i1, j0:j1] += alpha * op(A)[i0:i1, :] * B[:, j0:j1] with B not
-/// transposed (B rows contiguous).
-void gemm_panel_nt(const Tensor& a, bool trans_a, const Tensor& b, Tensor& c,
-                   float alpha, Index i0, Index i1, Index j0, Index j1,
-                   Index k) {
-  for (Index ib = i0; ib < i1; ib += kTileM) {
-    const Index rt = std::min(kTileM, i1 - ib);
-    for (Index jb = j0; jb < j1; jb += kTileN) {
-      const Index ct = std::min(kTileN, j1 - jb);
-      if (rt == kTileM && ct == kTileN) {
-        gemm_tile_fixed<kTileM, kTileN>(a, trans_a, b, c, alpha, ib, jb, k);
-      } else {
-        gemm_tile_edge(a, trans_a, b, c, alpha, ib, jb, rt, ct, k);
+    const float* brow = b + kk * ldb + j;
+    for (Index r = 0; r < RT; ++r) {
+      float av = trans_a ? a[kk * lda + i + r] : a[(i + r) * lda + kk];
+      if constexpr (!A1) av *= alpha;
+      const R bc = V::set1(av);
+      for (Index p = 0; p < CP; ++p) {
+        acc[r][p] = V::add(acc[r][p], V::mul(bc, V::load(brow + p * W)));
       }
     }
   }
+  for (Index r = 0; r < RT; ++r) {
+    for (Index p = 0; p < CP; ++p) {
+      V::store(c + (i + r) * ldc + j + p * W, acc[r][p]);
+    }
+  }
 }
 
-/// Same contract with B transposed: element (i, j) is a dot product of
-/// two contiguous rows, accumulated with kDotJ interleaved scalar chains
-/// (ILP without reassociation, so k order stays ascending per element).
-void gemm_panel_tb(const Tensor& a, bool trans_a, const Tensor& b, Tensor& c,
-                   float alpha, Index i0, Index i1, Index j0, Index j1,
-                   Index k) {
-  constexpr Index kDotJ = 8;
+template <class V, Index RT, bool A1>
+inline void gemm_rows_nt(const float* a, Index lda, bool trans_a,
+                         const float* b, Index ldb, float* c, Index ldc,
+                         float alpha, Index i, Index j0, Index j1, Index k) {
+  constexpr Index W = static_cast<Index>(V::kWidth);
+  Index j = j0;
+  for (; j + 2 * W <= j1; j += 2 * W) {
+    gemm_tile_nt<V, RT, 2, A1>(a, lda, trans_a, b, ldb, c, ldc, alpha, i, j,
+                               k);
+  }
+  for (; j + W <= j1; j += W) {
+    gemm_tile_nt<V, RT, 1, A1>(a, lda, trans_a, b, ldb, c, ldc, alpha, i, j,
+                               k);
+  }
+  for (; j < j1; ++j) {
+    gemm_tile_nt<simd::ScalarOps, RT, 1, A1>(a, lda, trans_a, b, ldb, c, ldc,
+                                             alpha, i, j, k);
+  }
+}
+
+/// One (rows x columns) output block, with B consumed through packed
+/// k-chunks.  Accumulators spill to C at chunk boundaries — an exact
+/// store/reload — so the per-element sum is still one ascending-k
+/// sequence, bitwise identical to the unchunked kernel.
+template <class V, bool A1>
+void gemm_block_nt(const float* a, Index lda, bool trans_a, const float* b,
+                   Index ldb, float* c, Index ldc, float alpha, Index i0,
+                   Index i1, Index j0, Index j1, Index k) {
+  constexpr Index RT = 4;
+  const Index tw = j1 - j0;
+  thread_local std::vector<float> pack;
+  pack.resize(static_cast<std::size_t>(kBlockK) * static_cast<std::size_t>(tw));
+  float* tile = pack.data();
+  float* c_off = c + j0;
+  for (Index k0 = 0; k0 < k; k0 += kBlockK) {
+    const Index kc = std::min(kBlockK, k - k0);
+    for (Index kk = 0; kk < kc; ++kk) {
+      std::memcpy(tile + kk * tw, b + (k0 + kk) * ldb + j0,
+                  static_cast<std::size_t>(tw) * sizeof(float));
+    }
+    const float* a_off = trans_a ? a + k0 * lda : a + k0;
+    Index i = i0;
+    for (; i + RT <= i1; i += RT) {
+      gemm_rows_nt<V, RT, A1>(a_off, lda, trans_a, tile, tw, c_off, ldc,
+                              alpha, i, 0, tw, kc);
+    }
+    for (; i < i1; ++i) {
+      gemm_rows_nt<V, 1, A1>(a_off, lda, trans_a, tile, tw, c_off, ldc, alpha,
+                             i, 0, tw, kc);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transposed-B panels: element (i, j) is a dot product of two
+// contiguous rows, accumulated with the fixed 8-lane interleave of
+// simd::dot_span — the k order per element is a property of the
+// element, not of tiling or ISA, so any backend produces the same bits.
+// j is the outer loop so B row j is streamed from memory once and then
+// served from L1 for every A row of the block (m is small in the
+// backward d-state gemms; a transpose-packing variant measured slower
+// because the pack cost cannot amortize over so few rows).
+// ---------------------------------------------------------------------------
+
+template <class V>
+void gemm_panel_tb(const float* a, Index lda, const float* b, Index ldb,
+                   float* c, Index ldc, float alpha, Index i0, Index i1,
+                   Index j0, Index j1, Index k) {
+  for (Index j = j0; j < j1; ++j) {
+    const float* brow = b + j * ldb;
+    for (Index i = i0; i < i1; ++i) {
+      c[i * ldc + j] += alpha * simd::dot_span<V>(a + i * lda, brow,
+                                                  static_cast<std::size_t>(k));
+    }
+  }
+}
+
+/// Rare shape (both operands transposed): no caller uses it today, so a
+/// plain scalar loop with ascending-k accumulation is enough.
+void gemm_panel_generic(const Tensor& a, bool trans_a, const Tensor& b,
+                        bool trans_b, Tensor& c, float alpha, Index i0,
+                        Index i1, Index j0, Index j1, Index k) {
   for (Index i = i0; i < i1; ++i) {
-    float* crow = c.row(i).data();
-    for (Index jb = j0; jb < j1; jb += kDotJ) {
-      const Index jt = std::min(kDotJ, j1 - jb);
-      float acc[kDotJ];
-      for (Index jj = 0; jj < jt; ++jj) acc[jj] = crow[jb + jj];
+    for (Index j = j0; j < j1; ++j) {
+      float acc = c(i, j);
       for (Index kk = 0; kk < k; ++kk) {
-        const float aik = alpha * at(a, trans_a, i, kk);
-        for (Index jj = 0; jj < jt; ++jj) {
-          acc[jj] += aik * b(jb + jj, kk);
-        }
+        const float av = trans_a ? a(kk, i) : a(i, kk);
+        const float bv = trans_b ? b(j, kk) : b(kk, j);
+        acc += alpha * av * bv;
       }
-      for (Index jj = 0; jj < jt; ++jj) crow[jb + jj] = acc[jj];
+      c(i, j) = acc;
     }
   }
 }
+
 }  // namespace
 
 void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
@@ -143,66 +200,123 @@ void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
   }
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
 
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  float* cp = c.data().data();
+  const Index lda = a.cols();
+  const Index ldb = b.cols();
+  const Index ldc = c.cols();
+  const bool native = simd::active_backend() == simd::Backend::kNative;
+
   // Parallelize over row x column blocks: each output element is written
   // by exactly one task, so accumulation order per element is fixed
   // regardless of the worker count.
   const Index row_blocks = (m + kBlockM - 1) / kBlockM;
   const Index col_blocks = (n + kBlockN - 1) / kBlockN;
   ThreadPool::global().parallel_for(
-      static_cast<std::size_t>(row_blocks * col_blocks), [&](std::size_t t) {
+      static_cast<std::size_t>(row_blocks * col_blocks),
+      [&, m, n, k](std::size_t t) {
         const Index i0 = static_cast<Index>(t) / col_blocks * kBlockM;
         const Index i1 = std::min(m, i0 + kBlockM);
         const Index j0 = static_cast<Index>(t) % col_blocks * kBlockN;
         const Index j1 = std::min(n, j0 + kBlockN);
         if (!trans_b) {
-          gemm_panel_nt(a, trans_a, b, c, alpha, i0, i1, j0, j1, k);
+          if (alpha == 1.0f) {
+            if (native) {
+              gemm_block_nt<simd::NativeOps, true>(ap, lda, trans_a, bp, ldb,
+                                                   cp, ldc, alpha, i0, i1, j0,
+                                                   j1, k);
+            } else {
+              gemm_block_nt<simd::ScalarOps, true>(ap, lda, trans_a, bp, ldb,
+                                                   cp, ldc, alpha, i0, i1, j0,
+                                                   j1, k);
+            }
+          } else if (native) {
+            gemm_block_nt<simd::NativeOps, false>(ap, lda, trans_a, bp, ldb,
+                                                  cp, ldc, alpha, i0, i1, j0,
+                                                  j1, k);
+          } else {
+            gemm_block_nt<simd::ScalarOps, false>(ap, lda, trans_a, bp, ldb,
+                                                  cp, ldc, alpha, i0, i1, j0,
+                                                  j1, k);
+          }
+        } else if (!trans_a) {
+          if (native) {
+            gemm_panel_tb<simd::NativeOps>(ap, lda, bp, ldb, cp, ldc, alpha,
+                                           i0, i1, j0, j1, k);
+          } else {
+            gemm_panel_tb<simd::ScalarOps>(ap, lda, bp, ldb, cp, ldc, alpha,
+                                           i0, i1, j0, j1, k);
+          }
         } else {
-          gemm_panel_tb(a, trans_a, b, c, alpha, i0, i1, j0, j1, k);
+          gemm_panel_generic(a, trans_a, b, trans_b, c, alpha, i0, i1, j0, j1,
+                             k);
         }
-      });
+      },
+      /*grain=*/1);
 }
 
 void axpy(float alpha, const Tensor& x, Tensor& y) {
   ZIPFLM_CHECK(x.size() == y.size(), "axpy requires equal sizes");
   const float* xs = x.data().data();
   float* ys = y.data().data();
-  const std::size_t n = x.data().size();
-  for (std::size_t i = 0; i < n; ++i) ys[i] += alpha * xs[i];
+  ThreadPool::global().parallel_chunks(
+      x.data().size(),
+      [&](std::size_t b, std::size_t e) {
+        simd::axpy(alpha, xs + b, ys + b, e - b);
+      },
+      kElementGrain);
 }
 
 void scale(Tensor& x, float alpha) {
-  for (float& v : x.data()) v *= alpha;
+  float* xs = x.data().data();
+  ThreadPool::global().parallel_chunks(
+      x.data().size(),
+      [&](std::size_t b, std::size_t e) { simd::scale(xs + b, alpha, e - b); },
+      kElementGrain);
 }
 
 namespace {
 template <typename F>
-void elementwise(const Tensor& x, Tensor& y, F f) {
+void elementwise_spans(const Tensor& x, Tensor& y, F f) {
   ZIPFLM_CHECK(x.size() == y.size(), "elementwise requires equal sizes");
   const float* xs = x.data().data();
   float* ys = y.data().data();
-  const std::size_t n = x.data().size();
-  for (std::size_t i = 0; i < n; ++i) ys[i] = f(xs[i]);
+  ThreadPool::global().parallel_chunks(
+      x.data().size(),
+      [&](std::size_t b, std::size_t e) { f(xs + b, ys + b, e - b); },
+      kElementGrain);
 }
 }  // namespace
 
 void sigmoid(const Tensor& x, Tensor& y) {
-  elementwise(x, y, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  elementwise_spans(x, y, [](const float* xs, float* ys, std::size_t n) {
+    simd::sigmoid(xs, ys, n);
+  });
 }
 
 void tanh_op(const Tensor& x, Tensor& y) {
-  elementwise(x, y, [](float v) { return std::tanh(v); });
+  elementwise_spans(x, y, [](const float* xs, float* ys, std::size_t n) {
+    simd::tanh_op(xs, ys, n);
+  });
 }
 
 void relu(const Tensor& x, Tensor& y) {
-  elementwise(x, y, [](float v) { return v > 0.0f ? v : 0.0f; });
+  elementwise_spans(x, y, [](const float* xs, float* ys, std::size_t n) {
+    simd::relu(xs, ys, n);
+  });
 }
 
 void sigmoid_grad_from_output(const Tensor& y, Tensor& dy) {
-  elementwise(y, dy, [](float v) { return v * (1.0f - v); });
+  elementwise_spans(y, dy, [](const float* ys, float* ds, std::size_t n) {
+    simd::sigmoid_grad(ys, ds, n);
+  });
 }
 
 void tanh_grad_from_output(const Tensor& y, Tensor& dy) {
-  elementwise(y, dy, [](float v) { return 1.0f - v * v; });
+  elementwise_spans(y, dy, [](const float* ys, float* ds, std::size_t n) {
+    simd::tanh_grad(ys, ds, n);
+  });
 }
 
 void hadamard(const Tensor& x, const Tensor& y, Tensor& z) {
@@ -211,51 +325,74 @@ void hadamard(const Tensor& x, const Tensor& y, Tensor& z) {
   const float* xs = x.data().data();
   const float* ys = y.data().data();
   float* zs = z.data().data();
-  const std::size_t n = x.data().size();
-  for (std::size_t i = 0; i < n; ++i) zs[i] = xs[i] * ys[i];
+  ThreadPool::global().parallel_chunks(
+      x.data().size(),
+      [&](std::size_t b, std::size_t e) {
+        simd::hadamard(xs + b, ys + b, zs + b, e - b);
+      },
+      kElementGrain);
 }
 
 void softmax_rows(const Tensor& logits, Tensor& probs) {
   ZIPFLM_CHECK(logits.rank() == 2 && logits.shape() == probs.shape(),
                "softmax_rows requires matching matrices");
-  for (Index i = 0; i < logits.rows(); ++i) {
-    const auto in = logits.row(i);
-    auto out = probs.row(i);
-    const float mx = *std::max_element(in.begin(), in.end());
-    float denom = 0.0f;
-    for (std::size_t j = 0; j < in.size(); ++j) {
-      out[j] = std::exp(in[j] - mx);
-      denom += out[j];
-    }
-    const float inv = 1.0f / denom;
-    for (float& v : out) v *= inv;
-  }
+  const Index cols = logits.cols();
+  const float* in = logits.data().data();
+  float* out = probs.data().data();
+  // One row is one unit of work: the max/denominator reductions use the
+  // fixed 8-lane layout, so a row's bits do not depend on which thread
+  // (or ISA) computes it.
+  ThreadPool::global().parallel_chunks(
+      static_cast<std::size_t>(logits.rows()),
+      [&](std::size_t rb, std::size_t re) {
+        for (std::size_t i = rb; i < re; ++i) {
+          const float* x = in + i * static_cast<std::size_t>(cols);
+          float* y = out + i * static_cast<std::size_t>(cols);
+          const std::size_t n = static_cast<std::size_t>(cols);
+          const float mx =
+              simd::reduce_max(x, n, -std::numeric_limits<float>::infinity());
+          const float denom = simd::exp_sub_sum(x, y, mx, n);
+          simd::scale(y, 1.0f / denom, n);
+        }
+      },
+      /*grain=*/1);
 }
 
 void log_softmax_rows(const Tensor& logits, Tensor& log_probs) {
   ZIPFLM_CHECK(logits.rank() == 2 && logits.shape() == log_probs.shape(),
                "log_softmax_rows requires matching matrices");
-  for (Index i = 0; i < logits.rows(); ++i) {
-    const auto in = logits.row(i);
-    auto out = log_probs.row(i);
-    const float mx = *std::max_element(in.begin(), in.end());
-    float denom = 0.0f;
-    for (float v : in) denom += std::exp(v - mx);
-    const float lse = mx + std::log(denom);
-    for (std::size_t j = 0; j < in.size(); ++j) out[j] = in[j] - lse;
-  }
+  const Index cols = logits.cols();
+  const float* in = logits.data().data();
+  float* out = log_probs.data().data();
+  ThreadPool::global().parallel_chunks(
+      static_cast<std::size_t>(logits.rows()),
+      [&](std::size_t rb, std::size_t re) {
+        for (std::size_t i = rb; i < re; ++i) {
+          const float* x = in + i * static_cast<std::size_t>(cols);
+          float* y = out + i * static_cast<std::size_t>(cols);
+          const std::size_t n = static_cast<std::size_t>(cols);
+          const float mx =
+              simd::reduce_max(x, n, -std::numeric_limits<float>::infinity());
+          // exp(x - mx) lands in the output row as scratch; the second
+          // pass overwrites it with x - lse.
+          const float denom = simd::exp_sub_sum(x, y, mx, n);
+          const float lse = mx + std::log(denom);
+          simd::sub_const(x, y, lse, n);
+        }
+      },
+      /*grain=*/1);
 }
 
 float sum(const Tensor& x) {
+  // Deliberately double precision and serial: used by statistics and
+  // tests, not hot paths.
   double acc = 0.0;
   for (float v : x.data()) acc += v;
   return static_cast<float>(acc);
 }
 
 float max_abs(const Tensor& x) {
-  float mx = 0.0f;
-  for (float v : x.data()) mx = std::max(mx, std::fabs(v));
-  return mx;
+  return simd::max_abs(x.data().data(), x.data().size());
 }
 
 float l2_norm(const Tensor& x) {
@@ -269,13 +406,21 @@ void gather_rows(const Tensor& table, std::span<const Index> ids, Tensor& out) {
   ZIPFLM_CHECK(out.rows() == static_cast<Index>(ids.size()) &&
                    out.cols() == table.cols(),
                "gather_rows output shape mismatch");
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    ZIPFLM_ASSERT(ids[i] >= 0 && ids[i] < table.rows(),
-                  "gather id out of vocabulary range");
-    auto src = table.row(ids[i]);
-    auto dst = out.row(static_cast<Index>(i));
-    std::copy(src.begin(), src.end(), dst.begin());
-  }
+  const std::size_t width = static_cast<std::size_t>(table.cols());
+  const float* src = table.data().data();
+  float* dst = out.data().data();
+  const Index vocab = table.rows();
+  ThreadPool::global().parallel_chunks(
+      ids.size(),
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          ZIPFLM_ASSERT(ids[i] >= 0 && ids[i] < vocab,
+                        "gather id out of vocabulary range");
+          std::copy_n(src + static_cast<std::size_t>(ids[i]) * width, width,
+                      dst + i * width);
+        }
+      },
+      /*grain=*/16);
 }
 
 void scatter_add_rows(const Tensor& grad, std::span<const Index> ids,
@@ -285,12 +430,17 @@ void scatter_add_rows(const Tensor& grad, std::span<const Index> ids,
   ZIPFLM_CHECK(grad.rows() == static_cast<Index>(ids.size()) &&
                    grad.cols() == table.cols(),
                "scatter_add_rows gradient shape mismatch");
+  // Serial on purpose: ids may repeat, so rows of `table` are not
+  // disjoint across tokens and the ascending token order is the
+  // documented accumulation contract.
+  const std::size_t width = static_cast<std::size_t>(grad.cols());
+  const float* src = grad.data().data();
+  float* dst = table.data().data();
   for (std::size_t i = 0; i < ids.size(); ++i) {
     ZIPFLM_ASSERT(ids[i] >= 0 && ids[i] < table.rows(),
                   "scatter id out of vocabulary range");
-    auto src = grad.row(static_cast<Index>(i));
-    auto dst = table.row(ids[i]);
-    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += src[j];
+    simd::add_inplace(dst + static_cast<std::size_t>(ids[i]) * width,
+                      src + i * width, width);
   }
 }
 
@@ -298,25 +448,44 @@ void add_bias_rows(Tensor& y, const Tensor& bias) {
   ZIPFLM_CHECK(y.rank() == 2 && bias.size() == y.cols(),
                "bias length must equal column count");
   const float* b = bias.data().data();
-  for (Index i = 0; i < y.rows(); ++i) {
-    auto row = y.row(i);
-    for (std::size_t j = 0; j < row.size(); ++j) row[j] += b[j];
-  }
+  const std::size_t width = static_cast<std::size_t>(y.cols());
+  float* ys = y.data().data();
+  ThreadPool::global().parallel_chunks(
+      static_cast<std::size_t>(y.rows()),
+      [&](std::size_t rb, std::size_t re) {
+        for (std::size_t i = rb; i < re; ++i) {
+          simd::add_inplace(ys + i * width, b, width);
+        }
+      },
+      /*grain=*/8);
 }
 
 void bias_grad(const Tensor& dy, Tensor& db) {
   ZIPFLM_CHECK(dy.rank() == 2 && db.size() == dy.cols(),
                "bias grad length must equal column count");
+  // Chunk the *columns*: every element of db accumulates its column in
+  // ascending row order no matter how many workers run.
   float* b = db.data().data();
-  for (Index i = 0; i < dy.rows(); ++i) {
-    auto row = dy.row(i);
-    for (std::size_t j = 0; j < row.size(); ++j) b[j] += row[j];
-  }
+  const float* src = dy.data().data();
+  const std::size_t width = static_cast<std::size_t>(dy.cols());
+  const std::size_t rows = static_cast<std::size_t>(dy.rows());
+  ThreadPool::global().parallel_chunks(
+      width,
+      [&](std::size_t cb, std::size_t ce) {
+        for (std::size_t i = 0; i < rows; ++i) {
+          simd::add_inplace(b + cb, src + i * width + cb, ce - cb);
+        }
+      },
+      /*grain=*/512);
 }
 
 void clip(Tensor& x, float limit) {
   ZIPFLM_CHECK(limit > 0.0f, "clip limit must be positive");
-  for (float& v : x.data()) v = std::clamp(v, -limit, limit);
+  float* xs = x.data().data();
+  ThreadPool::global().parallel_chunks(
+      x.data().size(),
+      [&](std::size_t b, std::size_t e) { simd::clip(xs + b, limit, e - b); },
+      kElementGrain);
 }
 
 }  // namespace zipflm
