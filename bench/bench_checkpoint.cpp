@@ -1,0 +1,104 @@
+// Checkpoint cost: how long does a full-state save / restore take, and
+// how large is the file, as the model grows?  The paper's epochs run
+// 14-35 hours, so per-epoch checkpointing must be cheap relative to the
+// epoch — this bench shows save/restore stay in milliseconds while an
+// epoch is hours, i.e. exact resume is effectively free.
+//
+// Emits one JSON line per model size for tooling, plus a human table.
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "zipflm/core/checkpoint.hpp"
+#include "zipflm/stats/table.hpp"
+#include "zipflm/support/stopwatch.hpp"
+
+namespace zipflm::bench {
+namespace {
+
+struct Scale {
+  const char* label;
+  Index vocab;
+  Index embed;
+  Index hidden;
+};
+
+void run() {
+  print_header("Checkpoint save/restore cost", "crash-safe training",
+               "full TrainState round-trips through a 2-rank trainer");
+
+  constexpr Scale kScales[] = {
+      {"tiny", 200, 16, 32},
+      {"small", 2'000, 32, 64},
+      {"medium", 10'000, 64, 128},
+  };
+  constexpr int kReps = 5;
+
+  TextTable table({"model", "params", "bytes", "save ms", "restore ms"});
+  for (const Scale& s : kScales) {
+    CommWorld world(2);
+    TrainerOptions opt;
+    opt.batch = BatchSpec{2, 8};
+    opt.use_adam = true;
+    opt.base_lr = 5e-3f;
+    opt.charge_static_memory = false;
+    DistributedTrainer trainer(
+        world,
+        [&s](int) -> std::unique_ptr<LmModel> {
+          CharLmConfig cfg;
+          cfg.vocab = s.vocab;
+          cfg.embed_dim = s.embed;
+          cfg.hidden_dim = s.hidden;
+          cfg.depth = 2;
+          cfg.seed = 7;
+          return std::make_unique<CharLm>(cfg);
+        },
+        opt);
+    // One short epoch so the Adam moments exist and get serialized.
+    const auto data = bigram_data(s.vocab, std::min<Index>(16, s.vocab),
+                                  1'000, 200, 11);
+    trainer.run_epoch(data.train, data.valid, 0);
+
+    std::size_t param_count = 0;
+    for (const Param* p : trainer.model(0).all_params()) {
+      param_count += p->value.data().size();
+    }
+
+    std::string blob;
+    double save_s = 0.0;
+    for (int r = 0; r < kReps; ++r) {
+      std::ostringstream out(std::ios::binary);
+      Stopwatch watch;
+      trainer.save_state(out);
+      save_s += watch.seconds();
+      blob = out.str();
+    }
+    double restore_s = 0.0;
+    for (int r = 0; r < kReps; ++r) {
+      std::istringstream in(blob, std::ios::binary);
+      Stopwatch watch;
+      trainer.restore_state(in);
+      restore_s += watch.seconds();
+    }
+    const double save_ms = 1e3 * save_s / kReps;
+    const double restore_ms = 1e3 * restore_s / kReps;
+
+    table.add_row({s.label, std::to_string(param_count),
+                   format_bytes(blob.size()), fmt(save_ms, 3),
+                   fmt(restore_ms, 3)});
+    std::printf(
+        "RESULT {\"bench\":\"checkpoint\",\"model\":\"%s\","
+        "\"params\":%zu,\"bytes\":%zu,\"save_ms\":%.3f,"
+        "\"restore_ms\":%.3f}\n",
+        s.label, param_count, blob.size(), save_ms, restore_ms);
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+}  // namespace
+}  // namespace zipflm::bench
+
+int main() {
+  zipflm::bench::run();
+  return 0;
+}

@@ -4,10 +4,17 @@
 //                [--vocab N] [--tokens N] [--batch N] [--seqlen N]
 //                [--no-unique] [--fp16] [--hierarchical]
 //                [--seed-policy g|zipf|log2|loge|log10|shared]
-//                [--lr X] [--checkpoint PATH] [--seed N]
+//                [--lr X] [--checkpoint PATH] [--resume] [--seed N]
+//
+// With --checkpoint, the full training state (weights, optimizer
+// moments, RNG streams) is written atomically after every epoch;
+// --resume restores it and continues from the next epoch, bitwise
+// identical to a run that was never interrupted.
 //
 // Example:
 //   lm_train_cli --model char --gpus 4 --epochs 3 --fp16
+//   lm_train_cli --model char --gpus 4 --epochs 3 --fp16
+//                --checkpoint /tmp/char.ckpt --resume
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +43,7 @@ struct CliArgs {
   SeedPolicy policy = SeedPolicy::ZipfFreq;
   float lr = 0.0f;  // 0 = model default
   std::string checkpoint;
+  bool resume = false;
   std::uint64_t seed = 2026;
 
   static void usage(const char* prog) {
@@ -44,7 +52,8 @@ struct CliArgs {
                  "          [--vocab N] [--tokens N] [--batch N]\n"
                  "          [--seqlen N] [--no-unique] [--fp16]\n"
                  "          [--hierarchical] [--seed-policy NAME]\n"
-                 "          [--lr X] [--checkpoint PATH] [--seed N]\n",
+                 "          [--lr X] [--checkpoint PATH] [--resume]\n"
+                 "          [--seed N]\n",
                  prog);
   }
 
@@ -83,6 +92,8 @@ struct CliArgs {
         a.lr = static_cast<float>(std::atof(need_value(i)));
       } else if (flag == "--checkpoint") {
         a.checkpoint = need_value(i);
+      } else if (flag == "--resume") {
+        a.resume = true;
       } else if (flag == "--seed") {
         a.seed = std::strtoull(need_value(i), nullptr, 10);
       } else if (flag == "--seed-policy") {
@@ -169,17 +180,33 @@ int main(int argc, char** argv) {
               args.unique ? "UNIQUE" : "dense-allgather",
               args.fp16 ? "FP16" : "FP32",
               args.hierarchical ? " | hierarchical dense sync" : "");
+  int start_epoch = 0;
+  if (args.resume) {
+    if (args.checkpoint.empty()) {
+      std::fprintf(stderr, "--resume requires --checkpoint PATH\n");
+      return 2;
+    }
+    trainer.restore_state_file(args.checkpoint);
+    start_epoch = static_cast<int>(trainer.epochs_completed());
+    std::printf("resumed from %s: %d epoch(s), %llu steps done\n",
+                args.checkpoint.c_str(), start_epoch,
+                static_cast<unsigned long long>(trainer.global_step()));
+  }
+
   std::printf("epoch | train loss | valid ppl | wire/epoch | sim time\n");
-  for (int e = 0; e < args.epochs; ++e) {
+  for (int e = start_epoch; e < args.epochs; ++e) {
     const auto stats = trainer.run_epoch(train, valid, e);
-    std::printf("%5d | %10.3f | %9.2f | %10s | %s\n", e + 1,
+    std::printf("%5d | %10.6f | %9.2f | %10s | %s\n", e + 1,
                 stats.train_loss, stats.valid_perplexity,
                 format_bytes(stats.comm_total.bytes_sent).c_str(),
                 format_duration(stats.sim_total_seconds).c_str());
+    if (!args.checkpoint.empty()) {
+      // Full training state, written atomically after every epoch —
+      // kill the process at any point and --resume continues exactly.
+      trainer.save_state_file(args.checkpoint);
+    }
   }
   if (!args.checkpoint.empty()) {
-    save_checkpoint_file(args.checkpoint, trainer.model(0),
-                         {.epoch = static_cast<std::uint64_t>(args.epochs)});
     std::printf("\ncheckpoint written to %s\n", args.checkpoint.c_str());
   }
   return 0;

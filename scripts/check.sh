@@ -21,6 +21,13 @@ if [[ "$run_tier1" == 1 ]]; then
   cmake -B build -S .
   cmake --build build -j
   ctest --test-dir build --output-on-failure -j
+
+  echo "== tier-1b: fault injection + exact resume =="
+  # Re-run the crash-safety suite serially: rank-kill tests rely on real
+  # collective timeouts, which a loaded machine can blur when the tests
+  # share cores with the rest of the suite.
+  ctest --test-dir build --output-on-failure \
+    -R 'test_comm_faults|test_checkpoint_resume'
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
@@ -28,7 +35,10 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake -B build-tsan -S . -DZIPFLM_SANITIZE=thread
   cmake --build build-tsan -j
   # A couple of worker threads is enough to expose ordering bugs while
-  # keeping the TSAN run tractable on small containers.
+  # keeping the TSAN run tractable on small containers.  The suite
+  # includes test_serve_stress (concurrent submit/stop/wait) and
+  # test_comm_faults (rank death + retirement), the two paths where a
+  # shutdown race would hide.
   ZIPFLM_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j
 fi
 

@@ -1,6 +1,7 @@
 #include "zipflm/comm/thread_comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
@@ -58,7 +59,7 @@ void CommWorld::Group::validate_uniform(Op op, std::size_t bytes,
 class ThreadRankComm final : public Communicator {
  public:
   /// group_rank: this rank's index within the group's member list;
-  /// global_rank: index into the world's ledgers.
+  /// global_rank: index into the world's ledgers (and FaultPlan ranks).
   ThreadRankComm(CommWorld& world, CommWorld::Group& group, int group_rank,
                  int global_rank)
       : w_(world),
@@ -74,30 +75,33 @@ class ThreadRankComm final : public Communicator {
   }
 
   Communicator* node_comm() noexcept override {
-    if (&group_ != &w_.world_group_) return nullptr;  // only from the world
+    // Only from the world handle.  Node membership follows the *live*
+    // topology: dense world rank, not the (possibly retired-riddled)
+    // global numbering.
+    if (&group_ != w_.world_group_.get()) return nullptr;
     if (node_ == nullptr) {
-      const int node = w_.topo_.node_of(global_rank_);
+      const int node = w_.topo_.node_of(rank_);
       node_ = std::make_unique<ThreadRankComm>(
           w_, *w_.node_groups_[static_cast<std::size_t>(node)],
-          global_rank_ % w_.topo_.gpus_per_node, global_rank_);
+          rank_ % w_.topo_.gpus_per_node, global_rank_);
     }
     return node_.get();
   }
 
   Communicator* leader_comm() noexcept override {
-    if (&group_ != &w_.world_group_ || w_.leader_group_ == nullptr) {
+    if (&group_ != w_.world_group_.get() || w_.leader_group_ == nullptr) {
       return nullptr;
     }
-    if (global_rank_ % w_.topo_.gpus_per_node != 0) return nullptr;
+    if (rank_ % w_.topo_.gpus_per_node != 0) return nullptr;
     if (leaders_ == nullptr) {
       leaders_ = std::make_unique<ThreadRankComm>(
-          w_, *w_.leader_group_, w_.topo_.node_of(global_rank_),
-          global_rank_);
+          w_, *w_.leader_group_, w_.topo_.node_of(rank_), global_rank_);
     }
     return leaders_.get();
   }
 
   void barrier() override {
+    enter_collective(nullptr, 0);
     publish(CommWorld::Op::Barrier, nullptr, nullptr, 0, -1);
     group_.barrier.arrive_and_wait();
     group_.validate_uniform(CommWorld::Op::Barrier, 0, -1);
@@ -145,6 +149,7 @@ class ThreadRankComm final : public Communicator {
     // Stage own block, publish the output buffer so neighbours can read.
     std::memcpy(out.data() + static_cast<std::size_t>(rank_) * b, local.data(),
                 b);
+    enter_collective(out.data() + static_cast<std::size_t>(rank_) * b, b);
     publish(CommWorld::Op::AllGather, local.data(), out.data(), b, -1);
     group_.barrier.arrive_and_wait();
     group_.validate_uniform(CommWorld::Op::AllGather, b, -1);
@@ -174,6 +179,7 @@ class ThreadRankComm final : public Communicator {
                         std::vector<std::byte>& out,
                         std::vector<std::size_t>& counts) override {
     const int g = world_size();
+    enter_collective(nullptr, 0);  // own block poisoned after staging below
     // Phase 1: exchange block sizes (a small fixed-size allgather; the
     // ledger accounts it as 8 bytes per rank on the wire).
     publish(CommWorld::Op::AllGatherV, local.data(), nullptr, local.size(),
@@ -193,6 +199,11 @@ class ThreadRankComm final : public Communicator {
     if (!local.empty()) {
       std::memcpy(out.data() + offsets[static_cast<std::size_t>(rank_)],
                   local.data(), local.size());
+    }
+    if (pending_corrupt_) {
+      pending_corrupt_ = false;
+      poison(out.data() + offsets[static_cast<std::size_t>(rank_)],
+             local.size());
     }
     // Phase 2: publish the (resized) output buffer, then ring-forward.
     group_.slots[static_cast<std::size_t>(rank_)].dst = out.data();
@@ -232,6 +243,7 @@ class ThreadRankComm final : public Communicator {
   void broadcast_bytes(std::span<std::byte> data, int root) override {
     const int g = world_size();
     ZIPFLM_CHECK(root >= 0 && root < g, "broadcast root out of range");
+    enter_collective(rank_ == root ? data.data() : nullptr, data.size());
     publish(CommWorld::Op::Broadcast, data.data(), data.data(), data.size(),
             root);
     group_.barrier.arrive_and_wait();
@@ -258,6 +270,36 @@ class ThreadRankComm final : public Communicator {
   // allgatherv blocks legitimately differ in size across ranks.
   static constexpr std::size_t kIgnoreBytes = static_cast<std::size_t>(-1);
 
+  /// Fault hook at the head of every collective: a Kill fault throws
+  /// SimulatedRankDeath (the thread exits without arriving at the
+  /// barrier, so survivors only learn of it through the timeout), a
+  /// Delay fault sleeps, a Corrupt fault overwrites the rank's own
+  /// contribution (`buf`, when the caller has one) with 0xFF bytes —
+  /// all-NaN when reinterpreted as FP32/FP16 payloads.
+  void enter_collective(std::byte* buf, std::size_t bytes) {
+    const CommWorld::FaultAction act = w_.next_fault(global_rank_);
+    if (!act.armed) return;
+    switch (act.kind) {
+      case FaultKind::Kill:
+        throw SimulatedRankDeath{global_rank_};
+      case FaultKind::Delay:
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(act.delay_seconds));
+        break;
+      case FaultKind::Corrupt:
+        if (buf != nullptr) {
+          poison(buf, bytes);
+        } else {
+          pending_corrupt_ = true;  // applied once a buffer exists
+        }
+        break;
+    }
+  }
+
+  static void poison(std::byte* buf, std::size_t bytes) {
+    if (buf != nullptr && bytes != 0) std::memset(buf, 0xFF, bytes);
+  }
+
   void publish(CommWorld::Op op, const std::byte* src, std::byte* dst,
                std::size_t bytes, int root) {
     auto& slot = group_.slots[static_cast<std::size_t>(rank_)];
@@ -273,6 +315,8 @@ class ThreadRankComm final : public Communicator {
   template <typename T, typename Red>
   void ring_allreduce(std::span<T> data, CommWorld::Op op, Red reduce) {
     const int g = world_size();
+    enter_collective(reinterpret_cast<std::byte*>(data.data()),
+                     data.size() * sizeof(T));
     publish(op, reinterpret_cast<const std::byte*>(data.data()),
             reinterpret_cast<std::byte*>(data.data()),
             data.size() * sizeof(T), -1);
@@ -326,6 +370,7 @@ class ThreadRankComm final : public Communicator {
   CommWorld::Group& group_;
   const int rank_;
   const int global_rank_;
+  bool pending_corrupt_ = false;
   std::unique_ptr<ThreadRankComm> node_;
   std::unique_ptr<ThreadRankComm> leaders_;
 };
@@ -338,51 +383,128 @@ CommWorld::CommWorld(int world_size, Options options)
     : world_size_(world_size),
       topo_(options.topo_set ? options.topo : Topology::for_world(world_size)),
       cost_(options.cost),
-      world_group_(world_size, options.topo_set
-                                   ? options.topo
-                                   : Topology::for_world(world_size)),
-      ledgers_(static_cast<std::size_t>(world_size)) {
+      timeout_seconds_(options.collective_timeout_seconds),
+      ledgers_(static_cast<std::size_t>(world_size)),
+      fault_cursor_(static_cast<std::size_t>(world_size), 0) {
   ZIPFLM_CHECK(world_size > 0, "world size must be positive");
   ZIPFLM_CHECK(topo_.world_size() == world_size,
                "topology must match world size");
-  // Sub-groups: one per node (intra-node links only) and, with multiple
-  // nodes, the leader set (one rank per node, fabric links only).
+  ZIPFLM_CHECK(timeout_seconds_ >= 0.0,
+               "collective timeout must be non-negative");
+  live_.resize(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    live_[static_cast<std::size_t>(r)] = r;
+  }
+  rebuild_groups();
+}
+
+CommWorld::~CommWorld() = default;
+
+void CommWorld::rebuild_groups() {
+  const int live = static_cast<int>(live_.size());
+  ZIPFLM_CHECK(live > 0, "no surviving ranks in the communicator world");
+  // After a retirement the survivors no longer fill whole nodes, so the
+  // degraded world is re-formed flat (one node spanning all survivors);
+  // the pristine world keeps its configured topology.
+  if (live != world_size_) topo_ = Topology{1, live};
+
+  world_group_ = std::make_unique<Group>(live, topo_);
+  node_groups_.clear();
   node_groups_.reserve(static_cast<std::size_t>(topo_.nodes));
   for (int n = 0; n < topo_.nodes; ++n) {
     node_groups_.push_back(std::make_unique<Group>(
         topo_.gpus_per_node, Topology{1, topo_.gpus_per_node}));
   }
-  if (topo_.nodes > 1) {
-    leader_group_ =
-        std::make_unique<Group>(topo_.nodes, Topology{topo_.nodes, 1});
+  leader_group_ =
+      topo_.nodes > 1
+          ? std::make_unique<Group>(topo_.nodes, Topology{topo_.nodes, 1})
+          : nullptr;
+  set_collective_timeout(timeout_seconds_);
+}
+
+void CommWorld::inject_faults(FaultPlan plan) {
+  for (const FaultEvent& e : plan.events) {
+    ZIPFLM_CHECK(e.rank >= 0 && e.rank < world_size_,
+                 "fault plan rank out of range");
+    ZIPFLM_CHECK(e.kind != FaultKind::Delay || e.delay_seconds >= 0.0,
+                 "fault delay must be non-negative");
+  }
+  plan_ = std::move(plan);
+  plan_consumed_.assign(plan_.events.size(), 0);
+}
+
+void CommWorld::set_collective_timeout(double seconds) {
+  ZIPFLM_CHECK(seconds >= 0.0, "collective timeout must be non-negative");
+  timeout_seconds_ = seconds;
+  world_group_->barrier.set_timeout_seconds(seconds);
+  for (auto& g : node_groups_) g->barrier.set_timeout_seconds(seconds);
+  if (leader_group_ != nullptr) {
+    leader_group_->barrier.set_timeout_seconds(seconds);
   }
 }
 
-CommWorld::~CommWorld() = default;
+CommWorld::FaultAction CommWorld::next_fault(int global_rank) {
+  // Only global_rank's own thread calls this, so the cursor needs no
+  // synchronization; the plan itself is immutable during run().
+  const std::uint64_t call =
+      fault_cursor_[static_cast<std::size_t>(global_rank)]++;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    // Filter on rank FIRST: a consumed flag is then only ever touched
+    // by its own event's rank (one byte per flag, no false sharing of
+    // bits), so concurrent ranks scanning the plan never race.
+    if (e.rank != global_rank || e.at_collective != call ||
+        plan_consumed_[i] != 0) {
+      continue;
+    }
+    plan_consumed_[i] = 1;
+    return FaultAction{e.kind, e.delay_seconds, true};
+  }
+  return FaultAction{};
+}
 
 void CommWorld::run(const std::function<void(Communicator&)>& fn) {
-  world_group_.barrier.reset();
+  world_group_->barrier.reset();
   for (auto& g : node_groups_) g->barrier.reset();
   if (leader_group_ != nullptr) leader_group_->barrier.reset();
 
-  std::vector<std::exception_ptr> errors(
-      static_cast<std::size_t>(world_size_));
+  const std::size_t live = live_.size();
+  std::vector<std::exception_ptr> errors(live);
+  std::vector<int> died;
+  std::mutex died_mutex;
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(world_size_));
-  for (int r = 0; r < world_size_; ++r) {
-    threads.emplace_back([this, &fn, &errors, r] {
-      ThreadRankComm comm(*this, world_group_, r, r);
+  threads.reserve(live);
+  for (std::size_t i = 0; i < live; ++i) {
+    threads.emplace_back([this, &fn, &errors, &died, &died_mutex, i] {
+      ThreadRankComm comm(*this, *world_group_, static_cast<int>(i),
+                          live_[i]);
       try {
         fn(comm);
+      } catch (const SimulatedRankDeath& death) {
+        // A killed rank dies silently: no abort, no error — the
+        // survivors discover the loss through the collective timeout.
+        std::scoped_lock lock(died_mutex);
+        died.push_back(death.rank);
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        world_group_.barrier.abort();
+        errors[i] = std::current_exception();
+        world_group_->barrier.abort();
         for (auto& g : node_groups_) g->barrier.abort();
         if (leader_group_ != nullptr) leader_group_->barrier.abort();
       }
     });
   }
   for (auto& t : threads) t.join();
+
+  // Retire killed ranks before rethrowing, so the caller can roll back
+  // and immediately re-run over the survivors.
+  if (!died.empty()) {
+    std::sort(died.begin(), died.end());
+    for (const int r : died) {
+      failed_.push_back(r);
+      live_.erase(std::remove(live_.begin(), live_.end(), r), live_.end());
+    }
+    rebuild_groups();
+  }
 
   // Prefer the originating error over BarrierAborted victims.
   std::exception_ptr any;

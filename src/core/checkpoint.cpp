@@ -1,48 +1,24 @@
 #include "zipflm/core/checkpoint.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <iterator>
 #include <ostream>
+#include <sstream>
+
+#include "zipflm/support/serialize.hpp"
 
 namespace zipflm {
 
 namespace {
 
 constexpr std::uint64_t kMagic = 0x5A49'5046'4C4D'4350ull;  // "ZIPFLMCP"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 
-template <typename T>
-void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  ZIPFLM_CHECK(in.good(), "checkpoint stream truncated");
-  return value;
-}
-
-void write_string(std::ostream& out, const std::string& s) {
-  write_pod<std::uint64_t>(out, s.size());
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::string read_string(std::istream& in) {
-  const auto n = read_pod<std::uint64_t>(in);
-  ZIPFLM_CHECK(n < (1u << 20), "implausible string length in checkpoint");
-  std::string s(n, '\0');
-  in.read(s.data(), static_cast<std::streamsize>(n));
-  ZIPFLM_CHECK(in.good(), "checkpoint stream truncated");
-  return s;
-}
-
-}  // namespace
-
-void save_checkpoint(std::ostream& out, LmModel& model,
-                     const CheckpointMeta& meta) {
+void write_body(std::ostream& out, LmModel& model, const CheckpointMeta& meta,
+                const TrainState* train) {
   write_pod(out, kMagic);
   write_pod(out, kVersion);
   write_pod(out, meta.global_step);
@@ -60,14 +36,32 @@ void save_checkpoint(std::ostream& out, LmModel& model,
     out.write(reinterpret_cast<const char*>(p->value.data().data()),
               static_cast<std::streamsize>(p->value.bytes()));
   }
-  ZIPFLM_CHECK(out.good(), "checkpoint write failed");
+
+  write_pod<std::uint8_t>(out, train != nullptr ? 1 : 0);
+  if (train != nullptr) {
+    write_string(out, train->optimizer_blob);
+    write_pod<std::uint8_t>(out, train->has_scaler ? 1 : 0);
+    if (train->has_scaler) {
+      write_pod(out, train->scaler.scale);
+      write_pod(out, train->scaler.good_streak);
+      write_pod(out, train->scaler.skipped);
+    }
+    write_pod<std::uint64_t>(out, train->rank_rng.size());
+    for (const auto& words : train->rank_rng) {
+      for (const std::uint64_t w : words) write_pod(out, w);
+    }
+  }
 }
 
-CheckpointMeta load_checkpoint(std::istream& in, LmModel& model) {
+CheckpointMeta read_body(std::istream& in, LmModel& model,
+                         TrainState* train) {
   ZIPFLM_CHECK(read_pod<std::uint64_t>(in) == kMagic,
                "not a zipflm checkpoint (bad magic)");
-  ZIPFLM_CHECK(read_pod<std::uint32_t>(in) == kVersion,
-               "unsupported checkpoint version");
+  const auto version = read_pod<std::uint32_t>(in);
+  ZIPFLM_CHECK(version == kVersion,
+               "unsupported checkpoint version " + std::to_string(version) +
+                   " (this build reads version " + std::to_string(kVersion) +
+                   " only)");
   CheckpointMeta meta;
   meta.global_step = read_pod<std::uint64_t>(in);
   meta.epoch = read_pod<std::uint64_t>(in);
@@ -92,20 +86,79 @@ CheckpointMeta load_checkpoint(std::istream& in, LmModel& model) {
             static_cast<std::streamsize>(p->value.bytes()));
     ZIPFLM_CHECK(in.good(), "checkpoint payload truncated for " + name);
   }
+
+  TrainState parsed;
+  if (read_pod<std::uint8_t>(in) != 0) {
+    parsed.present = true;
+    // Optimizer blobs scale with the model (2 FP32 moments per weight).
+    parsed.optimizer_blob = read_string(in, std::uint64_t{1} << 40);
+    if (read_pod<std::uint8_t>(in) != 0) {
+      parsed.has_scaler = true;
+      parsed.scaler.scale = read_pod<float>(in);
+      parsed.scaler.good_streak = read_pod<std::int32_t>(in);
+      parsed.scaler.skipped = read_pod<std::int32_t>(in);
+    }
+    const auto ranks = read_pod<std::uint64_t>(in);
+    ZIPFLM_CHECK(ranks < (1u << 20), "implausible rank count in checkpoint");
+    parsed.rank_rng.resize(ranks);
+    for (auto& words : parsed.rank_rng) {
+      for (std::uint64_t& w : words) w = read_pod<std::uint64_t>(in);
+    }
+  }
+  if (train != nullptr) *train = std::move(parsed);
   return meta;
 }
 
-void save_checkpoint_file(const std::string& path, LmModel& model,
-                          const CheckpointMeta& meta) {
-  std::ofstream out(path, std::ios::binary);
-  ZIPFLM_CHECK(out.is_open(), "cannot open checkpoint file: " + path);
-  save_checkpoint(out, model, meta);
+}  // namespace
+
+void save_checkpoint(std::ostream& out, LmModel& model,
+                     const CheckpointMeta& meta, const TrainState* train) {
+  // Buffer the body so the checksum can trail it in one write.
+  std::ostringstream body(std::ios::binary);
+  write_body(body, model, meta, train);
+  const std::string bytes = body.str();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  write_pod(out, fnv1a64(bytes));
+  ZIPFLM_CHECK(out.good(), "checkpoint write failed");
 }
 
-CheckpointMeta load_checkpoint_file(const std::string& path, LmModel& model) {
+CheckpointMeta load_checkpoint(std::istream& in, LmModel& model,
+                               TrainState* train) {
+  const std::string raw(std::istreambuf_iterator<char>(in), {});
+  ZIPFLM_CHECK(raw.size() > sizeof(std::uint64_t),
+               "checkpoint stream truncated");
+  const std::string_view body(raw.data(), raw.size() - sizeof(std::uint64_t));
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, raw.data() + body.size(), sizeof(stored));
+  ZIPFLM_CHECK(fnv1a64(body) == stored,
+               "checkpoint checksum mismatch (truncated or corrupt file)");
+
+  std::istringstream stream{std::string(body), std::ios::binary};
+  return read_body(stream, model, train);
+}
+
+void save_checkpoint_file(const std::string& path, LmModel& model,
+                          const CheckpointMeta& meta,
+                          const TrainState* train) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    ZIPFLM_CHECK(out.is_open(), "cannot open checkpoint file: " + tmp);
+    save_checkpoint(out, model, meta, train);
+    out.flush();
+    ZIPFLM_CHECK(out.good(), "checkpoint flush failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    ZIPFLM_CHECK(false, "cannot move checkpoint into place: " + path);
+  }
+}
+
+CheckpointMeta load_checkpoint_file(const std::string& path, LmModel& model,
+                                    TrainState* train) {
   std::ifstream in(path, std::ios::binary);
   ZIPFLM_CHECK(in.is_open(), "cannot open checkpoint file: " + path);
-  return load_checkpoint(in, model);
+  return load_checkpoint(in, model, train);
 }
 
 }  // namespace zipflm

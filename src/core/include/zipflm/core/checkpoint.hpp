@@ -3,16 +3,29 @@
 // survive restarts, and so trained models can be shipped to evaluation
 // or generation tools.
 //
-// Format: magic, version, param count, then per parameter
-// (name, rank, dims..., raw FP32 payload).  Load validates names and
-// shapes against the receiving model — loading a word-LM checkpoint into
-// a char LM fails loudly, not silently.
+// Format v2: magic, version, metadata, then per parameter
+// (name, rank, dims..., raw FP32 payload), then an optional training
+// state section (optimizer moments, loss-scaler policy, per-rank RNG
+// streams) and a trailing FNV-1a64 checksum over everything before it.
+// Load validates the checksum first, then names and shapes against the
+// receiving model — a half-written file from a crash mid-save, a
+// loading a word-LM checkpoint into a char LM, or a flipped bit all
+// fail loudly, not silently.
+//
+// The training state is what turns "load the weights" into *exact*
+// resume: restoring it makes the continued run bitwise identical to one
+// that never stopped.  File saves are atomic (temp file + rename), so a
+// crash during save leaves the previous checkpoint intact.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "zipflm/nn/lm_model.hpp"
+#include "zipflm/nn/loss_scaler.hpp"
 
 namespace zipflm {
 
@@ -21,18 +34,40 @@ struct CheckpointMeta {
   std::uint64_t epoch = 0;
 };
 
-/// Serialize all parameters of the model (plus metadata) to the stream.
+/// Everything beyond the parameters that exact resume needs.  Replicas
+/// are bit-identical across ranks (a continuously tested invariant), so
+/// one optimizer blob serves every rank; the RNG streams are saved per
+/// global rank because each rank draws its own dropout masks.
+struct TrainState {
+  bool present = false;
+  std::string optimizer_blob;  ///< Optimizer::save_state of one replica
+  bool has_scaler = false;
+  LossScaler::State scaler;
+  /// xoshiro256** words of each rank's dropout stream, by global rank.
+  std::vector<std::array<std::uint64_t, 4>> rank_rng;
+};
+
+/// Serialize all parameters of the model (plus metadata and, when given,
+/// the training state) to the stream, checksummed.
 void save_checkpoint(std::ostream& out, LmModel& model,
-                     const CheckpointMeta& meta = {});
+                     const CheckpointMeta& meta = {},
+                     const TrainState* train = nullptr);
 
 /// Restore parameters into an identically-shaped model.  Throws
-/// ConfigError on magic/version/name/shape mismatch.  Returns the saved
-/// metadata.
-CheckpointMeta load_checkpoint(std::istream& in, LmModel& model);
+/// ConfigError on checksum/magic/version/name/shape mismatch.  When
+/// `train` is non-null it receives the training state section
+/// (train->present says whether the checkpoint carried one).  Returns
+/// the saved metadata.
+CheckpointMeta load_checkpoint(std::istream& in, LmModel& model,
+                               TrainState* train = nullptr);
 
-/// Convenience file wrappers.
+/// Convenience file wrappers.  Saving is atomic: the bytes go to
+/// `path + ".tmp"` and are renamed over `path` only once fully written,
+/// so a crash mid-save cannot destroy the previous checkpoint.
 void save_checkpoint_file(const std::string& path, LmModel& model,
-                          const CheckpointMeta& meta = {});
-CheckpointMeta load_checkpoint_file(const std::string& path, LmModel& model);
+                          const CheckpointMeta& meta = {},
+                          const TrainState* train = nullptr);
+CheckpointMeta load_checkpoint_file(const std::string& path, LmModel& model,
+                                    TrainState* train = nullptr);
 
 }  // namespace zipflm

@@ -16,9 +16,11 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "zipflm/comm/thread_comm.hpp"
@@ -28,6 +30,7 @@
 #include "zipflm/data/batch.hpp"
 #include "zipflm/device/device.hpp"
 #include "zipflm/nn/lm_model.hpp"
+#include "zipflm/nn/loss_scaler.hpp"
 #include "zipflm/nn/optimizer.hpp"
 
 namespace zipflm {
@@ -54,6 +57,13 @@ struct TrainerOptions {
   /// Charge model + activations against the simulated pool (disable for
   /// tiny unit-test models where the accounting is noise).
   bool charge_static_memory = true;
+  /// Dynamic loss-scaler overflow policy: when any synchronized gradient
+  /// comes back non-finite (e.g. a corrupted wire payload), every rank
+  /// deterministically skips the optimizer step and backs the scale off
+  /// instead of poisoning the weights.  Off by default — the guard scans
+  /// every gradient each step, and existing trajectories must not move.
+  bool dynamic_loss_scale = false;
+  float initial_loss_scale = 1024.0f;
 };
 
 struct EpochStats {
@@ -61,6 +71,8 @@ struct EpochStats {
   double valid_loss = 0.0;      ///< full-vocabulary CE on the valid set
   double valid_perplexity = 0.0;
   std::uint64_t steps = 0;
+  std::uint64_t skipped_steps = 0;  ///< overflow-guard skips (per rank)
+  int restarts = 0;  ///< fault rollbacks consumed (resilient epochs only)
   std::uint64_t global_unique_sum = 0;  ///< Σ over steps of U_g (input emb)
   TrafficLedger comm_total;     ///< summed over ranks, this epoch
   std::uint64_t peak_memory_bytes = 0;  ///< max over ranks
@@ -83,20 +95,49 @@ class DistributedTrainer {
   EpochStats run_epoch(std::span<const Index> train_ids,
                        std::span<const Index> valid_ids, int epoch);
 
+  /// Fault-tolerant epoch: checkpoints the full training state to
+  /// `checkpoint_path` before starting, and on CollectiveTimeoutError
+  /// (a rank died mid-epoch) rolls every surviving replica back to that
+  /// checkpoint and reruns the epoch over the surviving ranks only —
+  /// the dead rank was already retired by CommWorld::run.  Gives up
+  /// (rethrows) after `max_restarts` rollbacks.
+  EpochStats run_epoch_resilient(std::span<const Index> train_ids,
+                                 std::span<const Index> valid_ids, int epoch,
+                                 const std::string& checkpoint_path,
+                                 int max_restarts = 2);
+
   /// Full-vocabulary validation loss (nats/token).
   double evaluate(std::span<const Index> valid_ids);
+
+  /// Write a v2 checkpoint carrying parameters, optimizer moments,
+  /// loss-scaler policy, and every rank's dropout RNG stream — enough
+  /// that a restored run continues bitwise identically to one that was
+  /// never interrupted.  The file variant writes atomically.
+  void save_state(std::ostream& out);
+  void save_state_file(const std::string& path);
+  /// Restore all replicas from a checkpoint written by save_state.
+  /// Throws ConfigError if the checkpoint carries no training state.
+  void restore_state(std::istream& in);
+  void restore_state_file(const std::string& path);
+
+  std::uint64_t global_step() const noexcept { return global_step_; }
+  std::uint64_t epochs_completed() const noexcept {
+    return epochs_completed_;
+  }
 
   LmModel& model(int rank);
   const MemoryPool& pool(int rank) const;
   const TrainerOptions& options() const noexcept { return options_; }
 
-  /// True iff every replica's parameters are bit-identical to rank 0's.
+  /// True iff every live replica's parameters are bit-identical to the
+  /// first live rank's.
   bool replicas_in_sync();
 
  private:
-  void sync_step(Communicator& comm, LmModel& model, Optimizer& opt,
-                 MemoryPool& pool, const LmStepResult& res,
-                 std::uint64_t* unique_out);
+  /// Returns false when the overflow guard skipped the optimizer step.
+  bool sync_step(Communicator& comm, LmModel& model, Optimizer& opt,
+                 MemoryPool& pool, LossScaler* scaler,
+                 const LmStepResult& res, std::uint64_t* unique_out);
 
   CommWorld& world_;
   TrainerOptions options_;
@@ -106,8 +147,10 @@ class DistributedTrainer {
   std::vector<std::unique_ptr<LmModel>> models_;
   std::vector<std::unique_ptr<Optimizer>> optimizers_;
   std::vector<std::unique_ptr<MemoryPool>> pools_;
+  std::vector<LossScaler> scalers_;  ///< per rank; empty unless dynamic
   std::vector<Allocation> static_memory_;
   std::uint64_t global_step_ = 0;
+  std::uint64_t epochs_completed_ = 0;
 };
 
 }  // namespace zipflm

@@ -2,11 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iterator>
+#include <sstream>
 
+#include "zipflm/core/checkpoint.hpp"
 #include "zipflm/tensor/ops.hpp"
 
 namespace zipflm {
+
+namespace {
+
+bool all_finite(std::span<const float> data) {
+  for (const float v : data) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 DistributedTrainer::DistributedTrainer(CommWorld& world,
                                        const ModelFactory& factory,
@@ -21,7 +37,7 @@ DistributedTrainer::DistributedTrainer(CommWorld& world,
   }
   dense_sync_ = DenseGradSync(ex_opts);
 
-  const int g = world.world_size();
+  const int g = world.total_ranks();
   models_.reserve(static_cast<std::size_t>(g));
   optimizers_.reserve(static_cast<std::size_t>(g));
   pools_.reserve(static_cast<std::size_t>(g));
@@ -40,6 +56,12 @@ DistributedTrainer::DistributedTrainer(CommWorld& world,
     pools_.push_back(std::make_unique<MemoryPool>(
         options_.device.memory_bytes,
         options_.device.name + "#" + std::to_string(r)));
+    if (options_.dynamic_loss_scale) {
+      // Per-rank scalers, not one shared: every rank sees the same
+      // post-collective gradients, so the policies march in lockstep
+      // without cross-thread state.
+      scalers_.push_back(LossScaler::dynamic(options_.initial_loss_scale));
+    }
   }
 
   if (options_.samples_per_rank > 0) {
@@ -64,17 +86,18 @@ DistributedTrainer::DistributedTrainer(CommWorld& world,
 }
 
 LmModel& DistributedTrainer::model(int rank) {
-  ZIPFLM_CHECK(rank >= 0 && rank < world_.world_size(), "rank out of range");
+  ZIPFLM_CHECK(rank >= 0 && rank < world_.total_ranks(), "rank out of range");
   return *models_[static_cast<std::size_t>(rank)];
 }
 
 const MemoryPool& DistributedTrainer::pool(int rank) const {
-  ZIPFLM_CHECK(rank >= 0 && rank < world_.world_size(), "rank out of range");
+  ZIPFLM_CHECK(rank >= 0 && rank < world_.total_ranks(), "rank out of range");
   return *pools_[static_cast<std::size_t>(rank)];
 }
 
-void DistributedTrainer::sync_step(Communicator& comm, LmModel& model,
+bool DistributedTrainer::sync_step(Communicator& comm, LmModel& model,
                                    Optimizer& opt, MemoryPool& pool,
+                                   LossScaler* scaler,
                                    const LmStepResult& res,
                                    std::uint64_t* unique_out) {
   const float inv_world = 1.0f / static_cast<float>(comm.world_size());
@@ -91,22 +114,42 @@ void DistributedTrainer::sync_step(Communicator& comm, LmModel& model,
   scale(urows, inv_world);
   if (unique_out != nullptr) *unique_out = uids.size();
 
-  if (options_.use_adam) static_cast<Adam&>(opt).begin_step();
-  opt.step(dense);
-  opt.step_rows(model.input_embedding_param(), urows, uids);
-
-  // Output embedding: only sparse under sampled softmax.
+  // Output embedding: only sparse under sampled softmax.  Exchanged
+  // before any optimizer step runs — same values, same order, so the
+  // reorder is bitwise neutral — because the overflow guard must see
+  // every synchronized gradient before any of them touches a weight.
+  Param* out_emb = nullptr;
+  std::vector<Index> ouids;
+  Tensor ourows;
   if (!res.output_grad.ids.empty()) {
-    Param* out_emb = model.sampled_output_param();
+    out_emb = model.sampled_output_param();
     ZIPFLM_ASSERT(out_emb != nullptr,
                   "sparse output gradient without a sampled output param");
-    std::vector<Index> ouids;
-    Tensor ourows;
     exchange_->exchange(comm, res.output_grad.ids, res.output_grad.rows,
                         ouids, ourows, &pool);
     scale(ourows, inv_world);
-    opt.step_rows(*out_emb, ourows, ouids);
   }
+
+  if (scaler != nullptr) {
+    // Collectives give every rank the same reduced values, so a NaN
+    // injected by any one rank (e.g. a corrupted wire chunk) shows up
+    // identically on all of them: the skip decision is uniform without
+    // an extra vote collective, and the replicas stay in lockstep.
+    bool overflow = !all_finite(urows.data()) ||
+                    (out_emb != nullptr && !all_finite(ourows.data()));
+    for (const Param* p : dense) {
+      if (overflow) break;
+      overflow = !all_finite(p->grad.data());
+    }
+    scaler->update(overflow);
+    if (overflow) return false;
+  }
+
+  if (options_.use_adam) static_cast<Adam&>(opt).begin_step();
+  opt.step(dense);
+  opt.step_rows(model.input_embedding_param(), urows, uids);
+  if (out_emb != nullptr) opt.step_rows(*out_emb, ourows, ouids);
+  return true;
 }
 
 EpochStats DistributedTrainer::run_epoch(std::span<const Index> train_ids,
@@ -122,16 +165,23 @@ EpochStats DistributedTrainer::run_epoch(std::span<const Index> train_ids,
 
   std::vector<double> rank_loss(static_cast<std::size_t>(g), 0.0);
   std::vector<std::uint64_t> rank_steps(static_cast<std::size_t>(g), 0);
+  std::vector<std::uint64_t> rank_skipped(static_cast<std::size_t>(g), 0);
   std::vector<std::uint64_t> rank_unique(static_cast<std::size_t>(g), 0);
   const std::uint64_t step_base = global_step_;
 
   world_.run([&](Communicator& comm) {
-    const int r = comm.rank();
+    // Dense rank dr shards the data over the live world; global rank r
+    // owns this rank's replica, optimizer, and pool — the two diverge
+    // once a rank has been retired by a fault.
+    const int dr = comm.rank();
+    const int r = world_.live_ranks()[static_cast<std::size_t>(dr)];
     LmModel& model = *models_[static_cast<std::size_t>(r)];
     Optimizer& opt = *optimizers_[static_cast<std::size_t>(r)];
     MemoryPool& pool = *pools_[static_cast<std::size_t>(r)];
+    LossScaler* scaler =
+        scalers_.empty() ? nullptr : &scalers_[static_cast<std::size_t>(r)];
 
-    BatchIterator it(train_ids, options_.batch, r, g);
+    BatchIterator it(train_ids, options_.batch, dr, g);
     Batch batch;
     LmStepResult res;
     std::uint64_t local_step = 0;
@@ -139,23 +189,30 @@ EpochStats DistributedTrainer::run_epoch(std::span<const Index> train_ids,
       model.zero_grad();
       std::vector<Index> candidates;
       if (sampler_.has_value()) {
-        candidates = sampler_->candidates(r, g, step_base + local_step,
+        candidates = sampler_->candidates(dr, g, step_base + local_step,
                                           batch.targets);
       }
       model.train_step_local(batch, candidates, res);
       std::uint64_t ug = 0;
-      sync_step(comm, model, opt, pool, res, &ug);
-      rank_loss[static_cast<std::size_t>(r)] += res.loss;
-      rank_unique[static_cast<std::size_t>(r)] += ug;
+      if (!sync_step(comm, model, opt, pool, scaler, res, &ug)) {
+        ++rank_skipped[static_cast<std::size_t>(dr)];
+      }
+      rank_loss[static_cast<std::size_t>(dr)] += res.loss;
+      rank_unique[static_cast<std::size_t>(dr)] += ug;
       ++local_step;
     }
-    rank_steps[static_cast<std::size_t>(r)] = local_step;
+    rank_steps[static_cast<std::size_t>(dr)] = local_step;
   });
 
   EpochStats stats;
   stats.steps = rank_steps.front();
   for (std::uint64_t s : rank_steps) {
     ZIPFLM_ASSERT(s == stats.steps, "ranks must run identical step counts");
+  }
+  stats.skipped_steps = rank_skipped.front();
+  for (std::uint64_t s : rank_skipped) {
+    ZIPFLM_ASSERT(s == stats.skipped_steps,
+                  "overflow skips must be uniform across ranks");
   }
   global_step_ += stats.steps;
 
@@ -183,7 +240,30 @@ EpochStats DistributedTrainer::run_epoch(std::span<const Index> train_ids,
       options_.device.seconds_for_flops(flops_per_step,
                                         options_.compute_efficiency);
   stats.sim_total_seconds = stats.sim_compute_seconds + stats.sim_comm_seconds;
+  ++epochs_completed_;
   return stats;
+}
+
+EpochStats DistributedTrainer::run_epoch_resilient(
+    std::span<const Index> train_ids, std::span<const Index> valid_ids,
+    int epoch, const std::string& checkpoint_path, int max_restarts) {
+  save_state_file(checkpoint_path);
+  int restarts = 0;
+  for (;;) {
+    try {
+      EpochStats stats = run_epoch(train_ids, valid_ids, epoch);
+      stats.restarts = restarts;
+      return stats;
+    } catch (const CollectiveTimeoutError&) {
+      // A rank died mid-epoch.  CommWorld::run already retired it; the
+      // survivors' replicas are part-way through the epoch (and possibly
+      // mid-step), so roll them back to the pre-epoch checkpoint and
+      // rerun over the degraded world.
+      if (restarts >= max_restarts) throw;
+      ++restarts;
+      restore_state_file(checkpoint_path);
+    }
+  }
 }
 
 double DistributedTrainer::evaluate(std::span<const Index> valid_ids) {
@@ -192,13 +272,14 @@ double DistributedTrainer::evaluate(std::span<const Index> valid_ids) {
   std::vector<std::uint64_t> rank_batches(static_cast<std::size_t>(g), 0);
 
   world_.run([&](Communicator& comm) {
-    const int r = comm.rank();
+    const int dr = comm.rank();
+    const int r = world_.live_ranks()[static_cast<std::size_t>(dr)];
     LmModel& model = *models_[static_cast<std::size_t>(r)];
-    BatchIterator it(valid_ids, options_.batch, r, g);
+    BatchIterator it(valid_ids, options_.batch, dr, g);
     Batch batch;
     while (it.next(batch)) {
-      rank_loss[static_cast<std::size_t>(r)] += model.eval_loss(batch);
-      ++rank_batches[static_cast<std::size_t>(r)];
+      rank_loss[static_cast<std::size_t>(dr)] += model.eval_loss(batch);
+      ++rank_batches[static_cast<std::size_t>(dr)];
     }
   });
 
@@ -212,15 +293,98 @@ double DistributedTrainer::evaluate(std::span<const Index> valid_ids) {
 }
 
 bool DistributedTrainer::replicas_in_sync() {
-  auto reference = models_.front()->all_params();
-  for (std::size_t r = 1; r < models_.size(); ++r) {
-    auto params = models_[r]->all_params();
+  const auto& live = world_.live_ranks();
+  auto reference =
+      models_[static_cast<std::size_t>(live.front())]->all_params();
+  for (std::size_t i = 1; i < live.size(); ++i) {
+    auto params = models_[static_cast<std::size_t>(live[i])]->all_params();
     if (params.size() != reference.size()) return false;
-    for (std::size_t i = 0; i < params.size(); ++i) {
-      if (!(params[i]->value == reference[i]->value)) return false;
+    for (std::size_t j = 0; j < params.size(); ++j) {
+      if (!(params[j]->value == reference[j]->value)) return false;
     }
   }
   return true;
+}
+
+void DistributedTrainer::save_state(std::ostream& out) {
+  // Replicas are bit-identical (replicas_in_sync is a tested invariant),
+  // so one rank's parameters and optimizer moments stand for all; the
+  // dropout streams are saved per rank because each rank draws its own.
+  const int r0 = world_.live_ranks().front();
+  LmModel& reference = *models_[static_cast<std::size_t>(r0)];
+
+  TrainState ts;
+  ts.present = true;
+  std::ostringstream blob(std::ios::binary);
+  const auto params = reference.all_params();
+  optimizers_[static_cast<std::size_t>(r0)]->save_state(blob, params);
+  ts.optimizer_blob = blob.str();
+  if (!scalers_.empty()) {
+    ts.has_scaler = true;
+    ts.scaler = scalers_[static_cast<std::size_t>(r0)].state();
+  }
+  ts.rank_rng.reserve(models_.size());
+  for (const auto& m : models_) {
+    ts.rank_rng.push_back(m->dropout_rng().state());
+  }
+
+  const CheckpointMeta meta{global_step_, epochs_completed_};
+  save_checkpoint(out, reference, meta, &ts);
+}
+
+void DistributedTrainer::restore_state(std::istream& in) {
+  // Every replica re-reads the same serialized bytes: N in-memory parses
+  // instead of one parse + N deep copies, and the code paths stay the
+  // same whether the source is a file or a test's stringstream.
+  const std::string raw(std::istreambuf_iterator<char>(in), {});
+  CheckpointMeta meta;
+  TrainState ts;
+  for (std::size_t r = 0; r < models_.size(); ++r) {
+    std::istringstream stream(raw, std::ios::binary);
+    meta = load_checkpoint(stream, *models_[r], r == 0 ? &ts : nullptr);
+  }
+  ZIPFLM_CHECK(ts.present,
+               "checkpoint carries no training state; it can initialize "
+               "weights but not resume a run exactly");
+  ZIPFLM_CHECK(ts.rank_rng.size() == models_.size(),
+               "checkpoint rank count does not match this trainer (saved " +
+                   std::to_string(ts.rank_rng.size()) + ", have " +
+                   std::to_string(models_.size()) + ")");
+  ZIPFLM_CHECK(scalers_.empty() || ts.has_scaler,
+               "checkpoint has no loss-scaler state but dynamic scaling "
+               "is enabled");
+
+  for (std::size_t r = 0; r < models_.size(); ++r) {
+    std::istringstream blob(ts.optimizer_blob, std::ios::binary);
+    const auto params = models_[r]->all_params();
+    optimizers_[r]->load_state(blob, params);
+    models_[r]->dropout_rng().set_state(ts.rank_rng[r]);
+    if (!scalers_.empty()) scalers_[r].restore(ts.scaler);
+  }
+  global_step_ = meta.global_step;
+  epochs_completed_ = meta.epoch;
+}
+
+void DistributedTrainer::save_state_file(const std::string& path) {
+  // Mirror save_checkpoint_file's atomicity: temp file, flush, rename.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    ZIPFLM_CHECK(out.is_open(), "cannot open checkpoint file: " + tmp);
+    save_state(out);
+    out.flush();
+    ZIPFLM_CHECK(out.good(), "checkpoint flush failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    ZIPFLM_CHECK(false, "cannot move checkpoint into place: " + path);
+  }
+}
+
+void DistributedTrainer::restore_state_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ZIPFLM_CHECK(in.is_open(), "cannot open checkpoint file: " + path);
+  restore_state(in);
 }
 
 }  // namespace zipflm

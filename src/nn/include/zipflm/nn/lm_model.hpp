@@ -103,6 +103,11 @@ class LmModel {
   virtual std::size_t activation_bytes_per_token() const = 0;
   virtual void zero_grad() = 0;
 
+  /// The dropout mask stream, exposed so checkpoints can capture and
+  /// restore it — exact resume must replay the same masks the
+  /// uninterrupted run would have drawn.
+  virtual Rng& dropout_rng() = 0;
+
   /// Bytes of parameters + gradients (the model's static device cost).
   std::size_t static_bytes() {
     std::size_t total = 0;
@@ -142,6 +147,7 @@ class WordLm final : public LmModel {
   double flops_per_token() const override;
   std::size_t activation_bytes_per_token() const override;
   void zero_grad() override;
+  Rng& dropout_rng() override { return dropout_rng_; }
 
  private:
   void run_forward(const Batch& batch, Tensor& h_all, bool train);
@@ -184,6 +190,7 @@ class CharLm final : public LmModel {
   double flops_per_token() const override;
   std::size_t activation_bytes_per_token() const override;
   void zero_grad() override;
+  Rng& dropout_rng() override { return dropout_rng_; }
 
  private:
   CharLmConfig config_;

@@ -6,6 +6,7 @@
 // overflow and skip the step, double after a run of clean steps.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "zipflm/nn/param.hpp"
@@ -35,6 +36,21 @@ class LossScaler {
   void update(bool overflow);
 
   int skipped_steps() const noexcept { return skipped_; }
+
+  /// Checkpointable policy state (the scale and backoff counters; whether
+  /// the scaler is fixed or dynamic is configuration, not state).
+  struct State {
+    float scale = 1.0f;
+    std::int32_t good_streak = 0;
+    std::int32_t skipped = 0;
+  };
+
+  State state() const noexcept { return {scale_, good_streak_, skipped_}; }
+  void restore(const State& s) noexcept {
+    scale_ = s.scale;
+    good_streak_ = s.good_streak;
+    skipped_ = s.skipped;
+  }
 
  private:
   LossScaler(float scale, bool dynamic) : scale_(scale), dynamic_(dynamic) {}

@@ -4,6 +4,7 @@
 // hand them exactly the rows that changed.
 #pragma once
 
+#include <iosfwd>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +27,14 @@ class Optimizer {
 
   virtual void set_learning_rate(float lr) = 0;
   virtual float learning_rate() const = 0;
+
+  /// Serialize internal state (moment tensors, step counts) for exact
+  /// checkpoint/resume.  `params` fixes the parameter order and shapes;
+  /// save and load must be given the same list (all_params() of the
+  /// owning model).  Stateless optimizers write/read nothing.
+  virtual void save_state(std::ostream& out,
+                          std::span<Param* const> params) const;
+  virtual void load_state(std::istream& in, std::span<Param* const> params);
 };
 
 /// SGD with optional gradient clipping and weight decay.
@@ -71,6 +80,10 @@ class Adam final : public Optimizer {
   /// Advance the shared timestep; call once per training step, before
   /// the step()/step_rows() calls of that step.
   void begin_step() { ++t_; }
+
+  void save_state(std::ostream& out,
+                  std::span<Param* const> params) const override;
+  void load_state(std::istream& in, std::span<Param* const> params) override;
 
  private:
   struct Moments {

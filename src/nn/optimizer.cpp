@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
+#include "zipflm/support/serialize.hpp"
 #include "zipflm/support/thread_pool.hpp"
 #include "zipflm/tensor/ops.hpp"
 #include "zipflm/tensor/simd.hpp"
@@ -98,6 +101,9 @@ void dispatch_chunks(std::size_t n, const Fn& fn) {
 }
 
 }  // namespace
+
+void Optimizer::save_state(std::ostream&, std::span<Param* const>) const {}
+void Optimizer::load_state(std::istream&, std::span<Param* const>) {}
 
 void Sgd::step(std::span<Param* const> params) {
   const bool native = simd::active_backend() == simd::Backend::kNative;
@@ -207,6 +213,38 @@ void Adam::step_rows(Param& table, const Tensor& rows,
       }
     }
   });
+}
+
+void Adam::save_state(std::ostream& out,
+                      std::span<Param* const> params) const {
+  write_pod<std::int64_t>(out, t_);
+  for (const Param* p : params) {
+    const auto it = state_.find(p);
+    write_pod<std::uint8_t>(out, it != state_.end() ? 1 : 0);
+    if (it == state_.end()) continue;
+    const Moments& mo = it->second;
+    out.write(reinterpret_cast<const char*>(mo.m.data().data()),
+              static_cast<std::streamsize>(mo.m.bytes()));
+    out.write(reinterpret_cast<const char*>(mo.v.data().data()),
+              static_cast<std::streamsize>(mo.v.bytes()));
+  }
+  ZIPFLM_CHECK(out.good(), "optimizer state write failed");
+}
+
+void Adam::load_state(std::istream& in, std::span<Param* const> params) {
+  state_.clear();
+  t_ = read_pod<std::int64_t>(in);
+  ZIPFLM_CHECK(t_ >= 0, "negative Adam step count in optimizer state");
+  for (Param* p : params) {
+    if (read_pod<std::uint8_t>(in) == 0) continue;
+    Moments& mo = moments_for(*p);
+    in.read(reinterpret_cast<char*>(mo.m.data().data()),
+            static_cast<std::streamsize>(mo.m.bytes()));
+    in.read(reinterpret_cast<char*>(mo.v.data().data()),
+            static_cast<std::streamsize>(mo.v.bytes()));
+    ZIPFLM_CHECK(in.good(),
+                 "optimizer state truncated for parameter " + p->name);
+  }
 }
 
 float scaled_learning_rate(float base_lr, int nodes, int epoch, float decay) {

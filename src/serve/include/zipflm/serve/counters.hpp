@@ -25,6 +25,7 @@ struct ServeCounters {
   std::uint64_t requests_admitted = 0;
   std::uint64_t requests_rejected = 0;  ///< backpressure (queue full)
   std::uint64_t requests_completed = 0;
+  std::uint64_t requests_failed = 0;  ///< resolved FailedShutdown by stop()
 
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;

@@ -76,6 +76,12 @@ class BatchScheduler {
   /// forward step.  No-op (batch 0) when nothing is active.
   StepInfo step();
 
+  /// Deactivate every stream without finishing it, returning what each
+  /// had produced so far (context + partial continuation).  Nothing is
+  /// written back to the session cache — an aborted stream's state is
+  /// incomplete.  The server uses this for fail-fast shutdown.
+  std::vector<FinishedRequest> abort_active();
+
  private:
   struct ActiveStream {
     std::uint64_t request_id = 0;

@@ -34,6 +34,13 @@ struct ServeOptions {
   /// How long a fresh, non-full batch waits for more arrivals before
   /// stepping — the latency cost paid for occupancy.
   double batch_deadline_seconds = 200e-6;
+  /// stop() semantics: drain (finish every queued and in-flight request)
+  /// or fail them immediately with ResponseStatus::FailedShutdown.
+  bool drain_on_stop = true;
+  /// Backpressure retry hint handed out until at least one request has
+  /// completed — before that the measured mean latency is meaningless
+  /// (zero), and a zero hint tells clients to hammer a full queue.
+  double default_retry_seconds = 0.05;
 };
 
 struct Request {
@@ -52,9 +59,17 @@ struct Admission {
   double retry_after_seconds = 0.0;  ///< backoff hint when rejected
 };
 
+/// Terminal state of a request.  Every accepted request reaches exactly
+/// one of these; a stopped server never leaves a waiter hanging.
+enum class ResponseStatus : std::uint8_t {
+  Ok,              ///< generated all requested tokens
+  FailedShutdown,  ///< server stopped before the request finished
+};
+
 struct Response {
   std::uint64_t request_id = 0;
   std::uint64_t session_id = 0;
+  ResponseStatus status = ResponseStatus::Ok;
   std::vector<Index> tokens;  ///< context + generated continuation
   bool cache_hit = false;     ///< session resumed from cache
   double queue_seconds = 0.0;  ///< submit -> first scheduled
@@ -75,8 +90,12 @@ class Server {
   /// queued work runs once started.
   void start();
 
-  /// Drain: finish every queued and in-flight request, then join the
-  /// scheduler thread.  Idempotent.
+  /// Shut the scheduler thread down and join it.  With drain_on_stop
+  /// (the default) every queued and in-flight request finishes first;
+  /// otherwise they complete immediately with FailedShutdown.  Either
+  /// way, every accepted request holds a terminal Response when stop()
+  /// returns.  Safe to call concurrently and repeatedly: exactly one
+  /// caller joins the thread, the rest block until shutdown completes.
   void stop();
 
   /// Non-blocking admission.  Throws ConfigError on malformed requests
@@ -87,10 +106,14 @@ class Server {
   /// Non-blocking: moves the response out when finished.
   bool poll(std::uint64_t request_id, Response& out);
 
-  /// Block until `request_id` finishes.  Requires a started server.
+  /// Block until `request_id` reaches a terminal state.  Requires a
+  /// started server (or an already-finished request).  If the server
+  /// stops before the request finishes, returns a FailedShutdown
+  /// response instead of hanging forever.
   Response wait(std::uint64_t request_id);
 
-  /// Block until no request is queued or in flight.
+  /// Block until no request is queued or in flight, or the server
+  /// stops (a stopped server is idle: stop() resolves every request).
   void wait_idle();
 
   ServeCounters counters() const;
@@ -109,6 +132,9 @@ class Server {
   void scheduler_loop();
   /// Drain the admission queue into the scheduler (lock held).
   bool admit_locked();
+  /// Resolve every queued and in-flight request with FailedShutdown
+  /// (lock held).  No-op when nothing is pending.
+  void fail_residual_locked();
 
   ServeOptions options_;
   SessionCache cache_;
@@ -117,6 +143,7 @@ class Server {
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  ///< wakes the scheduler thread
   std::condition_variable done_cv_;  ///< wakes waiters on responses
+  std::condition_variable stopped_cv_;  ///< wakes concurrent stop() calls
   std::deque<Pending> queue_;
   std::unordered_map<std::uint64_t, Flight> in_flight_;
   std::unordered_map<std::uint64_t, Response> done_;
@@ -124,6 +151,7 @@ class Server {
   std::uint64_t next_request_id_ = 1;
   bool stop_requested_ = false;
   bool started_ = false;
+  bool stopping_ = false;  ///< a stop() owns the thread handle right now
   std::thread thread_;
 };
 

@@ -101,4 +101,19 @@ StepInfo BatchScheduler::step() {
   return info;
 }
 
+std::vector<FinishedRequest> BatchScheduler::abort_active() {
+  std::vector<FinishedRequest> aborted;
+  aborted.reserve(streams_.size());
+  for (ActiveStream& s : streams_) {
+    FinishedRequest fin;
+    fin.request_id = s.request_id;
+    fin.session_id = s.session_id;
+    fin.tokens = std::move(s.history);
+    fin.cache_hit = s.cache_hit;
+    aborted.push_back(std::move(fin));
+  }
+  streams_.clear();
+  return aborted;
+}
+
 }  // namespace zipflm::serve

@@ -21,23 +21,77 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   std::lock_guard lock(mutex_);
-  ZIPFLM_CHECK(!started_, "server already started");
+  ZIPFLM_CHECK(!started_ && !stopping_, "server already started");
   stop_requested_ = false;
   started_ = true;
   thread_ = std::thread(&Server::scheduler_loop, this);
 }
 
 void Server::stop() {
+  std::thread worker;
   {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
+    if (stopping_) {
+      // Another stop() owns the thread handle; joining the same thread
+      // twice is undefined behaviour, so wait for that stop to finish —
+      // the postcondition (fully stopped) holds for both callers.
+      stopped_cv_.wait(lock, [&] { return !stopping_; });
+      return;
+    }
     if (!started_) return;
+    stopping_ = true;
+    // No new work lands once we commit to stopping: flip started_
+    // before the lock drops so a concurrent start() throws instead of
+    // racing the join below.
+    started_ = false;
     stop_requested_ = true;
+    worker = std::move(thread_);
   }
   work_cv_.notify_all();
-  thread_.join();
-  std::lock_guard lock(mutex_);
-  started_ = false;
-  stop_requested_ = false;
+  if (worker.joinable()) worker.join();
+  {
+    std::lock_guard lock(mutex_);
+    // Drain mode leaves nothing behind; fail-fast mode (and requests
+    // that slipped in after the scheduler exited) resolve here, so
+    // every accepted request holds a terminal Response from now on.
+    fail_residual_locked();
+    stop_requested_ = false;
+    stopping_ = false;
+  }
+  stopped_cv_.notify_all();
+  done_cv_.notify_all();
+}
+
+void Server::fail_residual_locked() {
+  for (FinishedRequest& fin : scheduler_.abort_active()) {
+    const auto it = in_flight_.find(fin.request_id);
+    ZIPFLM_ASSERT(it != in_flight_.end(), "aborted unknown request");
+    Response response;
+    response.request_id = fin.request_id;
+    response.session_id = fin.session_id;
+    response.status = ResponseStatus::FailedShutdown;
+    response.tokens = std::move(fin.tokens);
+    response.cache_hit = fin.cache_hit;
+    response.queue_seconds = it->second.queue_seconds;
+    response.total_seconds = it->second.submitted.seconds();
+    in_flight_.erase(it);
+    counters_.requests_failed += 1;
+    done_.insert_or_assign(response.request_id, std::move(response));
+  }
+  while (!queue_.empty()) {
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+    Response response;
+    response.request_id = pending.request.request_id;
+    response.session_id = pending.request.session_id;
+    response.status = ResponseStatus::FailedShutdown;
+    response.tokens = std::move(pending.request.context);
+    response.queue_seconds = pending.submitted.seconds();
+    response.total_seconds = response.queue_seconds;
+    counters_.requests_failed += 1;
+    done_.insert_or_assign(response.request_id, std::move(response));
+  }
+  done_cv_.notify_all();
 }
 
 Admission Server::submit(Request request) {
@@ -51,12 +105,17 @@ Admission Server::submit(Request request) {
   Admission admission;
   if (queue_.size() >= options_.queue_depth) {
     // Backpressure: reject instead of blocking the caller.  The hint is
-    // a rough service time for one queued request.
+    // a rough service time for one queued request — but until the first
+    // request completes the measured mean is zero, and a zero hint
+    // invites an immediate retry storm, so fall back to the configured
+    // default.
     counters_.requests_rejected += 1;
     admission.queue_depth = queue_.size();
     admission.retry_after_seconds =
-        std::max(options_.batch_deadline_seconds,
-                 counters_.request_latency.mean_seconds());
+        counters_.request_latency.count() > 0
+            ? std::max(options_.batch_deadline_seconds,
+                       counters_.request_latency.mean_seconds())
+            : options_.default_retry_seconds;
     return admission;
   }
 
@@ -101,7 +160,11 @@ void Server::scheduler_loop() {
     work_cv_.wait(lock, [&] {
       return stop_requested_ || !queue_.empty() || scheduler_.active() > 0;
     });
-    if (stop_requested_ && queue_.empty() && scheduler_.active() == 0) break;
+    if (stop_requested_ &&
+        (!options_.drain_on_stop ||
+         (queue_.empty() && scheduler_.active() == 0))) {
+      break;  // fail-fast: stop() resolves the leftovers as FailedShutdown
+    }
 
     const bool was_idle = scheduler_.active() == 0;
     const bool admitted = admit_locked();
@@ -171,8 +234,21 @@ Response Server::wait(std::uint64_t request_id) {
   std::unique_lock lock(mutex_);
   ZIPFLM_CHECK(started_ || done_.count(request_id) > 0,
                "wait() needs a started server");
-  done_cv_.wait(lock, [&] { return done_.count(request_id) > 0; });
+  // While a drain is in progress (started_ already false, stopping_
+  // still true) the request can still finish normally, so keep waiting;
+  // only a *completed* shutdown wakes a waiter whose request never ran.
+  done_cv_.wait(lock, [&] {
+    return done_.count(request_id) > 0 || (!started_ && !stopping_);
+  });
   const auto it = done_.find(request_id);
+  if (it == done_.end()) {
+    // Stopped without this request reaching the scheduler (submitted
+    // after stop() resolved the residuals, or waited on twice).
+    Response response;
+    response.request_id = request_id;
+    response.status = ResponseStatus::FailedShutdown;
+    return response;
+  }
   Response response = std::move(it->second);
   done_.erase(it);
   return response;
@@ -182,7 +258,11 @@ void Server::wait_idle() {
   std::unique_lock lock(mutex_);
   ZIPFLM_CHECK(started_ || (queue_.empty() && in_flight_.empty()),
                "wait_idle() needs a started server");
-  done_cv_.wait(lock, [&] { return queue_.empty() && in_flight_.empty(); });
+  // A completed shutdown counts as idle: stop() resolves every request.
+  done_cv_.wait(lock, [&] {
+    return (queue_.empty() && in_flight_.empty()) ||
+           (!started_ && !stopping_);
+  });
 }
 
 ServeCounters Server::counters() const {

@@ -5,6 +5,7 @@
 // (b) the ability to time how long ranks wait (load-imbalance accounting).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -32,20 +33,49 @@ class CyclicBarrier {
   /// Block until all parties arrive.  Returns the generation index that
   /// this arrival completed (same value on every rank for one crossing).
   /// Throws zipflm::Error if the barrier was aborted while waiting, so a
-  /// failing rank cannot deadlock the remaining ranks.
+  /// failing rank cannot deadlock the remaining ranks.  With a timeout
+  /// configured (set_timeout_seconds), a crossing that does not complete
+  /// in time poisons the barrier and throws CollectiveTimeoutError on
+  /// every waiter — a dead rank can stall the ring, but never silently.
   std::uint64_t arrive_and_wait() {
     std::unique_lock lock(mutex_);
     if (aborted_) throw BarrierAborted();
+    if (timed_out_) throw_timeout();
     const std::uint64_t gen = generation_;
     if (++arrived_ == parties_) {
       arrived_ = 0;
       ++generation_;
       cv_.notify_all();
+      return gen;
+    }
+    const auto woken = [&] {
+      return generation_ != gen || aborted_ || timed_out_;
+    };
+    if (timeout_seconds_ <= 0.0) {
+      cv_.wait(lock, woken);
     } else {
-      cv_.wait(lock, [&] { return generation_ != gen || aborted_; });
-      if (aborted_ && generation_ == gen) throw BarrierAborted();
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(timeout_seconds_));
+      if (!cv_.wait_until(lock, deadline, woken)) {
+        timed_out_ = true;  // poison: every other waiter throws too
+        cv_.notify_all();
+        throw_timeout();
+      }
+    }
+    if (generation_ == gen) {
+      if (timed_out_) throw_timeout();
+      if (aborted_) throw BarrierAborted();
     }
     return gen;
+  }
+
+  /// Maximum time one crossing may take before it is declared dead.
+  /// 0 (the default) waits forever.  Only call while no thread waits.
+  void set_timeout_seconds(double seconds) {
+    std::scoped_lock lock(mutex_);
+    timeout_seconds_ = seconds;
   }
 
   /// Wake every waiter with an error; subsequent arrivals throw too.
@@ -57,11 +87,12 @@ class CyclicBarrier {
     cv_.notify_all();
   }
 
-  /// Clear abort/arrival state.  Only valid while no thread is waiting
-  /// (i.e. between CommWorld::run invocations).
+  /// Clear abort/timeout/arrival state.  Only valid while no thread is
+  /// waiting (i.e. between CommWorld::run invocations).
   void reset() {
     std::scoped_lock lock(mutex_);
     aborted_ = false;
+    timed_out_ = false;
     arrived_ = 0;
   }
 
@@ -75,12 +106,20 @@ class CyclicBarrier {
   }
 
  private:
+  [[noreturn]] void throw_timeout() const {
+    throw CollectiveTimeoutError(
+        "collective timed out after " + std::to_string(timeout_seconds_) +
+        " s: a rank stopped participating in the ring schedule");
+  }
+
   const int parties_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   int arrived_ = 0;
   std::uint64_t generation_ = 0;
+  double timeout_seconds_ = 0.0;
   bool aborted_ = false;
+  bool timed_out_ = false;
 };
 
 }  // namespace zipflm

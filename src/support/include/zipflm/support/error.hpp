@@ -51,6 +51,16 @@ class CollectiveMismatchError : public Error {
   explicit CollectiveMismatchError(const std::string& what) : Error(what) {}
 };
 
+/// A collective's barrier timed out because some rank stopped
+/// participating (a dead rank or a pathological straggler).  Thrown
+/// symmetrically on every surviving rank, converting what would be a
+/// silent deadlock into a recoverable failure — the trainer responds by
+/// rolling back to the last checkpoint and excluding the dead rank.
+class CollectiveTimeoutError : public Error {
+ public:
+  explicit CollectiveTimeoutError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void assertion_failure(const char* expr, const char* message,
                                     const std::source_location& loc);

@@ -8,6 +8,7 @@
 // through SplitMix64).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -85,6 +86,15 @@ class Rng {
   static Rng fork(std::uint64_t seed, std::uint64_t stream) noexcept {
     SplitMix64 sm(seed ^ (0xA5A5A5A5DEADBEEFULL + stream * 0x9E3779B97F4A7C15ULL));
     return Rng(sm.next());
+  }
+
+  /// Raw generator state, for exact checkpoint/resume: restoring the
+  /// state continues the stream from precisely the same draw.
+  constexpr std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  constexpr void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = s[static_cast<std::size_t>(i)];
   }
 
  private:
