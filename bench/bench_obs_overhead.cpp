@@ -1,0 +1,162 @@
+// Observability overhead: what does zipflm::obs cost the training hot
+// path?  Three numbers matter:
+//
+//   1. A compiled-in but runtime-disabled trace span — the price every
+//      instrumented scope pays on a production run.  One relaxed atomic
+//      load and a branch; the acceptance bar is <= 2% of a train step.
+//   2. An enabled span — the price while actually capturing a trace.
+//   3. A metrics counter add — the per-event registry cost.
+//
+// The macro section runs a real (small) distributed training epoch with
+// tracing disabled and then enabled, and scales the micro-measured
+// disabled-span cost by the measured events-per-step to estimate the
+// disabled-tracing overhead as a fraction of the step time.  That
+// estimate is the guarded quantity: the enabled-vs-disabled wall-clock
+// delta also gets printed, but at this model size it is dominated by
+// run-to-run noise.
+//
+// Emits one line of JSON (prefixed "RESULT ") for harness scraping.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "zipflm/comm/thread_comm.hpp"
+#include "zipflm/core/trainer.hpp"
+#include "zipflm/data/markov.hpp"
+#include "zipflm/nn/lm_model.hpp"
+#include "zipflm/obs/metrics.hpp"
+#include "zipflm/obs/trace.hpp"
+#include "zipflm/support/stopwatch.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+double ns_per_iter(const std::function<void()>& body, std::size_t iters) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) body();
+  const auto t1 = Clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                 .count()) /
+         static_cast<double>(iters);
+}
+
+}  // namespace
+
+int main() {
+  using namespace zipflm;
+
+  bench::print_header(
+      "Observability overhead (zipflm::obs)",
+      "PR 4 acceptance: disabled tracing <= 2% of a train step",
+      "micro span/counter costs + instrumented small-model train epochs");
+
+  // ---- Micro: per-event costs -------------------------------------------
+  constexpr std::size_t kIters = 1 << 20;
+  obs::trace_enable(false);
+  const double span_disabled_ns = ns_per_iter(
+      [] { ZIPFLM_TRACE_SPAN("bench_span"); }, kIters);
+
+  obs::trace_set_buffer_capacity(1 << 12);
+  obs::trace_enable(true);
+  const double span_enabled_ns = ns_per_iter(
+      [] { ZIPFLM_TRACE_SPAN("bench_span"); }, kIters);
+  obs::trace_enable(false);
+  obs::trace_clear();
+
+  auto& bench_counter =
+      obs::MetricsRegistry::global().counter("bench/obs_overhead_iters");
+  const double counter_add_ns =
+      ns_per_iter([&] { bench_counter.add(1); }, kIters);
+
+  std::printf("span, tracing disabled : %8.2f ns\n", span_disabled_ns);
+  std::printf("span, tracing enabled  : %8.2f ns\n", span_enabled_ns);
+  std::printf("counter add            : %8.2f ns\n\n", counter_add_ns);
+
+  // ---- Macro: instrumented training epochs ------------------------------
+  // Small model on purpose: the point is counting instrumented events per
+  // step and bounding their cost, not reproducing seed-model throughput
+  // (bench_train_step owns that number).
+  const int gpus = 2;
+  const auto data = bench::bigram_data(60, 16, 24'000, 4'000, 9);
+
+  CommWorld world(gpus);
+  TrainerOptions opt;
+  opt.batch = BatchSpec{4, 16};
+  opt.use_adam = true;
+  opt.base_lr = 5e-3f;
+  opt.charge_static_memory = false;
+  DistributedTrainer trainer(
+      world,
+      [](int) -> std::unique_ptr<LmModel> {
+        CharLmConfig cfg;
+        cfg.vocab = 60;
+        cfg.embed_dim = 12;
+        cfg.hidden_dim = 24;
+        cfg.depth = 2;
+        cfg.seed = 7;
+        return std::make_unique<CharLm>(cfg);
+      },
+      opt);
+
+  trainer.run_epoch(data.train, data.valid, 0);  // warmup epoch
+
+  Stopwatch watch;
+  const EpochStats off = trainer.run_epoch(data.train, data.valid, 1);
+  const double off_seconds = watch.seconds();
+
+  obs::trace_set_buffer_capacity(1 << 16);
+  obs::trace_clear();
+  obs::trace_enable(true);
+  watch.reset();
+  const EpochStats on = trainer.run_epoch(data.train, data.valid, 2);
+  const double on_seconds = watch.seconds();
+  obs::trace_enable(false);
+
+  std::ostringstream sink;
+  const obs::TraceExportStats trace = obs::write_chrome_trace(sink);
+
+  const double tokens_per_epoch =
+      static_cast<double>(off.steps) *
+      static_cast<double>(opt.batch.tokens_per_rank()) *
+      static_cast<double>(gpus);
+  const double tok_s_disabled = tokens_per_epoch / off_seconds;
+  const double tok_s_enabled = tokens_per_epoch / on_seconds;
+
+  // Span events per rank-thread per optimizer step (instants and the
+  // epoch/evaluate wrappers ride along in the numerator; conservative).
+  const double events_per_rank_step =
+      static_cast<double>(trace.events + trace.dropped) /
+      (static_cast<double>(on.steps) * static_cast<double>(gpus));
+  const double step_ns_disabled =
+      off_seconds / static_cast<double>(off.steps) * 1e9;
+  const double est_disabled_overhead_pct =
+      100.0 * events_per_rank_step * span_disabled_ns / step_ns_disabled;
+
+  std::printf("epoch of %llu steps on %d ranks\n",
+              static_cast<unsigned long long>(off.steps), gpus);
+  std::printf("throughput, tracing disabled: %9.1f tok/s\n", tok_s_disabled);
+  std::printf("throughput, tracing enabled : %9.1f tok/s\n", tok_s_enabled);
+  std::printf("trace events/rank/step      : %9.1f (%llu events, %llu "
+              "dropped, %llu lanes)\n",
+              events_per_rank_step,
+              static_cast<unsigned long long>(trace.events),
+              static_cast<unsigned long long>(trace.dropped),
+              static_cast<unsigned long long>(trace.lanes));
+  std::printf("est. disabled-trace overhead: %9.3f %% of a step\n",
+              est_disabled_overhead_pct);
+
+  std::printf(
+      "RESULT {\"bench\":\"obs_overhead\",\"span_disabled_ns\":%.3f,"
+      "\"span_enabled_ns\":%.2f,\"counter_add_ns\":%.2f,"
+      "\"tok_s_disabled\":%.1f,\"tok_s_enabled\":%.1f,"
+      "\"events_per_rank_step\":%.1f,\"est_disabled_overhead_pct\":%.4f}\n",
+      span_disabled_ns, span_enabled_ns, counter_add_ns, tok_s_disabled,
+      tok_s_enabled, events_per_rank_step, est_disabled_overhead_pct);
+  return 0;
+}

@@ -5,16 +5,23 @@
 //                [--no-unique] [--fp16] [--hierarchical]
 //                [--seed-policy g|zipf|log2|loge|log10|shared]
 //                [--lr X] [--checkpoint PATH] [--resume] [--seed N]
+//                [--trace OUT.json] [--metrics-every N]
 //
 // With --checkpoint, the full training state (weights, optimizer
 // moments, RNG streams) is written atomically after every epoch;
 // --resume restores it and continues from the next epoch, bitwise
 // identical to a run that was never interrupted.
 //
+// --trace writes a Chrome trace-event JSON of the whole run (load it at
+// https://ui.perfetto.dev — one lane per simulated rank).
+// --metrics-every prints a METRICS line (the unified registry snapshot)
+// every N optimizer steps, and a final one at exit.
+//
 // Example:
 //   lm_train_cli --model char --gpus 4 --epochs 3 --fp16
 //   lm_train_cli --model char --gpus 4 --epochs 3 --fp16
 //                --checkpoint /tmp/char.ckpt --resume
+//   lm_train_cli --gpus 4 --trace /tmp/train.json --metrics-every 50
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +30,8 @@
 #include "zipflm/core/checkpoint.hpp"
 #include "zipflm/core/trainer.hpp"
 #include "zipflm/data/markov.hpp"
+#include "zipflm/obs/metrics.hpp"
+#include "zipflm/obs/trace.hpp"
 #include "zipflm/support/format.hpp"
 
 using namespace zipflm;
@@ -45,6 +54,8 @@ struct CliArgs {
   std::string checkpoint;
   bool resume = false;
   std::uint64_t seed = 2026;
+  std::string trace;
+  int metrics_every = 0;
 
   static void usage(const char* prog) {
     std::fprintf(stderr,
@@ -53,7 +64,8 @@ struct CliArgs {
                  "          [--seqlen N] [--no-unique] [--fp16]\n"
                  "          [--hierarchical] [--seed-policy NAME]\n"
                  "          [--lr X] [--checkpoint PATH] [--resume]\n"
-                 "          [--seed N]\n",
+                 "          [--seed N] [--trace OUT.json]\n"
+                 "          [--metrics-every N]\n",
                  prog);
   }
 
@@ -96,6 +108,10 @@ struct CliArgs {
         a.resume = true;
       } else if (flag == "--seed") {
         a.seed = std::strtoull(need_value(i), nullptr, 10);
+      } else if (flag == "--trace") {
+        a.trace = need_value(i);
+      } else if (flag == "--metrics-every") {
+        a.metrics_every = std::atoi(need_value(i));
       } else if (flag == "--seed-policy") {
         const std::string p = need_value(i);
         if (p == "g") a.policy = SeedPolicy::PerRank;
@@ -142,6 +158,15 @@ int main(int argc, char** argv) {
   opt.batch = BatchSpec{args.batch, args.seqlen};
   opt.charge_static_memory = false;
   opt.clip = 5.0f;
+  if (!args.trace.empty()) obs::trace_enable(true);
+  if (args.metrics_every > 0) {
+    opt.metrics_every = args.metrics_every;
+    opt.metrics_sink = [](std::uint64_t step) {
+      std::printf("METRICS step=%llu %s\n",
+                  static_cast<unsigned long long>(step),
+                  obs::MetricsRegistry::global().to_json().c_str());
+    };
+  }
   if (word) {
     opt.samples_per_rank = std::min<Index>(64, args.vocab);
     opt.seed_policy = args.policy;
@@ -208,6 +233,20 @@ int main(int argc, char** argv) {
   }
   if (!args.checkpoint.empty()) {
     std::printf("\ncheckpoint written to %s\n", args.checkpoint.c_str());
+  }
+  if (args.metrics_every > 0) {
+    std::printf("METRICS final %s\n",
+                obs::MetricsRegistry::global().to_json().c_str());
+  }
+  if (!args.trace.empty()) {
+    // Safe to export here: every rank thread has been joined by
+    // CommWorld::run, so all trace writes happen-before this read.
+    const auto stats = obs::write_chrome_trace_file(args.trace);
+    std::printf("trace: %llu events on %llu lanes -> %s%s\n",
+                static_cast<unsigned long long>(stats.events),
+                static_cast<unsigned long long>(stats.lanes),
+                args.trace.c_str(),
+                stats.dropped > 0 ? " (ring overflow; oldest dropped)" : "");
   }
   return 0;
 }

@@ -3,17 +3,40 @@
 // session from the warm cache, and show admission-queue backpressure.
 // Exits non-zero if any of the demonstrated guarantees fails, so this
 // doubles as an end-to-end smoke test under ctest.
+//
+//   serve_demo [--trace OUT.json] [--metrics]
+//
+// --trace captures the scheduler's batch steps and admissions as a
+// Chrome trace (load at https://ui.perfetto.dev); --metrics prints the
+// unified registry snapshot at exit.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "zipflm/nn/generate.hpp"
 #include "zipflm/nn/lm_model.hpp"
+#include "zipflm/obs/metrics.hpp"
+#include "zipflm/obs/trace.hpp"
 #include "zipflm/serve/server.hpp"
 
 using namespace zipflm;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_path = nullptr;
+  bool print_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      print_metrics = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace OUT.json] [--metrics]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (trace_path != nullptr) obs::trace_enable(true);
   CharLmConfig cfg;
   cfg.vocab = 60;
   cfg.embed_dim = 12;
@@ -102,5 +125,17 @@ int main() {
               static_cast<unsigned long long>(c.cache_hits),
               static_cast<unsigned long long>(c.cache_misses),
               c.token_latency.percentile(0.95) * 1e3);
+  if (print_metrics) {
+    std::printf("\nMETRICS %s\n",
+                obs::MetricsRegistry::global().to_json().c_str());
+  }
+  if (trace_path != nullptr) {
+    // The scheduler thread was joined by server.stop(), so its trace
+    // writes happen-before this export.
+    const auto stats = obs::write_chrome_trace_file(trace_path);
+    std::printf("\ntrace: %llu events on %llu lanes -> %s\n",
+                static_cast<unsigned long long>(stats.events),
+                static_cast<unsigned long long>(stats.lanes), trace_path);
+  }
   return 0;
 }

@@ -28,6 +28,33 @@ if [[ "$run_tier1" == 1 ]]; then
   # share cores with the rest of the suite.
   ctest --test-dir build --output-on-failure \
     -R 'test_comm_faults|test_checkpoint_resume'
+
+  echo "== tier-1c: observability =="
+  # End-to-end trace export: a short traced training run must produce a
+  # parseable Chrome trace-event file with one lane per simulated rank.
+  trace_out=$(mktemp /tmp/zipflm_trace.XXXXXX.json)
+  ./build/examples/lm_train_cli --gpus 2 --epochs 1 --tokens 6000 \
+    --vocab 50 --trace "$trace_out" --metrics-every 16 > /dev/null
+  if command -v python3 > /dev/null; then
+    python3 - "$trace_out" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+lanes = {e["args"]["name"] for e in d["traceEvents"]
+         if e["ph"] == "M" and e["name"] == "thread_name"}
+assert {"rank 0", "rank 1"} <= lanes, lanes
+print(f"trace OK: {len(d['traceEvents'])} events, lanes {sorted(lanes)}")
+EOF
+  else
+    echo "python3 not found; skipping trace JSON validation"
+  fi
+  rm -f "$trace_out"
+
+  # Compiled-in-but-disabled tracing must stay under 2% of a train step.
+  ./build/bench/bench_obs_overhead | tee /tmp/zipflm_obs_bench.txt
+  grep '^RESULT' /tmp/zipflm_obs_bench.txt | awk -F'"est_disabled_overhead_pct":' \
+    '{ pct = $2 + 0
+       if (pct > 2.0) { printf "obs overhead %.3f%% exceeds 2%% bar\n", pct; exit 1 }
+       printf "obs overhead %.3f%% within 2%% bar\n", pct }'
 fi
 
 if [[ "$run_tsan" == 1 ]]; then

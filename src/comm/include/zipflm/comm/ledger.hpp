@@ -1,11 +1,18 @@
 // Per-rank accounting of everything a collective did: bytes on the wire,
-// scratch memory, call counts, and simulated transfer time under the
-// active cost model.  This ledger is the measurement instrument behind
-// the paper's communication-volume and memory claims.
+// scratch memory, call counts, per-collective peak payloads, and
+// simulated transfer time under the active cost model.  This ledger is
+// the measurement instrument behind the paper's communication-volume
+// and memory claims.
+//
+// The same numbers are mirrored, summed over ranks, into the global
+// zipflm::obs::MetricsRegistry under "comm/..." (see thread_comm.cpp),
+// so the unified metrics snapshot reports them without the caller
+// holding a CommWorld.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace zipflm {
 
@@ -19,10 +26,18 @@ struct TrafficLedger {
   /// Largest receive/scratch buffer any single collective required on
   /// this rank (the quantity that OOMs the baseline in Tables III/IV).
   std::uint64_t max_collective_scratch_bytes = 0;
+  /// Largest single-call payload per collective family — the knob that
+  /// decides chunking/fusion thresholds when optimizing collectives.
+  std::uint64_t max_allreduce_payload_bytes = 0;
+  std::uint64_t max_allgather_payload_bytes = 0;
+  std::uint64_t max_broadcast_payload_bytes = 0;
   /// Simulated communication seconds under the active CostModel.
   double simulated_comm_seconds = 0.0;
 
   void reset() { *this = TrafficLedger{}; }
+
+  /// One JSON object with every field, keys matching the member names.
+  std::string to_json() const;
 
   TrafficLedger& operator+=(const TrafficLedger& o) {
     bytes_sent += o.bytes_sent;
@@ -33,6 +48,15 @@ struct TrafficLedger {
     barrier_calls += o.barrier_calls;
     if (o.max_collective_scratch_bytes > max_collective_scratch_bytes) {
       max_collective_scratch_bytes = o.max_collective_scratch_bytes;
+    }
+    if (o.max_allreduce_payload_bytes > max_allreduce_payload_bytes) {
+      max_allreduce_payload_bytes = o.max_allreduce_payload_bytes;
+    }
+    if (o.max_allgather_payload_bytes > max_allgather_payload_bytes) {
+      max_allgather_payload_bytes = o.max_allgather_payload_bytes;
+    }
+    if (o.max_broadcast_payload_bytes > max_broadcast_payload_bytes) {
+      max_broadcast_payload_bytes = o.max_broadcast_payload_bytes;
     }
     simulated_comm_seconds += o.simulated_comm_seconds;
     return *this;

@@ -1,0 +1,24 @@
+#include "zipflm/comm/ledger.hpp"
+
+#include <sstream>
+
+namespace zipflm {
+
+std::string TrafficLedger::to_json() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"bytes_sent\":" << bytes_sent
+      << ",\"bytes_received\":" << bytes_received
+      << ",\"allreduce_calls\":" << allreduce_calls
+      << ",\"allgather_calls\":" << allgather_calls
+      << ",\"broadcast_calls\":" << broadcast_calls
+      << ",\"barrier_calls\":" << barrier_calls
+      << ",\"max_collective_scratch_bytes\":" << max_collective_scratch_bytes
+      << ",\"max_allreduce_payload_bytes\":" << max_allreduce_payload_bytes
+      << ",\"max_allgather_payload_bytes\":" << max_allgather_payload_bytes
+      << ",\"max_broadcast_payload_bytes\":" << max_broadcast_payload_bytes
+      << ",\"simulated_comm_seconds\":" << simulated_comm_seconds << '}';
+  return out.str();
+}
+
+}  // namespace zipflm

@@ -3,13 +3,56 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <string>
 #include <thread>
 
+#include "zipflm/obs/metrics.hpp"
+#include "zipflm/obs/trace.hpp"
 #include "zipflm/tensor/simd.hpp"
 
 namespace zipflm {
 
 namespace {
+
+/// Global mirror of the per-rank ledgers, summed over every rank of
+/// every CommWorld: the "comm/..." section of the unified metrics
+/// snapshot.  Looked up once, then updated with relaxed atomics — the
+/// collectives themselves never touch the registry lock.
+struct CommMetrics {
+  obs::Counter& bytes_sent;
+  obs::Counter& bytes_received;
+  obs::Counter& allreduce_calls;
+  obs::Counter& allgather_calls;
+  obs::Counter& broadcast_calls;
+  obs::Counter& barrier_calls;
+  obs::Gauge& max_scratch_bytes;
+  obs::Gauge& max_allreduce_payload;
+  obs::Gauge& max_allgather_payload;
+  obs::Gauge& max_broadcast_payload;
+  obs::Gauge& simulated_seconds;
+  obs::Counter& ranks_retired;
+  obs::Counter& world_rebuilds;
+
+  static CommMetrics& get() {
+    auto& r = obs::MetricsRegistry::global();
+    static CommMetrics m{
+        r.counter("comm/bytes_sent"),
+        r.counter("comm/bytes_received"),
+        r.counter("comm/allreduce_calls"),
+        r.counter("comm/allgather_calls"),
+        r.counter("comm/broadcast_calls"),
+        r.counter("comm/barrier_calls"),
+        r.gauge("comm/max_collective_scratch_bytes"),
+        r.gauge("comm/max_allreduce_payload_bytes"),
+        r.gauge("comm/max_allgather_payload_bytes"),
+        r.gauge("comm/max_broadcast_payload_bytes"),
+        r.gauge("comm/simulated_seconds"),
+        r.counter("comm/ranks_retired"),
+        r.counter("comm/world_rebuilds"),
+    };
+    return m;
+  }
+};
 
 /// Element range [begin, end) of chunk c when n elements are split into
 /// g chunks as evenly as possible (first n%g chunks get one extra).
@@ -101,19 +144,21 @@ class ThreadRankComm final : public Communicator {
   }
 
   void barrier() override {
+    obs::SpanScope span("barrier");
     enter_collective(nullptr, 0);
     publish(CommWorld::Op::Barrier, nullptr, nullptr, 0, -1);
     group_.barrier.arrive_and_wait();
     group_.validate_uniform(CommWorld::Op::Barrier, 0, -1);
     group_.barrier.arrive_and_wait();
     ++ledger().barrier_calls;
+    CommMetrics::get().barrier_calls.add(1);
   }
 
   void allreduce_sum(std::span<float> data) override {
     // The reducer sees one contiguous ring chunk at a time, so the FP32
     // sum can run on the vector units; per-element order within a chunk
     // is unchanged (acc = mine + left, ascending j).
-    ring_allreduce<float>(data, CommWorld::Op::AllReduceF32,
+    ring_allreduce<float>(data, CommWorld::Op::AllReduceF32, "allreduce_f32",
                           [](float* mine, const float* left, std::size_t n) {
                             simd::add_inplace(mine, left, n);
                           });
@@ -122,7 +167,7 @@ class ThreadRankComm final : public Communicator {
   void allreduce_sum(std::span<Half> data) override {
     // Accumulate each hop in FP32, store the running partial back to
     // binary16 — the precision behaviour of an FP16-wire allreduce.
-    ring_allreduce<Half>(data, CommWorld::Op::AllReduceF16,
+    ring_allreduce<Half>(data, CommWorld::Op::AllReduceF16, "allreduce_f16",
                          [](Half* mine, const Half* left, std::size_t n) {
                            for (std::size_t j = 0; j < n; ++j) {
                              mine[j] = Half(static_cast<float>(mine[j]) +
@@ -133,6 +178,7 @@ class ThreadRankComm final : public Communicator {
 
   void allreduce_max(std::span<float> data) override {
     ring_allreduce<float>(data, CommWorld::Op::AllReduceMaxF32,
+                          "allreduce_max",
                           [](float* mine, const float* left, std::size_t n) {
                             for (std::size_t j = 0; j < n; ++j) {
                               mine[j] = std::max(mine[j], left[j]);
@@ -146,6 +192,8 @@ class ThreadRankComm final : public Communicator {
     ZIPFLM_CHECK(out.size() == local.size() * static_cast<std::size_t>(g),
                  "allgather output must be world_size * block bytes");
     const std::size_t b = local.size();
+    obs::SpanScope span("allgather", "payload_bytes",
+                        static_cast<double>(b));
     // Stage own block, publish the output buffer so neighbours can read.
     std::memcpy(out.data() + static_cast<std::size_t>(rank_) * b, local.data(),
                 b);
@@ -171,14 +219,27 @@ class ThreadRankComm final : public Communicator {
     led.bytes_received += static_cast<std::uint64_t>(g - 1) * b;
     led.max_collective_scratch_bytes = std::max<std::uint64_t>(
         led.max_collective_scratch_bytes, out.size());
-    led.simulated_comm_seconds +=
-        w_.cost_.ring_allgather_seconds(group_.topo, b);
+    led.max_allgather_payload_bytes =
+        std::max<std::uint64_t>(led.max_allgather_payload_bytes, b);
+    const double sim = w_.cost_.ring_allgather_seconds(group_.topo, b);
+    led.simulated_comm_seconds += sim;
+    span.set_arg2("sim_seconds", sim);
+
+    auto& m = CommMetrics::get();
+    m.allgather_calls.add(1);
+    m.bytes_sent.add(static_cast<std::uint64_t>(g - 1) * b);
+    m.bytes_received.add(static_cast<std::uint64_t>(g - 1) * b);
+    m.max_scratch_bytes.set_max(static_cast<double>(out.size()));
+    m.max_allgather_payload.set_max(static_cast<double>(b));
+    m.simulated_seconds.add(sim);
   }
 
   void allgatherv_bytes(std::span<const std::byte> local,
                         std::vector<std::byte>& out,
                         std::vector<std::size_t>& counts) override {
     const int g = world_size();
+    obs::SpanScope span("allgatherv", "payload_bytes",
+                        static_cast<double>(local.size()));
     enter_collective(nullptr, 0);  // own block poisoned after staging below
     // Phase 1: exchange block sizes (a small fixed-size allgather; the
     // ledger accounts it as 8 bytes per rank on the wire).
@@ -228,21 +289,35 @@ class ThreadRankComm final : public Communicator {
 
     auto& led = ledger();
     ++led.allgather_calls;
-    led.bytes_sent +=
+    const std::uint64_t wire =
         moved + static_cast<std::uint64_t>(g - 1) * sizeof(std::size_t);
-    led.bytes_received +=
-        moved + static_cast<std::uint64_t>(g - 1) * sizeof(std::size_t);
+    led.bytes_sent += wire;
+    led.bytes_received += wire;
     led.max_collective_scratch_bytes = std::max<std::uint64_t>(
         led.max_collective_scratch_bytes, out.size());
-    led.simulated_comm_seconds +=
+    led.max_allgather_payload_bytes = std::max<std::uint64_t>(
+        led.max_allgather_payload_bytes, local.size());
+    const double sim =
         w_.cost_.ring_allgather_seconds(group_.topo, sizeof(std::size_t)) +
         static_cast<double>(g - 1) *
             w_.cost_.ring_step_seconds(group_.topo, max_block);
+    led.simulated_comm_seconds += sim;
+    span.set_arg2("sim_seconds", sim);
+
+    auto& m = CommMetrics::get();
+    m.allgather_calls.add(1);
+    m.bytes_sent.add(wire);
+    m.bytes_received.add(wire);
+    m.max_scratch_bytes.set_max(static_cast<double>(out.size()));
+    m.max_allgather_payload.set_max(static_cast<double>(local.size()));
+    m.simulated_seconds.add(sim);
   }
 
   void broadcast_bytes(std::span<std::byte> data, int root) override {
     const int g = world_size();
     ZIPFLM_CHECK(root >= 0 && root < g, "broadcast root out of range");
+    obs::SpanScope span("broadcast", "payload_bytes",
+                        static_cast<double>(data.size()));
     enter_collective(rank_ == root ? data.data() : nullptr, data.size());
     publish(CommWorld::Op::Broadcast, data.data(), data.data(), data.size(),
             root);
@@ -258,12 +333,25 @@ class ThreadRankComm final : public Communicator {
 
     auto& led = ledger();
     ++led.broadcast_calls;
+    auto& m = CommMetrics::get();
+    m.broadcast_calls.add(1);
     // Pipelined-ring accounting: every rank except the pipeline tail
     // forwards the payload once.
-    if (rank_ != wrap(root - 1, g)) led.bytes_sent += data.size();
-    if (rank_ != root) led.bytes_received += data.size();
-    led.simulated_comm_seconds +=
-        w_.cost_.broadcast_seconds(group_.topo, data.size());
+    if (rank_ != wrap(root - 1, g)) {
+      led.bytes_sent += data.size();
+      m.bytes_sent.add(data.size());
+    }
+    if (rank_ != root) {
+      led.bytes_received += data.size();
+      m.bytes_received.add(data.size());
+    }
+    led.max_broadcast_payload_bytes =
+        std::max<std::uint64_t>(led.max_broadcast_payload_bytes, data.size());
+    const double sim = w_.cost_.broadcast_seconds(group_.topo, data.size());
+    led.simulated_comm_seconds += sim;
+    span.set_arg2("sim_seconds", sim);
+    m.max_broadcast_payload.set_max(static_cast<double>(data.size()));
+    m.simulated_seconds.add(sim);
   }
 
  private:
@@ -313,8 +401,12 @@ class ThreadRankComm final : public Communicator {
   /// Reduce steps hand the reducer a whole contiguous chunk:
   /// reduce(mine, left, count) must combine left's partial into mine.
   template <typename T, typename Red>
-  void ring_allreduce(std::span<T> data, CommWorld::Op op, Red reduce) {
+  void ring_allreduce(std::span<T> data, CommWorld::Op op, const char* op_name,
+                      Red reduce) {
     const int g = world_size();
+    const std::size_t payload = data.size() * sizeof(T);
+    obs::SpanScope span(op_name, "payload_bytes",
+                        static_cast<double>(payload));
     enter_collective(reinterpret_cast<std::byte*>(data.data()),
                      data.size() * sizeof(T));
     publish(op, reinterpret_cast<const std::byte*>(data.data()),
@@ -326,6 +418,11 @@ class ThreadRankComm final : public Communicator {
 
     auto& led = ledger();
     ++led.allreduce_calls;
+    led.max_allreduce_payload_bytes =
+        std::max<std::uint64_t>(led.max_allreduce_payload_bytes, payload);
+    auto& m = CommMetrics::get();
+    m.allreduce_calls.add(1);
+    m.max_allreduce_payload.set_max(static_cast<double>(payload));
     if (g > 1 && !data.empty()) {
       const int left = wrap(rank_ - 1, g);
       T* left_data = reinterpret_cast<T*>(
@@ -360,9 +457,13 @@ class ThreadRankComm final : public Communicator {
 
       led.bytes_sent += moved_elems * sizeof(T);
       led.bytes_received += moved_elems * sizeof(T);
-      led.simulated_comm_seconds +=
-          w_.cost_.ring_allreduce_seconds(group_.topo,
-                                          data.size() * sizeof(T));
+      const double sim =
+          w_.cost_.ring_allreduce_seconds(group_.topo, payload);
+      led.simulated_comm_seconds += sim;
+      span.set_arg2("sim_seconds", sim);
+      m.bytes_sent.add(moved_elems * sizeof(T));
+      m.bytes_received.add(moved_elems * sizeof(T));
+      m.simulated_seconds.add(sim);
     }
   }
 
@@ -476,6 +577,11 @@ void CommWorld::run(const std::function<void(Communicator&)>& fn) {
   threads.reserve(live);
   for (std::size_t i = 0; i < live; ++i) {
     threads.emplace_back([this, &fn, &errors, &died, &died_mutex, i] {
+#if ZIPFLM_TRACE
+      // Lanes are keyed by global rank, so a rank's events land in the
+      // same Perfetto track across every run() of its lifetime.
+      obs::set_thread_lane("rank " + std::to_string(live_[i]), live_[i]);
+#endif
       ThreadRankComm comm(*this, *world_group_, static_cast<int>(i),
                           live_[i]);
       try {
@@ -499,11 +605,17 @@ void CommWorld::run(const std::function<void(Communicator&)>& fn) {
   // and immediately re-run over the survivors.
   if (!died.empty()) {
     std::sort(died.begin(), died.end());
+    auto& m = CommMetrics::get();
     for (const int r : died) {
       failed_.push_back(r);
       live_.erase(std::remove(live_.begin(), live_.end(), r), live_.end());
+      ZIPFLM_TRACE_INSTANT("rank_retired", "rank", static_cast<double>(r));
+      m.ranks_retired.add(1);
     }
     rebuild_groups();
+    ZIPFLM_TRACE_INSTANT("world_rebuilt", "live_ranks",
+                         static_cast<double>(live_.size()));
+    m.world_rebuilds.add(1);
   }
 
   // Prefer the originating error over BarrierAborted victims.

@@ -64,6 +64,12 @@ struct TrainerOptions {
   /// every gradient each step, and existing trajectories must not move.
   bool dynamic_loss_scale = false;
   float initial_loss_scale = 1024.0f;
+  /// When > 0, dense rank 0 refreshes the expensive "train/..." gauges
+  /// (grad_norm, tokens_per_s) every N optimizer steps and invokes
+  /// metrics_sink (when set) with the global step index.  The sink runs
+  /// on rank 0's thread, mid-epoch — keep it cheap and thread-safe.
+  int metrics_every = 0;
+  std::function<void(std::uint64_t global_step)> metrics_sink;
 };
 
 struct EpochStats {

@@ -1,6 +1,7 @@
 #include "zipflm/core/trainer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -9,6 +10,9 @@
 #include <sstream>
 
 #include "zipflm/core/checkpoint.hpp"
+#include "zipflm/obs/metrics.hpp"
+#include "zipflm/obs/trace.hpp"
+#include "zipflm/support/phase_timers.hpp"
 #include "zipflm/tensor/ops.hpp"
 
 namespace zipflm {
@@ -20,6 +24,42 @@ bool all_finite(std::span<const float> data) {
     if (!std::isfinite(v)) return false;
   }
   return true;
+}
+
+/// Cached "train/..." registry handles (same pattern as CommMetrics in
+/// thread_comm.cpp): looked up once, then relaxed atomic updates only —
+/// the step loop never touches the registry lock.
+struct TrainMetrics {
+  obs::Counter& steps;
+  obs::Counter& skipped_steps;
+  obs::Counter& tokens;
+  obs::Gauge& loss;
+  obs::Gauge& loss_scale;
+  obs::Gauge& grad_norm;
+  obs::Gauge& tokens_per_s;
+
+  static TrainMetrics& get() {
+    auto& r = obs::MetricsRegistry::global();
+    static TrainMetrics m{
+        r.counter("train/steps"),      r.counter("train/skipped_steps"),
+        r.counter("train/tokens"),     r.gauge("train/loss"),
+        r.gauge("train/loss_scale"),   r.gauge("train/grad_norm"),
+        r.gauge("train/tokens_per_s"),
+    };
+    return m;
+  }
+};
+
+/// L2 norm over the dense (post-allreduce) gradients.  Only evaluated on
+/// the metrics interval — it reads every dense gradient element.
+double dense_grad_norm(const std::vector<Param*>& dense) {
+  double sq = 0.0;
+  for (const Param* p : dense) {
+    for (const float g : p->grad.data()) {
+      sq += static_cast<double>(g) * static_cast<double>(g);
+    }
+  }
+  return std::sqrt(sq);
 }
 
 }  // namespace
@@ -101,50 +141,55 @@ bool DistributedTrainer::sync_step(Communicator& comm, LmModel& model,
                                    const LmStepResult& res,
                                    std::uint64_t* unique_out) {
   const float inv_world = 1.0f / static_cast<float>(comm.world_size());
-
-  // Dense parameters: classic averaged ALLREDUCE.
   const auto dense = model.dense_params();
-  dense_sync_.sync(comm, dense);
 
-  // Input embedding: the exchange under test.
   std::vector<Index> uids;
   Tensor urows;
-  exchange_->exchange(comm, res.input_ids, res.input_delta, uids, urows,
-                      &pool);
-  scale(urows, inv_world);
-  if (unique_out != nullptr) *unique_out = uids.size();
-
-  // Output embedding: only sparse under sampled softmax.  Exchanged
-  // before any optimizer step runs — same values, same order, so the
-  // reorder is bitwise neutral — because the overflow guard must see
-  // every synchronized gradient before any of them touches a weight.
   Param* out_emb = nullptr;
   std::vector<Index> ouids;
   Tensor ourows;
-  if (!res.output_grad.ids.empty()) {
-    out_emb = model.sampled_output_param();
-    ZIPFLM_ASSERT(out_emb != nullptr,
-                  "sparse output gradient without a sampled output param");
-    exchange_->exchange(comm, res.output_grad.ids, res.output_grad.rows,
-                        ouids, ourows, &pool);
-    scale(ourows, inv_world);
-  }
+  {
+    PhaseScope phase("exchange");
 
-  if (scaler != nullptr) {
-    // Collectives give every rank the same reduced values, so a NaN
-    // injected by any one rank (e.g. a corrupted wire chunk) shows up
-    // identically on all of them: the skip decision is uniform without
-    // an extra vote collective, and the replicas stay in lockstep.
-    bool overflow = !all_finite(urows.data()) ||
-                    (out_emb != nullptr && !all_finite(ourows.data()));
-    for (const Param* p : dense) {
-      if (overflow) break;
-      overflow = !all_finite(p->grad.data());
+    // Dense parameters: classic averaged ALLREDUCE.
+    dense_sync_.sync(comm, dense);
+
+    // Input embedding: the exchange under test.
+    exchange_->exchange(comm, res.input_ids, res.input_delta, uids, urows,
+                        &pool);
+    scale(urows, inv_world);
+    if (unique_out != nullptr) *unique_out = uids.size();
+
+    // Output embedding: only sparse under sampled softmax.  Exchanged
+    // before any optimizer step runs — same values, same order, so the
+    // reorder is bitwise neutral — because the overflow guard must see
+    // every synchronized gradient before any of them touches a weight.
+    if (!res.output_grad.ids.empty()) {
+      out_emb = model.sampled_output_param();
+      ZIPFLM_ASSERT(out_emb != nullptr,
+                    "sparse output gradient without a sampled output param");
+      exchange_->exchange(comm, res.output_grad.ids, res.output_grad.rows,
+                          ouids, ourows, &pool);
+      scale(ourows, inv_world);
     }
-    scaler->update(overflow);
-    if (overflow) return false;
+
+    if (scaler != nullptr) {
+      // Collectives give every rank the same reduced values, so a NaN
+      // injected by any one rank (e.g. a corrupted wire chunk) shows up
+      // identically on all of them: the skip decision is uniform without
+      // an extra vote collective, and the replicas stay in lockstep.
+      bool overflow = !all_finite(urows.data()) ||
+                      (out_emb != nullptr && !all_finite(ourows.data()));
+      for (const Param* p : dense) {
+        if (overflow) break;
+        overflow = !all_finite(p->grad.data());
+      }
+      scaler->update(overflow);
+      if (overflow) return false;
+    }
   }
 
+  PhaseScope phase("optimizer");
   if (options_.use_adam) static_cast<Adam&>(opt).begin_step();
   opt.step(dense);
   opt.step_rows(model.input_embedding_param(), urows, uids);
@@ -155,6 +200,7 @@ bool DistributedTrainer::sync_step(Communicator& comm, LmModel& model,
 EpochStats DistributedTrainer::run_epoch(std::span<const Index> train_ids,
                                          std::span<const Index> valid_ids,
                                          int epoch) {
+  obs::SpanScope epoch_span("epoch", "epoch", static_cast<double>(epoch));
   const int g = world_.world_size();
   const float lr = scaled_learning_rate(
       options_.base_lr, world_.topology().nodes, epoch, options_.lr_decay);
@@ -185,7 +231,13 @@ EpochStats DistributedTrainer::run_epoch(std::span<const Index> train_ids,
     Batch batch;
     LmStepResult res;
     std::uint64_t local_step = 0;
+    auto& tm = TrainMetrics::get();
+    const std::uint64_t batch_tokens =
+        static_cast<std::uint64_t>(options_.batch.tokens_per_rank());
+    auto interval_start = std::chrono::steady_clock::now();
     while (it.next(batch)) {
+      obs::SpanScope step_span("train_step", "step",
+                               static_cast<double>(step_base + local_step));
       model.zero_grad();
       std::vector<Index> candidates;
       if (sampler_.has_value()) {
@@ -196,10 +248,40 @@ EpochStats DistributedTrainer::run_epoch(std::span<const Index> train_ids,
       std::uint64_t ug = 0;
       if (!sync_step(comm, model, opt, pool, scaler, res, &ug)) {
         ++rank_skipped[static_cast<std::size_t>(dr)];
+        tm.skipped_steps.add(1);
+        ZIPFLM_TRACE_INSTANT("overflow_skip");
       }
       rank_loss[static_cast<std::size_t>(dr)] += res.loss;
       rank_unique[static_cast<std::size_t>(dr)] += ug;
       ++local_step;
+      step_span.set_arg2("loss", res.loss);
+
+      tm.steps.add(1);
+      tm.tokens.add(batch_tokens);
+      if (dr == 0) {
+        // One writer (dense rank 0), plain relaxed stores: the gauges
+        // always hold the latest step's values.
+        tm.loss.set(res.loss);
+        if (scaler != nullptr) tm.loss_scale.set(scaler->scale());
+        if (options_.metrics_every > 0 &&
+            local_step % static_cast<std::uint64_t>(options_.metrics_every) ==
+                0) {
+          tm.grad_norm.set(dense_grad_norm(model.dense_params()));
+          const auto now = std::chrono::steady_clock::now();
+          const double secs =
+              std::chrono::duration<double>(now - interval_start).count();
+          interval_start = now;
+          if (secs > 0.0) {
+            tm.tokens_per_s.set(
+                static_cast<double>(options_.metrics_every) *
+                static_cast<double>(batch_tokens * static_cast<unsigned>(g)) /
+                secs);
+          }
+          if (options_.metrics_sink) {
+            options_.metrics_sink(step_base + local_step);
+          }
+        }
+      }
     }
     rank_steps[static_cast<std::size_t>(dr)] = local_step;
   });
@@ -267,6 +349,7 @@ EpochStats DistributedTrainer::run_epoch_resilient(
 }
 
 double DistributedTrainer::evaluate(std::span<const Index> valid_ids) {
+  obs::SpanScope eval_span("evaluate");
   const int g = world_.world_size();
   std::vector<double> rank_loss(static_cast<std::size_t>(g), 0.0);
   std::vector<std::uint64_t> rank_batches(static_cast<std::size_t>(g), 0);

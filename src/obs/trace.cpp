@@ -1,0 +1,276 @@
+#include "zipflm/obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace zipflm::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 1 << 15;  // events per lane
+
+/// One lane's ring.  The owning thread is the only writer of `ring_`
+/// slots and the only `head_` incrementer; the exporter reads `head_`
+/// with acquire and then the slots (see the header's synchronization
+/// contract for why that read never races a live write).
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity, std::string label, int sort_key)
+      : capacity_(capacity), label_(std::move(label)), sort_key_(sort_key) {}
+
+  void emit(const TraceEvent& ev) {
+    // The ring materializes on the owner's first emit, so binding a
+    // lane costs a map entry, not capacity * sizeof(TraceEvent).  The
+    // release store below publishes the resize together with the slot.
+    if (ring_.empty()) ring_.resize(capacity_);
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    ring_[static_cast<std::size_t>(h % capacity_)] = ev;
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  void clear() { head_.store(0, std::memory_order_release); }
+
+  /// Copy the surviving (newest) events, oldest first; returns the
+  /// number lost to drop-oldest.
+  std::uint64_t snapshot(std::vector<TraceEvent>& out) const {
+    out.clear();
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    if (h == 0) return 0;  // ring possibly not materialized yet
+    const std::uint64_t n = std::min<std::uint64_t>(h, capacity_);
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = h - n; i < h; ++i) {
+      out.push_back(ring_[static_cast<std::size_t>(i % capacity_)]);
+    }
+    return h - n;
+  }
+
+  const std::string& label() const noexcept { return label_; }
+  int sort_key() const noexcept { return sort_key_; }
+
+ private:
+  const std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::atomic<std::uint64_t> head_{0};
+  std::string label_;
+  int sort_key_;
+};
+
+/// Global registry of lane buffers.  All mutation (adoption, clear,
+/// export) is mutex-guarded; only the per-event fast path bypasses it.
+class Collector {
+ public:
+  static Collector& get() {
+    // Intentionally immortal: pool workers may still adopt lanes while
+    // static destructors run (destruction order across TUs is
+    // unspecified), so the registry must never be torn down.
+    static Collector* c = new Collector;
+    return *c;
+  }
+
+  std::shared_ptr<TraceBuffer> adopt(const std::string& label, int sort_key) {
+    std::scoped_lock lock(mutex_);
+    auto it = lanes_.find(label);
+    if (it == lanes_.end()) {
+      it = lanes_
+               .emplace(label, std::make_shared<TraceBuffer>(capacity_, label,
+                                                             sort_key))
+               .first;
+    }
+    return it->second;
+  }
+
+  void set_capacity(std::size_t events) {
+    std::scoped_lock lock(mutex_);
+    capacity_ = std::max<std::size_t>(events, 16);
+  }
+
+  void clear() {
+    std::scoped_lock lock(mutex_);
+    for (auto& [label, buf] : lanes_) buf->clear();
+  }
+
+  TraceExportStats write(std::ostream& out);
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<TraceBuffer>> lanes_;
+  std::size_t capacity_ = kDefaultCapacity;
+};
+
+/// The calling thread's lane binding.  Holding a shared_ptr keeps the
+/// buffer alive past thread exit; the Collector holds the other
+/// reference so joined threads' events survive until export.
+struct ThreadLane {
+  std::shared_ptr<TraceBuffer> buffer;
+};
+
+ThreadLane& thread_lane() {
+  thread_local ThreadLane lane;
+  return lane;
+}
+
+std::atomic<int> g_anon_lane_seq{0};
+
+TraceBuffer& thread_buffer() {
+  ThreadLane& lane = thread_lane();
+  if (!lane.buffer) {
+    // Unnamed thread: give it a stable anonymous lane sorted last.
+    const int n = g_anon_lane_seq.fetch_add(1, std::memory_order_relaxed);
+    lane.buffer =
+        Collector::get().adopt("thread " + std::to_string(n), 1000 + n);
+  }
+  return *lane.buffer;
+}
+
+void json_escape(std::ostream& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+          << "0123456789abcdef"[c & 0xF];
+    } else {
+      out << c;
+    }
+  }
+}
+
+void write_args(std::ostream& out, const TraceEvent& ev) {
+  if (ev.arg0_name == nullptr && ev.arg1_name == nullptr) return;
+  out << ",\"args\":{";
+  bool first = true;
+  for (const auto& [name, value] :
+       {std::pair{ev.arg0_name, ev.arg0}, std::pair{ev.arg1_name, ev.arg1}}) {
+    if (name == nullptr) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"';
+    json_escape(out, name);
+    out << "\":" << value;
+  }
+  out << '}';
+}
+
+TraceExportStats Collector::write(std::ostream& out) {
+  std::scoped_lock lock(mutex_);
+  TraceExportStats stats;
+
+  // Stable tid assignment: lanes ordered by sort key, then label.
+  std::vector<TraceBuffer*> ordered;
+  ordered.reserve(lanes_.size());
+  for (auto& [label, buf] : lanes_) ordered.push_back(buf.get());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceBuffer* a, const TraceBuffer* b) {
+                     return a->sort_key() != b->sort_key()
+                                ? a->sort_key() < b->sort_key()
+                                : a->label() < b->label();
+                   });
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out << ',';
+    first = false;
+  };
+  std::vector<TraceEvent> events;
+  for (std::size_t tid = 0; tid < ordered.size(); ++tid) {
+    const TraceBuffer& buf = *ordered[tid];
+    const std::uint64_t dropped = buf.snapshot(events);
+    if (events.empty() && dropped == 0) continue;
+    ++stats.lanes;
+    stats.dropped += dropped;
+
+    comma();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"";
+    json_escape(out, buf.label().c_str());
+    if (dropped > 0) out << " (dropped " << dropped << ")";
+    out << "\"}}";
+    comma();
+    out << "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << tid << ",\"args\":{\"sort_index\":" << buf.sort_key() << "}}";
+
+    for (const TraceEvent& ev : events) {
+      comma();
+      // Chrome trace timestamps are microseconds; keep ns resolution
+      // with three decimals.
+      out << "{\"name\":\"";
+      json_escape(out, ev.name);
+      out << "\",\"ph\":\"" << (ev.instant ? 'i' : 'X')
+          << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":"
+          << static_cast<double>(ev.start_ns) / 1e3;
+      if (ev.instant) {
+        out << ",\"s\":\"t\"";
+      } else {
+        out << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3;
+      }
+      write_args(out, ev);
+      out << '}';
+      ++stats.events;
+    }
+  }
+  out << "]}";
+  return stats;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+void emit(const TraceEvent& ev) { thread_buffer().emit(ev); }
+
+}  // namespace detail
+
+void trace_enable(bool on) {
+  if (on) detail::now_ns();  // pin the epoch before the first event
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void trace_set_buffer_capacity(std::size_t events) {
+  Collector::get().set_capacity(events);
+}
+
+void trace_clear() { Collector::get().clear(); }
+
+void set_thread_lane(const std::string& label, int sort_key) {
+  thread_lane().buffer = Collector::get().adopt(label, sort_key);
+}
+
+TraceExportStats write_chrome_trace(std::ostream& out) {
+  return Collector::get().write(out);
+}
+
+TraceExportStats write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+  const TraceExportStats stats = write_chrome_trace(out);
+  out.flush();
+  if (!out.good()) {
+    throw std::runtime_error("trace write failed: " + path);
+  }
+  return stats;
+}
+
+}  // namespace zipflm::obs

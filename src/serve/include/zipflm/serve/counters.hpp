@@ -15,6 +15,13 @@ struct ServeCounters {
   LatencyHistogram token_latency;
   /// Submit-to-finish latency per completed request.
   LatencyHistogram request_latency;
+  /// Time each admitted request spent in the admission queue (submit to
+  /// scheduler admit) — the backpressure signal queue_depth thresholds.
+  LatencyHistogram queue_latency;
+
+  /// Requests sitting in the admission queue right now (refreshed on
+  /// every submit/admit transition).
+  std::uint64_t queue_depth = 0;
 
   std::uint64_t batch_steps = 0;       ///< batched forward steps executed
   std::uint64_t batched_streams = 0;   ///< sum of batch sizes over steps

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "zipflm/obs/trace.hpp"
 #include "zipflm/support/error.hpp"
 #include "zipflm/support/stopwatch.hpp"
 
@@ -28,6 +29,9 @@ AdmitInfo BatchScheduler::admit(ScheduledRequest request) {
   s.target_len = s.history.size() + request.new_tokens;
   s.options = request.options;
   s.rng = Rng(request.seed);
+
+  ZIPFLM_TRACE_INSTANT("admit", "context_len",
+                       static_cast<double>(s.context_len));
 
   AdmitInfo info;
   info.context_len = s.context_len;
@@ -57,6 +61,7 @@ StepInfo BatchScheduler::step() {
   const auto bsz = static_cast<Index>(streams_.size());
   if (bsz == 0) return info;
   info.batch = bsz;
+  obs::SpanScope span("batch_step", "batch", static_cast<double>(bsz));
 
   if (batch_state_.batch() != bsz) batch_state_ = model_.initial_state(bsz);
   tokens_.resize(static_cast<std::size_t>(bsz));

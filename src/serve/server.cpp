@@ -4,9 +4,58 @@
 #include <chrono>
 #include <utility>
 
+#include "zipflm/obs/metrics.hpp"
+#include "zipflm/obs/trace.hpp"
 #include "zipflm/support/error.hpp"
 
 namespace zipflm::serve {
+
+namespace {
+
+/// Global "serve/..." mirror of ServeCounters (same pattern as the comm
+/// and train metrics): updated at the exact sites the legacy counters
+/// increment, so the unified snapshot and Server::counters() agree.
+struct ServeMetrics {
+  obs::Counter& requests_admitted;
+  obs::Counter& requests_rejected;
+  obs::Counter& requests_completed;
+  obs::Counter& requests_failed;
+  obs::Counter& batch_steps;
+  obs::Counter& batched_streams;
+  obs::Counter& tokens_generated;
+  obs::Counter& context_tokens_primed;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Gauge& cache_evictions;
+  obs::Gauge& queue_depth;
+  obs::Histogram& queue_seconds;
+  obs::Histogram& token_seconds;
+  obs::Histogram& request_seconds;
+
+  static ServeMetrics& get() {
+    auto& r = obs::MetricsRegistry::global();
+    static ServeMetrics m{
+        r.counter("serve/requests_admitted"),
+        r.counter("serve/requests_rejected"),
+        r.counter("serve/requests_completed"),
+        r.counter("serve/requests_failed"),
+        r.counter("serve/batch_steps"),
+        r.counter("serve/batched_streams"),
+        r.counter("serve/tokens_generated"),
+        r.counter("serve/context_tokens_primed"),
+        r.counter("serve/cache_hits"),
+        r.counter("serve/cache_misses"),
+        r.gauge("serve/cache_evictions"),
+        r.gauge("serve/queue_depth"),
+        r.histogram("serve/queue_seconds"),
+        r.histogram("serve/token_seconds"),
+        r.histogram("serve/request_seconds"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 Server::Server(LmModel& model, ServeOptions options)
     : options_(options),
@@ -76,6 +125,7 @@ void Server::fail_residual_locked() {
     response.total_seconds = it->second.submitted.seconds();
     in_flight_.erase(it);
     counters_.requests_failed += 1;
+    ServeMetrics::get().requests_failed.add(1);
     done_.insert_or_assign(response.request_id, std::move(response));
   }
   while (!queue_.empty()) {
@@ -89,8 +139,11 @@ void Server::fail_residual_locked() {
     response.queue_seconds = pending.submitted.seconds();
     response.total_seconds = response.queue_seconds;
     counters_.requests_failed += 1;
+    ServeMetrics::get().requests_failed.add(1);
     done_.insert_or_assign(response.request_id, std::move(response));
   }
+  counters_.queue_depth = 0;
+  ServeMetrics::get().queue_depth.set(0.0);
   done_cv_.notify_all();
 }
 
@@ -110,6 +163,9 @@ Admission Server::submit(Request request) {
     // invites an immediate retry storm, so fall back to the configured
     // default.
     counters_.requests_rejected += 1;
+    ServeMetrics::get().requests_rejected.add(1);
+    ZIPFLM_TRACE_INSTANT("request_rejected", "queue_depth",
+                         static_cast<double>(queue_.size()));
     admission.queue_depth = queue_.size();
     admission.retry_after_seconds =
         counters_.request_latency.count() > 0
@@ -132,12 +188,17 @@ Admission Server::submit(Request request) {
   queue_.push_back(std::move(pending));
   admission.queue_depth = queue_.size();
   counters_.requests_admitted += 1;
+  counters_.queue_depth = queue_.size();
+  auto& m = ServeMetrics::get();
+  m.requests_admitted.add(1);
+  m.queue_depth.set(static_cast<double>(queue_.size()));
   work_cv_.notify_one();
   return admission;
 }
 
 bool Server::admit_locked() {
   bool any = false;
+  auto& m = ServeMetrics::get();
   while (!queue_.empty() && scheduler_.has_capacity()) {
     Pending pending = std::move(queue_.front());
     queue_.pop_front();
@@ -145,16 +206,27 @@ bool Server::admit_locked() {
     Flight flight;
     flight.submitted = pending.submitted;
     flight.queue_seconds = pending.submitted.seconds();
+    counters_.queue_latency.record(flight.queue_seconds);
+    m.queue_seconds.record(flight.queue_seconds);
     const AdmitInfo info = scheduler_.admit(std::move(pending.request));
     counters_.cache_hits += info.cache_hit ? 1 : 0;
     counters_.cache_misses += info.cache_hit ? 0 : 1;
+    m.cache_hits.add(info.cache_hit ? 1 : 0);
+    m.cache_misses.add(info.cache_hit ? 0 : 1);
     in_flight_.emplace(id, flight);
     any = true;
+  }
+  if (any) {
+    counters_.queue_depth = queue_.size();
+    m.queue_depth.set(static_cast<double>(queue_.size()));
   }
   return any;
 }
 
 void Server::scheduler_loop() {
+#if ZIPFLM_TRACE
+  obs::set_thread_lane("serve scheduler", 100);
+#endif
   std::unique_lock lock(mutex_);
   while (true) {
     work_cv_.wait(lock, [&] {
@@ -198,8 +270,15 @@ void Server::scheduler_loop() {
     counters_.tokens_generated += info.sampled;
     counters_.context_tokens_primed += info.context_fed;
     counters_.cache_evictions = cache_.evictions();
+    auto& m = ServeMetrics::get();
+    m.batch_steps.add(1);
+    m.batched_streams.add(static_cast<std::uint64_t>(info.batch));
+    m.tokens_generated.add(info.sampled);
+    m.context_tokens_primed.add(info.context_fed);
+    m.cache_evictions.set(static_cast<double>(cache_.evictions()));
     for (std::size_t i = 0; i < info.sampled; ++i) {
       counters_.token_latency.record(info.seconds);
+      m.token_seconds.record(info.seconds);
     }
     for (FinishedRequest& fin : info.finished) {
       const auto it = in_flight_.find(fin.request_id);
@@ -214,6 +293,8 @@ void Server::scheduler_loop() {
       in_flight_.erase(it);
       counters_.requests_completed += 1;
       counters_.request_latency.record(response.total_seconds);
+      m.requests_completed.add(1);
+      m.request_seconds.record(response.total_seconds);
       done_.insert_or_assign(response.request_id, std::move(response));
     }
     if (!info.finished.empty()) done_cv_.notify_all();

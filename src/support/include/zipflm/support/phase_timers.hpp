@@ -1,56 +1,59 @@
 // Named wall-clock phase accumulators for coarse per-step profiling
-// (forward / backward / exchange / optimizer).  The registry is global
-// and mutex-protected: phases are milliseconds-scale regions, so one
-// lock per region is noise, and rank threads spawned by CommWorld can
-// report into the same table the benchmark main thread reads.
+// (forward / backward / exchange / optimizer).
+//
+// Since the zipflm::obs refactor this is a thin shim over the central
+// MetricsRegistry: a phase named "forward" accumulates into the gauge
+// "phase/forward_seconds", so the legacy static API, the unified
+// metrics snapshot, and the benchmarks that read either all see the
+// same numbers.  The old implementation serialized every hot-loop
+// region on one global mutex-guarded map; updates are now a shared-lock
+// name lookup plus a relaxed atomic add (and PhaseScope additionally
+// emits a trace span, so phases appear on the Perfetto timeline of
+// whichever rank thread ran them).
 //
 // This measures *real* kernel time on the host.  Simulated device time
 // (the paper's hours-per-epoch tables) lives in zipflm::sim instead.
 #pragma once
 
-#include <map>
-#include <mutex>
 #include <string>
 
+#include "zipflm/obs/metrics.hpp"
+#include "zipflm/obs/trace.hpp"
 #include "zipflm/support/stopwatch.hpp"
 
 namespace zipflm {
 
 class PhaseTimers {
  public:
+  /// Registry name of phase `name` ("forward" -> "phase/forward_seconds").
+  static std::string metric_name(const std::string& name) {
+    return "phase/" + name + "_seconds";
+  }
+
   /// Add `seconds` to the accumulator for `name`.
   static void add(const std::string& name, double seconds) {
-    std::scoped_lock lock(mutex());
-    table()[name] += seconds;
+    gauge(name).add(seconds);
   }
 
   /// Accumulated seconds for `name` (0 if never reported).
   static double seconds(const std::string& name) {
-    std::scoped_lock lock(mutex());
-    const auto it = table().find(name);
-    return it == table().end() ? 0.0 : it->second;
+    return gauge(name).value();
   }
 
-  static void reset() {
-    std::scoped_lock lock(mutex());
-    table().clear();
-  }
+  /// Zero every phase accumulator (other registry metrics untouched).
+  static void reset() { obs::MetricsRegistry::global().reset("phase/"); }
 
  private:
-  static std::mutex& mutex() {
-    static std::mutex m;
-    return m;
-  }
-  static std::map<std::string, double>& table() {
-    static std::map<std::string, double> t;
-    return t;
+  static obs::Gauge& gauge(const std::string& name) {
+    return obs::MetricsRegistry::global().gauge(metric_name(name));
   }
 };
 
-/// RAII phase region: accumulates its lifetime into PhaseTimers.
+/// RAII phase region: accumulates its lifetime into PhaseTimers (i.e.
+/// the metrics registry) and traces it as a span on the current lane.
 class PhaseScope {
  public:
-  explicit PhaseScope(const char* name) : name_(name) {}
+  explicit PhaseScope(const char* name) : name_(name), span_(name) {}
   ~PhaseScope() { PhaseTimers::add(name_, watch_.seconds()); }
 
   PhaseScope(const PhaseScope&) = delete;
@@ -58,6 +61,7 @@ class PhaseScope {
 
  private:
   const char* name_;
+  obs::SpanScope span_;
   Stopwatch watch_;
 };
 

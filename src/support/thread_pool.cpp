@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
 
+#include "zipflm/obs/trace.hpp"
 #include "zipflm/support/error.hpp"
 
 namespace zipflm {
@@ -15,13 +17,28 @@ std::size_t default_thread_count() {
   }
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
+
+// Distinct trace lanes per pool instance: two pools may be live at once
+// (a local test pool next to the global one), and lanes must have a
+// single live writer.
+std::atomic<int> g_pool_seq{0};
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = default_thread_count();
+  const int pool_id = g_pool_seq.fetch_add(1, std::memory_order_relaxed);
   workers_.reserve(threads - 1);
   for (std::size_t i = 0; i + 1 < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, pool_id, i] {
+#if ZIPFLM_TRACE
+      // Pool lanes sort after the simulated ranks (rank lanes use their
+      // rank as the sort key) and the serve scheduler (100).
+      obs::set_thread_lane("pool" + std::to_string(pool_id) + " worker " +
+                               std::to_string(i),
+                           200 + pool_id * 64 + static_cast<int>(i));
+#endif
+      worker_loop();
+    });
   }
 }
 
@@ -40,7 +57,15 @@ void ThreadPool::run_chunks(Job& job) {
     if (c >= job.total) return;
     const std::size_t begin = c * job.chunk;
     const std::size_t end = std::min(job.n, begin + job.chunk);
-    job.fn(begin, end);
+    {
+      // The span closes (and its ring write lands) before this chunk's
+      // done increment, so the submitter's final acquire of `done` —
+      // and anything after it, e.g. a trace export — happens-after
+      // every worker's trace writes.
+      ZIPFLM_TRACE_SPAN_ARG("pool_chunk", "indices",
+                            static_cast<double>(end - begin));
+      job.fn(begin, end);
+    }
     job.done.fetch_add(1, std::memory_order_acq_rel);
   }
 }
@@ -96,6 +121,7 @@ void ThreadPool::parallel_chunks(
     return;
   }
 
+  ZIPFLM_TRACE_SPAN_ARG("parallel_region", "indices", static_cast<double>(n));
   auto job = std::make_shared<Job>();
   job->fn = fn;
   job->n = n;
