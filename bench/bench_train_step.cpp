@@ -3,17 +3,22 @@
 // decides where optimization effort goes: forward, backward, embedding
 // exchange, optimizer.
 //
-// Runs world size 1 on purpose: the wire path is covered by
-// bench_exchange_micro; what this benchmark tracks is the *local*
-// per-step cost (kernels + local reduce + scatter + Adam), which is the
-// paper's Θ(G·K + U_g·D) constant factor.  FP16 wire precision is kept
-// on so the compression-scaling casts stay in the measured path.
+// Default world size is 1 (the *local* per-step cost — kernels + local
+// reduce + scatter + Adam, the paper's Θ(G·K + U_g·D) constant factor);
+// --gpus N runs N simulated ranks through the full wire path with the
+// overlapped bucketed dense exchange (--overlap off for the synchronous
+// reference).  Throughput is aggregate: tokens_per_rank x ranks.  FP16
+// wire precision is kept on so the compression-scaling casts stay in
+// the measured path.
 //
 // Emits one line of JSON (prefixed "RESULT ") so harnesses can scrape a
 // single machine-readable record; record the trajectory in
 // BENCH_train_step.json.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "zipflm/comm/thread_comm.hpp"
@@ -32,11 +37,33 @@
 int main(int argc, char** argv) {
   using namespace zipflm;
 
+  // Positional args first (batch, seq, steps), then flags.
+  std::vector<char*> positional;
+  int gpus = 1;
+  bool overlap = true;
+  bool fp16_wire = true;
+  std::size_t bucket_mb = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--gpus" && i + 1 < argc) {
+      gpus = std::atoi(argv[++i]);
+    } else if (arg == "--overlap" && i + 1 < argc) {
+      overlap = std::string(argv[++i]) != "off";
+    } else if (arg == "--wire" && i + 1 < argc) {
+      fp16_wire = std::string(argv[++i]) != "fp32";
+    } else if (arg == "--bucket-mb" && i + 1 < argc) {
+      bucket_mb = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
   const Index batch_size =
-      argc > 1 ? static_cast<Index>(std::atoi(argv[1])) : 8;
-  const Index seq_len = argc > 2 ? static_cast<Index>(std::atoi(argv[2])) : 8;
+      positional.size() > 0 ? static_cast<Index>(std::atoi(positional[0])) : 8;
+  const Index seq_len =
+      positional.size() > 1 ? static_cast<Index>(std::atoi(positional[1])) : 8;
   const std::size_t measured_steps =
-      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 3;
+      positional.size() > 2 ? static_cast<std::size_t>(std::atoi(positional[2]))
+                            : 3;
   const std::size_t warmup_steps = 1;
 
   bench::print_header(
@@ -52,7 +79,9 @@ int main(int argc, char** argv) {
   spec.seq_len = seq_len;
   const std::size_t total_steps = warmup_steps + measured_steps;
   const std::size_t corpus =
-      static_cast<std::size_t>(spec.tokens_per_rank()) * (total_steps + 1) + 1;
+      static_cast<std::size_t>(spec.tokens_per_rank()) * (total_steps + 1) *
+          static_cast<std::size_t>(gpus) +
+      1;
   std::vector<Index> ids(corpus);
   Rng rng(42);
   for (auto& id : ids) {
@@ -60,27 +89,54 @@ int main(int argc, char** argv) {
         rng.uniform_index(static_cast<std::uint64_t>(cfg.vocab)));
   }
 
-  const ExchangeOptions ex_opts{WirePrecision::FP16, 1024.0f, false};
-  UniqueExchange exchange(ex_opts);
-  DenseGradSync dense_sync(ex_opts);
-  Adam::Config acfg;
-  acfg.clip = 1.0f;
-  Adam opt(acfg);
+  const ExchangeOptions ex_opts{
+      fp16_wire ? WirePrecision::FP16 : WirePrecision::FP32, 1024.0f, false};
 
-  CommWorld world(1);
+  // One replica per simulated GPU, exactly like DistributedTrainer: the
+  // wire path (bucketed dense allreduce + unique embedding exchange) is
+  // in the measured loop, so --gpus 4 reports what overlap actually
+  // hides.
+  std::vector<std::unique_ptr<CharLm>> models;
+  std::vector<std::unique_ptr<Adam>> opts;
+  std::vector<std::unique_ptr<UniqueExchange>> exchanges;
+  std::vector<std::unique_ptr<DenseGradSync>> syncs;
+  for (int r = 0; r < gpus; ++r) {
+    models.push_back(std::make_unique<CharLm>(cfg));
+    Adam::Config acfg;
+    acfg.clip = 1.0f;
+    opts.push_back(std::make_unique<Adam>(acfg));
+    exchanges.push_back(std::make_unique<UniqueExchange>(ex_opts));
+    syncs.push_back(std::make_unique<DenseGradSync>(ex_opts));
+    syncs.back()->set_bucket_bytes(bucket_mb << 20);
+  }
+
+  CommWorld world(gpus);
   double measured_seconds = 0.0;
-  double exchange_seconds = 0.0;
-  double optimizer_seconds = 0.0;
+  std::vector<double> rank_exchange(static_cast<std::size_t>(gpus), 0.0);
+  std::vector<double> rank_optimizer(static_cast<std::size_t>(gpus), 0.0);
   std::uint64_t unique_rows = 0;
   world.run([&](Communicator& comm) {
+    const int r = comm.rank();
+    CharLm& model = *models[static_cast<std::size_t>(r)];
+    Adam& opt = *opts[static_cast<std::size_t>(r)];
+    UniqueExchange& exchange = *exchanges[static_cast<std::size_t>(r)];
+    DenseGradSync& dense_sync = *syncs[static_cast<std::size_t>(r)];
+
+    AsyncCommEngine engine(comm, overlap);
+    model.set_backward_hook(
+        [&dense_sync](const Param& p) { dense_sync.notify_ready(&p); });
+
     const auto dense = model.dense_params();
     BatchIterator it(ids, spec, comm.rank(), comm.world_size());
     Batch batch;
     LmStepResult res;
     Stopwatch step_watch;
+    double exchange_seconds = 0.0;
+    double optimizer_seconds = 0.0;
     for (std::size_t step = 0; step < total_steps; ++step) {
       if (step == warmup_steps) {
-        PhaseTimers::reset();
+        comm.barrier();
+        if (r == 0) PhaseTimers::reset();
         exchange_seconds = optimizer_seconds = 0.0;
         step_watch.reset();
       }
@@ -89,14 +145,17 @@ int main(int argc, char** argv) {
         std::abort();
       }
       model.zero_grad();
+      dense_sync.begin_step(comm, engine, dense);
+      PendingIdGather pending;
+      begin_id_gather(engine, batch.inputs, pending);
       model.train_step_local(batch, {}, res);
 
       Stopwatch phase_watch;
-      dense_sync.sync(comm, dense);
+      dense_sync.finish();
       std::vector<Index> uids;
       Tensor urows;
       exchange.exchange(comm, res.input_ids, res.input_delta, uids, urows,
-                        nullptr);
+                        nullptr, &pending);
       scale(urows, 1.0f / static_cast<float>(comm.world_size()));
       exchange_seconds += phase_watch.seconds();
       unique_rows = uids.size();
@@ -107,12 +166,27 @@ int main(int argc, char** argv) {
       opt.step_rows(model.input_embedding_param(), urows, uids);
       optimizer_seconds += phase_watch.seconds();
     }
-    measured_seconds = step_watch.seconds();
+    model.set_backward_hook(nullptr);
+    comm.barrier();
+    if (r == 0) measured_seconds = step_watch.seconds();
+    rank_exchange[static_cast<std::size_t>(r)] = exchange_seconds;
+    rank_optimizer[static_cast<std::size_t>(r)] = optimizer_seconds;
   });
+  double exchange_seconds = 0.0;
+  double optimizer_seconds = 0.0;
+  for (int r = 0; r < gpus; ++r) {
+    exchange_seconds =
+        std::max(exchange_seconds, rank_exchange[static_cast<std::size_t>(r)]);
+    optimizer_seconds = std::max(
+        optimizer_seconds, rank_optimizer[static_cast<std::size_t>(r)]);
+  }
 
+  // Aggregate throughput: every simulated GPU processes its own
+  // tokens_per_rank each step (data parallelism), so the fleet's
+  // tokens/s is the per-rank rate times the world size.
   const double tokens =
       static_cast<double>(spec.tokens_per_rank()) *
-      static_cast<double>(measured_steps);
+      static_cast<double>(measured_steps) * static_cast<double>(gpus);
   const double tok_s = tokens / measured_seconds;
   const double steps_d = static_cast<double>(measured_steps);
   const double step_ms = 1e3 * measured_seconds / steps_d;
@@ -135,11 +209,12 @@ int main(int argc, char** argv) {
 
   std::printf(
       "RESULT {\"bench\":\"train_step\",\"batch\":%lld,\"seq\":%lld,"
-      "\"steps\":%zu,\"tokens_per_s\":%.2f,\"step_ms\":%.2f,"
+      "\"steps\":%zu,\"gpus\":%d,\"overlap\":%s,"
+      "\"tokens_per_s\":%.2f,\"step_ms\":%.2f,"
       "\"forward_ms\":%.2f,\"backward_ms\":%.2f,\"exchange_ms\":%.2f,"
       "\"optimizer_ms\":%.2f}\n",
       static_cast<long long>(batch_size), static_cast<long long>(seq_len),
-      measured_steps, tok_s, step_ms, forward_ms, backward_ms, exchange_ms,
-      optimizer_ms);
+      measured_steps, gpus, overlap ? "true" : "false", tok_s, step_ms,
+      forward_ms, backward_ms, exchange_ms, optimizer_ms);
   return 0;
 }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Throughput regression gate: run bench_train_step in the recorded
+# configuration and compare tokens/s against the NEWEST record in
+# BENCH_train_step.json.  Fails when the fresh number falls below
+# (1 - band) x recorded — the band absorbs runner-to-runner noise, a
+# real regression does not hide inside it for long.
+#
+# Usage: scripts/bench_regression.sh [out.json]
+#   out.json            fresh RESULT payload, written for artifact upload
+#   ZIPFLM_BENCH_BAND   noise band as a fraction (default 0.15)
+#   ZIPFLM_BENCH_ARGS   bench arguments (default: the recorded config)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-bench_result.json}
+band=${ZIPFLM_BENCH_BAND:-0.15}
+args=${ZIPFLM_BENCH_ARGS:-"8 8 3 --gpus 4"}
+records=BENCH_train_step.json
+
+[[ -x build/bench/bench_train_step ]] || {
+  echo "build/bench/bench_train_step not built (run cmake --build build)" >&2
+  exit 2
+}
+[[ -f "$records" ]] || { echo "$records not found" >&2; exit 2; }
+
+# Newest record = last tokens_per_s in the append-only records file.
+recorded=$(grep -o '"tokens_per_s": *[0-9.]*' "$records" \
+  | tail -1 | grep -o '[0-9.]*$')
+[[ -n "$recorded" ]] || { echo "no tokens_per_s record in $records" >&2; exit 2; }
+
+echo "running: bench_train_step $args (recorded baseline: $recorded tok/s)"
+# shellcheck disable=SC2086  # args is a word list on purpose
+./build/bench/bench_train_step $args | tee /tmp/zipflm_bench_run.txt
+grep '^RESULT' /tmp/zipflm_bench_run.txt | sed 's/^RESULT //' > "$out"
+
+fresh=$(grep -o '"tokens_per_s": *[0-9.]*' "$out" | grep -o '[0-9.]*$')
+[[ -n "$fresh" ]] || { echo "bench produced no RESULT line" >&2; exit 2; }
+
+awk -v fresh="$fresh" -v rec="$recorded" -v band="$band" 'BEGIN {
+  floor = rec * (1.0 - band)
+  if (fresh < floor) {
+    printf "REGRESSION: %.2f tok/s < %.2f (recorded %.2f, band %.0f%%)\n",
+           fresh, floor, rec, band * 100
+    exit 1
+  }
+  printf "bench OK: %.2f tok/s >= %.2f (recorded %.2f, band %.0f%%)\n",
+         fresh, floor, rec, band * 100
+}'

@@ -1,35 +1,61 @@
 #!/usr/bin/env bash
-# Full local gate: the tier-1 suite in the default configuration, then
-# the same suite under ThreadSanitizer to shake races out of the thread
-# pool, the parallel kernels, and the serving engine.
+# Local/CI gate, split into independently runnable tiers:
 #
-# Usage: scripts/check.sh [--tsan-only | --no-tsan]
+#   1     full ctest suite in the default build
+#   1b    fault injection + exact resume, serially (real collective
+#         timeouts blur when the tests share cores with the suite)
+#   1c    observability: trace export end-to-end + the <2% disabled-
+#         instrumentation overhead bar
+#   tsan  the whole suite under ThreadSanitizer
+#
+# Usage: scripts/check.sh [--tier 1|1b|1c|tsan] [--tsan-only | --no-tsan]
+# With no arguments every tier runs, in order.  Each tier configures and
+# builds what it needs, so `scripts/check.sh --tier 1b` works from a
+# clean checkout — CI runs the tiers as separate matrix legs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-run_tier1=1
-run_tsan=1
+# Extra cmake configure flags (e.g. ZIPFLM_CHECK_FLAGS="-DZIPFLM_SIMD=scalar"
+# for the CI scalar leg).
+CHECK_FLAGS=${ZIPFLM_CHECK_FLAGS:-}
+
+tiers=()
 case "${1:-}" in
-  --tsan-only) run_tier1=0 ;;
-  --no-tsan) run_tsan=0 ;;
-  "") ;;
-  *) echo "usage: $0 [--tsan-only | --no-tsan]" >&2; exit 2 ;;
+  --tier)
+    case "${2:-}" in
+      1|1b|1c|tsan) tiers=("$2") ;;
+      *) echo "usage: $0 [--tier 1|1b|1c|tsan] [--tsan-only | --no-tsan]" >&2
+         exit 2 ;;
+    esac ;;
+  --tsan-only) tiers=(tsan) ;;
+  --no-tsan) tiers=(1 1b 1c) ;;
+  "") tiers=(1 1b 1c tsan) ;;
+  *) echo "usage: $0 [--tier 1|1b|1c|tsan] [--tsan-only | --no-tsan]" >&2
+     exit 2 ;;
 esac
 
-if [[ "$run_tier1" == 1 ]]; then
-  echo "== tier-1: default build =="
-  cmake -B build -S .
+ensure_build() {
+  # shellcheck disable=SC2086  # CHECK_FLAGS is a flag list on purpose
+  cmake -B build -S . $CHECK_FLAGS
   cmake --build build -j
-  ctest --test-dir build --output-on-failure -j
+}
 
+tier_1() {
+  echo "== tier-1: default build =="
+  ensure_build
+  ctest --test-dir build --output-on-failure -j
+}
+
+tier_1b() {
   echo "== tier-1b: fault injection + exact resume =="
-  # Re-run the crash-safety suite serially: rank-kill tests rely on real
-  # collective timeouts, which a loaded machine can blur when the tests
-  # share cores with the rest of the suite.
+  ensure_build
   ctest --test-dir build --output-on-failure \
     -R 'test_comm_faults|test_checkpoint_resume'
+}
 
+tier_1c() {
   echo "== tier-1c: observability =="
+  ensure_build
   # End-to-end trace export: a short traced training run must produce a
   # parseable Chrome trace-event file with one lane per simulated rank.
   trace_out=$(mktemp /tmp/zipflm_trace.XXXXXX.json)
@@ -45,28 +71,48 @@ assert {"rank 0", "rank 1"} <= lanes, lanes
 print(f"trace OK: {len(d['traceEvents'])} events, lanes {sorted(lanes)}")
 EOF
   else
-    echo "python3 not found; skipping trace JSON validation"
+    # Parse-level validation needs python3; the structural check below
+    # keeps this from silently passing on a minimal container.
+    echo "WARNING: python3 not found; trace JSON checked structurally only" >&2
+    grep -q '"traceEvents"' "$trace_out" || {
+      echo "trace output has no traceEvents array" >&2; exit 1; }
+    grep -q '"rank 0"' "$trace_out" && grep -q '"rank 1"' "$trace_out" || {
+      echo "trace output is missing per-rank lanes" >&2; exit 1; }
+    echo "trace OK (structural): per-rank lanes present"
   fi
   rm -f "$trace_out"
 
   # Compiled-in-but-disabled tracing must stay under 2% of a train step.
+  # awk-only on purpose: this bar must fail loudly even where python3 is
+  # absent (set -o pipefail propagates the awk exit status).
   ./build/bench/bench_obs_overhead | tee /tmp/zipflm_obs_bench.txt
   grep '^RESULT' /tmp/zipflm_obs_bench.txt | awk -F'"est_disabled_overhead_pct":' \
     '{ pct = $2 + 0
        if (pct > 2.0) { printf "obs overhead %.3f%% exceeds 2%% bar\n", pct; exit 1 }
        printf "obs overhead %.3f%% within 2%% bar\n", pct }'
-fi
+}
 
-if [[ "$run_tsan" == 1 ]]; then
-  echo "== tier-2: ThreadSanitizer build =="
-  cmake -B build-tsan -S . -DZIPFLM_SANITIZE=thread
+tier_tsan() {
+  echo "== tier-tsan: ThreadSanitizer build =="
+  # shellcheck disable=SC2086
+  cmake -B build-tsan -S . -DZIPFLM_SANITIZE=thread $CHECK_FLAGS
   cmake --build build-tsan -j
   # A couple of worker threads is enough to expose ordering bugs while
   # keeping the TSAN run tractable on small containers.  The suite
-  # includes test_serve_stress (concurrent submit/stop/wait) and
-  # test_comm_faults (rank death + retirement), the two paths where a
-  # shutdown race would hide.
+  # includes test_serve_stress (concurrent submit/stop/wait),
+  # test_comm_faults (rank death + retirement), and the overlapped
+  # exchange tests (per-rank comm threads) — the paths where a shutdown
+  # or handoff race would hide.
   ZIPFLM_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j
-fi
+}
 
-echo "check.sh: all requested suites passed"
+for tier in "${tiers[@]}"; do
+  case "$tier" in
+    1) tier_1 ;;
+    1b) tier_1b ;;
+    1c) tier_1c ;;
+    tsan) tier_tsan ;;
+  esac
+done
+
+echo "check.sh: all requested tiers passed: ${tiers[*]}"

@@ -1,0 +1,117 @@
+#include "zipflm/comm/async_exchange.hpp"
+
+#include <string>
+#include <utility>
+
+#include "zipflm/obs/trace.hpp"
+#include "zipflm/support/stopwatch.hpp"
+
+namespace zipflm {
+
+AsyncCommEngine::AsyncCommEngine(Communicator& comm, bool overlap,
+                                 bool force_thread)
+    : comm_(comm),
+      // Overlap only pays when a spare core can run the comm thread
+      // while the main thread computes.  On a single-hardware-thread
+      // host the worker would just time-slice against backprop — all
+      // handoff cost, zero hiding — so the engine degrades to inline
+      // execution at submit().  Same jobs, same order, same bytes (the
+      // determinism contract makes the two transports bitwise
+      // identical); overlap_efficiency simply reports 0.
+      overlap_(overlap &&
+               (force_thread || std::thread::hardware_concurrency() > 1)) {}
+
+AsyncCommEngine::~AsyncCommEngine() {
+  if (!worker_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void AsyncCommEngine::run_job(const Job& job) {
+  obs::SpanScope span(job.label, "payload_bytes",
+                      static_cast<double>(job.payload_bytes));
+  Stopwatch watch;
+  job.fn(comm_);
+  const double secs = watch.seconds();
+  // Called either inline (no worker) or on the worker with mu_ free;
+  // both sides serialize every stats_ access through mu_.
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.jobs += 1;
+  stats_.payload_bytes += job.payload_bytes;
+  stats_.busy_seconds += secs;
+}
+
+void AsyncCommEngine::submit(const char* label, std::size_t payload_bytes,
+                             std::function<void(Communicator&)> job) {
+  if (!overlap_) {
+    run_job(Job{label, payload_bytes, std::move(job)});
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (error_ != nullptr) return;  // queue aborted; flush() will report
+  queue_.push_back(Job{label, payload_bytes, std::move(job)});
+  if (!worker_.joinable()) {
+    worker_ = std::thread([this] { worker_loop(); });
+  }
+  lock.unlock();
+  cv_.notify_one();
+}
+
+void AsyncCommEngine::worker_loop() {
+  obs::set_thread_lane("rank " + std::to_string(comm_.rank()) + " comm",
+                       /*sort_key=*/1000 + comm_.rank());
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ with a drained queue
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    running_job_ = true;
+    lock.unlock();
+
+    std::exception_ptr err;
+    try {
+      run_job(job);
+    } catch (...) {
+      err = std::current_exception();
+    }
+
+    lock.lock();
+    running_job_ = false;
+    if (err != nullptr && error_ == nullptr) {
+      error_ = err;
+      queue_.clear();  // abort: nothing after a failed collective is safe
+    }
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+void AsyncCommEngine::flush() {
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!queue_.empty() || running_job_) {
+      Stopwatch watch;
+      idle_cv_.wait(lock, [this] { return queue_.empty() && !running_job_; });
+      stats_.flush_wait_seconds += watch.seconds();
+    }
+    err = std::exchange(error_, nullptr);
+  }
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+AsyncCommEngine::Stats AsyncCommEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AsyncCommEngine::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats{};
+}
+
+}  // namespace zipflm

@@ -1,0 +1,120 @@
+// Asynchronous collective execution: one comm thread per rank that
+// drains submitted collective jobs in FIFO order, so the simulated wire
+// works while the rank's main thread is still inside backprop.
+//
+// Correctness contract (what keeps overlap bitwise-deterministic):
+//
+//  * FIFO per rank.  Jobs execute one at a time, in submission order.
+//    Every rank must submit the same job sequence — the submission
+//    points live in deterministic single-threaded code (backward-
+//    completion hooks), so the cross-rank collective order stays
+//    uniform without any coordination, exactly as validate_uniform
+//    demands.
+//  * The main thread never enters a collective while jobs are pending:
+//    callers flush() before touching the communicator (or any buffer a
+//    job writes) themselves.  The queue mutex then provides the
+//    happens-before edge that makes the single-threaded CommWorld state
+//    (fault cursors, ledgers) safe to hand between the two threads —
+//    at any instant, at most one thread per rank is inside the
+//    communicator.
+//  * `overlap = false` runs every job inline at submit().  Identical
+//    jobs, identical order, same math — a run with overlap off is
+//    byte-for-byte the run with overlap on, minus the extra thread.
+//
+// Exceptions thrown by a job (collective timeouts, simulated rank
+// death, wire validation) are captured on the comm thread, abort the
+// remaining queue, and rethrow from flush() on the submitting thread —
+// so the existing fault-tolerance paths (run_epoch_resilient,
+// CommWorld's rank retirement) see them exactly where the synchronous
+// code would have thrown.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "zipflm/comm/communicator.hpp"
+
+namespace zipflm {
+
+class AsyncCommEngine {
+ public:
+  /// Totals since construction / reset_stats().  busy vs flush-wait is
+  /// what the overlap-efficiency gauge is made of: comm work that the
+  /// main thread did NOT sit waiting for was successfully hidden.
+  struct Stats {
+    std::uint64_t jobs = 0;
+    std::uint64_t payload_bytes = 0;     ///< as declared at submit()
+    double busy_seconds = 0.0;           ///< comm-thread time inside jobs
+    double flush_wait_seconds = 0.0;     ///< main-thread time blocked in flush
+  };
+
+  /// The engine keeps a reference to `comm`; it must outlive the engine
+  /// (stack order inside a CommWorld::run lambda gives this for free).
+  /// When the host has a single hardware thread, overlap degrades to
+  /// inline execution (no spare core to hide comm on — the worker would
+  /// only time-slice against compute); `force_thread` overrides that
+  /// for tests that exercise the threaded path itself.
+  explicit AsyncCommEngine(Communicator& comm, bool overlap = true,
+                           bool force_thread = false);
+  ~AsyncCommEngine();
+
+  AsyncCommEngine(const AsyncCommEngine&) = delete;
+  AsyncCommEngine& operator=(const AsyncCommEngine&) = delete;
+
+  bool overlap() const noexcept { return overlap_; }
+
+  /// Enqueue one collective job.  `label` must be a string literal (it
+  /// is stored by pointer for the trace span).  `payload_bytes` is
+  /// bookkeeping only — the bytes the job moves, for spans and stats.
+  /// With overlap off the job runs inline, right here.
+  void submit(const char* label, std::size_t payload_bytes,
+              std::function<void(Communicator&)> job);
+
+  /// Block until every submitted job has completed, then rethrow the
+  /// first captured job exception, if any.  Callers must flush before
+  /// running their own collectives or reading job-written buffers.
+  void flush();
+
+  /// Snapshot (call when quiescent, i.e. after flush()).
+  Stats stats() const;
+  void reset_stats();
+
+  /// 1.0 = the main thread never waited on comm; 0.0 = every comm
+  /// second was sat out in flush().  Zero busy time reports 0.
+  static double overlap_efficiency(const Stats& s) {
+    if (s.busy_seconds <= 0.0) return 0.0;
+    const double hidden = s.busy_seconds - s.flush_wait_seconds;
+    return hidden <= 0.0 ? 0.0 : hidden / s.busy_seconds;
+  }
+
+ private:
+  struct Job {
+    const char* label;
+    std::size_t payload_bytes;
+    std::function<void(Communicator&)> fn;
+  };
+
+  void worker_loop();
+  void run_job(const Job& job);
+
+  Communicator& comm_;
+  const bool overlap_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;          ///< worker wakeup (queue / stop)
+  std::condition_variable idle_cv_;     ///< flush wakeup (drained)
+  std::deque<Job> queue_;
+  bool running_job_ = false;
+  bool stop_ = false;
+  std::exception_ptr error_;            ///< first failure; queue aborted
+  Stats stats_;
+  std::thread worker_;                  ///< started lazily, only if overlap
+};
+
+}  // namespace zipflm

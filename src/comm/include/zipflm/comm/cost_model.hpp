@@ -53,6 +53,23 @@ struct CostModel {
   double ring_allgather_seconds(const Topology& topo,
                                 std::size_t bytes_per_rank) const;
   double broadcast_seconds(const Topology& topo, std::size_t bytes) const;
+
+  // -- Strategy-selection query API -----------------------------------
+  // Per-collective predictions the per-step exchange strategy selector
+  // (core/strategy_select.hpp) composes into whole-strategy costs.
+
+  /// allgatherv modeled at its critical block size: every ring step
+  /// forwards one rank's block, the largest block paces the ring.
+  double ring_allgatherv_seconds(const Topology& topo,
+                                 std::size_t max_block_bytes) const {
+    return ring_allgather_seconds(topo, max_block_bytes);
+  }
+
+  /// Two-level node/leader allreduce (comm/hierarchical.hpp): an
+  /// intra-node ring reduce, an inter-node ring over the node leaders,
+  /// then an intra-node broadcast of the result.
+  double hierarchical_allreduce_seconds(const Topology& topo,
+                                        std::size_t buffer_bytes) const;
 };
 
 }  // namespace zipflm

@@ -8,6 +8,7 @@
 
 #include "zipflm/obs/metrics.hpp"
 #include "zipflm/obs/trace.hpp"
+#include "zipflm/tensor/cast.hpp"
 #include "zipflm/tensor/simd.hpp"
 
 namespace zipflm {
@@ -167,12 +168,11 @@ class ThreadRankComm final : public Communicator {
   void allreduce_sum(std::span<Half> data) override {
     // Accumulate each hop in FP32, store the running partial back to
     // binary16 — the precision behaviour of an FP16-wire allreduce.
+    // half_accumulate is the F16C-vectorized (bit-identical) kernel;
+    // the scalar loop it replaces dominated the whole dense sync.
     ring_allreduce<Half>(data, CommWorld::Op::AllReduceF16, "allreduce_f16",
                          [](Half* mine, const Half* left, std::size_t n) {
-                           for (std::size_t j = 0; j < n; ++j) {
-                             mine[j] = Half(static_cast<float>(mine[j]) +
-                                            static_cast<float>(left[j]));
-                           }
+                           half_accumulate(mine, left, n);
                          });
   }
 
@@ -201,17 +201,20 @@ class ThreadRankComm final : public Communicator {
     publish(CommWorld::Op::AllGather, local.data(), out.data(), b, -1);
     group_.barrier.arrive_and_wait();
     group_.validate_uniform(CommWorld::Op::AllGather, b, -1);
-    group_.barrier.arrive_and_wait();
 
-    const int left = wrap(rank_ - 1, g);
-    const std::byte* left_out =
-        group_.slots[static_cast<std::size_t>(left)].dst;
+    // Every rank staged its own block before publishing, so all source
+    // blocks are final the moment the publish barrier clears: copy each
+    // straight from its owner (who never writes its own block again)
+    // instead of forwarding hop by hop.  The closing rendezvous keeps
+    // every output buffer pinned until all readers are done.
     for (int s = 0; s + 1 < g; ++s) {
       const int blk = wrap(rank_ - 1 - s, g);
+      const std::byte* owner =
+          group_.slots[static_cast<std::size_t>(blk)].dst;
       std::memcpy(out.data() + static_cast<std::size_t>(blk) * b,
-                  left_out + static_cast<std::size_t>(blk) * b, b);
-      group_.barrier.arrive_and_wait();
+                  owner + static_cast<std::size_t>(blk) * b, b);
     }
+    group_.barrier.arrive_and_wait();
 
     auto& led = ledger();
     ++led.allgather_calls;
@@ -266,13 +269,13 @@ class ThreadRankComm final : public Communicator {
       poison(out.data() + offsets[static_cast<std::size_t>(rank_)],
              local.size());
     }
-    // Phase 2: publish the (resized) output buffer, then ring-forward.
+    // Phase 2: publish the (resized) output buffer, then copy every
+    // block straight from its owner's staged output — final as of the
+    // publish barrier, and owners never rewrite their own block — with
+    // one closing rendezvous in place of the hop-by-hop forwarding.
     group_.slots[static_cast<std::size_t>(rank_)].dst = out.data();
     group_.barrier.arrive_and_wait();
 
-    const int left = wrap(rank_ - 1, g);
-    const std::byte* left_out =
-        group_.slots[static_cast<std::size_t>(left)].dst;
     std::uint64_t moved = 0;
     std::size_t max_block = 0;
     for (int s = 0; s + 1 < g; ++s) {
@@ -280,12 +283,14 @@ class ThreadRankComm final : public Communicator {
       const std::size_t sz = counts[static_cast<std::size_t>(blk)];
       if (sz != 0) {
         std::memcpy(out.data() + offsets[static_cast<std::size_t>(blk)],
-                    left_out + offsets[static_cast<std::size_t>(blk)], sz);
+                    group_.slots[static_cast<std::size_t>(blk)].dst +
+                        offsets[static_cast<std::size_t>(blk)],
+                    sz);
       }
       moved += sz;
       max_block = std::max(max_block, sz);
-      group_.barrier.arrive_and_wait();
     }
+    group_.barrier.arrive_and_wait();
 
     auto& led = ledger();
     ++led.allgather_calls;
@@ -414,7 +419,14 @@ class ThreadRankComm final : public Communicator {
             data.size() * sizeof(T), -1);
     group_.barrier.arrive_and_wait();
     group_.validate_uniform(op, data.size() * sizeof(T), -1);
-    group_.barrier.arrive_and_wait();
+    // No second rendezvous before the ring: hop 0 reads only the left
+    // neighbour's ORIGINAL chunk (published and stable before the
+    // barrier above) and writes a chunk of its own buffer that no
+    // neighbour reads at hop 0, so validation flows straight into the
+    // reduce-scatter.  Every rendezvous here is a scheduling point for
+    // all ranks' threads — on an oversubscribed host each one costs a
+    // wake-up convoy, so the collective keeps only the ones the data
+    // dependencies require.
 
     auto& led = ledger();
     ++led.allreduce_calls;
@@ -442,18 +454,26 @@ class ThreadRankComm final : public Communicator {
         moved_elems += chunk_range(n, g, wrap(rank_ - s, g)).size();
         group_.barrier.arrive_and_wait();
       }
-      // Phase 2: allgather of completed chunks.  Step s: copy chunk
-      // (rank - s) from the left neighbour.
+      // Phase 2: allgather.  After the final reduce-scatter barrier
+      // every chunk is complete: chunk c lives on rank wrap(c - 1), and
+      // during this phase rank r only writes chunks of its own buffer
+      // that no peer reads (peers read r's buffer solely at chunk
+      // wrap(r + 1) — r's completed chunk, untouched here).  So each
+      // rank copies straight from every chunk's owner — the same bytes
+      // the hop-by-hop ring forwarding delivered, with one closing
+      // rendezvous instead of g - 1.
       for (int s = 0; s + 1 < g; ++s) {
         const int c = wrap(rank_ - s, g);
         const auto r = chunk_range(n, g, c);
         if (r.size() != 0) {
-          std::memcpy(data.data() + r.begin, left_data + r.begin,
+          const T* owner = reinterpret_cast<T*>(
+              group_.slots[static_cast<std::size_t>(wrap(c - 1, g))].dst);
+          std::memcpy(data.data() + r.begin, owner + r.begin,
                       r.size() * sizeof(T));
         }
         moved_elems += chunk_range(n, g, wrap(rank_ + 1 - s, g)).size();
-        group_.barrier.arrive_and_wait();
       }
+      group_.barrier.arrive_and_wait();
 
       led.bytes_sent += moved_elems * sizeof(T);
       led.bytes_received += moved_elems * sizeof(T);

@@ -32,7 +32,34 @@ std::vector<Index> sorted_unique(std::span<const Index> ids) {
   return u;
 }
 
+/// The id ALLGATHER every strategy needs: consume an eagerly gathered
+/// result when armed (asserting it was built from these ids), otherwise
+/// run the collective inline.
+void gather_ids(Communicator& comm, std::span<const Index> ids,
+                const PendingIdGather* pending, std::vector<Index>& all_ids) {
+  if (pending != nullptr && pending->armed) {
+    ZIPFLM_ASSERT(pending->ids.size() == ids.size() &&
+                      std::equal(ids.begin(), ids.end(), pending->ids.begin()),
+                  "pending id gather was armed with different ids");
+    all_ids = pending->all_ids;
+    return;
+  }
+  comm.allgatherv(ids, all_ids);
+}
+
 }  // namespace
+
+void begin_id_gather(AsyncCommEngine& engine, std::span<const Index> ids,
+                     PendingIdGather& out) {
+  out.ids.assign(ids.begin(), ids.end());
+  out.all_ids.clear();
+  out.armed = true;
+  engine.submit("eager_id_allgather", out.ids.size() * sizeof(Index),
+                [&out](Communicator& comm) {
+                  comm.allgatherv(std::span<const Index>(out.ids),
+                                  out.all_ids);
+                });
+}
 
 void local_reduce_by_word(std::span<const Index> ids, const Tensor& delta,
                           std::vector<Index>& unique_ids, Tensor& reduced) {
@@ -86,7 +113,8 @@ void local_reduce_by_word(std::span<const Index> ids, const Tensor& delta,
 
 void DenseExchange::exchange(Communicator& comm, std::span<const Index> ids,
                              const Tensor& delta, std::vector<Index>& out_ids,
-                             Tensor& out_rows, MemoryPool* pool) {
+                             Tensor& out_rows, MemoryPool* pool,
+                             const PendingIdGather* pending) {
   const int g = comm.world_size();
   const std::size_t k = ids.size();
   const Index d = delta.cols();
@@ -110,7 +138,7 @@ void DenseExchange::exchange(Communicator& comm, std::span<const Index> ids,
   // allgatherv rather than allgather: the output-embedding path hands us
   // per-rank candidate sets of (slightly) different sizes.
   std::vector<Index> all_ids;
-  comm.allgatherv(ids, all_ids);
+  gather_ids(comm, ids, pending, all_ids);
 
   // Gather the gradient payload at the configured wire precision.
   Tensor all_delta({static_cast<Index>(all_ids.size()), d});
@@ -147,7 +175,8 @@ void DenseExchange::exchange(Communicator& comm, std::span<const Index> ids,
 
 void UniqueExchange::exchange(Communicator& comm, std::span<const Index> ids,
                               const Tensor& delta, std::vector<Index>& out_ids,
-                              Tensor& out_rows, MemoryPool* pool) {
+                              Tensor& out_rows, MemoryPool* pool,
+                              const PendingIdGather* pending) {
   const int g = comm.world_size();
   const std::size_t k = ids.size();
   const Index d = delta.cols();
@@ -160,8 +189,10 @@ void UniqueExchange::exchange(Communicator& comm, std::span<const Index> ids,
   local_reduce_by_word(ids, delta, local_ids, local_reduced);
 
   // Step 3: ALLGATHER over the K word indices only — Θ(G·K) memory.
+  // With an armed PendingIdGather this already happened on the comm
+  // thread, under the forward/backward compute.
   std::vector<Index> all_ids;
-  comm.allgatherv(ids, all_ids);
+  gather_ids(comm, ids, pending, all_ids);
 
   // Step 4: globally consistent unique index set Î (sorted => identical
   // order on every rank).
@@ -222,7 +253,8 @@ void TableAllreduceExchange::exchange(Communicator& comm,
                                       std::span<const Index> ids,
                                       const Tensor& delta,
                                       std::vector<Index>& out_ids,
-                                      Tensor& out_rows, MemoryPool* pool) {
+                                      Tensor& out_rows, MemoryPool* pool,
+                                      const PendingIdGather* pending) {
   const Index d = delta.cols();
   ZIPFLM_CHECK(delta.rows() == static_cast<Index>(ids.size()),
                "one gradient row per token");
@@ -259,7 +291,7 @@ void TableAllreduceExchange::exchange(Communicator& comm,
   // table are not proof a row was untouched — gradients can cancel):
   // gather the indices exactly as UNIQUE does.
   std::vector<Index> all_ids;
-  comm.allgatherv(ids, all_ids);
+  gather_ids(comm, ids, pending, all_ids);
   out_ids = sorted_unique(all_ids);
   out_rows = Tensor({static_cast<Index>(out_ids.size()), d});
   gather_rows(table, out_ids, out_rows);

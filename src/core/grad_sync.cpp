@@ -1,9 +1,11 @@
 #include "zipflm/core/grad_sync.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
 #include "zipflm/comm/hierarchical.hpp"
+#include "zipflm/support/error.hpp"
 #include "zipflm/tensor/cast.hpp"
 #include "zipflm/tensor/ops.hpp"
 
@@ -41,6 +43,108 @@ void DenseGradSync::sync(Communicator& comm,
     }
     scale(p->grad, inv_world);
   }
+}
+
+void DenseGradSync::rebuild_plan(std::span<Param* const> params) {
+  plan_.clear();
+  bucket_of_.clear();
+  plan_params_.assign(params.begin(), params.end());
+  plan_bucket_bytes_ = bucket_bytes_;
+  const std::size_t target_floats =
+      std::max<std::size_t>(1, bucket_bytes_ / sizeof(float));
+
+  // Reverse-backprop order: the last dense parameter of the forward
+  // graph finalizes first in backward, so it seeds bucket 0.
+  for (std::size_t i = params.size(); i-- > 0;) {
+    Param* p = params[i];
+    const auto n = static_cast<std::size_t>(p->size());
+    if (plan_.empty() || (plan_.back().floats > 0 &&
+                          plan_.back().floats + n > target_floats)) {
+      plan_.emplace_back();
+    }
+    Bucket& b = plan_.back();
+    b.params.push_back(p);
+    b.floats += n;
+    bucket_of_.emplace(p, plan_.size() - 1);
+  }
+}
+
+void DenseGradSync::begin_step(Communicator& comm, AsyncCommEngine& engine,
+                               std::span<Param* const> params) {
+  ZIPFLM_CHECK(engine_ == nullptr,
+               "begin_step while a previous step is still armed");
+  if (plan_params_.size() != params.size() ||
+      !std::equal(plan_params_.begin(), plan_params_.end(), params.begin()) ||
+      plan_bucket_bytes_ != bucket_bytes_) {
+    rebuild_plan(params);
+  }
+  for (Bucket& b : plan_) {
+    b.pending = b.params.size();
+    b.launched = false;
+  }
+  engine_ = &engine;
+  world_ = comm.world_size();
+}
+
+void DenseGradSync::notify_ready(const Param* param) {
+  if (engine_ == nullptr) return;
+  const auto it = bucket_of_.find(param);
+  if (it == bucket_of_.end()) return;
+  Bucket& b = plan_[it->second];
+  ZIPFLM_ASSERT(b.pending > 0, "parameter notified ready twice in one step");
+  if (--b.pending == 0) launch_bucket(it->second);
+}
+
+void DenseGradSync::launch_bucket(std::size_t index) {
+  Bucket& b = plan_[index];
+  if (b.launched) return;
+  b.launched = true;
+  engine_->submit("bucket_allreduce", b.floats * sizeof(float),
+                  [this, index](Communicator& comm) {
+                    run_bucket(comm, index);
+                  });
+}
+
+void DenseGradSync::run_bucket(Communicator& comm, std::size_t index) {
+  Bucket& b = plan_[index];
+  const float inv_world = 1.0f / static_cast<float>(comm.world_size());
+  // One collective per parameter, in plan order — the exact loop body of
+  // sync().  A concatenated bucket-wide allreduce would shift the ring
+  // chunk boundaries and with them each element's cross-rank summation
+  // order, so overlap on/off would stop being bitwise identical; keeping
+  // the wire schedule per-parameter also keeps the collective count (and
+  // so every FaultSpec::at_collective index) independent of bucketing.
+  // The bucket is purely the launch granularity: one engine job covering
+  // every parameter whose gradient finalized together.
+  for (Param* p : b.params) {
+    if (comm.world_size() > 1) {
+      auto g = p->grad.data();
+      if (options_.precision == WirePrecision::FP32) {
+        allreduce<float>(comm, g, options_.hierarchical_allreduce);
+      } else {
+        // Reduce straight out of / into the gradient buffer: identical
+        // bytes to sync()'s staged copies, minus the two big memcpys.
+        compress_fp16(g, options_.compression_scale, b.wire);
+        allreduce<Half>(comm, std::span<Half>(b.wire),
+                        options_.hierarchical_allreduce);
+        decompress_fp16(b.wire, options_.compression_scale,
+                        std::span<float>(g));
+      }
+    }
+    scale(p->grad, inv_world);
+  }
+}
+
+void DenseGradSync::finish() {
+  ZIPFLM_CHECK(engine_ != nullptr, "finish without begin_step");
+  // Launch stragglers in plan order — deterministic whether or not the
+  // model reported every parameter through notify_ready.
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    if (!plan_[i].launched) launch_bucket(i);
+  }
+  AsyncCommEngine* engine = engine_;
+  engine_ = nullptr;  // disarm before flush so a throw leaves us clean
+  engine->flush();
 }
 
 }  // namespace zipflm

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "zipflm/comm/async_exchange.hpp"
 #include "zipflm/comm/communicator.hpp"
 #include "zipflm/device/device.hpp"
 #include "zipflm/tensor/tensor.hpp"
@@ -41,6 +42,21 @@ struct ExchangeOptions {
   bool hierarchical_allreduce = false;
 };
 
+/// An index ALLGATHER kicked off eagerly — the token ids are known at
+/// batch time, long before backward produces the gradient rows — so the
+/// Θ(G·K) id exchange rides the comm thread under forward+backward.
+/// Arm with begin_id_gather(), flush the engine, then hand the result
+/// to exchange(); every strategy consumes it in place of its own id
+/// ALLGATHER.
+struct PendingIdGather {
+  bool armed = false;
+  std::vector<Index> ids;      ///< this rank's contribution (owned copy)
+  std::vector<Index> all_ids;  ///< gathered, rank-major — job output
+};
+
+void begin_id_gather(AsyncCommEngine& engine, std::span<const Index> ids,
+                     PendingIdGather& out);
+
 class EmbeddingExchange {
  public:
   virtual ~EmbeddingExchange() = default;
@@ -52,10 +68,14 @@ class EmbeddingExchange {
   /// out_ids / out_rows: globally unique touched rows and their global
   ///   gradient sums — identical content on every rank;
   /// pool:  optional simulated-GPU pool charged for the scratch this
-  ///   strategy needs (this is where the baseline OOMs).
+  ///   strategy needs (this is where the baseline OOMs);
+  /// pending: an already-gathered id set from begin_id_gather (must
+  ///   have been built from these same ids and flushed), or nullptr to
+  ///   gather inline.
   virtual void exchange(Communicator& comm, std::span<const Index> ids,
                         const Tensor& delta, std::vector<Index>& out_ids,
-                        Tensor& out_rows, MemoryPool* pool = nullptr) = 0;
+                        Tensor& out_rows, MemoryPool* pool = nullptr,
+                        const PendingIdGather* pending = nullptr) = 0;
 
   virtual const char* name() const noexcept = 0;
 };
@@ -66,7 +86,8 @@ class DenseExchange final : public EmbeddingExchange {
 
   void exchange(Communicator& comm, std::span<const Index> ids,
                 const Tensor& delta, std::vector<Index>& out_ids,
-                Tensor& out_rows, MemoryPool* pool) override;
+                Tensor& out_rows, MemoryPool* pool = nullptr,
+                const PendingIdGather* pending = nullptr) override;
   const char* name() const noexcept override { return "dense-allgather"; }
 
  private:
@@ -79,7 +100,8 @@ class UniqueExchange final : public EmbeddingExchange {
 
   void exchange(Communicator& comm, std::span<const Index> ids,
                 const Tensor& delta, std::vector<Index>& out_ids,
-                Tensor& out_rows, MemoryPool* pool) override;
+                Tensor& out_rows, MemoryPool* pool = nullptr,
+                const PendingIdGather* pending = nullptr) override;
   const char* name() const noexcept override { return "unique"; }
 
  private:
@@ -101,7 +123,8 @@ class TableAllreduceExchange final : public EmbeddingExchange {
 
   void exchange(Communicator& comm, std::span<const Index> ids,
                 const Tensor& delta, std::vector<Index>& out_ids,
-                Tensor& out_rows, MemoryPool* pool) override;
+                Tensor& out_rows, MemoryPool* pool = nullptr,
+                const PendingIdGather* pending = nullptr) override;
   const char* name() const noexcept override { return "table-allreduce"; }
 
  private:

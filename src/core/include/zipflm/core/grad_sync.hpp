@@ -1,13 +1,37 @@
 // Dense-parameter gradient synchronization (the vision-style ALLREDUCE
 // of Section II-B), with optional FP16 compression-scaling on the wire
 // (Section III-C).
+//
+// Two modes:
+//
+//  * sync() — the classic synchronous path: one allreduce per parameter
+//    after backprop has fully finished.  Byte-for-byte the pre-overlap
+//    behavior; the fault-injection suites (which count collectives per
+//    step) and existing training trajectories ride on it unchanged.
+//  * begin_step()/notify_ready()/finish() — the overlapped path: the
+//    dense parameters are grouped into fixed-byte buckets in
+//    reverse-backprop order (last layer first), and a bucket's
+//    collectives are handed to a per-rank AsyncCommEngine the moment
+//    its last parameter's backward completes, so wire time hides under
+//    the remaining backward compute.  Buckets batch the LAUNCH, not
+//    the wire: inside a bucket each parameter still runs its own
+//    allreduce, in plan order — the exact collective sequence sync()
+//    issues — so overlap on/off/legacy are bitwise identical and
+//    fault-injection collective indices are stable.  Bucket boundaries
+//    depend only on the parameter list and bucket_bytes — never on
+//    timing.
 #pragma once
 
+#include <cstddef>
 #include <span>
+#include <unordered_map>
+#include <vector>
 
+#include "zipflm/comm/async_exchange.hpp"
 #include "zipflm/comm/communicator.hpp"
 #include "zipflm/core/exchange.hpp"
 #include "zipflm/nn/param.hpp"
+#include "zipflm/tensor/half.hpp"
 
 namespace zipflm {
 
@@ -20,10 +44,74 @@ class DenseGradSync {
   /// compression-scaling before the wire and up-casts after.
   void sync(Communicator& comm, std::span<Param* const> params) const;
 
+  // -- Overlapped bucketed path ---------------------------------------
+
+  /// Jobs run inline at submit when off (the bitwise-reference mode).
+  void set_overlap(bool on) noexcept { overlap_ = on; }
+  bool overlap() const noexcept { return overlap_; }
+
+  /// Target bucket payload (bytes of FP32 gradient).  Buckets are
+  /// parameter-granular: a parameter larger than the target gets its
+  /// own bucket.  Takes effect at the next begin_step.
+  void set_bucket_bytes(std::size_t bytes) noexcept { bucket_bytes_ = bytes; }
+  std::size_t bucket_bytes() const noexcept { return bucket_bytes_; }
+
+  /// Arm one step: (re)build the bucket plan over reverse(params) —
+  /// reverse-backprop order, so bucket 0 holds the parameters whose
+  /// gradients finalize first — and reset per-bucket completion counts.
+  /// The engine must flush through finish() before `params` gradients
+  /// are read.  The plan is cached: same parameter list, same buckets.
+  void begin_step(Communicator& comm, AsyncCommEngine& engine,
+                  std::span<Param* const> params);
+
+  /// Mark one parameter's gradient final (call from the layer's
+  /// backward-completion hook, on the rank's main thread).  Launches
+  /// the parameter's bucket once every member has reported.  Unknown
+  /// parameters (not in the armed plan) are ignored.
+  void notify_ready(const Param* param);
+
+  /// Launch any buckets still incomplete (in plan order), drain the
+  /// engine, and disarm.  After this every gradient in `params` is the
+  /// world-averaged value, exactly as sync() would have left it.
+  void finish();
+
+  /// Buckets in the current (cached) plan — 0 before any begin_step.
+  std::size_t plan_buckets() const noexcept { return plan_.size(); }
+
+  /// Drop the armed engine without draining it — the exception path
+  /// (e.g. a rank death unwinding the epoch), where the engine is about
+  /// to be destroyed anyway.  No-op when not armed.
+  void disarm() noexcept { engine_ = nullptr; }
+
   const ExchangeOptions& options() const noexcept { return options_; }
 
  private:
+  struct Bucket {
+    std::vector<Param*> params;   ///< plan order (reverse backprop)
+    std::size_t floats = 0;
+    std::size_t pending = 0;      ///< params not yet notified this step
+    bool launched = false;
+    // Persistent FP16 wire scratch so the comm thread never allocates
+    // per step (a fresh multi-MiB vector per bucket per step would
+    // page-fault its way through the gradient footprint every
+    // iteration).
+    std::vector<Half> wire;
+  };
+
+  void rebuild_plan(std::span<Param* const> params);
+  void launch_bucket(std::size_t index);
+  void run_bucket(Communicator& comm, std::size_t index);
+
   ExchangeOptions options_;
+  bool overlap_ = true;
+  std::size_t bucket_bytes_ = std::size_t{4} << 20;
+
+  std::vector<Bucket> plan_;
+  std::vector<Param*> plan_params_;   ///< the list the plan was built on
+  std::size_t plan_bucket_bytes_ = 0;
+  std::unordered_map<const Param*, std::size_t> bucket_of_;
+  AsyncCommEngine* engine_ = nullptr;  ///< non-null while armed
+  int world_ = 1;
 };
 
 }  // namespace zipflm

@@ -1,0 +1,94 @@
+// Per-step embedding-exchange strategy selection.
+//
+// The paper fixes one exchange strategy per run; in practice the right
+// choice moves with the measured uniqueness U_g (Zipf means U_g is far
+// below G·K most steps, but a batch of rare words can push it up) and
+// with the topology (a two-level allreduce of the U_g x D block only
+// pays once the ring crosses nodes).  The selector prices each strategy
+// with comm::CostModel's closed forms using the *previous* step's
+// measured U_g — a globally consistent quantity, so every rank prices
+// identically and the chosen collective sequence stays uniform without
+// a vote (the same lockstep trick the dynamic loss scaler uses).
+//
+// Hysteresis: a challenger must predict at least `hysteresis`
+// (default 20%) cheaper than the incumbent before the selector
+// switches, so noise in U_g cannot flap the strategy step to step.
+//
+// Every decision is appended to a log carrying its inputs (U_g) and
+// predicted costs, so a run's choices are replayable offline:
+// feeding the logged U_g back through predict() must reproduce the
+// logged choice (tests/test_async_exchange.cpp does exactly that).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "zipflm/comm/cost_model.hpp"
+#include "zipflm/comm/topology.hpp"
+#include "zipflm/core/exchange.hpp"
+
+namespace zipflm {
+
+enum class ExchangeKind : std::uint8_t {
+  Unique = 0,            ///< UNIQUE with a flat ring allreduce of M
+  DenseAllgather = 1,    ///< the Θ(G·K·D) ALLGATHER baseline
+  HierarchicalUnique = 2 ///< UNIQUE with the two-level node/leader allreduce
+};
+
+const char* exchange_kind_name(ExchangeKind kind) noexcept;
+
+struct StrategyDecision {
+  std::uint64_t step = 0;
+  std::uint64_t ug = 0;  ///< the U_g the prediction used (previous step's)
+  ExchangeKind choice = ExchangeKind::Unique;
+  std::array<double, 3> predicted_seconds{};  ///< indexed by ExchangeKind
+  bool switched = false;
+};
+
+class ExchangeStrategySelector {
+ public:
+  struct Config {
+    Index vocab = 0;
+    Index dim = 0;
+    WirePrecision wire = WirePrecision::FP32;
+    std::uint64_t tokens_per_rank = 0;  ///< K
+    double hysteresis = 0.2;
+    ExchangeKind initial = ExchangeKind::Unique;
+  };
+
+  ExchangeStrategySelector(Config config, CostModel cost, Topology topo);
+
+  /// Price the three strategies for one step.  Pure: same inputs, same
+  /// costs on every rank — this is what makes a log replayable.
+  static std::array<double, 3> predict(const Config& config,
+                                       const CostModel& cost,
+                                       const Topology& topo,
+                                       std::uint64_t ug);
+
+  /// Decide the strategy for the coming step from the last observed
+  /// U_g (an upper bound min(G·K, V) before the first observation).
+  /// Appends to the decision log.
+  ExchangeKind choose();
+
+  /// Record the step's measured global uniqueness after the exchange.
+  void observe_unique(std::uint64_t ug);
+
+  ExchangeKind current() const noexcept { return current_; }
+  const std::vector<StrategyDecision>& log() const noexcept { return log_; }
+  const Config& config() const noexcept { return config_; }
+  const CostModel& cost_model() const noexcept { return cost_; }
+  const Topology& topology() const noexcept { return topo_; }
+
+ private:
+  Config config_;
+  CostModel cost_;
+  Topology topo_;
+  ExchangeKind current_;
+  std::uint64_t step_ = 0;
+  std::uint64_t last_ug_ = 0;
+  bool observed_ = false;
+  std::vector<StrategyDecision> log_;
+};
+
+}  // namespace zipflm

@@ -27,6 +27,7 @@
 #include "zipflm/core/exchange.hpp"
 #include "zipflm/core/grad_sync.hpp"
 #include "zipflm/core/seeding.hpp"
+#include "zipflm/core/strategy_select.hpp"
 #include "zipflm/data/batch.hpp"
 #include "zipflm/device/device.hpp"
 #include "zipflm/nn/lm_model.hpp"
@@ -70,6 +71,27 @@ struct TrainerOptions {
   /// on rank 0's thread, mid-epoch — keep it cheap and thread-safe.
   int metrics_every = 0;
   std::function<void(std::uint64_t global_step)> metrics_sink;
+
+  /// Overlapped bucketed gradient exchange: pack the dense gradients
+  /// into fixed-byte buckets in reverse-backprop order and launch each
+  /// bucket's allreduce on a per-rank comm thread the moment its last
+  /// parameter's backward completes; the embedding index allgather is
+  /// kicked off eagerly at step start.  Bitwise identical to the
+  /// synchronous path (fixed bucket boundaries, fixed ring schedules —
+  /// tests/test_async_exchange.cpp asserts `==`).  Off by default
+  /// because bucketing changes the per-rank collective schedule, which
+  /// would silently invalidate recorded fault-injection points
+  /// (FaultSpec::at_collective counts collectives) and per-collective
+  /// ledger expectations of existing configs.
+  bool overlapped_exchange = false;
+  std::size_t overlap_bucket_bytes = std::size_t{4} << 20;
+  /// Per-step input-embedding strategy selection (core/strategy_select):
+  /// price allgather-dense vs unique vs hierarchical-unique with the
+  /// comm cost model and the previous step's measured U_g, switch with
+  /// hysteresis.  Replaces the static unique_exchange choice when on;
+  /// decisions are logged per rank (strategy_selector()).
+  bool adaptive_exchange = false;
+  double strategy_hysteresis = 0.2;
 };
 
 struct EpochStats {
@@ -139,16 +161,32 @@ class DistributedTrainer {
   /// first live rank's.
   bool replicas_in_sync();
 
+  /// The per-rank strategy decision log (adaptive_exchange only, else
+  /// nullptr).  Every rank's log is identical — lockstep selection.
+  const ExchangeStrategySelector* strategy_selector(int rank) const;
+
  private:
   /// Returns false when the overflow guard skipped the optimizer step.
+  /// `exchange` is the strategy for this step (adaptive selection);
+  /// `overlap_sync`/`pending` are the armed overlap state, or nullptr
+  /// for the synchronous path.
   bool sync_step(Communicator& comm, LmModel& model, Optimizer& opt,
                  MemoryPool& pool, LossScaler* scaler,
-                 const LmStepResult& res, std::uint64_t* unique_out);
+                 const LmStepResult& res, std::uint64_t* unique_out,
+                 EmbeddingExchange* exchange, DenseGradSync* overlap_sync,
+                 const PendingIdGather* pending);
+
+  EmbeddingExchange* exchange_for(ExchangeKind kind);
 
   CommWorld& world_;
   TrainerOptions options_;
   std::unique_ptr<EmbeddingExchange> exchange_;
+  /// Strategy instances indexed by ExchangeKind (adaptive mode only;
+  /// stateless and shared across rank threads like exchange_).
+  std::vector<std::unique_ptr<EmbeddingExchange>> kind_exchanges_;
+  std::vector<std::unique_ptr<ExchangeStrategySelector>> selectors_;
   DenseGradSync dense_sync_;
+  std::vector<DenseGradSync> dense_syncs_;  ///< per rank (overlap mode)
   std::optional<ControlledSampler> sampler_;
   std::vector<std::unique_ptr<LmModel>> models_;
   std::vector<std::unique_ptr<Optimizer>> optimizers_;

@@ -1,0 +1,87 @@
+#include "zipflm/core/strategy_select.hpp"
+
+#include <algorithm>
+
+namespace zipflm {
+
+const char* exchange_kind_name(ExchangeKind kind) noexcept {
+  switch (kind) {
+    case ExchangeKind::Unique: return "unique";
+    case ExchangeKind::DenseAllgather: return "dense-allgather";
+    case ExchangeKind::HierarchicalUnique: return "hierarchical-unique";
+  }
+  return "?";
+}
+
+ExchangeStrategySelector::ExchangeStrategySelector(Config config,
+                                                   CostModel cost,
+                                                   Topology topo)
+    : config_(config), cost_(cost), topo_(topo), current_(config.initial) {
+  ZIPFLM_CHECK(config_.vocab > 0 && config_.dim > 0 &&
+                   config_.tokens_per_rank > 0,
+               "strategy selector needs vocab, dim, and tokens_per_rank");
+}
+
+std::array<double, 3> ExchangeStrategySelector::predict(const Config& config,
+                                                        const CostModel& cost,
+                                                        const Topology& topo,
+                                                        std::uint64_t ug) {
+  const std::size_t w =
+      config.wire == WirePrecision::FP16 ? sizeof(Half) : sizeof(float);
+  const std::size_t k = static_cast<std::size_t>(config.tokens_per_rank);
+  const std::size_t d = static_cast<std::size_t>(config.dim);
+  // Every strategy starts with the Θ(G·K) id allgatherv.
+  const double ids_s = cost.ring_allgatherv_seconds(topo, k * sizeof(Index));
+  const std::size_t m_bytes = static_cast<std::size_t>(ug) * d * w;
+
+  std::array<double, 3> s{};
+  s[static_cast<std::size_t>(ExchangeKind::Unique)] =
+      ids_s + cost.ring_allreduce_seconds(topo, m_bytes);
+  s[static_cast<std::size_t>(ExchangeKind::DenseAllgather)] =
+      ids_s + cost.ring_allgatherv_seconds(topo, k * d * w);
+  s[static_cast<std::size_t>(ExchangeKind::HierarchicalUnique)] =
+      ids_s + cost.hierarchical_allreduce_seconds(topo, m_bytes);
+  return s;
+}
+
+ExchangeKind ExchangeStrategySelector::choose() {
+  // Before the first observation, price with the worst case: every
+  // token distinct on every rank, capped by the vocabulary.
+  const std::uint64_t g = static_cast<std::uint64_t>(topo_.world_size());
+  const std::uint64_t ug =
+      observed_ ? last_ug_
+                : std::min<std::uint64_t>(g * config_.tokens_per_rank,
+                                          static_cast<std::uint64_t>(
+                                              config_.vocab));
+
+  StrategyDecision d;
+  d.step = step_++;
+  d.ug = ug;
+  d.predicted_seconds = predict(config_, cost_, topo_, ug);
+
+  const auto idx = [](ExchangeKind k) { return static_cast<std::size_t>(k); };
+  ExchangeKind best = ExchangeKind::Unique;
+  for (ExchangeKind k : {ExchangeKind::DenseAllgather,
+                         ExchangeKind::HierarchicalUnique}) {
+    if (d.predicted_seconds[idx(k)] < d.predicted_seconds[idx(best)]) {
+      best = k;
+    }
+  }
+  // Hysteresis: the challenger must beat the incumbent by a margin.
+  if (best != current_ &&
+      d.predicted_seconds[idx(best)] <
+          d.predicted_seconds[idx(current_)] * (1.0 - config_.hysteresis)) {
+    d.switched = true;
+    current_ = best;
+  }
+  d.choice = current_;
+  log_.push_back(d);
+  return current_;
+}
+
+void ExchangeStrategySelector::observe_unique(std::uint64_t ug) {
+  last_ug_ = ug;
+  observed_ = true;
+}
+
+}  // namespace zipflm

@@ -109,6 +109,48 @@ DistributedTrainer::DistributedTrainer(CommWorld& world,
                      options_.seed_policy, options_.seed);
   }
 
+  if (options_.overlapped_exchange) {
+    // One bucketed sync per global rank: each owns persistent staging
+    // buffers its comm thread packs into, so ranks never share state.
+    dense_syncs_.reserve(static_cast<std::size_t>(g));
+    for (int r = 0; r < g; ++r) {
+      DenseGradSync s(ex_opts);
+      s.set_bucket_bytes(options_.overlap_bucket_bytes);
+      dense_syncs_.push_back(std::move(s));
+    }
+  }
+  if (options_.adaptive_exchange) {
+    kind_exchanges_.resize(3);
+    kind_exchanges_[static_cast<std::size_t>(ExchangeKind::Unique)] =
+        std::make_unique<UniqueExchange>(ex_opts);
+    kind_exchanges_[static_cast<std::size_t>(ExchangeKind::DenseAllgather)] =
+        std::make_unique<DenseExchange>(ex_opts);
+    ExchangeOptions hier_opts = ex_opts;
+    hier_opts.hierarchical_allreduce = true;
+    kind_exchanges_[static_cast<std::size_t>(
+        ExchangeKind::HierarchicalUnique)] =
+        std::make_unique<UniqueExchange>(hier_opts);
+
+    ExchangeStrategySelector::Config scfg;
+    scfg.vocab = models_.front()->vocab();
+    scfg.dim = models_.front()->embed_dim();
+    scfg.wire = options_.wire;
+    scfg.tokens_per_rank =
+        static_cast<std::uint64_t>(options_.batch.tokens_per_rank());
+    scfg.hysteresis = options_.strategy_hysteresis;
+    scfg.initial = options_.unique_exchange ? ExchangeKind::Unique
+                                            : ExchangeKind::DenseAllgather;
+    // Per-rank selectors with identical inputs: every rank prices the
+    // same strategies from the same (previous-step, globally consistent)
+    // U_g, so the choices march in lockstep without a vote collective —
+    // the LossScaler pattern.
+    selectors_.reserve(static_cast<std::size_t>(g));
+    for (int r = 0; r < g; ++r) {
+      selectors_.push_back(std::make_unique<ExchangeStrategySelector>(
+          scfg, world.cost_model(), world.topology()));
+    }
+  }
+
   if (options_.charge_static_memory) {
     // Parameters + gradients (+ optimizer moments for Adam) and the BPTT
     // activation window are resident for the whole run.
@@ -130,6 +172,20 @@ LmModel& DistributedTrainer::model(int rank) {
   return *models_[static_cast<std::size_t>(rank)];
 }
 
+const ExchangeStrategySelector* DistributedTrainer::strategy_selector(
+    int rank) const {
+  if (selectors_.empty()) return nullptr;
+  ZIPFLM_CHECK(rank >= 0 && rank < static_cast<int>(selectors_.size()),
+               "rank out of range");
+  return selectors_[static_cast<std::size_t>(rank)].get();
+}
+
+EmbeddingExchange* DistributedTrainer::exchange_for(ExchangeKind kind) {
+  EmbeddingExchange* ex = kind_exchanges_[static_cast<std::size_t>(kind)].get();
+  ZIPFLM_ASSERT(ex != nullptr, "adaptive exchange strategy not built");
+  return ex;
+}
+
 const MemoryPool& DistributedTrainer::pool(int rank) const {
   ZIPFLM_CHECK(rank >= 0 && rank < world_.total_ranks(), "rank out of range");
   return *pools_[static_cast<std::size_t>(rank)];
@@ -139,7 +195,10 @@ bool DistributedTrainer::sync_step(Communicator& comm, LmModel& model,
                                    Optimizer& opt, MemoryPool& pool,
                                    LossScaler* scaler,
                                    const LmStepResult& res,
-                                   std::uint64_t* unique_out) {
+                                   std::uint64_t* unique_out,
+                                   EmbeddingExchange* exchange,
+                                   DenseGradSync* overlap_sync,
+                                   const PendingIdGather* pending) {
   const float inv_world = 1.0f / static_cast<float>(comm.world_size());
   const auto dense = model.dense_params();
 
@@ -151,12 +210,19 @@ bool DistributedTrainer::sync_step(Communicator& comm, LmModel& model,
   {
     PhaseScope phase("exchange");
 
-    // Dense parameters: classic averaged ALLREDUCE.
-    dense_sync_.sync(comm, dense);
+    // Dense parameters: either drain the bucketed allreduces that have
+    // been in flight since backward (overlapped path), or run the
+    // classic synchronous per-parameter ALLREDUCE sweep.  finish() also
+    // flushes the eager id allgather riding the same engine.
+    if (overlap_sync != nullptr) {
+      overlap_sync->finish();
+    } else {
+      dense_sync_.sync(comm, dense);
+    }
 
     // Input embedding: the exchange under test.
-    exchange_->exchange(comm, res.input_ids, res.input_delta, uids, urows,
-                        &pool);
+    exchange->exchange(comm, res.input_ids, res.input_delta, uids, urows,
+                       &pool, pending);
     scale(urows, inv_world);
     if (unique_out != nullptr) *unique_out = uids.size();
 
@@ -168,8 +234,8 @@ bool DistributedTrainer::sync_step(Communicator& comm, LmModel& model,
       out_emb = model.sampled_output_param();
       ZIPFLM_ASSERT(out_emb != nullptr,
                     "sparse output gradient without a sampled output param");
-      exchange_->exchange(comm, res.output_grad.ids, res.output_grad.rows,
-                          ouids, ourows, &pool);
+      exchange->exchange(comm, res.output_grad.ids, res.output_grad.rows,
+                         ouids, ourows, &pool);
       scale(ourows, inv_world);
     }
 
@@ -227,6 +293,31 @@ EpochStats DistributedTrainer::run_epoch(std::span<const Index> train_ids,
     LossScaler* scaler =
         scalers_.empty() ? nullptr : &scalers_[static_cast<std::size_t>(r)];
 
+    // Overlapped exchange: a per-rank comm thread plus this rank's
+    // bucketed sync.  The engine runs jobs inline when overlap is off.
+    AsyncCommEngine engine(comm, options_.overlapped_exchange);
+    DenseGradSync* dsync =
+        options_.overlapped_exchange
+            ? &dense_syncs_[static_cast<std::size_t>(r)]
+            : nullptr;
+    if (dsync != nullptr) {
+      model.set_backward_hook(
+          [dsync](const Param& p) { dsync->notify_ready(&p); });
+    }
+    ExchangeStrategySelector* selector =
+        selectors_.empty() ? nullptr
+                           : selectors_[static_cast<std::size_t>(r)].get();
+    // Unhook + disarm on every exit (including a fault unwinding the
+    // epoch) so the model and sync never outlive this stack's engine.
+    struct OverlapGuard {
+      LmModel& model;
+      DenseGradSync* dsync;
+      ~OverlapGuard() {
+        model.set_backward_hook(nullptr);
+        if (dsync != nullptr) dsync->disarm();
+      }
+    } overlap_guard{model, dsync};
+
     BatchIterator it(train_ids, options_.batch, dr, g);
     Batch batch;
     LmStepResult res;
@@ -244,13 +335,27 @@ EpochStats DistributedTrainer::run_epoch(std::span<const Index> train_ids,
         candidates = sampler_->candidates(dr, g, step_base + local_step,
                                           batch.targets);
       }
+      // Pick this step's embedding strategy before any collective so
+      // every rank runs the same wire schedule (selection is lockstep).
+      EmbeddingExchange* ex = selector != nullptr
+                                  ? exchange_for(selector->choose())
+                                  : exchange_.get();
+      PendingIdGather pending;
+      if (dsync != nullptr) {
+        dsync->begin_step(comm, engine, model.dense_params());
+        // The token ids are known now — start the Θ(G·K) id allgather
+        // under forward+backward.
+        begin_id_gather(engine, batch.inputs, pending);
+      }
       model.train_step_local(batch, candidates, res);
       std::uint64_t ug = 0;
-      if (!sync_step(comm, model, opt, pool, scaler, res, &ug)) {
+      if (!sync_step(comm, model, opt, pool, scaler, res, &ug, ex, dsync,
+                     dsync != nullptr ? &pending : nullptr)) {
         ++rank_skipped[static_cast<std::size_t>(dr)];
         tm.skipped_steps.add(1);
         ZIPFLM_TRACE_INSTANT("overflow_skip");
       }
+      if (selector != nullptr) selector->observe_unique(ug);
       rank_loss[static_cast<std::size_t>(dr)] += res.loss;
       rank_unique[static_cast<std::size_t>(dr)] += ug;
       ++local_step;
@@ -284,6 +389,15 @@ EpochStats DistributedTrainer::run_epoch(std::span<const Index> train_ids,
       }
     }
     rank_steps[static_cast<std::size_t>(dr)] = local_step;
+    if (dsync != nullptr && dr == 0) {
+      // How much of the comm thread's busy time actually hid under
+      // compute (1.0 = fully hidden, 0.0 = all of it waited in flush).
+      auto& reg = obs::MetricsRegistry::global();
+      reg.gauge("comm/overlap_efficiency")
+          .set(AsyncCommEngine::overlap_efficiency(engine.stats()));
+      reg.gauge("comm/overlap_buckets")
+          .set(static_cast<double>(dsync->plan_buckets()));
+    }
   });
 
   EpochStats stats;

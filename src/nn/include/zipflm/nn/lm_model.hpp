@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cmath>
+#include <functional>
 #include <memory>
 #include <numbers>
 #include <span>
@@ -107,6 +108,27 @@ class LmModel {
   /// restore it — exact resume must replay the same masks the
   /// uninterrupted run would have drawn.
   virtual Rng& dropout_rng() = 0;
+
+  /// Per-parameter backward-completion hook, the overlap trigger: the
+  /// model invokes it on the training thread the moment a dense
+  /// parameter's gradient accumulation is final for the step (its
+  /// bucket can start reducing while the rest of backward runs).  The
+  /// invocation sequence is part of the model's fixed backward code —
+  /// never timing — so it is identical on every rank and every run.
+  /// Empty hook = no overhead.  Not invoked for embedding parameters
+  /// (they take the sparse exchange path).
+  using BackwardHook = std::function<void(const Param&)>;
+  void set_backward_hook(BackwardHook hook) {
+    backward_hook_ = std::move(hook);
+  }
+
+ protected:
+  void notify_param_ready(const Param& p) {
+    if (backward_hook_) backward_hook_(p);
+  }
+  BackwardHook backward_hook_;
+
+ public:
 
   /// Bytes of parameters + gradients (the model's static device cost).
   std::size_t static_bytes() {

@@ -10,6 +10,7 @@
 //   y_t = s_L
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "zipflm/nn/param.hpp"
@@ -42,6 +43,14 @@ class RhnLayer {
   std::vector<Param*> params();
   void zero_grad();
 
+  /// Invoked (training thread) as each parameter's gradient finalizes
+  /// during backward(): depth L-1 down to 0, rt/rh/bt/bh per depth,
+  /// then wt/wh last — reverse-backprop order, the overlap trigger for
+  /// bucketed gradient exchange.  Empty = no calls.
+  void set_param_ready_hook(std::function<void(const Param&)> hook) {
+    param_ready_hook_ = std::move(hook);
+  }
+
   Index output_dim() const noexcept { return config_.hidden_dim; }
   const RhnConfig& config() const noexcept { return config_; }
 
@@ -69,6 +78,20 @@ class RhnLayer {
     std::vector<MicroCache> micro;
   };
   std::vector<StepCache> cache_;
+
+  std::function<void(const Param&)> param_ready_hook_;
+
+  /// Backward staging: per-depth [T·B x H] stacks of the cell gradients
+  /// and entry states, so every weight gradient is ONE k = T·B gemm
+  /// instead of T rank-B updates (8x less C traffic on the seed model).
+  struct BackwardStage {
+    Tensor dzh;     ///< [T·B x H]
+    Tensor dzt;     ///< [T·B x H]
+    Tensor s_prev;  ///< [T·B x H]
+  };
+  std::vector<BackwardStage> stage_;  ///< one per depth
+  Tensor x_stack_;                    ///< [T·B x input_dim]
+  Tensor dx_stack_;                   ///< [T·B x input_dim]
 };
 
 }  // namespace zipflm

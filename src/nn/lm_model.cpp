@@ -136,12 +136,18 @@ void WordLm::train_step_local(const Batch& batch,
     loss_.bias().grad(out.output_grad.ids[i]) +=
         out.output_grad.bias_rows(static_cast<Index>(i));
   }
+  notify_param_ready(loss_.bias());
 
   std::vector<Tensor> douts, dxs;
   for (std::size_t l = layers_.size(); l-- > 0;) {
     dropouts_[l + 1].backward(dflat);
     to_time_major(dflat, b, t, douts);
     layers_[l].backward(douts, dxs);
+    // An LSTM layer's parameter gradients are final once its BPTT sweep
+    // returns; notify in reverse declaration order to match the
+    // reverse-backprop bucket plan.
+    auto lps = layers_[l].params();
+    for (std::size_t i = lps.size(); i-- > 0;) notify_param_ready(*lps[i]);
     to_batch_major(dxs, b, t, dflat);
   }
   dropouts_.front().backward(dflat);
@@ -269,7 +275,12 @@ CharLm::CharLm(const CharLmConfig& config)
       }()),
       embed_dropout_(config.dropout),
       output_dropout_(config.dropout),
-      dropout_rng_(Rng::fork(config.seed, 0xD21)) {}
+      dropout_rng_(Rng::fork(config.seed, 0xD21)) {
+  // Relay the RHN's per-parameter backward-completion events to the
+  // model-level hook (the overlap trigger for bucketed grad exchange).
+  rhn_.set_param_ready_hook(
+      [this](const Param& p) { notify_param_ready(p); });
+}
 
 void CharLm::train_step_local(const Batch& batch,
                               std::span<const Index> /*candidates*/,
@@ -300,6 +311,10 @@ void CharLm::train_step_local(const Batch& batch,
   PhaseScope phase("backward");
   Tensor dh_all;
   out.loss = loss_.forward_backward(h_all, batch.targets, dh_all);
+  // The dense softmax parameters accumulate only inside forward_backward
+  // — their gradients are final before the RHN sweep even starts.
+  notify_param_ready(loss_.bias());
+  notify_param_ready(loss_.embedding());
   output_dropout_.backward(dh_all);
 
   std::vector<Tensor> douts;

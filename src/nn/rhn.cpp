@@ -1,6 +1,7 @@
 #include "zipflm/nn/rhn.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "zipflm/support/thread_pool.hpp"
 #include "zipflm/tensor/ops.hpp"
@@ -105,22 +106,46 @@ void RhnLayer::backward(const std::vector<Tensor>& dout,
                "backward step count must match the cached forward");
   const Index batch = cache_.front().x.rows();
   const Index h = config_.hidden_dim;
+  const Index d_in = config_.input_dim;
+  const std::size_t steps = cache_.size();
+  const Index tb = static_cast<Index>(steps) * batch;
 
-  dxs.assign(cache_.size(), Tensor());
+  dxs.assign(steps, Tensor());
+
+  const auto nd = static_cast<std::size_t>(config_.depth);
+  if (stage_.size() != nd || stage_.front().dzh.rows() != tb ||
+      stage_.front().dzh.cols() != h || x_stack_.cols() != d_in) {
+    stage_.assign(nd, BackwardStage{});
+    for (auto& st : stage_) {
+      st.dzh = Tensor({tb, h});
+      st.dzt = Tensor({tb, h});
+      st.s_prev = Tensor({tb, h});
+    }
+    x_stack_ = Tensor({tb, d_in});
+    dx_stack_ = Tensor({tb, d_in});
+  }
 
   Tensor ds_next({batch, h});  // recurrent gradient from timestep t+1
   Tensor dzh({batch, h});
   Tensor dzt({batch, h});
   const Tensor zero_s({batch, h});
+  const std::size_t row_floats =
+      static_cast<std::size_t>(batch) * static_cast<std::size_t>(h);
+  const std::size_t x_floats =
+      static_cast<std::size_t>(batch) * static_cast<std::size_t>(d_in);
 
-  for (std::size_t ti = cache_.size(); ti-- > 0;) {
+  // Pass 1 — the recurrence: cell gradients per (timestep, depth), with
+  // only the two dstate gemms (which feed the recursion) inline.  The
+  // cell gradients and entry states are staged into per-depth stacks;
+  // pass 2 turns each stack into one k = T·B weight-gradient gemm
+  // instead of T separate rank-B updates, which divides the read-
+  // modify-write traffic over the [H x H] gradient blocks by T.
+  for (std::size_t ti = steps; ti-- > 0;) {
     const StepCache& sc = cache_[ti];
     Tensor ds = dout[ti];
     ZIPFLM_CHECK(ds.rows() == batch && ds.cols() == h,
                  "backward output-gradient shape mismatch");
     axpy(1.0f, ds_next, ds);
-
-    dxs[ti] = Tensor({batch, config_.input_dim});
 
     for (Index l = config_.depth; l-- > 0;) {
       auto& dp = depth_[static_cast<std::size_t>(l)];
@@ -146,22 +171,60 @@ void RhnLayer::backward(const std::vector<Tensor>& dout,
                                 dzhp + cb, dztp + cb, dspp + cb, ce - cb);
           });
 
-      gemm(s_prev, true, dzh, false, dp.rh.grad, 1.0f, 1.0f);
-      gemm(s_prev, true, dzt, false, dp.rt.grad, 1.0f, 1.0f);
-      bias_grad(dzh, dp.bh.grad);
-      bias_grad(dzt, dp.bt.grad);
+      BackwardStage& st = stage_[static_cast<std::size_t>(l)];
+      const std::size_t off = ti * row_floats;
+      std::memcpy(st.dzh.data().data() + off, dzhp,
+                  row_floats * sizeof(float));
+      std::memcpy(st.dzt.data().data() + off, dztp,
+                  row_floats * sizeof(float));
+      std::memcpy(st.s_prev.data().data() + off, sp,
+                  row_floats * sizeof(float));
+
       gemm(dzh, false, dp.rh.value, true, ds_prev, 1.0f, 1.0f);
       gemm(dzt, false, dp.rt.value, true, ds_prev, 1.0f, 1.0f);
 
       if (l == 0) {
-        gemm(sc.x, true, dzh, false, wh_.grad, 1.0f, 1.0f);
-        gemm(sc.x, true, dzt, false, wt_.grad, 1.0f, 1.0f);
-        gemm(dzh, false, wh_.value, true, dxs[ti], 1.0f, 1.0f);
-        gemm(dzt, false, wt_.value, true, dxs[ti], 1.0f, 1.0f);
+        std::memcpy(x_stack_.data().data() + ti * x_floats,
+                    sc.x.data().data(), x_floats * sizeof(float));
       }
       ds = std::move(ds_prev);
     }
     ds_next = std::move(ds);
+  }
+
+  // Pass 2 — weight gradients, finalized depth L-1 down to 0 and then
+  // wt/wh: reverse-backprop order, so each depth's parameters can start
+  // their bucketed allreduce while earlier depths are still computing.
+  const auto ready = [this](const Param& p) {
+    if (param_ready_hook_) param_ready_hook_(p);
+  };
+  for (Index l = config_.depth; l-- > 0;) {
+    auto& dp = depth_[static_cast<std::size_t>(l)];
+    BackwardStage& st = stage_[static_cast<std::size_t>(l)];
+    bias_grad(st.dzt, dp.bt.grad);
+    ready(dp.bt);
+    bias_grad(st.dzh, dp.bh.grad);
+    ready(dp.bh);
+    gemm(st.s_prev, true, st.dzt, false, dp.rt.grad, 1.0f, 1.0f);
+    ready(dp.rt);
+    gemm(st.s_prev, true, st.dzh, false, dp.rh.grad, 1.0f, 1.0f);
+    ready(dp.rh);
+  }
+  BackwardStage& s0 = stage_.front();
+  gemm(x_stack_, true, s0.dzt, false, wt_.grad, 1.0f, 1.0f);
+  ready(wt_);
+  gemm(x_stack_, true, s0.dzh, false, wh_.grad, 1.0f, 1.0f);
+  ready(wh_);
+
+  // Input gradients, batched over timesteps then split back out.
+  dx_stack_.zero();
+  gemm(s0.dzh, false, wh_.value, true, dx_stack_, 1.0f, 1.0f);
+  gemm(s0.dzt, false, wt_.value, true, dx_stack_, 1.0f, 1.0f);
+  for (std::size_t ti = 0; ti < steps; ++ti) {
+    dxs[ti] = Tensor({batch, d_in});
+    std::memcpy(dxs[ti].data().data(),
+                dx_stack_.data().data() + ti * x_floats,
+                x_floats * sizeof(float));
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "zipflm/support/error.hpp"
 #include "zipflm/support/thread_pool.hpp"
 #include "zipflm/tensor/simd.hpp"
 
@@ -25,6 +26,12 @@ void decompress_span_scalar(const Half* src, float inv, float* dst,
                             std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     dst[i] = static_cast<float>(src[i]) * inv;
+  }
+}
+
+void half_accumulate_scalar(Half* mine, const Half* left, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    mine[j] = Half(static_cast<float>(mine[j]) + static_cast<float>(left[j]));
   }
 }
 
@@ -79,6 +86,32 @@ void decompress_span(const Half* src, float inv, float* dst, std::size_t n) {
   decompress_span_scalar(src + i, inv, dst + i, n - i);
 }
 
+void half_accumulate_span(Half* mine, const Half* left, std::size_t n) {
+  if (simd::active_backend() != simd::Backend::kNative) {
+    half_accumulate_scalar(mine, left, n);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 a = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(mine + i)));
+    const __m256 b = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(left + i)));
+    const __m256 s = _mm256_add_ps(a, b);
+    // A NaN in either input (a corrupted wire chunk) or born from
+    // inf + -inf: take the scalar path so the software converter's
+    // payload canonicalization is what lands on the wire.
+    const __m256 nan = _mm256_cmp_ps(s, s, _CMP_UNORD_Q);
+    if (_mm256_movemask_ps(nan) != 0) {
+      half_accumulate_scalar(mine + i, left + i, 8);
+      continue;
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(mine + i),
+                     _mm256_cvtps_ph(s, _MM_FROUND_TO_NEAREST_INT));
+  }
+  half_accumulate_scalar(mine + i, left + i, n - i);
+}
+
 #else
 
 void compress_span(const float* src, float scale, Half* dst, std::size_t n) {
@@ -89,9 +122,17 @@ void decompress_span(const Half* src, float inv, float* dst, std::size_t n) {
   decompress_span_scalar(src, inv, dst, n);
 }
 
+void half_accumulate_span(Half* mine, const Half* left, std::size_t n) {
+  half_accumulate_scalar(mine, left, n);
+}
+
 #endif
 
 }  // namespace
+
+void half_accumulate(Half* mine, const Half* left, std::size_t n) {
+  half_accumulate_span(mine, left, n);
+}
 
 void compress_fp16(std::span<const float> src, float scale,
                    std::vector<Half>& dst) {
@@ -109,6 +150,13 @@ void compress_fp16(std::span<const float> src, float scale,
 void decompress_fp16(std::span<const Half> src, float scale,
                      std::vector<float>& dst) {
   dst.resize(src.size());
+  decompress_fp16(src, scale, std::span<float>(dst));
+}
+
+void decompress_fp16(std::span<const Half> src, float scale,
+                     std::span<float> dst) {
+  ZIPFLM_CHECK(dst.size() == src.size(),
+               "decompress_fp16 destination size mismatch");
   const float inv = 1.0f / scale;
   const Half* s = src.data();
   float* d = dst.data();

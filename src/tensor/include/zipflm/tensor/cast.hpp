@@ -23,9 +23,21 @@ void compress_fp16(std::span<const float> src, float scale,
 void decompress_fp16(std::span<const Half> src, float scale,
                      std::vector<float>& dst);
 
+/// In-place variant: dst must already hold src.size() floats.  Lets a
+/// caller up-cast straight into a gradient buffer without a staging
+/// copy (identical bytes to the vector overload).
+void decompress_fp16(std::span<const Half> src, float scale,
+                     std::span<float> dst);
+
 /// Round-trip a float buffer through scaled binary16 in place —
 /// the exact value the receiving rank would observe.
 void fp16_round_trip(std::span<float> values, float scale);
+
+/// mine[i] = half(float(mine[i]) + float(left[i])) — the per-hop
+/// accumulate of an FP16-wire ring allreduce (sum in FP32, store the
+/// running partial back to binary16).  Single-threaded on purpose: it
+/// runs inside a collective, where the caller owns the threading.
+void half_accumulate(Half* mine, const Half* left, std::size_t n);
 
 /// Statistics describing what a down-cast would do to a buffer; used by
 /// tests and by the compression-accuracy experiment.

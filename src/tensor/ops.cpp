@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <type_traits>
 #include <vector>
 
 #include "zipflm/support/thread_pool.hpp"
@@ -16,15 +17,18 @@ namespace {
 // output element belongs to exactly one block, so the accumulation
 // order per element is fixed regardless of the worker count.
 constexpr Index kBlockM = 32;
-constexpr Index kBlockN = 128;
+constexpr Index kBlockN = 64;
 
 // B is consumed in (kBlockK x kBlockN) tiles copied into contiguous
 // per-thread scratch before the inner loops run.  The original layout
 // strides ldb floats between consecutive k rows (7 KiB for a 1792-wide
 // weight matrix) — past the hardware prefetchers' page limit, so every
 // k step of the unpacked kernel ate a cache/TLB miss.  Packing is a
-// pure copy: values and accumulation order are untouched.
-constexpr Index kBlockK = 256;
+// pure copy: values and accumulation order are untouched.  64 x 64
+// keeps the whole tile (16 KiB) resident in L1 across every row pass,
+// where the previous 256 x 128 tile (128 KiB) was re-streamed from L2
+// once per row tile.
+constexpr Index kBlockK = 64;
 
 // Elementwise sweeps hand the pool chunks of whole elements; any chunk
 // boundary gives the same bits, so only dispatch overhead matters.
@@ -60,11 +64,12 @@ GemmDims validate_gemm(const Tensor& a, bool trans_a, const Tensor& b,
 /// RT fixed output rows x CP register-widths of columns.  A1 marks the
 /// ubiquitous alpha == 1 case: multiplying by 1.0f is a bitwise no-op,
 /// so skipping it keeps results identical while shedding a scalar
-/// multiply per (row, k) step of the inner loop.
-template <class V, Index RT, Index CP, bool A1>
-inline void gemm_tile_nt(const float* a, Index lda, bool trans_a,
-                         const float* b, Index ldb, float* c, Index ldc,
-                         float alpha, Index i, Index j, Index k) {
+/// multiply per (row, k) step of the inner loop.  TA lifts the operand
+/// layout choice to compile time so the inner loop carries no branch.
+template <class V, Index RT, Index CP, bool A1, bool TA>
+inline void gemm_tile_nt(const float* a, Index lda, const float* b, Index ldb,
+                         float* c, Index ldc, float alpha, Index i, Index j,
+                         Index k) {
   using R = typename V::Reg;
   constexpr Index W = static_cast<Index>(V::kWidth);
   R acc[RT][CP];
@@ -76,7 +81,7 @@ inline void gemm_tile_nt(const float* a, Index lda, bool trans_a,
   for (Index kk = 0; kk < k; ++kk) {
     const float* brow = b + kk * ldb + j;
     for (Index r = 0; r < RT; ++r) {
-      float av = trans_a ? a[kk * lda + i + r] : a[(i + r) * lda + kk];
+      float av = TA ? a[kk * lda + i + r] : a[(i + r) * lda + kk];
       if constexpr (!A1) av *= alpha;
       const R bc = V::set1(av);
       for (Index p = 0; p < CP; ++p) {
@@ -91,35 +96,35 @@ inline void gemm_tile_nt(const float* a, Index lda, bool trans_a,
   }
 }
 
-template <class V, Index RT, bool A1>
-inline void gemm_rows_nt(const float* a, Index lda, bool trans_a,
-                         const float* b, Index ldb, float* c, Index ldc,
-                         float alpha, Index i, Index j0, Index j1, Index k) {
+template <class V, Index RT, bool A1, bool TA>
+inline void gemm_rows_nt(const float* a, Index lda, const float* b, Index ldb,
+                         float* c, Index ldc, float alpha, Index i, Index j0,
+                         Index j1, Index k) {
   constexpr Index W = static_cast<Index>(V::kWidth);
   Index j = j0;
   for (; j + 2 * W <= j1; j += 2 * W) {
-    gemm_tile_nt<V, RT, 2, A1>(a, lda, trans_a, b, ldb, c, ldc, alpha, i, j,
-                               k);
+    gemm_tile_nt<V, RT, 2, A1, TA>(a, lda, b, ldb, c, ldc, alpha, i, j, k);
   }
   for (; j + W <= j1; j += W) {
-    gemm_tile_nt<V, RT, 1, A1>(a, lda, trans_a, b, ldb, c, ldc, alpha, i, j,
-                               k);
+    gemm_tile_nt<V, RT, 1, A1, TA>(a, lda, b, ldb, c, ldc, alpha, i, j, k);
   }
   for (; j < j1; ++j) {
-    gemm_tile_nt<simd::ScalarOps, RT, 1, A1>(a, lda, trans_a, b, ldb, c, ldc,
-                                             alpha, i, j, k);
+    gemm_tile_nt<simd::ScalarOps, RT, 1, A1, TA>(a, lda, b, ldb, c, ldc,
+                                                 alpha, i, j, k);
   }
 }
 
 /// One (rows x columns) output block, with B consumed through packed
 /// k-chunks.  Accumulators spill to C at chunk boundaries — an exact
 /// store/reload — so the per-element sum is still one ascending-k
-/// sequence, bitwise identical to the unchunked kernel.
-template <class V, bool A1>
-void gemm_block_nt(const float* a, Index lda, bool trans_a, const float* b,
-                   Index ldb, float* c, Index ldc, float alpha, Index i0,
-                   Index i1, Index j0, Index j1, Index k) {
-  constexpr Index RT = 4;
+/// sequence, bitwise identical to the unchunked kernel.  The main row
+/// tile covers 8 rows so every packed B element loaded from L1 feeds 8
+/// outputs; 8 is also the exact row count of the recurrent forward
+/// gemms, which previously split into two 4-row passes.
+template <class V, bool A1, bool TA>
+void gemm_block_nt(const float* a, Index lda, const float* b, Index ldb,
+                   float* c, Index ldc, float alpha, Index i0, Index i1,
+                   Index j0, Index j1, Index k) {
   const Index tw = j1 - j0;
   thread_local std::vector<float> pack;
   pack.resize(static_cast<std::size_t>(kBlockK) * static_cast<std::size_t>(tw));
@@ -131,15 +136,19 @@ void gemm_block_nt(const float* a, Index lda, bool trans_a, const float* b,
       std::memcpy(tile + kk * tw, b + (k0 + kk) * ldb + j0,
                   static_cast<std::size_t>(tw) * sizeof(float));
     }
-    const float* a_off = trans_a ? a + k0 * lda : a + k0;
+    const float* a_off = TA ? a + k0 * lda : a + k0;
     Index i = i0;
-    for (; i + RT <= i1; i += RT) {
-      gemm_rows_nt<V, RT, A1>(a_off, lda, trans_a, tile, tw, c_off, ldc,
-                              alpha, i, 0, tw, kc);
+    for (; i + 8 <= i1; i += 8) {
+      gemm_rows_nt<V, 8, A1, TA>(a_off, lda, tile, tw, c_off, ldc, alpha, i,
+                                 0, tw, kc);
+    }
+    for (; i + 4 <= i1; i += 4) {
+      gemm_rows_nt<V, 4, A1, TA>(a_off, lda, tile, tw, c_off, ldc, alpha, i,
+                                 0, tw, kc);
     }
     for (; i < i1; ++i) {
-      gemm_rows_nt<V, 1, A1>(a_off, lda, trans_a, tile, tw, c_off, ldc, alpha,
-                             i, 0, tw, kc);
+      gemm_rows_nt<V, 1, A1, TA>(a_off, lda, tile, tw, c_off, ldc, alpha, i,
+                                 0, tw, kc);
     }
   }
 }
@@ -155,11 +164,58 @@ void gemm_block_nt(const float* a, Index lda, bool trans_a, const float* b,
 // because the pack cost cannot amortize over so few rows).
 // ---------------------------------------------------------------------------
 
+/// JT B-rows at a time sharing each A load: per 8-element block the A
+/// vector is fetched once and multiplied into JT independent Acc8
+/// accumulators, one per output column.  Each column's accumulator
+/// performs the exact lane sequence dot_span performs for that (a, b)
+/// pair — same 8-lane interleave, same tail fold, same combine tree —
+/// so the result is bit-for-bit what the one-column kernel produced
+/// while the A row is streamed JT times less often.
+template <class V, Index JT>
+inline void gemm_dots_tb(const float* arow, const float* b, Index ldb,
+                         float* cout, Index ldc_unused, float alpha,
+                         std::size_t k) {
+  (void)ldc_unused;
+  simd::Acc8<V> acc[JT];
+  for (Index t = 0; t < JT; ++t) acc[t].fill(0.0f);
+  const std::size_t k8 = k & ~(simd::kAccLanes - 1);
+  for (std::size_t kk = 0; kk < k8; kk += simd::kAccLanes) {
+    for (std::size_t p = 0; p < simd::Acc8<V>::kPacks; ++p) {
+      const typename V::Reg av = V::load(arow + kk + p * V::kWidth);
+      for (Index t = 0; t < JT; ++t) {
+        acc[t].acc[p] = V::add(
+            acc[t].acc[p],
+            V::mul(av, V::load(b + static_cast<std::size_t>(t) *
+                                       static_cast<std::size_t>(ldb) +
+                               kk + p * V::kWidth)));
+      }
+    }
+  }
+  for (Index t = 0; t < JT; ++t) {
+    float lanes[simd::kAccLanes];
+    acc[t].store(lanes);
+    const float* brow =
+        b + static_cast<std::size_t>(t) * static_cast<std::size_t>(ldb);
+    for (std::size_t j = 0; j < k - k8; ++j) {
+      lanes[j] += arow[k8 + j] * brow[k8 + j];
+    }
+    cout[t] += alpha * simd::combine_sum8(lanes);
+  }
+}
+
 template <class V>
 void gemm_panel_tb(const float* a, Index lda, const float* b, Index ldb,
                    float* c, Index ldc, float alpha, Index i0, Index i1,
                    Index j0, Index j1, Index k) {
-  for (Index j = j0; j < j1; ++j) {
+  Index j = j0;
+  for (; j + 4 <= j1; j += 4) {
+    const float* brows = b + j * ldb;
+    for (Index i = i0; i < i1; ++i) {
+      gemm_dots_tb<V, 4>(a + i * lda, brows, ldb, c + i * ldc + j, ldc, alpha,
+                         static_cast<std::size_t>(k));
+    }
+  }
+  for (; j < j1; ++j) {
     const float* brow = b + j * ldb;
     for (Index i = i0; i < i1; ++i) {
       c[i * ldc + j] += alpha * simd::dot_span<V>(a + i * lda, brow,
@@ -221,24 +277,28 @@ void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
         const Index j0 = static_cast<Index>(t) % col_blocks * kBlockN;
         const Index j1 = std::min(n, j0 + kBlockN);
         if (!trans_b) {
-          if (alpha == 1.0f) {
-            if (native) {
-              gemm_block_nt<simd::NativeOps, true>(ap, lda, trans_a, bp, ldb,
-                                                   cp, ldc, alpha, i0, i1, j0,
-                                                   j1, k);
+          const auto block_nt = [&](auto v, auto a1, auto ta) {
+            gemm_block_nt<typename decltype(v)::type, decltype(a1)::value,
+                          decltype(ta)::value>(ap, lda, bp, ldb, cp, ldc,
+                                               alpha, i0, i1, j0, j1, k);
+          };
+          const auto with_flags = [&](auto v) {
+            if (alpha == 1.0f) {
+              if (trans_a) {
+                block_nt(v, std::true_type{}, std::true_type{});
+              } else {
+                block_nt(v, std::true_type{}, std::false_type{});
+              }
+            } else if (trans_a) {
+              block_nt(v, std::false_type{}, std::true_type{});
             } else {
-              gemm_block_nt<simd::ScalarOps, true>(ap, lda, trans_a, bp, ldb,
-                                                   cp, ldc, alpha, i0, i1, j0,
-                                                   j1, k);
+              block_nt(v, std::false_type{}, std::false_type{});
             }
-          } else if (native) {
-            gemm_block_nt<simd::NativeOps, false>(ap, lda, trans_a, bp, ldb,
-                                                  cp, ldc, alpha, i0, i1, j0,
-                                                  j1, k);
+          };
+          if (native) {
+            with_flags(std::type_identity<simd::NativeOps>{});
           } else {
-            gemm_block_nt<simd::ScalarOps, false>(ap, lda, trans_a, bp, ldb,
-                                                  cp, ldc, alpha, i0, i1, j0,
-                                                  j1, k);
+            with_flags(std::type_identity<simd::ScalarOps>{});
           }
         } else if (!trans_a) {
           if (native) {

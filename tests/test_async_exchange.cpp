@@ -1,0 +1,242 @@
+// Overlapped bucketed gradient exchange: the async engine itself (FIFO,
+// error capture, inline degradation), and the end-to-end contract that a
+// training run with overlap on is bitwise identical to one with overlap
+// off — same losses, same weights — at G in {1, 4} and FP32/FP16 wire.
+// Also replays the adaptive strategy selector's decision log through the
+// pure predict() and re-derives every choice.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "zipflm/comm/async_exchange.hpp"
+#include "zipflm/comm/thread_comm.hpp"
+#include "zipflm/core/strategy_select.hpp"
+#include "zipflm/core/trainer.hpp"
+#include "zipflm/data/corpus.hpp"
+
+namespace zipflm {
+namespace {
+
+std::vector<Index> tiny_corpus(Index vocab, std::size_t n,
+                               std::uint64_t seed) {
+  ZipfSampler sampler(static_cast<std::uint64_t>(vocab), 1.1);
+  Rng rng(seed);
+  std::vector<Index> ids(n);
+  for (auto& id : ids) id = static_cast<Index>(sampler.sample(rng) - 1);
+  return ids;
+}
+
+DistributedTrainer::ModelFactory tiny_word_factory(Index vocab) {
+  return [vocab](int /*rank*/) -> std::unique_ptr<LmModel> {
+    WordLmConfig cfg;
+    cfg.vocab = vocab;
+    cfg.embed_dim = 8;
+    cfg.hidden_dim = 12;
+    cfg.proj_dim = 8;
+    cfg.seed = 1234;
+    return std::make_unique<WordLm>(cfg);
+  };
+}
+
+TrainerOptions tiny_options() {
+  TrainerOptions opt;
+  opt.batch = BatchSpec{2, 6};
+  opt.base_lr = 0.2f;
+  opt.lr_decay = 1.0f;
+  opt.clip = 5.0f;
+  opt.charge_static_memory = false;
+  return opt;
+}
+
+/// Every parameter tensor of every replica, as raw bytes.
+std::vector<unsigned char> model_bytes(DistributedTrainer& trainer) {
+  std::vector<unsigned char> out;
+  for (Param* p : trainer.model(0).all_params()) {
+    const auto data = p->value.data();
+    const auto* b = reinterpret_cast<const unsigned char*>(data.data());
+    out.insert(out.end(), b, b + data.size() * sizeof(float));
+  }
+  return out;
+}
+
+// -- AsyncCommEngine unit behaviour ----------------------------------
+
+TEST(AsyncCommEngine, ThreadedModeDrainsFifo) {
+  CommWorld world(1);
+  world.run([](Communicator& comm) {
+    // force_thread: this host may have one hardware thread, where the
+    // engine would otherwise degrade to inline execution.
+    AsyncCommEngine engine(comm, /*overlap=*/true, /*force_thread=*/true);
+    EXPECT_TRUE(engine.overlap());
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i) {
+      engine.submit("job", 8, [&order, i](Communicator&) {
+        order.push_back(i);  // worker thread runs jobs one at a time
+      });
+    }
+    engine.flush();
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.jobs, 16u);
+    EXPECT_EQ(stats.payload_bytes, 16u * 8u);
+  });
+}
+
+TEST(AsyncCommEngine, InlineModeRunsAtSubmit) {
+  CommWorld world(1);
+  world.run([](Communicator& comm) {
+    AsyncCommEngine engine(comm, /*overlap=*/false);
+    EXPECT_FALSE(engine.overlap());
+    bool ran = false;
+    engine.submit("job", 4, [&ran](Communicator&) { ran = true; });
+    EXPECT_TRUE(ran) << "overlap off must execute the job inside submit()";
+    engine.flush();  // nothing queued; must not block or throw
+    EXPECT_EQ(engine.stats().jobs, 1u);
+  });
+}
+
+TEST(AsyncCommEngine, JobErrorAbortsQueueAndRethrowsAtFlush) {
+  CommWorld world(1);
+  world.run([](Communicator& comm) {
+    AsyncCommEngine engine(comm, /*overlap=*/true, /*force_thread=*/true);
+    bool later_ran = false;
+    engine.submit("boom", 0, [](Communicator&) {
+      throw std::runtime_error("wire fault");
+    });
+    engine.submit("after", 0, [&later_ran](Communicator&) {
+      later_ran = true;
+    });
+    EXPECT_THROW(engine.flush(), std::runtime_error);
+    EXPECT_FALSE(later_ran) << "jobs after a failure must be aborted";
+    // The error is consumed; the engine is reusable for the next step.
+    bool ran = false;
+    engine.submit("next", 0, [&ran](Communicator&) { ran = true; });
+    engine.flush();
+    EXPECT_TRUE(ran);
+  });
+}
+
+TEST(AsyncCommEngine, OverlapEfficiencyGauge) {
+  AsyncCommEngine::Stats s;
+  s.busy_seconds = 2.0;
+  s.flush_wait_seconds = 0.5;
+  EXPECT_DOUBLE_EQ(AsyncCommEngine::overlap_efficiency(s), 0.75);
+  s.flush_wait_seconds = 3.0;  // waited longer than comm worked
+  EXPECT_DOUBLE_EQ(AsyncCommEngine::overlap_efficiency(s), 0.0);
+  s.busy_seconds = 0.0;
+  EXPECT_DOUBLE_EQ(AsyncCommEngine::overlap_efficiency(s), 0.0);
+}
+
+// -- End-to-end: overlap on == overlap off, bit for bit --------------
+
+void expect_overlap_matches_sync(int gpus, WirePrecision wire) {
+  const Index vocab = 50;
+  const auto train = tiny_corpus(vocab, 2400, 7);
+  const auto valid = tiny_corpus(vocab, 400, 8);
+
+  std::vector<unsigned char> reference;
+  double ref_train = 0.0, ref_valid = 0.0;
+  for (const bool overlap : {false, true}) {
+    CommWorld world(gpus);
+    TrainerOptions opt = tiny_options();
+    opt.samples_per_rank = 16;
+    opt.wire = wire;
+    opt.overlapped_exchange = overlap;
+    opt.overlap_bucket_bytes = 512;  // several buckets even at toy sizes
+    DistributedTrainer trainer(world, tiny_word_factory(vocab), opt);
+
+    EpochStats last{};
+    for (int e = 0; e < 2; ++e) last = trainer.run_epoch(train, valid, e);
+    EXPECT_TRUE(trainer.replicas_in_sync());
+
+    const auto bytes = model_bytes(trainer);
+    if (!overlap) {
+      reference = bytes;
+      ref_train = last.train_loss;
+      ref_valid = last.valid_loss;
+      continue;
+    }
+    // Bitwise: the losses are exact doubles and the weights exact bytes.
+    EXPECT_EQ(last.train_loss, ref_train);
+    EXPECT_EQ(last.valid_loss, ref_valid);
+    ASSERT_EQ(bytes.size(), reference.size());
+    EXPECT_EQ(0, std::memcmp(bytes.data(), reference.data(), bytes.size()))
+        << "overlap on diverged from overlap off at G=" << gpus;
+  }
+}
+
+TEST(OverlappedExchange, MatchesSyncBitwiseG1Fp32) {
+  expect_overlap_matches_sync(1, WirePrecision::FP32);
+}
+
+TEST(OverlappedExchange, MatchesSyncBitwiseG4Fp32) {
+  expect_overlap_matches_sync(4, WirePrecision::FP32);
+}
+
+TEST(OverlappedExchange, MatchesSyncBitwiseG4Fp16) {
+  expect_overlap_matches_sync(4, WirePrecision::FP16);
+}
+
+// -- Adaptive strategy selection: the log is replayable --------------
+
+TEST(StrategySelector, LoggedDecisionsReplayThroughPredict) {
+  const Index vocab = 50;
+  const auto train = tiny_corpus(vocab, 2400, 9);
+  const auto valid = tiny_corpus(vocab, 400, 10);
+
+  const int gpus = 4;
+  CommWorld world(gpus);
+  TrainerOptions opt = tiny_options();
+  opt.samples_per_rank = 16;
+  opt.adaptive_exchange = true;
+  DistributedTrainer trainer(world, tiny_word_factory(vocab), opt);
+  trainer.run_epoch(train, valid, 0);
+
+  const ExchangeStrategySelector* sel = trainer.strategy_selector(0);
+  ASSERT_NE(sel, nullptr);
+  ASSERT_FALSE(sel->log().empty());
+
+  // Lockstep: every rank must have recorded the identical decision
+  // sequence, or the collective schedules would have diverged.
+  for (int r = 1; r < gpus; ++r) {
+    const ExchangeStrategySelector* other = trainer.strategy_selector(r);
+    ASSERT_NE(other, nullptr);
+    ASSERT_EQ(other->log().size(), sel->log().size());
+    for (std::size_t i = 0; i < sel->log().size(); ++i) {
+      EXPECT_EQ(other->log()[i].choice, sel->log()[i].choice);
+      EXPECT_EQ(other->log()[i].ug, sel->log()[i].ug);
+    }
+  }
+
+  // Replay: feed each logged U_g back through the pure predict() and
+  // re-derive the choice with the same hysteresis rule.
+  const auto idx = [](ExchangeKind k) { return static_cast<std::size_t>(k); };
+  ExchangeKind current = sel->config().initial;
+  for (const StrategyDecision& d : sel->log()) {
+    const auto costs = ExchangeStrategySelector::predict(
+        sel->config(), sel->cost_model(), sel->topology(), d.ug);
+    for (std::size_t k = 0; k < costs.size(); ++k) {
+      EXPECT_EQ(costs[k], d.predicted_seconds[k])
+          << "predict() must be pure — step " << d.step << " strategy " << k;
+    }
+    ExchangeKind best = ExchangeKind::Unique;
+    for (ExchangeKind k : {ExchangeKind::DenseAllgather,
+                           ExchangeKind::HierarchicalUnique}) {
+      if (costs[idx(k)] < costs[idx(best)]) best = k;
+    }
+    if (best != current &&
+        costs[idx(best)] <
+            costs[idx(current)] * (1.0 - sel->config().hysteresis)) {
+      EXPECT_TRUE(d.switched);
+      current = best;
+    }
+    EXPECT_EQ(d.choice, current)
+        << "logged choice at step " << d.step << " is not replayable";
+  }
+}
+
+}  // namespace
+}  // namespace zipflm

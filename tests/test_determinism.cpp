@@ -14,7 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "zipflm/comm/thread_comm.hpp"
 #include "zipflm/core/exchange.hpp"
+#include "zipflm/core/grad_sync.hpp"
+#include "zipflm/nn/param.hpp"
 #include "zipflm/support/thread_pool.hpp"
 #include "zipflm/tensor/cast.hpp"
 #include "zipflm/tensor/ops.hpp"
@@ -220,6 +223,98 @@ TEST(ElementwiseDeterminism, ActivationBytesStable) {
     out.insert(out.end(), more.begin(), more.end());
     return out;
   });
+}
+
+// -- Bucketed overlapped gradient sync -------------------------------
+//
+// The overlap contract: bucket boundaries and launch timing must never
+// change a single reduced byte.  Run the same per-rank gradients through
+// the legacy sync() and through the bucketed engine path at several
+// bucket sizes (many tiny buckets / one huge bucket), threaded and
+// inline, and require byte-identical averaged gradients.
+
+namespace {
+
+/// Deterministic per-rank gradients: rank-dependent (so the reduction
+/// order matters) but reproducible.
+std::vector<Param> make_test_params(int rank) {
+  const std::vector<std::vector<Index>> shapes = {
+      {3, 100}, {7, 1}, {13, 33}, {64, 8}, {501, 2}};
+  std::vector<Param> params;
+  params.reserve(shapes.size());
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    Param p("p" + std::to_string(s), Tensor(shapes[s]));
+    auto g = p.grad.data();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      g[i] = std::ldexp(1.0f + 0.001f * static_cast<float>((i * 7 + s) % 911),
+                        static_cast<int>((i + static_cast<std::size_t>(rank)) %
+                                         17) - 8);
+    }
+    params.push_back(std::move(p));
+  }
+  return params;
+}
+
+std::vector<unsigned char> grad_bytes(const std::vector<Param>& params) {
+  std::vector<unsigned char> out;
+  for (const Param& p : params) {
+    append_bytes(out, p.grad.data().data(),
+                 p.grad.data().size() * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(GradSyncDeterminism, BucketingNeverChangesReducedBytes) {
+  for (const WirePrecision wire : {WirePrecision::FP32, WirePrecision::FP16}) {
+    // mode: {bucket_bytes, force_thread}; bucket 0 = legacy sync().
+    struct Mode {
+      std::size_t bucket_bytes;
+      bool threaded;
+    };
+    const std::vector<Mode> modes = {
+        {0, false},       // sync(): the bitwise reference
+        {256, false},     // many tiny buckets, inline engine
+        {256, true},      // many tiny buckets, comm thread
+        {1 << 20, true},  // everything in one bucket, comm thread
+    };
+    std::vector<std::vector<unsigned char>> results(modes.size());
+
+    CommWorld world(4);
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      world.run([&](Communicator& comm) {
+        std::vector<Param> params = make_test_params(comm.rank());
+        std::vector<Param*> ptrs;
+        for (Param& p : params) ptrs.push_back(&p);
+
+        DenseGradSync sync(ExchangeOptions{wire, 64.0f, false});
+        if (modes[m].bucket_bytes == 0) {
+          sync.sync(comm, ptrs);
+        } else {
+          AsyncCommEngine engine(comm, /*overlap=*/true,
+                                 modes[m].threaded);
+          sync.set_bucket_bytes(modes[m].bucket_bytes);
+          sync.begin_step(comm, engine, ptrs);
+          // Notify in an arbitrary interleaving — completion order must
+          // not matter, only the plan order inside each bucket.
+          for (std::size_t i = params.size(); i-- > 0;) {
+            sync.notify_ready(ptrs[i]);
+          }
+          sync.finish();
+        }
+        if (comm.rank() == 0) results[m] = grad_bytes(params);
+      });
+      ASSERT_FALSE(results[m].empty());
+      if (m > 0) {
+        ASSERT_EQ(results[m].size(), results[0].size());
+        EXPECT_EQ(0, std::memcmp(results[m].data(), results[0].data(),
+                                 results[0].size()))
+            << "wire=" << (wire == WirePrecision::FP16 ? "fp16" : "fp32")
+            << " mode " << m << " diverged from sync()";
+      }
+    }
+  }
 }
 
 }  // namespace
