@@ -11,16 +11,35 @@
 // wire precision is kept on so the compression-scaling casts stay in
 // the measured path.
 //
+// --transport selects how the ranks are realized:
+//
+//   thread  (default)  N threads of this process over CommWorld's
+//                      shared-memory collectives — the seed behavior.
+//   socket             N forked OS processes that rendezvous over UNIX
+//                      sockets (ProcessGroup / zipflm::net) and train
+//                      over the real wire.  The parent first runs the
+//                      thread world as a reference, then asserts the
+//                      socket world's per-rank losses and final weights
+//                      are BITWISE identical to it — the bench doubles
+//                      as the multi-process equivalence gate (exit 1 on
+//                      any divergence).
+//
 // Emits one line of JSON (prefixed "RESULT ") so harnesses can scrape a
 // single machine-readable record; record the trajectory in
 // BENCH_train_step.json.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "zipflm/comm/process_group.hpp"
 #include "zipflm/comm/thread_comm.hpp"
 #include "zipflm/core/exchange.hpp"
 #include "zipflm/core/grad_sync.hpp"
@@ -34,187 +53,415 @@
 
 #include "bench_common.hpp"
 
+namespace {
+
+using namespace zipflm;
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x00000100000001b3ull;
+  }
+  return h;
+}
+
+/// Digest of everything training mutates: dense parameter values plus
+/// the sparse-exchanged input embedding.  Two runs that agree here (and
+/// on the per-step loss stream) took bitwise the same trajectory.
+std::uint64_t hash_weights(CharLm& model) {
+  std::uint64_t h = kFnvOffset;
+  for (const Param* p : model.dense_params()) {
+    h = fnv1a(p->value.data().data(), p->value.bytes(), h);
+  }
+  const Param& emb = model.input_embedding_param();
+  return fnv1a(emb.value.data().data(), emb.value.bytes(), h);
+}
+
+/// One rank's training outcome.  Plain old data so a forked socket
+/// child can ship it back to the parent over a pipe verbatim.
+struct RankReport {
+  std::uint64_t weights_hash = 0;  ///< final dense + embedding values
+  std::uint64_t loss_hash = 0;     ///< FNV over every step's loss bits
+  double loss_sum = 0.0;
+  double measured_seconds = 0.0;   ///< post-warmup wall time
+  double exchange_seconds = 0.0;
+  double optimizer_seconds = 0.0;
+  double forward_seconds = 0.0;    ///< socket children: own PhaseTimers
+  double backward_seconds = 0.0;
+  std::uint64_t unique_rows = 0;
+  std::uint64_t wire_bytes_sent = 0;  ///< socket children only
+};
+
+/// Everything both worlds share; one parse of argv.
+struct BenchConfig {
+  CharLmConfig cfg;  // seed defaults: vocab 98, RHN 1792 x depth 10
+  BatchSpec spec;
+  ExchangeOptions ex_opts{WirePrecision::FP16, 1024.0f, false};
+  int gpus = 1;
+  bool overlap = true;
+  std::size_t bucket_bytes = 4u << 20;
+  std::size_t warmup_steps = 1;
+  std::size_t measured_steps = 3;
+
+  std::size_t total_steps() const { return warmup_steps + measured_steps; }
+};
+
+/// The per-rank training loop, identical for every backend: the
+/// communicator is the only thing that differs between a CommWorld
+/// thread and a ProcessGroup process.
+RankReport run_rank(Communicator& comm, CharLm& model, Adam& opt,
+                    UniqueExchange& exchange, DenseGradSync& dense_sync,
+                    const std::vector<Index>& ids, const BenchConfig& bc) {
+  RankReport rep;
+  rep.loss_hash = kFnvOffset;
+  const int r = comm.rank();
+
+  AsyncCommEngine engine(comm, bc.overlap);
+  model.set_backward_hook(
+      [&dense_sync](const Param& p) { dense_sync.notify_ready(&p); });
+
+  const auto dense = model.dense_params();
+  BatchIterator it(ids, bc.spec, comm.rank(), comm.world_size());
+  Batch batch;
+  LmStepResult res;
+  Stopwatch step_watch;
+  for (std::size_t step = 0; step < bc.total_steps(); ++step) {
+    if (step == bc.warmup_steps) {
+      comm.barrier();
+      if (r == 0) PhaseTimers::reset();
+      rep.exchange_seconds = rep.optimizer_seconds = 0.0;
+      step_watch.reset();
+    }
+    if (!it.next(batch)) {
+      std::fprintf(stderr, "corpus exhausted early\n");
+      std::abort();
+    }
+    model.zero_grad();
+    dense_sync.begin_step(comm, engine, dense);
+    PendingIdGather pending;
+    begin_id_gather(engine, batch.inputs, pending);
+    model.train_step_local(batch, {}, res);
+    rep.loss_hash = fnv1a(&res.loss, sizeof(res.loss), rep.loss_hash);
+    rep.loss_sum += static_cast<double>(res.loss);
+
+    Stopwatch phase_watch;
+    dense_sync.finish();
+    std::vector<Index> uids;
+    Tensor urows;
+    exchange.exchange(comm, res.input_ids, res.input_delta, uids, urows,
+                      nullptr, &pending);
+    scale(urows, 1.0f / static_cast<float>(comm.world_size()));
+    rep.exchange_seconds += phase_watch.seconds();
+    rep.unique_rows = uids.size();
+
+    phase_watch.reset();
+    opt.begin_step();
+    opt.step(dense);
+    opt.step_rows(model.input_embedding_param(), urows, uids);
+    rep.optimizer_seconds += phase_watch.seconds();
+  }
+  model.set_backward_hook(nullptr);
+  comm.barrier();
+  rep.measured_seconds = step_watch.seconds();
+  rep.weights_hash = hash_weights(model);
+  return rep;
+}
+
+/// N threads of this process over CommWorld (the seed path).  One
+/// replica per simulated GPU, exactly like DistributedTrainer: the wire
+/// path (bucketed dense allreduce + unique embedding exchange) is in
+/// the measured loop, so --gpus 4 reports what overlap actually hides.
+std::vector<RankReport> run_thread_world(const BenchConfig& bc,
+                                         const std::vector<Index>& ids) {
+  std::vector<std::unique_ptr<CharLm>> models;
+  std::vector<std::unique_ptr<Adam>> opts;
+  std::vector<std::unique_ptr<UniqueExchange>> exchanges;
+  std::vector<std::unique_ptr<DenseGradSync>> syncs;
+  for (int r = 0; r < bc.gpus; ++r) {
+    models.push_back(std::make_unique<CharLm>(bc.cfg));
+    Adam::Config acfg;
+    acfg.clip = 1.0f;
+    opts.push_back(std::make_unique<Adam>(acfg));
+    exchanges.push_back(std::make_unique<UniqueExchange>(bc.ex_opts));
+    syncs.push_back(std::make_unique<DenseGradSync>(bc.ex_opts));
+    syncs.back()->set_bucket_bytes(bc.bucket_bytes);
+  }
+
+  CommWorld world(bc.gpus);
+  std::vector<RankReport> reports(static_cast<std::size_t>(bc.gpus));
+  world.run([&](Communicator& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    reports[r] = run_rank(comm, *models[r], *opts[r], *exchanges[r], *syncs[r],
+                          ids, bc);
+  });
+  return reports;
+}
+
+bool read_full(int fd, void* out, std::size_t n) {
+  auto* p = static_cast<unsigned char*>(out);
+  while (n > 0) {
+    const ssize_t got = ::read(fd, p, n);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // child died before reporting
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_full(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (n > 0) {
+    const ssize_t put = ::write(fd, p, n);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+/// One forked rank of the socket world: rendezvous, build a fresh
+/// replica (identical seed => identical init to the thread world's),
+/// train, and ship the report up the pipe.
+int run_socket_child(int rank, const std::string& rendezvous,
+                     const BenchConfig& bc, const std::vector<Index>& ids,
+                     int pipe_fd) {
+  ProcessGroup::Options opt;
+  opt.collective_timeout_seconds = 300.0;
+  auto pg = ProcessGroup::connect(rendezvous, rank, bc.gpus, opt);
+
+  CharLm model(bc.cfg);
+  Adam::Config acfg;
+  acfg.clip = 1.0f;
+  Adam adam(acfg);
+  UniqueExchange exchange(bc.ex_opts);
+  DenseGradSync dense_sync(bc.ex_opts);
+  dense_sync.set_bucket_bytes(bc.bucket_bytes);
+
+  RankReport rep =
+      run_rank(pg->comm(), model, adam, exchange, dense_sync, ids, bc);
+  rep.forward_seconds = PhaseTimers::seconds("forward");
+  rep.backward_seconds = PhaseTimers::seconds("backward");
+  rep.wire_bytes_sent = pg->ledger().wire_bytes_sent;
+  if (!write_full(pipe_fd, &rep, sizeof(rep))) return 1;
+  pg.reset();  // orderly endpoint close before _Exit
+  return 0;
+}
+
+/// N forked OS processes over UNIX-socket rendezvous.  Returns empty on
+/// any child failure (already reported to stderr).
+std::vector<RankReport> run_socket_world(const BenchConfig& bc,
+                                         const std::vector<Index>& ids) {
+  const std::string rendezvous =
+      "unix:/tmp/zipflm_bench." + std::to_string(::getpid());
+  std::fflush(nullptr);  // children inherit the stdio buffers at fork
+  std::vector<pid_t> pids;
+  std::vector<int> read_fds;
+  for (int r = 0; r < bc.gpus; ++r) {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      std::perror("pipe");
+      return {};
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return {};
+    }
+    if (pid == 0) {
+      for (const int fd : read_fds) ::close(fd);
+      ::close(fds[0]);
+      int code = 1;
+      try {
+        code = run_socket_child(r, rendezvous, bc, ids, fds[1]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "socket rank %d failed: %s\n", r, e.what());
+      }
+      std::fflush(nullptr);  // _Exit skips the stdio flush
+      std::_Exit(code);
+    }
+    ::close(fds[1]);
+    pids.push_back(pid);
+    read_fds.push_back(fds[0]);
+  }
+
+  std::vector<RankReport> reports(static_cast<std::size_t>(bc.gpus));
+  bool ok = true;
+  for (int r = 0; r < bc.gpus; ++r) {
+    if (!read_full(read_fds[static_cast<std::size_t>(r)],
+                   &reports[static_cast<std::size_t>(r)],
+                   sizeof(RankReport))) {
+      std::fprintf(stderr, "socket rank %d sent no report\n", r);
+      ok = false;
+    }
+    ::close(read_fds[static_cast<std::size_t>(r)]);
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      ok = false;
+    }
+  }
+  if (!ok) return {};
+  return reports;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace zipflm;
 
   // Positional args first (batch, seq, steps), then flags.
   std::vector<char*> positional;
-  int gpus = 1;
-  bool overlap = true;
+  BenchConfig bc;
   bool fp16_wire = true;
-  std::size_t bucket_mb = 4;
+  std::string transport = "thread";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--gpus" && i + 1 < argc) {
-      gpus = std::atoi(argv[++i]);
+      bc.gpus = std::atoi(argv[++i]);
     } else if (arg == "--overlap" && i + 1 < argc) {
-      overlap = std::string(argv[++i]) != "off";
+      bc.overlap = std::string(argv[++i]) != "off";
     } else if (arg == "--wire" && i + 1 < argc) {
       fp16_wire = std::string(argv[++i]) != "fp32";
     } else if (arg == "--bucket-mb" && i + 1 < argc) {
-      bucket_mb = static_cast<std::size_t>(std::atoi(argv[++i]));
+      bc.bucket_bytes = static_cast<std::size_t>(std::atoi(argv[++i])) << 20;
+    } else if (arg == "--transport" && i + 1 < argc) {
+      transport = argv[++i];
     } else {
       positional.push_back(argv[i]);
     }
   }
-  const Index batch_size =
+  if (transport != "thread" && transport != "socket") {
+    std::fprintf(stderr, "--transport must be 'thread' or 'socket'\n");
+    return 2;
+  }
+  bc.spec.batch_size =
       positional.size() > 0 ? static_cast<Index>(std::atoi(positional[0])) : 8;
-  const Index seq_len =
+  bc.spec.seq_len =
       positional.size() > 1 ? static_cast<Index>(std::atoi(positional[1])) : 8;
-  const std::size_t measured_steps =
+  bc.measured_steps =
       positional.size() > 2 ? static_cast<std::size_t>(std::atoi(positional[2]))
                             : 3;
-  const std::size_t warmup_steps = 1;
+  bc.ex_opts.precision = fp16_wire ? WirePrecision::FP16 : WirePrecision::FP32;
 
   bench::print_header(
       "Training-step throughput, seed CharLm",
       "paper SIV-B char model; local step cost Θ(G·K + U_g·D)",
       "full train step: forward + backward + unique exchange + Adam");
 
-  CharLmConfig cfg;  // seed defaults: vocab 98, RHN 1792 x depth 10
-  CharLm model(cfg);
-
-  BatchSpec spec;
-  spec.batch_size = batch_size;
-  spec.seq_len = seq_len;
-  const std::size_t total_steps = warmup_steps + measured_steps;
   const std::size_t corpus =
-      static_cast<std::size_t>(spec.tokens_per_rank()) * (total_steps + 1) *
-          static_cast<std::size_t>(gpus) +
+      static_cast<std::size_t>(bc.spec.tokens_per_rank()) *
+          (bc.total_steps() + 1) * static_cast<std::size_t>(bc.gpus) +
       1;
   std::vector<Index> ids(corpus);
   Rng rng(42);
   for (auto& id : ids) {
     id = static_cast<Index>(
-        rng.uniform_index(static_cast<std::uint64_t>(cfg.vocab)));
+        rng.uniform_index(static_cast<std::uint64_t>(bc.cfg.vocab)));
   }
 
-  const ExchangeOptions ex_opts{
-      fp16_wire ? WirePrecision::FP16 : WirePrecision::FP32, 1024.0f, false};
+  // The thread world always runs — it IS the bench in thread mode, and
+  // the equality reference in socket mode.
+  const std::vector<RankReport> thread_reports = run_thread_world(bc, ids);
 
-  // One replica per simulated GPU, exactly like DistributedTrainer: the
-  // wire path (bucketed dense allreduce + unique embedding exchange) is
-  // in the measured loop, so --gpus 4 reports what overlap actually
-  // hides.
-  std::vector<std::unique_ptr<CharLm>> models;
-  std::vector<std::unique_ptr<Adam>> opts;
-  std::vector<std::unique_ptr<UniqueExchange>> exchanges;
-  std::vector<std::unique_ptr<DenseGradSync>> syncs;
-  for (int r = 0; r < gpus; ++r) {
-    models.push_back(std::make_unique<CharLm>(cfg));
-    Adam::Config acfg;
-    acfg.clip = 1.0f;
-    opts.push_back(std::make_unique<Adam>(acfg));
-    exchanges.push_back(std::make_unique<UniqueExchange>(ex_opts));
-    syncs.push_back(std::make_unique<DenseGradSync>(ex_opts));
-    syncs.back()->set_bucket_bytes(bucket_mb << 20);
-  }
-
-  CommWorld world(gpus);
-  double measured_seconds = 0.0;
-  std::vector<double> rank_exchange(static_cast<std::size_t>(gpus), 0.0);
-  std::vector<double> rank_optimizer(static_cast<std::size_t>(gpus), 0.0);
-  std::uint64_t unique_rows = 0;
-  world.run([&](Communicator& comm) {
-    const int r = comm.rank();
-    CharLm& model = *models[static_cast<std::size_t>(r)];
-    Adam& opt = *opts[static_cast<std::size_t>(r)];
-    UniqueExchange& exchange = *exchanges[static_cast<std::size_t>(r)];
-    DenseGradSync& dense_sync = *syncs[static_cast<std::size_t>(r)];
-
-    AsyncCommEngine engine(comm, overlap);
-    model.set_backward_hook(
-        [&dense_sync](const Param& p) { dense_sync.notify_ready(&p); });
-
-    const auto dense = model.dense_params();
-    BatchIterator it(ids, spec, comm.rank(), comm.world_size());
-    Batch batch;
-    LmStepResult res;
-    Stopwatch step_watch;
-    double exchange_seconds = 0.0;
-    double optimizer_seconds = 0.0;
-    for (std::size_t step = 0; step < total_steps; ++step) {
-      if (step == warmup_steps) {
-        comm.barrier();
-        if (r == 0) PhaseTimers::reset();
-        exchange_seconds = optimizer_seconds = 0.0;
-        step_watch.reset();
-      }
-      if (!it.next(batch)) {
-        std::fprintf(stderr, "corpus exhausted early\n");
-        std::abort();
-      }
-      model.zero_grad();
-      dense_sync.begin_step(comm, engine, dense);
-      PendingIdGather pending;
-      begin_id_gather(engine, batch.inputs, pending);
-      model.train_step_local(batch, {}, res);
-
-      Stopwatch phase_watch;
-      dense_sync.finish();
-      std::vector<Index> uids;
-      Tensor urows;
-      exchange.exchange(comm, res.input_ids, res.input_delta, uids, urows,
-                        nullptr, &pending);
-      scale(urows, 1.0f / static_cast<float>(comm.world_size()));
-      exchange_seconds += phase_watch.seconds();
-      unique_rows = uids.size();
-
-      phase_watch.reset();
-      opt.begin_step();
-      opt.step(dense);
-      opt.step_rows(model.input_embedding_param(), urows, uids);
-      optimizer_seconds += phase_watch.seconds();
+  bool equal_to_thread = true;
+  std::vector<RankReport> reports;
+  if (transport == "socket") {
+    reports = run_socket_world(bc, ids);
+    if (reports.empty()) {
+      std::fprintf(stderr, "socket world failed\n");
+      return 1;
     }
-    model.set_backward_hook(nullptr);
-    comm.barrier();
-    if (r == 0) measured_seconds = step_watch.seconds();
-    rank_exchange[static_cast<std::size_t>(r)] = exchange_seconds;
-    rank_optimizer[static_cast<std::size_t>(r)] = optimizer_seconds;
-  });
+    for (int r = 0; r < bc.gpus; ++r) {
+      const auto& t = thread_reports[static_cast<std::size_t>(r)];
+      const auto& s = reports[static_cast<std::size_t>(r)];
+      if (t.weights_hash != s.weights_hash || t.loss_hash != s.loss_hash) {
+        std::fprintf(stderr,
+                     "rank %d diverged from thread backend: weights "
+                     "%016llx vs %016llx, losses %016llx vs %016llx\n",
+                     r, static_cast<unsigned long long>(t.weights_hash),
+                     static_cast<unsigned long long>(s.weights_hash),
+                     static_cast<unsigned long long>(t.loss_hash),
+                     static_cast<unsigned long long>(s.loss_hash));
+        equal_to_thread = false;
+      }
+    }
+    std::uint64_t wire_bytes = 0;
+    for (const auto& rep : reports) wire_bytes += rep.wire_bytes_sent;
+    std::printf(
+        "socket transport: %d OS processes, %llu wire bytes, losses/weights "
+        "%s thread backend\n",
+        bc.gpus, static_cast<unsigned long long>(wire_bytes),
+        equal_to_thread ? "bitwise equal to" : "DIVERGED from");
+  } else {
+    reports = thread_reports;
+  }
+
+  const RankReport& r0 = reports[0];
   double exchange_seconds = 0.0;
   double optimizer_seconds = 0.0;
-  for (int r = 0; r < gpus; ++r) {
-    exchange_seconds =
-        std::max(exchange_seconds, rank_exchange[static_cast<std::size_t>(r)]);
-    optimizer_seconds = std::max(
-        optimizer_seconds, rank_optimizer[static_cast<std::size_t>(r)]);
+  for (const auto& rep : reports) {
+    exchange_seconds = std::max(exchange_seconds, rep.exchange_seconds);
+    optimizer_seconds = std::max(optimizer_seconds, rep.optimizer_seconds);
   }
+  // Thread mode reads the process-global phase timers (as the seed
+  // did); socket mode reads rank 0's own process.
+  const double forward_seconds = transport == "socket"
+                                     ? r0.forward_seconds
+                                     : PhaseTimers::seconds("forward");
+  const double backward_seconds = transport == "socket"
+                                      ? r0.backward_seconds
+                                      : PhaseTimers::seconds("backward");
 
   // Aggregate throughput: every simulated GPU processes its own
   // tokens_per_rank each step (data parallelism), so the fleet's
   // tokens/s is the per-rank rate times the world size.
-  const double tokens =
-      static_cast<double>(spec.tokens_per_rank()) *
-      static_cast<double>(measured_steps) * static_cast<double>(gpus);
-  const double tok_s = tokens / measured_seconds;
-  const double steps_d = static_cast<double>(measured_steps);
-  const double step_ms = 1e3 * measured_seconds / steps_d;
-  const double forward_ms = 1e3 * PhaseTimers::seconds("forward") / steps_d;
-  const double backward_ms = 1e3 * PhaseTimers::seconds("backward") / steps_d;
+  const double tokens = static_cast<double>(bc.spec.tokens_per_rank()) *
+                        static_cast<double>(bc.measured_steps) *
+                        static_cast<double>(bc.gpus);
+  const double tok_s = tokens / r0.measured_seconds;
+  const double steps_d = static_cast<double>(bc.measured_steps);
+  const double step_ms = 1e3 * r0.measured_seconds / steps_d;
+  const double forward_ms = 1e3 * forward_seconds / steps_d;
+  const double backward_ms = 1e3 * backward_seconds / steps_d;
   const double exchange_ms = 1e3 * exchange_seconds / steps_d;
   const double optimizer_ms = 1e3 * optimizer_seconds / steps_d;
 
   std::printf("batch %lld x seq %lld, %zu measured steps (+%zu warmup)\n",
-              static_cast<long long>(batch_size),
-              static_cast<long long>(seq_len), measured_steps, warmup_steps);
+              static_cast<long long>(bc.spec.batch_size),
+              static_cast<long long>(bc.spec.seq_len), bc.measured_steps,
+              bc.warmup_steps);
   std::printf("throughput: %8s tokens/s (%s ms/step)\n",
               bench::fmt(tok_s).c_str(), bench::fmt(step_ms).c_str());
   std::printf("  forward  : %8s ms\n", bench::fmt(forward_ms).c_str());
   std::printf("  backward : %8s ms\n", bench::fmt(backward_ms).c_str());
   std::printf("  exchange : %8s ms (U_g = %llu unique rows)\n",
               bench::fmt(exchange_ms).c_str(),
-              static_cast<unsigned long long>(unique_rows));
+              static_cast<unsigned long long>(r0.unique_rows));
   std::printf("  optimizer: %8s ms\n", bench::fmt(optimizer_ms).c_str());
 
   std::printf(
       "RESULT {\"bench\":\"train_step\",\"batch\":%lld,\"seq\":%lld,"
       "\"steps\":%zu,\"gpus\":%d,\"overlap\":%s,"
+      "\"transport\":\"%s\",\"processes\":%d,\"equal_to_thread\":%s,"
       "\"tokens_per_s\":%.2f,\"step_ms\":%.2f,"
       "\"forward_ms\":%.2f,\"backward_ms\":%.2f,\"exchange_ms\":%.2f,"
       "\"optimizer_ms\":%.2f}\n",
-      static_cast<long long>(batch_size), static_cast<long long>(seq_len),
-      measured_steps, gpus, overlap ? "true" : "false", tok_s, step_ms,
-      forward_ms, backward_ms, exchange_ms, optimizer_ms);
-  return 0;
+      static_cast<long long>(bc.spec.batch_size),
+      static_cast<long long>(bc.spec.seq_len), bc.measured_steps, bc.gpus,
+      bc.overlap ? "true" : "false", transport.c_str(),
+      transport == "socket" ? bc.gpus : 1, equal_to_thread ? "true" : "false",
+      tok_s, step_ms, forward_ms, backward_ms, exchange_ms, optimizer_ms);
+  return equal_to_thread ? 0 : 1;
 }

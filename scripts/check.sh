@@ -6,9 +6,12 @@
 #         timeouts blur when the tests share cores with the suite)
 #   1c    observability: trace export end-to-end + the <2% disabled-
 #         instrumentation overhead bar
+#   net   socket-transport suites (real kernel sockets, forked ranks),
+#         serially — they own /tmp rendezvous paths and kernel socket
+#         buffers, so sibling tests turn their timeouts into flakes
 #   tsan  the whole suite under ThreadSanitizer
 #
-# Usage: scripts/check.sh [--tier 1|1b|1c|tsan] [--tsan-only | --no-tsan]
+# Usage: scripts/check.sh [--tier 1|1b|1c|net|tsan] [--tsan-only | --no-tsan]
 # With no arguments every tier runs, in order.  Each tier configures and
 # builds what it needs, so `scripts/check.sh --tier 1b` works from a
 # clean checkout — CI runs the tiers as separate matrix legs.
@@ -23,14 +26,14 @@ tiers=()
 case "${1:-}" in
   --tier)
     case "${2:-}" in
-      1|1b|1c|tsan) tiers=("$2") ;;
-      *) echo "usage: $0 [--tier 1|1b|1c|tsan] [--tsan-only | --no-tsan]" >&2
+      1|1b|1c|net|tsan) tiers=("$2") ;;
+      *) echo "usage: $0 [--tier 1|1b|1c|net|tsan] [--tsan-only | --no-tsan]" >&2
          exit 2 ;;
     esac ;;
   --tsan-only) tiers=(tsan) ;;
-  --no-tsan) tiers=(1 1b 1c) ;;
-  "") tiers=(1 1b 1c tsan) ;;
-  *) echo "usage: $0 [--tier 1|1b|1c|tsan] [--tsan-only | --no-tsan]" >&2
+  --no-tsan) tiers=(1 1b 1c net) ;;
+  "") tiers=(1 1b 1c net tsan) ;;
+  *) echo "usage: $0 [--tier 1|1b|1c|net|tsan] [--tsan-only | --no-tsan]" >&2
      exit 2 ;;
 esac
 
@@ -92,6 +95,23 @@ EOF
        printf "obs overhead %.3f%% within 2%% bar\n", pct }'
 }
 
+tier_net() {
+  echo "== tier-net: socket transport =="
+  ensure_build
+  # Everything labeled `net` is RUN_SERIAL: test_net_transport (raw
+  # transport + rendezvous + collective/trainer parity across backends),
+  # test_comm_faults (the fault battery re-run over real sockets), and
+  # launch_selftest (zipflm_launch forking 4 OS processes).
+  ctest --test-dir build --output-on-failure -L net
+  # The subsystem's acceptance gate: 4 forked processes training over
+  # UNIX-socket ring allreduce must land bitwise on the thread backend's
+  # losses and weights.  bench_train_step exits nonzero on divergence.
+  ./build/bench/bench_train_step --gpus 4 --transport socket \
+    | tee /tmp/zipflm_net_bench.txt
+  grep -q '"equal_to_thread":true' /tmp/zipflm_net_bench.txt || {
+    echo "socket transport diverged from thread backend" >&2; exit 1; }
+}
+
 tier_tsan() {
   echo "== tier-tsan: ThreadSanitizer build =="
   # shellcheck disable=SC2086
@@ -111,6 +131,7 @@ for tier in "${tiers[@]}"; do
     1) tier_1 ;;
     1b) tier_1b ;;
     1c) tier_1c ;;
+    net) tier_net ;;
     tsan) tier_tsan ;;
   esac
 done

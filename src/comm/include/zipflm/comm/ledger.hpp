@@ -33,6 +33,14 @@ struct TrafficLedger {
   std::uint64_t max_broadcast_payload_bytes = 0;
   /// Simulated communication seconds under the active CostModel.
   double simulated_comm_seconds = 0.0;
+  /// Bytes that actually crossed a transport (framing included) and
+  /// wall-clock seconds measured inside collectives.  Zero under the
+  /// shared-memory backend — these are the *measured* counterparts of
+  /// bytes_sent/bytes_received/simulated_comm_seconds, kept separate so
+  /// modelled and real time are never conflated.
+  std::uint64_t wire_bytes_sent = 0;
+  std::uint64_t wire_bytes_received = 0;
+  double real_comm_seconds = 0.0;
 
   void reset() { *this = TrafficLedger{}; }
 
@@ -59,6 +67,9 @@ struct TrafficLedger {
       max_broadcast_payload_bytes = o.max_broadcast_payload_bytes;
     }
     simulated_comm_seconds += o.simulated_comm_seconds;
+    wire_bytes_sent += o.wire_bytes_sent;
+    wire_bytes_received += o.wire_bytes_received;
+    real_comm_seconds += o.real_comm_seconds;
     return *this;
   }
 };

@@ -63,6 +63,21 @@ struct SimulatedRankDeath {
   int rank = -1;
 };
 
+/// Which engine carries CommWorld's collectives.
+enum class CommBackend : std::uint8_t {
+  /// Shared-memory rings synchronized by cyclic barriers (the original
+  /// engine): deterministic, no kernel involvement.
+  SharedMem,
+  /// zipflm::net message-passing rings over in-memory channels — the
+  /// transport code path with the deterministic in-process oracle
+  /// underneath.
+  InProcNet,
+  /// The same message-passing rings over real socketpair fds: every
+  /// collective byte crosses the kernel with genuine backpressure and
+  /// partial transfers.  Results are bitwise identical to SharedMem.
+  Socket,
+};
+
 class CommWorld {
  public:
   struct Options {
@@ -73,6 +88,7 @@ class CommWorld {
     /// survivors throw CollectiveTimeoutError.  0 = wait forever (the
     /// pre-fault-tolerance behaviour).
     double collective_timeout_seconds = 0.0;
+    CommBackend backend = CommBackend::SharedMem;
     Options() : cost(CostModel::titan_x_cluster()) {}
   };
 
@@ -94,6 +110,7 @@ class CommWorld {
 
   const Topology& topology() const noexcept { return topo_; }
   const CostModel& cost_model() const noexcept { return cost_; }
+  CommBackend backend() const noexcept { return backend_; }
 
   /// Arm (replacing any previous plan) the given fault schedule.  Only
   /// call between run() invocations.
@@ -166,6 +183,20 @@ class CommWorld {
   /// any) scheduled for this call.  Called only from that rank's thread.
   FaultAction next_fault(int global_rank);
 
+  /// run() body for the InProcNet / Socket backends: builds a fresh
+  /// per-run transport mesh over the live ranks (poisoned streams from
+  /// a failed run are discarded wholesale) and drives fn through
+  /// TransportComm endpoints instead of the shared-memory groups.
+  void run_transport(const std::function<void(Communicator&)>& fn);
+
+  /// Shared run() epilogue: retire died ranks, rebuild groups, and
+  /// rethrow preferring an originating error over victims —
+  /// BarrierAborted always, CollectiveTimeoutError too when
+  /// `transport_victims` (a closed peer surfaces as a timeout there).
+  void finish_run(std::vector<int>& died,
+                  std::vector<std::exception_ptr>& errors,
+                  bool transport_victims);
+
   /// Rebuild the world/node/leader groups over the live ranks.  After
   /// any retirement the survivors are densely renumbered into a flat
   /// single-node topology (the degraded schedule makes no locality
@@ -176,6 +207,7 @@ class CommWorld {
   const int world_size_;
   Topology topo_;
   CostModel cost_;
+  CommBackend backend_ = CommBackend::SharedMem;
   double timeout_seconds_ = 0.0;
   std::unique_ptr<Group> world_group_;
   std::vector<std::unique_ptr<Group>> node_groups_;  ///< one per node

@@ -17,7 +17,10 @@ std::string TrafficLedger::to_json() const {
       << ",\"max_allreduce_payload_bytes\":" << max_allreduce_payload_bytes
       << ",\"max_allgather_payload_bytes\":" << max_allgather_payload_bytes
       << ",\"max_broadcast_payload_bytes\":" << max_broadcast_payload_bytes
-      << ",\"simulated_comm_seconds\":" << simulated_comm_seconds << '}';
+      << ",\"simulated_comm_seconds\":" << simulated_comm_seconds
+      << ",\"wire_bytes_sent\":" << wire_bytes_sent
+      << ",\"wire_bytes_received\":" << wire_bytes_received
+      << ",\"real_comm_seconds\":" << real_comm_seconds << '}';
   return out.str();
 }
 

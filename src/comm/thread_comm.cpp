@@ -6,6 +6,10 @@
 #include <string>
 #include <thread>
 
+#include "comm_internal.hpp"
+#include "zipflm/comm/transport_comm.hpp"
+#include "zipflm/net/inproc.hpp"
+#include "zipflm/net/socket.hpp"
 #include "zipflm/obs/metrics.hpp"
 #include "zipflm/obs/trace.hpp"
 #include "zipflm/tensor/cast.hpp"
@@ -13,69 +17,9 @@
 
 namespace zipflm {
 
-namespace {
-
-/// Global mirror of the per-rank ledgers, summed over every rank of
-/// every CommWorld: the "comm/..." section of the unified metrics
-/// snapshot.  Looked up once, then updated with relaxed atomics — the
-/// collectives themselves never touch the registry lock.
-struct CommMetrics {
-  obs::Counter& bytes_sent;
-  obs::Counter& bytes_received;
-  obs::Counter& allreduce_calls;
-  obs::Counter& allgather_calls;
-  obs::Counter& broadcast_calls;
-  obs::Counter& barrier_calls;
-  obs::Gauge& max_scratch_bytes;
-  obs::Gauge& max_allreduce_payload;
-  obs::Gauge& max_allgather_payload;
-  obs::Gauge& max_broadcast_payload;
-  obs::Gauge& simulated_seconds;
-  obs::Counter& ranks_retired;
-  obs::Counter& world_rebuilds;
-
-  static CommMetrics& get() {
-    auto& r = obs::MetricsRegistry::global();
-    static CommMetrics m{
-        r.counter("comm/bytes_sent"),
-        r.counter("comm/bytes_received"),
-        r.counter("comm/allreduce_calls"),
-        r.counter("comm/allgather_calls"),
-        r.counter("comm/broadcast_calls"),
-        r.counter("comm/barrier_calls"),
-        r.gauge("comm/max_collective_scratch_bytes"),
-        r.gauge("comm/max_allreduce_payload_bytes"),
-        r.gauge("comm/max_allgather_payload_bytes"),
-        r.gauge("comm/max_broadcast_payload_bytes"),
-        r.gauge("comm/simulated_seconds"),
-        r.counter("comm/ranks_retired"),
-        r.counter("comm/world_rebuilds"),
-    };
-    return m;
-  }
-};
-
-/// Element range [begin, end) of chunk c when n elements are split into
-/// g chunks as evenly as possible (first n%g chunks get one extra).
-struct ChunkRange {
-  std::size_t begin;
-  std::size_t end;
-  std::size_t size() const noexcept { return end - begin; }
-};
-
-ChunkRange chunk_range(std::size_t n, int g, int c) {
-  const std::size_t q = n / static_cast<std::size_t>(g);
-  const std::size_t rem = n % static_cast<std::size_t>(g);
-  const std::size_t extra =
-      std::min<std::size_t>(rem, static_cast<std::size_t>(c));
-  const std::size_t begin = static_cast<std::size_t>(c) * q + extra;
-  const std::size_t size = q + (static_cast<std::size_t>(c) < rem ? 1 : 0);
-  return {begin, begin + size};
-}
-
-int wrap(int x, int g) { return ((x % g) + g) % g; }
-
-}  // namespace
+using comm_internal::CommMetrics;
+using comm_internal::chunk_range;
+using comm_internal::wrap;
 
 void CommWorld::Group::validate_uniform(Op op, std::size_t bytes,
                                         int root) const {
@@ -504,6 +448,7 @@ CommWorld::CommWorld(int world_size, Options options)
     : world_size_(world_size),
       topo_(options.topo_set ? options.topo : Topology::for_world(world_size)),
       cost_(options.cost),
+      backend_(options.backend),
       timeout_seconds_(options.collective_timeout_seconds),
       ledgers_(static_cast<std::size_t>(world_size)),
       fault_cursor_(static_cast<std::size_t>(world_size), 0) {
@@ -585,6 +530,10 @@ CommWorld::FaultAction CommWorld::next_fault(int global_rank) {
 }
 
 void CommWorld::run(const std::function<void(Communicator&)>& fn) {
+  if (backend_ != CommBackend::SharedMem) {
+    run_transport(fn);
+    return;
+  }
   world_group_->barrier.reset();
   for (auto& g : node_groups_) g->barrier.reset();
   if (leader_group_ != nullptr) leader_group_->barrier.reset();
@@ -620,7 +569,73 @@ void CommWorld::run(const std::function<void(Communicator&)>& fn) {
     });
   }
   for (auto& t : threads) t.join();
+  finish_run(died, errors, /*transport_victims=*/false);
+}
 
+void CommWorld::run_transport(const std::function<void(Communicator&)>& fn) {
+  const std::size_t live = live_.size();
+  // A fresh mesh per run: streams poisoned by a failed or timed-out
+  // previous run are discarded wholesale, exactly as rebuild_groups()
+  // resets the shared-memory barriers.
+  std::vector<std::unique_ptr<net::Transport>> endpoints;
+  if (backend_ == CommBackend::Socket) {
+    endpoints = net::socketpair_mesh(static_cast<int>(live));
+  } else {
+    net::InProcHub hub(static_cast<int>(live));
+    endpoints.reserve(live);
+    for (std::size_t i = 0; i < live; ++i) {
+      endpoints.push_back(hub.endpoint(static_cast<int>(i)));
+    }
+  }
+  for (auto& ep : endpoints) ep->set_timeout_seconds(timeout_seconds_);
+
+  std::vector<std::exception_ptr> errors(live);
+  std::vector<int> died;
+  std::mutex died_mutex;
+  std::vector<std::thread> threads;
+  threads.reserve(live);
+  for (std::size_t i = 0; i < live; ++i) {
+    threads.emplace_back(
+        [this, &fn, &errors, &died, &died_mutex, &endpoints, i] {
+#if ZIPFLM_TRACE
+          obs::set_thread_lane("rank " + std::to_string(live_[i]), live_[i]);
+#endif
+          net::Transport& ep = *endpoints[i];
+          const int global = live_[i];
+          TransportComm::Hooks hooks;
+          hooks.ledger = &ledgers_[static_cast<std::size_t>(global)];
+          hooks.cost = &cost_;
+          hooks.global_rank = global;
+          hooks.fault = [this, global] {
+            const FaultAction act = next_fault(global);
+            return TransportFault{act.kind, act.delay_seconds, act.armed};
+          };
+          TransportComm comm(ep, topo_, std::move(hooks));
+          try {
+            fn(comm);
+          } catch (const SimulatedRankDeath& death) {
+            // A killed rank dies silently; closing its endpoint below
+            // is what the survivors observe — as PeerClosedError, i.e.
+            // CollectiveTimeoutError, the same signal a dead process
+            // gives over a real wire.
+            std::scoped_lock lock(died_mutex);
+            died.push_back(death.rank);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+          // Close on every exit path: success (peers may still drain
+          // what we already sent), death, and error (peers unblock
+          // instead of waiting out their timeout).
+          ep.close();
+        });
+  }
+  for (auto& t : threads) t.join();
+  finish_run(died, errors, /*transport_victims=*/true);
+}
+
+void CommWorld::finish_run(std::vector<int>& died,
+                           std::vector<std::exception_ptr>& errors,
+                           bool transport_victims) {
   // Retire killed ranks before rethrowing, so the caller can roll back
   // and immediately re-run over the survivors.
   if (!died.empty()) {
@@ -638,7 +653,10 @@ void CommWorld::run(const std::function<void(Communicator&)>& fn) {
     m.world_rebuilds.add(1);
   }
 
-  // Prefer the originating error over BarrierAborted victims.
+  // Prefer the originating error over victims: BarrierAborted always;
+  // on a transport backend CollectiveTimeoutError too, since a rank
+  // failing for any reason closes its endpoint and every peer then
+  // surfaces the loss as a timeout.
   std::exception_ptr any;
   for (const auto& e : errors) {
     if (!e) continue;
@@ -647,6 +665,9 @@ void CommWorld::run(const std::function<void(Communicator&)>& fn) {
       std::rethrow_exception(e);
     } catch (const BarrierAborted&) {
       // victim; keep looking for the root cause
+    } catch (const CollectiveTimeoutError&) {
+      if (!transport_victims) std::rethrow_exception(e);
+      // transport victim; keep looking for the root cause
     } catch (...) {
       std::rethrow_exception(e);
     }

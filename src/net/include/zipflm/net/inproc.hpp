@@ -1,0 +1,40 @@
+// In-process transport backend: N endpoints in one address space wired
+// through lock-protected message queues, one per directed peer pair.
+// No kernel, no partial transfers, no reordering — the deterministic
+// oracle that the socket backend is byte-diffed against in tests.
+//
+// Sends complete at post time (the payload is copied into the channel);
+// receives complete when a message of exactly the posted size is
+// available.  Closing an endpoint closes every channel that touches it:
+// peers may still drain messages queued before the close, after which
+// their operations fail with PeerClosedError — the same drain-then-fail
+// order a real socket gives after the remote end disappears.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "zipflm/net/transport.hpp"
+
+namespace zipflm::net {
+
+class InProcHub {
+ public:
+  explicit InProcHub(int world_size);
+
+  int world_size() const noexcept;
+
+  /// Create the endpoint for `rank`.  Each rank's endpoint is created
+  /// once and then owned (and driven) by that rank's thread.
+  std::unique_ptr<Transport> endpoint(int rank);
+
+  struct State;  // shared queue mesh; public so endpoints can hold it
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace zipflm::net

@@ -1,0 +1,62 @@
+// Socket transport backend: real file descriptors under the ring
+// collectives.
+//
+// Two ways to build a world:
+//
+//  * socketpair_mesh(N)     — N endpoints in ONE process, every peer
+//    pair joined by a socketpair(AF_UNIX).  Used by CommWorld's Socket
+//    backend: the simulated GPUs stay threads, but every collective
+//    byte crosses the kernel with real partial writes and backpressure.
+//  * rendezvous(addr, r, N) — one endpoint in ONE OS process of an
+//    N-process world (zipflm_launch / bench --transport socket).
+//    Address forms:
+//      "unix:<prefix>"       rank r listens on the path "<prefix>.<r>"
+//      "tcp:<host>:<port>"   rank r listens on port (<port> + r)
+//    Wiring rule: rank r actively connects to every p < r and accepts
+//    from every p > r, so each pair meets exactly once.  Each accepted
+//    or initiated connection starts with a hello exchange
+//    {magic, world_size, rank} in both directions; a magic or
+//    world-size mismatch is a ProtocolError, and the hello identifies
+//    which peer rank owns an accepted connection.
+//
+// The endpoint is a poll()-driven progress engine over nonblocking fds
+// with per-peer FIFO send and receive queues.  Every wait services all
+// peers in both directions, so two ranks pushing large simultaneous
+// payloads at each other drain one another instead of deadlocking on
+// full kernel buffers.  EOF or a connection reset fails every operation
+// on that peer with PeerClosedError — after any bytes the peer sent
+// before dying have been drained.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "zipflm/net/transport.hpp"
+
+namespace zipflm::net {
+
+/// All endpoints of an in-process world, index == rank.  Endpoint i is
+/// then driven by rank i's thread.
+std::vector<std::unique_ptr<Transport>> socketpair_mesh(int world_size);
+
+struct RendezvousOptions {
+  /// Patience for the whole connect/accept/handshake phase.  Peers
+  /// launched by the same runner may come up seconds apart.
+  double timeout_seconds = 30.0;
+};
+
+/// Join an N-process world as `rank`.  Blocks until every pairwise
+/// connection is established and handshaken, or throws
+/// TransportTimeoutError / ProtocolError.
+std::unique_ptr<Transport> rendezvous(const std::string& address, int rank,
+                                      int world_size,
+                                      const RendezvousOptions& opts = {});
+
+/// rendezvous() with rank / world / address taken from the environment
+/// set by zipflm_launch: ZIPFLM_NET_RANK, ZIPFLM_NET_WORLD,
+/// ZIPFLM_NET_RENDEZVOUS.  Throws ConfigError when unset.
+std::unique_ptr<Transport> rendezvous_from_env(
+    const RendezvousOptions& opts = {});
+
+}  // namespace zipflm::net

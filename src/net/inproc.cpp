@@ -1,0 +1,181 @@
+#include "zipflm/net/inproc.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <string>
+
+namespace zipflm::net {
+namespace {
+
+/// One directed lane of the mesh: from -> to.
+struct Channel {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::vector<std::byte>> queue;
+  bool closed = false;
+};
+
+}  // namespace
+
+struct InProcHub::State {
+  explicit State(int world)
+      : world(world),
+        channels(static_cast<std::size_t>(world) *
+                 static_cast<std::size_t>(world)) {
+    for (auto& ch : channels) ch = std::make_unique<Channel>();
+  }
+
+  Channel& lane(int from, int to) {
+    return *channels[static_cast<std::size_t>(from) *
+                         static_cast<std::size_t>(world) +
+                     static_cast<std::size_t>(to)];
+  }
+
+  int world;
+  std::vector<std::unique_ptr<Channel>> channels;
+};
+
+namespace {
+
+class InProcEndpoint final : public Transport {
+ public:
+  InProcEndpoint(std::shared_ptr<InProcHub::State> state, int rank)
+      : state_(std::move(state)), rank_(rank) {}
+
+  ~InProcEndpoint() override { close(); }
+
+  int rank() const noexcept override { return rank_; }
+  int world_size() const noexcept override { return state_->world; }
+  const char* kind() const noexcept override { return "inproc"; }
+
+  void close() override {
+    if (closed_) return;
+    closed_ = true;
+    for (int peer = 0; peer < state_->world; ++peer) {
+      if (peer == rank_) continue;
+      for (Channel* ch : {&state_->lane(rank_, peer),
+                          &state_->lane(peer, rank_)}) {
+        std::lock_guard lock(ch->mutex);
+        ch->closed = true;
+        ch->cv.notify_all();
+      }
+    }
+  }
+
+ protected:
+  std::shared_ptr<Completion::Op> post_send(
+      int peer, std::span<const std::byte> data) override {
+    auto op = std::make_shared<Completion::Op>();
+    op->is_send = true;
+    op->peer = peer;
+    op->size = data.size();
+    Channel& ch = state_->lane(rank_, peer);
+    {
+      std::lock_guard lock(ch.mutex);
+      if (closed_ || ch.closed) {
+        fail(*op, std::make_exception_ptr(PeerClosedError(
+                      "send to rank " + std::to_string(peer) +
+                      ": channel closed")));
+        return op;
+      }
+      ch.queue.emplace_back(data.begin(), data.end());
+    }
+    ch.cv.notify_all();
+    op->state = Completion::Op::State::Done;
+    op->transferred = data.size();
+    stats_.wire_bytes_sent += data.size();
+    return op;
+  }
+
+  std::shared_ptr<Completion::Op> post_recv(
+      int peer, std::span<std::byte> into) override {
+    auto op = std::make_shared<Completion::Op>();
+    op->is_send = false;
+    op->peer = peer;
+    op->data = into.data();
+    op->size = into.size();
+    try_complete_recv(*op);  // completes immediately if already queued
+    return op;
+  }
+
+  void progress_until(Completion::Op& op) override {
+    // Sends are complete (or failed) at post time; only receives wait.
+    ZIPFLM_ASSERT(!op.is_send, "inproc send left pending");
+    Channel& ch = state_->lane(op.peer, rank_);
+    std::unique_lock lock(ch.mutex);
+    const auto ready = [&] {
+      return !ch.queue.empty() || ch.closed || closed_;
+    };
+    if (timeout_seconds() <= 0.0) {
+      ch.cv.wait(lock, ready);
+    } else if (!ch.cv.wait_for(
+                   lock, std::chrono::duration<double>(timeout_seconds()),
+                   ready)) {
+      fail(op, std::make_exception_ptr(TransportTimeoutError(
+                   "recv from rank " + std::to_string(op.peer) +
+                   " timed out after " + std::to_string(timeout_seconds()) +
+                   "s")));
+      return;
+    }
+    complete_recv_locked(op, ch);
+  }
+
+ private:
+  void try_complete_recv(Completion::Op& op) {
+    Channel& ch = state_->lane(op.peer, rank_);
+    std::lock_guard lock(ch.mutex);
+    if (!ch.queue.empty() || ch.closed || closed_) {
+      complete_recv_locked(op, ch);
+    }
+  }
+
+  /// Precondition: the channel has a message, or is closed.
+  void complete_recv_locked(Completion::Op& op, Channel& ch) {
+    if (ch.queue.empty()) {
+      // Drained and closed: the peer is gone for good.
+      fail(op, std::make_exception_ptr(PeerClosedError(
+                   "recv from rank " + std::to_string(op.peer) +
+                   ": channel closed")));
+      return;
+    }
+    const std::vector<std::byte>& msg = ch.queue.front();
+    if (msg.size() != op.size) {
+      fail(op, std::make_exception_ptr(ProtocolError(
+                   "recv from rank " + std::to_string(op.peer) + " posted " +
+                   std::to_string(op.size) + " bytes but message holds " +
+                   std::to_string(msg.size()))));
+      return;
+    }
+    std::memcpy(op.data, msg.data(), msg.size());
+    ch.queue.pop_front();
+    op.transferred = msg.size();
+    op.state = Completion::Op::State::Done;
+    stats_.wire_bytes_received += msg.size();
+  }
+
+  static void fail(Completion::Op& op, std::exception_ptr error) {
+    op.state = Completion::Op::State::Failed;
+    op.error = std::move(error);
+  }
+
+  std::shared_ptr<InProcHub::State> state_;
+  int rank_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+InProcHub::InProcHub(int world_size) {
+  ZIPFLM_CHECK(world_size >= 1, "InProcHub needs at least one rank");
+  state_ = std::make_shared<State>(world_size);
+}
+
+int InProcHub::world_size() const noexcept { return state_->world; }
+
+std::unique_ptr<Transport> InProcHub::endpoint(int rank) {
+  ZIPFLM_CHECK(rank >= 0 && rank < state_->world,
+               "endpoint rank out of range");
+  return std::make_unique<InProcEndpoint>(state_, rank);
+}
+
+}  // namespace zipflm::net

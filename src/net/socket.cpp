@@ -1,0 +1,619 @@
+#include "zipflm/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <thread>
+
+namespace zipflm::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kHelloMagic = 0x5A4C4E31;  // "ZLN1"
+
+struct Hello {
+  std::uint32_t magic;
+  std::int32_t world;
+  std::int32_t rank;
+};
+static_assert(sizeof(Hello) == 12);
+
+[[noreturn]] void throw_errno(const std::string& what, int err) {
+  throw TransportError(what + ": " + std::strerror(err));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ZIPFLM_ASSERT(flags >= 0, "fcntl(F_GETFL) failed");
+  ZIPFLM_ASSERT(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                "fcntl(F_SETFL, O_NONBLOCK) failed");
+}
+
+/// Blocking exact-size write/read used only during the rendezvous
+/// handshake, before the fds go nonblocking.
+void write_all(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::byte*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("handshake write failed", errno);
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void read_all(int fd, void* data, std::size_t size) {
+  auto* p = static_cast<std::byte*>(data);
+  while (size > 0) {
+    const ssize_t n = ::read(fd, p, size);
+    if (n == 0) throw PeerClosedError("peer closed during handshake");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("handshake read failed", errno);
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+// -- the poll-driven endpoint ----------------------------------------
+
+class SocketTransport final : public Transport {
+ public:
+  /// Takes ownership of `fds`; fds[rank] must be -1.
+  SocketTransport(std::vector<int> fds, int rank, const char* kind)
+      : fds_(std::move(fds)),
+        rank_(rank),
+        kind_(kind),
+        send_q_(fds_.size()),
+        recv_q_(fds_.size()),
+        send_dead_(fds_.size(), false),
+        recv_dead_(fds_.size(), false) {}
+
+  ~SocketTransport() override { close(); }
+
+  int rank() const noexcept override { return rank_; }
+  int world_size() const noexcept override {
+    return static_cast<int>(fds_.size());
+  }
+  const char* kind() const noexcept override { return kind_; }
+
+  void close() override {
+    if (closed_) return;
+    closed_ = true;
+    for (int peer = 0; peer < world_size(); ++peer) {
+      if (fds_[static_cast<std::size_t>(peer)] < 0) continue;
+      // SHUT_RDWR makes peers see EOF even if this fd number lingers
+      // in a forked child.
+      ::shutdown(fds_[static_cast<std::size_t>(peer)], SHUT_RDWR);
+      ::close(fds_[static_cast<std::size_t>(peer)]);
+      fds_[static_cast<std::size_t>(peer)] = -1;
+      fail_queue(send_q_[static_cast<std::size_t>(peer)],
+                 closed_error(peer, "send"));
+      fail_queue(recv_q_[static_cast<std::size_t>(peer)],
+                 closed_error(peer, "recv"));
+      send_dead_[static_cast<std::size_t>(peer)] = true;
+      recv_dead_[static_cast<std::size_t>(peer)] = true;
+    }
+  }
+
+ protected:
+  std::shared_ptr<Completion::Op> post_send(
+      int peer, std::span<const std::byte> data) override {
+    auto op = std::make_shared<Completion::Op>();
+    op->is_send = true;
+    op->peer = peer;
+    // post_send's contract keeps the bytes immutable until wait().
+    op->data = const_cast<std::byte*>(data.data());
+    op->size = data.size();
+    if (closed_ || send_dead_[static_cast<std::size_t>(peer)]) {
+      fail(*op, closed_error(peer, "send"));
+      return op;
+    }
+    send_q_[static_cast<std::size_t>(peer)].push_back(op);
+    service_send(peer);  // fast path: often fits the kernel buffer
+    return op;
+  }
+
+  std::shared_ptr<Completion::Op> post_recv(
+      int peer, std::span<std::byte> into) override {
+    auto op = std::make_shared<Completion::Op>();
+    op->is_send = false;
+    op->peer = peer;
+    op->data = into.data();
+    op->size = into.size();
+    if (closed_ || recv_dead_[static_cast<std::size_t>(peer)]) {
+      fail(*op, closed_error(peer, "recv"));
+      return op;
+    }
+    recv_q_[static_cast<std::size_t>(peer)].push_back(op);
+    service_recv(peer);  // fast path: bytes may already be buffered
+    return op;
+  }
+
+  void progress_until(Completion::Op& op) override {
+    const bool bounded = timeout_seconds() > 0.0;
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(timeout_seconds()));
+    std::vector<pollfd> pfds;
+    std::vector<int> peers;
+    while (!op.done()) {
+      pfds.clear();
+      peers.clear();
+      for (int peer = 0; peer < world_size(); ++peer) {
+        const auto p = static_cast<std::size_t>(peer);
+        if (fds_[p] < 0) continue;
+        short events = 0;
+        if (!send_q_[p].empty()) events |= POLLOUT;
+        if (!recv_q_[p].empty()) events |= POLLIN;
+        if (events == 0) continue;
+        pfds.push_back({fds_[p], events, 0});
+        peers.push_back(peer);
+      }
+      if (pfds.empty()) {
+        // Nothing left that could complete the op: its peer died and
+        // the queues were failed — wait() will observe the failure.
+        ZIPFLM_ASSERT(op.done(), "progress stalled with no pollable fd");
+        return;
+      }
+      int wait_ms = 50;  // re-check the deadline at least this often
+      if (bounded) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now());
+        if (left.count() <= 0) {
+          expire(op);
+          return;
+        }
+        wait_ms = static_cast<int>(
+            std::min<std::chrono::milliseconds::rep>(left.count() + 1, 50));
+      }
+      const int ready = ::poll(pfds.data(), pfds.size(), wait_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("poll failed", errno);
+      }
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        const short got = pfds[i].revents;
+        if (got == 0) continue;
+        // POLLERR/POLLHUP: let read/write surface the exact error.
+        if (got & (POLLIN | POLLERR | POLLHUP)) service_recv(peers[i]);
+        if (got & (POLLOUT | POLLERR | POLLHUP)) service_send(peers[i]);
+      }
+    }
+  }
+
+ private:
+  using OpQueue = std::deque<std::shared_ptr<Completion::Op>>;
+
+  void service_send(int peer) {
+    const auto p = static_cast<std::size_t>(peer);
+    OpQueue& q = send_q_[p];
+    while (!q.empty()) {
+      Completion::Op& op = *q.front();
+      if (op.done()) {  // timed-out op abandoned in place
+        q.pop_front();
+        continue;
+      }
+      const ssize_t n = ::send(fds_[p], op.data + op.transferred,
+                               op.size - op.transferred, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        if (errno == EPIPE || errno == ECONNRESET) {
+          // The peer is gone for writes; reads may still drain what it
+          // sent before dying.
+          send_dead_[p] = true;
+          fail_queue(q, closed_error(peer, "send"));
+          return;
+        }
+        throw_errno("send to rank " + std::to_string(peer) + " failed",
+                    errno);
+      }
+      op.transferred += static_cast<std::size_t>(n);
+      stats_.wire_bytes_sent += static_cast<std::uint64_t>(n);
+      if (op.transferred < op.size) return;  // kernel buffer full
+      op.state = Completion::Op::State::Done;
+      q.pop_front();
+    }
+  }
+
+  void service_recv(int peer) {
+    const auto p = static_cast<std::size_t>(peer);
+    OpQueue& q = recv_q_[p];
+    while (!q.empty()) {
+      Completion::Op& op = *q.front();
+      if (op.done()) {
+        q.pop_front();
+        continue;
+      }
+      const ssize_t n = ::read(fds_[p], op.data + op.transferred,
+                               op.size - op.transferred);
+      if (n == 0) {
+        recv_dead_[p] = true;
+        send_dead_[p] = true;
+        fail_queue(q, closed_error(peer, "recv"));
+        fail_queue(send_q_[p], closed_error(peer, "send"));
+        return;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        if (errno == ECONNRESET) {
+          recv_dead_[p] = true;
+          send_dead_[p] = true;
+          fail_queue(q, closed_error(peer, "recv"));
+          fail_queue(send_q_[p], closed_error(peer, "send"));
+          return;
+        }
+        throw_errno("recv from rank " + std::to_string(peer) + " failed",
+                    errno);
+      }
+      op.transferred += static_cast<std::size_t>(n);
+      stats_.wire_bytes_received += static_cast<std::uint64_t>(n);
+      if (op.transferred < op.size) return;  // stream drained for now
+      op.state = Completion::Op::State::Done;
+      q.pop_front();
+    }
+  }
+
+  /// Timeout on `op`: fail it and abandon it in place.  The stream's
+  /// framing is lost from here on, but a transport timeout always
+  /// escalates to a collective failure that tears the endpoint down.
+  void expire(Completion::Op& op) {
+    fail(op, std::make_exception_ptr(TransportTimeoutError(
+                 std::string(op.is_send ? "send to" : "recv from") +
+                 " rank " + std::to_string(op.peer) + " timed out after " +
+                 std::to_string(timeout_seconds()) + "s (" +
+                 std::to_string(op.transferred) + "/" +
+                 std::to_string(op.size) + " bytes)")));
+  }
+
+  std::exception_ptr closed_error(int peer, const char* dir) const {
+    return std::make_exception_ptr(PeerClosedError(
+        std::string(dir) + (std::strcmp(dir, "send") == 0 ? " to" : " from") +
+        " rank " + std::to_string(peer) + ": connection closed"));
+  }
+
+  static void fail(Completion::Op& op, std::exception_ptr error) {
+    op.state = Completion::Op::State::Failed;
+    op.error = std::move(error);
+  }
+
+  static void fail_queue(OpQueue& q, const std::exception_ptr& error) {
+    for (const auto& op : q) {
+      if (!op->done()) fail(*op, error);
+    }
+    q.clear();
+  }
+
+  std::vector<int> fds_;  // fds_[peer]; -1 for self and dead peers
+  int rank_;
+  const char* kind_;
+  std::vector<OpQueue> send_q_;
+  std::vector<OpQueue> recv_q_;
+  std::vector<char> send_dead_;
+  std::vector<char> recv_dead_;
+  bool closed_ = false;
+};
+
+// -- rendezvous: listeners, dialing, hello exchange ------------------
+
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string path_prefix;  // unix
+  std::string host;         // tcp
+  int base_port = 0;        // tcp
+};
+
+ParsedAddress parse_address(const std::string& address) {
+  ParsedAddress out;
+  if (address.rfind("unix:", 0) == 0) {
+    out.is_unix = true;
+    out.path_prefix = address.substr(5);
+    ZIPFLM_CHECK(!out.path_prefix.empty(),
+                 "unix rendezvous address needs a path prefix");
+    return out;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    const std::string rest = address.substr(4);
+    const auto colon = rest.rfind(':');
+    ZIPFLM_CHECK(colon != std::string::npos && colon + 1 < rest.size(),
+                 "tcp rendezvous address must be tcp:<host>:<base-port>");
+    out.host = rest.substr(0, colon);
+    out.base_port = std::atoi(rest.c_str() + colon + 1);
+    ZIPFLM_CHECK(out.base_port > 0 && out.base_port < 65536,
+                 "tcp rendezvous base port out of range");
+    return out;
+  }
+  throw ConfigError("rendezvous address must start with unix: or tcp: (got " +
+                    address + ")");
+}
+
+std::string unix_path(const ParsedAddress& addr, int rank) {
+  return addr.path_prefix + "." + std::to_string(rank);
+}
+
+int make_listener(const ParsedAddress& addr, int rank) {
+  if (addr.is_unix) {
+    const std::string path = unix_path(addr, rank);
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    ZIPFLM_CHECK(path.size() < sizeof(sa.sun_path),
+                 "unix rendezvous path too long: " + path);
+    std::strncpy(sa.sun_path, path.c_str(), sizeof(sa.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket(AF_UNIX) failed", errno);
+    ::unlink(path.c_str());  // stale path from a crashed prior run
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw_errno("bind(" + path + ") failed", err);
+    }
+    if (::listen(fd, SOMAXCONN) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw_errno("listen(" + path + ") failed", err);
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET) failed", errno);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_ANY);
+  sa.sin_port = htons(static_cast<std::uint16_t>(addr.base_port + rank));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 ||
+      ::listen(fd, SOMAXCONN) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw_errno("bind/listen on tcp port " +
+                    std::to_string(addr.base_port + rank) + " failed",
+                err);
+  }
+  return fd;
+}
+
+/// Dial peer `target`'s listener, retrying until it exists or the
+/// deadline passes (peers of the same launch come up at different
+/// times).
+int dial(const ParsedAddress& addr, int target, Clock::time_point deadline) {
+  while (true) {
+    int fd = -1;
+    int err = 0;
+    if (addr.is_unix) {
+      const std::string path = unix_path(addr, target);
+      sockaddr_un sa{};
+      sa.sun_family = AF_UNIX;
+      std::strncpy(sa.sun_path, path.c_str(), sizeof(sa.sun_path) - 1);
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) throw_errno("socket(AF_UNIX) failed", errno);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0) {
+        return fd;
+      }
+      err = errno;
+    } else {
+      addrinfo hints{};
+      hints.ai_family = AF_INET;
+      hints.ai_socktype = SOCK_STREAM;
+      addrinfo* res = nullptr;
+      const std::string port = std::to_string(addr.base_port + target);
+      const int rc = ::getaddrinfo(addr.host.c_str(), port.c_str(), &hints,
+                                   &res);
+      if (rc != 0) {
+        throw TransportError("getaddrinfo(" + addr.host +
+                             ") failed: " + ::gai_strerror(rc));
+      }
+      fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+      if (fd < 0) {
+        ::freeaddrinfo(res);
+        throw_errno("socket(AF_INET) failed", errno);
+      }
+      const int connected =
+          ::connect(fd, res->ai_addr, res->ai_addrlen);
+      err = errno;
+      ::freeaddrinfo(res);
+      if (connected == 0) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return fd;
+      }
+    }
+    ::close(fd);
+    if (err != ECONNREFUSED && err != ENOENT && err != ETIMEDOUT) {
+      throw_errno("connect to rank " + std::to_string(target) + " failed",
+                  err);
+    }
+    if (Clock::now() >= deadline) {
+      throw TransportTimeoutError("rank " + std::to_string(target) +
+                                  " never came up for rendezvous");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+/// Accept one connection, bounded by the deadline.
+int accept_one(int listen_fd, Clock::time_point deadline) {
+  while (true) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) {
+      throw TransportTimeoutError("timed out waiting for peers to connect");
+    }
+    const int ready = ::poll(&pfd, 1, static_cast<int>(
+                                          std::min<std::chrono::milliseconds::
+                                                       rep>(left.count(), 100)));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll on listener failed", errno);
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      throw_errno("accept failed", errno);
+    }
+    return fd;
+  }
+}
+
+void send_hello(int fd, int world, int rank) {
+  const Hello h{kHelloMagic, world, rank};
+  write_all(fd, &h, sizeof(h));
+}
+
+int check_hello(int fd, int world) {
+  Hello h{};
+  read_all(fd, &h, sizeof(h));
+  if (h.magic != kHelloMagic) {
+    throw ProtocolError("bad hello magic — peer is not a zipflm endpoint");
+  }
+  if (h.world != world) {
+    throw ProtocolError("world-size handshake mismatch: peer joined a " +
+                        std::to_string(h.world) + "-rank world, expected " +
+                        std::to_string(world));
+  }
+  if (h.rank < 0 || h.rank >= world) {
+    throw ProtocolError("hello carries out-of-range rank " +
+                        std::to_string(h.rank));
+  }
+  return h.rank;
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<Transport>> socketpair_mesh(int world_size) {
+  ZIPFLM_CHECK(world_size >= 1, "socketpair_mesh needs at least one rank");
+  const auto w = static_cast<std::size_t>(world_size);
+  // mesh[i][j] = the fd rank i uses to talk to rank j.
+  std::vector<std::vector<int>> mesh(w, std::vector<int>(w, -1));
+  for (std::size_t i = 0; i < w; ++i) {
+    for (std::size_t j = i + 1; j < w; ++j) {
+      int pair[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) != 0) {
+        throw_errno("socketpair failed", errno);
+      }
+      set_nonblocking(pair[0]);
+      set_nonblocking(pair[1]);
+      mesh[i][j] = pair[0];
+      mesh[j][i] = pair[1];
+    }
+  }
+  std::vector<std::unique_ptr<Transport>> out;
+  out.reserve(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    out.push_back(std::make_unique<SocketTransport>(
+        std::move(mesh[i]), static_cast<int>(i), "socket"));
+  }
+  return out;
+}
+
+std::unique_ptr<Transport> rendezvous(const std::string& address, int rank,
+                                      int world_size,
+                                      const RendezvousOptions& opts) {
+  ZIPFLM_CHECK(world_size >= 1, "rendezvous needs at least one rank");
+  ZIPFLM_CHECK(rank >= 0 && rank < world_size,
+               "rendezvous rank out of range");
+  const ParsedAddress addr = parse_address(address);
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(opts.timeout_seconds));
+
+  std::vector<int> fds(static_cast<std::size_t>(world_size), -1);
+  int listen_fd = -1;
+  try {
+    if (world_size > 1) listen_fd = make_listener(addr, rank);
+
+    // Dial every lower rank; they are already listening (or soon will
+    // be — dial() retries until the deadline).
+    for (int peer = 0; peer < rank; ++peer) {
+      const int fd = dial(addr, peer, deadline);
+      try {
+        send_hello(fd, world_size, rank);
+        const int got = check_hello(fd, world_size);
+        if (got != peer) {
+          throw ProtocolError("dialed rank " + std::to_string(peer) +
+                              " but its hello claims rank " +
+                              std::to_string(got));
+        }
+      } catch (...) {
+        // Not in fds[] yet — close here or the peer blocks on a
+        // half-open connection forever instead of seeing EOF.
+        ::close(fd);
+        throw;
+      }
+      fds[static_cast<std::size_t>(peer)] = fd;
+    }
+
+    // Accept every higher rank; the hello tells us which one arrived.
+    for (int remaining = world_size - 1 - rank; remaining > 0; --remaining) {
+      const int fd = accept_one(listen_fd, deadline);
+      int got = -1;
+      try {
+        got = check_hello(fd, world_size);
+        if (got <= rank || fds[static_cast<std::size_t>(got)] >= 0) {
+          throw ProtocolError("unexpected hello from rank " +
+                              std::to_string(got));
+        }
+        send_hello(fd, world_size, rank);
+      } catch (...) {
+        // Not in fds[] yet — close here or the dialer blocks on a
+        // half-open connection forever instead of seeing EOF.
+        ::close(fd);
+        throw;
+      }
+      if (!addr.is_unix) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      fds[static_cast<std::size_t>(got)] = fd;
+    }
+  } catch (...) {
+    for (const int fd : fds) {
+      if (fd >= 0) ::close(fd);
+    }
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (addr.is_unix && world_size > 1) {
+      ::unlink(unix_path(addr, rank).c_str());
+    }
+    throw;
+  }
+  if (listen_fd >= 0) ::close(listen_fd);
+  if (addr.is_unix && world_size > 1) {
+    ::unlink(unix_path(addr, rank).c_str());
+  }
+  for (const int fd : fds) {
+    if (fd >= 0) set_nonblocking(fd);
+  }
+  return std::make_unique<SocketTransport>(std::move(fds), rank, "socket");
+}
+
+std::unique_ptr<Transport> rendezvous_from_env(const RendezvousOptions& opts) {
+  const char* rank = std::getenv("ZIPFLM_NET_RANK");
+  const char* world = std::getenv("ZIPFLM_NET_WORLD");
+  const char* address = std::getenv("ZIPFLM_NET_RENDEZVOUS");
+  ZIPFLM_CHECK(rank != nullptr && world != nullptr && address != nullptr,
+               "ZIPFLM_NET_RANK / ZIPFLM_NET_WORLD / ZIPFLM_NET_RENDEZVOUS "
+               "must all be set (run under zipflm_launch)");
+  return rendezvous(address, std::atoi(rank), std::atoi(world), opts);
+}
+
+}  // namespace zipflm::net

@@ -1,0 +1,49 @@
+#include "zipflm/net/transport.hpp"
+
+#include <chrono>
+
+namespace zipflm::net {
+
+void Completion::wait() {
+  if (op_ == nullptr) return;
+  if (!op_->done()) {
+    ZIPFLM_ASSERT(transport_ != nullptr,
+                  "pending completion without an owning transport");
+    const auto start = std::chrono::steady_clock::now();
+    transport_->progress_until(*op_);
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    // The wait charge lands on whichever direction the caller blocked
+    // on, even though progress services both directions meanwhile.
+    auto& stats = transport_->stats_;
+    (op_->is_send ? stats.send_wait_seconds : stats.recv_wait_seconds) +=
+        waited;
+  }
+  if (op_->state == Op::State::Failed) {
+    ZIPFLM_ASSERT(op_->error != nullptr, "failed op carries no error");
+    std::rethrow_exception(op_->error);
+  }
+}
+
+void Transport::check_peer(int peer) const {
+  ZIPFLM_CHECK(peer >= 0 && peer < world_size(),
+               "peer rank out of range for this world");
+  ZIPFLM_CHECK(peer != rank(), "a rank cannot send to itself");
+}
+
+Completion Transport::send(int peer, std::span<const std::byte> data) {
+  check_peer(peer);
+  stats_.send_ops += 1;
+  if (data.empty()) return Completion{};
+  return Completion(this, post_send(peer, data));
+}
+
+Completion Transport::recv(int peer, std::span<std::byte> into) {
+  check_peer(peer);
+  stats_.recv_ops += 1;
+  if (into.empty()) return Completion{};
+  return Completion(this, post_recv(peer, into));
+}
+
+}  // namespace zipflm::net

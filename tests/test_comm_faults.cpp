@@ -3,6 +3,11 @@
 // degraded world must keep producing correct collectives.  Stragglers
 // finish; corrupted wire payloads poison every rank identically so the
 // trainer's overflow guard can skip the step in lockstep.
+//
+// The whole suite is parameterized over the CommWorld backend: the same
+// guarantees must hold when the collectives run over shared memory and
+// when they run over real sockets (where a dead rank is an EOF on the
+// wire rather than a barrier timeout).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -19,11 +24,16 @@
 namespace zipflm {
 namespace {
 
-CommWorld::Options timeout_options(double seconds) {
-  CommWorld::Options opt;
-  opt.collective_timeout_seconds = seconds;
-  return opt;
-}
+class CommFaults : public ::testing::TestWithParam<CommBackend> {
+ protected:
+  /// World options for the backend under test.
+  CommWorld::Options world_options(double timeout_seconds = 0.0) const {
+    CommWorld::Options opt;
+    opt.backend = GetParam();
+    opt.collective_timeout_seconds = timeout_seconds;
+    return opt;
+  }
+};
 
 std::vector<Index> tiny_corpus(Index vocab, std::size_t n,
                                std::uint64_t seed) {
@@ -57,8 +67,8 @@ TrainerOptions char_options() {
   return opt;
 }
 
-TEST(CommFaults, KilledRankTimesOutSurvivorsAndIsRetired) {
-  CommWorld world(4, timeout_options(2.0));
+TEST_P(CommFaults, KilledRankTimesOutSurvivorsAndIsRetired) {
+  CommWorld world(4, world_options(2.0));
   FaultPlan plan;
   plan.events.push_back({.rank = 2, .kind = FaultKind::Kill,
                          .at_collective = 3});
@@ -96,8 +106,8 @@ TEST(CommFaults, KilledRankTimesOutSurvivorsAndIsRetired) {
   });
 }
 
-TEST(CommFaults, SimulatedDeathCannotBeSwallowedByErrorHandlers) {
-  CommWorld world(2, timeout_options(2.0));
+TEST_P(CommFaults, SimulatedDeathCannotBeSwallowedByErrorHandlers) {
+  CommWorld world(2, world_options(2.0));
   FaultPlan plan;
   plan.events.push_back({.rank = 1, .kind = FaultKind::Kill,
                          .at_collective = 0});
@@ -125,8 +135,8 @@ TEST(CommFaults, SimulatedDeathCannotBeSwallowedByErrorHandlers) {
   EXPECT_EQ(world.failed_ranks(), (std::vector<int>{1}));
 }
 
-TEST(CommFaults, StragglerDelaysButCompletes) {
-  CommWorld world(3, timeout_options(5.0));
+TEST_P(CommFaults, StragglerDelaysButCompletes) {
+  CommWorld world(3, world_options(5.0));
   FaultPlan plan;
   plan.events.push_back({.rank = 1, .kind = FaultKind::Delay,
                          .at_collective = 1, .delay_seconds = 0.05});
@@ -142,10 +152,10 @@ TEST(CommFaults, StragglerDelaysButCompletes) {
   EXPECT_EQ(world.world_size(), 3);
 }
 
-TEST(CommFaults, PathologicalStragglerHitsTimeoutWithoutRetirement) {
+TEST_P(CommFaults, PathologicalStragglerHitsTimeoutWithoutRetirement) {
   // A rank delayed past the timeout looks like a hang to the others:
   // everyone throws, but nobody died, so no rank is retired.
-  CommWorld world(2, timeout_options(0.25));
+  CommWorld world(2, world_options(0.25));
   FaultPlan plan;
   plan.events.push_back({.rank = 1, .kind = FaultKind::Delay,
                          .at_collective = 0, .delay_seconds = 1.5});
@@ -168,8 +178,8 @@ TEST(CommFaults, PathologicalStragglerHitsTimeoutWithoutRetirement) {
   });
 }
 
-TEST(CommFaults, CorruptPayloadPoisonsEveryRankIdentically) {
-  CommWorld world(2);
+TEST_P(CommFaults, CorruptPayloadPoisonsEveryRankIdentically) {
+  CommWorld world(2, world_options());
   FaultPlan plan;
   plan.events.push_back({.rank = 1, .kind = FaultKind::Corrupt,
                          .at_collective = 0});
@@ -188,20 +198,20 @@ TEST(CommFaults, CorruptPayloadPoisonsEveryRankIdentically) {
   EXPECT_TRUE(world.failed_ranks().empty());
 }
 
-TEST(CommFaults, RejectsOutOfRangeFaultRank) {
-  CommWorld world(2);
+TEST_P(CommFaults, RejectsOutOfRangeFaultRank) {
+  CommWorld world(2, world_options());
   FaultPlan plan;
   plan.events.push_back({.rank = 5, .kind = FaultKind::Kill,
                          .at_collective = 0});
   EXPECT_THROW(world.inject_faults(plan), ConfigError);
 }
 
-TEST(CommFaults, TrainerSkipsCorruptedStepUniformly) {
+TEST_P(CommFaults, TrainerSkipsCorruptedStepUniformly) {
   const Index vocab = 30;
   const auto train = tiny_corpus(vocab, 1200, 21);
   const auto valid = tiny_corpus(vocab, 300, 22);
 
-  CommWorld world(2);
+  CommWorld world(2, world_options());
   TrainerOptions opt = char_options();
   opt.dynamic_loss_scale = true;  // arms the overflow guard
   DistributedTrainer trainer(world, char_factory(vocab), opt);
@@ -222,7 +232,7 @@ TEST(CommFaults, TrainerSkipsCorruptedStepUniformly) {
   EXPECT_TRUE(std::isfinite(stats.valid_loss));
 }
 
-TEST(CommFaults, ResilientEpochRollsBackAndExcludesDeadRank) {
+TEST_P(CommFaults, ResilientEpochRollsBackAndExcludesDeadRank) {
   const Index vocab = 30;
   const auto train = tiny_corpus(vocab, 1200, 31);
   const auto valid = tiny_corpus(vocab, 300, 32);
@@ -240,7 +250,7 @@ TEST(CommFaults, ResilientEpochRollsBackAndExcludesDeadRank) {
   // over ranks {0, 2} — which must reproduce the clean 2-rank epoch
   // bit for bit, because the checkpoint restored the initial state and
   // the survivors are densely renumbered to a 2-rank schedule.
-  CommWorld world(3, timeout_options(2.0));
+  CommWorld world(3, world_options(2.0));
   DistributedTrainer trainer(world, char_factory(vocab), opt);
   FaultPlan plan;
   plan.events.push_back({.rank = 1, .kind = FaultKind::Kill,
@@ -261,14 +271,14 @@ TEST(CommFaults, ResilientEpochRollsBackAndExcludesDeadRank) {
   std::remove(ckpt.c_str());
 }
 
-TEST(CommFaults, ResilientEpochGivesUpAfterMaxRestarts) {
+TEST_P(CommFaults, ResilientEpochGivesUpAfterMaxRestarts) {
   const Index vocab = 30;
   const auto train = tiny_corpus(vocab, 1200, 41);
   const auto valid = tiny_corpus(vocab, 300, 42);
   const std::string ckpt =
       ::testing::TempDir() + "zipflm_give_up.ckpt";
 
-  CommWorld world(3, timeout_options(1.0));
+  CommWorld world(3, world_options(1.0));
   DistributedTrainer trainer(world, char_factory(vocab), char_options());
   FaultPlan plan;
   // Two deaths, one per restart attempt: with max_restarts = 1 the
@@ -284,6 +294,13 @@ TEST(CommFaults, ResilientEpochGivesUpAfterMaxRestarts) {
   EXPECT_EQ(world.failed_ranks().size(), 2u);
   std::remove(ckpt.c_str());
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, CommFaults,
+    ::testing::Values(CommBackend::SharedMem, CommBackend::Socket),
+    [](const ::testing::TestParamInfo<CommBackend>& info) {
+      return info.param == CommBackend::SharedMem ? "SharedMem" : "Socket";
+    });
 
 }  // namespace
 }  // namespace zipflm

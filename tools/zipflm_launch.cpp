@@ -1,0 +1,198 @@
+// zipflm_launch — the rank-runner that turns one program into an
+// N-process collective world.
+//
+//   zipflm_launch -n 4 [--rendezvous unix:/tmp/zipflm_rdzv] -- prog args...
+//
+// Forks N copies of `prog`, each with the environment
+// ZIPFLM_NET_RANK / ZIPFLM_NET_WORLD / ZIPFLM_NET_RENDEZVOUS set, so
+// the child joins the world with ProcessGroup::connect_from_env().
+// Waits for all children and exits with the first nonzero child status
+// (mirroring mpirun).
+//
+//   zipflm_launch --selftest 4
+//
+// forks N copies of ITSELF that rendezvous and cross-check a barrier,
+// an allreduce, an allgatherv, and a broadcast against closed-form
+// expectations — the multi-process smoke test registered in ctest.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "zipflm/comm/process_group.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s -n <ranks> [--rendezvous <unix:prefix|tcp:host:"
+               "port>] -- <prog> [args...]\n"
+               "       %s --selftest <ranks>\n",
+               argv0, argv0);
+}
+
+std::string default_rendezvous() {
+  return "unix:/tmp/zipflm_launch." + std::to_string(::getpid());
+}
+
+/// Spawn `world` children with the rendezvous env set; child c runs
+/// argv (or, when argv is empty, `self_fn`).  Returns the first
+/// nonzero child exit status, else 0.
+int spawn_world(int world, const std::string& rendezvous,
+                const std::vector<char*>& child_argv,
+                int (*self_fn)(int, int, const std::string&)) {
+  std::vector<pid_t> pids;
+  pids.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      ::setenv("ZIPFLM_NET_RANK", std::to_string(r).c_str(), 1);
+      ::setenv("ZIPFLM_NET_WORLD", std::to_string(world).c_str(), 1);
+      ::setenv("ZIPFLM_NET_RENDEZVOUS", rendezvous.c_str(), 1);
+      if (!child_argv.empty()) {
+        ::execvp(child_argv[0], child_argv.data());
+        std::perror("execvp");
+        std::_Exit(127);
+      }
+      std::_Exit(self_fn(r, world, rendezvous));
+    }
+    pids.push_back(pid);
+  }
+  int first_bad = 0;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0) {
+      std::perror("waitpid");
+      first_bad = first_bad == 0 ? 1 : first_bad;
+      continue;
+    }
+    int code = 0;
+    if (WIFEXITED(status)) {
+      code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      code = 128 + WTERMSIG(status);
+    }
+    if (code != 0 && first_bad == 0) first_bad = code;
+  }
+  return first_bad;
+}
+
+#define SELF_CHECK(cond, what)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "selftest rank %d FAILED: %s\n", rank,     \
+                   (what));                                           \
+      return 1;                                                       \
+    }                                                                 \
+  } while (false)
+
+/// One rank of the selftest world: rendezvous, then cross-check each
+/// collective family against its closed-form result.
+int selftest_rank(int rank, int world, const std::string& rendezvous) {
+  zipflm::ProcessGroup::Options opt;
+  opt.collective_timeout_seconds = 20.0;
+  auto pg = zipflm::ProcessGroup::connect(rendezvous, rank, world, opt);
+  zipflm::Communicator& comm = pg->comm();
+  SELF_CHECK(comm.rank() == rank && comm.world_size() == world,
+             "handshake identity");
+
+  comm.barrier();
+
+  std::vector<float> buf(37);
+  for (std::size_t j = 0; j < buf.size(); ++j) {
+    buf[j] = static_cast<float>(rank + 1) * static_cast<float>(j + 1);
+  }
+  comm.allreduce_sum(std::span<float>(buf));
+  const float ranks_sum =
+      static_cast<float>(world) * static_cast<float>(world + 1) / 2.0f;
+  for (std::size_t j = 0; j < buf.size(); ++j) {
+    SELF_CHECK(buf[j] == ranks_sum * static_cast<float>(j + 1),
+               "allreduce_sum value");
+  }
+
+  // Variable blocks: rank r contributes r+1 ints of value r.
+  std::vector<int> mine(static_cast<std::size_t>(rank) + 1, rank);
+  std::vector<int> gathered;
+  std::vector<std::size_t> counts;
+  comm.allgatherv(std::span<const int>(mine), gathered, &counts);
+  std::size_t at = 0;
+  for (int r = 0; r < world; ++r) {
+    SELF_CHECK(counts[static_cast<std::size_t>(r)] ==
+                   static_cast<std::size_t>(r) + 1,
+               "allgatherv counts");
+    for (int k = 0; k <= r; ++k) {
+      SELF_CHECK(gathered[at++] == r, "allgatherv payload");
+    }
+  }
+
+  std::vector<double> msg(5, rank == 0 ? 3.25 : 0.0);
+  comm.broadcast(std::span<double>(msg), 0);
+  for (const double v : msg) SELF_CHECK(v == 3.25, "broadcast payload");
+
+  const auto& led = pg->ledger();
+  SELF_CHECK(led.barrier_calls == 1 && led.allreduce_calls == 1 &&
+                 led.allgather_calls == 1 && led.broadcast_calls == 1,
+             "ledger call counts");
+  SELF_CHECK(world == 1 || led.wire_bytes_sent > 0,
+             "wire bytes were recorded");
+  std::printf("selftest rank %d/%d OK (wire %llu B out, %llu B in)\n", rank,
+              world, static_cast<unsigned long long>(led.wire_bytes_sent),
+              static_cast<unsigned long long>(led.wire_bytes_received));
+  std::fflush(stdout);  // the child exits via _Exit, which skips flushing
+  return 0;
+}
+
+#undef SELF_CHECK
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int world = 0;
+  bool selftest = false;
+  std::string rendezvous;
+  std::vector<char*> child_argv;
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-n" && i + 1 < argc) {
+      world = std::atoi(argv[++i]);
+    } else if (arg == "--selftest" && i + 1 < argc) {
+      selftest = true;
+      world = std::atoi(argv[++i]);
+    } else if (arg == "--rendezvous" && i + 1 < argc) {
+      rendezvous = argv[++i];
+    } else if (arg == "--") {
+      ++i;
+      break;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  for (; i < argc; ++i) child_argv.push_back(argv[i]);
+  if (!child_argv.empty()) child_argv.push_back(nullptr);
+
+  if (world <= 0 || (!selftest && child_argv.empty())) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (rendezvous.empty()) rendezvous = default_rendezvous();
+
+  if (selftest) {
+    const int bad = spawn_world(world, rendezvous, {}, &selftest_rank);
+    std::printf("selftest %s: %d ranks over %s\n", bad == 0 ? "OK" : "FAILED",
+                world, rendezvous.c_str());
+    return bad;
+  }
+  return spawn_world(world, rendezvous, child_argv, nullptr);
+}
