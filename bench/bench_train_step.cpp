@@ -24,6 +24,14 @@
 //                      as the multi-process equivalence gate (exit 1 on
 //                      any divergence).
 //
+// --codec raw|packed|int8 arms the gradient wire codec (and the varint
+// index codec for the non-raw settings).  packed is lossless, so the
+// socket world must stay bitwise equal to the thread reference; int8 is
+// deterministic across engines, so the gate holds for it too.  The
+// RESULT record carries the codec and the bytes that actually crossed
+// the wire (socket: measured from the transports; thread: the ledger's
+// modelled wire volume).
+//
 // Emits one line of JSON (prefixed "RESULT ") so harnesses can scrape a
 // single machine-readable record; record the trajectory in
 // BENCH_train_step.json.
@@ -142,7 +150,7 @@ RankReport run_rank(Communicator& comm, CharLm& model, Adam& opt,
     model.zero_grad();
     dense_sync.begin_step(comm, engine, dense);
     PendingIdGather pending;
-    begin_id_gather(engine, batch.inputs, pending);
+    begin_id_gather(engine, batch.inputs, pending, bc.ex_opts.index_codec);
     model.train_step_local(batch, {}, res);
     rep.loss_hash = fnv1a(&res.loss, sizeof(res.loss), rep.loss_hash);
     rep.loss_sum += static_cast<double>(res.loss);
@@ -175,7 +183,8 @@ RankReport run_rank(Communicator& comm, CharLm& model, Adam& opt,
 /// path (bucketed dense allreduce + unique embedding exchange) is in
 /// the measured loop, so --gpus 4 reports what overlap actually hides.
 std::vector<RankReport> run_thread_world(const BenchConfig& bc,
-                                         const std::vector<Index>& ids) {
+                                         const std::vector<Index>& ids,
+                                         std::uint64_t* wire_model_out) {
   std::vector<std::unique_ptr<CharLm>> models;
   std::vector<std::unique_ptr<Adam>> opts;
   std::vector<std::unique_ptr<UniqueExchange>> exchanges;
@@ -197,6 +206,21 @@ std::vector<RankReport> run_thread_world(const BenchConfig& bc,
     reports[r] = run_rank(comm, *models[r], *opts[r], *exchanges[r], *syncs[r],
                           ids, bc);
   });
+  if (wire_model_out != nullptr) {
+    // The shared-memory backend moves no real bytes; model the wire
+    // volume as the ledger's logical traffic with each coded gradient
+    // leg's logical bytes swapped for its encoded bytes.  (The index
+    // varint leg needs no swap: its allgatherv already moves — and
+    // books — the encoded payload.)
+    const auto total = world.total_ledger();
+    std::uint64_t wire = total.bytes_sent;
+    for (const CodecSlot slot : {CodecSlot::Packed, CodecSlot::Int8}) {
+      const CodecTraffic& t = total.codec_slot(slot);
+      wire = wire >= t.logical_bytes ? wire - t.logical_bytes : 0;
+      wire += t.wire_bytes;
+    }
+    *wire_model_out = wire;
+  }
   return reports;
 }
 
@@ -326,6 +350,7 @@ int main(int argc, char** argv) {
   BenchConfig bc;
   bool fp16_wire = true;
   std::string transport = "thread";
+  std::string codec = "raw";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--gpus" && i + 1 < argc) {
@@ -338,12 +363,18 @@ int main(int argc, char** argv) {
       bc.bucket_bytes = static_cast<std::size_t>(std::atoi(argv[++i])) << 20;
     } else if (arg == "--transport" && i + 1 < argc) {
       transport = argv[++i];
+    } else if (arg == "--codec" && i + 1 < argc) {
+      codec = argv[++i];
     } else {
       positional.push_back(argv[i]);
     }
   }
   if (transport != "thread" && transport != "socket") {
     std::fprintf(stderr, "--transport must be 'thread' or 'socket'\n");
+    return 2;
+  }
+  if (codec != "raw" && codec != "packed" && codec != "int8") {
+    std::fprintf(stderr, "--codec must be 'raw', 'packed' or 'int8'\n");
     return 2;
   }
   bc.spec.batch_size =
@@ -354,6 +385,11 @@ int main(int argc, char** argv) {
       positional.size() > 2 ? static_cast<std::size_t>(std::atoi(positional[2]))
                             : 3;
   bc.ex_opts.precision = fp16_wire ? WirePrecision::FP16 : WirePrecision::FP32;
+  if (codec != "raw") {
+    bc.ex_opts.codec =
+        codec == "packed" ? WireCodec::Packed : WireCodec::Int8;
+    bc.ex_opts.index_codec = true;
+  }
 
   bench::print_header(
       "Training-step throughput, seed CharLm",
@@ -373,9 +409,12 @@ int main(int argc, char** argv) {
 
   // The thread world always runs — it IS the bench in thread mode, and
   // the equality reference in socket mode.
-  const std::vector<RankReport> thread_reports = run_thread_world(bc, ids);
+  std::uint64_t wire_model_bytes = 0;
+  const std::vector<RankReport> thread_reports =
+      run_thread_world(bc, ids, &wire_model_bytes);
 
   bool equal_to_thread = true;
+  std::uint64_t wire_bytes = wire_model_bytes;
   std::vector<RankReport> reports;
   if (transport == "socket") {
     reports = run_socket_world(bc, ids);
@@ -397,7 +436,7 @@ int main(int argc, char** argv) {
         equal_to_thread = false;
       }
     }
-    std::uint64_t wire_bytes = 0;
+    wire_bytes = 0;
     for (const auto& rep : reports) wire_bytes += rep.wire_bytes_sent;
     std::printf(
         "socket transport: %d OS processes, %llu wire bytes, losses/weights "
@@ -455,6 +494,7 @@ int main(int argc, char** argv) {
       "RESULT {\"bench\":\"train_step\",\"batch\":%lld,\"seq\":%lld,"
       "\"steps\":%zu,\"gpus\":%d,\"overlap\":%s,"
       "\"transport\":\"%s\",\"processes\":%d,\"equal_to_thread\":%s,"
+      "\"wire_codec\":\"%s\",\"wire_bytes\":%llu,"
       "\"tokens_per_s\":%.2f,\"step_ms\":%.2f,"
       "\"forward_ms\":%.2f,\"backward_ms\":%.2f,\"exchange_ms\":%.2f,"
       "\"optimizer_ms\":%.2f}\n",
@@ -462,6 +502,7 @@ int main(int argc, char** argv) {
       static_cast<long long>(bc.spec.seq_len), bc.measured_steps, bc.gpus,
       bc.overlap ? "true" : "false", transport.c_str(),
       transport == "socket" ? bc.gpus : 1, equal_to_thread ? "true" : "false",
+      codec.c_str(), static_cast<unsigned long long>(wire_bytes),
       tok_s, step_ms, forward_ms, backward_ms, exchange_ms, optimizer_ms);
   return equal_to_thread ? 0 : 1;
 }

@@ -5,10 +5,18 @@
 # (1 - band) x recorded — the band absorbs runner-to-runner noise, a
 # real regression does not hide inside it for long.
 #
+# Also gates the wire codecs: two extra socket-transport legs (packed,
+# int8) must each move strictly fewer wire bytes than the raw leg at
+# bitwise-identical losses/weights (bench_train_step exits nonzero on
+# divergence).  Wire bytes are deterministic per config, so the gate
+# runs a reduced workload; ZIPFLM_WIRE_GATE=0 skips it.
+#
 # Usage: scripts/bench_regression.sh [out.json]
-#   out.json            fresh RESULT payload, written for artifact upload
-#   ZIPFLM_BENCH_BAND   noise band as a fraction (default 0.15)
-#   ZIPFLM_BENCH_ARGS   bench arguments (default: the recorded config)
+#   out.json              fresh RESULT payload, written for artifact upload
+#   ZIPFLM_BENCH_BAND     noise band as a fraction (default 0.15)
+#   ZIPFLM_BENCH_ARGS     bench arguments (default: the recorded config)
+#   ZIPFLM_WIRE_GATE      0 disables the codec wire-byte gate (default 1)
+#   ZIPFLM_WIRE_GATE_ARGS workload for the gate legs (default "4 8 2 --gpus 4")
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,3 +54,29 @@ awk -v fresh="$fresh" -v rec="$recorded" -v band="$band" 'BEGIN {
   printf "bench OK: %.2f tok/s >= %.2f (recorded %.2f, band %.0f%%)\n",
          fresh, floor, rec, band * 100
 }'
+
+# -- Codec wire-byte gate over the socket transport ------------------
+if [[ "${ZIPFLM_WIRE_GATE:-1}" != "0" ]]; then
+  gate_args=${ZIPFLM_WIRE_GATE_ARGS:-"4 8 2 --gpus 4"}
+  wire_bytes_for() {  # codec name -> wire_bytes from the RESULT line
+    # shellcheck disable=SC2086  # gate_args is a word list on purpose
+    ./build/bench/bench_train_step $gate_args --transport socket \
+      --codec "$1" > "/tmp/zipflm_wire_$1.txt" || {
+        echo "socket leg --codec $1 failed (divergence or rank death)" >&2
+        exit 1
+      }
+    grep '^RESULT' "/tmp/zipflm_wire_$1.txt" \
+      | grep -o '"wire_bytes": *[0-9]*' | grep -o '[0-9]*$'
+  }
+  echo "wire gate: bench_train_step $gate_args --transport socket"
+  raw_bytes=$(wire_bytes_for raw)
+  for codec in packed int8; do
+    coded_bytes=$(wire_bytes_for "$codec")
+    if (( coded_bytes >= raw_bytes )); then
+      echo "WIRE REGRESSION: --codec $codec moved $coded_bytes bytes," \
+           ">= raw's $raw_bytes" >&2
+      exit 1
+    fi
+    echo "wire OK: --codec $codec moved $coded_bytes bytes < raw's $raw_bytes"
+  done
+fi

@@ -103,6 +103,9 @@ tier_net() {
   # test_comm_faults (the fault battery re-run over real sockets), and
   # launch_selftest (zipflm_launch forking 4 OS processes).
   ctest --test-dir build --output-on-failure -L net
+  # The wire-codec suite (varint/packed/int8 round trips, coded
+  # collective parity across backends, codec-mismatch detection).
+  ctest --test-dir build --output-on-failure -L codec
   # The subsystem's acceptance gate: 4 forked processes training over
   # UNIX-socket ring allreduce must land bitwise on the thread backend's
   # losses and weights.  bench_train_step exits nonzero on divergence.

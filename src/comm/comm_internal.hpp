@@ -39,6 +39,12 @@ struct CommMetrics {
   obs::Gauge& real_seconds;
   obs::Histogram& net_send_wait;
   obs::Histogram& net_recv_wait;
+  // Wire-codec telemetry: logical vs encoded volume through any codec
+  // (all slots summed) and the achieved compression of the most recent
+  // coded payload, logical / wire.
+  obs::Counter& codec_logical_bytes;
+  obs::Counter& codec_wire_bytes;
+  obs::Gauge& compression_ratio;
 
   static CommMetrics& get() {
     auto& r = obs::MetricsRegistry::global();
@@ -61,6 +67,9 @@ struct CommMetrics {
         r.gauge("comm/real_seconds"),
         r.histogram("comm/net_send_wait_seconds"),
         r.histogram("comm/net_recv_wait_seconds"),
+        r.counter("comm/codec_logical_bytes"),
+        r.counter("comm/codec_wire_bytes"),
+        r.gauge("comm/compression_ratio"),
     };
     return m;
   }

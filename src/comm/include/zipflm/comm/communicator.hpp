@@ -19,6 +19,7 @@
 
 #include "zipflm/comm/ledger.hpp"
 #include "zipflm/comm/topology.hpp"
+#include "zipflm/comm/wire_codec.hpp"
 #include "zipflm/support/error.hpp"
 #include "zipflm/tensor/half.hpp"
 
@@ -56,6 +57,22 @@ class Communicator {
   virtual void broadcast_bytes(std::span<std::byte> data, int root) = 0;
 
   virtual TrafficLedger& ledger() noexcept = 0;
+
+  /// Arms a gradient wire codec for subsequent allreduce_sum calls on
+  /// THIS communicator (sub-communicators keep their own arming; both
+  /// default to None, so hierarchical legs stay raw unless armed
+  /// explicitly).  allreduce_max and the byte collectives ignore it.
+  /// The codec is negotiated per collective — ranks arming different
+  /// codecs fault with CollectiveMismatchError.  Prefer WireCodecScope
+  /// over calling this directly.
+  virtual void set_wire_codec(WireCodec codec) noexcept = 0;
+  virtual WireCodec wire_codec() const noexcept = 0;
+
+  /// Achieved compression ratio (encoded / logical bytes, in (0, 1+])
+  /// of the final reduced chunks of the most recent coded allreduce, or
+  /// 0 when none ran.  Computed from globally-consistent data, so every
+  /// rank observes the same value — safe to feed lockstep decisions.
+  virtual double last_codec_ratio() const noexcept { return 0.0; }
 
   /// Sub-communicator spanning the ranks of this rank's node, or nullptr
   /// when the implementation does not support sub-groups.  Rank order
@@ -101,6 +118,24 @@ class Communicator {
   void broadcast(std::span<T> data, int root) {
     broadcast_bytes(std::as_writable_bytes(data), root);
   }
+};
+
+/// RAII arming of a gradient wire codec; restores the previous codec on
+/// scope exit so nested/legacy callers always see the state they set.
+class WireCodecScope {
+ public:
+  WireCodecScope(Communicator& comm, WireCodec codec) noexcept
+      : comm_(comm), prev_(comm.wire_codec()) {
+    comm_.set_wire_codec(codec);
+  }
+  ~WireCodecScope() { comm_.set_wire_codec(prev_); }
+
+  WireCodecScope(const WireCodecScope&) = delete;
+  WireCodecScope& operator=(const WireCodecScope&) = delete;
+
+ private:
+  Communicator& comm_;
+  WireCodec prev_;
 };
 
 }  // namespace zipflm

@@ -24,6 +24,20 @@ struct LinkParams {
   }
 };
 
+/// Throughput of one wire codec's conversion kernels, measured on the
+/// payload's *logical* bytes (bench_exchange_micro reports both legs;
+/// the defaults below are calibrated from its scalar figures, so the
+/// selector never under-prices the codec on SIMD-less builds).
+struct CodecCost {
+  double encode_Bps = 1.0;  ///< logical bytes encoded per second
+  double decode_Bps = 1.0;  ///< logical bytes decoded per second
+
+  double convert_seconds(std::size_t logical_bytes) const {
+    return static_cast<double>(logical_bytes) / encode_Bps +
+           static_cast<double>(logical_bytes) / decode_Bps;
+  }
+};
+
 struct CostModel {
   LinkParams intra_node;  ///< PCIe (paper: 32 GB/s bidirectional)
   LinkParams inter_node;  ///< IB FDR (paper: 15 GB/s bidirectional)

@@ -156,6 +156,7 @@ class CommWorld {
     std::byte* dst = nullptr;
     std::size_t bytes = 0;
     int root = -1;
+    WireCodec codec = WireCodec::None;
   };
 
   /// Shared state of one communicator scope (the world, one node, or the
@@ -168,7 +169,8 @@ class CommWorld {
     std::vector<Slot> slots;
     Topology topo;
 
-    void validate_uniform(Op op, std::size_t bytes, int root) const;
+    void validate_uniform(Op op, std::size_t bytes, int root,
+                          WireCodec codec) const;
     int size() const noexcept { return static_cast<int>(slots.size()); }
   };
 

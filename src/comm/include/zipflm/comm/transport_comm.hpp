@@ -76,6 +76,12 @@ class TransportComm final : public Communicator {
                         std::vector<std::size_t>& counts) override;
   void broadcast_bytes(std::span<std::byte> data, int root) override;
 
+  void set_wire_codec(WireCodec codec) noexcept override { codec_ = codec; }
+  WireCodec wire_codec() const noexcept override { return codec_; }
+  double last_codec_ratio() const noexcept override {
+    return last_codec_ratio_;
+  }
+
  private:
   enum class CollOp : std::uint8_t {
     Barrier = 1,
@@ -88,7 +94,10 @@ class TransportComm final : public Communicator {
   };
 
   /// Per-collective frame exchanged between ring neighbours before any
-  /// payload byte moves.
+  /// payload byte moves.  pad[0] carries the negotiated WireCodec id
+  /// (None for every collective family except coded sum-allreduces);
+  /// ranks arming different codecs fail the handshake loudly instead of
+  /// decoding each other's payload as garbage.
   struct WireHeader {
     std::uint32_t magic = 0;
     std::uint8_t op = 0;
@@ -123,13 +132,16 @@ class TransportComm final : public Communicator {
   void enter_collective(std::byte* buf, std::size_t bytes);
 
   /// Exchange WireHeaders with the ring neighbours and validate the
-  /// left neighbour agrees on (op, bytes, root, seq).  Advances seq_.
-  void neighbor_handshake(CollOp op, std::uint64_t bytes, int root);
+  /// left neighbour agrees on (op, bytes, root, seq, codec).  Advances
+  /// seq_.
+  void neighbor_handshake(CollOp op, std::uint64_t bytes, int root,
+                          WireCodec codec = WireCodec::None);
 
   void validate_header(const WireHeader& got, CollOp op, std::uint64_t bytes,
-                       int root) const;
+                       int root, WireCodec codec) const;
 
-  WireHeader make_header(CollOp op, std::uint64_t bytes, int root) const;
+  WireHeader make_header(CollOp op, std::uint64_t bytes, int root,
+                         WireCodec codec) const;
 
   /// Translate the in-flight net::TransportError into the collective
   /// failure taxonomy (CollectiveTimeoutError / CollectiveMismatchError).
@@ -137,12 +149,24 @@ class TransportComm final : public Communicator {
 
   template <typename T, typename Red>
   void ring_allreduce(std::span<T> data, CollOp op, const char* op_name,
-                      Red reduce);
+                      Red reduce, WireCodec codec);
+
+  /// Coded ring body: hops move encoded chunks behind u32 size
+  /// prefixes; phase 2 forwards the owner's encoding verbatim so every
+  /// rank decodes identical bytes.  Returns the summed encoded size of
+  /// the final chunks (globally consistent — the ratio feed).
+  template <typename T, typename Red>
+  std::uint64_t ring_allreduce_coded(std::span<T> data, Red reduce,
+                                     WireCodec codec,
+                                     std::uint64_t& moved_elems,
+                                     std::uint64_t& enc_wire);
 
   net::Transport& transport_;
   Topology topo_;
   Hooks hooks_;
   std::uint32_t seq_ = 0;  ///< collective counter, validated peer-to-peer
+  WireCodec codec_ = WireCodec::None;
+  double last_codec_ratio_ = 0.0;
   bool pending_corrupt_ = false;
 };
 

@@ -21,8 +21,8 @@ using comm_internal::CommMetrics;
 using comm_internal::chunk_range;
 using comm_internal::wrap;
 
-void CommWorld::Group::validate_uniform(Op op, std::size_t bytes,
-                                        int root) const {
+void CommWorld::Group::validate_uniform(Op op, std::size_t bytes, int root,
+                                        WireCodec codec) const {
   for (const auto& slot : slots) {
     if (slot.op != op) {
       throw CollectiveMismatchError(
@@ -35,6 +35,10 @@ void CommWorld::Group::validate_uniform(Op op, std::size_t bytes,
     if (root >= 0 && slot.root != root) {
       throw CollectiveMismatchError(
           "ranks invoked a rooted collective with different roots");
+    }
+    if (slot.codec != codec) {
+      throw CollectiveMismatchError(
+          "ranks invoked a collective with mismatched wire codecs");
     }
   }
 }
@@ -93,7 +97,7 @@ class ThreadRankComm final : public Communicator {
     enter_collective(nullptr, 0);
     publish(CommWorld::Op::Barrier, nullptr, nullptr, 0, -1);
     group_.barrier.arrive_and_wait();
-    group_.validate_uniform(CommWorld::Op::Barrier, 0, -1);
+    group_.validate_uniform(CommWorld::Op::Barrier, 0, -1, WireCodec::None);
     group_.barrier.arrive_and_wait();
     ++ledger().barrier_calls;
     CommMetrics::get().barrier_calls.add(1);
@@ -103,10 +107,12 @@ class ThreadRankComm final : public Communicator {
     // The reducer sees one contiguous ring chunk at a time, so the FP32
     // sum can run on the vector units; per-element order within a chunk
     // is unchanged (acc = mine + left, ascending j).
-    ring_allreduce<float>(data, CommWorld::Op::AllReduceF32, "allreduce_f32",
-                          [](float* mine, const float* left, std::size_t n) {
-                            simd::add_inplace(mine, left, n);
-                          });
+    ring_allreduce<float>(
+        data, CommWorld::Op::AllReduceF32, "allreduce_f32",
+        [](float* mine, const float* left, std::size_t n) {
+          simd::add_inplace(mine, left, n);
+        },
+        codec_);
   }
 
   void allreduce_sum(std::span<Half> data) override {
@@ -114,20 +120,31 @@ class ThreadRankComm final : public Communicator {
     // binary16 — the precision behaviour of an FP16-wire allreduce.
     // half_accumulate is the F16C-vectorized (bit-identical) kernel;
     // the scalar loop it replaces dominated the whole dense sync.
-    ring_allreduce<Half>(data, CommWorld::Op::AllReduceF16, "allreduce_f16",
-                         [](Half* mine, const Half* left, std::size_t n) {
-                           half_accumulate(mine, left, n);
-                         });
+    ring_allreduce<Half>(
+        data, CommWorld::Op::AllReduceF16, "allreduce_f16",
+        [](Half* mine, const Half* left, std::size_t n) {
+          half_accumulate(mine, left, n);
+        },
+        codec_);
   }
 
   void allreduce_max(std::span<float> data) override {
-    ring_allreduce<float>(data, CommWorld::Op::AllReduceMaxF32,
-                          "allreduce_max",
-                          [](float* mine, const float* left, std::size_t n) {
-                            for (std::size_t j = 0; j < n; ++j) {
-                              mine[j] = std::max(mine[j], left[j]);
-                            }
-                          });
+    // Never coded: overflow voting must stay exact regardless of the
+    // armed gradient codec.
+    ring_allreduce<float>(
+        data, CommWorld::Op::AllReduceMaxF32, "allreduce_max",
+        [](float* mine, const float* left, std::size_t n) {
+          for (std::size_t j = 0; j < n; ++j) {
+            mine[j] = std::max(mine[j], left[j]);
+          }
+        },
+        WireCodec::None);
+  }
+
+  void set_wire_codec(WireCodec codec) noexcept override { codec_ = codec; }
+  WireCodec wire_codec() const noexcept override { return codec_; }
+  double last_codec_ratio() const noexcept override {
+    return last_codec_ratio_;
   }
 
   void allgather_bytes(std::span<const std::byte> local,
@@ -144,7 +161,7 @@ class ThreadRankComm final : public Communicator {
     enter_collective(out.data() + static_cast<std::size_t>(rank_) * b, b);
     publish(CommWorld::Op::AllGather, local.data(), out.data(), b, -1);
     group_.barrier.arrive_and_wait();
-    group_.validate_uniform(CommWorld::Op::AllGather, b, -1);
+    group_.validate_uniform(CommWorld::Op::AllGather, b, -1, WireCodec::None);
 
     // Every rank staged its own block before publishing, so all source
     // blocks are final the moment the publish barrier clears: copy each
@@ -193,7 +210,8 @@ class ThreadRankComm final : public Communicator {
     publish(CommWorld::Op::AllGatherV, local.data(), nullptr, local.size(),
             -1);
     group_.barrier.arrive_and_wait();
-    group_.validate_uniform(CommWorld::Op::AllGatherV, kIgnoreBytes, -1);
+    group_.validate_uniform(CommWorld::Op::AllGatherV, kIgnoreBytes, -1,
+                            WireCodec::None);
     counts.resize(static_cast<std::size_t>(g));
     std::vector<std::size_t> offsets(static_cast<std::size_t>(g) + 1, 0);
     for (int r = 0; r < g; ++r) {
@@ -271,7 +289,8 @@ class ThreadRankComm final : public Communicator {
     publish(CommWorld::Op::Broadcast, data.data(), data.data(), data.size(),
             root);
     group_.barrier.arrive_and_wait();
-    group_.validate_uniform(CommWorld::Op::Broadcast, data.size(), root);
+    group_.validate_uniform(CommWorld::Op::Broadcast, data.size(), root,
+                            WireCodec::None);
     group_.barrier.arrive_and_wait();
     if (rank_ != root && !data.empty()) {
       std::memcpy(data.data(),
@@ -338,20 +357,33 @@ class ThreadRankComm final : public Communicator {
   }
 
   void publish(CommWorld::Op op, const std::byte* src, std::byte* dst,
-               std::size_t bytes, int root) {
+               std::size_t bytes, int root,
+               WireCodec codec = WireCodec::None) {
     auto& slot = group_.slots[static_cast<std::size_t>(rank_)];
     slot.op = op;
     slot.src = src;
     slot.dst = dst;
     slot.bytes = bytes;
     slot.root = root;
+    slot.codec = codec;
   }
 
   /// Reduce steps hand the reducer a whole contiguous chunk:
   /// reduce(mine, left, count) must combine left's partial into mine.
+  ///
+  /// With a wire codec armed the transport ring moves ENCODED chunks.
+  /// This engine has no wire, so for the lossless codec the arithmetic
+  /// is untouched (decode(encode(x)) == x by contract) and only the
+  /// accounting changes; for INT8 each receiver reproduces the
+  /// transport operand by round-tripping the left neighbour's published
+  /// partial itself (a read-only, deterministic computation), and after
+  /// the closing rendezvous every final chunk is round-tripped in place
+  /// — exactly the bytes a transport rank decodes from the owner's
+  /// encoding.  Both engines therefore stay bitwise identical under
+  /// every codec.
   template <typename T, typename Red>
   void ring_allreduce(std::span<T> data, CommWorld::Op op, const char* op_name,
-                      Red reduce) {
+                      Red reduce, WireCodec codec) {
     const int g = world_size();
     const std::size_t payload = data.size() * sizeof(T);
     obs::SpanScope span(op_name, "payload_bytes",
@@ -360,9 +392,9 @@ class ThreadRankComm final : public Communicator {
                      data.size() * sizeof(T));
     publish(op, reinterpret_cast<const std::byte*>(data.data()),
             reinterpret_cast<std::byte*>(data.data()),
-            data.size() * sizeof(T), -1);
+            data.size() * sizeof(T), -1, codec);
     group_.barrier.arrive_and_wait();
-    group_.validate_uniform(op, data.size() * sizeof(T), -1);
+    group_.validate_uniform(op, data.size() * sizeof(T), -1, codec);
     // No second rendezvous before the ring: hop 0 reads only the left
     // neighbour's ORIGINAL chunk (published and stable before the
     // barrier above) and writes a chunk of its own buffer that no
@@ -386,13 +418,29 @@ class ThreadRankComm final : public Communicator {
       const std::size_t n = data.size();
       std::uint64_t moved_elems = 0;
 
+      const bool lossy = codec == WireCodec::Int8;
+      thread_local std::vector<std::byte> enc;
+      thread_local std::vector<T> dec;
+
       // Phase 1: reduce-scatter.  Step s: accumulate the left
-      // neighbour's partial of chunk (rank - s - 1) into ours.
+      // neighbour's partial of chunk (rank - s - 1) into ours.  Under
+      // INT8 the operand is the decoded image of the encoded partial —
+      // the identical bytes the transport receiver decodes, computed
+      // here from the same published chunk.
       for (int s = 0; s + 1 < g; ++s) {
         const int c = wrap(rank_ - s - 1, g);
         const auto r = chunk_range(n, g, c);
         if (r.size() != 0) {
-          reduce(data.data() + r.begin, left_data + r.begin, r.size());
+          if (lossy) {
+            encode_grad_chunk(
+                codec, std::span<const T>(left_data + r.begin, r.size()), enc);
+            dec.resize(r.size());
+            decode_grad_chunk(codec, std::span<const std::byte>(enc),
+                              std::span<T>(dec.data(), r.size()));
+            reduce(data.data() + r.begin, dec.data(), r.size());
+          } else {
+            reduce(data.data() + r.begin, left_data + r.begin, r.size());
+          }
         }
         // We simultaneously "sent" chunk (rank - s) to the right.
         moved_elems += chunk_range(n, g, wrap(rank_ - s, g)).size();
@@ -417,7 +465,52 @@ class ThreadRankComm final : public Communicator {
         }
         moved_elems += chunk_range(n, g, wrap(rank_ + 1 - s, g)).size();
       }
+
+      // Wire-codec bookkeeping.  Every final chunk is now staged
+      // locally and bitwise identical on every rank, so encoding here
+      // gives every rank the same sizes (for the wire model and the
+      // lockstep compression-ratio feedback) and, for INT8, the same
+      // owner encoding to round-trip from.  Reads only local data, so
+      // it can overlap the other ranks' copy loops.
+      std::uint64_t enc_total = 0;
+      std::uint64_t wire_model = 0;
+      thread_local std::vector<std::vector<std::byte>> final_enc;
+      if (codec != WireCodec::None) {
+        final_enc.resize(static_cast<std::size_t>(g));
+        std::vector<std::uint64_t> sizes(static_cast<std::size_t>(g), 0);
+        for (int c = 0; c < g; ++c) {
+          const auto r = chunk_range(n, g, c);
+          auto& e = final_enc[static_cast<std::size_t>(c)];
+          e.clear();
+          if (r.size() == 0) continue;
+          encode_grad_chunk(
+              codec, std::span<const T>(data.data() + r.begin, r.size()), e);
+          sizes[static_cast<std::size_t>(c)] = e.size();
+          enc_total += e.size();
+        }
+        // Model the transport ring's per-rank wire volume: each hop of
+        // either phase moves one encoded chunk plus a 4-byte size
+        // prefix (phase-1 partials are priced at the final-chunk size;
+        // exact for INT8, an estimate for the packed codec).
+        for (int s = 0; s + 1 < g; ++s) {
+          wire_model += sizes[static_cast<std::size_t>(wrap(rank_ - s, g))] + 4;
+          wire_model +=
+              sizes[static_cast<std::size_t>(wrap(rank_ + 1 - s, g))] + 4;
+        }
+      }
       group_.barrier.arrive_and_wait();
+      if (lossy) {
+        // Allgather leg of the coded ring: every rank's result for
+        // chunk c is decode(encode(final_c)) — owner included.
+        for (int c = 0; c < g; ++c) {
+          const auto r = chunk_range(n, g, c);
+          if (r.size() == 0) continue;
+          decode_grad_chunk(
+              codec,
+              std::span<const std::byte>(final_enc[static_cast<std::size_t>(c)]),
+              std::span<T>(data.data() + r.begin, r.size()));
+        }
+      }
 
       led.bytes_sent += moved_elems * sizeof(T);
       led.bytes_received += moved_elems * sizeof(T);
@@ -428,6 +521,16 @@ class ThreadRankComm final : public Communicator {
       m.bytes_sent.add(moved_elems * sizeof(T));
       m.bytes_received.add(moved_elems * sizeof(T));
       m.simulated_seconds.add(sim);
+      if (codec != WireCodec::None) {
+        record_codec_traffic(led,
+                             codec == WireCodec::Packed ? CodecSlot::Packed
+                                                        : CodecSlot::Int8,
+                             moved_elems * sizeof(T), wire_model);
+        last_codec_ratio_ =
+            payload == 0 ? 0.0
+                         : static_cast<double>(enc_total) /
+                               static_cast<double>(payload);
+      }
     }
   }
 
@@ -435,6 +538,8 @@ class ThreadRankComm final : public Communicator {
   CommWorld::Group& group_;
   const int rank_;
   const int global_rank_;
+  WireCodec codec_ = WireCodec::None;
+  double last_codec_ratio_ = 0.0;
   bool pending_corrupt_ = false;
   std::unique_ptr<ThreadRankComm> node_;
   std::unique_ptr<ThreadRankComm> leaders_;

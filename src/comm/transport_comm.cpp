@@ -84,10 +84,12 @@ void TransportComm::enter_collective(std::byte* buf, std::size_t bytes) {
 
 TransportComm::WireHeader TransportComm::make_header(CollOp op,
                                                      std::uint64_t bytes,
-                                                     int root) const {
+                                                     int root,
+                                                     WireCodec codec) const {
   WireHeader h;
   h.magic = kCollMagic;
   h.op = static_cast<std::uint8_t>(op);
+  h.pad[0] = static_cast<std::uint8_t>(codec);
   h.root = root;
   h.seq = seq_;
   h.coll_bytes = bytes;
@@ -95,7 +97,8 @@ TransportComm::WireHeader TransportComm::make_header(CollOp op,
 }
 
 void TransportComm::validate_header(const WireHeader& got, CollOp op,
-                                    std::uint64_t bytes, int root) const {
+                                    std::uint64_t bytes, int root,
+                                    WireCodec codec) const {
   if (got.magic != kCollMagic) {
     throw CollectiveMismatchError(
         "collective frame with bad magic — transport streams desynced");
@@ -112,13 +115,17 @@ void TransportComm::validate_header(const WireHeader& got, CollOp op,
     throw CollectiveMismatchError(
         "ranks invoked a rooted collective with different roots");
   }
+  if (got.pad[0] != static_cast<std::uint8_t>(codec)) {
+    throw CollectiveMismatchError(
+        "ranks invoked a collective with mismatched wire codecs");
+  }
 }
 
 void TransportComm::neighbor_handshake(CollOp op, std::uint64_t bytes,
-                                       int root) {
+                                       int root, WireCodec codec) {
   const int g = world_size();
   if (g > 1) {
-    const WireHeader mine = make_header(op, bytes, root);
+    const WireHeader mine = make_header(op, bytes, root, codec);
     WireHeader theirs;
     auto sent = transport_.send(
         wrap(rank() + 1, g),
@@ -127,7 +134,7 @@ void TransportComm::neighbor_handshake(CollOp op, std::uint64_t bytes,
         wrap(rank() - 1, g),
         std::as_writable_bytes(std::span<WireHeader>(&theirs, 1)));
     sent.wait();
-    validate_header(theirs, op, bytes, root);
+    validate_header(theirs, op, bytes, root, codec);
   }
   ++seq_;
 }
@@ -157,7 +164,7 @@ void TransportComm::barrier() {
     // heard from all ranks within distance 2^(k+1), so ceil(log2 g)
     // header-only rounds make a full rendezvous.
     const int g = world_size();
-    const WireHeader mine = make_header(CollOp::Barrier, 0, -1);
+    const WireHeader mine = make_header(CollOp::Barrier, 0, -1, WireCodec::None);
     for (int dist = 1; dist < g; dist <<= 1) {
       WireHeader theirs;
       auto sent = transport_.send(
@@ -167,7 +174,7 @@ void TransportComm::barrier() {
           wrap(rank() - dist, g),
           std::as_writable_bytes(std::span<WireHeader>(&theirs, 1)));
       sent.wait();
-      validate_header(theirs, CollOp::Barrier, 0, -1);
+      validate_header(theirs, CollOp::Barrier, 0, -1, WireCodec::None);
     }
     ++seq_;
   } catch (const net::TransportError&) {
@@ -178,15 +185,110 @@ void TransportComm::barrier() {
 }
 
 template <typename T, typename Red>
+std::uint64_t TransportComm::ring_allreduce_coded(std::span<T> data,
+                                                  Red reduce, WireCodec codec,
+                                                  std::uint64_t& moved_elems,
+                                                  std::uint64_t& enc_wire) {
+  const int g = world_size();
+  const int right = wrap(rank() + 1, g);
+  const int left = wrap(rank() - 1, g);
+  const std::size_t n = data.size();
+  std::vector<T> scratch(chunk_range(n, g, 0).size());
+  std::vector<std::byte> enc_send, enc_recv, enc_fwd;
+  std::uint64_t enc_final_total = 0;
+
+  // One ring hop of encoded bytes: a u32 size exchange followed by the
+  // variably-sized payload (chunk encodings differ in length between
+  // neighbours).  Empty chunks send zero bytes, mirroring the raw path.
+  auto hop = [&](const std::vector<std::byte>& out_buf) {
+    std::uint32_t send_n = static_cast<std::uint32_t>(out_buf.size());
+    std::uint32_t recv_n = 0;
+    auto s1 = transport_.send(
+        right, std::as_bytes(std::span<const std::uint32_t>(&send_n, 1)));
+    auto r1 = transport_.recv(
+        left, std::as_writable_bytes(std::span<std::uint32_t>(&recv_n, 1)));
+    r1.wait();
+    s1.wait();
+    enc_recv.resize(recv_n);
+    auto s2 = transport_.send(right, std::span<const std::byte>(out_buf));
+    auto r2 = transport_.recv(left, std::span<std::byte>(enc_recv));
+    r2.wait();
+    s2.wait();
+    enc_wire += sizeof(std::uint32_t) + out_buf.size();
+  };
+
+  // Phase 1: reduce-scatter over encoded partials.  The operand the
+  // reducer sees is decode(encode(left partial)) — for a lossless codec
+  // that is the partial itself (identical arithmetic to the raw path);
+  // for INT8 the shared-memory engine performs the same round-trip on
+  // the published values, keeping the addition trees bitwise equal.
+  for (int s = 0; s + 1 < g; ++s) {
+    const auto sr = chunk_range(n, g, wrap(rank() - s, g));
+    const auto rr = chunk_range(n, g, wrap(rank() - s - 1, g));
+    if (sr.size() != 0) {
+      encode_grad_chunk(
+          codec, std::span<const T>(data.data() + sr.begin, sr.size()),
+          enc_send);
+    } else {
+      enc_send.clear();
+    }
+    hop(enc_send);
+    if (rr.size() != 0) {
+      decode_grad_chunk(codec, std::span<const std::byte>(enc_recv),
+                        std::span<T>(scratch.data(), rr.size()));
+      reduce(data.data() + rr.begin, scratch.data(), rr.size());
+    }
+    moved_elems += sr.size();
+  }
+
+  // Phase 2: allgather of encoded final chunks.  The owner encodes its
+  // completed chunk exactly once; every later hop forwards those bytes
+  // verbatim, so all ranks decode the identical encoding.  For a lossy
+  // codec the owner also replaces its own copy with the decode of that
+  // encoding — everyone, owner included, ends at decode(encode(final)).
+  const bool lossy = codec == WireCodec::Int8;
+  for (int s = 0; s + 1 < g; ++s) {
+    const auto sr = chunk_range(n, g, wrap(rank() + 1 - s, g));
+    const auto rr = chunk_range(n, g, wrap(rank() - s, g));
+    if (s == 0) {
+      if (sr.size() != 0) {
+        encode_grad_chunk(
+            codec, std::span<const T>(data.data() + sr.begin, sr.size()),
+            enc_send);
+        enc_final_total += enc_send.size();
+        if (lossy) {
+          decode_grad_chunk(codec, std::span<const std::byte>(enc_send),
+                            std::span<T>(data.data() + sr.begin, sr.size()));
+        }
+      } else {
+        enc_send.clear();
+      }
+      hop(enc_send);
+    } else {
+      hop(enc_fwd);
+    }
+    enc_final_total += enc_recv.size();
+    if (rr.size() != 0) {
+      decode_grad_chunk(codec, std::span<const std::byte>(enc_recv),
+                        std::span<T>(data.data() + rr.begin, rr.size()));
+    }
+    enc_fwd.swap(enc_recv);
+    moved_elems += sr.size();
+  }
+  return enc_final_total;
+}
+
+template <typename T, typename Red>
 void TransportComm::ring_allreduce(std::span<T> data, CollOp op,
-                                   const char* op_name, Red reduce) {
+                                   const char* op_name, Red reduce,
+                                   WireCodec codec) {
   const int g = world_size();
   const std::size_t payload = data.size() * sizeof(T);
   obs::SpanScope span(op_name, "payload_bytes", static_cast<double>(payload));
   enter_collective(reinterpret_cast<std::byte*>(data.data()), payload);
   WireScope wire(*this);
   try {
-    neighbor_handshake(op, payload, -1);
+    neighbor_handshake(op, payload, -1, codec);
 
     auto& led = ledger();
     ++led.allreduce_calls;
@@ -199,47 +301,66 @@ void TransportComm::ring_allreduce(std::span<T> data, CollOp op,
       const int right = wrap(rank() + 1, g);
       const int left = wrap(rank() - 1, g);
       const std::size_t n = data.size();
-      // Chunk 0 is always the largest (the first n%g chunks carry the
-      // remainder), so one scratch buffer serves every receive.
-      std::vector<T> scratch(chunk_range(n, g, 0).size());
       std::uint64_t moved_elems = 0;
 
-      // Phase 1: reduce-scatter.  Step s: send our partial of chunk
-      // (rank - s) right, receive the left neighbour's partial of chunk
-      // (rank - s - 1), and accumulate it as `mine += left` — the same
-      // operand order, on the same contiguous ranges, as the
-      // shared-memory engine, so the FP addition tree is identical.
-      for (int s = 0; s + 1 < g; ++s) {
-        const auto sr = chunk_range(n, g, wrap(rank() - s, g));
-        const auto rr = chunk_range(n, g, wrap(rank() - s - 1, g));
-        auto sent = transport_.send(
-            right, std::as_bytes(data.subspan(sr.begin, sr.size())));
-        auto got = transport_.recv(
-            left, std::as_writable_bytes(
-                      std::span<T>(scratch.data(), rr.size())));
-        got.wait();
-        sent.wait();
-        if (rr.size() != 0) {
-          reduce(data.data() + rr.begin, scratch.data(), rr.size());
+      if (codec != WireCodec::None) {
+        std::uint64_t enc_wire = 0;
+        const std::uint64_t enc_total = ring_allreduce_coded<T, Red>(
+            data, reduce, codec, moved_elems, enc_wire);
+        record_codec_traffic(led,
+                             codec == WireCodec::Packed ? CodecSlot::Packed
+                                                        : CodecSlot::Int8,
+                             moved_elems * sizeof(T), enc_wire);
+        last_codec_ratio_ =
+            payload == 0 ? 0.0
+                         : static_cast<double>(enc_total) /
+                               static_cast<double>(payload);
+      } else {
+        // Chunk 0 is always the largest (the first n%g chunks carry the
+        // remainder), so one scratch buffer serves every receive.
+        std::vector<T> scratch(chunk_range(n, g, 0).size());
+
+        // Phase 1: reduce-scatter.  Step s: send our partial of chunk
+        // (rank - s) right, receive the left neighbour's partial of chunk
+        // (rank - s - 1), and accumulate it as `mine += left` — the same
+        // operand order, on the same contiguous ranges, as the
+        // shared-memory engine, so the FP addition tree is identical.
+        for (int s = 0; s + 1 < g; ++s) {
+          const auto sr = chunk_range(n, g, wrap(rank() - s, g));
+          const auto rr = chunk_range(n, g, wrap(rank() - s - 1, g));
+          auto sent = transport_.send(
+              right, std::as_bytes(data.subspan(sr.begin, sr.size())));
+          auto got = transport_.recv(
+              left, std::as_writable_bytes(
+                        std::span<T>(scratch.data(), rr.size())));
+          got.wait();
+          sent.wait();
+          if (rr.size() != 0) {
+            reduce(data.data() + rr.begin, scratch.data(), rr.size());
+          }
+          moved_elems += sr.size();
         }
-        moved_elems += sr.size();
-      }
-      // Phase 2: allgather.  Step s: forward the completed chunk
-      // (rank + 1 - s) right, receive completed chunk (rank - s) from
-      // the left straight into place.  Waiting both completions inside
-      // the step keeps the send source immutable until it is drained.
-      for (int s = 0; s + 1 < g; ++s) {
-        const auto sr = chunk_range(n, g, wrap(rank() + 1 - s, g));
-        const auto rr = chunk_range(n, g, wrap(rank() - s, g));
-        auto sent = transport_.send(
-            right, std::as_bytes(data.subspan(sr.begin, sr.size())));
-        auto got = transport_.recv(
-            left, std::as_writable_bytes(data.subspan(rr.begin, rr.size())));
-        got.wait();
-        sent.wait();
-        moved_elems += sr.size();
+        // Phase 2: allgather.  Step s: forward the completed chunk
+        // (rank + 1 - s) right, receive completed chunk (rank - s) from
+        // the left straight into place.  Waiting both completions inside
+        // the step keeps the send source immutable until it is drained.
+        for (int s = 0; s + 1 < g; ++s) {
+          const auto sr = chunk_range(n, g, wrap(rank() + 1 - s, g));
+          const auto rr = chunk_range(n, g, wrap(rank() - s, g));
+          auto sent = transport_.send(
+              right, std::as_bytes(data.subspan(sr.begin, sr.size())));
+          auto got = transport_.recv(
+              left, std::as_writable_bytes(data.subspan(rr.begin, rr.size())));
+          got.wait();
+          sent.wait();
+          moved_elems += sr.size();
+        }
       }
 
+      // Logical payload accounting stays in raw-element terms for every
+      // codec (the closed-form ledger identities hold codec-on or off);
+      // the measured encoded volume lands in wire_bytes_* via WireScope
+      // and in the per-codec ledger slots above.
       led.bytes_sent += moved_elems * sizeof(T);
       led.bytes_received += moved_elems * sizeof(T);
       const double sim = hooks_.cost->ring_allreduce_seconds(topo_, payload);
@@ -258,23 +379,27 @@ void TransportComm::allreduce_sum(std::span<float> data) {
   ring_allreduce<float>(data, CollOp::AllReduceF32, "allreduce_f32",
                         [](float* mine, const float* left, std::size_t n) {
                           simd::add_inplace(mine, left, n);
-                        });
+                        },
+                        codec_);
 }
 
 void TransportComm::allreduce_sum(std::span<Half> data) {
   ring_allreduce<Half>(data, CollOp::AllReduceF16, "allreduce_f16",
                        [](Half* mine, const Half* left, std::size_t n) {
                          half_accumulate(mine, left, n);
-                       });
+                       },
+                       codec_);
 }
 
 void TransportComm::allreduce_max(std::span<float> data) {
+  // Never coded: overflow voting must stay exact.
   ring_allreduce<float>(data, CollOp::AllReduceMaxF32, "allreduce_max",
                         [](float* mine, const float* left, std::size_t n) {
                           for (std::size_t j = 0; j < n; ++j) {
                             mine[j] = std::max(mine[j], left[j]);
                           }
-                        });
+                        },
+                        WireCodec::None);
 }
 
 void TransportComm::allgather_bytes(std::span<const std::byte> local,

@@ -22,21 +22,24 @@ void allreduce(Communicator& comm, std::span<T> data, bool hierarchical) {
 }
 }  // namespace
 
-void DenseGradSync::sync(Communicator& comm,
-                         std::span<Param* const> params) const {
+void DenseGradSync::sync(Communicator& comm, std::span<Param* const> params,
+                         const ExchangeOptions* override_opts) const {
+  const ExchangeOptions& opts =
+      override_opts != nullptr ? *override_opts : options_;
+  WireCodecScope codec_scope(comm, opts.codec);
   const float inv_world = 1.0f / static_cast<float>(comm.world_size());
   for (Param* p : params) {
     if (comm.world_size() > 1) {
-      if (options_.precision == WirePrecision::FP32) {
+      if (opts.precision == WirePrecision::FP32) {
         allreduce<float>(comm, p->grad.data(),
-                         options_.hierarchical_allreduce);
+                         opts.hierarchical_allreduce);
       } else {
         std::vector<Half> wire;
-        compress_fp16(p->grad.data(), options_.compression_scale, wire);
+        compress_fp16(p->grad.data(), opts.compression_scale, wire);
         allreduce<Half>(comm, std::span<Half>(wire),
-                        options_.hierarchical_allreduce);
+                        opts.hierarchical_allreduce);
         std::vector<float> up;
-        decompress_fp16(wire, options_.compression_scale, up);
+        decompress_fp16(wire, opts.compression_scale, up);
         std::memcpy(p->grad.data().data(), up.data(),
                     up.size() * sizeof(float));
       }
@@ -107,6 +110,7 @@ void DenseGradSync::launch_bucket(std::size_t index) {
 
 void DenseGradSync::run_bucket(Communicator& comm, std::size_t index) {
   Bucket& b = plan_[index];
+  WireCodecScope codec_scope(comm, options_.codec);
   const float inv_world = 1.0f / static_cast<float>(comm.world_size());
   // One collective per parameter, in plan order — the exact loop body of
   // sync().  A concatenated bucket-wide allreduce would shift the ring

@@ -41,8 +41,21 @@ class DenseGradSync {
 
   /// ALLREDUCE-sum each parameter's gradient and divide by world size
   /// (data-parallel averaging).  FP16 mode down-casts with
-  /// compression-scaling before the wire and up-casts after.
-  void sync(Communicator& comm, std::span<Param* const> params) const;
+  /// compression-scaling before the wire and up-casts after; a gradient
+  /// wire codec in the options is armed around the allreduces.
+  /// `override_opts`, when non-null, replaces the constructed options
+  /// for this call only — the adaptive wire-format selector's hook on
+  /// the non-overlapped path.
+  void sync(Communicator& comm, std::span<Param* const> params,
+            const ExchangeOptions* override_opts = nullptr) const;
+
+  /// Re-point the wire options (precision / codec / scale) for
+  /// subsequent steps — the adaptive selector's hook on the overlapped
+  /// path, called per rank before begin_step.  Must not be called while
+  /// a step is armed.
+  void set_wire_options(const ExchangeOptions& options) noexcept {
+    options_ = options;
+  }
 
   // -- Overlapped bucketed path ---------------------------------------
 

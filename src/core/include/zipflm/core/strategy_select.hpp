@@ -44,6 +44,16 @@ struct StrategyDecision {
   ExchangeKind choice = ExchangeKind::Unique;
   std::array<double, 3> predicted_seconds{};  ///< indexed by ExchangeKind
   bool switched = false;
+  /// Wire-format arbitration (populated when Config::adapt_format):
+  /// the format chosen for the gradient leg of `choice`, the per-format
+  /// predicted seconds, and the compression-ratio estimates the
+  /// prediction used — logging the ratios is what keeps the decision
+  /// replayable offline after the priors have been updated by
+  /// observe_format_ratio.
+  WireFormat format = WireFormat::FP32;
+  std::array<double, kWireFormatCount> predicted_format_seconds{};
+  std::array<double, kWireFormatCount> ratio_used{};
+  bool format_switched = false;
 };
 
 class ExchangeStrategySelector {
@@ -55,6 +65,26 @@ class ExchangeStrategySelector {
     std::uint64_t tokens_per_rank = 0;  ///< K
     double hysteresis = 0.2;
     ExchangeKind initial = ExchangeKind::Unique;
+    /// Arbitrate the gradient wire format (FP32 / FP16 / Packed / Int8)
+    /// alongside the strategy kind.  Coded formats are priced at
+    /// infinity for DenseAllgather (no allreduce to code) and
+    /// HierarchicalUnique (sub-communicator legs always move raw
+    /// bytes), so they can only win on the flat UNIQUE ring.
+    bool adapt_format = false;
+    WireFormat initial_format = WireFormat::FP32;
+    /// Conversion throughputs of the two codecs, calibrated from
+    /// bench_exchange_micro's BM_*RoundTrip figures on the 1-core AVX2
+    /// container (see EXPERIMENTS.md): packed ~9.3 ns/elem round trip
+    /// on dense FP32, int8 ~1.6 ns/elem.
+    CodecCost packed_cost{7.0e8, 1.1e9};
+    CodecCost int8_cost{5.0e9, 5.0e9};
+    /// Per-format wire-compression priors (encoded / logical bytes),
+    /// replaced by measured ratios as collectives report them.  FP32 and
+    /// FP16 are exactly 1 at their own wire width; Packed rarely beats
+    /// ~0.95 on dense gradients; Int8 is structurally ~0.26
+    /// (1 byte/elem + per-chunk scale over 4 bytes/elem).
+    std::array<double, kWireFormatCount> initial_format_ratio{1.0, 1.0, 0.95,
+                                                              0.26};
   };
 
   ExchangeStrategySelector(Config config, CostModel cost, Topology topo);
@@ -66,15 +96,36 @@ class ExchangeStrategySelector {
                                        const Topology& topo,
                                        std::uint64_t ug);
 
+  /// Price the gradient leg of `kind` under each wire format: wire
+  /// seconds at the (ratio-scaled) encoded size plus the codec's
+  /// encode+decode conversion time.  Pure for the same reason as
+  /// predict() — replaying a logged decision feeds back `ratios` from
+  /// the log, not the live priors.
+  static std::array<double, kWireFormatCount> predict_format(
+      const Config& config, const CostModel& cost, const Topology& topo,
+      std::uint64_t ug, ExchangeKind kind,
+      const std::array<double, kWireFormatCount>& ratios);
+
   /// Decide the strategy for the coming step from the last observed
   /// U_g (an upper bound min(G·K, V) before the first observation).
-  /// Appends to the decision log.
+  /// With adapt_format, also arbitrates the wire format for the chosen
+  /// kind (same hysteresis margin).  Appends to the decision log.
   ExchangeKind choose();
 
   /// Record the step's measured global uniqueness after the exchange.
   void observe_unique(std::uint64_t ug);
 
+  /// Record a measured compression ratio (Communicator::
+  /// last_codec_ratio()) for one format.  Ignored unless positive.
+  /// Safe for lockstep: the ratio is globally consistent by
+  /// construction, so every rank updates identically.
+  void observe_format_ratio(WireFormat format, double ratio);
+
   ExchangeKind current() const noexcept { return current_; }
+  WireFormat current_format() const noexcept { return current_format_; }
+  const std::array<double, kWireFormatCount>& format_ratios() const noexcept {
+    return format_ratio_;
+  }
   const std::vector<StrategyDecision>& log() const noexcept { return log_; }
   const Config& config() const noexcept { return config_; }
   const CostModel& cost_model() const noexcept { return cost_; }
@@ -85,6 +136,8 @@ class ExchangeStrategySelector {
   CostModel cost_;
   Topology topo_;
   ExchangeKind current_;
+  WireFormat current_format_;
+  std::array<double, kWireFormatCount> format_ratio_;
   std::uint64_t step_ = 0;
   std::uint64_t last_ug_ = 0;
   bool observed_ = false;

@@ -15,6 +15,7 @@
 // bit-identical across steps" is continuously testable.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <iosfwd>
 #include <memory>
@@ -40,6 +41,13 @@ struct TrainerOptions {
   bool unique_exchange = true;    ///< Section III-A
   WirePrecision wire = WirePrecision::FP32;  ///< Section III-C
   float compression_scale = 1024.0f;
+  /// Gradient wire codec for the sum-allreduces (dense buckets and the
+  /// UNIQUE M block): Packed is lossless byte-plane+RLE (bitwise
+  /// identical results); Int8 quantizes each ring chunk with a per-chunk
+  /// FP32 scale (deterministic, epsilon-gated on accuracy).
+  WireCodec wire_codec = WireCodec::None;
+  /// Delta+varint-code the index allgatherv legs (always lossless).
+  bool index_codec = false;
   /// Two-level node/leader allreduce for the dense parameters (pays off
   /// on NVLink-class nodes; see bench_ablation_hierarchical).
   bool hierarchical_dense_sync = false;
@@ -92,6 +100,11 @@ struct TrainerOptions {
   /// decisions are logged per rank (strategy_selector()).
   bool adaptive_exchange = false;
   double strategy_hysteresis = 0.2;
+  /// Let the selector also arbitrate the gradient wire format (FP32 /
+  /// FP16 / Packed / Int8) per step, fed back with the measured
+  /// compression ratios.  Requires adaptive_exchange; the arbitration is
+  /// lockstep for the same reason the kind choice is.
+  bool adaptive_wire_format = false;
 };
 
 struct EpochStats {
@@ -169,21 +182,27 @@ class DistributedTrainer {
   /// Returns false when the overflow guard skipped the optimizer step.
   /// `exchange` is the strategy for this step (adaptive selection);
   /// `overlap_sync`/`pending` are the armed overlap state, or nullptr
-  /// for the synchronous path.
+  /// for the synchronous path; `fmt_opts` overrides the dense sync's
+  /// wire options for this step (adaptive wire format), or nullptr.
   bool sync_step(Communicator& comm, LmModel& model, Optimizer& opt,
                  MemoryPool& pool, LossScaler* scaler,
                  const LmStepResult& res, std::uint64_t* unique_out,
                  EmbeddingExchange* exchange, DenseGradSync* overlap_sync,
-                 const PendingIdGather* pending);
+                 const PendingIdGather* pending,
+                 const ExchangeOptions* fmt_opts);
 
-  EmbeddingExchange* exchange_for(ExchangeKind kind);
+  EmbeddingExchange* exchange_for(ExchangeKind kind, WireFormat format);
 
   CommWorld& world_;
   TrainerOptions options_;
   std::unique_ptr<EmbeddingExchange> exchange_;
-  /// Strategy instances indexed by ExchangeKind (adaptive mode only;
-  /// stateless and shared across rank threads like exchange_).
+  /// Strategy instances indexed by ExchangeKind — or by
+  /// kind * kWireFormatCount + format under adaptive_wire_format
+  /// (adaptive mode only; stateless and shared across rank threads like
+  /// exchange_).
   std::vector<std::unique_ptr<EmbeddingExchange>> kind_exchanges_;
+  /// Per-format dense-sync options (adaptive_wire_format only).
+  std::array<ExchangeOptions, kWireFormatCount> format_opts_{};
   std::vector<std::unique_ptr<ExchangeStrategySelector>> selectors_;
   DenseGradSync dense_sync_;
   std::vector<DenseGradSync> dense_syncs_;  ///< per rank (overlap mode)

@@ -1,6 +1,7 @@
 #include "zipflm/core/strategy_select.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace zipflm {
 
@@ -16,7 +17,12 @@ const char* exchange_kind_name(ExchangeKind kind) noexcept {
 ExchangeStrategySelector::ExchangeStrategySelector(Config config,
                                                    CostModel cost,
                                                    Topology topo)
-    : config_(config), cost_(cost), topo_(topo), current_(config.initial) {
+    : config_(config),
+      cost_(cost),
+      topo_(topo),
+      current_(config.initial),
+      current_format_(config.initial_format),
+      format_ratio_(config.initial_format_ratio) {
   ZIPFLM_CHECK(config_.vocab > 0 && config_.dim > 0 &&
                    config_.tokens_per_rank > 0,
                "strategy selector needs vocab, dim, and tokens_per_rank");
@@ -41,6 +47,51 @@ std::array<double, 3> ExchangeStrategySelector::predict(const Config& config,
       ids_s + cost.ring_allgatherv_seconds(topo, k * d * w);
   s[static_cast<std::size_t>(ExchangeKind::HierarchicalUnique)] =
       ids_s + cost.hierarchical_allreduce_seconds(topo, m_bytes);
+  return s;
+}
+
+std::array<double, kWireFormatCount> ExchangeStrategySelector::predict_format(
+    const Config& config, const CostModel& cost, const Topology& topo,
+    std::uint64_t ug, ExchangeKind kind,
+    const std::array<double, kWireFormatCount>& ratios) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t k = static_cast<std::size_t>(config.tokens_per_rank);
+  const std::size_t d = static_cast<std::size_t>(config.dim);
+
+  std::array<double, kWireFormatCount> s{};
+  s.fill(kInf);
+  for (std::size_t f = 0; f < kWireFormatCount; ++f) {
+    const WireFormat fmt = static_cast<WireFormat>(f);
+    const std::size_t w =
+        wire_format_precision(fmt) == WirePrecision::FP16 ? sizeof(Half)
+                                                          : sizeof(float);
+    const WireCodec codec = wire_format_codec(fmt);
+    if (kind == ExchangeKind::DenseAllgather) {
+      // The baseline's gradient leg is an allgatherv — there is no
+      // sum-allreduce to code, so only the raw formats apply.
+      if (codec == WireCodec::None) {
+        s[f] = cost.ring_allgatherv_seconds(topo, k * d * w);
+      }
+      continue;
+    }
+    const std::size_t m_bytes = static_cast<std::size_t>(ug) * d * w;
+    if (codec == WireCodec::None) {
+      s[f] = kind == ExchangeKind::HierarchicalUnique
+                 ? cost.hierarchical_allreduce_seconds(topo, m_bytes)
+                 : cost.ring_allreduce_seconds(topo, m_bytes);
+      continue;
+    }
+    // Coded formats only ride the flat UNIQUE ring: the two-level
+    // path's sub-communicators keep their own (None) codec arming.
+    if (kind == ExchangeKind::HierarchicalUnique) continue;
+    const CodecCost& cc =
+        codec == WireCodec::Packed ? config.packed_cost : config.int8_cost;
+    const double wire_bytes =
+        static_cast<double>(m_bytes) * std::min(ratios[f], 1.0e3);
+    s[f] = cost.ring_allreduce_seconds(
+               topo, static_cast<std::size_t>(wire_bytes)) +
+           cc.convert_seconds(m_bytes);
+  }
   return s;
 }
 
@@ -75,6 +126,35 @@ ExchangeKind ExchangeStrategySelector::choose() {
     current_ = best;
   }
   d.choice = current_;
+
+  if (config_.adapt_format) {
+    const auto fidx = [](WireFormat f) { return static_cast<std::size_t>(f); };
+    d.ratio_used = format_ratio_;
+    d.predicted_format_seconds =
+        predict_format(config_, cost_, topo_, ug, current_, format_ratio_);
+    // FP32 is finite for every kind, so the scan always lands on a
+    // payable format even when the incumbent is unpriceable here.
+    WireFormat fbest = WireFormat::FP32;
+    for (std::size_t f = 0; f < kWireFormatCount; ++f) {
+      if (d.predicted_format_seconds[f] <
+          d.predicted_format_seconds[fidx(fbest)]) {
+        fbest = static_cast<WireFormat>(f);
+      }
+    }
+    if (fbest != current_format_) {
+      const double incumbent = d.predicted_format_seconds[fidx(current_format_)];
+      // Switch on margin, or unconditionally when the incumbent cannot
+      // run under the chosen kind (infinite prediction).
+      if (!(incumbent < std::numeric_limits<double>::infinity()) ||
+          d.predicted_format_seconds[fidx(fbest)] <
+              incumbent * (1.0 - config_.hysteresis)) {
+        d.format_switched = true;
+        current_format_ = fbest;
+      }
+    }
+    d.format = current_format_;
+  }
+
   log_.push_back(d);
   return current_;
 }
@@ -82,6 +162,13 @@ ExchangeKind ExchangeStrategySelector::choose() {
 void ExchangeStrategySelector::observe_unique(std::uint64_t ug) {
   last_ug_ = ug;
   observed_ = true;
+}
+
+void ExchangeStrategySelector::observe_format_ratio(WireFormat format,
+                                                    double ratio) {
+  if (ratio > 0.0) {
+    format_ratio_[static_cast<std::size_t>(format)] = ratio;
+  }
 }
 
 }  // namespace zipflm

@@ -68,8 +68,15 @@ DistributedTrainer::DistributedTrainer(CommWorld& world,
                                        const ModelFactory& factory,
                                        TrainerOptions options)
     : world_(world), options_(options) {
-  const ExchangeOptions ex_opts{options_.wire, options_.compression_scale,
-                                options_.hierarchical_dense_sync};
+  ZIPFLM_CHECK(!options_.adaptive_wire_format || options_.adaptive_exchange,
+               "adaptive_wire_format needs adaptive_exchange (the selector "
+               "owns the format arbitration)");
+  ExchangeOptions ex_opts;
+  ex_opts.precision = options_.wire;
+  ex_opts.compression_scale = options_.compression_scale;
+  ex_opts.hierarchical_allreduce = options_.hierarchical_dense_sync;
+  ex_opts.codec = options_.wire_codec;
+  ex_opts.index_codec = options_.index_codec;
   if (options_.unique_exchange) {
     exchange_ = std::make_unique<UniqueExchange>(ex_opts);
   } else {
@@ -120,16 +127,44 @@ DistributedTrainer::DistributedTrainer(CommWorld& world,
     }
   }
   if (options_.adaptive_exchange) {
-    kind_exchanges_.resize(3);
-    kind_exchanges_[static_cast<std::size_t>(ExchangeKind::Unique)] =
-        std::make_unique<UniqueExchange>(ex_opts);
-    kind_exchanges_[static_cast<std::size_t>(ExchangeKind::DenseAllgather)] =
-        std::make_unique<DenseExchange>(ex_opts);
     ExchangeOptions hier_opts = ex_opts;
     hier_opts.hierarchical_allreduce = true;
-    kind_exchanges_[static_cast<std::size_t>(
-        ExchangeKind::HierarchicalUnique)] =
-        std::make_unique<UniqueExchange>(hier_opts);
+    const auto make_kind = [&](ExchangeKind kind, const ExchangeOptions& o)
+        -> std::unique_ptr<EmbeddingExchange> {
+      if (kind == ExchangeKind::DenseAllgather) {
+        return std::make_unique<DenseExchange>(o);
+      }
+      return std::make_unique<UniqueExchange>(o);
+    };
+    if (options_.adaptive_wire_format) {
+      // One instance per (kind, format) so the lockstep format choice
+      // maps straight to a pre-built strategy — no per-step mutation of
+      // shared options.
+      kind_exchanges_.resize(3 * kWireFormatCount);
+      for (std::size_t k = 0; k < 3; ++k) {
+        const ExchangeKind kind = static_cast<ExchangeKind>(k);
+        const ExchangeOptions& base =
+            kind == ExchangeKind::HierarchicalUnique ? hier_opts : ex_opts;
+        for (std::size_t f = 0; f < kWireFormatCount; ++f) {
+          const WireFormat fmt = static_cast<WireFormat>(f);
+          kind_exchanges_[k * kWireFormatCount + f] =
+              make_kind(kind, with_wire_format(base, fmt));
+        }
+      }
+      for (std::size_t f = 0; f < kWireFormatCount; ++f) {
+        format_opts_[f] =
+            with_wire_format(ex_opts, static_cast<WireFormat>(f));
+      }
+    } else {
+      kind_exchanges_.resize(3);
+      kind_exchanges_[static_cast<std::size_t>(ExchangeKind::Unique)] =
+          std::make_unique<UniqueExchange>(ex_opts);
+      kind_exchanges_[static_cast<std::size_t>(ExchangeKind::DenseAllgather)] =
+          std::make_unique<DenseExchange>(ex_opts);
+      kind_exchanges_[static_cast<std::size_t>(
+          ExchangeKind::HierarchicalUnique)] =
+          std::make_unique<UniqueExchange>(hier_opts);
+    }
 
     ExchangeStrategySelector::Config scfg;
     scfg.vocab = models_.front()->vocab();
@@ -140,6 +175,12 @@ DistributedTrainer::DistributedTrainer(CommWorld& world,
     scfg.hysteresis = options_.strategy_hysteresis;
     scfg.initial = options_.unique_exchange ? ExchangeKind::Unique
                                             : ExchangeKind::DenseAllgather;
+    scfg.adapt_format = options_.adaptive_wire_format;
+    scfg.initial_format =
+        options_.wire_codec == WireCodec::Int8     ? WireFormat::Int8
+        : options_.wire_codec == WireCodec::Packed ? WireFormat::Packed
+        : options_.wire == WirePrecision::FP16     ? WireFormat::FP16
+                                                   : WireFormat::FP32;
     // Per-rank selectors with identical inputs: every rank prices the
     // same strategies from the same (previous-step, globally consistent)
     // U_g, so the choices march in lockstep without a vote collective —
@@ -180,8 +221,13 @@ const ExchangeStrategySelector* DistributedTrainer::strategy_selector(
   return selectors_[static_cast<std::size_t>(rank)].get();
 }
 
-EmbeddingExchange* DistributedTrainer::exchange_for(ExchangeKind kind) {
-  EmbeddingExchange* ex = kind_exchanges_[static_cast<std::size_t>(kind)].get();
+EmbeddingExchange* DistributedTrainer::exchange_for(ExchangeKind kind,
+                                                    WireFormat format) {
+  std::size_t i = static_cast<std::size_t>(kind);
+  if (options_.adaptive_wire_format) {
+    i = i * kWireFormatCount + static_cast<std::size_t>(format);
+  }
+  EmbeddingExchange* ex = kind_exchanges_[i].get();
   ZIPFLM_ASSERT(ex != nullptr, "adaptive exchange strategy not built");
   return ex;
 }
@@ -198,7 +244,8 @@ bool DistributedTrainer::sync_step(Communicator& comm, LmModel& model,
                                    std::uint64_t* unique_out,
                                    EmbeddingExchange* exchange,
                                    DenseGradSync* overlap_sync,
-                                   const PendingIdGather* pending) {
+                                   const PendingIdGather* pending,
+                                   const ExchangeOptions* fmt_opts) {
   const float inv_world = 1.0f / static_cast<float>(comm.world_size());
   const auto dense = model.dense_params();
 
@@ -217,7 +264,7 @@ bool DistributedTrainer::sync_step(Communicator& comm, LmModel& model,
     if (overlap_sync != nullptr) {
       overlap_sync->finish();
     } else {
-      dense_sync_.sync(comm, dense);
+      dense_sync_.sync(comm, dense, fmt_opts);
     }
 
     // Input embedding: the exchange under test.
@@ -335,27 +382,49 @@ EpochStats DistributedTrainer::run_epoch(std::span<const Index> train_ids,
         candidates = sampler_->candidates(dr, g, step_base + local_step,
                                           batch.targets);
       }
-      // Pick this step's embedding strategy before any collective so
+      // Pick this step's embedding strategy (and, under adaptive wire
+      // format, the gradient wire format) before any collective so
       // every rank runs the same wire schedule (selection is lockstep).
-      EmbeddingExchange* ex = selector != nullptr
-                                  ? exchange_for(selector->choose())
-                                  : exchange_.get();
+      EmbeddingExchange* ex = exchange_.get();
+      const ExchangeOptions* fmt_opts = nullptr;
+      if (selector != nullptr) {
+        const ExchangeKind kind = selector->choose();
+        const WireFormat fmt = selector->current_format();
+        ex = exchange_for(kind, fmt);
+        if (options_.adaptive_wire_format) {
+          fmt_opts = &format_opts_[static_cast<std::size_t>(fmt)];
+          if (dsync != nullptr) dsync->set_wire_options(*fmt_opts);
+        }
+      }
       PendingIdGather pending;
       if (dsync != nullptr) {
         dsync->begin_step(comm, engine, model.dense_params());
         // The token ids are known now — start the Θ(G·K) id allgather
         // under forward+backward.
-        begin_id_gather(engine, batch.inputs, pending);
+        begin_id_gather(engine, batch.inputs, pending, options_.index_codec);
       }
       model.train_step_local(batch, candidates, res);
       std::uint64_t ug = 0;
       if (!sync_step(comm, model, opt, pool, scaler, res, &ug, ex, dsync,
-                     dsync != nullptr ? &pending : nullptr)) {
+                     dsync != nullptr ? &pending : nullptr, fmt_opts)) {
         ++rank_skipped[static_cast<std::size_t>(dr)];
         tm.skipped_steps.add(1);
         ZIPFLM_TRACE_INSTANT("overflow_skip");
       }
-      if (selector != nullptr) selector->observe_unique(ug);
+      if (selector != nullptr) {
+        selector->observe_unique(ug);
+        // Feed the measured compression ratio back into the format
+        // priors — only when this step's format was actually coded, so
+        // a stale ratio from an earlier coded step never mislabels a
+        // raw format.  The ratio is globally consistent (see
+        // Communicator::last_codec_ratio), so priors stay lockstep.
+        if (options_.adaptive_wire_format) {
+          const WireFormat fmt = selector->current_format();
+          if (wire_format_codec(fmt) != WireCodec::None) {
+            selector->observe_format_ratio(fmt, comm.last_codec_ratio());
+          }
+        }
+      }
       rank_loss[static_cast<std::size_t>(dr)] += res.loss;
       rank_unique[static_cast<std::size_t>(dr)] += ug;
       ++local_step;

@@ -146,11 +146,12 @@ class InProcEndpoint final : public Transport {
                    std::to_string(msg.size()))));
       return;
     }
-    std::memcpy(op.data, msg.data(), msg.size());
+    const std::size_t n = msg.size();  // msg dangles once popped
+    std::memcpy(op.data, msg.data(), n);
     ch.queue.pop_front();
-    op.transferred = msg.size();
+    op.transferred = n;
     op.state = Completion::Op::State::Done;
-    stats_.wire_bytes_received += msg.size();
+    stats_.wire_bytes_received += n;
   }
 
   static void fail(Completion::Op& op, std::exception_ptr error) {

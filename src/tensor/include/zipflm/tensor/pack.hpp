@@ -1,0 +1,43 @@
+#pragma once
+
+// Wire-pack kernels backing the zipflm::comm codecs: byte-plane
+// split/merge (lossless reordering of little-endian element bytes so
+// RLE sees long runs of zero/exponent bytes) and INT8 quantize /
+// dequantize with a shared FP32 scale.
+//
+// Contract (same as simd.hpp): the vector paths are bitwise identical
+// to the scalar fallbacks on every input.  Byte moves are trivially
+// exact; the INT8 kernels use only exactly-rounded primitives
+// (div, round-to-nearest-even, int conversion, mul), so quantized
+// bytes and dequantized floats match across AVX2/SSE2/scalar and
+// across the `ZIPFLM_SIMD=scalar` runtime override.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zipflm::simd {
+
+// Splits `elems` little-endian elements of `width` bytes each into
+// `width` contiguous planes: planes[p * elems + i] = src[i * width + p].
+// Vectorized for width 2 (SSE2) and width 4 (AVX2); any width falls
+// back to the scalar loop.
+void byteplane_split(const std::byte* src, std::size_t elems,
+                     std::size_t width, std::byte* planes);
+
+// Inverse of byteplane_split.
+void byteplane_merge(const std::byte* planes, std::size_t elems,
+                     std::size_t width, std::byte* dst);
+
+// dst[i] = clamp(nearbyint(src[i] / scale), -127, 127).
+// Preconditions: scale is positive and finite, src is finite, and
+// |src[i]| / scale stays well below 2^31 (the codec derives scale as
+// max|src| / 127, which guarantees it).  Rounding is round-to-nearest-
+// even in every backend.
+void int8_quantize(const float* src, std::size_t n, float scale,
+                   std::int8_t* dst);
+
+// dst[i] = float(q[i]) * scale (exactly-rounded multiply).
+void int8_dequantize(const std::int8_t* q, std::size_t n, float scale,
+                     float* dst);
+
+}  // namespace zipflm::simd

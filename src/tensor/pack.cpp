@@ -1,0 +1,258 @@
+#include "zipflm/tensor/pack.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "zipflm/tensor/simd.hpp"
+
+namespace zipflm::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference paths.  The vector paths below must match these bitwise.
+// ---------------------------------------------------------------------------
+
+void split_scalar(const std::byte* src, std::size_t elems, std::size_t width,
+                  std::byte* planes) {
+  for (std::size_t p = 0; p < width; ++p) {
+    std::byte* out = planes + p * elems;
+    for (std::size_t i = 0; i < elems; ++i) out[i] = src[i * width + p];
+  }
+}
+
+void merge_scalar(const std::byte* planes, std::size_t elems, std::size_t width,
+                  std::byte* dst) {
+  for (std::size_t p = 0; p < width; ++p) {
+    const std::byte* in = planes + p * elems;
+    for (std::size_t i = 0; i < elems; ++i) dst[i * width + p] = in[i];
+  }
+}
+
+std::int8_t quant_one(float x, float scale) {
+  const float r = std::nearbyintf(x / scale);
+  long v = static_cast<long>(r);
+  if (v > 127) v = 127;
+  if (v < -127) v = -127;
+  return static_cast<std::int8_t>(v);
+}
+
+#if defined(ZIPFLM_SIMD_AVX2) || defined(ZIPFLM_SIMD_SSE2)
+
+// De-interleave 16-bit elements into low/high byte planes, 16 at a time.
+void split2_sse2(const std::byte* src, std::size_t elems, std::byte* lo,
+                 std::byte* hi) {
+  const __m128i mask = _mm_set1_epi16(0x00FF);
+  std::size_t i = 0;
+  for (; i + 16 <= elems; i += 16) {
+    const __m128i a = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(src + 2 * i));
+    const __m128i b = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(src + 2 * i + 16));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(lo + i),
+                     _mm_packus_epi16(_mm_and_si128(a, mask),
+                                      _mm_and_si128(b, mask)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(hi + i),
+                     _mm_packus_epi16(_mm_srli_epi16(a, 8),
+                                      _mm_srli_epi16(b, 8)));
+  }
+  for (; i < elems; ++i) {
+    lo[i] = src[2 * i];
+    hi[i] = src[2 * i + 1];
+  }
+}
+
+void merge2_sse2(const std::byte* lo, const std::byte* hi, std::size_t elems,
+                 std::byte* dst) {
+  std::size_t i = 0;
+  for (; i + 16 <= elems; i += 16) {
+    const __m128i l =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(lo + i));
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hi + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 2 * i),
+                     _mm_unpacklo_epi8(l, h));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 2 * i + 16),
+                     _mm_unpackhi_epi8(l, h));
+  }
+  for (; i < elems; ++i) {
+    dst[2 * i] = lo[i];
+    dst[2 * i + 1] = hi[i];
+  }
+}
+
+#endif  // SSE2 or AVX2
+
+#if defined(ZIPFLM_SIMD_AVX2)
+
+// 4x8 byte transpose of 8 little-endian 32-bit elements per iteration:
+// in-lane pshufb groups byte p of each lane's 4 elements, then a 32-bit
+// permute gathers the two lanes' groups so each plane gets 8 contiguous
+// bytes.  The pshufb pattern is a 4x4 transpose and therefore its own
+// inverse, which merge reuses.
+void split4_avx2(const std::byte* src, std::size_t elems, std::byte* planes) {
+  const __m256i shuf = _mm256_setr_epi8(
+      0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15,
+      0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15);
+  const __m256i perm = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+  std::byte* p0 = planes;
+  std::byte* p1 = planes + elems;
+  std::byte* p2 = planes + 2 * elems;
+  std::byte* p3 = planes + 3 * elems;
+  std::size_t i = 0;
+  for (; i + 8 <= elems; i += 8) {
+    __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(src + 4 * i));
+    v = _mm256_permutevar8x32_epi32(_mm256_shuffle_epi8(v, shuf), perm);
+    const __m128i a = _mm256_castsi256_si128(v);
+    const __m128i b = _mm256_extracti128_si256(v, 1);
+    const std::uint64_t q0 =
+        static_cast<std::uint64_t>(_mm_cvtsi128_si64(a));
+    const std::uint64_t q1 =
+        static_cast<std::uint64_t>(_mm_extract_epi64(a, 1));
+    const std::uint64_t q2 =
+        static_cast<std::uint64_t>(_mm_cvtsi128_si64(b));
+    const std::uint64_t q3 =
+        static_cast<std::uint64_t>(_mm_extract_epi64(b, 1));
+    std::memcpy(p0 + i, &q0, 8);
+    std::memcpy(p1 + i, &q1, 8);
+    std::memcpy(p2 + i, &q2, 8);
+    std::memcpy(p3 + i, &q3, 8);
+  }
+  for (; i < elems; ++i) {
+    p0[i] = src[4 * i];
+    p1[i] = src[4 * i + 1];
+    p2[i] = src[4 * i + 2];
+    p3[i] = src[4 * i + 3];
+  }
+}
+
+void merge4_avx2(const std::byte* planes, std::size_t elems, std::byte* dst) {
+  const __m256i shuf = _mm256_setr_epi8(
+      0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15,
+      0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15);
+  const __m256i perm = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+  const std::byte* p0 = planes;
+  const std::byte* p1 = planes + elems;
+  const std::byte* p2 = planes + 2 * elems;
+  const std::byte* p3 = planes + 3 * elems;
+  std::size_t i = 0;
+  for (; i + 8 <= elems; i += 8) {
+    std::uint64_t q0, q1, q2, q3;
+    std::memcpy(&q0, p0 + i, 8);
+    std::memcpy(&q1, p1 + i, 8);
+    std::memcpy(&q2, p2 + i, 8);
+    std::memcpy(&q3, p3 + i, 8);
+    __m256i v = _mm256_set_epi64x(static_cast<long long>(q3),
+                                  static_cast<long long>(q2),
+                                  static_cast<long long>(q1),
+                                  static_cast<long long>(q0));
+    v = _mm256_shuffle_epi8(_mm256_permutevar8x32_epi32(v, perm), shuf);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 4 * i), v);
+  }
+  for (; i < elems; ++i) {
+    dst[4 * i] = p0[i];
+    dst[4 * i + 1] = p1[i];
+    dst[4 * i + 2] = p2[i];
+    dst[4 * i + 3] = p3[i];
+  }
+}
+
+void quant_avx2(const float* src, std::size_t n, float scale,
+                std::int8_t* dst) {
+  const __m256 vs = _mm256_set1_ps(scale);
+  const __m256i lo = _mm256_set1_epi32(-127);
+  const __m256i hi = _mm256_set1_epi32(127);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 q = _mm256_div_ps(_mm256_loadu_ps(src + i), vs);
+    q = _mm256_round_ps(q, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    __m256i qi = _mm256_cvtps_epi32(q);
+    qi = _mm256_max_epi32(_mm256_min_epi32(qi, hi), lo);
+    const __m128i w = _mm_packs_epi32(_mm256_castsi256_si128(qi),
+                                      _mm256_extracti128_si256(qi, 1));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_packs_epi16(w, w));
+  }
+  for (; i < n; ++i) dst[i] = quant_one(src[i], scale);
+}
+
+void dequant_avx2(const std::int8_t* q, std::size_t n, float scale,
+                  float* dst) {
+  const __m256 vs = _mm256_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i b =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q + i));
+    const __m256 f = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b));
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(f, vs));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<float>(q[i]) * scale;
+}
+
+#endif  // ZIPFLM_SIMD_AVX2
+
+}  // namespace
+
+void byteplane_split(const std::byte* src, std::size_t elems,
+                     std::size_t width, std::byte* planes) {
+  if (active_backend() == Backend::kNative) {
+#if defined(ZIPFLM_SIMD_AVX2) || defined(ZIPFLM_SIMD_SSE2)
+    if (width == 2) {
+      split2_sse2(src, elems, planes, planes + elems);
+      return;
+    }
+#endif
+#if defined(ZIPFLM_SIMD_AVX2)
+    if (width == 4) {
+      split4_avx2(src, elems, planes);
+      return;
+    }
+#endif
+  }
+  split_scalar(src, elems, width, planes);
+}
+
+void byteplane_merge(const std::byte* planes, std::size_t elems,
+                     std::size_t width, std::byte* dst) {
+  if (active_backend() == Backend::kNative) {
+#if defined(ZIPFLM_SIMD_AVX2) || defined(ZIPFLM_SIMD_SSE2)
+    if (width == 2) {
+      merge2_sse2(planes, planes + elems, elems, dst);
+      return;
+    }
+#endif
+#if defined(ZIPFLM_SIMD_AVX2)
+    if (width == 4) {
+      merge4_avx2(planes, elems, dst);
+      return;
+    }
+#endif
+  }
+  merge_scalar(planes, elems, width, dst);
+}
+
+void int8_quantize(const float* src, std::size_t n, float scale,
+                   std::int8_t* dst) {
+#if defined(ZIPFLM_SIMD_AVX2)
+  if (active_backend() == Backend::kNative) {
+    quant_avx2(src, n, scale, dst);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) dst[i] = quant_one(src[i], scale);
+}
+
+void int8_dequantize(const std::int8_t* q, std::size_t n, float scale,
+                     float* dst) {
+#if defined(ZIPFLM_SIMD_AVX2)
+  if (active_backend() == Backend::kNative) {
+    dequant_avx2(q, n, scale, dst);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<float>(q[i]) * scale;
+  }
+}
+
+}  // namespace zipflm::simd

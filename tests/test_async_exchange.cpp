@@ -6,7 +6,9 @@
 // pure predict() and re-derives every choice.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -180,6 +182,82 @@ TEST(OverlappedExchange, MatchesSyncBitwiseG4Fp16) {
   expect_overlap_matches_sync(4, WirePrecision::FP16);
 }
 
+// -- Gradient wire codecs through the full trainer -------------------
+
+// The lossless packed codec (and the varint index codec) must leave the
+// training trajectory untouched: same losses as exact doubles, same
+// weights as exact bytes.
+void expect_codec_matches_raw(int gpus, WirePrecision wire) {
+  const Index vocab = 50;
+  const auto train = tiny_corpus(vocab, 2400, 11);
+  const auto valid = tiny_corpus(vocab, 400, 12);
+
+  std::vector<unsigned char> reference;
+  double ref_train = 0.0, ref_valid = 0.0;
+  for (const bool coded : {false, true}) {
+    CommWorld world(gpus);
+    TrainerOptions opt = tiny_options();
+    opt.samples_per_rank = 16;
+    opt.wire = wire;
+    if (coded) {
+      opt.wire_codec = WireCodec::Packed;
+      opt.index_codec = true;
+    }
+    DistributedTrainer trainer(world, tiny_word_factory(vocab), opt);
+
+    EpochStats last{};
+    for (int e = 0; e < 2; ++e) last = trainer.run_epoch(train, valid, e);
+    EXPECT_TRUE(trainer.replicas_in_sync());
+
+    const auto bytes = model_bytes(trainer);
+    if (!coded) {
+      reference = bytes;
+      ref_train = last.train_loss;
+      ref_valid = last.valid_loss;
+      continue;
+    }
+    EXPECT_EQ(last.train_loss, ref_train);
+    EXPECT_EQ(last.valid_loss, ref_valid);
+    ASSERT_EQ(bytes.size(), reference.size());
+    EXPECT_EQ(0, std::memcmp(bytes.data(), reference.data(), bytes.size()))
+        << "packed codec diverged from raw wire at G=" << gpus;
+  }
+}
+
+TEST(CodedTraining, PackedMatchesRawBitwiseG4Fp32) {
+  expect_codec_matches_raw(4, WirePrecision::FP32);
+}
+
+TEST(CodedTraining, PackedMatchesRawBitwiseG4Fp16) {
+  expect_codec_matches_raw(4, WirePrecision::FP16);
+}
+
+TEST(CodedTraining, Int8KeepsReplicasInSyncAndConverges) {
+  // INT8 is lossy, so the contract is weaker: replicas stay bitwise
+  // identical to each other (deterministic quantization), and the loss
+  // stays epsilon-close to the raw trajectory.
+  const Index vocab = 50;
+  const auto train = tiny_corpus(vocab, 2400, 13);
+  const auto valid = tiny_corpus(vocab, 400, 14);
+
+  double raw_valid = 0.0;
+  for (const bool coded : {false, true}) {
+    CommWorld world(4);
+    TrainerOptions opt = tiny_options();
+    opt.samples_per_rank = 16;
+    if (coded) opt.wire_codec = WireCodec::Int8;
+    DistributedTrainer trainer(world, tiny_word_factory(vocab), opt);
+    const EpochStats stats = trainer.run_epoch(train, valid, 0);
+    EXPECT_TRUE(trainer.replicas_in_sync());
+    EXPECT_TRUE(std::isfinite(stats.valid_loss));
+    if (!coded) {
+      raw_valid = stats.valid_loss;
+    } else {
+      EXPECT_NEAR(stats.valid_loss, raw_valid, 0.05 * raw_valid);
+    }
+  }
+}
+
 // -- Adaptive strategy selection: the log is replayable --------------
 
 TEST(StrategySelector, LoggedDecisionsReplayThroughPredict) {
@@ -235,6 +313,70 @@ TEST(StrategySelector, LoggedDecisionsReplayThroughPredict) {
     }
     EXPECT_EQ(d.choice, current)
         << "logged choice at step " << d.step << " is not replayable";
+  }
+}
+
+TEST(StrategySelector, WireFormatDecisionsReplayThroughPredictFormat) {
+  const Index vocab = 50;
+  const auto train = tiny_corpus(vocab, 2400, 15);
+  const auto valid = tiny_corpus(vocab, 400, 16);
+
+  const int gpus = 4;
+  CommWorld world(gpus);
+  TrainerOptions opt = tiny_options();
+  opt.samples_per_rank = 16;
+  opt.adaptive_exchange = true;
+  opt.adaptive_wire_format = true;
+  DistributedTrainer trainer(world, tiny_word_factory(vocab), opt);
+  for (int e = 0; e < 2; ++e) trainer.run_epoch(train, valid, e);
+
+  const ExchangeStrategySelector* sel = trainer.strategy_selector(0);
+  ASSERT_NE(sel, nullptr);
+  ASSERT_FALSE(sel->log().empty());
+  EXPECT_TRUE(trainer.replicas_in_sync());
+
+  // Lockstep: the format arbitration feeds off comm.last_codec_ratio(),
+  // which is globally consistent, so every rank's log must agree.
+  for (int r = 1; r < gpus; ++r) {
+    const ExchangeStrategySelector* other = trainer.strategy_selector(r);
+    ASSERT_NE(other, nullptr);
+    ASSERT_EQ(other->log().size(), sel->log().size());
+    for (std::size_t i = 0; i < sel->log().size(); ++i) {
+      EXPECT_EQ(other->log()[i].format, sel->log()[i].format);
+      for (std::size_t f = 0; f < kWireFormatCount; ++f) {
+        EXPECT_EQ(other->log()[i].ratio_used[f], sel->log()[i].ratio_used[f]);
+      }
+    }
+  }
+
+  // Replay: each decision logs the ratio vector it priced with, so
+  // predict_format() must reproduce the logged costs, and the
+  // hysteresis rule must reproduce the logged format.
+  const auto fidx = [](WireFormat f) { return static_cast<std::size_t>(f); };
+  WireFormat current = sel->config().initial_format;
+  for (const StrategyDecision& d : sel->log()) {
+    const auto costs = ExchangeStrategySelector::predict_format(
+        sel->config(), sel->cost_model(), sel->topology(), d.ug, d.choice,
+        d.ratio_used);
+    for (std::size_t f = 0; f < kWireFormatCount; ++f) {
+      EXPECT_EQ(costs[f], d.predicted_format_seconds[f])
+          << "predict_format() must be pure — step " << d.step
+          << " format " << f;
+    }
+    WireFormat best = WireFormat::FP32;
+    for (std::size_t f = 0; f < kWireFormatCount; ++f) {
+      if (costs[f] < costs[fidx(best)]) best = static_cast<WireFormat>(f);
+    }
+    if (best != current) {
+      const double incumbent = costs[fidx(current)];
+      if (!(incumbent < std::numeric_limits<double>::infinity()) ||
+          costs[fidx(best)] < incumbent * (1.0 - sel->config().hysteresis)) {
+        EXPECT_TRUE(d.format_switched);
+        current = best;
+      }
+    }
+    EXPECT_EQ(d.format, current)
+        << "logged format at step " << d.step << " is not replayable";
   }
 }
 
