@@ -12,13 +12,18 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <vector>
 
+#include "zipflm/net/socket.hpp"
 #include "zipflm/nn/generate.hpp"
 #include "zipflm/nn/lm_model.hpp"
 #include "zipflm/obs/metrics.hpp"
 #include "zipflm/obs/trace.hpp"
+#include "zipflm/serve/serve_client.hpp"
 #include "zipflm/serve/server.hpp"
+#include "zipflm/serve/sharded_server.hpp"
+#include "zipflm/serve/socket_frontend.hpp"
 
 using namespace zipflm;
 
@@ -114,6 +119,46 @@ int main(int argc, char** argv) {
   if (rejected.accepted) return 1;
   std::printf("\nqueue full: rejected with retry-after hint %.0f us\n",
               rejected.retry_after_seconds * 1e6);
+
+  // Sharded serving over real sockets: two scheduler shards (one model
+  // replica each) behind a frontend at rank 0 of a socketpair world; a
+  // wire client at rank 1 replays session 1's original request.  The
+  // replicas share the single server's weights (same config seed), so
+  // the tokens that come back over the socket must be byte-identical to
+  // the in-process run above.
+  {
+    CharLm replica_a(cfg);
+    CharLm replica_b(cfg);
+    serve::ShardedServeOptions shopts;
+    shopts.server = opts;
+    serve::ShardedServer sharded({&replica_a, &replica_b}, shopts);
+    sharded.start();
+
+    auto world = net::socketpair_mesh(2);
+    serve::SocketFrontend frontend(*world[0], sharded);
+    std::thread frontend_thread([&] { frontend.run(); });
+
+    serve::ServeClient client(*world[1], /*server_rank=*/0);
+    serve::Request wire_req;
+    wire_req.session_id = 1;
+    wire_req.context = {1, 2, 3};
+    wire_req.new_tokens = 10;
+    wire_req.options = gen;
+    wire_req.seed = 40;
+    const serve::Admission wire_adm = client.submit(wire_req);
+    if (!wire_adm.accepted) return 1;
+    const serve::Response wire_resp = client.wait(wire_adm.request_id);
+    client.bye();
+    frontend_thread.join();
+    sharded.stop();
+
+    std::printf("\nsharded over socket: shard %zu of %zu served session 1, "
+                "%zu tokens, parity %s\n",
+                sharded.shard_of(1), sharded.shard_count(),
+                wire_resp.tokens.size(),
+                wire_resp.tokens == session1_history ? "ok" : "BROKEN");
+    if (wire_resp.tokens != session1_history) return 1;
+  }
 
   const serve::ServeCounters c = server.counters();
   std::printf("\ncounters: %llu steps, %.2f streams/step, %llu generated, "

@@ -11,12 +11,20 @@
 # divergence).  Wire bytes are deterministic per config, so the gate
 # runs a reduced workload; ZIPFLM_WIRE_GATE=0 skips it.
 #
+# Also smokes the serving soak: a short bench_serve_soak run with its
+# latency/rejection gates on (--check).  Latency tails are noisy at
+# smoke scale, so the p99 bound is looser than the acceptance run's;
+# ZIPFLM_SERVE_GATE=0 skips it.
+#
 # Usage: scripts/bench_regression.sh [out.json]
 #   out.json              fresh RESULT payload, written for artifact upload
 #   ZIPFLM_BENCH_BAND     noise band as a fraction (default 0.15)
 #   ZIPFLM_BENCH_ARGS     bench arguments (default: the recorded config)
 #   ZIPFLM_WIRE_GATE      0 disables the codec wire-byte gate (default 1)
 #   ZIPFLM_WIRE_GATE_ARGS workload for the gate legs (default "4 8 2 --gpus 4")
+#   ZIPFLM_SERVE_GATE     0 disables the serve-soak smoke (default 1)
+#   ZIPFLM_SERVE_GATE_ARGS soak workload (default "--shards 2 --sessions 48
+#                         --requests 480 --open-seconds 0.3 --max-p99-over-p50 10")
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -79,4 +87,18 @@ if [[ "${ZIPFLM_WIRE_GATE:-1}" != "0" ]]; then
     fi
     echo "wire OK: --codec $codec moved $coded_bytes bytes < raw's $raw_bytes"
   done
+fi
+
+# -- Serving soak smoke ----------------------------------------------
+if [[ "${ZIPFLM_SERVE_GATE:-1}" != "0" ]]; then
+  serve_args=${ZIPFLM_SERVE_GATE_ARGS:-"--shards 2 --sessions 48 \
+    --requests 480 --open-seconds 0.3 --max-p99-over-p50 10"}
+  [[ -x build/bench/bench_serve_soak ]] || {
+    echo "build/bench/bench_serve_soak not built" >&2; exit 2; }
+  echo "serve gate: bench_serve_soak $serve_args --check"
+  # shellcheck disable=SC2086  # serve_args is a word list on purpose
+  ./build/bench/bench_serve_soak $serve_args --check \
+    | tee /tmp/zipflm_serve_gate.txt
+  grep -q '^RESULT' /tmp/zipflm_serve_gate.txt || {
+    echo "serve soak produced no RESULT line" >&2; exit 1; }
 fi

@@ -9,9 +9,12 @@
 #   net   socket-transport suites (real kernel sockets, forked ranks),
 #         serially — they own /tmp rendezvous paths and kernel socket
 #         buffers, so sibling tests turn their timeouts into flakes
+#   serve the serving suites (single-server regressions, sharded
+#         routing, wire protocol, socket frontend) plus a short soak
+#         smoke with latency/rejection gates
 #   tsan  the whole suite under ThreadSanitizer
 #
-# Usage: scripts/check.sh [--tier 1|1b|1c|net|tsan] [--tsan-only | --no-tsan]
+# Usage: scripts/check.sh [--tier 1|1b|1c|net|serve|tsan] [--tsan-only | --no-tsan]
 # With no arguments every tier runs, in order.  Each tier configures and
 # builds what it needs, so `scripts/check.sh --tier 1b` works from a
 # clean checkout — CI runs the tiers as separate matrix legs.
@@ -26,14 +29,14 @@ tiers=()
 case "${1:-}" in
   --tier)
     case "${2:-}" in
-      1|1b|1c|net|tsan) tiers=("$2") ;;
-      *) echo "usage: $0 [--tier 1|1b|1c|net|tsan] [--tsan-only | --no-tsan]" >&2
+      1|1b|1c|net|serve|tsan) tiers=("$2") ;;
+      *) echo "usage: $0 [--tier 1|1b|1c|net|serve|tsan] [--tsan-only | --no-tsan]" >&2
          exit 2 ;;
     esac ;;
   --tsan-only) tiers=(tsan) ;;
-  --no-tsan) tiers=(1 1b 1c net) ;;
-  "") tiers=(1 1b 1c net tsan) ;;
-  *) echo "usage: $0 [--tier 1|1b|1c|net|tsan] [--tsan-only | --no-tsan]" >&2
+  --no-tsan) tiers=(1 1b 1c net serve) ;;
+  "") tiers=(1 1b 1c net serve tsan) ;;
+  *) echo "usage: $0 [--tier 1|1b|1c|net|serve|tsan] [--tsan-only | --no-tsan]" >&2
      exit 2 ;;
 esac
 
@@ -115,6 +118,25 @@ tier_net() {
     echo "socket transport diverged from thread backend" >&2; exit 1; }
 }
 
+tier_serve() {
+  echo "== tier-serve: sharded serving =="
+  ensure_build
+  # Everything labeled `serve`: test_serve (facade + batching + cache),
+  # test_serve_stress (concurrent submit/stop/wait), test_serve_shard
+  # (single-server regressions, sharded routing, wire protocol, socket
+  # frontend parity).
+  ctest --test-dir build --output-on-failure -L serve
+  # Short soak smoke with the latency/rejection gates on.  At smoke
+  # scale the tail bound is looser than the acceptance run's 5x: a few
+  # hundred requests put only a handful of samples above p99, so a
+  # single slow batch step dominates the ratio.
+  ./build/bench/bench_serve_soak --shards 2 --sessions 48 --requests 480 \
+    --open-seconds 0.3 --check --max-p99-over-p50 10 \
+    | tee /tmp/zipflm_serve_soak.txt
+  grep -q '^RESULT' /tmp/zipflm_serve_soak.txt || {
+    echo "serve soak produced no RESULT line" >&2; exit 1; }
+}
+
 tier_tsan() {
   echo "== tier-tsan: ThreadSanitizer build =="
   # shellcheck disable=SC2086
@@ -135,6 +157,7 @@ for tier in "${tiers[@]}"; do
     1b) tier_1b ;;
     1c) tier_1c ;;
     net) tier_net ;;
+    serve) tier_serve ;;
     tsan) tier_tsan ;;
   esac
 done

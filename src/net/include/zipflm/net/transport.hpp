@@ -152,6 +152,15 @@ class Transport {
     recv(peer, into).wait();
   }
 
+  /// Drive I/O for up to `max_wait_seconds` without requiring any
+  /// particular operation to finish — the building block for event
+  /// loops that multiplex many peers (the serve socket frontend).
+  /// Completes whatever pending operations it can, then returns; unlike
+  /// wait(), hitting the time bound is normal and never fails an
+  /// operation, so stream framing survives.  Same threading contract as
+  /// wait(): only the endpoint's single driving thread may call it.
+  virtual void progress(double max_wait_seconds) = 0;
+
   /// Deadline applied to each wait() call; 0 (default) waits forever.
   void set_timeout_seconds(double seconds) { timeout_seconds_ = seconds; }
   double timeout_seconds() const noexcept { return timeout_seconds_; }

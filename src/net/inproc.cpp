@@ -95,7 +95,33 @@ class InProcEndpoint final : public Transport {
     op->data = into.data();
     op->size = into.size();
     try_complete_recv(*op);  // completes immediately if already queued
+    // Still pending: remember it so progress() can complete it later.
+    // Only the driving thread touches the registry — no lock needed.
+    if (!op->done()) pending_recvs_.push_back(op);
     return op;
+  }
+
+  void progress(double max_wait_seconds) override {
+    if (sweep_pending_recvs() || pending_recvs_.empty() ||
+        max_wait_seconds <= 0.0) {
+      return;
+    }
+    // Bounded wait on the oldest pending recv's lane.  A message
+    // arriving on a *different* lane wakes only that lane's cv, so the
+    // worst case is sleeping out the bound — acceptable for an event
+    // loop that calls progress() with sub-millisecond slices.
+    const auto front = pending_recvs_.front().lock();
+    if (!front) {
+      sweep_pending_recvs();
+      return;
+    }
+    Channel& ch = state_->lane(front->peer, rank_);
+    {
+      std::unique_lock lock(ch.mutex);
+      ch.cv.wait_for(lock, std::chrono::duration<double>(max_wait_seconds),
+                     [&] { return !ch.queue.empty() || ch.closed || closed_; });
+    }
+    sweep_pending_recvs();
   }
 
   void progress_until(Completion::Op& op) override {
@@ -121,6 +147,25 @@ class InProcEndpoint final : public Transport {
   }
 
  private:
+  /// Complete every registered pending recv whose message arrived (or
+  /// whose lane closed); drop resolved and abandoned entries.  Returns
+  /// true when at least one operation completed this pass.
+  bool sweep_pending_recvs() {
+    bool completed = false;
+    for (std::size_t i = 0; i < pending_recvs_.size();) {
+      const auto op = pending_recvs_[i].lock();
+      if (op && !op->done()) try_complete_recv(*op);
+      if (!op || op->done()) {
+        completed = completed || (op && op->done());
+        pending_recvs_.erase(pending_recvs_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      ++i;
+    }
+    return completed;
+  }
+
   void try_complete_recv(Completion::Op& op) {
     Channel& ch = state_->lane(op.peer, rank_);
     std::lock_guard lock(ch.mutex);
@@ -162,6 +207,9 @@ class InProcEndpoint final : public Transport {
   std::shared_ptr<InProcHub::State> state_;
   int rank_;
   bool closed_ = false;
+  /// Recvs posted before their message existed, awaiting progress().
+  /// weak_ptr: a caller abandoning its Completion must not pin the op.
+  std::vector<std::weak_ptr<Completion::Op>> pending_recvs_;
 };
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -92,6 +93,36 @@ class SocketTransport final : public Transport {
     return static_cast<int>(fds_.size());
   }
   const char* kind() const noexcept override { return kind_; }
+
+  void progress(double max_wait_seconds) override {
+    std::vector<pollfd> pfds;
+    std::vector<int> peers;
+    for (int peer = 0; peer < world_size(); ++peer) {
+      const auto p = static_cast<std::size_t>(peer);
+      if (fds_[p] < 0) continue;
+      short events = 0;
+      if (!send_q_[p].empty()) events |= POLLOUT;
+      if (!recv_q_[p].empty()) events |= POLLIN;
+      if (events == 0) continue;
+      pfds.push_back({fds_[p], events, 0});
+      peers.push_back(peer);
+    }
+    if (pfds.empty()) return;  // nothing pending anywhere
+    const int wait_ms = static_cast<int>(
+        std::min(1000.0, std::max(0.0, max_wait_seconds * 1e3)));
+    const int ready = ::poll(pfds.data(), pfds.size(), wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) return;
+      throw_errno("poll failed", errno);
+    }
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      const short got = pfds[i].revents;
+      if (got == 0) continue;
+      // POLLERR/POLLHUP: let read/write surface the exact error.
+      if (got & (POLLIN | POLLERR | POLLHUP)) service_recv(peers[i]);
+      if (got & (POLLOUT | POLLERR | POLLHUP)) service_send(peers[i]);
+    }
+  }
 
   void close() override {
     if (closed_) return;

@@ -38,11 +38,39 @@ struct ServeCounters {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
 
+  /// Finished responses evicted from the bounded completed-response
+  /// store before any poll()/wait() collected them — the footprint a
+  /// fire-and-forget client used to leak, now surfaced instead.
+  std::uint64_t done_evictions = 0;
+
   /// Mean streams advanced per batched step — the batching win.
   double mean_batch_occupancy() const noexcept {
     return batch_steps == 0 ? 0.0
                             : static_cast<double>(batched_streams) /
                                   static_cast<double>(batch_steps);
+  }
+
+  /// Fold another instance's counters in — the sharded server's
+  /// aggregate view.  Histograms merge observation-exact; queue_depth
+  /// sums to "requests queued across all shards right now".
+  ServeCounters& operator+=(const ServeCounters& other) {
+    token_latency += other.token_latency;
+    request_latency += other.request_latency;
+    queue_latency += other.queue_latency;
+    queue_depth += other.queue_depth;
+    batch_steps += other.batch_steps;
+    batched_streams += other.batched_streams;
+    tokens_generated += other.tokens_generated;
+    context_tokens_primed += other.context_tokens_primed;
+    requests_admitted += other.requests_admitted;
+    requests_rejected += other.requests_rejected;
+    requests_completed += other.requests_completed;
+    requests_failed += other.requests_failed;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_evictions += other.cache_evictions;
+    done_evictions += other.done_evictions;
+    return *this;
   }
 };
 

@@ -67,9 +67,17 @@ class BatchScheduler {
     return active() < static_cast<std::size_t>(max_batch_);
   }
 
+  /// True while a stream for `session_id` is in flight.  Admitting a
+  /// second request for an active session is a bug: both would take()
+  /// the cache (the loser replays O(history)) and the later finisher
+  /// clobbers the entry with a fingerprint the other request diverged
+  /// from.  The Server serializes per session against this predicate.
+  bool session_active(std::uint64_t session_id) const noexcept;
+
   /// Activate a request.  Resumes from the session cache when the
   /// cached history matches the request's context exactly; otherwise
-  /// replays the context from token 0.  Requires has_capacity().
+  /// replays the context from token 0.  Requires has_capacity() and
+  /// !session_active(request.session_id).
   AdmitInfo admit(ScheduledRequest request);
 
   /// Advance every active stream by one token in a single batched

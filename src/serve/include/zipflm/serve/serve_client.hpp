@@ -1,0 +1,59 @@
+// Blocking client for the serve socket frontend.
+//
+// One client owns one transport endpoint (it is the endpoint's single
+// driving thread) and talks to the frontend at `server_rank` with the
+// wire.hpp frames.  submit() blocks until the Admission reply;
+// wait() blocks until the request's Response frame arrives.  The
+// frontend pushes responses as they finish, so frames can arrive out
+// of order relative to what this client is blocked on — anything else
+// that shows up meanwhile is stashed and handed out by a later
+// wait()/try_collect().
+//
+// Not thread-safe: wrap calls in a caller-side mutex to share a client,
+// or give each thread its own endpoint (its own rank in the world).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "zipflm/net/transport.hpp"
+#include "zipflm/serve/server.hpp"
+
+namespace zipflm::serve {
+
+class ServeClient {
+ public:
+  /// `transport` outlives the client; `server_rank` is the frontend's
+  /// rank in the shared world (0 by convention).
+  explicit ServeClient(net::Transport& transport, int server_rank = 0);
+
+  /// Send one request and block for its admission decision.
+  Admission submit(const Request& request);
+
+  /// Block until `request_id`'s response arrives (or was stashed).
+  Response wait(std::uint64_t request_id);
+
+  /// Non-blocking: only checks the stash of already-arrived responses.
+  bool try_collect(std::uint64_t request_id, Response& out);
+
+  /// Tell the frontend this client is finished.  Idempotent; also sent
+  /// by the destructor.  No submit()/wait() afterwards.
+  void bye();
+
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+ private:
+  /// Receive one frame; Response frames for other requests go to the
+  /// stash, everything unexpected is a ProtocolError.
+  std::vector<std::byte> next_frame();
+
+  net::Transport& transport_;
+  int server_rank_;
+  std::unordered_map<std::uint64_t, Response> stash_;
+  bool bye_sent_ = false;
+};
+
+}  // namespace zipflm::serve

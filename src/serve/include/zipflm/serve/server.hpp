@@ -7,13 +7,28 @@
 // full client-tracked history of its session; re-submitting a session's
 // previous output as the next context lets the session cache skip the
 // O(history) replay.
+//
+// Sessions are serialized: while a session has a stream in flight, a
+// second request for the same session id stays in the admission queue
+// (other sessions overtake it) until the first finishes — so exactly
+// one request ever owns a session's cache entry, and the second resumes
+// from the state the first wrote back.
+//
+// Completed responses live in a bounded store (options.done_capacity):
+// a fire-and-forget client that never collects its responses costs at
+// most done_capacity retained Responses, not one per request forever.
+// An evicted (or already-collected) response resolves as
+// ResponseStatus::Expired instead of blocking a late waiter.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <list>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +46,10 @@ struct ServeOptions {
   Index max_batch = 16;           ///< concurrent streams per step
   std::size_t queue_depth = 64;   ///< admission queue bound
   std::size_t cache_capacity = 64;  ///< sessions kept warm (LRU)
+  /// Completed responses retained for poll()/wait(); beyond this the
+  /// oldest uncollected response is evicted (surfaced in
+  /// ServeCounters::done_evictions) and later resolves as Expired.
+  std::size_t done_capacity = 1024;
   /// How long a fresh, non-full batch waits for more arrivals before
   /// stepping — the latency cost paid for occupancy.
   double batch_deadline_seconds = 200e-6;
@@ -41,6 +60,16 @@ struct ServeOptions {
   /// completed — before that the measured mean latency is meaningless
   /// (zero), and a zero hint tells clients to hammer a full queue.
   double default_retry_seconds = 0.05;
+  /// Registry prefix for this instance's "<scope>/..." metrics.  Two
+  /// servers in one process (shards, tests) must use distinct scopes or
+  /// their counters interleave; the sharded server assigns
+  /// "<scope>/s<k>" per shard automatically.
+  std::string metrics_scope = "serve";
+  /// Optional second prefix that counters and histograms ALSO book
+  /// into — the process-wide aggregate across instances.  Gauges
+  /// (queue_depth, cache_evictions) stay per-scope: a last-write
+  /// aggregate gauge across shards would be meaningless.  Empty = none.
+  std::string metrics_aggregate;
 };
 
 struct Request {
@@ -64,6 +93,8 @@ struct Admission {
 enum class ResponseStatus : std::uint8_t {
   Ok,              ///< generated all requested tokens
   FailedShutdown,  ///< server stopped before the request finished
+  Expired,         ///< finished, but the response was evicted from the
+                   ///< bounded done store (or already collected once)
 };
 
 struct Response {
@@ -103,13 +134,17 @@ class Server {
   /// options.max_context); returns accepted == false under backpressure.
   Admission submit(Request request);
 
-  /// Non-blocking: moves the response out when finished.
+  /// Non-blocking: moves the response out when finished.  A request id
+  /// whose response was evicted (or already collected) yields a
+  /// Response with status Expired rather than false — false means the
+  /// request is still pending (or the id was never issued).
   bool poll(std::uint64_t request_id, Response& out);
 
   /// Block until `request_id` reaches a terminal state.  Requires a
-  /// started server (or an already-finished request).  If the server
+  /// started server (or an already-resolved request).  If the server
   /// stops before the request finishes, returns a FailedShutdown
-  /// response instead of hanging forever.
+  /// response instead of hanging forever; an evicted or re-waited
+  /// response returns Expired instead of blocking.
   Response wait(std::uint64_t request_id);
 
   /// Block until no request is queued or in flight, or the server
@@ -117,6 +152,9 @@ class Server {
   void wait_idle();
 
   ServeCounters counters() const;
+  /// Requests sitting in the admission queue right now — the cheap load
+  /// signal the sharded router steals against.
+  std::size_t queue_size() const;
   const ServeOptions& options() const noexcept { return options_; }
 
  private:
@@ -128,17 +166,35 @@ class Server {
     Stopwatch submitted;         ///< running since submit()
     double queue_seconds = 0.0;  ///< fixed when scheduled
   };
+  struct Metrics;  ///< per-instance registry references (server.cpp)
 
   void scheduler_loop();
-  /// Drain the admission queue into the scheduler (lock held).
+  /// Drain the admission queue into the scheduler (lock held).  Skips
+  /// requests whose session already has a stream in flight — they keep
+  /// their queue position relative to each other and admit once the
+  /// active stream finishes.
   bool admit_locked();
+  /// True when some queued request could be admitted right now
+  /// (capacity available and its session idle) — the deadline-wait
+  /// predicate, so a queue full of same-session requests does not spin.
+  bool admissible_queued_locked() const;
   /// Resolve every queued and in-flight request with FailedShutdown
   /// (lock held).  No-op when nothing is pending.
   void fail_residual_locked();
+  /// Record `response` in the bounded done store, evicting the oldest
+  /// uncollected response over capacity (lock held).
+  void finish_locked(Response response);
+  /// Remove a collected id from the eviction order (lock held).
+  void erase_done_locked(std::unordered_map<std::uint64_t,
+                                            Response>::iterator it);
+  /// True for an issued id that is no longer tracked anywhere — its
+  /// response was evicted or already collected (lock held).
+  bool expired_locked(std::uint64_t request_id) const;
 
   ServeOptions options_;
   SessionCache cache_;
   BatchScheduler scheduler_;
+  std::unique_ptr<Metrics> metrics_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  ///< wakes the scheduler thread
@@ -147,6 +203,7 @@ class Server {
   std::deque<Pending> queue_;
   std::unordered_map<std::uint64_t, Flight> in_flight_;
   std::unordered_map<std::uint64_t, Response> done_;
+  std::list<std::uint64_t> done_order_;  ///< completion order, oldest first
   ServeCounters counters_;
   std::uint64_t next_request_id_ = 1;
   bool stop_requested_ = false;

@@ -1,0 +1,121 @@
+// Sharded serving: N independent Server instances (each with its own
+// model replica, session cache, and scheduler thread) behind one
+// submit/poll/wait facade.
+//
+// Routing: a session's first request hashes (SplitMix64) to its home
+// shard; the admitting shard is then pinned in a bounded LRU route
+// table, so every follow-up request of a warm session lands where its
+// cache entry lives.  Cold sessions may be *stolen* to the least-loaded
+// shard when the home shard's admission queue is full — a cold session
+// has no cache affinity yet, so placement is free.  Warm sessions are
+// never stolen: moving one trades an O(1) resume for an O(history)
+// replay, which is exactly the load amplification stealing is supposed
+// to avoid.  A route pin evicted under LRU pressure only costs a
+// re-hash (worst case: one cache-miss replay on the home shard) — it
+// can never produce wrong tokens, because every shard replays any
+// context it has no cached state for.
+//
+// Because each shard *is* a PR-1 Server, a single-shard ShardedServer
+// is token-bitwise identical to the plain Server, and per-session
+// serialization inside each shard carries over unchanged (a pinned
+// session's requests all serialize on one shard).
+//
+// Request ids are globally unique and self-routing:
+//   global_id = shard_local_id * shard_count + shard_index
+// so poll()/wait() decode the owning shard with one modulo and no
+// shared map.  Local ids start at 1, hence every global id >= shard
+// count (and != 0, keeping "0 is never a valid id").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "zipflm/serve/server.hpp"
+
+namespace zipflm::serve {
+
+struct ShardedServeOptions {
+  /// Per-shard Server configuration.  metrics_scope is treated as the
+  /// *base*: shard k publishes under "<metrics_scope>/s<k>/..." and
+  /// counters/histograms also aggregate under "<metrics_scope>/...",
+  /// matching the single-server names byte for byte.
+  ServeOptions server;
+  /// Bound on the session -> shard pin table (LRU).  Eviction costs a
+  /// re-hash, never correctness; size it like cache_capacity * shards.
+  std::size_t route_capacity = 1024;
+  /// Redirect cold sessions away from a full home shard to the shard
+  /// with the shallowest admission queue.
+  bool work_stealing = true;
+};
+
+class ShardedServer {
+ public:
+  /// One model replica per shard (a model is not concurrently usable,
+  /// and each shard runs its own scheduler thread).  All replicas must
+  /// hold identical weights or routing would change tokens.  Models
+  /// outlive the server.
+  ShardedServer(std::vector<LmModel*> models, ShardedServeOptions options);
+  ~ShardedServer();
+
+  ShardedServer(const ShardedServer&) = delete;
+  ShardedServer& operator=(const ShardedServer&) = delete;
+
+  void start();  ///< start every shard's scheduler thread
+  void stop();   ///< stop every shard (drain semantics per ServeOptions)
+
+  /// Route and admit.  The returned request_id is global (decodes to
+  /// the owning shard); queue_depth is the admitting shard's queue.
+  Admission submit(Request request);
+
+  /// Delegate to the owning shard (decoded from the id).  Ids below
+  /// shard count were never issued: poll returns false, wait throws.
+  bool poll(std::uint64_t request_id, Response& out);
+  Response wait(std::uint64_t request_id);
+
+  void wait_idle();  ///< all shards idle
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Where a request for `session_id` would be admitted right now
+  /// (pin if routed before, home hash otherwise — ignores stealing).
+  std::size_t shard_of(std::uint64_t session_id) const;
+  /// Admission-queue depth of one shard — the soak bench's per-shard
+  /// load signal.
+  std::size_t shard_queue_size(std::size_t shard) const;
+
+  ServeCounters counters() const;  ///< sum over shards
+  ServeCounters shard_counters(std::size_t shard) const;
+  /// Cold-session admissions redirected off their home shard.
+  std::uint64_t steals() const;
+
+  const ShardedServeOptions& options() const noexcept { return options_; }
+
+ private:
+  std::size_t home_shard(std::uint64_t session_id) const noexcept;
+  /// Look up the pin for `session_id`, refreshing its LRU position
+  /// (router_mutex_ held).  Returns shard_count() when unrouted.
+  std::size_t routed_shard_locked(std::uint64_t session_id);
+  /// Pin `session_id` to `shard`, evicting the stalest pin over
+  /// capacity (router_mutex_ held).
+  void pin_route_locked(std::uint64_t session_id, std::size_t shard);
+
+  ShardedServeOptions options_;
+  std::vector<std::unique_ptr<Server>> shards_;
+
+  mutable std::mutex router_mutex_;
+  /// session -> (shard, position in route_lru_); LRU front = stalest.
+  struct Route {
+    std::size_t shard;
+    std::list<std::uint64_t>::iterator lru;
+  };
+  std::unordered_map<std::uint64_t, Route> routes_;
+  std::list<std::uint64_t> route_lru_;
+  std::uint64_t steals_ = 0;
+};
+
+}  // namespace zipflm::serve

@@ -1,0 +1,67 @@
+// Serve wire protocol: length-prefixed frames carrying the Server's
+// submit/admission/response types over a zipflm::net::Transport.
+//
+// Every frame crosses the transport as TWO messages — an 8-byte
+// little-endian length, then `length` payload bytes whose first byte is
+// the frame type.  Two messages (not one) because the inproc backend
+// matches receives to whole messages of an exact posted size: the
+// receiver cannot know the payload size before reading the prefix.
+// Over sockets the pair coalesces into one stream write anyway.
+//
+// Field encoding is fixed-width little-endian (the same
+// same-architecture assumption the rendezvous Hello already makes);
+// a malformed frame surfaces as net::ProtocolError, never as a
+// mis-parsed request.
+//
+//   Submit    (client -> server): session_id, new_tokens, seed,
+//                                 generate options, context tokens
+//   Admission (server -> client): accepted, request_id, queue_depth,
+//                                 retry_after_seconds
+//   Response  (server -> client): the full serve::Response
+//   Bye       (client -> server): no body; peer will submit no more
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "zipflm/net/transport.hpp"
+#include "zipflm/serve/server.hpp"
+
+namespace zipflm::serve::wire {
+
+enum class FrameType : std::uint8_t {
+  Submit = 1,
+  Admission = 2,
+  Response = 3,
+  Bye = 4,
+};
+
+/// Frames larger than this are rejected as protocol violations before
+/// any allocation — a garbage length prefix must not look like a
+/// gigabyte request.
+inline constexpr std::uint64_t kMaxFrameBytes = 1u << 24;  // 16 MiB
+
+/// Payload bytes (type byte included, length prefix not).
+std::vector<std::byte> encode_submit(const Request& request);
+std::vector<std::byte> encode_admission(const Admission& admission);
+std::vector<std::byte> encode_response(const Response& response);
+std::vector<std::byte> encode_bye();
+
+/// Type of an already-received payload.  Throws net::ProtocolError on
+/// an empty payload or unknown type byte.
+FrameType frame_type(const std::vector<std::byte>& payload);
+
+/// Strict decoders: the payload must carry the matching type byte and
+/// exactly the advertised field bytes (net::ProtocolError otherwise).
+Request decode_submit(const std::vector<std::byte>& payload);
+Admission decode_admission(const std::vector<std::byte>& payload);
+Response decode_response(const std::vector<std::byte>& payload);
+
+/// Blocking convenience used by the client (and tests): send/receive
+/// one length-prefixed frame through `transport` to/from `peer`.
+void send_frame(net::Transport& transport, int peer,
+                const std::vector<std::byte>& payload);
+std::vector<std::byte> recv_frame(net::Transport& transport, int peer);
+
+}  // namespace zipflm::serve::wire

@@ -16,10 +16,20 @@ BatchScheduler::BatchScheduler(LmModel& model, SessionCache& cache,
   streams_.reserve(static_cast<std::size_t>(max_batch));
 }
 
+bool BatchScheduler::session_active(std::uint64_t session_id) const noexcept {
+  for (const ActiveStream& s : streams_) {
+    if (s.session_id == session_id) return true;
+  }
+  return false;
+}
+
 AdmitInfo BatchScheduler::admit(ScheduledRequest request) {
   ZIPFLM_CHECK(has_capacity(), "scheduler batch is full");
   ZIPFLM_CHECK(!request.context.empty(), "request context must be non-empty");
   ZIPFLM_CHECK(request.new_tokens > 0, "request must ask for tokens");
+  ZIPFLM_CHECK(!session_active(request.session_id),
+               "session already has an in-flight stream; duplicate admission "
+               "would race the session cache");
 
   ActiveStream s;
   s.request_id = request.request_id;

@@ -1,0 +1,79 @@
+#include "zipflm/serve/serve_client.hpp"
+
+#include <utility>
+
+#include "zipflm/serve/wire.hpp"
+#include "zipflm/support/error.hpp"
+
+namespace zipflm::serve {
+
+ServeClient::ServeClient(net::Transport& transport, int server_rank)
+    : transport_(transport), server_rank_(server_rank) {
+  ZIPFLM_CHECK(server_rank >= 0 && server_rank < transport.world_size() &&
+                   server_rank != transport.rank(),
+               "server_rank must be another rank of this world");
+}
+
+ServeClient::~ServeClient() {
+  try {
+    bye();
+  } catch (...) {
+    // Destructor courtesy only; a dead server already knows we left.
+  }
+}
+
+void ServeClient::bye() {
+  if (bye_sent_) return;
+  bye_sent_ = true;
+  wire::send_frame(transport_, server_rank_, wire::encode_bye());
+}
+
+std::vector<std::byte> ServeClient::next_frame() {
+  ZIPFLM_CHECK(!bye_sent_, "client already said bye");
+  return wire::recv_frame(transport_, server_rank_);
+}
+
+Admission ServeClient::submit(const Request& request) {
+  ZIPFLM_CHECK(!bye_sent_, "client already said bye");
+  wire::send_frame(transport_, server_rank_, wire::encode_submit(request));
+  while (true) {
+    const std::vector<std::byte> frame = next_frame();
+    switch (wire::frame_type(frame)) {
+      case wire::FrameType::Admission:
+        return wire::decode_admission(frame);
+      case wire::FrameType::Response: {
+        // A previous request finished while we awaited this admission.
+        Response response = wire::decode_response(frame);
+        stash_.insert_or_assign(response.request_id, std::move(response));
+        continue;
+      }
+      default:
+        throw net::ProtocolError(
+            "unexpected serve frame while awaiting admission");
+    }
+  }
+}
+
+Response ServeClient::wait(std::uint64_t request_id) {
+  Response out;
+  while (!try_collect(request_id, out)) {
+    const std::vector<std::byte> frame = next_frame();
+    if (wire::frame_type(frame) != wire::FrameType::Response) {
+      throw net::ProtocolError(
+          "unexpected serve frame while awaiting a response");
+    }
+    Response response = wire::decode_response(frame);
+    stash_.insert_or_assign(response.request_id, std::move(response));
+  }
+  return out;
+}
+
+bool ServeClient::try_collect(std::uint64_t request_id, Response& out) {
+  const auto it = stash_.find(request_id);
+  if (it == stash_.end()) return false;
+  out = std::move(it->second);
+  stash_.erase(it);
+  return true;
+}
+
+}  // namespace zipflm::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "zipflm/obs/metrics.hpp"
@@ -10,60 +11,92 @@
 
 namespace zipflm::serve {
 
-namespace {
+/// Per-instance "<scope>/..." mirror of ServeCounters, updated at the
+/// exact sites the legacy counters increment so the unified snapshot
+/// and Server::counters() agree.  The registry hands back stable
+/// references, so two servers sharing a scope accumulate into the same
+/// metrics — that is the point of scopes: shards get "<scope>/s<k>"
+/// each, while every instance can additionally double-book counters and
+/// histograms into one aggregate prefix for the fleet-wide view.
+struct Server::Metrics {
+  /// Counter/histogram references for one name prefix.
+  struct Set {
+    obs::Counter* requests_admitted;
+    obs::Counter* requests_rejected;
+    obs::Counter* requests_completed;
+    obs::Counter* requests_failed;
+    obs::Counter* done_evictions;
+    obs::Counter* batch_steps;
+    obs::Counter* batched_streams;
+    obs::Counter* tokens_generated;
+    obs::Counter* context_tokens_primed;
+    obs::Counter* cache_hits;
+    obs::Counter* cache_misses;
+    obs::Histogram* queue_seconds;
+    obs::Histogram* token_seconds;
+    obs::Histogram* request_seconds;
 
-/// Global "serve/..." mirror of ServeCounters (same pattern as the comm
-/// and train metrics): updated at the exact sites the legacy counters
-/// increment, so the unified snapshot and Server::counters() agree.
-struct ServeMetrics {
-  obs::Counter& requests_admitted;
-  obs::Counter& requests_rejected;
-  obs::Counter& requests_completed;
-  obs::Counter& requests_failed;
-  obs::Counter& batch_steps;
-  obs::Counter& batched_streams;
-  obs::Counter& tokens_generated;
-  obs::Counter& context_tokens_primed;
-  obs::Counter& cache_hits;
-  obs::Counter& cache_misses;
-  obs::Gauge& cache_evictions;
+    Set(obs::MetricsRegistry& r, const std::string& prefix)
+        : requests_admitted(&r.counter(prefix + "/requests_admitted")),
+          requests_rejected(&r.counter(prefix + "/requests_rejected")),
+          requests_completed(&r.counter(prefix + "/requests_completed")),
+          requests_failed(&r.counter(prefix + "/requests_failed")),
+          done_evictions(&r.counter(prefix + "/done_evictions")),
+          batch_steps(&r.counter(prefix + "/batch_steps")),
+          batched_streams(&r.counter(prefix + "/batched_streams")),
+          tokens_generated(&r.counter(prefix + "/tokens_generated")),
+          context_tokens_primed(
+              &r.counter(prefix + "/context_tokens_primed")),
+          cache_hits(&r.counter(prefix + "/cache_hits")),
+          cache_misses(&r.counter(prefix + "/cache_misses")),
+          queue_seconds(&r.histogram(prefix + "/queue_seconds")),
+          token_seconds(&r.histogram(prefix + "/token_seconds")),
+          request_seconds(&r.histogram(prefix + "/request_seconds")) {}
+  };
+
+  Set scope;
+  /// Gauges are last-value semantics; double-booking them into an
+  /// aggregate would make shards overwrite each other, so they stay
+  /// scope-local.
   obs::Gauge& queue_depth;
-  obs::Histogram& queue_seconds;
-  obs::Histogram& token_seconds;
-  obs::Histogram& request_seconds;
+  obs::Gauge& cache_evictions;
+  std::optional<Set> aggregate;
 
-  static ServeMetrics& get() {
-    auto& r = obs::MetricsRegistry::global();
-    static ServeMetrics m{
-        r.counter("serve/requests_admitted"),
-        r.counter("serve/requests_rejected"),
-        r.counter("serve/requests_completed"),
-        r.counter("serve/requests_failed"),
-        r.counter("serve/batch_steps"),
-        r.counter("serve/batched_streams"),
-        r.counter("serve/tokens_generated"),
-        r.counter("serve/context_tokens_primed"),
-        r.counter("serve/cache_hits"),
-        r.counter("serve/cache_misses"),
-        r.gauge("serve/cache_evictions"),
-        r.gauge("serve/queue_depth"),
-        r.histogram("serve/queue_seconds"),
-        r.histogram("serve/token_seconds"),
-        r.histogram("serve/request_seconds"),
-    };
-    return m;
+  explicit Metrics(const ServeOptions& options)
+      : scope(obs::MetricsRegistry::global(), options.metrics_scope),
+        queue_depth(obs::MetricsRegistry::global().gauge(
+            options.metrics_scope + "/queue_depth")),
+        cache_evictions(obs::MetricsRegistry::global().gauge(
+            options.metrics_scope + "/cache_evictions")) {
+    if (!options.metrics_aggregate.empty() &&
+        options.metrics_aggregate != options.metrics_scope) {
+      aggregate.emplace(obs::MetricsRegistry::global(),
+                        options.metrics_aggregate);
+    }
+  }
+
+  void add(obs::Counter* Set::*member, std::uint64_t delta) {
+    (scope.*member)->add(delta);
+    if (aggregate) ((*aggregate).*member)->add(delta);
+  }
+  void record(obs::Histogram* Set::*member, double value) {
+    (scope.*member)->record(value);
+    if (aggregate) ((*aggregate).*member)->record(value);
   }
 };
 
-}  // namespace
-
 Server::Server(LmModel& model, ServeOptions options)
-    : options_(options),
-      cache_(options.cache_capacity),
-      scheduler_(model, cache_, options.max_batch) {
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity),
+      scheduler_(model, cache_, options_.max_batch),
+      metrics_(std::make_unique<Metrics>(options_)) {
   ZIPFLM_CHECK(options_.queue_depth >= 1, "queue_depth must be at least 1");
+  ZIPFLM_CHECK(options_.done_capacity >= 1,
+               "done_capacity must be at least 1");
   ZIPFLM_CHECK(options_.batch_deadline_seconds >= 0.0,
                "batch deadline must be non-negative");
+  ZIPFLM_CHECK(!options_.metrics_scope.empty(),
+               "metrics_scope must be non-empty");
 }
 
 Server::~Server() { stop(); }
@@ -111,6 +144,43 @@ void Server::stop() {
   done_cv_.notify_all();
 }
 
+void Server::finish_locked(Response response) {
+  const std::uint64_t id = response.request_id;
+  done_.insert_or_assign(id, std::move(response));
+  done_order_.push_back(id);
+  while (done_.size() > options_.done_capacity) {
+    // Oldest completion first.  Entries whose id is no longer in done_
+    // were collected already; their order node is garbage to skip.
+    ZIPFLM_ASSERT(!done_order_.empty(), "done store larger than its order");
+    const std::uint64_t victim = done_order_.front();
+    done_order_.pop_front();
+    const auto it = done_.find(victim);
+    if (it == done_.end()) continue;
+    done_.erase(it);
+    counters_.done_evictions += 1;
+    metrics_->add(&Metrics::Set::done_evictions, 1);
+  }
+}
+
+void Server::erase_done_locked(
+    std::unordered_map<std::uint64_t, Response>::iterator it) {
+  // O(collected) list walk, but poll()/wait() usually collect in
+  // roughly completion order, so the erased node sits near the front.
+  const std::uint64_t id = it->first;
+  done_.erase(it);
+  const auto order = std::find(done_order_.begin(), done_order_.end(), id);
+  if (order != done_order_.end()) done_order_.erase(order);
+}
+
+bool Server::expired_locked(std::uint64_t request_id) const {
+  return request_id != 0 && request_id < next_request_id_ &&
+         done_.count(request_id) == 0 &&
+         in_flight_.count(request_id) == 0 &&
+         std::none_of(queue_.begin(), queue_.end(), [&](const Pending& p) {
+           return p.request.request_id == request_id;
+         });
+}
+
 void Server::fail_residual_locked() {
   for (FinishedRequest& fin : scheduler_.abort_active()) {
     const auto it = in_flight_.find(fin.request_id);
@@ -125,8 +195,8 @@ void Server::fail_residual_locked() {
     response.total_seconds = it->second.submitted.seconds();
     in_flight_.erase(it);
     counters_.requests_failed += 1;
-    ServeMetrics::get().requests_failed.add(1);
-    done_.insert_or_assign(response.request_id, std::move(response));
+    metrics_->add(&Metrics::Set::requests_failed, 1);
+    finish_locked(std::move(response));
   }
   while (!queue_.empty()) {
     Pending pending = std::move(queue_.front());
@@ -139,11 +209,11 @@ void Server::fail_residual_locked() {
     response.queue_seconds = pending.submitted.seconds();
     response.total_seconds = response.queue_seconds;
     counters_.requests_failed += 1;
-    ServeMetrics::get().requests_failed.add(1);
-    done_.insert_or_assign(response.request_id, std::move(response));
+    metrics_->add(&Metrics::Set::requests_failed, 1);
+    finish_locked(std::move(response));
   }
   counters_.queue_depth = 0;
-  ServeMetrics::get().queue_depth.set(0.0);
+  metrics_->queue_depth.set(0.0);
   done_cv_.notify_all();
 }
 
@@ -163,7 +233,7 @@ Admission Server::submit(Request request) {
     // invites an immediate retry storm, so fall back to the configured
     // default.
     counters_.requests_rejected += 1;
-    ServeMetrics::get().requests_rejected.add(1);
+    metrics_->add(&Metrics::Set::requests_rejected, 1);
     ZIPFLM_TRACE_INSTANT("request_rejected", "queue_depth",
                          static_cast<double>(queue_.size()));
     admission.queue_depth = queue_.size();
@@ -189,36 +259,50 @@ Admission Server::submit(Request request) {
   admission.queue_depth = queue_.size();
   counters_.requests_admitted += 1;
   counters_.queue_depth = queue_.size();
-  auto& m = ServeMetrics::get();
-  m.requests_admitted.add(1);
-  m.queue_depth.set(static_cast<double>(queue_.size()));
+  metrics_->add(&Metrics::Set::requests_admitted, 1);
+  metrics_->queue_depth.set(static_cast<double>(queue_.size()));
   work_cv_.notify_one();
   return admission;
 }
 
+bool Server::admissible_queued_locked() const {
+  if (!scheduler_.has_capacity()) return false;
+  return std::any_of(queue_.begin(), queue_.end(), [&](const Pending& p) {
+    return !scheduler_.session_active(p.request.session_id);
+  });
+}
+
 bool Server::admit_locked() {
   bool any = false;
-  auto& m = ServeMetrics::get();
-  while (!queue_.empty() && scheduler_.has_capacity()) {
-    Pending pending = std::move(queue_.front());
-    queue_.pop_front();
+  for (auto it = queue_.begin();
+       it != queue_.end() && scheduler_.has_capacity();) {
+    if (scheduler_.session_active(it->request.session_id)) {
+      // Per-session serialization: this request waits for the in-flight
+      // stream of its session; later requests for other sessions may
+      // overtake it.  Order within a session is preserved — the skip
+      // leaves relative queue positions untouched.
+      ++it;
+      continue;
+    }
+    Pending pending = std::move(*it);
+    it = queue_.erase(it);
     const std::uint64_t id = pending.request.request_id;
     Flight flight;
     flight.submitted = pending.submitted;
     flight.queue_seconds = pending.submitted.seconds();
     counters_.queue_latency.record(flight.queue_seconds);
-    m.queue_seconds.record(flight.queue_seconds);
+    metrics_->record(&Metrics::Set::queue_seconds, flight.queue_seconds);
     const AdmitInfo info = scheduler_.admit(std::move(pending.request));
     counters_.cache_hits += info.cache_hit ? 1 : 0;
     counters_.cache_misses += info.cache_hit ? 0 : 1;
-    m.cache_hits.add(info.cache_hit ? 1 : 0);
-    m.cache_misses.add(info.cache_hit ? 0 : 1);
+    metrics_->add(&Metrics::Set::cache_hits, info.cache_hit ? 1 : 0);
+    metrics_->add(&Metrics::Set::cache_misses, info.cache_hit ? 0 : 1);
     in_flight_.emplace(id, flight);
     any = true;
   }
   if (any) {
     counters_.queue_depth = queue_.size();
-    m.queue_depth.set(static_cast<double>(queue_.size()));
+    metrics_->queue_depth.set(static_cast<double>(queue_.size()));
   }
   return any;
 }
@@ -229,8 +313,13 @@ void Server::scheduler_loop() {
 #endif
   std::unique_lock lock(mutex_);
   while (true) {
+    // Queued requests whose session is mid-flight are not runnable yet;
+    // waking for them would spin, so the predicate asks for admissible
+    // work specifically (an active batch always qualifies — stepping it
+    // is what eventually unblocks the serialized requests).
     work_cv_.wait(lock, [&] {
-      return stop_requested_ || !queue_.empty() || scheduler_.active() > 0;
+      return stop_requested_ || scheduler_.active() > 0 ||
+             admissible_queued_locked();
     });
     if (stop_requested_ &&
         (!options_.drain_on_stop ||
@@ -251,7 +340,7 @@ void Server::scheduler_loop() {
               std::chrono::duration<double>(options_.batch_deadline_seconds));
       while (!stop_requested_ && scheduler_.has_capacity()) {
         if (!work_cv_.wait_until(lock, deadline, [&] {
-              return stop_requested_ || !queue_.empty();
+              return stop_requested_ || admissible_queued_locked();
             })) {
           break;  // deadline expired
         }
@@ -270,15 +359,15 @@ void Server::scheduler_loop() {
     counters_.tokens_generated += info.sampled;
     counters_.context_tokens_primed += info.context_fed;
     counters_.cache_evictions = cache_.evictions();
-    auto& m = ServeMetrics::get();
-    m.batch_steps.add(1);
-    m.batched_streams.add(static_cast<std::uint64_t>(info.batch));
-    m.tokens_generated.add(info.sampled);
-    m.context_tokens_primed.add(info.context_fed);
-    m.cache_evictions.set(static_cast<double>(cache_.evictions()));
+    metrics_->add(&Metrics::Set::batch_steps, 1);
+    metrics_->add(&Metrics::Set::batched_streams,
+                  static_cast<std::uint64_t>(info.batch));
+    metrics_->add(&Metrics::Set::tokens_generated, info.sampled);
+    metrics_->add(&Metrics::Set::context_tokens_primed, info.context_fed);
+    metrics_->cache_evictions.set(static_cast<double>(cache_.evictions()));
     for (std::size_t i = 0; i < info.sampled; ++i) {
       counters_.token_latency.record(info.seconds);
-      m.token_seconds.record(info.seconds);
+      metrics_->record(&Metrics::Set::token_seconds, info.seconds);
     }
     for (FinishedRequest& fin : info.finished) {
       const auto it = in_flight_.find(fin.request_id);
@@ -293,9 +382,10 @@ void Server::scheduler_loop() {
       in_flight_.erase(it);
       counters_.requests_completed += 1;
       counters_.request_latency.record(response.total_seconds);
-      m.requests_completed.add(1);
-      m.request_seconds.record(response.total_seconds);
-      done_.insert_or_assign(response.request_id, std::move(response));
+      metrics_->add(&Metrics::Set::requests_completed, 1);
+      metrics_->record(&Metrics::Set::request_seconds,
+                       response.total_seconds);
+      finish_locked(std::move(response));
     }
     if (!info.finished.empty()) done_cv_.notify_all();
   }
@@ -305,33 +395,48 @@ void Server::scheduler_loop() {
 bool Server::poll(std::uint64_t request_id, Response& out) {
   std::lock_guard lock(mutex_);
   const auto it = done_.find(request_id);
-  if (it == done_.end()) return false;
+  if (it == done_.end()) {
+    if (!expired_locked(request_id)) return false;
+    // The response existed but was evicted from the bounded store (or
+    // collected already): terminal, not pending — report it as such so
+    // a fire-and-forget client's late poll does not look like a hang.
+    out = Response{};
+    out.request_id = request_id;
+    out.status = ResponseStatus::Expired;
+    return true;
+  }
   out = std::move(it->second);
-  done_.erase(it);
+  erase_done_locked(it);
   return true;
 }
 
 Response Server::wait(std::uint64_t request_id) {
   std::unique_lock lock(mutex_);
-  ZIPFLM_CHECK(started_ || done_.count(request_id) > 0,
+  ZIPFLM_CHECK(started_ || done_.count(request_id) > 0 ||
+                   expired_locked(request_id),
                "wait() needs a started server");
   // While a drain is in progress (started_ already false, stopping_
   // still true) the request can still finish normally, so keep waiting;
   // only a *completed* shutdown wakes a waiter whose request never ran.
+  // An evicted response also terminates the wait — otherwise a waiter
+  // racing the done-store bound could sleep forever.
   done_cv_.wait(lock, [&] {
-    return done_.count(request_id) > 0 || (!started_ && !stopping_);
+    return done_.count(request_id) > 0 || expired_locked(request_id) ||
+           (!started_ && !stopping_);
   });
   const auto it = done_.find(request_id);
   if (it == done_.end()) {
-    // Stopped without this request reaching the scheduler (submitted
-    // after stop() resolved the residuals, or waited on twice).
     Response response;
     response.request_id = request_id;
-    response.status = ResponseStatus::FailedShutdown;
+    // Distinguish "finished but no longer retained" from "stopped
+    // before it ever ran" (submitted after stop() resolved residuals).
+    response.status = expired_locked(request_id)
+                          ? ResponseStatus::Expired
+                          : ResponseStatus::FailedShutdown;
     return response;
   }
   Response response = std::move(it->second);
-  done_.erase(it);
+  erase_done_locked(it);
   return response;
 }
 
@@ -349,6 +454,11 @@ void Server::wait_idle() {
 ServeCounters Server::counters() const {
   std::lock_guard lock(mutex_);
   return counters_;
+}
+
+std::size_t Server::queue_size() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
 }
 
 }  // namespace zipflm::serve

@@ -1,0 +1,169 @@
+#include "zipflm/serve/sharded_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "zipflm/support/error.hpp"
+#include "zipflm/support/rng.hpp"
+
+namespace zipflm::serve {
+
+ShardedServer::ShardedServer(std::vector<LmModel*> models,
+                             ShardedServeOptions options)
+    : options_(std::move(options)) {
+  ZIPFLM_CHECK(!models.empty(), "sharded server needs at least one shard");
+  ZIPFLM_CHECK(options_.route_capacity >= 1,
+               "route_capacity must be at least 1");
+  shards_.reserve(models.size());
+  for (std::size_t k = 0; k < models.size(); ++k) {
+    ZIPFLM_CHECK(models[k] != nullptr, "shard model must be non-null");
+    ServeOptions shard_options = options_.server;
+    // Shard-scoped metrics plus the fleet aggregate under the base
+    // scope — the base names stay byte-identical to a single Server's.
+    shard_options.metrics_scope =
+        options_.server.metrics_scope + "/s" + std::to_string(k);
+    shard_options.metrics_aggregate = options_.server.metrics_scope;
+    shards_.push_back(
+        std::make_unique<Server>(*models[k], std::move(shard_options)));
+  }
+}
+
+ShardedServer::~ShardedServer() { stop(); }
+
+void ShardedServer::start() {
+  for (auto& shard : shards_) shard->start();
+}
+
+void ShardedServer::stop() {
+  for (auto& shard : shards_) shard->stop();
+}
+
+std::size_t ShardedServer::home_shard(
+    std::uint64_t session_id) const noexcept {
+  // SplitMix64 whitens adjacent session ids (1, 2, 3, ...) into
+  // uncorrelated shard picks; a plain modulo would stripe hot Zipf-head
+  // sessions onto the low shards.
+  SplitMix64 mix(session_id);
+  return static_cast<std::size_t>(mix.next() % shards_.size());
+}
+
+std::size_t ShardedServer::routed_shard_locked(std::uint64_t session_id) {
+  const auto it = routes_.find(session_id);
+  if (it == routes_.end()) return shards_.size();
+  route_lru_.splice(route_lru_.end(), route_lru_, it->second.lru);
+  return it->second.shard;
+}
+
+void ShardedServer::pin_route_locked(std::uint64_t session_id,
+                                     std::size_t shard) {
+  const auto it = routes_.find(session_id);
+  if (it != routes_.end()) {
+    it->second.shard = shard;
+    route_lru_.splice(route_lru_.end(), route_lru_, it->second.lru);
+    return;
+  }
+  route_lru_.push_back(session_id);
+  routes_.emplace(session_id, Route{shard, std::prev(route_lru_.end())});
+  while (routes_.size() > options_.route_capacity) {
+    const std::uint64_t victim = route_lru_.front();
+    route_lru_.pop_front();
+    routes_.erase(victim);
+  }
+}
+
+std::size_t ShardedServer::shard_of(std::uint64_t session_id) const {
+  std::lock_guard lock(router_mutex_);
+  const auto it = routes_.find(session_id);
+  return it != routes_.end() ? it->second.shard : home_shard(session_id);
+}
+
+Admission ShardedServer::submit(Request request) {
+  std::size_t target;
+  bool cold;
+  {
+    std::lock_guard lock(router_mutex_);
+    target = routed_shard_locked(request.session_id);
+    cold = target == shards_.size();
+    if (cold) target = home_shard(request.session_id);
+  }
+
+  if (cold && options_.work_stealing && shards_.size() > 1 &&
+      shards_[target]->queue_size() >= options_.server.queue_depth) {
+    // Home shard would reject.  A cold session has no cache entry to
+    // stay close to, so place it on the shallowest queue instead —
+    // checked BEFORE submitting so the home shard's rejection counter
+    // only counts rejections stealing could not avert.
+    std::size_t best = target;
+    std::size_t best_depth = shards_[target]->queue_size();
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      const std::size_t depth = shards_[k]->queue_size();
+      if (depth < best_depth) {
+        best = k;
+        best_depth = depth;
+      }
+    }
+    if (best != target) {
+      target = best;
+      std::lock_guard lock(router_mutex_);
+      steals_ += 1;
+    }
+  }
+
+  const std::uint64_t session_id = request.session_id;
+  Admission admission = shards_[target]->submit(std::move(request));
+  if (admission.accepted) {
+    // Translate to the self-routing global id and pin the session to
+    // the shard that now owns its (future) cache entry.
+    admission.request_id =
+        admission.request_id * shards_.size() + target;
+    std::lock_guard lock(router_mutex_);
+    pin_route_locked(session_id, target);
+  }
+  return admission;
+}
+
+bool ShardedServer::poll(std::uint64_t request_id, Response& out) {
+  if (request_id < shards_.size()) return false;  // never issued
+  const std::size_t shard =
+      static_cast<std::size_t>(request_id % shards_.size());
+  if (!shards_[shard]->poll(request_id / shards_.size(), out)) return false;
+  out.request_id = request_id;
+  return true;
+}
+
+Response ShardedServer::wait(std::uint64_t request_id) {
+  ZIPFLM_CHECK(request_id >= shards_.size(),
+               "wait() on a request id this server never issued");
+  const std::size_t shard =
+      static_cast<std::size_t>(request_id % shards_.size());
+  Response response = shards_[shard]->wait(request_id / shards_.size());
+  response.request_id = request_id;
+  return response;
+}
+
+void ShardedServer::wait_idle() {
+  for (auto& shard : shards_) shard->wait_idle();
+}
+
+std::size_t ShardedServer::shard_queue_size(std::size_t shard) const {
+  ZIPFLM_CHECK(shard < shards_.size(), "shard index out of range");
+  return shards_[shard]->queue_size();
+}
+
+ServeCounters ShardedServer::counters() const {
+  ServeCounters total;
+  for (const auto& shard : shards_) total += shard->counters();
+  return total;
+}
+
+ServeCounters ShardedServer::shard_counters(std::size_t shard) const {
+  ZIPFLM_CHECK(shard < shards_.size(), "shard index out of range");
+  return shards_[shard]->counters();
+}
+
+std::uint64_t ShardedServer::steals() const {
+  std::lock_guard lock(router_mutex_);
+  return steals_;
+}
+
+}  // namespace zipflm::serve
