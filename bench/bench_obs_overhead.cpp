@@ -8,12 +8,15 @@
 //   3. A metrics counter add — the per-event registry cost.
 //
 // The macro section runs a real (small) distributed training epoch with
-// tracing disabled and then enabled, and scales the micro-measured
-// disabled-span cost by the measured events-per-step to estimate the
-// disabled-tracing overhead as a fraction of the step time.  That
-// estimate is the guarded quantity: the enabled-vs-disabled wall-clock
-// delta also gets printed, but at this model size it is dominated by
-// run-to-run noise.
+// tracing disabled and then enabled, and scales the micro-measured span
+// costs by the measured events-per-step to estimate both the disabled
+// AND the enabled-with-telemetry overhead as fractions of the step
+// time.  Both estimates are guarded quantities (<= 2%); the
+// enabled-vs-disabled wall-clock delta also gets printed, but at this
+// model size it is dominated by run-to-run noise.  The telemetry term
+// is the trace-chunk + metrics wire encoding of the captured epoch,
+// amortized over its steps — the per-collection cost a socket-mode
+// worker pays to ship its lanes.
 //
 // Emits one line of JSON (prefixed "RESULT ") for harness scraping.
 #include <chrono>
@@ -26,8 +29,10 @@
 #include "zipflm/comm/thread_comm.hpp"
 #include "zipflm/core/trainer.hpp"
 #include "zipflm/data/markov.hpp"
+#include "zipflm/net/telemetry.hpp"
 #include "zipflm/nn/lm_model.hpp"
 #include "zipflm/obs/metrics.hpp"
+#include "zipflm/obs/telemetry.hpp"
 #include "zipflm/obs/trace.hpp"
 #include "zipflm/support/stopwatch.hpp"
 
@@ -121,6 +126,21 @@ int main() {
   std::ostringstream sink;
   const obs::TraceExportStats trace = obs::write_chrome_trace(sink);
 
+  // Telemetry shipping cost: wire-encode the epoch's captured lanes and
+  // the metrics registry exactly as a socket worker would for the
+  // collector, timed once (it happens once per collection, so the
+  // per-step share is total / steps).
+  obs::ProcessTrace shipped;
+  shipped.label = obs::process_label();
+  shipped.lanes = obs::trace_lane_snapshot();
+  Stopwatch enc_watch;
+  const auto chunks = net::telemetry::encode_trace_chunks(shipped);
+  const auto metrics_frame = net::telemetry::encode_metrics_frame(
+      obs::MetricsRegistry::global().snapshot());
+  const double telemetry_encode_seconds = enc_watch.seconds();
+  std::size_t telemetry_bytes = metrics_frame.size();
+  for (const auto& c : chunks) telemetry_bytes += c.size();
+
   const double tokens_per_epoch =
       static_cast<double>(off.steps) *
       static_cast<double>(opt.batch.tokens_per_rank()) *
@@ -137,6 +157,14 @@ int main() {
       off_seconds / static_cast<double>(off.steps) * 1e9;
   const double est_disabled_overhead_pct =
       100.0 * events_per_rank_step * span_disabled_ns / step_ns_disabled;
+  // Enabled-with-telemetry path: per-event capture cost plus the
+  // amortized per-step share of shipping the trace to a collector.
+  const double telemetry_ns_per_step =
+      telemetry_encode_seconds * 1e9 / static_cast<double>(on.steps);
+  const double est_enabled_overhead_pct =
+      100.0 *
+      (events_per_rank_step * span_enabled_ns + telemetry_ns_per_step) /
+      step_ns_disabled;
 
   std::printf("epoch of %llu steps on %d ranks\n",
               static_cast<unsigned long long>(off.steps), gpus);
@@ -150,13 +178,23 @@ int main() {
               static_cast<unsigned long long>(trace.lanes));
   std::printf("est. disabled-trace overhead: %9.3f %% of a step\n",
               est_disabled_overhead_pct);
+  std::printf("telemetry encode            : %9.1f us for %zu bytes "
+              "(%zu chunks)\n",
+              telemetry_encode_seconds * 1e6, telemetry_bytes,
+              chunks.size());
+  std::printf("est. enabled+telemetry ovhd : %9.3f %% of a step\n",
+              est_enabled_overhead_pct);
 
   std::printf(
       "RESULT {\"bench\":\"obs_overhead\",\"span_disabled_ns\":%.3f,"
       "\"span_enabled_ns\":%.2f,\"counter_add_ns\":%.2f,"
       "\"tok_s_disabled\":%.1f,\"tok_s_enabled\":%.1f,"
-      "\"events_per_rank_step\":%.1f,\"est_disabled_overhead_pct\":%.4f}\n",
+      "\"events_per_rank_step\":%.1f,"
+      "\"telemetry_encode_us\":%.1f,\"telemetry_bytes\":%zu,"
+      "\"est_disabled_overhead_pct\":%.4f,"
+      "\"est_enabled_overhead_pct\":%.4f}\n",
       span_disabled_ns, span_enabled_ns, counter_add_ns, tok_s_disabled,
-      tok_s_enabled, events_per_rank_step, est_disabled_overhead_pct);
+      tok_s_enabled, events_per_rank_step, telemetry_encode_seconds * 1e6,
+      telemetry_bytes, est_disabled_overhead_pct, est_enabled_overhead_pct);
   return 0;
 }

@@ -14,9 +14,16 @@
 // obs registry mirrors), not from a bench-side stopwatch; per-shard
 // queue depth is sampled live from ShardedServer::shard_queue_size.
 //
+// An SloMonitor (zipflm::obs) rides along, fed ~20Hz snapshots of the
+// live metrics registry — the same rolling-window health judgement a
+// production collector would run, with its thresholds tied to the
+// bench's own gates.  The RESULT line carries its window count, trip
+// totals, and end-state summary.
+//
 // `--check` turns the report into a gate: non-zero exit when p99 blows
-// past the knee bound (p99 > max_p99_over_p50 * p50) or rejections
-// exceed max_reject_rate — the CI smoke for the serve tier.
+// past the knee bound (p99 > max_p99_over_p50 * p50), rejections exceed
+// max_reject_rate, or any SLO rule is still tripped when load ends —
+// the CI smoke for the serve tier.
 //
 // Emits one "RESULT {...}" JSON line for harness scraping.
 #include <algorithm>
@@ -36,6 +43,8 @@
 
 #include "zipflm/data/zipf.hpp"
 #include "zipflm/nn/lm_model.hpp"
+#include "zipflm/obs/metrics.hpp"
+#include "zipflm/obs/slo.hpp"
 #include "zipflm/serve/sharded_server.hpp"
 #include "zipflm/support/stopwatch.hpp"
 
@@ -180,6 +189,36 @@ class QueueDepthProbe {
   std::thread thread_;
 };
 
+/// Feeds the SloMonitor registry snapshots at ~20Hz while load runs —
+/// exactly what a production health poller would do against the live
+/// Stats endpoint, minus the wire.
+class SloProbe {
+ public:
+  explicit SloProbe(obs::SloMonitor& monitor) : monitor_(monitor) {
+    thread_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        monitor_.observe(obs::MetricsRegistry::global().snapshot());
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
+  }
+  ~SloProbe() { stop(); }
+  void stop() {
+    if (thread_.joinable()) {
+      stop_.store(true, std::memory_order_relaxed);
+      thread_.join();
+      // One final window so the end state reflects the full run even
+      // when the last 50ms of load fell between samples.
+      monitor_.observe(obs::MetricsRegistry::global().snapshot());
+    }
+  }
+
+ private:
+  obs::SloMonitor& monitor_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -217,8 +256,29 @@ int main(int argc, char** argv) {
         fresh_prompt(static_cast<std::uint64_t>(s), model_cfg.vocab);
   }
 
+  // SLO health monitor with thresholds tied to the bench gates: the
+  // latency knee is the --check bound, the queue bound is the server's
+  // own admission depth (a full queue is the rejection regime, not an
+  // SLO breach — only exceeding it would be a bug).  trip_after 3 /
+  // clear_after 1 keeps one slow 50ms window from flapping CI.
+  obs::SloOptions slo_opts;
+  slo_opts.scope = sopts.server.metrics_scope;
+  slo_opts.thresholds.max_p99_over_p50 = cfg.max_p99_over_p50;
+  slo_opts.thresholds.max_reject_rate = cfg.max_reject_rate;
+  slo_opts.thresholds.max_queue_depth =
+      static_cast<double>(sopts.server.queue_depth);
+  slo_opts.trip_after = 3;
+  slo_opts.clear_after = 1;
+  obs::SloMonitor slo(slo_opts);
+  slo.set_alert_hook([](const obs::SloAlert& a) {
+    std::fprintf(stderr, "SLO %s: %s %.4f vs %.4f (window %llu)\n",
+                 a.tripped ? "TRIP" : "CLEAR", a.rule.c_str(), a.value,
+                 a.threshold, static_cast<unsigned long long>(a.window));
+  });
+
   LoadStats stats;
   QueueDepthProbe probe(server);
+  SloProbe slo_probe(slo);
 
   // ---- phase 1: closed loop -----------------------------------------
   std::atomic<std::int64_t> remaining(static_cast<std::int64_t>(cfg.requests));
@@ -335,6 +395,7 @@ int main(int argc, char** argv) {
 
   server.wait_idle();
   probe.stop();
+  slo_probe.stop();
   const serve::ServeCounters c = server.counters();
   server.stop();
 
@@ -383,6 +444,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(server.steals()));
   std::printf("done-store evictions    : %8llu\n",
               static_cast<unsigned long long>(c.done_evictions));
+  const std::string slo_summary = slo.summary();
+  std::printf("SLO monitor             : %llu windows, %s\n",
+              static_cast<unsigned long long>(slo.windows()),
+              slo_summary.c_str());
 
   std::printf(
       "RESULT {\"bench\":\"serve_soak\",\"shards\":%zu,\"sessions\":%zu,"
@@ -391,14 +456,23 @@ int main(int argc, char** argv) {
       "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,"
       "\"p99_over_p50\":%.2f,\"reject_rate\":%.4f,\"cache_hit_rate\":%.4f,"
       "\"mean_batch_occupancy\":%.2f,\"max_queue_depth\":%zu,"
-      "\"shard_max_queue_depth\":%s,\"steals\":%llu,\"done_evictions\":%llu}\n",
+      "\"shard_max_queue_depth\":%s,\"steals\":%llu,\"done_evictions\":%llu,"
+      "\"slo_windows\":%llu,\"slo_tripped\":%s,"
+      "\"slo_trips_latency\":%llu,\"slo_trips_reject\":%llu,"
+      "\"slo_trips_queue\":%llu,\"slo_summary\":\"%s\"}\n",
       cfg.shards, cfg.sessions,
       static_cast<unsigned long long>(stats.completed.load()), cfg.new_tokens,
       cfg.zipf_exponent, closed_req_s, closed_tok_s, p50 * 1e3, p95 * 1e3,
       p99 * 1e3, p50 > 0 ? p99 / p50 : 0.0, reject_rate, cache_hit_rate,
       c.mean_batch_occupancy(), max_queue_depth, shard_depths.c_str(),
       static_cast<unsigned long long>(server.steals()),
-      static_cast<unsigned long long>(c.done_evictions));
+      static_cast<unsigned long long>(c.done_evictions),
+      static_cast<unsigned long long>(slo.windows()),
+      slo.any_tripped() ? "true" : "false",
+      static_cast<unsigned long long>(slo.trips("latency_tail")),
+      static_cast<unsigned long long>(slo.trips("reject_rate")),
+      static_cast<unsigned long long>(slo.trips("queue_depth")),
+      slo_summary.c_str());
 
   if (cfg.check) {
     bool ok = true;
@@ -412,9 +486,17 @@ int main(int argc, char** argv) {
                    reject_rate, cfg.max_reject_rate);
       ok = false;
     }
+    if (slo.any_tripped()) {
+      std::fprintf(stderr, "CHECK FAILED: SLO still tripped at end: %s\n",
+                   slo_summary.c_str());
+      ok = false;
+    }
     if (!ok) return 1;
-    std::printf("CHECK OK: p99 within %.1fx p50, rejections within %.1f%%\n",
-                cfg.max_p99_over_p50, cfg.max_reject_rate * 100);
+    std::printf(
+        "CHECK OK: p99 within %.1fx p50, rejections within %.1f%%, "
+        "SLO clear after %llu windows\n",
+        cfg.max_p99_over_p50, cfg.max_reject_rate * 100,
+        static_cast<unsigned long long>(slo.windows()));
   }
   return 0;
 }

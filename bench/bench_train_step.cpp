@@ -52,8 +52,11 @@
 #include "zipflm/core/exchange.hpp"
 #include "zipflm/core/grad_sync.hpp"
 #include "zipflm/data/batch.hpp"
+#include "zipflm/net/telemetry.hpp"
 #include "zipflm/nn/lm_model.hpp"
 #include "zipflm/nn/optimizer.hpp"
+#include "zipflm/obs/telemetry.hpp"
+#include "zipflm/obs/trace.hpp"
 #include "zipflm/support/phase_timers.hpp"
 #include "zipflm/support/rng.hpp"
 #include "zipflm/support/stopwatch.hpp"
@@ -113,6 +116,10 @@ struct BenchConfig {
   std::size_t bucket_bytes = 4u << 20;
   std::size_t warmup_steps = 1;
   std::size_t measured_steps = 3;
+  /// Chrome trace output ("" = tracing off).  Socket mode collects every
+  /// child's lanes over the training transport after the final barrier
+  /// and writes one clock-aligned merged document.
+  std::string trace_path;
 
   std::size_t total_steps() const { return warmup_steps + measured_steps; }
 };
@@ -259,6 +266,16 @@ bool write_full(int fd, const void* data, std::size_t n) {
 int run_socket_child(int rank, const std::string& rendezvous,
                      const BenchConfig& bc, const std::vector<Index>& ids,
                      int pipe_fd) {
+  const bool traced = !bc.trace_path.empty();
+  if (traced) {
+    // Fresh per-process timeline: the lane registrations inherited from
+    // the parent's (untraced) thread world are empty and stay so.
+    obs::trace_clear();
+    obs::set_process_label("rank " + std::to_string(rank));
+    obs::set_thread_lane("rank " + std::to_string(rank), rank);
+    obs::trace_enable(true);
+  }
+
   ProcessGroup::Options opt;
   opt.collective_timeout_seconds = 300.0;
   auto pg = ProcessGroup::connect(rendezvous, rank, bc.gpus, opt);
@@ -276,6 +293,41 @@ int run_socket_child(int rank, const std::string& rendezvous,
   rep.forward_seconds = PhaseTimers::seconds("forward");
   rep.backward_seconds = PhaseTimers::seconds("backward");
   rep.wire_bytes_sent = pg->ledger().wire_bytes_sent;
+
+  if (traced) {
+    // run_rank ends on a barrier, so the training transport is quiet —
+    // reuse it as the telemetry plane.  Rank 0 plays collector: its own
+    // lanes at offset 0, every peer's shipped over the wire with an
+    // NTP-style offset estimate, one merged clock-aligned document.
+    obs::trace_enable(false);
+    if (rank == 0) {
+      std::vector<obs::ProcessTrace> traces;
+      obs::ProcessTrace self;
+      self.label = obs::process_label();
+      self.pid = 1;
+      self.lanes = obs::trace_lane_snapshot();
+      traces.push_back(std::move(self));
+      for (int peer = 1; peer < bc.gpus; ++peer) {
+        net::telemetry::CollectOptions copt;
+        copt.want_metrics = false;
+        net::telemetry::WorkerTelemetry wt =
+            net::telemetry::collect_from_peer(pg->transport(), peer, copt);
+        wt.trace.pid = peer + 1;
+        traces.push_back(std::move(wt.trace));
+      }
+      const obs::TraceExportStats st =
+          obs::write_chrome_trace_merged_file(bc.trace_path, traces);
+      std::fprintf(stderr,
+                   "merged trace: %llu events across %zu lanes "
+                   "(%llu dropped) -> %s\n",
+                   static_cast<unsigned long long>(st.events), st.lanes,
+                   static_cast<unsigned long long>(st.dropped),
+                   bc.trace_path.c_str());
+    } else {
+      net::telemetry::serve_collector(pg->transport(), 0);
+    }
+  }
+
   if (!write_full(pipe_fd, &rep, sizeof(rep))) return 1;
   pg.reset();  // orderly endpoint close before _Exit
   return 0;
@@ -365,6 +417,8 @@ int main(int argc, char** argv) {
       transport = argv[++i];
     } else if (arg == "--codec" && i + 1 < argc) {
       codec = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      bc.trace_path = argv[++i];
     } else {
       positional.push_back(argv[i]);
     }
@@ -408,10 +462,23 @@ int main(int argc, char** argv) {
   }
 
   // The thread world always runs — it IS the bench in thread mode, and
-  // the equality reference in socket mode.
+  // the equality reference in socket mode.  Tracing covers only the
+  // world being measured: thread mode traces the thread world locally;
+  // socket mode leaves the reference untraced and lets the children
+  // collect the merged multi-process document.
+  const bool trace_threads = !bc.trace_path.empty() && transport == "thread";
+  if (trace_threads) obs::trace_enable(true);
   std::uint64_t wire_model_bytes = 0;
   const std::vector<RankReport> thread_reports =
       run_thread_world(bc, ids, &wire_model_bytes);
+  if (trace_threads) {
+    obs::trace_enable(false);
+    const obs::TraceExportStats st =
+        obs::write_chrome_trace_file(bc.trace_path);
+    std::printf("trace: %llu events across %zu lanes -> %s\n",
+                static_cast<unsigned long long>(st.events), st.lanes,
+                bc.trace_path.c_str());
+  }
 
   bool equal_to_thread = true;
   std::uint64_t wire_bytes = wire_model_bytes;

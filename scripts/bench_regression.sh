@@ -16,6 +16,10 @@
 # smoke scale, so the p99 bound is looser than the acceptance run's;
 # ZIPFLM_SERVE_GATE=0 skips it.
 #
+# Also gates observability overhead: bench_obs_overhead's estimates for
+# both the disabled-instrumentation path and the enabled-with-telemetry
+# path must stay under 2% of a train step; ZIPFLM_OBS_GATE=0 skips it.
+#
 # Usage: scripts/bench_regression.sh [out.json]
 #   out.json              fresh RESULT payload, written for artifact upload
 #   ZIPFLM_BENCH_BAND     noise band as a fraction (default 0.15)
@@ -25,6 +29,7 @@
 #   ZIPFLM_SERVE_GATE     0 disables the serve-soak smoke (default 1)
 #   ZIPFLM_SERVE_GATE_ARGS soak workload (default "--shards 2 --sessions 48
 #                         --requests 480 --open-seconds 0.3 --max-p99-over-p50 10")
+#   ZIPFLM_OBS_GATE       0 disables the obs overhead gate (default 1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -101,4 +106,19 @@ if [[ "${ZIPFLM_SERVE_GATE:-1}" != "0" ]]; then
     | tee /tmp/zipflm_serve_gate.txt
   grep -q '^RESULT' /tmp/zipflm_serve_gate.txt || {
     echo "serve soak produced no RESULT line" >&2; exit 1; }
+fi
+
+# -- Observability overhead gate -------------------------------------
+if [[ "${ZIPFLM_OBS_GATE:-1}" != "0" ]]; then
+  [[ -x build/bench/bench_obs_overhead ]] || {
+    echo "build/bench/bench_obs_overhead not built" >&2; exit 2; }
+  echo "obs gate: bench_obs_overhead (both overhead estimates <= 2%)"
+  ./build/bench/bench_obs_overhead | tee /tmp/zipflm_obs_gate.txt
+  for field in est_disabled_overhead_pct est_enabled_overhead_pct; do
+    grep '^RESULT' /tmp/zipflm_obs_gate.txt \
+      | awk -F"\"$field\":" -v field="$field" \
+      '{ pct = $2 + 0
+         if (pct > 2.0) { printf "OBS REGRESSION: %s %.3f%% exceeds 2%% bar\n", field, pct; exit 1 }
+         printf "obs OK: %s %.3f%% within 2%% bar\n", field, pct }'
+  done
 fi

@@ -12,9 +12,12 @@
 #   serve the serving suites (single-server regressions, sharded
 #         routing, wire protocol, socket frontend) plus a short soak
 #         smoke with latency/rejection gates
+#   obs   distributed telemetry: the obs-labeled suites, a 4-process
+#         merged-trace collection with clock-alignment validation, and
+#         the <=2% overhead bar on the enabled-with-telemetry path
 #   tsan  the whole suite under ThreadSanitizer
 #
-# Usage: scripts/check.sh [--tier 1|1b|1c|net|serve|tsan] [--tsan-only | --no-tsan]
+# Usage: scripts/check.sh [--tier 1|1b|1c|net|serve|obs|tsan] [--tsan-only | --no-tsan]
 # With no arguments every tier runs, in order.  Each tier configures and
 # builds what it needs, so `scripts/check.sh --tier 1b` works from a
 # clean checkout — CI runs the tiers as separate matrix legs.
@@ -29,14 +32,14 @@ tiers=()
 case "${1:-}" in
   --tier)
     case "${2:-}" in
-      1|1b|1c|net|serve|tsan) tiers=("$2") ;;
-      *) echo "usage: $0 [--tier 1|1b|1c|net|serve|tsan] [--tsan-only | --no-tsan]" >&2
+      1|1b|1c|net|serve|obs|tsan) tiers=("$2") ;;
+      *) echo "usage: $0 [--tier 1|1b|1c|net|serve|obs|tsan] [--tsan-only | --no-tsan]" >&2
          exit 2 ;;
     esac ;;
   --tsan-only) tiers=(tsan) ;;
-  --no-tsan) tiers=(1 1b 1c net serve) ;;
-  "") tiers=(1 1b 1c net serve tsan) ;;
-  *) echo "usage: $0 [--tier 1|1b|1c|net|serve|tsan] [--tsan-only | --no-tsan]" >&2
+  --no-tsan) tiers=(1 1b 1c net serve obs) ;;
+  "") tiers=(1 1b 1c net serve obs tsan) ;;
+  *) echo "usage: $0 [--tier 1|1b|1c|net|serve|obs|tsan] [--tsan-only | --no-tsan]" >&2
      exit 2 ;;
 esac
 
@@ -137,6 +140,88 @@ tier_serve() {
     echo "serve soak produced no RESULT line" >&2; exit 1; }
 }
 
+tier_obs() {
+  echo "== tier-obs: distributed telemetry =="
+  ensure_build
+  # Everything labeled `obs`: test_obs (ring/export/metrics units),
+  # test_obs_distributed (clock-offset bounds, telemetry wire frames,
+  # merged export, Stats-frame parity, SLO hysteresis), and
+  # top_selftest (live introspection loop over a socketpair world).
+  ctest --test-dir build --output-on-failure -L obs
+  # The subsystem's acceptance gate: 4 forked processes train over real
+  # sockets while traced; rank 0 collects every peer's lanes over the
+  # quiesced training transport and writes ONE clock-aligned document.
+  merged=$(mktemp /tmp/zipflm_merged_trace.XXXXXX.json)
+  ./build/bench/bench_train_step --gpus 4 --transport socket \
+    --trace "$merged" 4 4 2 > /dev/null
+  if command -v python3 > /dev/null; then
+    python3 - "$merged" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+ev = d["traceEvents"]
+procs = {e["pid"]: e["args"]["name"] for e in ev
+         if e["ph"] == "M" and e["name"] == "process_name"}
+assert sorted(procs.values()) == [f"rank {r}" for r in range(4)], procs
+lanes = {(e["pid"], e["args"]["name"]) for e in ev
+         if e["ph"] == "M" and e["name"] == "thread_name"}
+for pid, label in procs.items():
+    assert (pid, label) in lanes, (pid, label, lanes)
+# Spans are ring-ordered by END time (nested spans emit at scope exit),
+# so per-lane ends must be monotone; a violation means clock alignment
+# reordered a process's own events.
+ends = {}
+for e in ev:
+    if e["ph"] != "X":
+        continue
+    lane = (e["pid"], e["tid"])
+    end = e["ts"] + e["dur"]
+    assert end >= ends.get(lane, 0.0), (lane, e)
+    ends[lane] = end
+# Cross-process sanity: the i-th barrier of every rank is one
+# generation; after alignment the four intervals must overlap (2ms
+# slack for the estimator error bound plus scheduling).
+gens = {}
+for e in ev:
+    if e["ph"] == "X" and e["name"] == "barrier":
+        gens.setdefault(e["pid"], []).append((e["ts"], e["ts"] + e["dur"]))
+counts = {len(v) for v in gens.values()}
+assert len(gens) == 4 and len(counts) == 1 and counts != {0}, gens
+for gen in zip(*(gens[pid] for pid in sorted(gens))):
+    start = max(b[0] for b in gen)
+    end = min(b[1] for b in gen)
+    assert start - end <= 2000.0, gen
+print(f"merged trace OK: {sum(1 for e in ev if e['ph'] == 'X')} spans, "
+      f"4 processes, {len(next(iter(gens.values())))} aligned barrier "
+      "generations")
+EOF
+  else
+    echo "WARNING: python3 not found; merged trace checked structurally only" >&2
+    for r in 0 1 2 3; do
+      grep -q "\"rank $r\"" "$merged" || {
+        echo "merged trace is missing rank $r" >&2; exit 1; }
+    done
+    grep -q '"process_name"' "$merged" || {
+      echo "merged trace has no process metadata" >&2; exit 1; }
+    echo "merged trace OK (structural): all four process lanes present"
+  fi
+  rm -f "$merged"
+
+  # Both overhead bars: the always-on disabled path AND the
+  # enabled-with-telemetry path (span capture + wire encoding) must
+  # stay under 2% of a train step.
+  ./build/bench/bench_obs_overhead | tee /tmp/zipflm_obs_bench.txt
+  grep '^RESULT' /tmp/zipflm_obs_bench.txt \
+    | awk -F'"est_disabled_overhead_pct":' \
+    '{ pct = $2 + 0
+       if (pct > 2.0) { printf "disabled-trace overhead %.3f%% exceeds 2%% bar\n", pct; exit 1 }
+       printf "disabled-trace overhead %.3f%% within 2%% bar\n", pct }'
+  grep '^RESULT' /tmp/zipflm_obs_bench.txt \
+    | awk -F'"est_enabled_overhead_pct":' \
+    '{ pct = $2 + 0
+       if (pct > 2.0) { printf "enabled+telemetry overhead %.3f%% exceeds 2%% bar\n", pct; exit 1 }
+       printf "enabled+telemetry overhead %.3f%% within 2%% bar\n", pct }'
+}
+
 tier_tsan() {
   echo "== tier-tsan: ThreadSanitizer build =="
   # shellcheck disable=SC2086
@@ -158,6 +243,7 @@ for tier in "${tiers[@]}"; do
     1c) tier_1c ;;
     net) tier_net ;;
     serve) tier_serve ;;
+    obs) tier_obs ;;
     tsan) tier_tsan ;;
   esac
 done

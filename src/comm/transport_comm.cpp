@@ -311,6 +311,10 @@ void TransportComm::ring_allreduce(std::span<T> data, CollOp op,
                              codec == WireCodec::Packed ? CodecSlot::Packed
                                                         : CodecSlot::Int8,
                              moved_elems * sizeof(T), enc_wire);
+        // The span carries the measured encoded volume so a merged
+        // trace can show compression ratios without the ledger.
+        span.set_arg3("wire_bytes", static_cast<double>(enc_wire));
+        span.set_arg4("codec", static_cast<double>(static_cast<int>(codec)));
         last_codec_ratio_ =
             payload == 0 ? 0.0
                          : static_cast<double>(enc_total) /
@@ -537,6 +541,7 @@ void TransportComm::allgatherv_bytes(std::span<const std::byte> local,
           hooks_.cost->ring_step_seconds(topo_, max_block);
   led.simulated_comm_seconds += sim;
   span.set_arg2("sim_seconds", sim);
+  span.set_arg3("wire_bytes", static_cast<double>(wire_accounted));
 
   auto& m = CommMetrics::get();
   m.allgather_calls.add(1);

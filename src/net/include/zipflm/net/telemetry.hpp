@@ -1,0 +1,161 @@
+// zipflm::net::telemetry — the wire half of the telemetry plane.
+//
+// Ships trace-chunk and metrics-snapshot frames from worker processes
+// to a collector over any net::Transport, and estimates each worker's
+// clock offset so the merged export (obs/telemetry.hpp) is one
+// time-aligned document.
+//
+// Framing mirrors the serve wire protocol: every frame is an 8-byte LE
+// length followed by a payload whose first byte is the FrameType;
+// decoding is strict — truncation, trailing bytes, or an unknown type
+// throw net::ProtocolError.
+//
+// Session shape (collector drives, worker answers):
+//
+//   collector                         worker
+//   ---------                         ------
+//   Begin{probes, wants}       ->
+//   ClockProbe{id, t0}         ->     (t1 = clock on arrival)
+//                              <-     ClockReply{id, t1, t2}
+//   (t3 = clock on arrival)           ... x probes ...
+//                              <-     TraceChunk*        (if wanted)
+//                              <-     MetricsChunk       (if wanted)
+//                              <-     Done
+//
+// Clock math (NTP's four timestamps): one probe gives
+//
+//   offset = ((t1 - t0) + (t2 - t3)) / 2        (worker − collector)
+//   rtt    = (t3 - t0) - (t2 - t1)
+//
+// The estimate is the MEDIAN offset over `probes` exchanges — robust
+// to the occasional probe that eats a scheduler hiccup — and its error
+// is bounded by the asymmetry of the best probe's two legs, at most
+// min_rtt / 2.  Both sides must sample the SAME clock their trace
+// events carry (obs::trace_now_ns), whose epoch pins per process at
+// first use: that per-process epoch difference is exactly the skew
+// being estimated.
+//
+// Threading: both helpers follow the transport's single-driving-thread
+// contract; run them after training/serving traffic has quiesced (the
+// bench runs them right after the final barrier).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "zipflm/net/transport.hpp"
+#include "zipflm/obs/metrics.hpp"
+#include "zipflm/obs/telemetry.hpp"
+
+namespace zipflm::net::telemetry {
+
+/// Nanosecond clock to align; defaults to obs::trace_now_ns.
+using ClockFn = std::function<std::uint64_t()>;
+
+enum class FrameType : std::uint8_t {
+  Begin = 1,
+  ClockProbe = 2,
+  ClockReply = 3,
+  TraceChunk = 4,
+  MetricsChunk = 5,
+  Done = 6,
+};
+
+/// Hard ceiling per frame; large traces split into multiple chunks.
+constexpr std::size_t kMaxFrameBytes = 16u << 20;
+/// Soft split target for trace chunks.
+constexpr std::size_t kTraceChunkTargetBytes = 1u << 20;
+
+struct Begin {
+  std::uint32_t probes = 16;
+  bool want_trace = true;
+  bool want_metrics = true;
+};
+
+struct ClockProbe {
+  std::uint64_t probe_id = 0;
+  std::uint64_t send_ns = 0;  ///< collector clock at send (debug aid)
+};
+
+struct ClockReply {
+  std::uint64_t probe_id = 0;
+  std::uint64_t recv_ns = 0;  ///< worker clock when the probe arrived
+  std::uint64_t send_ns = 0;  ///< worker clock when the reply left
+};
+
+struct ClockEstimate {
+  std::int64_t offset_ns = 0;   ///< median (worker − collector)
+  std::int64_t min_rtt_ns = 0;  ///< best probe round-trip; error ≤ rtt/2
+  int probes = 0;
+};
+
+/// Everything one worker shipped, ready to merge: `trace` has
+/// clock_offset_ns filled from the estimate (pid left for the caller).
+struct WorkerTelemetry {
+  obs::ProcessTrace trace;
+  obs::MetricsSnapshot metrics;
+  ClockEstimate clock;
+};
+
+struct CollectOptions {
+  int probes = 16;
+  bool want_trace = true;
+  bool want_metrics = true;
+  ClockFn clock;  ///< empty = obs::trace_now_ns
+};
+
+/// Collector side: run one full session against `peer`.
+WorkerTelemetry collect_from_peer(Transport& transport, int peer,
+                                  const CollectOptions& options = {});
+
+/// Worker side: answer one collector session (blocks until Done sent).
+/// Ships this process's trace lanes and the global metrics registry
+/// when the collector asks for them.
+void serve_collector(Transport& transport, int collector_peer,
+                     ClockFn clock = {});
+
+// --- frame codecs (public for tests and the serve Stats frame) ------
+
+std::vector<std::byte> encode_begin(const Begin& begin);
+Begin decode_begin(const std::vector<std::byte>& payload);
+
+std::vector<std::byte> encode_clock_probe(const ClockProbe& probe);
+ClockProbe decode_clock_probe(const std::vector<std::byte>& payload);
+
+std::vector<std::byte> encode_clock_reply(const ClockReply& reply);
+ClockReply decode_clock_reply(const std::vector<std::byte>& payload);
+
+/// Split one process's lanes into TraceChunk frames of roughly
+/// `target_bytes` each (a lane's events may span several chunks; its
+/// drop count is carried once).
+std::vector<std::vector<std::byte>> encode_trace_chunks(
+    const obs::ProcessTrace& trace,
+    std::size_t target_bytes = kTraceChunkTargetBytes);
+/// Merge one TraceChunk into `into` (appending to an existing lane
+/// when the chunk continues it).  Sets `into.label` from the chunk.
+void merge_trace_chunk(const std::vector<std::byte>& payload,
+                       obs::ProcessTrace& into);
+
+std::vector<std::byte> encode_metrics_frame(const obs::MetricsSnapshot& snap);
+obs::MetricsSnapshot decode_metrics_frame(
+    const std::vector<std::byte>& payload);
+
+std::vector<std::byte> encode_done();
+
+/// Body-level metrics codec (no frame-type byte) — the serve wire's
+/// StatsReply embeds a snapshot with exactly this encoding.
+void write_metrics_snapshot(std::vector<std::byte>& out,
+                            const obs::MetricsSnapshot& snap);
+obs::MetricsSnapshot read_metrics_snapshot(
+    const std::vector<std::byte>& bytes, std::size_t& cursor);
+
+/// First-byte type check; throws ProtocolError on empty/unknown.
+FrameType frame_type(const std::vector<std::byte>& payload);
+
+/// Length-prefixed frame transfer over the transport.
+void send_frame(Transport& transport, int peer,
+                const std::vector<std::byte>& payload);
+std::vector<std::byte> recv_frame(Transport& transport, int peer);
+
+}  // namespace zipflm::net::telemetry

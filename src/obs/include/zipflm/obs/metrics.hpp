@@ -84,6 +84,14 @@ struct HistogramSnapshot {
   /// Nearest-rank bucket-upper percentile, clamped to [min, max] —
   /// bit-compatible with LatencyHistogram::percentile.
   double percentile(double p) const;
+
+  /// The window between `earlier` and this snapshot of the same
+  /// histogram: per-bucket count deltas, so percentile() answers "over
+  /// the last interval" instead of "since process start".  min/max are
+  /// carried from the newer snapshot (the atomics only track lifetime
+  /// extremes), so window percentiles clamp against lifetime bounds —
+  /// an approximation, documented in DESIGN.md §10.
+  HistogramSnapshot since(const HistogramSnapshot& earlier) const;
 };
 
 /// Thread-safe log-spaced histogram, bucket-compatible with

@@ -1,0 +1,117 @@
+// Rolling-window SLO health monitor over registry snapshots.
+//
+// A sampler thread (bench_serve_soak's probe, zipflm_top, or any
+// operator loop) feeds periodic MetricsSnapshots to observe(); each
+// call closes one window and evaluates three rules on the deltas since
+// the previous call:
+//
+//   latency_tail  p99/p50 of `<scope>/request_seconds` over the window
+//   reject_rate   Δrejected / Δ(admitted + rejected)
+//   queue_depth   max over every `<scope>[/s<k>]/queue_depth` gauge
+//
+// Trip/clear is hysteretic: a rule trips only after `trip_after`
+// consecutive bad windows and clears only after `clear_after`
+// consecutive windows at or below `clear_fraction` x threshold, so a
+// single slow batch step cannot flap an alert.  Windows with too few
+// samples (below `min_window_count`) leave the rule's state untouched
+// — silence is not health, but it is not sickness either.
+//
+// Transitions invoke the alert hook and, when export is on, land in
+// the registry itself (`slo/<rule>/tripped|value|trips`) so the SLO
+// state rides every metrics snapshot a collector pulls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "zipflm/obs/metrics.hpp"
+
+namespace zipflm::obs {
+
+struct SloThresholds {
+  double max_p99_over_p50 = 5.0;
+  double max_reject_rate = 0.25;
+  double max_queue_depth = 64.0;
+};
+
+struct SloOptions {
+  /// Metrics namespace to watch: `<scope>/request_seconds`,
+  /// `<scope>/requests_{admitted,rejected}`, queue-depth gauges.
+  std::string scope = "serve";
+  SloThresholds thresholds;
+  /// Windows must carry at least this many observations (histogram
+  /// records for latency_tail, admission outcomes for reject_rate)
+  /// to be judged; thinner windows are skipped.
+  std::uint64_t min_window_count = 8;
+  int trip_after = 2;   ///< consecutive bad windows before tripping
+  int clear_after = 2;  ///< consecutive good windows before clearing
+  /// A window is "good" only at or below threshold * clear_fraction —
+  /// the hysteresis band that stops threshold-hugging flapping.
+  double clear_fraction = 0.8;
+  /// Publish `<export_scope>/<rule>/...` gauges and trip counters into
+  /// the global registry.
+  bool export_metrics = true;
+  std::string export_scope = "slo";
+};
+
+/// One trip or clear transition.
+struct SloAlert {
+  std::string rule;
+  bool tripped = false;  ///< true = trip, false = clear
+  double value = 0.0;    ///< the window value that caused it
+  double threshold = 0.0;
+  std::uint64_t window = 0;  ///< observe() call index
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloOptions opts = {});
+
+  void set_alert_hook(std::function<void(const SloAlert&)> hook);
+
+  /// Close one window: evaluate every rule on the deltas between
+  /// `snap` and the previous call's snapshot, update trip state, fire
+  /// the hook, and return the transitions.  The first call only
+  /// records the baseline.  Thread-safe, but windows are whatever
+  /// cadence the (single) caller picks.
+  std::vector<SloAlert> observe(const MetricsSnapshot& snap);
+
+  bool any_tripped() const;
+  bool tripped(const std::string& rule) const;
+  std::uint64_t trips(const std::string& rule) const;
+  double last_value(const std::string& rule) const;
+  std::uint64_t windows() const;
+
+  /// "rule=state(value/threshold) ..." one-liner for logs and RESULT
+  /// payloads.
+  std::string summary() const;
+
+ private:
+  struct RuleState {
+    double threshold = 0.0;
+    bool tripped = false;
+    int bad_streak = 0;
+    int good_streak = 0;
+    std::uint64_t trips = 0;
+    double last_value = 0.0;
+    bool ever_evaluated = false;
+  };
+
+  void judge(const std::string& rule, double value, std::uint64_t window,
+             std::vector<SloAlert>& alerts);
+  void export_rule(const std::string& rule, const RuleState& st);
+
+  SloOptions opts_;
+  mutable std::mutex mutex_;
+  std::function<void(const SloAlert&)> hook_;
+  std::map<std::string, RuleState> rules_;
+  MetricsSnapshot prev_;
+  bool has_prev_ = false;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace zipflm::obs

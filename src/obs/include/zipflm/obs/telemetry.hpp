@@ -1,0 +1,79 @@
+// Owned trace snapshots and the merged multi-process Chrome export —
+// the data half of the telemetry plane.
+//
+// The ring buffers store `const char*` literals that are only valid in
+// the emitting process, so anything that leaves the process (or merely
+// outlives an export) first converts to the owned types below.  A
+// `ProcessTrace` is one process's complete lane set plus the clock
+// offset the collector estimated for it; the merged writer lays the
+// processes out as Chrome pids (with `process_name` metadata) and maps
+// every worker timestamp into the collector's timebase:
+//
+//     aligned_ns = event.start_ns - clock_offset_ns
+//
+// where clock_offset_ns is the NTP-style estimate of (worker clock −
+// collector clock).  After alignment the whole document is shifted so
+// the earliest event lands at ts 0 — Chrome handles negative
+// timestamps poorly and the absolute origin is meaningless anyway.
+//
+// The wire encoding of these types lives in zipflm::net::telemetry
+// (src/net) because obs may depend on nothing; this header is pure
+// data + JSON.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "zipflm/obs/trace.hpp"
+
+namespace zipflm::obs {
+
+/// A TraceEvent whose strings are owned — safe to ship, merge, and
+/// keep past the emitting process's lifetime.  Empty arg name = slot
+/// unset.
+struct OwnedTraceEvent {
+  std::string name;
+  std::string arg_name[TraceEvent::kMaxArgs];
+  double arg[TraceEvent::kMaxArgs] = {};
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  bool instant = false;
+};
+
+/// One lane's surviving events (oldest first) plus its drop-oldest
+/// loss count at snapshot time.
+struct LaneSnapshot {
+  std::string label;
+  int sort_key = 0;
+  std::uint64_t dropped = 0;
+  std::vector<OwnedTraceEvent> events;
+};
+
+/// One process's contribution to a merged trace.
+struct ProcessTrace {
+  std::string label;  ///< `process_name` metadata ("rank 2", ...)
+  int pid = 1;        ///< Chrome pid; also the process sort index
+  /// Estimated (this process's trace clock − collector's trace clock),
+  /// subtracted from every timestamp at merge.  0 for the collector.
+  std::int64_t clock_offset_ns = 0;
+  std::vector<LaneSnapshot> lanes;
+};
+
+/// Owned copy of every lane the local Collector holds (including empty
+/// ones with drops).  Same synchronization contract as
+/// write_chrome_trace: snapshot after the emitting threads are joined.
+std::vector<LaneSnapshot> trace_lane_snapshot();
+
+/// Serialize one or more processes' lanes as a single Chrome
+/// trace-event document: per-pid `process_name`/`process_sort_index`
+/// metadata, per-(pid, lane) `thread_name`/`thread_sort_index`
+/// metadata, and clock-aligned events.  The local single-process
+/// export is the one-element case of this writer.
+TraceExportStats write_chrome_trace_merged(
+    std::ostream& out, const std::vector<ProcessTrace>& processes);
+TraceExportStats write_chrome_trace_merged_file(
+    const std::string& path, const std::vector<ProcessTrace>& processes);
+
+}  // namespace zipflm::obs

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #ifndef ZIPFLM_TRACE
 #define ZIPFLM_TRACE 1
@@ -44,11 +45,11 @@ namespace zipflm::obs {
 /// literals (or otherwise outlive the export) — the ring stores the
 /// pointer, never a copy, to keep an emit allocation-free.
 struct TraceEvent {
+  static constexpr std::size_t kMaxArgs = 4;
+
   const char* name = nullptr;
-  const char* arg0_name = nullptr;  ///< optional numeric arg, nullptr = none
-  const char* arg1_name = nullptr;
-  double arg0 = 0.0;
-  double arg1 = 0.0;
+  const char* arg_name[kMaxArgs] = {};  ///< optional numeric args, nullptr = none
+  double arg[kMaxArgs] = {};
   std::uint64_t start_ns = 0;  ///< since the process trace epoch
   std::uint64_t dur_ns = 0;    ///< 0 for instants
   bool instant = false;
@@ -67,6 +68,11 @@ extern std::atomic<bool> g_enabled;
 
 /// Nanoseconds since the process trace epoch (first use).
 std::uint64_t now_ns();
+
+/// JSON string-escape `s` into `out` (no surrounding quotes).  Shared
+/// by the trace and metrics exporters; also used by the telemetry
+/// merge writer.
+void json_escape(std::ostream& out, std::string_view s);
 
 /// Append to the calling thread's buffer (creating/adopting one on
 /// first use).  Only called with tracing enabled.
@@ -87,6 +93,19 @@ inline bool trace_enabled() noexcept {
 /// trace_clear() for a fresh timeline.
 void trace_enable(bool on);
 
+/// The trace clock: nanoseconds since this process's trace epoch (the
+/// first use, pinned by trace_enable).  This is the timebase every
+/// recorded event carries, and therefore the one the telemetry
+/// clock-offset handshake must sample — aligning any other clock would
+/// align nothing.
+inline std::uint64_t trace_now_ns() { return detail::now_ns(); }
+
+/// Label this process's lane group in merged multi-process exports and
+/// the local export's `process_name` metadata ("rank 2", "serve
+/// frontend", ...).  Default "zipflm".  Cold path (mutex).
+void set_process_label(const std::string& label);
+std::string process_label();
+
 /// Events each lane's ring holds before drop-oldest kicks in.  Applies
 /// to buffers created afterwards; call before the first emit.
 void trace_set_buffer_capacity(std::size_t events);
@@ -106,8 +125,8 @@ inline void trace_instant(const char* name, const char* arg_name = nullptr,
   if (!trace_enabled()) return;
   TraceEvent ev;
   ev.name = name;
-  ev.arg0_name = arg_name;
-  ev.arg0 = arg;
+  ev.arg_name[0] = arg_name;
+  ev.arg[0] = arg;
   ev.start_ns = detail::now_ns();
   ev.instant = true;
   detail::emit(ev);
@@ -125,51 +144,57 @@ class SpanScope {
   }
   SpanScope(const char* name, const char* arg0_name, double arg0)
       : SpanScope(name) {
-    arg0_name_ = arg0_name;
-    arg0_ = arg0;
+    arg_name_[0] = arg0_name;
+    arg_[0] = arg0;
   }
   SpanScope(const char* name, const char* arg0_name, double arg0,
             const char* arg1_name, double arg1)
       : SpanScope(name, arg0_name, arg0) {
-    arg1_name_ = arg1_name;
-    arg1_ = arg1;
+    arg_name_[1] = arg1_name;
+    arg_[1] = arg1;
   }
 
   ~SpanScope() {
     if (name_ == nullptr) return;
     TraceEvent ev;
     ev.name = name_;
-    ev.arg0_name = arg0_name_;
-    ev.arg1_name = arg1_name_;
-    ev.arg0 = arg0_;
-    ev.arg1 = arg1_;
+    for (std::size_t i = 0; i < TraceEvent::kMaxArgs; ++i) {
+      ev.arg_name[i] = arg_name_[i];
+      ev.arg[i] = arg_[i];
+    }
     ev.start_ns = start_ns_;
     ev.dur_ns = detail::now_ns() - start_ns_;
     detail::emit(ev);
   }
 
-  /// Attach/overwrite the first numeric arg (e.g. a byte count known
-  /// only mid-scope).  No-op when the span is inactive.
+  /// Attach/overwrite the numbered numeric arg (e.g. a byte count
+  /// known only mid-scope).  No-op when the span is inactive.
   void set_arg(const char* name, double value) noexcept {
-    if (name_ == nullptr) return;
-    arg0_name_ = name;
-    arg0_ = value;
+    set_slot(0, name, value);
   }
   void set_arg2(const char* name, double value) noexcept {
-    if (name_ == nullptr) return;
-    arg1_name_ = name;
-    arg1_ = value;
+    set_slot(1, name, value);
+  }
+  void set_arg3(const char* name, double value) noexcept {
+    set_slot(2, name, value);
+  }
+  void set_arg4(const char* name, double value) noexcept {
+    set_slot(3, name, value);
   }
 
   SpanScope(const SpanScope&) = delete;
   SpanScope& operator=(const SpanScope&) = delete;
 
  private:
+  void set_slot(std::size_t i, const char* name, double value) noexcept {
+    if (name_ == nullptr) return;
+    arg_name_[i] = name;
+    arg_[i] = value;
+  }
+
   const char* name_ = nullptr;  ///< nullptr = inactive
-  const char* arg0_name_ = nullptr;
-  const char* arg1_name_ = nullptr;
-  double arg0_ = 0.0;
-  double arg1_ = 0.0;
+  const char* arg_name_[TraceEvent::kMaxArgs] = {};
+  double arg_[TraceEvent::kMaxArgs] = {};
   std::uint64_t start_ns_ = 0;
 };
 

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "zipflm/obs/trace.hpp"  // detail::json_escape
+
 namespace zipflm::obs {
 
 namespace {
@@ -59,6 +61,22 @@ double HistogramSnapshot::percentile(double p) const {
     }
   }
   return max;
+}
+
+HistogramSnapshot HistogramSnapshot::since(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot w;
+  w.buckets.resize(buckets.size());
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t prev =
+        b < earlier.buckets.size() ? earlier.buckets[b] : 0;
+    w.buckets[b] = buckets[b] >= prev ? buckets[b] - prev : 0;
+  }
+  w.count = count >= earlier.count ? count - earlier.count : 0;
+  w.sum = sum - earlier.sum;
+  w.min = min;
+  w.max = max;
+  return w;
 }
 
 std::size_t Histogram::bucket_for(double value) noexcept {
@@ -158,23 +176,33 @@ std::string MetricsRegistry::to_json() const {
     if (!first) out << ',';
     first = false;
   };
+  // Metric names are user-influenced (shard scopes, session tags) —
+  // escape them or one quote in a scope breaks the whole document.
+  const auto key = [&](const std::string& name) {
+    out << '"';
+    detail::json_escape(out, name);
+    out << '"';
+  };
 
   out << "{\"counters\":{";
   for (const auto& [name, v] : s.counters) {
     comma();
-    out << '"' << name << "\":" << v;
+    key(name);
+    out << ':' << v;
   }
   out << "},\"gauges\":{";
   first = true;
   for (const auto& [name, v] : s.gauges) {
     comma();
-    out << '"' << name << "\":" << v;
+    key(name);
+    out << ':' << v;
   }
   out << "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : s.histograms) {
     comma();
-    out << '"' << name << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+    key(name);
+    out << ":{\"count\":" << h.count << ",\"sum\":" << h.sum
         << ",\"mean\":" << h.mean() << ",\"min\":" << h.min
         << ",\"max\":" << h.max << ",\"p50\":" << h.percentile(0.5)
         << ",\"p95\":" << h.percentile(0.95)

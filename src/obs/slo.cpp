@@ -1,0 +1,197 @@
+#include "zipflm/obs/slo.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace zipflm::obs {
+
+namespace {
+
+constexpr const char* kLatencyTail = "latency_tail";
+constexpr const char* kRejectRate = "reject_rate";
+constexpr const char* kQueueDepth = "queue_depth";
+
+std::uint64_t counter_or_zero(const std::map<std::string, std::uint64_t>& m,
+                              const std::string& name) {
+  const auto it = m.find(name);
+  return it == m.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+SloMonitor::SloMonitor(SloOptions opts) : opts_(std::move(opts)) {
+  rules_[kLatencyTail].threshold = opts_.thresholds.max_p99_over_p50;
+  rules_[kRejectRate].threshold = opts_.thresholds.max_reject_rate;
+  rules_[kQueueDepth].threshold = opts_.thresholds.max_queue_depth;
+}
+
+void SloMonitor::set_alert_hook(std::function<void(const SloAlert&)> hook) {
+  std::scoped_lock lock(mutex_);
+  hook_ = std::move(hook);
+}
+
+void SloMonitor::judge(const std::string& rule, double value,
+                       std::uint64_t window, std::vector<SloAlert>& alerts) {
+  RuleState& st = rules_[rule];
+  st.last_value = value;
+  st.ever_evaluated = true;
+
+  if (value > st.threshold) {
+    ++st.bad_streak;
+    st.good_streak = 0;
+  } else if (value <= st.threshold * opts_.clear_fraction) {
+    ++st.good_streak;
+    st.bad_streak = 0;
+  } else {
+    // Hysteresis band: neither clearly bad nor clearly good — both
+    // streaks restart so the band cannot be ridden into a transition.
+    st.bad_streak = 0;
+    st.good_streak = 0;
+  }
+
+  const bool trip = !st.tripped && st.bad_streak >= opts_.trip_after;
+  const bool clear = st.tripped && st.good_streak >= opts_.clear_after;
+  if (trip || clear) {
+    st.tripped = trip;
+    if (trip) ++st.trips;
+    SloAlert alert;
+    alert.rule = rule;
+    alert.tripped = st.tripped;
+    alert.value = value;
+    alert.threshold = st.threshold;
+    alert.window = window;
+    alerts.push_back(std::move(alert));
+  }
+  export_rule(rule, st);
+}
+
+void SloMonitor::export_rule(const std::string& rule, const RuleState& st) {
+  if (!opts_.export_metrics) return;
+  auto& reg = MetricsRegistry::global();
+  const std::string base = opts_.export_scope + "/" + rule;
+  reg.gauge(base + "/tripped").set(st.tripped ? 1.0 : 0.0);
+  reg.gauge(base + "/value").set(st.last_value);
+  // Counter mirrors the internal trip total so reset(prefix) on the
+  // export scope cannot double-count: set-by-difference.
+  Counter& trips = reg.counter(base + "/trips");
+  if (st.trips > trips.value()) trips.add(st.trips - trips.value());
+}
+
+std::vector<SloAlert> SloMonitor::observe(const MetricsSnapshot& snap) {
+  std::scoped_lock lock(mutex_);
+  std::vector<SloAlert> alerts;
+  const std::uint64_t window = windows_++;
+
+  if (has_prev_) {
+    // latency_tail: window percentiles from the bucket deltas.
+    const auto hit = snap.histograms.find(opts_.scope + "/request_seconds");
+    if (hit != snap.histograms.end()) {
+      HistogramSnapshot window_hist = hit->second;
+      const auto pit = prev_.histograms.find(hit->first);
+      if (pit != prev_.histograms.end()) {
+        window_hist = hit->second.since(pit->second);
+      }
+      if (window_hist.count >= opts_.min_window_count) {
+        const double p50 = window_hist.percentile(0.5);
+        const double p99 = window_hist.percentile(0.99);
+        if (p50 > 0.0) judge(kLatencyTail, p99 / p50, window, alerts);
+      }
+    }
+
+    // reject_rate: admission outcomes over the window.
+    const std::string admitted_name = opts_.scope + "/requests_admitted";
+    const std::string rejected_name = opts_.scope + "/requests_rejected";
+    const std::uint64_t d_admitted =
+        counter_or_zero(snap.counters, admitted_name) -
+        counter_or_zero(prev_.counters, admitted_name);
+    const std::uint64_t d_rejected =
+        counter_or_zero(snap.counters, rejected_name) -
+        counter_or_zero(prev_.counters, rejected_name);
+    const std::uint64_t offered = d_admitted + d_rejected;
+    if (offered >= opts_.min_window_count) {
+      judge(kRejectRate,
+            static_cast<double>(d_rejected) / static_cast<double>(offered),
+            window, alerts);
+    }
+  }
+
+  // queue_depth: instantaneous high-water across shards — gauges need
+  // no baseline, so the first window already judges it.
+  {
+    const std::string exact = opts_.scope + "/queue_depth";
+    const std::string prefix = opts_.scope + "/";
+    const std::string suffix = "/queue_depth";
+    double depth = 0.0;
+    bool found = false;
+    for (const auto& [name, v] : snap.gauges) {
+      const bool shard_scoped =
+          name.size() > prefix.size() + suffix.size() &&
+          name.compare(0, prefix.size(), prefix) == 0 &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0;
+      if (name == exact || shard_scoped) {
+        depth = std::max(depth, v);
+        found = true;
+      }
+    }
+    if (found) judge(kQueueDepth, depth, window, alerts);
+  }
+
+  prev_ = snap;
+  has_prev_ = true;
+
+  if (hook_) {
+    for (const SloAlert& alert : alerts) hook_(alert);
+  }
+  return alerts;
+}
+
+bool SloMonitor::any_tripped() const {
+  std::scoped_lock lock(mutex_);
+  for (const auto& [rule, st] : rules_) {
+    if (st.tripped) return true;
+  }
+  return false;
+}
+
+bool SloMonitor::tripped(const std::string& rule) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = rules_.find(rule);
+  return it != rules_.end() && it->second.tripped;
+}
+
+std::uint64_t SloMonitor::trips(const std::string& rule) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = rules_.find(rule);
+  return it == rules_.end() ? 0 : it->second.trips;
+}
+
+double SloMonitor::last_value(const std::string& rule) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = rules_.find(rule);
+  return it == rules_.end() ? 0.0 : it->second.last_value;
+}
+
+std::uint64_t SloMonitor::windows() const {
+  std::scoped_lock lock(mutex_);
+  return windows_;
+}
+
+std::string SloMonitor::summary() const {
+  std::scoped_lock lock(mutex_);
+  std::ostringstream out;
+  out.precision(4);
+  bool first = true;
+  for (const auto& [rule, st] : rules_) {
+    if (!first) out << ' ';
+    first = false;
+    out << rule << '='
+        << (!st.ever_evaluated ? "n/a" : st.tripped ? "TRIPPED" : "ok");
+    if (st.ever_evaluated) {
+      out << '(' << st.last_value << '/' << st.threshold << ')';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace zipflm::obs

@@ -1,0 +1,129 @@
+#include "zipflm/obs/telemetry.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace zipflm::obs {
+
+namespace {
+
+void write_args(std::ostream& out, const OwnedTraceEvent& ev) {
+  bool any = false;
+  for (const auto& n : ev.arg_name) any = any || !n.empty();
+  if (!any) return;
+  out << ",\"args\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < TraceEvent::kMaxArgs; ++i) {
+    if (ev.arg_name[i].empty()) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"';
+    detail::json_escape(out, ev.arg_name[i]);
+    out << "\":" << ev.arg[i];
+  }
+  out << '}';
+}
+
+}  // namespace
+
+TraceExportStats write_chrome_trace_merged(
+    std::ostream& out, const std::vector<ProcessTrace>& processes) {
+  TraceExportStats stats;
+
+  // One pass to find the earliest aligned timestamp: the whole
+  // document is shifted so it lands at ts 0 (Chrome dislikes negative
+  // timestamps, and clock alignment can push the fastest-starting
+  // worker's events below the collector's origin).
+  std::int64_t base = std::numeric_limits<std::int64_t>::max();
+  for (const ProcessTrace& pt : processes) {
+    for (const LaneSnapshot& lane : pt.lanes) {
+      for (const OwnedTraceEvent& ev : lane.events) {
+        base = std::min(base, static_cast<std::int64_t>(ev.start_ns) -
+                                  pt.clock_offset_ns);
+      }
+    }
+  }
+  if (base == std::numeric_limits<std::int64_t>::max()) base = 0;
+
+  const auto saved_precision = out.precision(15);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out << ',';
+    first = false;
+  };
+
+  for (const ProcessTrace& pt : processes) {
+    comma();
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pt.pid
+        << ",\"args\":{\"name\":\"";
+    detail::json_escape(out, pt.label);
+    out << "\"}}";
+    comma();
+    out << "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":" << pt.pid
+        << ",\"args\":{\"sort_index\":" << pt.pid << "}}";
+
+    // Stable tid assignment: lanes arrive pre-ordered by (sort_key,
+    // label) from trace_lane_snapshot; tids are per-pid.
+    for (std::size_t tid = 0; tid < pt.lanes.size(); ++tid) {
+      const LaneSnapshot& lane = pt.lanes[tid];
+      if (lane.events.empty() && lane.dropped == 0) continue;
+      ++stats.lanes;
+      stats.dropped += lane.dropped;
+
+      comma();
+      out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pt.pid
+          << ",\"tid\":" << tid << ",\"args\":{\"name\":\"";
+      detail::json_escape(out, lane.label);
+      if (lane.dropped > 0) out << " (dropped " << lane.dropped << ")";
+      out << "\"}}";
+      comma();
+      out << "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":" << pt.pid
+          << ",\"tid\":" << tid
+          << ",\"args\":{\"sort_index\":" << lane.sort_key << "}}";
+
+      for (const OwnedTraceEvent& ev : lane.events) {
+        const std::int64_t aligned =
+            static_cast<std::int64_t>(ev.start_ns) - pt.clock_offset_ns - base;
+        comma();
+        // Chrome trace timestamps are microseconds; keep ns resolution
+        // with three decimals.
+        out << "{\"name\":\"";
+        detail::json_escape(out, ev.name);
+        out << "\",\"ph\":\"" << (ev.instant ? 'i' : 'X')
+            << "\",\"pid\":" << pt.pid << ",\"tid\":" << tid
+            << ",\"ts\":" << static_cast<double>(aligned) / 1e3;
+        if (ev.instant) {
+          out << ",\"s\":\"t\"";
+        } else {
+          out << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3;
+        }
+        write_args(out, ev);
+        out << '}';
+        ++stats.events;
+      }
+    }
+  }
+  out << "]}";
+  out.precision(saved_precision);
+  return stats;
+}
+
+TraceExportStats write_chrome_trace_merged_file(
+    const std::string& path, const std::vector<ProcessTrace>& processes) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+  const TraceExportStats stats = write_chrome_trace_merged(out, processes);
+  out.flush();
+  if (!out.good()) {
+    throw std::runtime_error("trace write failed: " + path);
+  }
+  return stats;
+}
+
+}  // namespace zipflm::obs

@@ -1,23 +1,46 @@
 #include "zipflm/obs/trace.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
-#include <stdexcept>
 #include <vector>
+
+#include "zipflm/obs/metrics.hpp"
+#include "zipflm/obs/telemetry.hpp"
 
 namespace zipflm::obs {
 
 namespace detail {
 std::atomic<bool> g_enabled{false};
+
+void json_escape(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+          << "0123456789abcdef"[c & 0xF];
+    } else {
+      out << c;
+    }
+  }
+}
 }  // namespace detail
 
 namespace {
 
 constexpr std::size_t kDefaultCapacity = 1 << 15;  // events per lane
+
+/// Cumulative drop-oldest losses across every lane, surfaced in every
+/// metrics snapshot so silent span loss is visible off-box.  Function-
+/// local so the registry outlives any static-destruction order games.
+Counter& dropped_spans_counter() {
+  static Counter& c =
+      MetricsRegistry::global().counter("obs/trace_dropped_spans");
+  return c;
+}
 
 /// One lane's ring.  The owning thread is the only writer of `ring_`
 /// slots and the only `head_` incrementer; the exporter reads `head_`
@@ -34,6 +57,7 @@ class TraceBuffer {
     // release store below publishes the resize together with the slot.
     if (ring_.empty()) ring_.resize(capacity_);
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h >= capacity_) dropped_spans_counter().add();  // overwriting a survivor
     ring_[static_cast<std::size_t>(h % capacity_)] = ev;
     head_.store(h + 1, std::memory_order_release);
   }
@@ -66,7 +90,7 @@ class TraceBuffer {
 };
 
 /// Global registry of lane buffers.  All mutation (adoption, clear,
-/// export) is mutex-guarded; only the per-event fast path bypasses it.
+/// snapshot) is mutex-guarded; only the per-event fast path bypasses it.
 class Collector {
  public:
   static Collector& get() {
@@ -99,13 +123,65 @@ class Collector {
     for (auto& [label, buf] : lanes_) buf->clear();
   }
 
-  TraceExportStats write(std::ostream& out);
+  void set_process_label(const std::string& label) {
+    std::scoped_lock lock(mutex_);
+    process_label_ = label;
+  }
+
+  std::string process_label() {
+    std::scoped_lock lock(mutex_);
+    return process_label_;
+  }
+
+  std::vector<LaneSnapshot> snapshot_lanes();
 
  private:
   std::mutex mutex_;
   std::map<std::string, std::shared_ptr<TraceBuffer>> lanes_;
   std::size_t capacity_ = kDefaultCapacity;
+  std::string process_label_ = "zipflm";
 };
+
+std::vector<LaneSnapshot> Collector::snapshot_lanes() {
+  std::scoped_lock lock(mutex_);
+
+  // Stable ordering: lanes by sort key, then label — the merged writer
+  // assigns tids in this order.
+  std::vector<TraceBuffer*> ordered;
+  ordered.reserve(lanes_.size());
+  for (auto& [label, buf] : lanes_) ordered.push_back(buf.get());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceBuffer* a, const TraceBuffer* b) {
+                     return a->sort_key() != b->sort_key()
+                                ? a->sort_key() < b->sort_key()
+                                : a->label() < b->label();
+                   });
+
+  std::vector<LaneSnapshot> out;
+  out.reserve(ordered.size());
+  std::vector<TraceEvent> events;
+  for (TraceBuffer* buf : ordered) {
+    LaneSnapshot lane;
+    lane.label = buf->label();
+    lane.sort_key = buf->sort_key();
+    lane.dropped = buf->snapshot(events);
+    lane.events.reserve(events.size());
+    for (const TraceEvent& ev : events) {
+      OwnedTraceEvent o;
+      o.name = ev.name != nullptr ? ev.name : "";
+      for (std::size_t i = 0; i < TraceEvent::kMaxArgs; ++i) {
+        if (ev.arg_name[i] != nullptr) o.arg_name[i] = ev.arg_name[i];
+        o.arg[i] = ev.arg[i];
+      }
+      o.start_ns = ev.start_ns;
+      o.dur_ns = ev.dur_ns;
+      o.instant = ev.instant;
+      lane.events.push_back(std::move(o));
+    }
+    out.push_back(std::move(lane));
+  }
+  return out;
+}
 
 /// The calling thread's lane binding.  Holding a shared_ptr keeps the
 /// buffer alive past thread exit; the Collector holds the other
@@ -130,98 +206,6 @@ TraceBuffer& thread_buffer() {
         Collector::get().adopt("thread " + std::to_string(n), 1000 + n);
   }
   return *lane.buffer;
-}
-
-void json_escape(std::ostream& out, const char* s) {
-  for (; *s != '\0'; ++s) {
-    const char c = *s;
-    if (c == '"' || c == '\\') {
-      out << '\\' << c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
-          << "0123456789abcdef"[c & 0xF];
-    } else {
-      out << c;
-    }
-  }
-}
-
-void write_args(std::ostream& out, const TraceEvent& ev) {
-  if (ev.arg0_name == nullptr && ev.arg1_name == nullptr) return;
-  out << ",\"args\":{";
-  bool first = true;
-  for (const auto& [name, value] :
-       {std::pair{ev.arg0_name, ev.arg0}, std::pair{ev.arg1_name, ev.arg1}}) {
-    if (name == nullptr) continue;
-    if (!first) out << ',';
-    first = false;
-    out << '"';
-    json_escape(out, name);
-    out << "\":" << value;
-  }
-  out << '}';
-}
-
-TraceExportStats Collector::write(std::ostream& out) {
-  std::scoped_lock lock(mutex_);
-  TraceExportStats stats;
-
-  // Stable tid assignment: lanes ordered by sort key, then label.
-  std::vector<TraceBuffer*> ordered;
-  ordered.reserve(lanes_.size());
-  for (auto& [label, buf] : lanes_) ordered.push_back(buf.get());
-  std::stable_sort(ordered.begin(), ordered.end(),
-                   [](const TraceBuffer* a, const TraceBuffer* b) {
-                     return a->sort_key() != b->sort_key()
-                                ? a->sort_key() < b->sort_key()
-                                : a->label() < b->label();
-                   });
-
-  out << "{\"traceEvents\":[";
-  bool first = true;
-  const auto comma = [&] {
-    if (!first) out << ',';
-    first = false;
-  };
-  std::vector<TraceEvent> events;
-  for (std::size_t tid = 0; tid < ordered.size(); ++tid) {
-    const TraceBuffer& buf = *ordered[tid];
-    const std::uint64_t dropped = buf.snapshot(events);
-    if (events.empty() && dropped == 0) continue;
-    ++stats.lanes;
-    stats.dropped += dropped;
-
-    comma();
-    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-        << ",\"args\":{\"name\":\"";
-    json_escape(out, buf.label().c_str());
-    if (dropped > 0) out << " (dropped " << dropped << ")";
-    out << "\"}}";
-    comma();
-    out << "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":"
-        << tid << ",\"args\":{\"sort_index\":" << buf.sort_key() << "}}";
-
-    for (const TraceEvent& ev : events) {
-      comma();
-      // Chrome trace timestamps are microseconds; keep ns resolution
-      // with three decimals.
-      out << "{\"name\":\"";
-      json_escape(out, ev.name);
-      out << "\",\"ph\":\"" << (ev.instant ? 'i' : 'X')
-          << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":"
-          << static_cast<double>(ev.start_ns) / 1e3;
-      if (ev.instant) {
-        out << ",\"s\":\"t\"";
-      } else {
-        out << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3;
-      }
-      write_args(out, ev);
-      out << '}';
-      ++stats.events;
-    }
-  }
-  out << "]}";
-  return stats;
 }
 
 }  // namespace
@@ -256,21 +240,31 @@ void set_thread_lane(const std::string& label, int sort_key) {
   thread_lane().buffer = Collector::get().adopt(label, sort_key);
 }
 
+void set_process_label(const std::string& label) {
+  Collector::get().set_process_label(label);
+}
+
+std::string process_label() { return Collector::get().process_label(); }
+
+std::vector<LaneSnapshot> trace_lane_snapshot() {
+  return Collector::get().snapshot_lanes();
+}
+
 TraceExportStats write_chrome_trace(std::ostream& out) {
-  return Collector::get().write(out);
+  // The local export is the one-process case of the merged writer.
+  ProcessTrace self;
+  self.label = process_label();
+  self.pid = 1;
+  self.lanes = trace_lane_snapshot();
+  return write_chrome_trace_merged(out, {std::move(self)});
 }
 
 TraceExportStats write_chrome_trace_file(const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) {
-    throw std::runtime_error("cannot open trace file: " + path);
-  }
-  const TraceExportStats stats = write_chrome_trace(out);
-  out.flush();
-  if (!out.good()) {
-    throw std::runtime_error("trace write failed: " + path);
-  }
-  return stats;
+  ProcessTrace self;
+  self.label = process_label();
+  self.pid = 1;
+  self.lanes = trace_lane_snapshot();
+  return write_chrome_trace_merged_file(path, {std::move(self)});
 }
 
 }  // namespace zipflm::obs

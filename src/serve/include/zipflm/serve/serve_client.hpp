@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "zipflm/net/transport.hpp"
+#include "zipflm/obs/metrics.hpp"
 #include "zipflm/serve/server.hpp"
 
 namespace zipflm::serve {
@@ -36,6 +38,12 @@ class ServeClient {
 
   /// Non-blocking: only checks the stash of already-arrived responses.
   bool try_collect(std::uint64_t request_id, Response& out);
+
+  /// Pull the frontend's live metrics registry, filtered to names
+  /// starting with `prefix` ("" = everything).  Blocks for the
+  /// StatsReply; Response frames that arrive meanwhile are stashed
+  /// like any other out-of-order frame.
+  obs::MetricsSnapshot stats(const std::string& prefix = "");
 
   /// Tell the frontend this client is finished.  Idempotent; also sent
   /// by the destructor.  No submit()/wait() afterwards.

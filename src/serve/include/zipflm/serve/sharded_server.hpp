@@ -38,6 +38,10 @@
 
 #include "zipflm/serve/server.hpp"
 
+namespace zipflm::obs {
+class Counter;
+}
+
 namespace zipflm::serve {
 
 struct ShardedServeOptions {
@@ -116,6 +120,9 @@ class ShardedServer {
   std::unordered_map<std::uint64_t, Route> routes_;
   std::list<std::uint64_t> route_lru_;
   std::uint64_t steals_ = 0;
+  /// Registry mirror of steals_ ("<metrics_scope>/steals") so stats
+  /// pulls and snapshots see routing pressure without a facade call.
+  obs::Counter* steals_counter_ = nullptr;
 };
 
 }  // namespace zipflm::serve

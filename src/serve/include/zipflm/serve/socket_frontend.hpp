@@ -34,11 +34,12 @@
 namespace zipflm::serve {
 
 struct FrontendStats {
-  std::uint64_t frames_received = 0;  ///< Submit + Bye frames decoded
-  std::uint64_t frames_sent = 0;      ///< Admission + Response frames
+  std::uint64_t frames_received = 0;  ///< Submit + Bye + Stats decoded
+  std::uint64_t frames_sent = 0;      ///< Admission/Response/StatsReply
   std::uint64_t submits = 0;
   std::uint64_t accepts = 0;
   std::uint64_t rejects = 0;
+  std::uint64_t stats_requests = 0;  ///< live-introspection pulls served
   std::uint64_t orphaned_responses = 0;  ///< peer gone before its reply
 };
 

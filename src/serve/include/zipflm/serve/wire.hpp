@@ -13,19 +13,26 @@
 // a malformed frame surfaces as net::ProtocolError, never as a
 // mis-parsed request.
 //
-//   Submit    (client -> server): session_id, new_tokens, seed,
-//                                 generate options, context tokens
-//   Admission (server -> client): accepted, request_id, queue_depth,
-//                                 retry_after_seconds
-//   Response  (server -> client): the full serve::Response
-//   Bye       (client -> server): no body; peer will submit no more
+//   Submit       (client -> server): session_id, new_tokens, seed,
+//                                    generate options, context tokens
+//   Admission    (server -> client): accepted, request_id, queue_depth,
+//                                    retry_after_seconds
+//   Response     (server -> client): the full serve::Response
+//   Bye          (client -> server): no body; peer will submit no more
+//   StatsRequest (client -> server): metric-name prefix filter
+//   StatsReply   (server -> client): the frontend's MetricsRegistry
+//                                    snapshot (full histogram buckets,
+//                                    encoded by net::telemetry) — live
+//                                    introspection for zipflm_top
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "zipflm/net/transport.hpp"
+#include "zipflm/obs/metrics.hpp"
 #include "zipflm/serve/server.hpp"
 
 namespace zipflm::serve::wire {
@@ -35,6 +42,8 @@ enum class FrameType : std::uint8_t {
   Admission = 2,
   Response = 3,
   Bye = 4,
+  StatsRequest = 5,
+  StatsReply = 6,
 };
 
 /// Frames larger than this are rejected as protocol violations before
@@ -47,6 +56,8 @@ std::vector<std::byte> encode_submit(const Request& request);
 std::vector<std::byte> encode_admission(const Admission& admission);
 std::vector<std::byte> encode_response(const Response& response);
 std::vector<std::byte> encode_bye();
+std::vector<std::byte> encode_stats_request(const std::string& prefix);
+std::vector<std::byte> encode_stats_reply(const obs::MetricsSnapshot& snap);
 
 /// Type of an already-received payload.  Throws net::ProtocolError on
 /// an empty payload or unknown type byte.
@@ -57,6 +68,8 @@ FrameType frame_type(const std::vector<std::byte>& payload);
 Request decode_submit(const std::vector<std::byte>& payload);
 Admission decode_admission(const std::vector<std::byte>& payload);
 Response decode_response(const std::vector<std::byte>& payload);
+std::string decode_stats_request(const std::vector<std::byte>& payload);
+obs::MetricsSnapshot decode_stats_reply(const std::vector<std::byte>& payload);
 
 /// Blocking convenience used by the client (and tests): send/receive
 /// one length-prefixed frame through `transport` to/from `peer`.

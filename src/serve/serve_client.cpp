@@ -68,6 +68,28 @@ Response ServeClient::wait(std::uint64_t request_id) {
   return out;
 }
 
+obs::MetricsSnapshot ServeClient::stats(const std::string& prefix) {
+  ZIPFLM_CHECK(!bye_sent_, "client already said bye");
+  wire::send_frame(transport_, server_rank_,
+                   wire::encode_stats_request(prefix));
+  while (true) {
+    const std::vector<std::byte> frame = next_frame();
+    switch (wire::frame_type(frame)) {
+      case wire::FrameType::StatsReply:
+        return wire::decode_stats_reply(frame);
+      case wire::FrameType::Response: {
+        // An in-flight request finished while we awaited the stats.
+        Response response = wire::decode_response(frame);
+        stash_.insert_or_assign(response.request_id, std::move(response));
+        continue;
+      }
+      default:
+        throw net::ProtocolError(
+            "unexpected serve frame while awaiting stats");
+    }
+  }
+}
+
 bool ServeClient::try_collect(std::uint64_t request_id, Response& out) {
   const auto it = stash_.find(request_id);
   if (it == stash_.end()) return false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "zipflm/obs/metrics.hpp"
 #include "zipflm/support/error.hpp"
 #include "zipflm/support/rng.hpp"
 
@@ -26,6 +27,8 @@ ShardedServer::ShardedServer(std::vector<LmModel*> models,
     shards_.push_back(
         std::make_unique<Server>(*models[k], std::move(shard_options)));
   }
+  steals_counter_ = &obs::MetricsRegistry::global().counter(
+      options_.server.metrics_scope + "/steals");
 }
 
 ShardedServer::~ShardedServer() { stop(); }
@@ -104,6 +107,7 @@ Admission ShardedServer::submit(Request request) {
     }
     if (best != target) {
       target = best;
+      steals_counter_->add();
       std::lock_guard lock(router_mutex_);
       steals_ += 1;
     }

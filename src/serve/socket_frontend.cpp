@@ -1,8 +1,11 @@
 #include "zipflm/serve/socket_frontend.hpp"
 
+#include <map>
 #include <span>
+#include <string>
 #include <utility>
 
+#include "zipflm/obs/metrics.hpp"
 #include "zipflm/support/error.hpp"
 
 namespace zipflm::serve {
@@ -104,11 +107,33 @@ void SocketFrontend::handle_frame(int rank, Peer& peer) {
       push_frame(rank, peer, wire::encode_admission(admission));
       return;
     }
+    case wire::FrameType::StatsRequest: {
+      // Live introspection: ship the registry (filtered by the
+      // requested prefix) straight off the event loop — snapshotting
+      // is lock-light and the reply rides the normal send queue.
+      stats_.stats_requests += 1;
+      const std::string prefix = wire::decode_stats_request(peer.body);
+      obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+      if (!prefix.empty()) {
+        const auto keep = [&](const std::string& name) {
+          return name.compare(0, prefix.size(), prefix) == 0;
+        };
+        std::erase_if(snap.counters,
+                      [&](const auto& kv) { return !keep(kv.first); });
+        std::erase_if(snap.gauges,
+                      [&](const auto& kv) { return !keep(kv.first); });
+        std::erase_if(snap.histograms,
+                      [&](const auto& kv) { return !keep(kv.first); });
+      }
+      push_frame(rank, peer, wire::encode_stats_reply(snap));
+      return;
+    }
     case wire::FrameType::Bye:
       peer.gone = true;
       return;
     case wire::FrameType::Admission:
     case wire::FrameType::Response:
+    case wire::FrameType::StatsReply:
       throw net::ProtocolError(
           "client sent a server-only serve frame (type " +
           std::to_string(static_cast<int>(peer.body.front())) + ") from rank " +

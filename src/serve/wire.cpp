@@ -3,6 +3,8 @@
 #include <cstring>
 #include <string>
 
+#include "zipflm/net/telemetry.hpp"
+
 namespace zipflm::serve::wire {
 namespace {
 
@@ -18,6 +20,10 @@ class Writer {
   void tokens(const std::vector<Index>& t) {
     u64(t.size());
     if (!t.empty()) raw(t.data(), t.size() * sizeof(Index));
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    if (!s.empty()) raw(s.data(), s.size());
   }
 
   std::vector<std::byte> take() { return std::move(bytes_); }
@@ -73,6 +79,16 @@ class Reader {
     std::vector<Index> t(static_cast<std::size_t>(count));
     if (count > 0) raw(t.data(), t.size() * sizeof(Index));
     return t;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (n > bytes_.size() - cursor_) {
+      throw net::ProtocolError("serve frame string length " +
+                               std::to_string(n) + " exceeds the frame");
+    }
+    std::string s(static_cast<std::size_t>(n), '\0');
+    if (n > 0) raw(s.data(), s.size());
+    return s;
   }
 
   void finish() const {
@@ -180,13 +196,52 @@ Response decode_response(const std::vector<std::byte>& payload) {
 
 std::vector<std::byte> encode_bye() { return Writer(FrameType::Bye).take(); }
 
+std::vector<std::byte> encode_stats_request(const std::string& prefix) {
+  Writer w(FrameType::StatsRequest);
+  w.str(prefix);
+  return w.take();
+}
+
+std::string decode_stats_request(const std::vector<std::byte>& payload) {
+  Reader r(payload, FrameType::StatsRequest);
+  std::string prefix = r.str();
+  r.finish();
+  return prefix;
+}
+
+std::vector<std::byte> encode_stats_reply(const obs::MetricsSnapshot& snap) {
+  // Type byte + the telemetry plane's snapshot encoding (full
+  // histogram buckets, so the client computes exact windowed
+  // percentiles from bucket deltas).
+  std::vector<std::byte> payload;
+  payload.push_back(
+      static_cast<std::byte>(static_cast<std::uint8_t>(FrameType::StatsReply)));
+  net::telemetry::write_metrics_snapshot(payload, snap);
+  return payload;
+}
+
+obs::MetricsSnapshot decode_stats_reply(const std::vector<std::byte>& payload) {
+  if (frame_type(payload) != FrameType::StatsReply) {
+    throw net::ProtocolError("serve frame is not a StatsReply");
+  }
+  std::size_t cursor = 1;
+  obs::MetricsSnapshot snap =
+      net::telemetry::read_metrics_snapshot(payload, cursor);
+  if (cursor != payload.size()) {
+    throw net::ProtocolError(
+        "serve StatsReply carries " + std::to_string(payload.size() - cursor) +
+        " trailing bytes");
+  }
+  return snap;
+}
+
 FrameType frame_type(const std::vector<std::byte>& payload) {
   if (payload.empty()) {
     throw net::ProtocolError("empty serve frame");
   }
   const auto type = static_cast<std::uint8_t>(payload.front());
   if (type < static_cast<std::uint8_t>(FrameType::Submit) ||
-      type > static_cast<std::uint8_t>(FrameType::Bye)) {
+      type > static_cast<std::uint8_t>(FrameType::StatsReply)) {
     throw net::ProtocolError("unknown serve frame type " +
                              std::to_string(type));
   }
