@@ -6,14 +6,183 @@
 // Two measurements: the calibrated memory model at paper scale, and the
 // *functional* exchange scratch measured by running both exchanges over
 // the thread-backed collectives against a simulated MemoryPool.
+//
+// --shard-embedding [--gpus G] switches to the row-sharding frontier
+// demonstration (ROADMAP item 4): a char LM whose input table is sized
+// so the REPLICATED configuration provably OOMs the per-rank simulated
+// pool at construction, while the G-way row shard of the very same
+// vocabulary trains an epoch to completion.  The RESULT record carries
+// replicated_table_bytes and the measured per-rank shard bytes — the
+// numbers scripts/bench_regression.sh's ZIPFLM_MEM_GATE asserts on
+// (per-rank sharded table <= 0.30x the replicated table).  Exit is
+// nonzero if the replicated run fails to OOM or the sharded run fails
+// to train — the frontier claim itself is the gate.
+#include <cmath>
+#include <cstring>
+
 #include "bench_common.hpp"
 #include "zipflm/comm/thread_comm.hpp"
 #include "zipflm/core/exchange.hpp"
+#include "zipflm/core/trainer.hpp"
 #include "zipflm/sim/perf_model.hpp"
 
 using namespace zipflm;
 
-int main() {
+namespace {
+
+/// The frontier char LM: a 120k-row input table (30.7 MB of FP32 at
+/// D=64) against a deliberately small 128 MB simulated card.  With
+/// grads and Adam moments charged, the replicated model needs ~185 MB
+/// per rank; a 4-way shard needs ~93 MB.
+constexpr Index kFrontierVocab = 120'000;
+constexpr Index kFrontierDim = 64;
+constexpr Index kFrontierHidden = 32;
+constexpr std::size_t kFrontierCapacity = 128ull << 20;
+
+DistributedTrainer::ModelFactory frontier_factory(int shard_world) {
+  return [shard_world](int rank) -> std::unique_ptr<LmModel> {
+    CharLmConfig cfg;
+    cfg.vocab = kFrontierVocab;
+    cfg.embed_dim = kFrontierDim;
+    cfg.hidden_dim = kFrontierHidden;
+    cfg.depth = 2;
+    cfg.seed = 7;
+    cfg.shard_rank = rank;
+    cfg.shard_world = shard_world;  // 0 = replicated
+    return std::make_unique<CharLm>(cfg);
+  };
+}
+
+TrainerOptions frontier_options(bool shard) {
+  TrainerOptions opt;
+  opt.batch = BatchSpec{2, 6};
+  opt.base_lr = 5e-3f;
+  opt.lr_decay = 1.0f;
+  opt.clip = 5.0f;
+  opt.use_adam = true;  // moments double the static charge — the point
+  opt.shard_embedding = shard;
+  opt.device.name = "sim-small";
+  opt.device.memory_bytes = kFrontierCapacity;
+  return opt;
+}
+
+int run_shard_frontier(int gpus) {
+  bench::print_header(
+      "Row-sharded embedding: the OOM frontier (char LM)",
+      "replicated table OOMs the per-rank pool; the G-way shard trains",
+      "DistributedTrainer + simulated MemoryPool, static memory charged");
+
+  const std::size_t replicated_table_bytes =
+      static_cast<std::size_t>(kFrontierVocab) *
+      static_cast<std::size_t>(kFrontierDim) * sizeof(float);
+  std::printf("vocab %lld x dim %lld = %s replicated table, %s card, "
+              "%d GPUs\n\n",
+              static_cast<long long>(kFrontierVocab),
+              static_cast<long long>(kFrontierDim),
+              format_bytes(replicated_table_bytes).c_str(),
+              format_bytes(kFrontierCapacity).c_str(), gpus);
+
+  // Leg 1: the replicated configuration must fail to even construct —
+  // params + grads + Adam moments for the full table (plus the dense
+  // softmax) exceed the per-rank pool.
+  bool replicated_oom = false;
+  try {
+    CommWorld world(gpus);
+    DistributedTrainer trainer(world, frontier_factory(0),
+                               frontier_options(false));
+    std::fprintf(stderr,
+                 "replicated frontier model unexpectedly fit the pool\n");
+  } catch (const OutOfMemoryError& e) {
+    replicated_oom = true;
+    std::printf("replicated: OOM, as intended — %s\n", e.what());
+  }
+
+  // Leg 2: the same vocabulary, row-sharded G ways, trains an epoch to
+  // completion inside the same per-rank budget.
+  std::vector<Index> train_ids(512);
+  std::vector<Index> valid_ids(128);
+  Rng rng(13);
+  for (auto& id : train_ids) {
+    id = static_cast<Index>(
+        rng.uniform_index(static_cast<std::uint64_t>(kFrontierVocab)));
+  }
+  for (auto& id : valid_ids) {
+    id = static_cast<Index>(
+        rng.uniform_index(static_cast<std::uint64_t>(kFrontierVocab)));
+  }
+
+  bool sharded_trained = false;
+  std::size_t shard_bytes_per_rank = 0;
+  std::uint64_t peak_bytes = 0;
+  double train_loss = 0.0;
+  double valid_loss = 0.0;
+  try {
+    CommWorld world(gpus);
+    DistributedTrainer trainer(world, frontier_factory(gpus),
+                               frontier_options(true));
+    const EpochStats stats = trainer.run_epoch(train_ids, valid_ids, 0);
+    train_loss = stats.train_loss;
+    valid_loss = stats.valid_loss;
+    peak_bytes = stats.peak_memory_bytes;
+    for (int r = 0; r < gpus; ++r) {
+      auto* lm = dynamic_cast<CharLm*>(&trainer.model(r));
+      const std::size_t bytes =
+          lm->sharded_input()->param().value.bytes();
+      shard_bytes_per_rank = std::max(shard_bytes_per_rank, bytes);
+    }
+    sharded_trained = std::isfinite(stats.train_loss) &&
+                      std::isfinite(stats.valid_loss) && stats.steps > 0;
+    std::printf("sharded (%d-way): trained %llu steps, train %.4f / "
+                "valid %.4f nats, peak %s/rank, table %s/rank\n",
+                gpus, static_cast<unsigned long long>(stats.steps),
+                stats.train_loss, stats.valid_loss,
+                format_bytes(peak_bytes).c_str(),
+                format_bytes(shard_bytes_per_rank).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sharded frontier run failed: %s\n", e.what());
+  }
+
+  const double ratio =
+      static_cast<double>(shard_bytes_per_rank) /
+      static_cast<double>(replicated_table_bytes);
+  std::printf("per-rank table: %s sharded vs %s replicated (%.2fx)\n",
+              format_bytes(shard_bytes_per_rank).c_str(),
+              format_bytes(replicated_table_bytes).c_str(), ratio);
+
+  std::printf(
+      "RESULT {\"bench\":\"mem_footprint\",\"shard_embedding\":true,"
+      "\"gpus\":%d,\"vocab\":%lld,\"embed_dim\":%lld,"
+      "\"device_capacity_bytes\":%zu,\"replicated_oom\":%s,"
+      "\"replicated_table_bytes\":%zu,\"sharded_table_bytes_per_rank\":%zu,"
+      "\"shard_table_ratio\":%.4f,\"sharded_trained\":%s,"
+      "\"train_loss\":%.6f,\"valid_loss\":%.6f,\"peak_memory_bytes\":%llu}\n",
+      gpus, static_cast<long long>(kFrontierVocab),
+      static_cast<long long>(kFrontierDim), kFrontierCapacity,
+      replicated_oom ? "true" : "false", replicated_table_bytes,
+      shard_bytes_per_rank, ratio, sharded_trained ? "true" : "false",
+      train_loss, valid_loss, static_cast<unsigned long long>(peak_bytes));
+  return replicated_oom && sharded_trained ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool shard = false;
+  int gpus = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shard-embedding") == 0) {
+      shard = true;
+    } else if (std::strcmp(argv[i], "--gpus") == 0 && i + 1 < argc) {
+      gpus = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_mem_footprint [--shard-embedding] "
+                   "[--gpus G]\n");
+      return 2;
+    }
+  }
+  if (shard) return run_shard_frontier(gpus);
+
   bench::print_header(
       "Memory footprint: baseline vs techniques (word LM)",
       "paper: 3.9/7.1/10.3 GB growing vs 1.19-1.21 GB flat; 8.6x @24",
@@ -55,11 +224,14 @@ int main() {
               "tokens, D=256, Zipf tokens):\n\n");
   TextTable tb({"GPUs", "dense scratch/rank", "unique scratch/rank",
                 "reduction"});
-  for (const int gpus : {2, 4, 8}) {
+  std::uint64_t dense8 = 0;
+  std::uint64_t unique8 = 0;
+  for (const int gpus_row : {2, 4, 8}) {
     std::uint64_t peaks[2] = {0, 0};
     for (const bool unique : {false, true}) {
-      CommWorld world(gpus);
-      std::vector<std::uint64_t> rank_peak(static_cast<std::size_t>(gpus));
+      CommWorld world(gpus_row);
+      std::vector<std::uint64_t> rank_peak(
+          static_cast<std::size_t>(gpus_row));
       world.run([&](Communicator& comm) {
         MemoryPool pool(1ull << 30);
         ZipfSampler sampler(1 << 20, 1.5625);
@@ -84,7 +256,11 @@ int main() {
         peaks[unique ? 1 : 0] = std::max<std::uint64_t>(peaks[unique], p);
       }
     }
-    tb.add_row({std::to_string(gpus), format_bytes(peaks[0]),
+    if (gpus_row == 8) {
+      dense8 = peaks[0];
+      unique8 = peaks[1];
+    }
+    tb.add_row({std::to_string(gpus_row), format_bytes(peaks[0]),
                 format_bytes(peaks[1]),
                 bench::fmt(static_cast<double>(peaks[0]) /
                                static_cast<double>(peaks[1]),
@@ -94,5 +270,11 @@ int main() {
   std::printf("%s\n", tb.render().c_str());
   std::printf("expected shape: dense scratch grows with G; unique scratch "
               "nearly flat (Section III-A's 256x example at 256 GPUs).\n");
+  std::printf(
+      "RESULT {\"bench\":\"mem_footprint\",\"shard_embedding\":false,"
+      "\"reduction_at_24\":%.2f,\"dense_scratch_8\":%llu,"
+      "\"unique_scratch_8\":%llu}\n",
+      reduction, static_cast<unsigned long long>(dense8),
+      static_cast<unsigned long long>(unique8));
   return 0;
 }

@@ -32,6 +32,16 @@
 // the wire (socket: measured from the transports; thread: the ledger's
 // modelled wire volume).
 //
+// --shard-embedding row-shards the input table: rank r owns rows
+// [r*V/G, (r+1)*V/G) and the worlds train through the alltoallv
+// pull/push exchange instead of the replicated allreduce.  An extra
+// all-replicated thread world runs first as the oracle; the sharded
+// worlds' per-rank loss streams and ASSEMBLED-table weight hashes must
+// be bitwise equal to it (exit 1 otherwise), on top of the usual
+// socket-vs-thread gate.  FP32 wire is forced (the sharded fold is only
+// bitwise-equal to the replicated ring under lossless payloads), and
+// int8 is rejected for the same reason; packed stays legal.
+//
 // Emits one line of JSON (prefixed "RESULT ") so harnesses can scrape a
 // single machine-readable record; record the trajectory in
 // BENCH_train_step.json.
@@ -51,6 +61,7 @@
 #include "zipflm/comm/thread_comm.hpp"
 #include "zipflm/core/exchange.hpp"
 #include "zipflm/core/grad_sync.hpp"
+#include "zipflm/core/sharded_exchange.hpp"
 #include "zipflm/data/batch.hpp"
 #include "zipflm/net/telemetry.hpp"
 #include "zipflm/nn/lm_model.hpp"
@@ -82,10 +93,24 @@ std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t h) {
 /// Digest of everything training mutates: dense parameter values plus
 /// the sparse-exchanged input embedding.  Two runs that agree here (and
 /// on the per-step loss stream) took bitwise the same trajectory.
-std::uint64_t hash_weights(CharLm& model) {
+/// Sharded models hash the ASSEMBLED table — every rank allgathers the
+/// shard slices in rank order, which reproduces the replicated V x D
+/// byte layout exactly — so a sharded rank's digest is directly
+/// comparable to a replicated rank's.
+std::uint64_t hash_weights(CharLm& model, Communicator& comm) {
   std::uint64_t h = kFnvOffset;
   for (const Param* p : model.dense_params()) {
     h = fnv1a(p->value.data().data(), p->value.bytes(), h);
+  }
+  if (ShardedEmbedding* se = model.sharded_input(); se != nullptr) {
+    const Tensor& shard = se->param().value;
+    std::vector<std::byte> full;
+    std::vector<std::size_t> counts;
+    comm.allgatherv_bytes(
+        std::as_bytes(std::span<const float>(shard.data().data(),
+                                             shard.data().size())),
+        full, counts);
+    return fnv1a(full.data(), full.size(), h);
   }
   const Param& emb = model.input_embedding_param();
   return fnv1a(emb.value.data().data(), emb.value.bytes(), h);
@@ -112,6 +137,7 @@ struct BenchConfig {
   BatchSpec spec;
   ExchangeOptions ex_opts{WirePrecision::FP16, 1024.0f, false};
   int gpus = 1;
+  bool shard_embedding = false;
   bool overlap = true;
   std::size_t bucket_bytes = 4u << 20;
   std::size_t warmup_steps = 1;
@@ -122,13 +148,34 @@ struct BenchConfig {
   std::string trace_path;
 
   std::size_t total_steps() const { return warmup_steps + measured_steps; }
+
+  /// Rank r's model config: the shared seed config, sharded over the
+  /// world when --shard-embedding is armed.
+  CharLmConfig rank_cfg(int rank) const {
+    CharLmConfig c = cfg;
+    if (shard_embedding) {
+      c.shard_rank = rank;
+      c.shard_world = gpus;
+    }
+    return c;
+  }
+
+  /// The embedding-gradient strategy for this run: the replicated
+  /// unique allreduce, or the sharded alltoallv push.
+  std::unique_ptr<EmbeddingExchange> make_exchange() const {
+    if (shard_embedding) {
+      return std::make_unique<ShardedEmbeddingExchange>(
+          cfg.vocab, cfg.embed_dim, ex_opts);
+    }
+    return std::make_unique<UniqueExchange>(ex_opts);
+  }
 };
 
 /// The per-rank training loop, identical for every backend: the
 /// communicator is the only thing that differs between a CommWorld
 /// thread and a ProcessGroup process.
 RankReport run_rank(Communicator& comm, CharLm& model, Adam& opt,
-                    UniqueExchange& exchange, DenseGradSync& dense_sync,
+                    EmbeddingExchange& exchange, DenseGradSync& dense_sync,
                     const std::vector<Index>& ids, const BenchConfig& bc) {
   RankReport rep;
   rep.loss_hash = kFnvOffset;
@@ -137,6 +184,9 @@ RankReport run_rank(Communicator& comm, CharLm& model, Adam& opt,
   AsyncCommEngine engine(comm, bc.overlap);
   model.set_backward_hook(
       [&dense_sync](const Param& p) { dense_sync.notify_ready(&p); });
+
+  // The sharded push needs the typed strategy for the per-step row pull.
+  auto* sharded = dynamic_cast<ShardedEmbeddingExchange*>(&exchange);
 
   const auto dense = model.dense_params();
   BatchIterator it(ids, bc.spec, comm.rank(), comm.world_size());
@@ -155,6 +205,13 @@ RankReport run_rank(Communicator& comm, CharLm& model, Adam& opt,
       std::abort();
     }
     model.zero_grad();
+    if (sharded != nullptr) {
+      // Pull this batch's unique forward rows from their owner shards
+      // while the engine is idle (the trainer's step-start slot).
+      Stopwatch pull_watch;
+      sharded->pull(comm, *model.sharded_input(), batch.inputs);
+      rep.exchange_seconds += pull_watch.seconds();
+    }
     dense_sync.begin_step(comm, engine, dense);
     PendingIdGather pending;
     begin_id_gather(engine, batch.inputs, pending, bc.ex_opts.index_codec);
@@ -175,13 +232,18 @@ RankReport run_rank(Communicator& comm, CharLm& model, Adam& opt,
     phase_watch.reset();
     opt.begin_step();
     opt.step(dense);
+    if (const ShardedEmbedding* se = model.sharded_input(); se != nullptr) {
+      // The push returned OWNED global ids; the shard param is indexed
+      // from its first owned row.
+      for (Index& id : uids) id -= se->row_begin();
+    }
     opt.step_rows(model.input_embedding_param(), urows, uids);
     rep.optimizer_seconds += phase_watch.seconds();
   }
   model.set_backward_hook(nullptr);
   comm.barrier();
   rep.measured_seconds = step_watch.seconds();
-  rep.weights_hash = hash_weights(model);
+  rep.weights_hash = hash_weights(model, comm);
   return rep;
 }
 
@@ -194,14 +256,14 @@ std::vector<RankReport> run_thread_world(const BenchConfig& bc,
                                          std::uint64_t* wire_model_out) {
   std::vector<std::unique_ptr<CharLm>> models;
   std::vector<std::unique_ptr<Adam>> opts;
-  std::vector<std::unique_ptr<UniqueExchange>> exchanges;
+  std::vector<std::unique_ptr<EmbeddingExchange>> exchanges;
   std::vector<std::unique_ptr<DenseGradSync>> syncs;
   for (int r = 0; r < bc.gpus; ++r) {
-    models.push_back(std::make_unique<CharLm>(bc.cfg));
+    models.push_back(std::make_unique<CharLm>(bc.rank_cfg(r)));
     Adam::Config acfg;
     acfg.clip = 1.0f;
     opts.push_back(std::make_unique<Adam>(acfg));
-    exchanges.push_back(std::make_unique<UniqueExchange>(bc.ex_opts));
+    exchanges.push_back(bc.make_exchange());
     syncs.push_back(std::make_unique<DenseGradSync>(bc.ex_opts));
     syncs.back()->set_bucket_bytes(bc.bucket_bytes);
   }
@@ -280,16 +342,16 @@ int run_socket_child(int rank, const std::string& rendezvous,
   opt.collective_timeout_seconds = 300.0;
   auto pg = ProcessGroup::connect(rendezvous, rank, bc.gpus, opt);
 
-  CharLm model(bc.cfg);
+  CharLm model(bc.rank_cfg(rank));
   Adam::Config acfg;
   acfg.clip = 1.0f;
   Adam adam(acfg);
-  UniqueExchange exchange(bc.ex_opts);
+  const std::unique_ptr<EmbeddingExchange> exchange = bc.make_exchange();
   DenseGradSync dense_sync(bc.ex_opts);
   dense_sync.set_bucket_bytes(bc.bucket_bytes);
 
   RankReport rep =
-      run_rank(pg->comm(), model, adam, exchange, dense_sync, ids, bc);
+      run_rank(pg->comm(), model, adam, *exchange, dense_sync, ids, bc);
   rep.forward_seconds = PhaseTimers::seconds("forward");
   rep.backward_seconds = PhaseTimers::seconds("backward");
   rep.wire_bytes_sent = pg->ledger().wire_bytes_sent;
@@ -415,6 +477,8 @@ int main(int argc, char** argv) {
       bc.bucket_bytes = static_cast<std::size_t>(std::atoi(argv[++i])) << 20;
     } else if (arg == "--transport" && i + 1 < argc) {
       transport = argv[++i];
+    } else if (arg == "--shard-embedding") {
+      bc.shard_embedding = true;
     } else if (arg == "--codec" && i + 1 < argc) {
       codec = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
@@ -430,6 +494,18 @@ int main(int argc, char** argv) {
   if (codec != "raw" && codec != "packed" && codec != "int8") {
     std::fprintf(stderr, "--codec must be 'raw', 'packed' or 'int8'\n");
     return 2;
+  }
+  if (bc.shard_embedding && codec == "int8") {
+    std::fprintf(stderr,
+                 "--shard-embedding keeps row payloads lossless; int8 would "
+                 "diverge from the replicated oracle (use raw or packed)\n");
+    return 2;
+  }
+  if (bc.shard_embedding && fp16_wire) {
+    // The sharded fold is only bitwise-equal to the replicated ring
+    // under lossless payloads.
+    std::printf("--shard-embedding forces --wire fp32\n");
+    fp16_wire = false;
   }
   bc.spec.batch_size =
       positional.size() > 0 ? static_cast<Index>(std::atoi(positional[0])) : 8;
@@ -461,6 +537,17 @@ int main(int argc, char** argv) {
         rng.uniform_index(static_cast<std::uint64_t>(bc.cfg.vocab)));
   }
 
+  // Under --shard-embedding an all-replicated thread world runs first:
+  // it is the oracle the sharded worlds must reproduce bitwise (same
+  // per-rank loss stream, same assembled table).
+  bool shard_equal_to_replicated = true;
+  std::vector<RankReport> replicated_reports;
+  if (bc.shard_embedding) {
+    BenchConfig ref = bc;
+    ref.shard_embedding = false;
+    replicated_reports = run_thread_world(ref, ids, nullptr);
+  }
+
   // The thread world always runs — it IS the bench in thread mode, and
   // the equality reference in socket mode.  Tracing covers only the
   // world being measured: thread mode traces the thread world locally;
@@ -478,6 +565,28 @@ int main(int argc, char** argv) {
     std::printf("trace: %llu events across %zu lanes -> %s\n",
                 static_cast<unsigned long long>(st.events), st.lanes,
                 bc.trace_path.c_str());
+  }
+
+  if (bc.shard_embedding) {
+    for (int r = 0; r < bc.gpus; ++r) {
+      const auto& rr = replicated_reports[static_cast<std::size_t>(r)];
+      const auto& sr = thread_reports[static_cast<std::size_t>(r)];
+      if (rr.weights_hash != sr.weights_hash || rr.loss_hash != sr.loss_hash) {
+        std::fprintf(stderr,
+                     "rank %d sharded run diverged from replicated oracle: "
+                     "weights %016llx vs %016llx, losses %016llx vs %016llx\n",
+                     r, static_cast<unsigned long long>(rr.weights_hash),
+                     static_cast<unsigned long long>(sr.weights_hash),
+                     static_cast<unsigned long long>(rr.loss_hash),
+                     static_cast<unsigned long long>(sr.loss_hash));
+        shard_equal_to_replicated = false;
+      }
+    }
+    std::printf(
+        "sharded embedding: %d-way row shard, losses/assembled weights %s "
+        "the replicated oracle\n",
+        bc.gpus,
+        shard_equal_to_replicated ? "bitwise equal to" : "DIVERGED from");
   }
 
   bool equal_to_thread = true;
@@ -561,6 +670,7 @@ int main(int argc, char** argv) {
       "RESULT {\"bench\":\"train_step\",\"batch\":%lld,\"seq\":%lld,"
       "\"steps\":%zu,\"gpus\":%d,\"overlap\":%s,"
       "\"transport\":\"%s\",\"processes\":%d,\"equal_to_thread\":%s,"
+      "\"shard_embedding\":%s,\"shard_equal_to_replicated\":%s,"
       "\"wire_codec\":\"%s\",\"wire_bytes\":%llu,"
       "\"tokens_per_s\":%.2f,\"step_ms\":%.2f,"
       "\"forward_ms\":%.2f,\"backward_ms\":%.2f,\"exchange_ms\":%.2f,"
@@ -569,7 +679,9 @@ int main(int argc, char** argv) {
       static_cast<long long>(bc.spec.seq_len), bc.measured_steps, bc.gpus,
       bc.overlap ? "true" : "false", transport.c_str(),
       transport == "socket" ? bc.gpus : 1, equal_to_thread ? "true" : "false",
+      bc.shard_embedding ? "true" : "false",
+      shard_equal_to_replicated ? "true" : "false",
       codec.c_str(), static_cast<unsigned long long>(wire_bytes),
       tok_s, step_ms, forward_ms, backward_ms, exchange_ms, optimizer_ms);
-  return equal_to_thread ? 0 : 1;
+  return equal_to_thread && shard_equal_to_replicated ? 0 : 1;
 }

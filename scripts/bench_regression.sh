@@ -20,6 +20,16 @@
 # both the disabled-instrumentation path and the enabled-with-telemetry
 # path must stay under 2% of a train step; ZIPFLM_OBS_GATE=0 skips it.
 #
+# Also gates the row-sharded embedding memory claim: at --gpus 4 the
+# per-rank shard of the frontier table must stay <= 0.30x the replicated
+# table, the replicated configuration must OOM, and the sharded one must
+# train (bench_mem_footprint --shard-embedding exits nonzero otherwise).
+# The fresh record lands in BENCH_mem_footprint.json for artifact
+# upload; ZIPFLM_MEM_GATE=0 skips it.
+#
+# Every gate fails LOUDLY when a RESULT line or an expected JSON key is
+# missing — a renamed field must break the build, not silently pass it.
+#
 # Usage: scripts/bench_regression.sh [out.json]
 #   out.json              fresh RESULT payload, written for artifact upload
 #   ZIPFLM_BENCH_BAND     noise band as a fraction (default 0.15)
@@ -30,8 +40,20 @@
 #   ZIPFLM_SERVE_GATE_ARGS soak workload (default "--shards 2 --sessions 48
 #                         --requests 480 --open-seconds 0.3 --max-p99-over-p50 10")
 #   ZIPFLM_OBS_GATE       0 disables the obs overhead gate (default 1)
+#   ZIPFLM_MEM_GATE       0 disables the sharded-memory gate (default 1)
+#   ZIPFLM_MEM_GATE_RATIO per-rank shard budget as a fraction of the
+#                         replicated table (default 0.30)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Integer JSON field from a one-record file; a missing key is a loud
+# failure (command substitution propagates the exit through set -e).
+json_int() {  # file key
+  local v
+  v=$(grep -o "\"$2\": *[0-9]*" "$1" | head -1 | grep -o '[0-9]*$' || true)
+  [[ -n "$v" ]] || { echo "missing \"$2\" in $1" >&2; return 1; }
+  echo "$v"
+}
 
 out=${1:-bench_result.json}
 band=${ZIPFLM_BENCH_BAND:-0.15}
@@ -78,8 +100,9 @@ if [[ "${ZIPFLM_WIRE_GATE:-1}" != "0" ]]; then
         echo "socket leg --codec $1 failed (divergence or rank death)" >&2
         exit 1
       }
-    grep '^RESULT' "/tmp/zipflm_wire_$1.txt" \
-      | grep -o '"wire_bytes": *[0-9]*' | grep -o '[0-9]*$'
+    grep '^RESULT' "/tmp/zipflm_wire_$1.txt" | sed 's/^RESULT //' \
+      > "/tmp/zipflm_wire_$1.json"
+    json_int "/tmp/zipflm_wire_$1.json" wire_bytes
   }
   echo "wire gate: bench_train_step $gate_args --transport socket"
   raw_bytes=$(wire_bytes_for raw)
@@ -114,11 +137,45 @@ if [[ "${ZIPFLM_OBS_GATE:-1}" != "0" ]]; then
     echo "build/bench/bench_obs_overhead not built" >&2; exit 2; }
   echo "obs gate: bench_obs_overhead (both overhead estimates <= 2%)"
   ./build/bench/bench_obs_overhead | tee /tmp/zipflm_obs_gate.txt
+  grep -q '^RESULT' /tmp/zipflm_obs_gate.txt || {
+    echo "bench_obs_overhead produced no RESULT line" >&2; exit 1; }
   for field in est_disabled_overhead_pct est_enabled_overhead_pct; do
+    # A renamed/absent field must fail the gate, not read as 0%.
+    grep '^RESULT' /tmp/zipflm_obs_gate.txt | grep -q "\"$field\":" || {
+      echo "missing \"$field\" in bench_obs_overhead RESULT" >&2; exit 1; }
     grep '^RESULT' /tmp/zipflm_obs_gate.txt \
       | awk -F"\"$field\":" -v field="$field" \
       '{ pct = $2 + 0
          if (pct > 2.0) { printf "OBS REGRESSION: %s %.3f%% exceeds 2%% bar\n", field, pct; exit 1 }
          printf "obs OK: %s %.3f%% within 2%% bar\n", field, pct }'
   done
+fi
+
+# -- Row-sharded embedding memory gate -------------------------------
+if [[ "${ZIPFLM_MEM_GATE:-1}" != "0" ]]; then
+  ratio=${ZIPFLM_MEM_GATE_RATIO:-0.30}
+  [[ -x build/bench/bench_mem_footprint ]] || {
+    echo "build/bench/bench_mem_footprint not built" >&2; exit 2; }
+  echo "mem gate: bench_mem_footprint --shard-embedding --gpus 4" \
+       "(per-rank shard <= ${ratio}x replicated table)"
+  # The bench itself exits nonzero unless the replicated frontier
+  # config OOMs AND the sharded one trains to completion.
+  ./build/bench/bench_mem_footprint --shard-embedding --gpus 4 \
+    | tee /tmp/zipflm_mem_gate.txt
+  grep '^RESULT' /tmp/zipflm_mem_gate.txt | sed 's/^RESULT //' \
+    > BENCH_mem_footprint.json
+  [[ -s BENCH_mem_footprint.json ]] || {
+    echo "bench_mem_footprint produced no RESULT line" >&2; exit 1; }
+  repl_bytes=$(json_int BENCH_mem_footprint.json replicated_table_bytes)
+  shard_bytes=$(json_int BENCH_mem_footprint.json sharded_table_bytes_per_rank)
+  awk -v shard="$shard_bytes" -v repl="$repl_bytes" -v ratio="$ratio" 'BEGIN {
+    budget = repl * ratio
+    if (shard > budget) {
+      printf "MEM REGRESSION: per-rank shard %d bytes > %.0f (%.2fx of the %d-byte replicated table)\n",
+             shard, budget, ratio, repl
+      exit 1
+    }
+    printf "mem OK: per-rank shard %d bytes <= %.0f (%.2fx of the %d-byte replicated table)\n",
+           shard, budget, ratio, repl
+  }'
 fi

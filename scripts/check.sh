@@ -15,10 +15,15 @@
 #   obs   distributed telemetry: the obs-labeled suites, a 4-process
 #         merged-trace collection with clock-alignment validation, and
 #         the <=2% overhead bar on the enabled-with-telemetry path
+#   shard row-sharded embeddings: the shard-labeled suite (alltoallv +
+#         trainer parity vs the replicated oracle, resume, re-shard)
+#         plus the 4-process socket bitwise gate with --shard-embedding
 #   tsan  the whole suite under ThreadSanitizer
+#   asan  the whole suite under Address+UndefinedBehavior sanitizers
 #
-# Usage: scripts/check.sh [--tier 1|1b|1c|net|serve|obs|tsan] [--tsan-only | --no-tsan]
-# With no arguments every tier runs, in order.  Each tier configures and
+# Usage: scripts/check.sh [--tier 1|1b|1c|net|serve|obs|shard|tsan|asan] [--tsan-only | --no-tsan]
+# With no arguments every tier runs, in order.  --no-tsan skips the
+# sanitizer rebuilds (both tsan and asan).  Each tier configures and
 # builds what it needs, so `scripts/check.sh --tier 1b` works from a
 # clean checkout — CI runs the tiers as separate matrix legs.
 set -euo pipefail
@@ -32,14 +37,14 @@ tiers=()
 case "${1:-}" in
   --tier)
     case "${2:-}" in
-      1|1b|1c|net|serve|obs|tsan) tiers=("$2") ;;
-      *) echo "usage: $0 [--tier 1|1b|1c|net|serve|obs|tsan] [--tsan-only | --no-tsan]" >&2
+      1|1b|1c|net|serve|obs|shard|tsan|asan) tiers=("$2") ;;
+      *) echo "usage: $0 [--tier 1|1b|1c|net|serve|obs|shard|tsan|asan] [--tsan-only | --no-tsan]" >&2
          exit 2 ;;
     esac ;;
   --tsan-only) tiers=(tsan) ;;
-  --no-tsan) tiers=(1 1b 1c net serve obs) ;;
-  "") tiers=(1 1b 1c net serve obs tsan) ;;
-  *) echo "usage: $0 [--tier 1|1b|1c|net|serve|obs|tsan] [--tsan-only | --no-tsan]" >&2
+  --no-tsan) tiers=(1 1b 1c net serve obs shard) ;;
+  "") tiers=(1 1b 1c net serve obs shard tsan asan) ;;
+  *) echo "usage: $0 [--tier 1|1b|1c|net|serve|obs|shard|tsan|asan] [--tsan-only | --no-tsan]" >&2
      exit 2 ;;
 esac
 
@@ -222,6 +227,26 @@ EOF
        printf "enabled+telemetry overhead %.3f%% within 2%% bar\n", pct }'
 }
 
+tier_shard() {
+  echo "== tier-shard: row-sharded embeddings =="
+  ensure_build
+  # Everything labeled `shard`: test_sharded_embedding (shard geometry,
+  # alltoallv contents + ledger parity across all three backends, pull
+  # verbatim-bytes, push-vs-replicated-allreduce bitwise fold, trainer
+  # parity at G in {1,4}, kill/resume, G=4 -> G=2 re-shard on load).
+  ctest --test-dir build --output-on-failure -L shard
+  # The subsystem's acceptance gate: 4 forked processes training the
+  # row-sharded table over UNIX sockets must land bitwise on BOTH the
+  # thread backend AND the all-replicated oracle world.
+  # bench_train_step exits nonzero on either divergence.
+  ./build/bench/bench_train_step 4 8 2 --gpus 4 --transport socket \
+    --shard-embedding | tee /tmp/zipflm_shard_bench.txt
+  grep -q '"shard_equal_to_replicated":true' /tmp/zipflm_shard_bench.txt || {
+    echo "sharded embedding diverged from the replicated oracle" >&2; exit 1; }
+  grep -q '"equal_to_thread":true' /tmp/zipflm_shard_bench.txt || {
+    echo "sharded socket world diverged from thread backend" >&2; exit 1; }
+}
+
 tier_tsan() {
   echo "== tier-tsan: ThreadSanitizer build =="
   # shellcheck disable=SC2086
@@ -236,6 +261,18 @@ tier_tsan() {
   ZIPFLM_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j
 }
 
+tier_asan() {
+  echo "== tier-asan: Address+UB sanitizer build =="
+  # shellcheck disable=SC2086
+  cmake -B build-asan -S . -DZIPFLM_SANITIZE=address,undefined $CHECK_FLAGS
+  cmake --build build-asan -j
+  # Make every UBSAN report fatal: a diagnostic that only prints would
+  # otherwise pass the gate.  Leak checking stays at ASAN's default
+  # (on), catching allocation leaks in the forked socket ranks too.
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    ctest --test-dir build-asan --output-on-failure -j
+}
+
 for tier in "${tiers[@]}"; do
   case "$tier" in
     1) tier_1 ;;
@@ -244,7 +281,9 @@ for tier in "${tiers[@]}"; do
     net) tier_net ;;
     serve) tier_serve ;;
     obs) tier_obs ;;
+    shard) tier_shard ;;
     tsan) tier_tsan ;;
+    asan) tier_asan ;;
   esac
 done
 

@@ -21,11 +21,13 @@ struct CommMetrics {
   obs::Counter& bytes_received;
   obs::Counter& allreduce_calls;
   obs::Counter& allgather_calls;
+  obs::Counter& alltoall_calls;
   obs::Counter& broadcast_calls;
   obs::Counter& barrier_calls;
   obs::Gauge& max_scratch_bytes;
   obs::Gauge& max_allreduce_payload;
   obs::Gauge& max_allgather_payload;
+  obs::Gauge& max_alltoall_payload;
   obs::Gauge& max_broadcast_payload;
   obs::Gauge& simulated_seconds;
   obs::Counter& ranks_retired;
@@ -53,11 +55,13 @@ struct CommMetrics {
         r.counter("comm/bytes_received"),
         r.counter("comm/allreduce_calls"),
         r.counter("comm/allgather_calls"),
+        r.counter("comm/alltoall_calls"),
         r.counter("comm/broadcast_calls"),
         r.counter("comm/barrier_calls"),
         r.gauge("comm/max_collective_scratch_bytes"),
         r.gauge("comm/max_allreduce_payload_bytes"),
         r.gauge("comm/max_allgather_payload_bytes"),
+        r.gauge("comm/max_alltoall_payload_bytes"),
         r.gauge("comm/max_broadcast_payload_bytes"),
         r.gauge("comm/simulated_seconds"),
         r.counter("comm/ranks_retired"),

@@ -54,6 +54,20 @@ class Communicator {
                                 std::vector<std::byte>& out,
                                 std::vector<std::size_t>& counts) = 0;
 
+  /// Personalized all-to-all over variably-sized byte blocks.
+  /// send is the concatenation, by destination rank, of the blocks this
+  /// rank ships; send_counts[d] is the byte size of the block bound for
+  /// rank d (send_counts.size() == world_size(), the self block is
+  /// copied locally).  On return recv_counts[s] holds the byte size of
+  /// the block rank s addressed to this rank and out is their
+  /// concatenation by source rank.  Like every collective it must be
+  /// invoked by all ranks in the same step; per-rank counts may differ
+  /// freely (the sharded-embedding pull/push exchange is the client).
+  virtual void alltoallv_bytes(std::span<const std::byte> send,
+                               std::span<const std::size_t> send_counts,
+                               std::vector<std::byte>& out,
+                               std::vector<std::size_t>& recv_counts) = 0;
+
   virtual void broadcast_bytes(std::span<std::byte> data, int root) = 0;
 
   virtual TrafficLedger& ledger() noexcept = 0;
@@ -104,7 +118,9 @@ class Communicator {
     ZIPFLM_ASSERT(raw.size() % sizeof(T) == 0,
                   "allgatherv payload not a whole number of elements");
     out.resize(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
+    if (!raw.empty()) {
+      std::memcpy(out.data(), raw.data(), raw.size());
+    }
     if (element_counts != nullptr) {
       element_counts->resize(byte_counts.size());
       for (std::size_t r = 0; r < byte_counts.size(); ++r) {
@@ -117,6 +133,35 @@ class Communicator {
     requires std::is_trivially_copyable_v<T>
   void broadcast(std::span<T> data, int root) {
     broadcast_bytes(std::as_writable_bytes(data), root);
+  }
+
+  /// Element-typed alltoallv: counts are element counts per peer.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void alltoallv(std::span<const T> send,
+                 std::span<const std::size_t> send_counts, std::vector<T>& out,
+                 std::vector<std::size_t>& recv_counts) {
+    std::vector<std::size_t> send_bytes(send_counts.size());
+    for (std::size_t d = 0; d < send_counts.size(); ++d) {
+      send_bytes[d] = send_counts[d] * sizeof(T);
+    }
+    std::vector<std::byte> raw;
+    std::vector<std::size_t> recv_bytes;
+    alltoallv_bytes(std::as_bytes(send), send_bytes, raw, recv_bytes);
+    ZIPFLM_ASSERT(raw.size() % sizeof(T) == 0,
+                  "alltoallv payload not a whole number of elements");
+    out.resize(raw.size() / sizeof(T));
+    if (!raw.empty()) {
+      // An empty world-wide exchange (every count zero) leaves both
+      // buffers null — memcpy's nonnull contract forbids that call.
+      std::memcpy(out.data(), raw.data(), raw.size());
+    }
+    recv_counts.resize(recv_bytes.size());
+    for (std::size_t s = 0; s < recv_bytes.size(); ++s) {
+      ZIPFLM_ASSERT(recv_bytes[s] % sizeof(T) == 0,
+                    "alltoallv peer block not a whole number of elements");
+      recv_counts[s] = recv_bytes[s] / sizeof(T);
+    }
   }
 };
 

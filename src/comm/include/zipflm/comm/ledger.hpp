@@ -46,6 +46,7 @@ struct TrafficLedger {
   std::uint64_t bytes_received = 0;  ///< payload this rank pulled from a peer
   std::uint64_t allreduce_calls = 0;
   std::uint64_t allgather_calls = 0;
+  std::uint64_t alltoall_calls = 0;
   std::uint64_t broadcast_calls = 0;
   std::uint64_t barrier_calls = 0;
   /// Largest receive/scratch buffer any single collective required on
@@ -55,6 +56,7 @@ struct TrafficLedger {
   /// decides chunking/fusion thresholds when optimizing collectives.
   std::uint64_t max_allreduce_payload_bytes = 0;
   std::uint64_t max_allgather_payload_bytes = 0;
+  std::uint64_t max_alltoall_payload_bytes = 0;
   std::uint64_t max_broadcast_payload_bytes = 0;
   /// Simulated communication seconds under the active CostModel.
   double simulated_comm_seconds = 0.0;
@@ -89,6 +91,7 @@ struct TrafficLedger {
     bytes_received += o.bytes_received;
     allreduce_calls += o.allreduce_calls;
     allgather_calls += o.allgather_calls;
+    alltoall_calls += o.alltoall_calls;
     broadcast_calls += o.broadcast_calls;
     barrier_calls += o.barrier_calls;
     if (o.max_collective_scratch_bytes > max_collective_scratch_bytes) {
@@ -99,6 +102,9 @@ struct TrafficLedger {
     }
     if (o.max_allgather_payload_bytes > max_allgather_payload_bytes) {
       max_allgather_payload_bytes = o.max_allgather_payload_bytes;
+    }
+    if (o.max_alltoall_payload_bytes > max_alltoall_payload_bytes) {
+      max_alltoall_payload_bytes = o.max_alltoall_payload_bytes;
     }
     if (o.max_broadcast_payload_bytes > max_broadcast_payload_bytes) {
       max_broadcast_payload_bytes = o.max_broadcast_payload_bytes;

@@ -146,6 +146,7 @@ class CommWorld {
     AllReduceMaxF32,
     AllGather,
     AllGatherV,
+    AllToAllV,
     Broadcast,
   };
 

@@ -74,6 +74,10 @@ class TransportComm final : public Communicator {
   void allgatherv_bytes(std::span<const std::byte> local,
                         std::vector<std::byte>& out,
                         std::vector<std::size_t>& counts) override;
+  void alltoallv_bytes(std::span<const std::byte> send,
+                       std::span<const std::size_t> send_counts,
+                       std::vector<std::byte>& out,
+                       std::vector<std::size_t>& recv_counts) override;
   void broadcast_bytes(std::span<std::byte> data, int root) override;
 
   void set_wire_codec(WireCodec codec) noexcept override { codec_ = codec; }
@@ -90,6 +94,7 @@ class TransportComm final : public Communicator {
     AllReduceMaxF32,
     AllGather,
     AllGatherV,
+    AllToAllV,
     Broadcast,
   };
 

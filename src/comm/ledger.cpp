@@ -23,11 +23,13 @@ std::string TrafficLedger::to_json() const {
       << ",\"bytes_received\":" << bytes_received
       << ",\"allreduce_calls\":" << allreduce_calls
       << ",\"allgather_calls\":" << allgather_calls
+      << ",\"alltoall_calls\":" << alltoall_calls
       << ",\"broadcast_calls\":" << broadcast_calls
       << ",\"barrier_calls\":" << barrier_calls
       << ",\"max_collective_scratch_bytes\":" << max_collective_scratch_bytes
       << ",\"max_allreduce_payload_bytes\":" << max_allreduce_payload_bytes
       << ",\"max_allgather_payload_bytes\":" << max_allgather_payload_bytes
+      << ",\"max_alltoall_payload_bytes\":" << max_alltoall_payload_bytes
       << ",\"max_broadcast_payload_bytes\":" << max_broadcast_payload_bytes
       << ",\"simulated_comm_seconds\":" << simulated_comm_seconds
       << ",\"wire_bytes_sent\":" << wire_bytes_sent

@@ -280,6 +280,116 @@ class ThreadRankComm final : public Communicator {
     m.simulated_seconds.add(sim);
   }
 
+  void alltoallv_bytes(std::span<const std::byte> send,
+                       std::span<const std::size_t> send_counts,
+                       std::vector<std::byte>& out,
+                       std::vector<std::size_t>& recv_counts) override {
+    const int g = world_size();
+    ZIPFLM_CHECK(send_counts.size() == static_cast<std::size_t>(g),
+                 "alltoallv needs one send count per rank");
+    std::size_t send_total = 0;
+    for (const std::size_t c : send_counts) send_total += c;
+    ZIPFLM_CHECK(send_total == send.size(),
+                 "alltoallv send counts must sum to the payload size");
+    obs::SpanScope span("alltoallv", "payload_bytes",
+                        static_cast<double>(send.size()));
+    // Stage the outgoing concatenation so a Corrupt fault poisons this
+    // rank's contribution (the self block included) without touching
+    // the caller's buffer.
+    std::vector<std::byte> staged(send.begin(), send.end());
+    enter_collective(staged.data(), staged.size());
+    // One slot carries both publications: the staged payload (src) and
+    // the per-destination byte counts (dst) — peers read both after the
+    // barrier, so a single rendezvous replaces the size allgather the
+    // transport engine runs hop by hop.
+    publish(CommWorld::Op::AllToAllV, staged.data(),
+            reinterpret_cast<std::byte*>(
+                const_cast<std::size_t*>(send_counts.data())),
+            staged.size(), -1);
+    group_.barrier.arrive_and_wait();
+    group_.validate_uniform(CommWorld::Op::AllToAllV, kIgnoreBytes, -1,
+                            WireCodec::None);
+
+    recv_counts.resize(static_cast<std::size_t>(g));
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(g) + 1, 0);
+    for (int s = 0; s < g; ++s) {
+      const auto* peer_counts = reinterpret_cast<const std::size_t*>(
+          group_.slots[static_cast<std::size_t>(s)].dst);
+      recv_counts[static_cast<std::size_t>(s)] =
+          peer_counts[static_cast<std::size_t>(rank_)];
+      offsets[static_cast<std::size_t>(s) + 1] =
+          offsets[static_cast<std::size_t>(s)] +
+          recv_counts[static_cast<std::size_t>(s)];
+    }
+    out.assign(offsets.back(), std::byte{});
+
+    // A peer's block bound for this rank starts, inside that peer's
+    // staging, at the sum of the counts it addressed to lower ranks.
+    auto peer_block = [&](int s) -> std::pair<const std::byte*, std::size_t> {
+      const auto& slot = group_.slots[static_cast<std::size_t>(s)];
+      const auto* counts = reinterpret_cast<const std::size_t*>(slot.dst);
+      std::size_t off = 0;
+      for (int d = 0; d < rank_; ++d) {
+        off += counts[static_cast<std::size_t>(d)];
+      }
+      return {slot.src + off, counts[static_cast<std::size_t>(rank_)]};
+    };
+
+    const auto [self_src, self_sz] = peer_block(rank_);
+    if (self_sz != 0) {
+      std::memcpy(out.data() + offsets[static_cast<std::size_t>(rank_)],
+                  self_src, self_sz);
+    }
+    for (int s = 0; s + 1 < g; ++s) {
+      const int blk = wrap(rank_ - 1 - s, g);
+      const auto [src, sz] = peer_block(blk);
+      if (sz != 0) {
+        std::memcpy(out.data() + offsets[static_cast<std::size_t>(blk)], src,
+                    sz);
+      }
+    }
+    group_.barrier.arrive_and_wait();
+
+    auto& led = ledger();
+    ++led.alltoall_calls;
+    const std::uint64_t counts_wire =
+        static_cast<std::uint64_t>(g - 1) * sizeof(std::size_t);
+    std::uint64_t sent_wire = counts_wire;
+    std::uint64_t recv_wire = counts_wire;
+    for (int p = 0; p < g; ++p) {
+      if (p == rank_) continue;
+      sent_wire += send_counts[static_cast<std::size_t>(p)];
+      recv_wire += recv_counts[static_cast<std::size_t>(p)];
+    }
+    led.bytes_sent += sent_wire;
+    led.bytes_received += recv_wire;
+    led.max_collective_scratch_bytes = std::max<std::uint64_t>(
+        led.max_collective_scratch_bytes, send.size() + out.size());
+    led.max_alltoall_payload_bytes = std::max<std::uint64_t>(
+        led.max_alltoall_payload_bytes, send.size());
+    // Pairwise exchange at ring distances 1..g-1: each step is priced
+    // by its larger direction, after a small size allgather — the same
+    // closed form the transport engine computes from its own counts.
+    double sim = w_.cost_.ring_allgather_seconds(group_.topo,
+                                                 sizeof(std::size_t));
+    for (int s = 1; s < g; ++s) {
+      const std::size_t to = static_cast<std::size_t>(wrap(rank_ + s, g));
+      const std::size_t from = static_cast<std::size_t>(wrap(rank_ - s, g));
+      sim += w_.cost_.ring_step_seconds(
+          group_.topo, std::max(send_counts[to], recv_counts[from]));
+    }
+    led.simulated_comm_seconds += sim;
+    span.set_arg2("sim_seconds", sim);
+
+    auto& m = CommMetrics::get();
+    m.alltoall_calls.add(1);
+    m.bytes_sent.add(sent_wire);
+    m.bytes_received.add(recv_wire);
+    m.max_scratch_bytes.set_max(static_cast<double>(send.size() + out.size()));
+    m.max_alltoall_payload.set_max(static_cast<double>(send.size()));
+    m.simulated_seconds.add(sim);
+  }
+
   void broadcast_bytes(std::span<std::byte> data, int root) override {
     const int g = world_size();
     ZIPFLM_CHECK(root >= 0 && root < g, "broadcast root out of range");

@@ -552,6 +552,120 @@ void TransportComm::allgatherv_bytes(std::span<const std::byte> local,
   m.simulated_seconds.add(sim);
 }
 
+void TransportComm::alltoallv_bytes(std::span<const std::byte> send,
+                                    std::span<const std::size_t> send_counts,
+                                    std::vector<std::byte>& out,
+                                    std::vector<std::size_t>& recv_counts) {
+  const int g = world_size();
+  ZIPFLM_CHECK(send_counts.size() == static_cast<std::size_t>(g),
+               "alltoallv needs one send count per rank");
+  std::size_t send_total = 0;
+  for (const std::size_t c : send_counts) send_total += c;
+  ZIPFLM_CHECK(send_total == send.size(),
+               "alltoallv send counts must sum to the payload size");
+  obs::SpanScope span("alltoallv", "payload_bytes",
+                      static_cast<double>(send.size()));
+  // Stage the outgoing concatenation so a Corrupt fault poisons this
+  // rank's contribution (the self block included) without touching the
+  // caller's buffer — matching the shared-memory engine.
+  std::vector<std::byte> staged(send.begin(), send.end());
+  std::vector<std::size_t> send_off(static_cast<std::size_t>(g) + 1, 0);
+  for (int d = 0; d < g; ++d) {
+    send_off[static_cast<std::size_t>(d) + 1] =
+        send_off[static_cast<std::size_t>(d)] +
+        send_counts[static_cast<std::size_t>(d)];
+  }
+  enter_collective(staged.data(), staged.size());
+  WireScope wire(*this);
+  try {
+    neighbor_handshake(CollOp::AllToAllV, kIgnoreBytes, -1);
+    // Phase 1: pairwise per-destination sizes at ring distances
+    // 1..g-1 (the ledger accounts them as 8 bytes per peer).
+    recv_counts.assign(static_cast<std::size_t>(g), 0);
+    recv_counts[static_cast<std::size_t>(rank())] =
+        send_counts[static_cast<std::size_t>(rank())];
+    for (int s = 1; s < g; ++s) {
+      const int to = wrap(rank() + s, g);
+      const int from = wrap(rank() - s, g);
+      std::uint64_t mine = send_counts[static_cast<std::size_t>(to)];
+      std::uint64_t theirs = 0;
+      auto sent = transport_.send(
+          to, std::as_bytes(std::span<const std::uint64_t>(&mine, 1)));
+      transport_.recv_blocking(
+          from, std::as_writable_bytes(std::span<std::uint64_t>(&theirs, 1)));
+      sent.wait();
+      recv_counts[static_cast<std::size_t>(from)] =
+          static_cast<std::size_t>(theirs);
+    }
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(g) + 1, 0);
+    for (int s = 0; s < g; ++s) {
+      offsets[static_cast<std::size_t>(s) + 1] =
+          offsets[static_cast<std::size_t>(s)] +
+          recv_counts[static_cast<std::size_t>(s)];
+    }
+    out.assign(offsets.back(), std::byte{});
+    const std::size_t self = static_cast<std::size_t>(rank());
+    if (recv_counts[self] != 0) {
+      std::memcpy(out.data() + offsets[self], staged.data() + send_off[self],
+                  recv_counts[self]);
+    }
+    // Phase 2: pairwise payload blocks over the same distance schedule,
+    // each landing straight at its final offset.
+    for (int s = 1; s < g; ++s) {
+      const auto to = static_cast<std::size_t>(wrap(rank() + s, g));
+      const auto from = static_cast<std::size_t>(wrap(rank() - s, g));
+      auto sent = transport_.send(
+          static_cast<int>(to),
+          std::span<const std::byte>(staged.data() + send_off[to],
+                                     send_counts[to]));
+      auto got = transport_.recv(
+          static_cast<int>(from),
+          std::span<std::byte>(out.data() + offsets[from], recv_counts[from]));
+      got.wait();
+      sent.wait();
+    }
+  } catch (const net::TransportError&) {
+    rethrow_as_collective("alltoallv");
+  }
+
+  auto& led = ledger();
+  ++led.alltoall_calls;
+  const std::uint64_t counts_wire =
+      static_cast<std::uint64_t>(g - 1) * sizeof(std::size_t);
+  std::uint64_t sent_wire = counts_wire;
+  std::uint64_t recv_wire = counts_wire;
+  for (int p = 0; p < g; ++p) {
+    if (p == rank()) continue;
+    sent_wire += send_counts[static_cast<std::size_t>(p)];
+    recv_wire += recv_counts[static_cast<std::size_t>(p)];
+  }
+  led.bytes_sent += sent_wire;
+  led.bytes_received += recv_wire;
+  led.max_collective_scratch_bytes = std::max<std::uint64_t>(
+      led.max_collective_scratch_bytes, send.size() + out.size());
+  led.max_alltoall_payload_bytes = std::max<std::uint64_t>(
+      led.max_alltoall_payload_bytes, send.size());
+  double sim =
+      hooks_.cost->ring_allgather_seconds(topo_, sizeof(std::size_t));
+  for (int s = 1; s < g; ++s) {
+    const auto to = static_cast<std::size_t>(wrap(rank() + s, g));
+    const auto from = static_cast<std::size_t>(wrap(rank() - s, g));
+    sim += hooks_.cost->ring_step_seconds(
+        topo_, std::max(send_counts[to], recv_counts[from]));
+  }
+  led.simulated_comm_seconds += sim;
+  span.set_arg2("sim_seconds", sim);
+  span.set_arg3("wire_bytes", static_cast<double>(sent_wire));
+
+  auto& m = CommMetrics::get();
+  m.alltoall_calls.add(1);
+  m.bytes_sent.add(sent_wire);
+  m.bytes_received.add(recv_wire);
+  m.max_scratch_bytes.set_max(static_cast<double>(send.size() + out.size()));
+  m.max_alltoall_payload.set_max(static_cast<double>(send.size()));
+  m.simulated_seconds.add(sim);
+}
+
 void TransportComm::broadcast_bytes(std::span<std::byte> data, int root) {
   const int g = world_size();
   ZIPFLM_CHECK(root >= 0 && root < g, "broadcast root out of range");

@@ -90,7 +90,9 @@ void decode_plane(std::span<const std::byte> in, std::size_t& pos,
   const auto mode = static_cast<std::uint8_t>(in[pos++]);
   if (mode == 0) {
     ZIPFLM_CHECK(pos + n <= in.size(), "wire codec: truncated raw plane");
-    std::memcpy(p, in.data() + pos, n);
+    if (n > 0) {
+      std::memcpy(p, in.data() + pos, n);
+    }
     pos += n;
     return;
   }
@@ -246,20 +248,24 @@ void encode_index_block(std::span<const Index> ids,
                         std::vector<std::byte>& out) {
   out.clear();
   out.reserve(ids.size() + ids.size() / 4);
-  Index prev = 0;
+  // Deltas are taken modulo 2^64: two's-complement wraparound keeps the
+  // bytes identical to a signed subtraction wherever that is defined,
+  // and stays well-defined when consecutive ids span the int64 range.
+  std::uint64_t prev = 0;
   for (const Index id : ids) {
-    put_uvarint(zigzag(id - prev), out);
-    prev = id;
+    const std::uint64_t u = static_cast<std::uint64_t>(id);
+    put_uvarint(zigzag(static_cast<Index>(u - prev)), out);
+    prev = u;
   }
 }
 
 void decode_index_block(std::span<const std::byte> in,
                         std::vector<Index>& out) {
   std::size_t pos = 0;
-  Index prev = 0;
+  std::uint64_t prev = 0;
   while (pos < in.size()) {
-    prev += unzigzag(get_uvarint(in, pos));
-    out.push_back(prev);
+    prev += static_cast<std::uint64_t>(unzigzag(get_uvarint(in, pos)));
+    out.push_back(static_cast<Index>(prev));
   }
 }
 

@@ -17,14 +17,13 @@ namespace {
 constexpr std::uint64_t kMagic = 0x5A49'5046'4C4D'4350ull;  // "ZIPFLMCP"
 constexpr std::uint32_t kVersion = 2;
 
-void write_body(std::ostream& out, LmModel& model, const CheckpointMeta& meta,
-                const TrainState* train) {
+void write_body(std::ostream& out, std::span<Param* const> params,
+                const CheckpointMeta& meta, const TrainState* train) {
   write_pod(out, kMagic);
   write_pod(out, kVersion);
   write_pod(out, meta.global_step);
   write_pod(out, meta.epoch);
 
-  const auto params = model.all_params();
   write_pod<std::uint64_t>(out, params.size());
   for (const Param* p : params) {
     write_string(out, p->name);
@@ -53,7 +52,7 @@ void write_body(std::ostream& out, LmModel& model, const CheckpointMeta& meta,
   }
 }
 
-CheckpointMeta read_body(std::istream& in, LmModel& model,
+CheckpointMeta read_body(std::istream& in, std::span<Param* const> params,
                          TrainState* train) {
   ZIPFLM_CHECK(read_pod<std::uint64_t>(in) == kMagic,
                "not a zipflm checkpoint (bad magic)");
@@ -66,7 +65,6 @@ CheckpointMeta read_body(std::istream& in, LmModel& model,
   meta.global_step = read_pod<std::uint64_t>(in);
   meta.epoch = read_pod<std::uint64_t>(in);
 
-  const auto params = model.all_params();
   const auto count = read_pod<std::uint64_t>(in);
   ZIPFLM_CHECK(count == params.size(),
                "checkpoint parameter count does not match the model");
@@ -111,18 +109,25 @@ CheckpointMeta read_body(std::istream& in, LmModel& model,
 
 }  // namespace
 
-void save_checkpoint(std::ostream& out, LmModel& model,
+void save_checkpoint(std::ostream& out, std::span<Param* const> params,
                      const CheckpointMeta& meta, const TrainState* train) {
   // Buffer the body so the checksum can trail it in one write.
   std::ostringstream body(std::ios::binary);
-  write_body(body, model, meta, train);
+  write_body(body, params, meta, train);
   const std::string bytes = body.str();
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   write_pod(out, fnv1a64(bytes));
   ZIPFLM_CHECK(out.good(), "checkpoint write failed");
 }
 
-CheckpointMeta load_checkpoint(std::istream& in, LmModel& model,
+void save_checkpoint(std::ostream& out, LmModel& model,
+                     const CheckpointMeta& meta, const TrainState* train) {
+  const auto params = model.all_params();
+  save_checkpoint(out, params, meta, train);
+}
+
+CheckpointMeta load_checkpoint(std::istream& in,
+                               std::span<Param* const> params,
                                TrainState* train) {
   const std::string raw(std::istreambuf_iterator<char>(in), {});
   ZIPFLM_CHECK(raw.size() > sizeof(std::uint64_t),
@@ -134,7 +139,13 @@ CheckpointMeta load_checkpoint(std::istream& in, LmModel& model,
                "checkpoint checksum mismatch (truncated or corrupt file)");
 
   std::istringstream stream{std::string(body), std::ios::binary};
-  return read_body(stream, model, train);
+  return read_body(stream, params, train);
+}
+
+CheckpointMeta load_checkpoint(std::istream& in, LmModel& model,
+                               TrainState* train) {
+  const auto params = model.all_params();
+  return load_checkpoint(in, params, train);
 }
 
 void save_checkpoint_file(const std::string& path, LmModel& model,

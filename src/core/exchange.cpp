@@ -54,6 +54,8 @@ void gather_ids_coded(Communicator& comm, std::span<const Index> ids,
                        all_ids.size() * sizeof(Index), all_enc.size());
 }
 
+}  // namespace
+
 /// The id ALLGATHER every strategy needs: consume an eagerly gathered
 /// result when armed (asserting it was built from these ids), otherwise
 /// run the collective inline.
@@ -73,8 +75,6 @@ void gather_ids(Communicator& comm, std::span<const Index> ids,
     comm.allgatherv(ids, all_ids);
   }
 }
-
-}  // namespace
 
 void begin_id_gather(AsyncCommEngine& engine, std::span<const Index> ids,
                      PendingIdGather& out, bool index_codec) {

@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -53,12 +54,25 @@ void save_checkpoint(std::ostream& out, LmModel& model,
                      const CheckpointMeta& meta = {},
                      const TrainState* train = nullptr);
 
+/// Same format over an explicit parameter list — used when the on-disk
+/// canonical set differs from the live model's (a row-sharded trainer
+/// saves the assembled full table under the replicated layout, so its
+/// checkpoints load into any world size, including world 1).
+void save_checkpoint(std::ostream& out, std::span<Param* const> params,
+                     const CheckpointMeta& meta = {},
+                     const TrainState* train = nullptr);
+
 /// Restore parameters into an identically-shaped model.  Throws
 /// ConfigError on checksum/magic/version/name/shape mismatch.  When
 /// `train` is non-null it receives the training state section
 /// (train->present says whether the checkpoint carried one).  Returns
 /// the saved metadata.
 CheckpointMeta load_checkpoint(std::istream& in, LmModel& model,
+                               TrainState* train = nullptr);
+
+/// Explicit-parameter-list counterpart of the model load.
+CheckpointMeta load_checkpoint(std::istream& in,
+                               std::span<Param* const> params,
                                TrainState* train = nullptr);
 
 /// Convenience file wrappers.  Saving is atomic: the bytes go to

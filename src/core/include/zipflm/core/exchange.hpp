@@ -105,6 +105,13 @@ struct PendingIdGather {
 void begin_id_gather(AsyncCommEngine& engine, std::span<const Index> ids,
                      PendingIdGather& out, bool index_codec = false);
 
+/// The id ALLGATHER every strategy starts from: consume an armed
+/// PendingIdGather (asserting it was built from these ids) or run the
+/// collective inline, varint-coded when index_codec is set.
+void gather_ids(Communicator& comm, std::span<const Index> ids,
+                const PendingIdGather* pending, std::vector<Index>& all_ids,
+                bool index_codec);
+
 class EmbeddingExchange {
  public:
   virtual ~EmbeddingExchange() = default;

@@ -1,0 +1,50 @@
+// Pull/push exchange for row-sharded embedding tables, over the
+// alltoallv collective (the DistEmbed spmm overlap pattern).
+//
+// Pull (step start): each rank requests its batch's unique rows from
+// their owner shards — two alltoallv rounds (id requests, row replies)
+// of pure data movement, so the pulled rows are bitwise the owner's.
+//
+// Push (after backward): locally reduced gradient rows travel TO their
+// owners, who re-run the ring-allreduce accumulation schedule over the
+// received per-source contributions — same chunk geometry, same
+// operand order, explicit zeros for absent sources — so every owned
+// sum is bitwise identical to the rows the replicated UniqueExchange
+// allreduce would have produced.  That equivalence (DESIGN.md §10) is
+// what lets replicated mode stay the test oracle.
+#pragma once
+
+#include "zipflm/core/exchange.hpp"
+#include "zipflm/nn/sharded_embedding.hpp"
+
+namespace zipflm {
+
+class ShardedEmbeddingExchange final : public EmbeddingExchange {
+ public:
+  ShardedEmbeddingExchange(Index vocab, Index dim,
+                           ExchangeOptions options = {});
+
+  /// Push: ships locally reduced rows to their owners and folds them
+  /// there.  Unlike the replicated strategies, out_ids / out_rows hold
+  /// only the rows THIS RANK OWNS (global ids, global sums) — the
+  /// caller applies them to the shard, not to a replica.
+  void exchange(Communicator& comm, std::span<const Index> ids,
+                const Tensor& delta, std::vector<Index>& out_ids,
+                Tensor& out_rows, MemoryPool* pool = nullptr,
+                const PendingIdGather* pending = nullptr) override;
+  const char* name() const noexcept override { return "sharded-alltoallv"; }
+
+  /// Pull the unique rows of batch_ids from their owner shards into
+  /// emb's step cache (and serve the peers' requests from emb's
+  /// shard).  Every rank of comm must call this once per step, before
+  /// any forward that reads the table.
+  void pull(Communicator& comm, ShardedEmbedding& emb,
+            std::span<const Index> batch_ids, MemoryPool* pool = nullptr);
+
+ private:
+  Index vocab_;
+  Index dim_;
+  ExchangeOptions options_;
+};
+
+}  // namespace zipflm

@@ -27,6 +27,7 @@
 #include "zipflm/comm/thread_comm.hpp"
 #include "zipflm/core/exchange.hpp"
 #include "zipflm/core/grad_sync.hpp"
+#include "zipflm/core/sharded_exchange.hpp"
 #include "zipflm/core/seeding.hpp"
 #include "zipflm/core/strategy_select.hpp"
 #include "zipflm/data/batch.hpp"
@@ -100,6 +101,16 @@ struct TrainerOptions {
   /// decisions are logged per rank (strategy_selector()).
   bool adaptive_exchange = false;
   double strategy_hysteresis = 0.2;
+  /// Row-shard the input embedding table across ranks (char LM only):
+  /// rank r owns rows [r*V/G, (r+1)*V/G) plus their Adam moment slices,
+  /// forward rows are pulled per step and gradient rows pushed to their
+  /// owners over alltoallv.  The model factory must build matching
+  /// shards (CharLmConfig::shard_rank/shard_world = rank/world).
+  /// Replicated mode stays the default and the bitwise test oracle:
+  /// sharded losses and assembled weights are `==` replicated ones.
+  /// Requires FP32 wire, static (non-adaptive) exchange, and no dynamic
+  /// loss scaling; Packed/index codecs apply to the row payloads.
+  bool shard_embedding = false;
   /// Let the selector also arbitrate the gradient wire format (FP32 /
   /// FP16 / Packed / Int8) per step, fed back with the measured
   /// compression ratios.  Requires adaptive_exchange; the arbitration is
@@ -158,8 +169,16 @@ class DistributedTrainer {
   void save_state_file(const std::string& path);
   /// Restore all replicas from a checkpoint written by save_state.
   /// Throws ConfigError if the checkpoint carries no training state.
-  void restore_state(std::istream& in);
-  void restore_state_file(const std::string& path);
+  /// Sharded trainers write the canonical replicated layout (the full
+  /// assembled table + moments), so a checkpoint saved at any world
+  /// size restores into any other — pass allow_world_resize=true to
+  /// accept a rank count mismatch (weights and moments re-shard
+  /// exactly; the per-rank dropout streams, which only exist for the
+  /// saved ranks, are restored for the ranks both runs share, so
+  /// bitwise resume is only guaranteed at the saved world size).
+  void restore_state(std::istream& in, bool allow_world_resize = false);
+  void restore_state_file(const std::string& path,
+                          bool allow_world_resize = false);
 
   std::uint64_t global_step() const noexcept { return global_step_; }
   std::uint64_t epochs_completed() const noexcept {
@@ -193,9 +212,17 @@ class DistributedTrainer {
 
   EmbeddingExchange* exchange_for(ExchangeKind kind, WireFormat format);
 
+  /// The replicated param layout of one rank, with the sharded table
+  /// entry (when present) redirected to `full` — the canonical
+  /// checkpoint parameter list.
+  std::vector<Param*> checkpoint_params(LmModel& model, Param& full) const;
+
   CommWorld& world_;
   TrainerOptions options_;
   std::unique_ptr<EmbeddingExchange> exchange_;
+  /// Non-null iff options_.shard_embedding: the pull/push strategy that
+  /// exchange_ owns, typed for the per-step pull calls.
+  ShardedEmbeddingExchange* sharded_exchange_ = nullptr;
   /// Strategy instances indexed by ExchangeKind — or by
   /// kind * kWireFormatCount + format under adaptive_wire_format
   /// (adaptive mode only; stateless and shared across rank threads like

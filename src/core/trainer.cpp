@@ -13,6 +13,7 @@
 #include "zipflm/obs/metrics.hpp"
 #include "zipflm/obs/trace.hpp"
 #include "zipflm/support/phase_timers.hpp"
+#include "zipflm/support/serialize.hpp"
 #include "zipflm/tensor/ops.hpp"
 
 namespace zipflm {
@@ -77,11 +78,13 @@ DistributedTrainer::DistributedTrainer(CommWorld& world,
   ex_opts.hierarchical_allreduce = options_.hierarchical_dense_sync;
   ex_opts.codec = options_.wire_codec;
   ex_opts.index_codec = options_.index_codec;
-  if (options_.unique_exchange) {
-    exchange_ = std::make_unique<UniqueExchange>(ex_opts);
-  } else {
-    exchange_ = std::make_unique<DenseExchange>(ex_opts);
-  }
+  if (!options_.shard_embedding) {
+    if (options_.unique_exchange) {
+      exchange_ = std::make_unique<UniqueExchange>(ex_opts);
+    } else {
+      exchange_ = std::make_unique<DenseExchange>(ex_opts);
+    }
+  }  // sharded exchange needs the model geometry; built after the loop.
   dense_sync_ = DenseGradSync(ex_opts);
 
   const int g = world.total_ranks();
@@ -108,6 +111,43 @@ DistributedTrainer::DistributedTrainer(CommWorld& world,
       // post-collective gradients, so the policies march in lockstep
       // without cross-thread state.
       scalers_.push_back(LossScaler::dynamic(options_.initial_loss_scale));
+    }
+  }
+
+  if (options_.shard_embedding) {
+    ZIPFLM_CHECK(options_.wire == WirePrecision::FP32,
+                 "shard_embedding needs the FP32 wire (compression-scaled "
+                 "FP16 is a replicated-path feature)");
+    ZIPFLM_CHECK(!options_.adaptive_exchange,
+                 "shard_embedding is a static table layout; the adaptive "
+                 "selector only arbitrates replicated strategies");
+    ZIPFLM_CHECK(!options_.hierarchical_dense_sync,
+                 "shard_embedding's alltoallv rides the flat ring only");
+    ZIPFLM_CHECK(!options_.dynamic_loss_scale,
+                 "shard_embedding returns per-owner gradient rows, so the "
+                 "overflow scan would not be uniform across ranks");
+    ZIPFLM_CHECK(options_.samples_per_rank == 0,
+                 "shard_embedding covers the input table only (char LM); "
+                 "sampled-softmax output tables stay replicated");
+    for (int r = 0; r < g; ++r) {
+      const ShardedEmbedding* se =
+          models_[static_cast<std::size_t>(r)]->sharded_input();
+      ZIPFLM_CHECK(se != nullptr,
+                   "shard_embedding is on but the model factory built a "
+                   "replicated table (set CharLmConfig::shard_rank/world)");
+      ZIPFLM_CHECK(se->shard_world() == g && se->shard_rank() == r,
+                   "model shard geometry does not match the comm world");
+    }
+    auto sharded = std::make_unique<ShardedEmbeddingExchange>(
+        models_.front()->vocab(), models_.front()->embed_dim(), ex_opts);
+    sharded_exchange_ = sharded.get();
+    exchange_ = std::move(sharded);
+  } else {
+    for (int r = 0; r < g; ++r) {
+      ZIPFLM_CHECK(models_[static_cast<std::size_t>(r)]->sharded_input() ==
+                       nullptr,
+                   "model factory built a sharded table but "
+                   "TrainerOptions::shard_embedding is off");
     }
   }
 
@@ -305,6 +345,11 @@ bool DistributedTrainer::sync_step(Communicator& comm, LmModel& model,
   PhaseScope phase("optimizer");
   if (options_.use_adam) static_cast<Adam&>(opt).begin_step();
   opt.step(dense);
+  if (const ShardedEmbedding* se = model.sharded_input(); se != nullptr) {
+    // The push handed back this rank's OWNED rows under global ids;
+    // the sparse update indexes the local shard.
+    for (Index& id : uids) id -= se->row_begin();
+  }
   opt.step_rows(model.input_embedding_param(), urows, uids);
   if (out_emb != nullptr) opt.step_rows(*out_emb, ourows, ouids);
   return true;
@@ -377,6 +422,14 @@ EpochStats DistributedTrainer::run_epoch(std::span<const Index> train_ids,
       obs::SpanScope step_span("train_step", "step",
                                static_cast<double>(step_base + local_step));
       model.zero_grad();
+      if (sharded_exchange_ != nullptr) {
+        // Step-scoped row pull: fetch this batch's unique rows from
+        // their owner shards before any forward reads the table.  Runs
+        // before the overlap engine arms, so the alltoallv rounds see
+        // an idle comm schedule on every rank.
+        sharded_exchange_->pull(comm, *model.sharded_input(), batch.inputs,
+                                &pool);
+      }
       std::vector<Index> candidates;
       if (sampler_.has_value()) {
         candidates = sampler_->candidates(dr, g, step_base + local_step,
@@ -544,6 +597,9 @@ double DistributedTrainer::evaluate(std::span<const Index> valid_ids) {
     BatchIterator it(valid_ids, options_.batch, dr, g);
     Batch batch;
     while (it.next(batch)) {
+      if (sharded_exchange_ != nullptr) {
+        sharded_exchange_->pull(comm, *model.sharded_input(), batch.inputs);
+      }
       rank_loss[static_cast<std::size_t>(dr)] += model.eval_loss(batch);
       ++rank_batches[static_cast<std::size_t>(dr)];
     }
@@ -560,16 +616,40 @@ double DistributedTrainer::evaluate(std::span<const Index> valid_ids) {
 
 bool DistributedTrainer::replicas_in_sync() {
   const auto& live = world_.live_ranks();
-  auto reference =
-      models_[static_cast<std::size_t>(live.front())]->all_params();
+  LmModel& ref_model = *models_[static_cast<std::size_t>(live.front())];
+  auto reference = ref_model.all_params();
+  const Param* ref_shard = ref_model.sharded_input() != nullptr
+                               ? &ref_model.sharded_input()->param()
+                               : nullptr;
   for (std::size_t i = 1; i < live.size(); ++i) {
-    auto params = models_[static_cast<std::size_t>(live[i])]->all_params();
+    LmModel& m = *models_[static_cast<std::size_t>(live[i])];
+    auto params = m.all_params();
+    const Param* shard =
+        m.sharded_input() != nullptr ? &m.sharded_input()->param() : nullptr;
     if (params.size() != reference.size()) return false;
     for (std::size_t j = 0; j < params.size(); ++j) {
+      if (shard != nullptr && params[j] == shard &&
+          reference[j] == ref_shard) {
+        // Shards are disjoint slices by construction — only the dense
+        // replicas (and the replicated tables) must stay bit-identical.
+        continue;
+      }
       if (!(params[j]->value == reference[j]->value)) return false;
     }
   }
   return true;
+}
+
+std::vector<Param*> DistributedTrainer::checkpoint_params(LmModel& model,
+                                                          Param& full) const {
+  auto params = model.all_params();
+  ShardedEmbedding* se = model.sharded_input();
+  if (se != nullptr) {
+    for (Param*& p : params) {
+      if (p == &se->param()) p = &full;
+    }
+  }
+  return params;
 }
 
 void DistributedTrainer::save_state(std::ostream& out) {
@@ -581,10 +661,6 @@ void DistributedTrainer::save_state(std::ostream& out) {
 
   TrainState ts;
   ts.present = true;
-  std::ostringstream blob(std::ios::binary);
-  const auto params = reference.all_params();
-  optimizers_[static_cast<std::size_t>(r0)]->save_state(blob, params);
-  ts.optimizer_blob = blob.str();
   if (!scalers_.empty()) {
     ts.has_scaler = true;
     ts.scaler = scalers_[static_cast<std::size_t>(r0)].state();
@@ -593,38 +669,176 @@ void DistributedTrainer::save_state(std::ostream& out) {
   for (const auto& m : models_) {
     ts.rank_rng.push_back(m->dropout_rng().state());
   }
-
   const CheckpointMeta meta{global_step_, epochs_completed_};
-  save_checkpoint(out, reference, meta, &ts);
+
+  if (sharded_exchange_ == nullptr) {
+    std::ostringstream blob(std::ios::binary);
+    const auto params = reference.all_params();
+    optimizers_[static_cast<std::size_t>(r0)]->save_state(blob, params);
+    ts.optimizer_blob = blob.str();
+    save_checkpoint(out, reference, meta, &ts);
+    return;
+  }
+
+  // Sharded table: the on-disk layout is the CANONICAL replicated one —
+  // the full V x D table (and moment tensors) under the replicated
+  // parameter name, assembled from every rank's owned slice.  A
+  // checkpoint saved at any world size therefore restores into any
+  // other (re-sharding is just re-slicing on load), and into a
+  // replicated model unchanged.
+  const Index vocab = reference.vocab();
+  const Index dim = reference.embed_dim();
+  Param full("embedding", Tensor({vocab, dim}));
+  for (const auto& m : models_) {
+    const ShardedEmbedding* se = m->sharded_input();
+    ZIPFLM_ASSERT(se != nullptr, "sharded trainer holds a replicated model");
+    std::memcpy(full.value.data().data() +
+                    se->row_begin() * dim,
+                se->param().value.data().data(),
+                se->param().value.bytes());
+  }
+  const auto params = checkpoint_params(reference, full);
+
+  if (options_.use_adam) {
+    // Synthesize the canonical Adam blob by hand (save_state format:
+    // step count, then per parameter a presence byte + raw m + raw v):
+    // dense moments come from the reference optimizer, the table's from
+    // stitching every rank's moment slice — zeros where a shard has
+    // never stepped, matching Adam's lazily-zero-initialized moments.
+    std::ostringstream blob(std::ios::binary);
+    const Adam& ref_opt =
+        static_cast<const Adam&>(*optimizers_[static_cast<std::size_t>(r0)]);
+    write_pod<std::int64_t>(blob, ref_opt.step_count());
+    for (const Param* p : params) {
+      if (p == &full) {
+        bool present = false;
+        for (std::size_t r = 0; r < models_.size(); ++r) {
+          const auto& opt = static_cast<const Adam&>(*optimizers_[r]);
+          present = present ||
+                    opt.has_moments(models_[r]->sharded_input()->param());
+        }
+        write_pod<std::uint8_t>(blob, present ? 1 : 0);
+        if (!present) continue;
+        Tensor fm({vocab, dim});
+        Tensor fv({vocab, dim});
+        for (std::size_t r = 0; r < models_.size(); ++r) {
+          const auto& opt = static_cast<const Adam&>(*optimizers_[r]);
+          const ShardedEmbedding* se = models_[r]->sharded_input();
+          const Param& sp = se->param();
+          if (!opt.has_moments(sp)) continue;
+          std::memcpy(fm.data().data() + se->row_begin() * dim,
+                      opt.moment_m(sp).data().data(),
+                      opt.moment_m(sp).bytes());
+          std::memcpy(fv.data().data() + se->row_begin() * dim,
+                      opt.moment_v(sp).data().data(),
+                      opt.moment_v(sp).bytes());
+        }
+        blob.write(reinterpret_cast<const char*>(fm.data().data()),
+                   static_cast<std::streamsize>(fm.bytes()));
+        blob.write(reinterpret_cast<const char*>(fv.data().data()),
+                   static_cast<std::streamsize>(fv.bytes()));
+        continue;
+      }
+      const bool present = ref_opt.has_moments(*p);
+      write_pod<std::uint8_t>(blob, present ? 1 : 0);
+      if (!present) continue;
+      blob.write(
+          reinterpret_cast<const char*>(ref_opt.moment_m(*p).data().data()),
+          static_cast<std::streamsize>(ref_opt.moment_m(*p).bytes()));
+      blob.write(
+          reinterpret_cast<const char*>(ref_opt.moment_v(*p).data().data()),
+          static_cast<std::streamsize>(ref_opt.moment_v(*p).bytes()));
+    }
+    ts.optimizer_blob = blob.str();
+  }  // SGD carries no optimizer state (Optimizer::save_state is a no-op).
+
+  save_checkpoint(out, std::span<Param* const>(params), meta, &ts);
 }
 
-void DistributedTrainer::restore_state(std::istream& in) {
+void DistributedTrainer::restore_state(std::istream& in,
+                                       bool allow_world_resize) {
   // Every replica re-reads the same serialized bytes: N in-memory parses
   // instead of one parse + N deep copies, and the code paths stay the
   // same whether the source is a file or a test's stringstream.
   const std::string raw(std::istreambuf_iterator<char>(in), {});
   CheckpointMeta meta;
   TrainState ts;
+  const Index vocab = models_.front()->vocab();
+  const Index dim = models_.front()->embed_dim();
   for (std::size_t r = 0; r < models_.size(); ++r) {
     std::istringstream stream(raw, std::ios::binary);
-    meta = load_checkpoint(stream, *models_[r], r == 0 ? &ts : nullptr);
+    if (sharded_exchange_ == nullptr) {
+      meta = load_checkpoint(stream, *models_[r], r == 0 ? &ts : nullptr);
+      continue;
+    }
+    // Sharded: read the canonical full table into a scratch parameter,
+    // then keep only this replica's owned slice.
+    ShardedEmbedding* se = models_[r]->sharded_input();
+    ZIPFLM_ASSERT(se != nullptr, "sharded trainer holds a replicated model");
+    Param full("embedding", Tensor({vocab, dim}));
+    const auto params = checkpoint_params(*models_[r], full);
+    meta = load_checkpoint(stream, std::span<Param* const>(params),
+                           r == 0 ? &ts : nullptr);
+    std::memcpy(se->param().value.data().data(),
+                full.value.data().data() + se->row_begin() * dim,
+                se->param().value.bytes());
+    se->clear_cache();
   }
   ZIPFLM_CHECK(ts.present,
                "checkpoint carries no training state; it can initialize "
                "weights but not resume a run exactly");
-  ZIPFLM_CHECK(ts.rank_rng.size() == models_.size(),
+  ZIPFLM_CHECK(allow_world_resize || ts.rank_rng.size() == models_.size(),
                "checkpoint rank count does not match this trainer (saved " +
                    std::to_string(ts.rank_rng.size()) + ", have " +
-                   std::to_string(models_.size()) + ")");
+                   std::to_string(models_.size()) +
+                   "); pass allow_world_resize to re-shard on load");
   ZIPFLM_CHECK(scalers_.empty() || ts.has_scaler,
                "checkpoint has no loss-scaler state but dynamic scaling "
                "is enabled");
 
   for (std::size_t r = 0; r < models_.size(); ++r) {
-    std::istringstream blob(ts.optimizer_blob, std::ios::binary);
-    const auto params = models_[r]->all_params();
-    optimizers_[r]->load_state(blob, params);
-    models_[r]->dropout_rng().set_state(ts.rank_rng[r]);
+    if (sharded_exchange_ == nullptr || !options_.use_adam) {
+      // SGD is stateless, so the blob is empty either way; replicated
+      // Adam parses it against the live parameter list directly.
+      std::istringstream blob(ts.optimizer_blob, std::ios::binary);
+      const auto params = models_[r]->all_params();
+      optimizers_[r]->load_state(blob, params);
+    } else {
+      // Sharded Adam: parse the canonical blob by hand, slicing the
+      // table's moment tensors down to this replica's owned rows.
+      std::istringstream blob(ts.optimizer_blob, std::ios::binary);
+      ShardedEmbedding* se = models_[r]->sharded_input();
+      Param full("embedding", Tensor({vocab, dim}));
+      const auto params = checkpoint_params(*models_[r], full);
+      auto& opt = static_cast<Adam&>(*optimizers_[r]);
+      opt.clear_moments();
+      opt.set_step_count(read_pod<std::int64_t>(blob));
+      for (Param* p : params) {
+        if (read_pod<std::uint8_t>(blob) == 0) continue;
+        Tensor m(p->value.shape());
+        Tensor v(p->value.shape());
+        blob.read(reinterpret_cast<char*>(m.data().data()),
+                  static_cast<std::streamsize>(m.bytes()));
+        blob.read(reinterpret_cast<char*>(v.data().data()),
+                  static_cast<std::streamsize>(v.bytes()));
+        ZIPFLM_CHECK(blob.good(),
+                     "optimizer state truncated for parameter " + p->name);
+        if (p == &full) {
+          Tensor sm({se->owned_rows(), dim});
+          Tensor sv({se->owned_rows(), dim});
+          std::memcpy(sm.data().data(), m.data().data() + se->row_begin() * dim,
+                      sm.bytes());
+          std::memcpy(sv.data().data(), v.data().data() + se->row_begin() * dim,
+                      sv.bytes());
+          opt.set_moments(se->param(), std::move(sm), std::move(sv));
+        } else {
+          opt.set_moments(*p, std::move(m), std::move(v));
+        }
+      }
+    }
+    if (r < ts.rank_rng.size()) {
+      models_[r]->dropout_rng().set_state(ts.rank_rng[r]);
+    }
     if (!scalers_.empty()) scalers_[r].restore(ts.scaler);
   }
   global_step_ = meta.global_step;
@@ -647,10 +861,11 @@ void DistributedTrainer::save_state_file(const std::string& path) {
   }
 }
 
-void DistributedTrainer::restore_state_file(const std::string& path) {
+void DistributedTrainer::restore_state_file(const std::string& path,
+                                            bool allow_world_resize) {
   std::ifstream in(path, std::ios::binary);
   ZIPFLM_CHECK(in.is_open(), "cannot open checkpoint file: " + path);
-  restore_state(in);
+  restore_state(in, allow_world_resize);
 }
 
 }  // namespace zipflm

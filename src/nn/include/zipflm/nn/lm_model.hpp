@@ -24,6 +24,7 @@
 #include "zipflm/nn/embedding.hpp"
 #include "zipflm/nn/lstm.hpp"
 #include "zipflm/nn/rhn.hpp"
+#include "zipflm/nn/sharded_embedding.hpp"
 #include "zipflm/nn/softmax_loss.hpp"
 
 namespace zipflm {
@@ -89,6 +90,12 @@ class LmModel {
 
   /// Parameters synchronized densely (ALLREDUCE) every step.
   virtual std::vector<Param*> dense_params() = 0;
+
+  /// The row-sharded input table, or nullptr when the input embedding
+  /// is replicated (the default).  Non-null changes the trainer's
+  /// sparse path: forward rows are pulled per step, gradient rows are
+  /// pushed to their owners, and only the owned slice is updated.
+  virtual ShardedEmbedding* sharded_input() { return nullptr; }
   /// All parameters (dense + embeddings), for checkpoint/overflow scans.
   virtual std::vector<Param*> all_params() = 0;
 
@@ -189,6 +196,15 @@ struct CharLmConfig {
   Index depth = 10;        ///< paper: recurrence depth 10
   float dropout = 0.0f;    ///< §IV-B: char LM trains with dropout
   std::uint64_t seed = 1;
+  /// shard_world >= 1 row-shards the input table over that many ranks
+  /// (1 is a legal one-way shard — the sharded code path with nothing
+  /// to ship): this replica holds rows [shard_rank*V/G,
+  /// (shard_rank+1)*V/G) only and relies on the trainer's pull/push
+  /// exchange.  0 (the default) keeps the replicated table.  The RNG
+  /// stream consumed for the shard is the full replicated table's, so
+  /// shards of any G are bitwise slices of the same init.
+  int shard_rank = 0;
+  int shard_world = 0;
 };
 
 class CharLm final : public LmModel {
@@ -205,7 +221,11 @@ class CharLm final : public LmModel {
             Tensor& logits) override;
   std::vector<Param*> dense_params() override;
   std::vector<Param*> all_params() override;
-  Param& input_embedding_param() override { return input_.param(); }
+  ShardedEmbedding* sharded_input() override { return sharded_input_.get(); }
+  Param& input_embedding_param() override {
+    return sharded_input_ != nullptr ? sharded_input_->param()
+                                     : input_->param();
+  }
   Param* sampled_output_param() override { return nullptr; }
   Index vocab() const override { return config_.vocab; }
   Index embed_dim() const override { return config_.embed_dim; }
@@ -215,8 +235,13 @@ class CharLm final : public LmModel {
   Rng& dropout_rng() override { return dropout_rng_; }
 
  private:
+  /// Reads token rows through whichever table exists: the replicated
+  /// Embedding, or the sharded layer's step-scoped pull cache.
+  void embed_tokens(std::span<const Index> ids, Tensor& out) const;
+
   CharLmConfig config_;
-  Embedding input_;
+  std::unique_ptr<Embedding> input_;          ///< replicated (default)
+  std::unique_ptr<ShardedEmbedding> sharded_input_;  ///< shard_world > 1
   RhnLayer rhn_;
   FullSoftmaxLoss loss_;
   Dropout embed_dropout_;

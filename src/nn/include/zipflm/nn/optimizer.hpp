@@ -85,6 +85,20 @@ class Adam final : public Optimizer {
                   std::span<Param* const> params) const override;
   void load_state(std::istream& in, std::span<Param* const> params) override;
 
+  /// Direct state access, for checkpoint paths that rebuild moments
+  /// outside save_state/load_state (e.g. assembling or re-slicing a
+  /// row-sharded table's moment slices across world sizes).
+  std::int64_t step_count() const noexcept { return t_; }
+  void set_step_count(std::int64_t t) { t_ = t; }
+  bool has_moments(const Param& p) const { return state_.contains(&p); }
+  /// First/second moment of `p`; has_moments(p) must be true.
+  const Tensor& moment_m(const Param& p) const { return state_.at(&p).m; }
+  const Tensor& moment_v(const Param& p) const { return state_.at(&p).v; }
+  /// Install (or replace) `p`'s moments.  Shapes must match p.value.
+  void set_moments(const Param& p, Tensor m, Tensor v);
+  /// Drop every parameter's moments (a manual load starts clean).
+  void clear_moments() { state_.clear(); }
+
  private:
   struct Moments {
     Tensor m;

@@ -259,9 +259,21 @@ void WordLm::zero_grad() {
 
 CharLm::CharLm(const CharLmConfig& config)
     : config_(config),
-      input_([&] {
+      input_([&]() -> std::unique_ptr<Embedding> {
+        if (config.shard_world >= 1) return nullptr;
         Rng rng = Rng::fork(config.seed, 11);
-        return Embedding(config.vocab, config.embed_dim, rng);
+        return std::make_unique<Embedding>(config.vocab, config.embed_dim,
+                                           rng);
+      }()),
+      sharded_input_([&]() -> std::unique_ptr<ShardedEmbedding> {
+        if (config.shard_world < 1) return nullptr;
+        // Same fork as the replicated table: the shard is a bitwise
+        // slice of the init the replicated model would draw.
+        Rng rng = Rng::fork(config.seed, 11);
+        return std::make_unique<ShardedEmbedding>(config.vocab,
+                                                  config.embed_dim,
+                                                  config.shard_rank,
+                                                  config.shard_world, rng);
       }()),
       rhn_([&] {
         Rng rng = Rng::fork(config.seed, 12);
@@ -296,7 +308,7 @@ void CharLm::train_step_local(const Batch& batch,
   {
     PhaseScope phase("forward");
     Tensor flat_emb({k, config_.embed_dim});
-    input_.forward(batch.inputs, flat_emb);
+    embed_tokens(batch.inputs, flat_emb);
     embed_dropout_.forward_train(flat_emb, dropout_rng_);
     std::vector<Tensor> xs;
     to_time_major(flat_emb, b, t, xs);
@@ -329,7 +341,7 @@ float CharLm::eval_loss(const Batch& batch) {
   const Index b = batch.batch_size;
   const Index t = batch.seq_len;
   Tensor flat_emb({b * t, config_.embed_dim});
-  input_.forward(batch.inputs, flat_emb);
+  embed_tokens(batch.inputs, flat_emb);
   std::vector<Tensor> xs;
   to_time_major(flat_emb, b, t, xs);
   std::vector<Tensor> ys;
@@ -343,7 +355,7 @@ Tensor CharLm::next_token_logits(std::span<const Index> context) {
   ZIPFLM_CHECK(!context.empty(), "context must be non-empty");
   const Index t = static_cast<Index>(context.size());
   Tensor flat_emb({t, config_.embed_dim});
-  input_.forward(context, flat_emb);
+  embed_tokens(context, flat_emb);
   std::vector<Tensor> xs;
   to_time_major(flat_emb, 1, t, xs);
   std::vector<Tensor> ys;
@@ -368,7 +380,7 @@ void CharLm::step(std::span<const Index> tokens, RecurrentState& state,
   ZIPFLM_CHECK(state.slots.size() == 1 && state.batch() == b,
                "recurrent state does not match this model/batch");
   Tensor x({b, config_.embed_dim});
-  input_.forward(tokens, x);
+  embed_tokens(tokens, x);
   rhn_.step(x, state.slots.front());
   loss_.full_logits(state.slots.front(), logits);
 }
@@ -382,8 +394,23 @@ std::vector<Param*> CharLm::dense_params() {
 
 std::vector<Param*> CharLm::all_params() {
   auto ps = dense_params();
-  ps.push_back(&input_.param());
+  ps.push_back(&input_embedding_param());
   return ps;
+}
+
+void CharLm::embed_tokens(std::span<const Index> ids, Tensor& out) const {
+  if (sharded_input_ != nullptr) {
+    // Incremental decode (next_token_logits / step) would need a pull
+    // per token; serving runs on replicated tables.  The trainer's
+    // pull exchange installs the cache this forward reads.
+    ZIPFLM_CHECK(sharded_input_->cache_ready(),
+                 "sharded embedding forward without a pulled row cache "
+                 "(training pull not run, or incremental decode on a "
+                 "sharded model)");
+    sharded_input_->forward(ids, out);
+  } else {
+    input_->forward(ids, out);
+  }
 }
 
 double CharLm::flops_per_token() const {

@@ -158,6 +158,14 @@ Adam::Moments& Adam::moments_for(const Param& p) {
   return it->second;
 }
 
+void Adam::set_moments(const Param& p, Tensor m, Tensor v) {
+  ZIPFLM_CHECK(m.shape() == p.value.shape() && v.shape() == p.value.shape(),
+               "Adam::set_moments: moment shapes must match the parameter");
+  Moments& mo = moments_for(p);
+  mo.m = std::move(m);
+  mo.v = std::move(v);
+}
+
 void Adam::step(std::span<Param* const> params) {
   const float t = static_cast<float>(std::max<std::int64_t>(t_, 1));
   const float bc1 = 1.0f - std::pow(cfg_.beta1, t);

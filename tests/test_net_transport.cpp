@@ -335,6 +335,25 @@ std::vector<RankOutcome> run_battery(CommBackend backend, int gpus) {
     comm.broadcast(std::span<float>(b), root);
     append_bytes(out, b.data(), b.size() * sizeof(float));
 
+    // alltoallv with uneven per-destination counts (dest d gets d+1
+    // elements from every source, so block boundaries differ per pair).
+    std::vector<std::int32_t> a2a_send;
+    std::vector<std::size_t> a2a_counts(static_cast<std::size_t>(g));
+    for (int d = 0; d < g; ++d) {
+      a2a_counts[static_cast<std::size_t>(d)] =
+          static_cast<std::size_t>(d) + 1;
+      for (int j = 0; j <= d; ++j) {
+        a2a_send.push_back(r * 100 + d * 10 + j);
+      }
+    }
+    std::vector<std::int32_t> a2a_out;
+    std::vector<std::size_t> a2a_recv;
+    comm.alltoallv(std::span<const std::int32_t>(a2a_send), a2a_counts,
+                   a2a_out, a2a_recv);
+    append_bytes(out, a2a_out.data(), a2a_out.size() * sizeof(std::int32_t));
+    append_bytes(out, a2a_recv.data(),
+                 a2a_recv.size() * sizeof(std::size_t));
+
     comm.barrier();
   });
   for (int r = 0; r < gpus; ++r) {
@@ -349,10 +368,12 @@ void expect_payload_ledgers_equal(const TrafficLedger& a,
   EXPECT_EQ(a.bytes_received, b.bytes_received);
   EXPECT_EQ(a.allreduce_calls, b.allreduce_calls);
   EXPECT_EQ(a.allgather_calls, b.allgather_calls);
+  EXPECT_EQ(a.alltoall_calls, b.alltoall_calls);
   EXPECT_EQ(a.broadcast_calls, b.broadcast_calls);
   EXPECT_EQ(a.barrier_calls, b.barrier_calls);
   EXPECT_EQ(a.max_allreduce_payload_bytes, b.max_allreduce_payload_bytes);
   EXPECT_EQ(a.max_allgather_payload_bytes, b.max_allgather_payload_bytes);
+  EXPECT_EQ(a.max_alltoall_payload_bytes, b.max_alltoall_payload_bytes);
   EXPECT_EQ(a.max_broadcast_payload_bytes, b.max_broadcast_payload_bytes);
   EXPECT_EQ(a.simulated_comm_seconds, b.simulated_comm_seconds);
 }
